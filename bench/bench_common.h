@@ -1,0 +1,111 @@
+#ifndef JUST_BENCH_BENCH_COMMON_H_
+#define JUST_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "core/engine.h"
+#include "workload/generators.h"
+
+namespace just::bench {
+
+/// Scaled-down stand-ins for Table II (paper: Traj 886M pts / 314k records,
+/// Order 71M pts, Synthetic = 10x Traj). The ratios that drive the
+/// evaluation (points-per-record skew, record counts per km^2 per day) are
+/// preserved; absolute sizes are laptop-scale so every figure regenerates
+/// in minutes.
+struct WorkloadScale {
+  int order_points = 120000;
+  int traj_records = 400;
+  int traj_points_per_record = 300;
+  int synthetic_factor = 4;  ///< Synthetic = Traj replicated this many times
+};
+
+inline const WorkloadScale& Scale() {
+  static const WorkloadScale scale;
+  return scale;
+}
+
+/// The JUST index/compression variants compared in Section VIII.
+enum class Variant {
+  kJust,        ///< Z2T / XZ2T + compression (the paper's JUST)
+  kNoCompress,  ///< JUSTnc
+  kZ3Day,       ///< JUSTd: Z3/XZ3 with one-day periods
+  kZ3Year,      ///< JUSTy
+  kZ3Century,   ///< JUSTc
+  kOrderCompressed,  ///< Fig 10a's "JUSTcompress": gzip on tiny fields
+};
+
+inline const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kJust:
+      return "JUST";
+    case Variant::kNoCompress:
+      return "JUSTnc";
+    case Variant::kZ3Day:
+      return "JUSTd";
+    case Variant::kZ3Year:
+      return "JUSTy";
+    case Variant::kZ3Century:
+      return "JUSTc";
+    case Variant::kOrderCompressed:
+      return "JUSTcompress";
+  }
+  return "?";
+}
+
+enum class Dataset { kOrder, kTraj, kSynthetic };
+
+inline const char* DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kOrder:
+      return "Order";
+    case Dataset::kTraj:
+      return "Traj";
+    case Dataset::kSynthetic:
+      return "Synthetic";
+  }
+  return "?";
+}
+
+/// A fully loaded engine for one (dataset, size%, variant) configuration,
+/// plus the raw records for baseline systems and brute-force checks.
+struct Fixture {
+  std::unique_ptr<core::JustEngine> engine;
+  std::string table;  ///< table name inside the engine
+  // Raw data (for baselines):
+  std::vector<workload::OrderRecord> orders;
+  std::vector<traj::Trajectory> trajectories;
+  int64_t index_build_ms = 0;  ///< wall time of insert+finalize
+  uint64_t raw_bytes = 0;      ///< uncompressed logical data size
+  std::string user = "bench";
+  workload::QueryCenters centers;
+  TimestampMs time_lo = 0;
+  TimestampMs time_hi = 0;
+};
+
+/// Returns (building and caching on first use) the fixture for a
+/// configuration. Fixtures are cached for the process lifetime — the same
+/// dataset is queried by many benchmark registrations.
+Fixture* GetFixture(Dataset dataset, int pct, Variant variant);
+
+/// Converts a fixture's records to baseline-system records.
+std::vector<baselines::BaselineRecord> ToBaselineRecords(const Fixture& fx);
+
+/// Baseline options with a memory budget calibrated so the OOM thresholds
+/// land where Section VIII reports them on the Traj dataset (LocationSpark
+/// at 20%, Simba at 40%, SpatialSpark at 100%, GeoSpark surviving).
+baselines::BaselineOptions CalibratedBaselineOptions(Dataset dataset);
+
+/// Scratch root for bench data; wiped on first use per process.
+std::string BenchDataRoot();
+
+}  // namespace just::bench
+
+#endif  // JUST_BENCH_BENCH_COMMON_H_

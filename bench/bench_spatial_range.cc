@@ -1,0 +1,163 @@
+// Reproduces Figure 11a-11d: spatial range query time vs data size and vs
+// spatial window, for JUST and the comparison systems. Paper shape:
+//   - All systems grow with data size and window size.
+//   - JUST ~ the Spark-likes (same decade), far below SpatialHadoop
+//     (which pays a MapReduce job per query).
+//   - On Traj, JUST < JUSTnc (compression cuts scan I/O); the in-memory
+//     systems OOM per their Fig 10d thresholds (reported as bench errors).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace just::bench {
+namespace {
+
+constexpr double kDefaultWindowKm = 3.0;
+
+void RunJustQueries(benchmark::State& state, Dataset dataset, Variant variant,
+                    int pct, double window_km) {
+  Fixture* fx = GetFixture(dataset, pct, variant);
+  size_t qi = 0;
+  size_t results = 0;
+  uint64_t io_before = kv::GlobalIoStats().bytes_read.load();
+  for (auto _ : state) {
+    geo::Mbr box = geo::SquareWindowKm(
+        fx->centers.centers[qi++ % fx->centers.centers.size()], window_km);
+    auto result = fx->engine->SpatialRangeQuery(fx->user, fx->table, box);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    results += result->num_rows();
+    benchmark::DoNotOptimize(result);
+  }
+  double iters = static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  state.counters["avg_rows"] = static_cast<double>(results) / iters;
+  // The Fig 11b/11d mechanism: compression cuts bytes read from the store.
+  // (Wall-clock benefits require a cold cache; see EXPERIMENTS.md.)
+  state.counters["io_KB_per_query"] =
+      static_cast<double>(kv::GlobalIoStats().bytes_read.load() - io_before) /
+      1024.0 / iters;
+}
+
+void RunBaselineQueries(benchmark::State& state, Dataset dataset,
+                        const std::string& system_name, int pct,
+                        double window_km) {
+  Fixture* fx = GetFixture(dataset, pct, Variant::kJust);
+  auto system =
+      baselines::MakeBaseline(system_name, CalibratedBaselineOptions(dataset));
+  if (!system.ok()) {
+    state.SkipWithError(system.status().ToString().c_str());
+    return;
+  }
+  Status built = (*system)->BuildIndex(ToBaselineRecords(*fx));
+  if (!built.ok()) {
+    state.SkipWithError(built.ToString().c_str());  // the paper's OOM gaps
+    return;
+  }
+  size_t qi = 0;
+  for (auto _ : state) {
+    geo::Mbr box = geo::SquareWindowKm(
+        fx->centers.centers[qi++ % fx->centers.centers.size()], window_km);
+    auto result = (*system)->SpatialRange(box);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void RegisterAll() {
+  const std::vector<std::string> kOrderSystems = {
+      "GeoSpark", "LocationSpark", "SpatialSpark", "Simba", "SpatialHadoop"};
+  const std::vector<std::string> kTrajSystems = {"GeoSpark", "SpatialSpark",
+                                                 "Simba"};
+
+  // Fig 11a / 11b: vary data size at the default 3x3 km window.
+  benchmark::RegisterBenchmark("Fig11a/Order/JUST",
+                               [](benchmark::State& s) {
+                                 RunJustQueries(s, Dataset::kOrder,
+                                                Variant::kJust,
+                                                static_cast<int>(s.range(0)),
+                                                kDefaultWindowKm);
+                               })
+      ->DenseRange(20, 100, 40);
+  for (const std::string& system : kOrderSystems) {
+    benchmark::RegisterBenchmark(
+        ("Fig11a/Order/" + system).c_str(),
+        [system](benchmark::State& s) {
+          RunBaselineQueries(s, Dataset::kOrder, system,
+                             static_cast<int>(s.range(0)), kDefaultWindowKm);
+        })
+        ->DenseRange(20, 100, 40);
+  }
+  for (Variant v : {Variant::kJust, Variant::kNoCompress}) {
+    benchmark::RegisterBenchmark(
+        (std::string("Fig11b/Traj/") + VariantName(v)).c_str(),
+        [v](benchmark::State& s) {
+          RunJustQueries(s, Dataset::kTraj, v, static_cast<int>(s.range(0)),
+                         kDefaultWindowKm);
+        })
+        ->DenseRange(20, 100, 40);
+  }
+  for (const std::string& system : kTrajSystems) {
+    benchmark::RegisterBenchmark(
+        ("Fig11b/Traj/" + system).c_str(),
+        [system](benchmark::State& s) {
+          RunBaselineQueries(s, Dataset::kTraj, system,
+                             static_cast<int>(s.range(0)), kDefaultWindowKm);
+        })
+        ->DenseRange(20, 100, 40);
+  }
+
+  // Fig 11c / 11d: vary the spatial window at 100% data (SpatialSpark runs
+  // at 80% on Traj, as the paper does after its 100% failure).
+  benchmark::RegisterBenchmark("Fig11c/Order/JUST",
+                               [](benchmark::State& s) {
+                                 RunJustQueries(
+                                     s, Dataset::kOrder, Variant::kJust, 100,
+                                     static_cast<double>(s.range(0)));
+                               })
+      ->DenseRange(1, 5, 1);
+  for (const std::string& system : kOrderSystems) {
+    benchmark::RegisterBenchmark(
+        ("Fig11c/Order/" + system).c_str(),
+        [system](benchmark::State& s) {
+          RunBaselineQueries(s, Dataset::kOrder, system, 100,
+                             static_cast<double>(s.range(0)));
+        })
+        ->DenseRange(1, 5, 1);
+  }
+  for (Variant v : {Variant::kJust, Variant::kNoCompress}) {
+    benchmark::RegisterBenchmark(
+        (std::string("Fig11d/Traj/") + VariantName(v)).c_str(),
+        [v](benchmark::State& s) {
+          RunJustQueries(s, Dataset::kTraj, v, 100,
+                         static_cast<double>(s.range(0)));
+        })
+        ->DenseRange(1, 5, 1);
+  }
+  for (const std::string& system : {std::string("GeoSpark"),
+                                    std::string("SpatialSpark")}) {
+    int pct = system == "SpatialSpark" ? 80 : 100;
+    benchmark::RegisterBenchmark(
+        ("Fig11d/Traj/" + system).c_str(),
+        [system, pct](benchmark::State& s) {
+          RunBaselineQueries(s, Dataset::kTraj, system, pct,
+                             static_cast<double>(s.range(0)));
+        })
+        ->DenseRange(1, 5, 1);
+  }
+}
+
+}  // namespace
+}  // namespace just::bench
+
+int main(int argc, char** argv) {
+  just::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

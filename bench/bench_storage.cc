@@ -1,0 +1,93 @@
+// Reproduces Figure 10a / 10b: storage cost (index keys + data) vs raw data
+// size, with and without the field-compression mechanism of Section IV-D.
+//
+// Paper shape to reproduce:
+//   - Order (Fig 10a): compressing the tiny per-order fields makes storage
+//     *larger* (JUSTcompress line above JUST).
+//   - Traj (Fig 10b): compressing the GPS-list field shrinks storage by
+//     roughly 4.5x (136 GB raw -> ~30 GB stored, including both indexes).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace just::bench {
+namespace {
+
+void BM_Storage(benchmark::State& state, Dataset dataset, Variant variant) {
+  int pct = static_cast<int>(state.range(0));
+  Fixture* fx = GetFixture(dataset, pct, variant);
+  auto stats = fx->engine->GetStorageStats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats.disk_bytes);
+  }
+  state.counters["storage_MB"] =
+      static_cast<double>(stats.disk_bytes) / (1 << 20);
+  state.counters["raw_MB"] = static_cast<double>(fx->raw_bytes) / (1 << 20);
+  state.counters["ratio_vs_raw"] =
+      static_cast<double>(stats.disk_bytes) /
+      static_cast<double>(fx->raw_bytes);
+}
+
+void PrintSeries(const char* figure, Dataset dataset,
+                 const std::vector<Variant>& variants) {
+  std::printf("\n%s — storage size (MB) vs data size, dataset=%s\n", figure,
+              DatasetName(dataset));
+  std::printf("%-14s", "Data Size");
+  for (Variant v : variants) std::printf("%14s", VariantName(v));
+  std::printf("\n");
+  for (int pct : {20, 40, 60, 80, 100}) {
+    std::printf("%12d%%  ", pct);
+    for (Variant v : variants) {
+      Fixture* fx = GetFixture(dataset, pct, v);
+      std::printf("%14.2f",
+                  static_cast<double>(fx->engine->GetStorageStats().disk_bytes) /
+                      (1 << 20));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace just::bench
+
+int main(int argc, char** argv) {
+  using namespace just::bench;  // NOLINT
+  for (int pct : {20, 40, 60, 80, 100}) {
+    benchmark::RegisterBenchmark("Fig10a/Order/JUST",
+                                 [](benchmark::State& s) {
+                                   BM_Storage(s, Dataset::kOrder,
+                                              Variant::kJust);
+                                 })
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig10a/Order/JUSTcompress",
+                                 [](benchmark::State& s) {
+                                   BM_Storage(s, Dataset::kOrder,
+                                              Variant::kOrderCompressed);
+                                 })
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig10b/Traj/JUST",
+                                 [](benchmark::State& s) {
+                                   BM_Storage(s, Dataset::kTraj,
+                                              Variant::kJust);
+                                 })
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig10b/Traj/JUSTnc",
+                                 [](benchmark::State& s) {
+                                   BM_Storage(s, Dataset::kTraj,
+                                              Variant::kNoCompress);
+                                 })
+        ->Arg(pct)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintSeries("Figure 10a", Dataset::kOrder,
+              {Variant::kJust, Variant::kOrderCompressed});
+  PrintSeries("Figure 10b", Dataset::kTraj,
+              {Variant::kJust, Variant::kNoCompress});
+  return 0;
+}

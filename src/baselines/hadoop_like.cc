@@ -1,0 +1,318 @@
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "baselines/baseline.h"
+#include "common/bytes.h"
+
+namespace just::baselines {
+
+namespace {
+
+/// Shared machinery for the Hadoop-based look-alikes: the index is a set of
+/// partition files on disk; every query runs as a simulated MapReduce job —
+/// a fixed scheduling/startup cost plus real file reads of the candidate
+/// partitions. This reproduces the paper's observations that the Hadoop
+/// systems are orders of magnitude slower per query (Fig. 12b/12d) and take
+/// very long to build and serialize their indexes (Fig. 10c/10d).
+class HadoopLikeBase : public BaselineSystem {
+ public:
+  HadoopLikeBase(const BaselineOptions& options, const std::string& subdir)
+      : options_(options), dir_(options.scratch_dir + "/" + subdir) {}
+
+  size_t MemoryUsage() const override {
+    return 0;  // disk-based: trivially scalable (Table I)
+  }
+
+ protected:
+  // 16x16 spatial grid over the data extent.
+  static constexpr int kGridCells = 16;
+
+  int CellX(double lng) const {
+    double frac = (lng - extent_.lng_min) / std::max(1e-9, extent_.Width());
+    return std::clamp(static_cast<int>(frac * kGridCells), 0,
+                      kGridCells - 1);
+  }
+  int CellY(double lat) const {
+    double frac = (lat - extent_.lat_min) / std::max(1e-9, extent_.Height());
+    return std::clamp(static_cast<int>(frac * kGridCells), 0,
+                      kGridCells - 1);
+  }
+
+  std::string PartitionPath(int slice, int cx, int cy) const {
+    return dir_ + "/p_" + std::to_string(slice) + "_" + std::to_string(cx) +
+           "_" + std::to_string(cy) + ".part";
+  }
+
+  Status WritePartitions(
+      const std::vector<BaselineRecord>& records,
+      const std::function<int(const BaselineRecord&)>& slice_of) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) return Status::IOError("cannot create " + dir_);
+    extent_ = geo::Mbr::Empty();
+    for (const BaselineRecord& r : records) extent_.Expand(r.box);
+    if (extent_.IsEmpty()) extent_ = geo::Mbr::World();
+
+    // Map phase: bucket records; Reduce phase: serialize partition files.
+    std::map<std::string, std::string> buffers;
+    for (const BaselineRecord& r : records) {
+      int slice = slice_of(r);
+      geo::Point c = r.box.Center();
+      std::string& buf =
+          buffers[PartitionPath(slice, CellX(c.lng), CellY(c.lat))];
+      PutFixed64(&buf, r.id);
+      PutFixed64(&buf, OrderedDoubleBits(r.box.lng_min));
+      PutFixed64(&buf, OrderedDoubleBits(r.box.lat_min));
+      PutFixed64(&buf, OrderedDoubleBits(r.box.lng_max));
+      PutFixed64(&buf, OrderedDoubleBits(r.box.lat_max));
+      PutFixed64(&buf, static_cast<uint64_t>(r.t_min));
+      PutFixed64(&buf, static_cast<uint64_t>(r.t_max));
+    }
+    // Hadoop writes intermediate results to disk between map and reduce:
+    // pay one extra full write+read pass.
+    std::string staging = dir_ + "/staging.tmp";
+    {
+      std::FILE* f = std::fopen(staging.c_str(), "wb");
+      if (f == nullptr) return Status::IOError("staging write failed");
+      for (const auto& [path, buf] : buffers) {
+        std::fwrite(buf.data(), 1, buf.size(), f);
+      }
+      std::fclose(f);
+    }
+    for (const auto& [path, buf] : buffers) {
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      if (f == nullptr) return Status::IOError("partition write failed");
+      size_t n = std::fwrite(buf.data(), 1, buf.size(), f);
+      std::fclose(f);
+      if (n != buf.size()) return Status::IOError("partition short write");
+    }
+    ::remove(staging.c_str());
+    slices_.clear();
+    for (const BaselineRecord& r : records) {
+      slices_.insert(slice_of(r));
+    }
+    return Status::OK();
+  }
+
+  void PayJobStartup() const {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.mapreduce_job_cost_ms));
+  }
+
+  Result<std::vector<BaselineRecord>> ReadPartition(int slice, int cx,
+                                                    int cy) const {
+    std::vector<BaselineRecord> out;
+    std::string path = PartitionPath(slice, cx, cy);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return out;  // empty partition
+    std::string buf;
+    char tmp[1 << 15];
+    size_t n;
+    while ((n = std::fread(tmp, 1, sizeof(tmp), f)) > 0) buf.append(tmp, n);
+    std::fclose(f);
+    const char* p = buf.data();
+    const char* limit = p + buf.size();
+    while (limit - p >= 56) {
+      BaselineRecord r;
+      r.id = GetFixed64(p);
+      r.box.lng_min = OrderedBitsToDouble(GetFixed64(p + 8));
+      r.box.lat_min = OrderedBitsToDouble(GetFixed64(p + 16));
+      r.box.lng_max = OrderedBitsToDouble(GetFixed64(p + 24));
+      r.box.lat_max = OrderedBitsToDouble(GetFixed64(p + 32));
+      r.t_min = static_cast<TimestampMs>(GetFixed64(p + 40));
+      r.t_max = static_cast<TimestampMs>(GetFixed64(p + 48));
+      p += 56;
+      out.push_back(r);
+    }
+    return out;
+  }
+
+  /// Runs a spatial "job" over the grid cells intersecting `box` in the
+  /// given slices, returning the matching records.
+  Result<std::vector<BaselineRecord>> RunSpatialJobRecords(
+      const geo::Mbr& box, const std::set<int>& slices, TimestampMs t_min,
+      TimestampMs t_max, bool check_time) const {
+    PayJobStartup();
+    std::vector<BaselineRecord> out;
+    std::set<uint64_t> seen;
+    int x0 = CellX(box.lng_min), x1 = CellX(box.lng_max);
+    int y0 = CellY(box.lat_min), y1 = CellY(box.lat_max);
+    for (int slice : slices) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        for (int cy = y0; cy <= y1; ++cy) {
+          JUST_ASSIGN_OR_RETURN(auto records, ReadPartition(slice, cx, cy));
+          for (const BaselineRecord& r : records) {
+            if (!r.box.Intersects(box)) continue;
+            if (check_time && (r.t_min > t_max || r.t_max < t_min)) continue;
+            if (seen.insert(r.id).second) out.push_back(r);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  Result<std::vector<uint64_t>> RunSpatialJob(const geo::Mbr& box,
+                                              const std::set<int>& slices,
+                                              TimestampMs t_min,
+                                              TimestampMs t_max,
+                                              bool check_time) const {
+    JUST_ASSIGN_OR_RETURN(
+        auto records,
+        RunSpatialJobRecords(box, slices, t_min, t_max, check_time));
+    std::vector<uint64_t> out;
+    out.reserve(records.size());
+    for (const BaselineRecord& r : records) out.push_back(r.id);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Iterated expanding-window k-NN (SpatialHadoop runs k-NN as repeated
+  /// range jobs until the k-th distance is certainly inside the window).
+  Result<std::vector<uint64_t>> KnnByExpandingJobs(const geo::Point& q,
+                                                   int k) {
+    double radius = 0.01;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      geo::Mbr window = geo::Mbr::Of(q.lng - radius, q.lat - radius,
+                                     q.lng + radius, q.lat + radius);
+      JUST_ASSIGN_OR_RETURN(
+          auto records,
+          RunSpatialJobRecords(window, slices_, 0, 0, /*check_time=*/false));
+      std::sort(records.begin(), records.end(),
+                [&](const BaselineRecord& a, const BaselineRecord& b) {
+                  return a.box.MinDistance(q) < b.box.MinDistance(q);
+                });
+      bool certain =
+          static_cast<int>(records.size()) >= k &&
+          records[k - 1].box.MinDistance(q) <= radius;
+      if (certain || window.Contains(extent_)) {
+        if (static_cast<int>(records.size()) > k) records.resize(k);
+        std::vector<uint64_t> out;
+        for (const BaselineRecord& r : records) out.push_back(r.id);
+        return out;
+      }
+      radius *= 2;
+    }
+    return std::vector<uint64_t>{};
+  }
+
+  BaselineOptions options_;
+  std::string dir_;
+  geo::Mbr extent_ = geo::Mbr::World();
+  std::set<int> slices_;
+};
+
+/// SpatialHadoop look-alike [Eldawy & Mokbel, ICDE 2015]: grid-partitioned
+/// files, spatial range + k-NN, no time dimension.
+class SpatialHadoopLike : public HadoopLikeBase {
+ public:
+  explicit SpatialHadoopLike(const BaselineOptions& options)
+      : HadoopLikeBase(options, "spatialhadoop") {
+    traits_ = {"SpatialHadoop", "Hadoop", /*scalable=*/true, /*sql=*/true,
+               /*data_update=*/false, /*data_processing=*/false,
+               /*spatio_temporal=*/false, /*non_point=*/false, /*knn=*/true};
+  }
+
+  const SystemTraits& traits() const override { return traits_; }
+
+  Status BuildIndex(const std::vector<BaselineRecord>& records) override {
+    return WritePartitions(records, [](const BaselineRecord&) { return 0; });
+  }
+
+  Result<std::vector<uint64_t>> SpatialRange(const geo::Mbr& box) override {
+    return RunSpatialJob(box, slices_, 0, 0, /*check_time=*/false);
+  }
+
+  Result<std::vector<uint64_t>> StRange(const geo::Mbr&, TimestampMs,
+                                        TimestampMs) override {
+    return Status::NotSupported("SpatialHadoop does not index time");
+  }
+
+  Result<std::vector<uint64_t>> Knn(const geo::Point& q, int k) override {
+    return KnnByExpandingJobs(q, k);
+  }
+
+ private:
+  SystemTraits traits_;
+};
+
+/// ST-Hadoop look-alike [Alarabi et al.]: SpatialHadoop plus temporal
+/// slicing (per-day partitions). Historical inserts fail — the slice layout
+/// is fixed at load time (Table I: data update "Limited").
+class StHadoopLike : public HadoopLikeBase {
+ public:
+  explicit StHadoopLike(const BaselineOptions& options)
+      : HadoopLikeBase(options, "sthadoop") {
+    traits_ = {"ST-Hadoop", "Hadoop", /*scalable=*/true, /*sql=*/true,
+               /*data_update=*/false, /*data_processing=*/false,
+               /*spatio_temporal=*/true, /*non_point=*/false, /*knn=*/true};
+  }
+
+  const SystemTraits& traits() const override { return traits_; }
+
+  Status BuildIndex(const std::vector<BaselineRecord>& records) override {
+    return WritePartitions(records, [](const BaselineRecord& r) {
+      return static_cast<int>(TimePeriodNumber(r.t_min, kMillisPerDay) %
+                              100000);
+    });
+  }
+
+  Result<std::vector<uint64_t>> SpatialRange(const geo::Mbr& box) override {
+    return RunSpatialJob(box, slices_, 0, 0, /*check_time=*/false);
+  }
+
+  Result<std::vector<uint64_t>> StRange(const geo::Mbr& box,
+                                        TimestampMs t_min,
+                                        TimestampMs t_max) override {
+    std::set<int> qualified;
+    int64_t first = TimePeriodNumber(t_min, kMillisPerDay) % 100000;
+    int64_t last = TimePeriodNumber(t_max, kMillisPerDay) % 100000;
+    for (int slice : slices_) {
+      if (slice >= first && slice <= last) qualified.insert(slice);
+    }
+    return RunSpatialJob(box, qualified, t_min, t_max, /*check_time=*/true);
+  }
+
+  Result<std::vector<uint64_t>> Knn(const geo::Point& q, int k) override {
+    return KnnByExpandingJobs(q, k);
+  }
+
+ private:
+  SystemTraits traits_;
+};
+
+}  // namespace
+
+namespace internal {
+std::unique_ptr<BaselineSystem> MakeSparkLike(const std::string& name,
+                                              const BaselineOptions& options);
+}  // namespace internal
+
+std::vector<std::string> BaselineNames() {
+  return {"Simba",         "GeoSpark",      "SpatialSpark",
+          "LocationSpark", "SpatialHadoop", "ST-Hadoop"};
+}
+
+Result<std::unique_ptr<BaselineSystem>> MakeBaseline(
+    const std::string& name, const BaselineOptions& options) {
+  auto spark = internal::MakeSparkLike(name, options);
+  if (spark != nullptr) return spark;
+  if (name == "SpatialHadoop") {
+    return std::unique_ptr<BaselineSystem>(
+        std::make_unique<SpatialHadoopLike>(options));
+  }
+  if (name == "ST-Hadoop") {
+    return std::unique_ptr<BaselineSystem>(
+        std::make_unique<StHadoopLike>(options));
+  }
+  return Status::InvalidArgument("unknown baseline system: " + name);
+}
+
+}  // namespace just::baselines

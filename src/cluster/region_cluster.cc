@@ -1,0 +1,121 @@
+#include "cluster/region_cluster.h"
+
+#include <atomic>
+
+namespace just::cluster {
+
+Result<std::unique_ptr<RegionCluster>> RegionCluster::Open(
+    const ClusterOptions& options) {
+  if (options.num_servers < 1) {
+    return Status::InvalidArgument("cluster needs at least one server");
+  }
+  auto cluster = std::unique_ptr<RegionCluster>(new RegionCluster(options));
+  for (int i = 0; i < options.num_servers; ++i) {
+    kv::StoreOptions store_options = options.store;
+    store_options.dir = options.dir + "/rs" + std::to_string(i);
+    JUST_ASSIGN_OR_RETURN(auto store, kv::LsmStore::Open(store_options));
+    cluster->servers_.push_back(std::move(store));
+  }
+  return cluster;
+}
+
+int RegionCluster::ServerFor(std::string_view key) const {
+  if (key.empty()) return 0;
+  return static_cast<unsigned char>(key[0]) %
+         static_cast<int>(servers_.size());
+}
+
+Status RegionCluster::Put(std::string_view key, std::string_view value) {
+  return servers_[ServerFor(key)]->Put(key, value);
+}
+
+Status RegionCluster::Delete(std::string_view key) {
+  return servers_[ServerFor(key)]->Delete(key);
+}
+
+Status RegionCluster::Get(std::string_view key, std::string* value) const {
+  return servers_[ServerFor(key)]->Get(key, value);
+}
+
+Result<std::vector<RegionCluster::RangeResult>> RegionCluster::ParallelScan(
+    const std::vector<curve::KeyRange>& ranges) const {
+  std::vector<RangeResult> results(ranges.size());
+  std::atomic<bool> failed{false};
+  DefaultPool().ParallelFor(ranges.size(), [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const curve::KeyRange& range = ranges[i];
+    results[i].contained = range.contained;
+    // A range produced by the index strategies stays inside one shard byte,
+    // hence one server. Guard against cross-shard ranges anyway.
+    int first = ServerFor(range.start);
+    int last = range.end.empty() ? num_servers() - 1 : ServerFor(range.end);
+    if (last < first) last = num_servers() - 1;
+    for (int server = first; server <= last; ++server) {
+      Status st = servers_[server]->Scan(
+          range.start, range.end,
+          [&](std::string_view key, std::string_view value) {
+            results[i].rows.push_back(
+                Row{std::string(key), std::string(value)});
+            return true;
+          });
+      if (!st.ok()) {
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  if (failed.load()) return Status::Internal("parallel scan failed");
+  return results;
+}
+
+Status RegionCluster::Scan(
+    std::string_view start, std::string_view end,
+    const std::function<bool(std::string_view, std::string_view)>& fn) const {
+  // Keys are partitioned by shard byte, so a full-order merge across servers
+  // is only needed when the range spans shards; scan shard by shard (the
+  // global order across shard bytes is preserved because routing is by the
+  // first byte and servers see disjoint byte prefixes... only when
+  // num_servers >= 256; in general this yields per-shard ordered output,
+  // which all internal callers accept).
+  for (const auto& server : servers_) {
+    bool stop = false;
+    Status st = server->Scan(start, end,
+                             [&](std::string_view k, std::string_view v) {
+                               if (!fn(k, v)) {
+                                 stop = true;
+                                 return false;
+                               }
+                               return true;
+                             });
+    JUST_RETURN_NOT_OK(st);
+    if (stop) break;
+  }
+  return Status::OK();
+}
+
+Status RegionCluster::FlushAll() {
+  for (const auto& server : servers_) {
+    JUST_RETURN_NOT_OK(server->Flush());
+  }
+  return Status::OK();
+}
+
+Status RegionCluster::CompactAll() {
+  for (const auto& server : servers_) {
+    JUST_RETURN_NOT_OK(server->CompactAll());
+  }
+  return Status::OK();
+}
+
+RegionCluster::Stats RegionCluster::GetStats() const {
+  Stats stats;
+  for (const auto& server : servers_) {
+    kv::LsmStore::Stats s = server->GetStats();
+    stats.disk_bytes += s.disk_bytes;
+    stats.entries += s.sstable_entries + s.memtable_entries;
+    stats.num_sstables += s.num_sstables;
+  }
+  return stats;
+}
+
+}  // namespace just::cluster

@@ -1,0 +1,298 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace just {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  static const JsonValue* kNull = new JsonValue();
+  auto it = object_.find(key);
+  return it == object_.end() ? *kNull : it->second;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& def) const {
+  const JsonValue& v = Get(key);
+  return v.is_string() ? v.string_value() : def;
+}
+
+namespace {
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    JUST_RETURN_NOT_OK(ParseValue(&v));
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("trailing JSON content at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Match(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return Status::InvalidArgument("unexpected end");
+    char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"' || c == '\'') return ParseString(out);
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    SkipWs();
+    if (Match('}')) {
+      *out = JsonValue::Object(std::move(members));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue key;
+      JUST_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (!Match(':')) return Status::InvalidArgument("expected ':'");
+      JsonValue value;
+      JUST_RETURN_NOT_OK(ParseValue(&value));
+      members[key.string_value()] = std::move(value);
+      SkipWs();
+      if (Match(',')) continue;
+      if (Match('}')) break;
+      return Status::InvalidArgument("expected ',' or '}'");
+    }
+    *out = JsonValue::Object(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Match(']')) {
+      *out = JsonValue::Array(std::move(items));
+      return Status::OK();
+    }
+    for (;;) {
+      JsonValue v;
+      JUST_RETURN_NOT_OK(ParseValue(&v));
+      items.push_back(std::move(v));
+      SkipWs();
+      if (Match(',')) continue;
+      if (Match(']')) break;
+      return Status::InvalidArgument("expected ',' or ']'");
+    }
+    *out = JsonValue::Array(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseString(JsonValue* out) {
+    if (pos_ >= s_.size() || (s_[pos_] != '"' && s_[pos_] != '\'')) {
+      return Status::InvalidArgument("expected string");
+    }
+    char quote = s_[pos_++];
+    std::string value;
+    while (pos_ < s_.size() && s_[pos_] != quote) {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case 'r':
+            value += '\r';
+            break;
+          default:
+            value += e;
+        }
+      } else {
+        value += c;
+      }
+    }
+    if (pos_ >= s_.size()) return Status::InvalidArgument("unclosed string");
+    ++pos_;  // closing quote
+    *out = JsonValue::String(std::move(value));
+    return Status::OK();
+  }
+
+  Status ParseBool(JsonValue* out) {
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = JsonValue::Bool(true);
+      return Status::OK();
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = JsonValue::Bool(false);
+      return Status::OK();
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = JsonValue::Null();
+      return Status::OK();
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("expected number");
+    char* end = nullptr;
+    std::string token = s_.substr(start, pos_ - start);
+    double d = std::strtod(token.c_str(), &end);
+    if (end == token.c_str()) return Status::InvalidArgument("bad number");
+    *out = JsonValue::Number(d);
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::ToString() const {
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kNumber: {
+      char buf[32];
+      if (number_ == static_cast<int64_t>(number_)) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      }
+      return buf;
+    }
+    case Type::kString:
+      return EscapeString(string_);
+    case Type::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ",";
+        out += array_[i].ToString();
+      }
+      return out + "]";
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ",";
+        first = false;
+        out += EscapeString(k) + ":" + v.ToString();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  Parser p(text);
+  return p.Parse();
+}
+
+}  // namespace just

@@ -1,0 +1,65 @@
+#ifndef JUST_COMMON_JSON_H_
+#define JUST_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace just {
+
+/// Minimal JSON value, enough for the paper's USERDATA / CONFIG hints
+/// (e.g. {'geomesa.indices.enabled':'z3'}). Accepts single- or double-quoted
+/// strings since JustQL examples in the paper use single quotes.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::map<std::string, JsonValue>& object_members() const {
+    return object_;
+  }
+
+  /// Object lookup; returns null value when absent.
+  const JsonValue& Get(const std::string& key) const;
+
+  /// Convenience: string member with default.
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const;
+
+  std::string ToString() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a JSON document. Single-quoted strings are accepted.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace just
+
+#endif  // JUST_COMMON_JSON_H_

@@ -1,0 +1,111 @@
+#ifndef JUST_COMMON_LRU_CACHE_H_
+#define JUST_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace just {
+
+/// Thread-safe LRU cache with byte-size-based capacity accounting. Used as
+/// the block cache of the LSM store (the role HBase's BlockCache plays).
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Inserts (or replaces) an entry whose accounted size is `charge` bytes.
+  void Insert(const K& key, std::shared_ptr<V> value, size_t charge) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      usage_ -= it->second->charge;
+      lru_.erase(it->second->iter);
+      map_.erase(it);
+    }
+    lru_.push_front(key);
+    auto entry = std::make_unique<Entry>();
+    entry->value = std::move(value);
+    entry->charge = charge;
+    entry->iter = lru_.begin();
+    map_.emplace(key, std::move(entry));
+    usage_ += charge;
+    EvictLocked();
+  }
+
+  /// Returns the cached value or nullptr; promotes on hit.
+  std::shared_ptr<V> Lookup(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second->iter);
+    it->second->iter = lru_.begin();
+    return it->second->value;
+  }
+
+  void Erase(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    usage_ -= it->second->charge;
+    lru_.erase(it->second->iter);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+    usage_ = 0;
+  }
+
+  size_t usage() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return usage_;
+  }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<V> value;
+    size_t charge = 0;
+    typename std::list<K>::iterator iter;
+  };
+
+  void EvictLocked() {
+    while (usage_ > capacity_ && !lru_.empty()) {
+      const K& victim = lru_.back();
+      auto it = map_.find(victim);
+      usage_ -= it->second->charge;
+      map_.erase(it);
+      lru_.pop_back();
+    }
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<K> lru_;
+  std::unordered_map<K, std::unique_ptr<Entry>> map_;
+  size_t usage_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace just
+
+#endif  // JUST_COMMON_LRU_CACHE_H_

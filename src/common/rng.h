@@ -1,0 +1,57 @@
+#ifndef JUST_COMMON_RNG_H_
+#define JUST_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace just {
+
+/// Deterministic, fast PRNG (splitmix64 seeding + xorshift128+ stream) so
+/// workload generators and benches are reproducible across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 to derive two non-zero state words.
+    auto next = [&seed] {
+      uint64_t z = (seed += 0x9E3779B97F4A7C15ull);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s0_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller (one value per call; cheap enough).
+  double NextGaussian();
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace just
+
+#endif  // JUST_COMMON_RNG_H_

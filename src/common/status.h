@@ -1,0 +1,131 @@
+#ifndef JUST_COMMON_STATUS_H_
+#define JUST_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace just {
+
+/// Error codes used across the engine. Mirrors the usual database-engine
+/// status taxonomy (Arrow / RocksDB style): no exceptions on hot paths.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,  ///< e.g. a baseline system running out of memory.
+  kPermissionDenied,
+  kInternal,
+};
+
+/// Lightweight status object: an `kOk` status carries no allocation.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// Human-readable rendering, e.g. "IOError: no such file".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status (never both).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}             // NOLINT
+  Result(Status status) : value_(std::move(status)) {}      // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define JUST_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::just::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Evaluates a Result<T> expression, assigning the value or returning the
+/// error. Usage: JUST_ASSIGN_OR_RETURN(auto v, MakeV());
+#define JUST_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define JUST_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define JUST_ASSIGN_OR_RETURN_NAME(a, b) JUST_ASSIGN_OR_RETURN_CAT(a, b)
+#define JUST_ASSIGN_OR_RETURN(lhs, expr) \
+  JUST_ASSIGN_OR_RETURN_IMPL(            \
+      JUST_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace just
+
+#endif  // JUST_COMMON_STATUS_H_

@@ -1,0 +1,94 @@
+#include "common/time_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace just {
+
+int64_t TimePeriodNumber(TimestampMs t, int64_t period_len_ms) {
+  int64_t q = t / period_len_ms;
+  if (t % period_len_ms != 0 && t < 0) --q;  // floor division
+  return q;
+}
+
+TimestampMs TimePeriodStart(int64_t num, int64_t period_len_ms) {
+  return num * period_len_ms;
+}
+
+namespace {
+// Days since epoch for a civil date (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 +
+         static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+}  // namespace
+
+Result<TimestampMs> ParseTimestamp(const std::string& text) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  int n = std::sscanf(text.c_str(), "%d-%d-%d", &y, &mo, &d);
+  if (n != 3) {
+    return Status::InvalidArgument("bad timestamp: " + text);
+  }
+  size_t time_pos = text.find_first_of("T ");
+  if (time_pos != std::string::npos) {
+    int tn = std::sscanf(text.c_str() + time_pos + 1, "%d:%d:%d", &h, &mi, &s);
+    if (tn < 2) {
+      return Status::InvalidArgument("bad time-of-day in: " + text);
+    }
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
+      mi > 59 || s < 0 || s > 60) {
+    return Status::InvalidArgument("timestamp out of range: " + text);
+  }
+  int64_t days = DaysFromCivil(y, static_cast<unsigned>(mo),
+                               static_cast<unsigned>(d));
+  return TimestampMs{(days * 86400 + h * 3600 + mi * 60 + s) *
+                     kMillisPerSecond};
+}
+
+std::string FormatTimestamp(TimestampMs t) {
+  int64_t secs = t / kMillisPerSecond;
+  if (t % kMillisPerSecond != 0 && t < 0) --secs;
+  int64_t days = secs / 86400;
+  int64_t sod = secs % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    --days;
+  }
+  int y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02lld:%02lld:%02lld", y, m,
+                d, static_cast<long long>(sod / 3600),
+                static_cast<long long>((sod % 3600) / 60),
+                static_cast<long long>(sod % 60));
+  return buf;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace just

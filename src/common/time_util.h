@@ -1,0 +1,44 @@
+#ifndef JUST_COMMON_TIME_UTIL_H_
+#define JUST_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace just {
+
+/// Timestamps are milliseconds since the Unix epoch (UTC), matching the
+/// paper's RefTime = 1970-01-01T00:00:00Z in Eq. (1).
+using TimestampMs = int64_t;
+
+constexpr int64_t kMillisPerSecond = 1000;
+constexpr int64_t kMillisPerMinute = 60 * kMillisPerSecond;
+constexpr int64_t kMillisPerHour = 60 * kMillisPerMinute;
+constexpr int64_t kMillisPerDay = 24 * kMillisPerHour;
+constexpr int64_t kMillisPerWeek = 7 * kMillisPerDay;
+/// GeoMesa-style "month" and "year" periods are fixed-width bins (the curve
+/// only needs disjoint, monotone periods, not calendar alignment).
+constexpr int64_t kMillisPerMonth = 30 * kMillisPerDay;
+constexpr int64_t kMillisPerYear = 365 * kMillisPerDay;
+constexpr int64_t kMillisPerCentury = 100 * kMillisPerYear;
+
+/// The paper's Eq. (1): Num(t) = floor((t - RefTime) / TimePeriodLen),
+/// with RefTime = 0 (epoch). Handles negative t with floor semantics.
+int64_t TimePeriodNumber(TimestampMs t, int64_t period_len_ms);
+
+/// Start timestamp of period number `num`.
+TimestampMs TimePeriodStart(int64_t num, int64_t period_len_ms);
+
+/// Parses "YYYY-MM-DD[ HH:MM:SS]" or "YYYY-MM-DDTHH:MM:SS[Z]" as UTC.
+Result<TimestampMs> ParseTimestamp(const std::string& text);
+
+/// Formats as "YYYY-MM-DD HH:MM:SS" (UTC).
+std::string FormatTimestamp(TimestampMs t);
+
+/// Monotonic wall-clock now, in nanoseconds (for measuring latencies).
+int64_t NowNanos();
+
+}  // namespace just
+
+#endif  // JUST_COMMON_TIME_UTIL_H_

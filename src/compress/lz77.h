@@ -1,0 +1,26 @@
+#ifndef JUST_COMPRESS_LZ77_H_
+#define JUST_COMPRESS_LZ77_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace just::compress {
+
+/// A from-scratch LZ77 compressor with a 32 KiB sliding window and
+/// hash-chain match finding — the DEFLATE family's dictionary stage, which
+/// supplies the bulk of gzip's ratio on structured data. Token stream:
+/// groups of up to 8 tokens preceded by a flag byte (bit i set = token i is
+/// a match). Literal token: 1 raw byte. Match token: 2-byte little-endian
+/// offset (1..32768) + 1-byte length (3..258 encoded as len-3).
+std::string Lz77Compress(std::string_view raw);
+
+/// Decompresses; `raw_size` (from the cell framing) bounds the output and is
+/// verified.
+Result<std::string> Lz77Decompress(std::string_view compressed,
+                                   size_t raw_size);
+
+}  // namespace just::compress
+
+#endif  // JUST_COMPRESS_LZ77_H_

@@ -1,0 +1,289 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "core/plugins.h"
+
+namespace just::core {
+
+namespace {
+std::string ViewKey(const std::string& user, const std::string& name) {
+  return user + "." + name;
+}
+}  // namespace
+
+Result<std::unique_ptr<JustEngine>> JustEngine::Open(
+    const EngineOptions& options) {
+  auto engine = std::unique_ptr<JustEngine>(new JustEngine(options));
+  engine->options_.index.num_shards = options.num_shards;
+  JUST_ASSIGN_OR_RETURN(
+      engine->catalog_, meta::Catalog::Open(options.data_dir + "/catalog.jsonl"));
+  cluster::ClusterOptions cluster_options;
+  cluster_options.dir = options.data_dir + "/cluster";
+  cluster_options.num_servers = options.num_servers;
+  cluster_options.store = options.store;
+  JUST_ASSIGN_OR_RETURN(engine->cluster_,
+                        cluster::RegionCluster::Open(cluster_options));
+  return engine;
+}
+
+void JustEngine::ApplyDefaultIndexes(meta::TableMeta* table) {
+  if (!table->indexes.empty()) return;
+  // Section V-C: by default JUST builds Z2 (point) or XZ2 (non-point) for
+  // spatial data, plus Z2T/XZ2T when a time column exists.
+  bool has_time = !table->time_column.empty();
+  bool extent = false;
+  int geom_idx = table->ColumnIndex(table->geom_column);
+  if (geom_idx >= 0 &&
+      table->columns[geom_idx].type == exec::DataType::kTrajectory) {
+    extent = true;
+  }
+  if (extent) {
+    table->indexes.push_back({curve::IndexType::kXz2, kMillisPerDay});
+    if (has_time) {
+      table->indexes.push_back({curve::IndexType::kXz2T, kMillisPerDay});
+    }
+  } else {
+    table->indexes.push_back({curve::IndexType::kZ2, kMillisPerDay});
+    if (has_time) {
+      table->indexes.push_back({curve::IndexType::kZ2T, kMillisPerDay});
+    }
+  }
+}
+
+Status JustEngine::CreateTable(meta::TableMeta table) {
+  if (table.user.empty() || table.name.empty()) {
+    return Status::InvalidArgument("table needs user and name");
+  }
+  if (table.columns.empty()) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  // Infer special columns when unset.
+  if (table.fid_column.empty()) {
+    for (const auto& col : table.columns) {
+      if (col.primary_key) {
+        table.fid_column = col.name;
+        break;
+      }
+    }
+  }
+  if (table.geom_column.empty()) {
+    for (const auto& col : table.columns) {
+      if (col.type == exec::DataType::kGeometry ||
+          col.type == exec::DataType::kTrajectory) {
+        table.geom_column = col.name;
+        break;
+      }
+    }
+  }
+  if (table.time_column.empty()) {
+    for (const auto& col : table.columns) {
+      if (col.type == exec::DataType::kTimestamp) {
+        table.time_column = col.name;
+        break;
+      }
+    }
+  }
+  ApplyDefaultIndexes(&table);
+  return catalog_->CreateTable(&table);
+}
+
+Status JustEngine::CreatePluginTable(const std::string& user,
+                                     const std::string& name,
+                                     const std::string& plugin) {
+  JUST_ASSIGN_OR_RETURN(auto table, MakePluginTable(plugin, user, name));
+  return catalog_->CreateTable(&table);
+}
+
+Status JustEngine::DropTable(const std::string& user,
+                             const std::string& name) {
+  JUST_ASSIGN_OR_RETURN(auto table_meta, catalog_->GetTable(user, name));
+  JUST_RETURN_NOT_OK(catalog_->DropTable(user, name));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    table_cache_.erase(ViewKey(user, name));
+  }
+  // Delete the table's key spaces. Ranges: per shard x index slot prefix.
+  curve::IndexOptions index_options = options_.index;
+  StTable table(table_meta, cluster_.get(), index_options);
+  std::vector<std::string> doomed;
+  size_t total_slots = table_meta.indexes.size() +
+                       table_meta.attr_indexes.size();
+  for (size_t slot = 0; slot < total_slots; ++slot) {
+    for (int shard = 0; shard < index_options.num_shards; ++shard) {
+      std::string start(1, static_cast<char>(shard));
+      start += table.IndexPrefix(slot);
+      std::string end(1, static_cast<char>(shard));
+      std::string end_prefix = table.IndexPrefix(slot);
+      end_prefix.back() = static_cast<char>(end_prefix.back() + 1);
+      end += end_prefix;
+      JUST_RETURN_NOT_OK(cluster_->Scan(
+          start, end, [&](std::string_view key, std::string_view) {
+            doomed.emplace_back(key);
+            return true;
+          }));
+    }
+  }
+  for (const std::string& key : doomed) {
+    JUST_RETURN_NOT_OK(cluster_->Delete(key));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> JustEngine::ShowTables(const std::string& user) const {
+  std::vector<std::string> names;
+  for (const auto& table : catalog_->ListTables(user)) {
+    names.push_back(table.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<meta::TableMeta> JustEngine::DescribeTable(
+    const std::string& user, const std::string& name) const {
+  return catalog_->GetTable(user, name);
+}
+
+Result<std::shared_ptr<StTable>> JustEngine::GetTable(
+    const std::string& user, const std::string& name) {
+  std::string key = ViewKey(user, name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_cache_.find(key);
+    if (it != table_cache_.end()) return it->second;
+  }
+  JUST_ASSIGN_OR_RETURN(auto table_meta, catalog_->GetTable(user, name));
+  auto table = std::make_shared<StTable>(std::move(table_meta),
+                                         cluster_.get(), options_.index);
+  std::lock_guard<std::mutex> lock(mu_);
+  table_cache_[key] = table;
+  return table;
+}
+
+Status JustEngine::Insert(const std::string& user, const std::string& table,
+                          const exec::Row& row) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->Insert(row);
+}
+
+Status JustEngine::InsertBatch(const std::string& user,
+                               const std::string& table,
+                               const std::vector<exec::Row>& rows) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  for (const exec::Row& row : rows) {
+    JUST_RETURN_NOT_OK(bound->Insert(row));
+  }
+  return Status::OK();
+}
+
+Result<exec::DataFrame> JustEngine::SpatialRangeQuery(const std::string& user,
+                                                      const std::string& table,
+                                                      const geo::Mbr& box,
+                                                      QueryStats* stats) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->SpatialRangeQuery(box, stats);
+}
+
+Result<exec::DataFrame> JustEngine::StRangeQuery(
+    const std::string& user, const std::string& table, const geo::Mbr& box,
+    TimestampMs t_min, TimestampMs t_max, QueryStats* stats) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->StRangeQuery(box, t_min, t_max, stats);
+}
+
+Result<exec::DataFrame> JustEngine::KnnQuery(const std::string& user,
+                                             const std::string& table,
+                                             const geo::Point& q, int k,
+                                             QueryStats* stats) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->KnnQuery(q, k, stats);
+}
+
+Result<exec::DataFrame> JustEngine::FullScan(const std::string& user,
+                                             const std::string& table) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->FullScan();
+}
+
+Result<exec::DataFrame> JustEngine::AttributeQuery(const std::string& user,
+                                                   const std::string& table,
+                                                   const std::string& column,
+                                                   const exec::Value& value,
+                                                   QueryStats* stats) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->AttributeQuery(column, value, stats);
+}
+
+Result<std::unique_ptr<ResultSet>> JustEngine::MakeResultSet(
+    exec::DataFrame frame) {
+  return ResultSet::Make(std::move(frame), options_.result_options);
+}
+
+Status JustEngine::CreateView(const std::string& user, const std::string& name,
+                              exec::DataFrame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  views_[ViewKey(user, name)] = std::move(frame);
+  return Status::OK();
+}
+
+Result<exec::DataFrame> JustEngine::GetView(const std::string& user,
+                                            const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = views_.find(ViewKey(user, name));
+  if (it == views_.end()) return Status::NotFound("no such view: " + name);
+  return it->second;
+}
+
+Status JustEngine::DropView(const std::string& user, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (views_.erase(ViewKey(user, name)) == 0) {
+    return Status::NotFound("no such view: " + name);
+  }
+  return Status::OK();
+}
+
+bool JustEngine::ViewExists(const std::string& user,
+                            const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.count(ViewKey(user, name)) != 0;
+}
+
+std::vector<std::string> JustEngine::ShowViews(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  std::string prefix = user + ".";
+  for (const auto& [key, frame] : views_) {
+    if (key.rfind(prefix, 0) == 0) names.push_back(key.substr(prefix.size()));
+  }
+  return names;
+}
+
+Status JustEngine::StoreViewToTable(const std::string& user,
+                                    const std::string& view,
+                                    const std::string& table) {
+  JUST_ASSIGN_OR_RETURN(auto frame, GetView(user, view));
+  if (!catalog_->TableExists(user, table)) {
+    // Auto-create a common table mirroring the view schema (Section IV-D).
+    meta::TableMeta table_meta;
+    table_meta.user = user;
+    table_meta.name = table;
+    for (const exec::Field& f : frame.schema().fields()) {
+      table_meta.columns.push_back(
+          meta::ColumnDef{f.name, f.type, false, "", ""});
+    }
+    JUST_RETURN_NOT_OK(CreateTable(std::move(table_meta)));
+  }
+  return InsertBatch(user, table, frame.rows());
+}
+
+Status JustEngine::Finalize() {
+  JUST_RETURN_NOT_OK(cluster_->FlushAll());
+  return cluster_->CompactAll();
+}
+
+JustEngine::StorageStats JustEngine::GetStorageStats() const {
+  auto stats = cluster_->GetStats();
+  return StorageStats{stats.disk_bytes, stats.entries};
+}
+
+}  // namespace just::core

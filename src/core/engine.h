@@ -1,0 +1,144 @@
+#ifndef JUST_CORE_ENGINE_H_
+#define JUST_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/region_cluster.h"
+#include "common/status.h"
+#include "core/result_set.h"
+#include "core/table.h"
+#include "exec/dataframe.h"
+#include "meta/catalog.h"
+
+namespace just::core {
+
+struct EngineOptions {
+  std::string data_dir;  ///< root directory (catalog + region servers)
+  int num_servers = 4;   ///< region servers in the simulated cluster
+  int num_shards = 8;    ///< key shard prefixes (>= num_servers for balance)
+  kv::StoreOptions store;             ///< per-region-server store options
+  curve::IndexOptions index;          ///< SFC resolutions, range budgets
+  ResultSet::Options result_options;  ///< direct-vs-spill thresholds
+};
+
+/// The JUST engine: one shared instance serves every user (the paper's
+/// shared Spark context, Section VII-A), with per-user namespaces isolating
+/// tables and views. This is the programmatic API that the JustQL layer and
+/// the SDK examples drive.
+class JustEngine {
+ public:
+  static Result<std::unique_ptr<JustEngine>> Open(const EngineOptions& options);
+
+  // --- Definition operations (Section V-A) ---
+
+  /// CREATE TABLE with explicit columns (common table). `table.user` and
+  /// `table.name` must be set; the engine fills defaults (indexes by column
+  /// kinds) when `table.indexes` is empty.
+  Status CreateTable(meta::TableMeta table);
+
+  /// CREATE TABLE <name> AS <plugin> (plugin table).
+  Status CreatePluginTable(const std::string& user, const std::string& name,
+                           const std::string& plugin);
+
+  /// DROP TABLE: removes catalog entry and deletes the key spaces.
+  Status DropTable(const std::string& user, const std::string& name);
+
+  /// SHOW TABLES (meta-table only; fast).
+  std::vector<std::string> ShowTables(const std::string& user) const;
+
+  /// DESC TABLE.
+  Result<meta::TableMeta> DescribeTable(const std::string& user,
+                                        const std::string& name) const;
+
+  // --- Manipulation operations (Section V-B) ---
+
+  Status Insert(const std::string& user, const std::string& table,
+                const exec::Row& row);
+  Status InsertBatch(const std::string& user, const std::string& table,
+                     const std::vector<exec::Row>& rows);
+
+  // --- Query operations (Section V-C) ---
+
+  Result<exec::DataFrame> SpatialRangeQuery(const std::string& user,
+                                            const std::string& table,
+                                            const geo::Mbr& box,
+                                            QueryStats* stats = nullptr);
+  Result<exec::DataFrame> StRangeQuery(const std::string& user,
+                                       const std::string& table,
+                                       const geo::Mbr& box, TimestampMs t_min,
+                                       TimestampMs t_max,
+                                       QueryStats* stats = nullptr);
+  Result<exec::DataFrame> KnnQuery(const std::string& user,
+                                   const std::string& table,
+                                   const geo::Point& q, int k,
+                                   QueryStats* stats = nullptr);
+  Result<exec::DataFrame> FullScan(const std::string& user,
+                                   const std::string& table);
+
+  /// Equality lookup via a secondary attribute index (Figure 1's Attribute
+  /// Indexing; configure columns with USERDATA {'just.attr.indexes':'col'}).
+  Result<exec::DataFrame> AttributeQuery(const std::string& user,
+                                         const std::string& table,
+                                         const std::string& column,
+                                         const exec::Value& value,
+                                         QueryStats* stats = nullptr);
+
+  /// Wraps a query result for cursor-style delivery.
+  Result<std::unique_ptr<ResultSet>> MakeResultSet(exec::DataFrame frame);
+
+  // --- View tables (Section IV-D) ---
+
+  Status CreateView(const std::string& user, const std::string& name,
+                    exec::DataFrame frame);
+  Result<exec::DataFrame> GetView(const std::string& user,
+                                  const std::string& name) const;
+  Status DropView(const std::string& user, const std::string& name);
+  std::vector<std::string> ShowViews(const std::string& user) const;
+  bool ViewExists(const std::string& user, const std::string& name) const;
+
+  /// STORE VIEW <view> TO TABLE <table>: persists a view, creating the
+  /// table automatically if needed (the paper's "one query, multiple
+  /// usages" flow).
+  Status StoreViewToTable(const std::string& user, const std::string& view,
+                          const std::string& table);
+
+  // --- Maintenance ---
+
+  /// Flushes memtables and compacts (bulk-load finalization).
+  Status Finalize();
+
+  struct StorageStats {
+    uint64_t disk_bytes = 0;
+    uint64_t entries = 0;
+  };
+  StorageStats GetStorageStats() const;
+
+  /// Resolves a bound table (for the SQL layer).
+  Result<std::shared_ptr<StTable>> GetTable(const std::string& user,
+                                            const std::string& name);
+
+  meta::Catalog* catalog() { return catalog_.get(); }
+  cluster::RegionCluster* cluster() { return cluster_.get(); }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  explicit JustEngine(EngineOptions options) : options_(std::move(options)) {}
+
+  static void ApplyDefaultIndexes(meta::TableMeta* table);
+
+  EngineOptions options_;
+  std::unique_ptr<meta::Catalog> catalog_;
+  std::unique_ptr<cluster::RegionCluster> cluster_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<StTable>> table_cache_;
+  std::map<std::string, exec::DataFrame> views_;
+};
+
+}  // namespace just::core
+
+#endif  // JUST_CORE_ENGINE_H_

@@ -1,0 +1,208 @@
+#include "core/loader.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace just::core {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (char c : line) {
+    if (c == '"') {
+      quoted = !quoted;
+    } else if (c == delimiter && !quoted) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+struct Expr {
+  std::string func;               // empty = plain column reference
+  std::vector<std::string> args;  // source column names
+};
+
+Expr ParseExpr(const std::string& text) {
+  Expr expr;
+  size_t open = text.find('(');
+  if (open == std::string::npos) {
+    expr.args.push_back(text);
+    return expr;
+  }
+  expr.func = text.substr(0, open);
+  size_t close = text.rfind(')');
+  std::string inner =
+      text.substr(open + 1, close == std::string::npos
+                                ? std::string::npos
+                                : close - open - 1);
+  std::string arg;
+  for (char c : inner) {
+    if (c == ',') {
+      expr.args.push_back(arg);
+      arg.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      arg += c;
+    }
+  }
+  if (!arg.empty()) expr.args.push_back(arg);
+  return expr;
+}
+
+Result<exec::Value> EvalExpr(const Expr& expr,
+                             const std::map<std::string, int>& source_index,
+                             const std::vector<std::string>& fields,
+                             exec::DataType target_type) {
+  auto field_of = [&](const std::string& name) -> Result<std::string> {
+    auto it = source_index.find(name);
+    if (it == source_index.end() ||
+        it->second >= static_cast<int>(fields.size())) {
+      return Status::InvalidArgument("no source field: " + name);
+    }
+    return fields[it->second];
+  };
+
+  if (expr.func.empty()) {
+    JUST_ASSIGN_OR_RETURN(std::string raw, field_of(expr.args[0]));
+    switch (target_type) {
+      case exec::DataType::kInt:
+        return exec::Value::Int(std::strtoll(raw.c_str(), nullptr, 10));
+      case exec::DataType::kDouble:
+        return exec::Value::Double(std::strtod(raw.c_str(), nullptr));
+      case exec::DataType::kBool:
+        return exec::Value::Bool(raw == "true" || raw == "1");
+      case exec::DataType::kTimestamp: {
+        JUST_ASSIGN_OR_RETURN(auto ts, ParseTimestamp(raw));
+        return exec::Value::Timestamp(ts);
+      }
+      case exec::DataType::kGeometry: {
+        JUST_ASSIGN_OR_RETURN(auto g, geo::Geometry::FromWkt(raw));
+        return exec::Value::GeometryVal(std::move(g));
+      }
+      default:
+        return exec::Value::String(std::move(raw));
+    }
+  }
+  if (expr.func == "long_to_date_ms") {
+    JUST_ASSIGN_OR_RETURN(std::string raw, field_of(expr.args[0]));
+    return exec::Value::Timestamp(std::strtoll(raw.c_str(), nullptr, 10));
+  }
+  if (expr.func == "parse_date") {
+    JUST_ASSIGN_OR_RETURN(std::string raw, field_of(expr.args[0]));
+    JUST_ASSIGN_OR_RETURN(auto ts, ParseTimestamp(raw));
+    return exec::Value::Timestamp(ts);
+  }
+  if (expr.func == "lng_lat_to_point") {
+    if (expr.args.size() != 2) {
+      return Status::InvalidArgument("lng_lat_to_point needs two fields");
+    }
+    JUST_ASSIGN_OR_RETURN(std::string lng_raw, field_of(expr.args[0]));
+    JUST_ASSIGN_OR_RETURN(std::string lat_raw, field_of(expr.args[1]));
+    return exec::Value::GeometryVal(geo::Geometry::MakePoint(
+        geo::Point{std::strtod(lng_raw.c_str(), nullptr),
+                   std::strtod(lat_raw.c_str(), nullptr)}));
+  }
+  if (expr.func == "wkt_to_geom") {
+    JUST_ASSIGN_OR_RETURN(std::string raw, field_of(expr.args[0]));
+    JUST_ASSIGN_OR_RETURN(auto g, geo::Geometry::FromWkt(raw));
+    return exec::Value::GeometryVal(std::move(g));
+  }
+  return Status::InvalidArgument("unknown load transform: " + expr.func);
+}
+
+}  // namespace
+
+Result<size_t> LoadCsv(JustEngine* engine, const std::string& user,
+                       const std::string& table, const std::string& path,
+                       const LoadConfig& config) {
+  JUST_ASSIGN_OR_RETURN(auto table_meta,
+                        engine->catalog()->GetTable(user, table));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open csv: " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string line = content.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(std::move(line));
+    pos = eol + 1;
+  }
+  if (lines.empty()) return size_t{0};
+
+  std::map<std::string, int> source_index;
+  size_t first_data = 0;
+  if (config.has_header) {
+    auto header = SplitCsvLine(lines[0], config.delimiter);
+    for (size_t i = 0; i < header.size(); ++i) {
+      source_index[header[i]] = static_cast<int>(i);
+    }
+    first_data = 1;
+  } else {
+    // Positional names c0, c1, ...
+    auto first = SplitCsvLine(lines[0], config.delimiter);
+    for (size_t i = 0; i < first.size(); ++i) {
+      source_index["c" + std::to_string(i)] = static_cast<int>(i);
+    }
+  }
+
+  // Pre-parse the mapping per table column.
+  std::vector<Expr> exprs(table_meta.columns.size());
+  for (size_t c = 0; c < table_meta.columns.size(); ++c) {
+    auto it = config.mapping.find(table_meta.columns[c].name);
+    if (it != config.mapping.end()) {
+      exprs[c] = ParseExpr(it->second);
+    } else {
+      exprs[c].args.push_back(table_meta.columns[c].name);  // same name
+    }
+  }
+
+  size_t loaded = 0;
+  std::vector<exec::Row> batch;
+  for (size_t li = first_data; li < lines.size(); ++li) {
+    if (config.limit >= 0 && static_cast<long>(loaded) >= config.limit) break;
+    auto fields = SplitCsvLine(lines[li], config.delimiter);
+    exec::Row row;
+    row.reserve(table_meta.columns.size());
+    Status row_status = Status::OK();
+    for (size_t c = 0; c < table_meta.columns.size(); ++c) {
+      auto value = EvalExpr(exprs[c], source_index, fields,
+                            table_meta.columns[c].type);
+      if (!value.ok()) {
+        row_status = value.status();
+        break;
+      }
+      row.push_back(std::move(value).value());
+    }
+    if (!row_status.ok()) return row_status;
+    batch.push_back(std::move(row));
+    ++loaded;
+    if (batch.size() >= 1024) {
+      JUST_RETURN_NOT_OK(engine->InsertBatch(user, table, batch));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    JUST_RETURN_NOT_OK(engine->InsertBatch(user, table, batch));
+  }
+  return loaded;
+}
+
+}  // namespace just::core

@@ -1,0 +1,33 @@
+#ifndef JUST_CORE_LOADER_H_
+#define JUST_CORE_LOADER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace just::core {
+
+/// LOAD ... TO ... CONFIG {...} (Section V-B): maps source fields to table
+/// columns, with the preset transform functions the paper lists:
+///   - plain column reference:          'fid': 'trajId'
+///   - epoch millis to date:            'time': 'long_to_date_ms(ts)'
+///   - date text to date:               'time': 'parse_date(ts)'
+///   - split coordinates to a point:    'geom': 'lng_lat_to_point(lng, lat)'
+///   - WKT text to geometry:            'geom': 'wkt_to_geom(shape)'
+struct LoadConfig {
+  std::map<std::string, std::string> mapping;  ///< table column -> expr
+  char delimiter = ',';
+  bool has_header = true;
+  long limit = -1;  ///< FILTER '... limit N' simplification; -1 = all
+};
+
+/// Loads a CSV file into an existing table; returns rows loaded.
+Result<size_t> LoadCsv(JustEngine* engine, const std::string& user,
+                       const std::string& table, const std::string& path,
+                       const LoadConfig& config);
+
+}  // namespace just::core
+
+#endif  // JUST_CORE_LOADER_H_

@@ -1,0 +1,54 @@
+#include "core/plugins.h"
+
+namespace just::core {
+
+bool IsKnownPlugin(const std::string& plugin_name) {
+  return plugin_name == "trajectory" || plugin_name == "point_series";
+}
+
+Result<meta::TableMeta> MakePluginTable(const std::string& plugin_name,
+                                        const std::string& user,
+                                        const std::string& table_name) {
+  meta::TableMeta table;
+  table.user = user;
+  table.name = table_name;
+  table.kind = meta::TableKind::kPlugin;
+  table.plugin = plugin_name;
+  if (plugin_name == "trajectory") {
+    table.columns = {
+        {"tid", exec::DataType::kString, /*primary_key=*/true, "", ""},
+        {"oid", exec::DataType::kString, false, "", ""},
+        {"start_time", exec::DataType::kTimestamp, false, "", ""},
+        {"end_time", exec::DataType::kTimestamp, false, "", ""},
+        {"item", exec::DataType::kTrajectory, false, "", "gzip"},
+    };
+    table.fid_column = "tid";
+    table.geom_column = "item";   // the MBR comes from the GPS list
+    table.time_column = "start_time";
+    table.indexes = {
+        {curve::IndexType::kXz2, kMillisPerDay},
+        {curve::IndexType::kXz2T, kMillisPerDay},
+    };
+    return table;
+  }
+  if (plugin_name == "point_series") {
+    // A timestamped point-event table (the Order dataset's shape,
+    // Table III): Z2 + Z2T on the point and event time.
+    table.columns = {
+        {"fid", exec::DataType::kString, /*primary_key=*/true, "", ""},
+        {"time", exec::DataType::kTimestamp, false, "", ""},
+        {"geom", exec::DataType::kGeometry, false, "4326", ""},
+    };
+    table.fid_column = "fid";
+    table.geom_column = "geom";
+    table.time_column = "time";
+    table.indexes = {
+        {curve::IndexType::kZ2, kMillisPerDay},
+        {curve::IndexType::kZ2T, kMillisPerDay},
+    };
+    return table;
+  }
+  return Status::InvalidArgument("unknown plugin table type: " + plugin_name);
+}
+
+}  // namespace just::core

@@ -1,0 +1,28 @@
+#ifndef JUST_CORE_PLUGINS_H_
+#define JUST_CORE_PLUGINS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "meta/catalog.h"
+
+namespace just::core {
+
+/// Plugin tables (Section IV-D) predefine the storage schema and default
+/// indexes of a data structure so users "reuse the codes to the maximum
+/// extent". The implicit `item` field carries the complete entity.
+///
+/// The preset "trajectory" plugin matches Figure 6: trajectory id, moving
+/// object id, start/end times, and the GPS list (st_series, gzip-compressed
+/// by default), indexed by XZ2 (spatial) and XZ2T (spatio-temporal) on the
+/// MBR and start time — the Traj storage settings of Table III.
+Result<meta::TableMeta> MakePluginTable(const std::string& plugin_name,
+                                        const std::string& user,
+                                        const std::string& table_name);
+
+/// True if `plugin_name` is a known plugin ("trajectory", "point_series").
+bool IsKnownPlugin(const std::string& plugin_name);
+
+}  // namespace just::core
+
+#endif  // JUST_CORE_PLUGINS_H_

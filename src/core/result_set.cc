@@ -1,0 +1,129 @@
+#include "core/result_set.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/bytes.h"
+
+namespace just::core {
+
+namespace {
+std::atomic<uint64_t> g_spill_counter{0};
+
+Status WriteChunk(const std::string& path, const exec::Row* rows,
+                  size_t count) {
+  std::string buffer;
+  PutVarint64(&buffer, count);
+  for (size_t i = 0; i < count; ++i) {
+    PutVarint64(&buffer, rows[i].size());
+    for (const exec::Value& v : rows[i]) v.SerializeTo(&buffer);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create chunk " + path);
+  size_t written = std::fwrite(buffer.data(), 1, buffer.size(), f);
+  if (std::fclose(f) != 0 || written != buffer.size()) {
+    return Status::IOError("chunk write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<exec::Row>> ReadChunk(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open chunk " + path);
+  std::string buffer;
+  char tmp[1 << 16];
+  size_t n;
+  while ((n = std::fread(tmp, 1, sizeof(tmp), f)) > 0) buffer.append(tmp, n);
+  std::fclose(f);
+  const char* p = buffer.data();
+  const char* limit = p + buffer.size();
+  uint64_t count;
+  if (!GetVarint64(&p, limit, &count)) {
+    return Status::Corruption("bad chunk header");
+  }
+  std::vector<exec::Row> rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t width;
+    if (!GetVarint64(&p, limit, &width)) {
+      return Status::Corruption("bad chunk row");
+    }
+    exec::Row row;
+    row.reserve(width);
+    for (uint64_t c = 0; c < width; ++c) {
+      JUST_ASSIGN_OR_RETURN(auto value, exec::Value::Deserialize(&p, limit));
+      row.push_back(std::move(value));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+}  // namespace
+
+Result<std::unique_ptr<ResultSet>> ResultSet::Make(exec::DataFrame frame,
+                                                   const Options& options) {
+  auto rs = std::unique_ptr<ResultSet>(new ResultSet());
+  rs->schema_ = frame.schema_ptr();
+  rs->total_rows_ = frame.num_rows();
+  if (frame.num_rows() <= options.direct_row_limit) {
+    rs->direct_rows_ = std::move(*frame.mutable_rows());
+    return rs;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.spill_dir, ec);
+  if (ec) return Status::IOError("cannot create spill dir: " + ec.message());
+  const auto& rows = frame.rows();
+  uint64_t session = g_spill_counter.fetch_add(1);
+  for (size_t start = 0; start < rows.size();
+       start += options.rows_per_chunk) {
+    size_t count = std::min(options.rows_per_chunk, rows.size() - start);
+    std::string path = options.spill_dir + "/rs_" + std::to_string(session) +
+                       "_" + std::to_string(rs->chunk_paths_.size()) +
+                       ".chunk";
+    JUST_RETURN_NOT_OK(WriteChunk(path, rows.data() + start, count));
+    rs->chunk_paths_.push_back(std::move(path));
+  }
+  return rs;
+}
+
+ResultSet::~ResultSet() {
+  for (const std::string& path : chunk_paths_) ::unlink(path.c_str());
+}
+
+Status ResultSet::LoadChunk(size_t chunk_index) {
+  JUST_ASSIGN_OR_RETURN(current_chunk_, ReadChunk(chunk_paths_[chunk_index]));
+  current_chunk_index_ = chunk_index;
+  cursor_in_chunk_ = 0;
+  return Status::OK();
+}
+
+bool ResultSet::HasNext() { return delivered_ < total_rows_; }
+
+Result<exec::Row> ResultSet::Next() {
+  if (!HasNext()) return Status::InvalidArgument("result set exhausted");
+  if (chunk_paths_.empty()) {
+    return direct_rows_[delivered_++];
+  }
+  if (current_chunk_.empty() && cursor_in_chunk_ == 0 && delivered_ == 0) {
+    JUST_RETURN_NOT_OK(LoadChunk(0));
+  }
+  if (cursor_in_chunk_ >= current_chunk_.size()) {
+    JUST_RETURN_NOT_OK(LoadChunk(current_chunk_index_ + 1));
+  }
+  ++delivered_;
+  return current_chunk_[cursor_in_chunk_++];
+}
+
+Result<exec::DataFrame> ResultSet::ToDataFrame() {
+  exec::DataFrame out(schema_);
+  while (HasNext()) {
+    JUST_ASSIGN_OR_RETURN(auto row, Next());
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace just::core

@@ -1,0 +1,63 @@
+#ifndef JUST_CORE_RESULT_SET_H_
+#define JUST_CORE_RESULT_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/dataframe.h"
+
+namespace just::core {
+
+/// Cursor-style result delivery (Figure 2's data flow): a result smaller
+/// than the configured threshold is held in memory and returned directly;
+/// a larger one is split into chunk files on disk (the HDFS multi-part
+/// transfer) and streamed back chunk by chunk, so the driver never
+/// materializes everything — "users can traverse the result in a way like
+/// the database cursor."
+class ResultSet {
+ public:
+  struct Options {
+    size_t direct_row_limit = 10000;  ///< above this, spill to chunks
+    size_t rows_per_chunk = 4096;
+    std::string spill_dir = "/tmp/just_spill";
+  };
+
+  /// Builds a result set, spilling if needed. `frame` is consumed.
+  static Result<std::unique_ptr<ResultSet>> Make(exec::DataFrame frame,
+                                                 const Options& options);
+
+  ~ResultSet();
+
+  const exec::Schema& schema() const { return *schema_; }
+  size_t total_rows() const { return total_rows_; }
+  bool spilled() const { return !chunk_paths_.empty(); }
+
+  /// Cursor interface.
+  bool HasNext();
+  Result<exec::Row> Next();
+
+  /// Convenience: drains the remaining rows into a DataFrame.
+  Result<exec::DataFrame> ToDataFrame();
+
+ private:
+  ResultSet() = default;
+
+  Status LoadChunk(size_t chunk_index);
+
+  std::shared_ptr<exec::Schema> schema_;
+  size_t total_rows_ = 0;
+  // Direct mode:
+  std::vector<exec::Row> direct_rows_;
+  // Spilled mode:
+  std::vector<std::string> chunk_paths_;
+  std::vector<exec::Row> current_chunk_;
+  size_t current_chunk_index_ = 0;
+  size_t cursor_in_chunk_ = 0;
+  size_t delivered_ = 0;
+};
+
+}  // namespace just::core
+
+#endif  // JUST_CORE_RESULT_SET_H_

@@ -1,0 +1,107 @@
+#include "core/row_codec.h"
+
+#include "common/bytes.h"
+#include "compress/codec.h"
+
+namespace just::core {
+
+namespace {
+constexpr char kTrajRaw = 'R';
+constexpr char kTrajDelta = 'D';
+
+// Cell payload for an st_series value: [format tag][oid lp][gps bytes].
+std::string EncodeTrajectoryCell(const exec::Value& value, bool compact) {
+  std::string out;
+  const auto& t = value.trajectory_value();
+  out.push_back(compact ? kTrajDelta : kTrajRaw);
+  if (t == nullptr) {
+    PutLengthPrefixed(&out, "");
+    PutLengthPrefixed(&out, "");
+    return out;
+  }
+  PutLengthPrefixed(&out, t->oid());
+  PutLengthPrefixed(&out, compact ? t->SerializeDelta() : t->SerializeRaw());
+  return out;
+}
+
+Result<exec::Value> DecodeTrajectoryCell(std::string_view cell) {
+  if (cell.empty()) return Status::Corruption("empty st_series cell");
+  char tag = cell[0];
+  const char* p = cell.data() + 1;
+  const char* limit = cell.data() + cell.size();
+  std::string_view oid, payload;
+  if (!GetLengthPrefixed(&p, limit, &oid) ||
+      !GetLengthPrefixed(&p, limit, &payload)) {
+    return Status::Corruption("bad st_series cell");
+  }
+  traj::Trajectory t;
+  if (tag == kTrajDelta) {
+    JUST_ASSIGN_OR_RETURN(
+        t, traj::Trajectory::DeserializeDelta(std::string(oid), payload));
+  } else if (tag == kTrajRaw) {
+    JUST_ASSIGN_OR_RETURN(
+        t, traj::Trajectory::DeserializeRaw(std::string(oid), payload));
+  } else {
+    return Status::Corruption("unknown st_series format tag");
+  }
+  return exec::Value::TrajectoryVal(
+      std::make_shared<const traj::Trajectory>(std::move(t)));
+}
+}  // namespace
+
+Result<std::string> EncodeRow(const meta::TableMeta& table,
+                              const exec::Row& row) {
+  if (row.size() != table.columns.size()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) + " != table width " +
+        std::to_string(table.columns.size()));
+  }
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    const meta::ColumnDef& col = table.columns[i];
+    bool compressed = !col.compress.empty();
+    const compress::Codec* codec = compress::NoneCodec();
+    if (compressed) {
+      JUST_ASSIGN_OR_RETURN(codec, compress::GetCodec(col.compress));
+    }
+    std::string cell_raw;
+    if (col.type == exec::DataType::kTrajectory &&
+        row[i].type() == exec::DataType::kTrajectory) {
+      cell_raw = EncodeTrajectoryCell(row[i], /*compact=*/compressed);
+    } else {
+      row[i].SerializeTo(&cell_raw);
+    }
+    std::string cell = compress::EncodeCell(*codec, cell_raw);
+    PutLengthPrefixed(&out, cell);
+  }
+  return out;
+}
+
+Result<exec::Row> DecodeRow(const meta::TableMeta& table,
+                            std::string_view bytes) {
+  exec::Row row;
+  row.reserve(table.columns.size());
+  const char* p = bytes.data();
+  const char* limit = p + bytes.size();
+  for (const meta::ColumnDef& col : table.columns) {
+    std::string_view cell;
+    if (!GetLengthPrefixed(&p, limit, &cell)) {
+      return Status::Corruption("truncated row for table " + table.name);
+    }
+    JUST_ASSIGN_OR_RETURN(std::string cell_raw, compress::DecodeCell(cell));
+    if (col.type == exec::DataType::kTrajectory && !cell_raw.empty() &&
+        (cell_raw[0] == kTrajRaw || cell_raw[0] == kTrajDelta)) {
+      JUST_ASSIGN_OR_RETURN(auto value, DecodeTrajectoryCell(cell_raw));
+      row.push_back(std::move(value));
+    } else {
+      const char* q = cell_raw.data();
+      JUST_ASSIGN_OR_RETURN(
+          auto value,
+          exec::Value::Deserialize(&q, cell_raw.data() + cell_raw.size()));
+      row.push_back(std::move(value));
+    }
+  }
+  return row;
+}
+
+}  // namespace just::core

@@ -1,0 +1,28 @@
+#ifndef JUST_CORE_ROW_CODEC_H_
+#define JUST_CORE_ROW_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "exec/dataframe.h"
+#include "meta/catalog.h"
+
+namespace just::core {
+
+/// Serializes a row for storage as a KV value. Every cell is framed by the
+/// compression layer ([codec id][raw size][payload], Section IV-D): columns
+/// declared `compress=gzip|zip` go through the general-purpose codec; the
+/// rest use the identity codec. Trajectory (st_series) cells additionally
+/// pick their GPS-list encoding: raw fixed-width when uncompressed (what
+/// JUSTnc measures) and the delta transform under compression.
+Result<std::string> EncodeRow(const meta::TableMeta& table,
+                              const exec::Row& row);
+
+/// Inverse of EncodeRow.
+Result<exec::Row> DecodeRow(const meta::TableMeta& table,
+                            std::string_view bytes);
+
+}  // namespace just::core
+
+#endif  // JUST_CORE_ROW_CODEC_H_

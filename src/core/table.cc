@@ -1,0 +1,441 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "core/row_codec.h"
+
+namespace just::core {
+
+namespace {
+/// Minimum expansion-area size for Algorithm 1 (the paper's g = 1km x 1km
+/// system parameter, expressed in degrees at mid latitudes).
+constexpr double kMinKnnAreaDeg = 0.01;
+
+/// Smallest byte string strictly greater than every string with prefix `s`.
+std::string PrefixSuccessor(std::string s) {
+  while (!s.empty()) {
+    if (static_cast<unsigned char>(s.back()) != 0xFF) {
+      s.back() = static_cast<char>(s.back() + 1);
+      return s;
+    }
+    s.pop_back();
+  }
+  return s;  // empty: no upper bound
+}
+
+/// Attribute-index cell: the serialized value, length-prefixed so the fid
+/// suffix is unambiguous.
+std::string EncodeAttrKeyPart(const exec::Value& value) {
+  std::string encoded;
+  value.SerializeTo(&encoded);
+  std::string out;
+  PutLengthPrefixed(&out, encoded);
+  return out;
+}
+}  // namespace
+
+StTable::StTable(meta::TableMeta meta, cluster::RegionCluster* cluster,
+                 const curve::IndexOptions& index_options)
+    : meta_(std::move(meta)), cluster_(cluster) {
+  for (const meta::IndexConfig& config : meta_.indexes) {
+    curve::IndexOptions options = index_options;
+    options.period_len_ms = config.period_len_ms;
+    strategies_.push_back(curve::IndexStrategy::Create(config.type, options));
+  }
+  fid_col_ = meta_.ColumnIndex(meta_.fid_column);
+  geom_col_ = meta_.ColumnIndex(meta_.geom_column);
+  time_col_ = meta_.ColumnIndex(meta_.time_column);
+}
+
+std::string StTable::IndexPrefix(size_t index_slot) const {
+  std::string prefix;
+  PutFixed32BE(&prefix, static_cast<uint32_t>(meta_.table_id));
+  prefix.push_back(static_cast<char>(index_slot));
+  return prefix;
+}
+
+std::string StTable::WrapKey(size_t index_slot,
+                             std::string_view strategy_key) const {
+  std::string key;
+  key.push_back(strategy_key[0]);  // shard byte stays first for routing
+  key += IndexPrefix(index_slot);
+  key.append(strategy_key.data() + 1, strategy_key.size() - 1);
+  return key;
+}
+
+std::vector<curve::KeyRange> StTable::WrapRanges(
+    size_t index_slot, std::vector<curve::KeyRange> ranges) const {
+  for (curve::KeyRange& range : ranges) {
+    range.start = WrapKey(index_slot, range.start);
+    range.end = WrapKey(index_slot, range.end);
+  }
+  return ranges;
+}
+
+Result<curve::RecordRef> StTable::MakeRecordRef(const exec::Row& row) const {
+  curve::RecordRef ref;
+  if (fid_col_ >= 0 && !row[fid_col_].is_null()) {
+    ref.fid = row[fid_col_].ToString();
+  }
+  if (geom_col_ < 0) {
+    return Status::InvalidArgument("table " + meta_.name +
+                                   " has no geometry column");
+  }
+  const exec::Value& g = row[geom_col_];
+  if (g.type() == exec::DataType::kGeometry) {
+    ref.mbr = g.geometry_value().Bounds();
+  } else if (g.type() == exec::DataType::kTrajectory &&
+             g.trajectory_value() != nullptr) {
+    ref.mbr = g.trajectory_value()->Bounds();
+    ref.t_min = g.trajectory_value()->start_time();
+    ref.t_max = g.trajectory_value()->end_time();
+  } else {
+    return Status::InvalidArgument("row has no geometry value");
+  }
+  if (time_col_ >= 0 && !row[time_col_].is_null() &&
+      row[time_col_].type() == exec::DataType::kTimestamp) {
+    ref.t_min = row[time_col_].timestamp_value();
+    if (ref.t_max < ref.t_min) ref.t_max = ref.t_min;
+  }
+  return ref;
+}
+
+Status StTable::WriteKeys(const exec::Row& row, bool delete_instead) {
+  JUST_ASSIGN_OR_RETURN(auto ref, MakeRecordRef(row));
+  std::string value;
+  if (!delete_instead) {
+    JUST_ASSIGN_OR_RETURN(value, EncodeRow(meta_, row));
+  }
+  for (size_t slot = 0; slot < strategies_.size(); ++slot) {
+    std::string key = WrapKey(slot, strategies_[slot]->EncodeKey(ref));
+    if (delete_instead) {
+      JUST_RETURN_NOT_OK(cluster_->Delete(key));
+    } else {
+      JUST_RETURN_NOT_OK(cluster_->Put(key, value));
+    }
+  }
+  // Secondary attribute indexes: shard :: table/slot :: value :: fid.
+  int shard = strategies_.empty()
+                  ? 0
+                  : strategies_[0]->ShardOf(ref.fid);
+  for (size_t a = 0; a < meta_.attr_indexes.size(); ++a) {
+    int col = meta_.ColumnIndex(meta_.attr_indexes[a]);
+    if (col < 0) continue;
+    std::string key(1, static_cast<char>(shard));
+    key += IndexPrefix(AttrSlot(a));
+    key += EncodeAttrKeyPart(row[col]);
+    key += ref.fid;
+    if (delete_instead) {
+      JUST_RETURN_NOT_OK(cluster_->Delete(key));
+    } else {
+      JUST_RETURN_NOT_OK(cluster_->Put(key, value));
+    }
+  }
+  return Status::OK();
+}
+
+bool StTable::HasAttributeIndex(const std::string& column) const {
+  for (const std::string& indexed : meta_.attr_indexes) {
+    if (indexed == column) return true;
+  }
+  return false;
+}
+
+Result<exec::DataFrame> StTable::AttributeQuery(const std::string& column,
+                                                const exec::Value& value,
+                                                QueryStats* stats) const {
+  size_t attr_pos = meta_.attr_indexes.size();
+  for (size_t a = 0; a < meta_.attr_indexes.size(); ++a) {
+    if (meta_.attr_indexes[a] == column) attr_pos = a;
+  }
+  if (attr_pos == meta_.attr_indexes.size()) {
+    return Status::InvalidArgument("no attribute index on column " + column);
+  }
+  int num_shards =
+      strategies_.empty() ? 1 : strategies_[0]->options().num_shards;
+  std::vector<curve::KeyRange> ranges;
+  std::string value_part = EncodeAttrKeyPart(value);
+  for (int shard = 0; shard < num_shards; ++shard) {
+    curve::KeyRange range;
+    range.start.push_back(static_cast<char>(shard));
+    range.start += IndexPrefix(AttrSlot(attr_pos));
+    range.start += value_part;
+    range.end = PrefixSuccessor(range.start);
+    ranges.push_back(std::move(range));
+  }
+  JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
+  exec::DataFrame out(meta_.MakeSchema());
+  size_t scanned = 0;
+  int col = meta_.ColumnIndex(column);
+  for (const auto& range_result : results) {
+    for (const auto& kv : range_result.rows) {
+      ++scanned;
+      JUST_ASSIGN_OR_RETURN(auto row, DecodeRow(meta_, kv.value));
+      // Exact check (the key encoding is injective, but stay defensive).
+      if (col >= 0 && !row[col].Equals(value)) continue;
+      out.AddRow(std::move(row));
+    }
+  }
+  if (stats != nullptr) {
+    stats->key_ranges += ranges.size();
+    stats->rows_scanned += scanned;
+    stats->rows_matched += out.num_rows();
+  }
+  return out;
+}
+
+Status StTable::Insert(const exec::Row& row) {
+  if (strategies_.empty()) {
+    return Status::InvalidArgument("table " + meta_.name + " has no indexes");
+  }
+  return WriteKeys(row, /*delete_instead=*/false);
+}
+
+Status StTable::Remove(const exec::Row& row) {
+  return WriteKeys(row, /*delete_instead=*/true);
+}
+
+Result<const curve::IndexStrategy*> StTable::PickIndex(bool temporal) const {
+  if (strategies_.empty()) {
+    return Status::InvalidArgument("table " + meta_.name + " has no indexes");
+  }
+  // Exact category first; otherwise any index can answer (with weaker
+  // filtering).
+  for (const auto& strategy : strategies_) {
+    if (curve::IsSpatioTemporal(strategy->type()) == temporal) {
+      return strategy.get();
+    }
+  }
+  return strategies_.front().get();
+}
+
+Result<exec::DataFrame> StTable::RunRanges(
+    const std::vector<curve::KeyRange>& ranges, const geo::Mbr& box,
+    bool temporal, TimestampMs t_min, TimestampMs t_max, QueryStats* stats,
+    int fid_offset, const std::unordered_set<std::string>* skip_fids) const {
+  JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
+  exec::DataFrame out(meta_.MakeSchema());
+  std::unordered_set<std::string> seen_keys;
+  size_t scanned = 0;
+  for (const auto& range_result : results) {
+    for (const auto& kv : range_result.rows) {
+      ++scanned;
+      if (skip_fids != nullptr &&
+          kv.key.size() > static_cast<size_t>(fid_offset) &&
+          skip_fids->count(kv.key.substr(fid_offset)) != 0) {
+        continue;  // already delivered by an earlier expansion area
+      }
+      if (!seen_keys.insert(kv.key).second) continue;  // overlapping ranges
+      JUST_ASSIGN_OR_RETURN(auto row, DecodeRow(meta_, kv.value));
+      // Exact refinement (contained ranges still need the time check for
+      // extent indexes; cheap relative to decode).
+      bool keep = true;
+      if (geom_col_ >= 0) {
+        const exec::Value& g = row[geom_col_];
+        if (g.type() == exec::DataType::kGeometry) {
+          keep = g.geometry_value().Within(box);
+        } else if (g.type() == exec::DataType::kTrajectory &&
+                   g.trajectory_value() != nullptr) {
+          keep = box.Intersects(g.trajectory_value()->Bounds());
+        }
+      }
+      if (keep && temporal) {
+        TimestampMs t = 0;
+        if (time_col_ >= 0 &&
+            row[time_col_].type() == exec::DataType::kTimestamp) {
+          t = row[time_col_].timestamp_value();
+        } else if (geom_col_ >= 0 &&
+                   row[geom_col_].type() == exec::DataType::kTrajectory &&
+                   row[geom_col_].trajectory_value() != nullptr) {
+          t = row[geom_col_].trajectory_value()->start_time();
+        }
+        keep = t >= t_min && t <= t_max;
+      }
+      if (keep) out.AddRow(std::move(row));
+    }
+  }
+  if (stats != nullptr) {
+    stats->key_ranges += ranges.size();
+    stats->rows_scanned += scanned;
+    stats->rows_matched += out.num_rows();
+  }
+  return out;
+}
+
+Result<exec::DataFrame> StTable::SpatialRangeQuery(const geo::Mbr& box,
+                                                   QueryStats* stats) const {
+  return SpatialRangeQueryInternal(box, stats, nullptr);
+}
+
+Result<exec::DataFrame> StTable::SpatialRangeQueryInternal(
+    const geo::Mbr& box, QueryStats* stats,
+    const std::unordered_set<std::string>* skip_fids) const {
+  JUST_ASSIGN_OR_RETURN(const curve::IndexStrategy* strategy,
+                        PickIndex(/*temporal=*/false));
+  size_t slot = 0;
+  for (size_t i = 0; i < strategies_.size(); ++i) {
+    if (strategies_[i].get() == strategy) slot = i;
+  }
+  auto ranges = WrapRanges(slot, strategy->QueryRanges(box, INT64_MIN,
+                                                       INT64_MAX));
+  // Table/index prefix (5 bytes) is spliced in after the shard byte.
+  int fid_offset = strategy->FidOffset() + 5;
+  return RunRanges(ranges, box, /*temporal=*/false, 0, 0, stats, fid_offset,
+                   skip_fids);
+}
+
+Result<exec::DataFrame> StTable::StRangeQuery(const geo::Mbr& box,
+                                              TimestampMs t_min,
+                                              TimestampMs t_max,
+                                              QueryStats* stats) const {
+  JUST_ASSIGN_OR_RETURN(const curve::IndexStrategy* strategy,
+                        PickIndex(/*temporal=*/true));
+  size_t slot = 0;
+  for (size_t i = 0; i < strategies_.size(); ++i) {
+    if (strategies_[i].get() == strategy) slot = i;
+  }
+  auto ranges = WrapRanges(slot, strategy->QueryRanges(box, t_min, t_max));
+  return RunRanges(ranges, box, /*temporal=*/true, t_min, t_max, stats,
+                   strategy->FidOffset() + 5, nullptr);
+}
+
+Result<exec::DataFrame> StTable::KnnQuery(const geo::Point& q, int k,
+                                          QueryStats* stats) const {
+  // Algorithm 1. cq: max-heap of (distance, row) keeping the k nearest;
+  // aq: min-heap of areas ordered by dA(q, a) (Eq. 4).
+  struct Candidate {
+    double dist;
+    exec::Row row;
+    bool operator<(const Candidate& o) const { return dist < o.dist; }
+  };
+  std::priority_queue<Candidate> cq;  // top = farthest kept
+  struct Area {
+    double dist;
+    geo::Mbr box;
+    bool operator<(const Area& o) const { return dist > o.dist; }  // min-heap
+  };
+  std::priority_queue<Area> aq;
+  aq.push(Area{0.0, geo::Mbr::World()});
+  double dmax = 0;
+  std::unordered_set<std::string> seen_fids;
+  // Degenerate-input guard: when k approaches the table size the expansion
+  // cannot prune and would enumerate the whole quadtree; fall back to a
+  // sequential scan after a bounded number of area queries.
+  constexpr size_t kMaxAreaQueries = 1024;
+  size_t area_queries = 0;
+
+  while (!aq.empty()) {
+    Area a = aq.top();
+    aq.pop();
+    if (static_cast<int>(cq.size()) == k && a.dist > dmax) {
+      break;  // Lemma 1: area pruning
+    }
+    if (area_queries >= kMaxAreaQueries) {
+      JUST_ASSIGN_OR_RETURN(auto all, FullScan());
+      for (const exec::Row& row : all.rows()) {
+        std::string fid =
+            fid_col_ >= 0 ? row[fid_col_].ToString() : std::string();
+        if (!fid.empty() && seen_fids.count(fid) != 0) continue;
+        double dist = 0;
+        if (geom_col_ >= 0) {
+          const exec::Value& g = row[geom_col_];
+          if (g.type() == exec::DataType::kGeometry) {
+            dist = g.geometry_value().Distance(q);
+          } else if (g.type() == exec::DataType::kTrajectory &&
+                     g.trajectory_value() != nullptr) {
+            dist = g.trajectory_value()->Bounds().MinDistance(q);
+          }
+        }
+        if (static_cast<int>(cq.size()) < k) {
+          cq.push(Candidate{dist, row});
+        } else if (dist < cq.top().dist) {
+          cq.pop();
+          cq.push(Candidate{dist, row});
+        }
+      }
+      break;
+    }
+    if (a.box.Width() > kMinKnnAreaDeg || a.box.Height() > kMinKnnAreaDeg) {
+      double lng_mid = (a.box.lng_min + a.box.lng_max) / 2;
+      double lat_mid = (a.box.lat_min + a.box.lat_max) / 2;
+      geo::Mbr children[4] = {
+          {a.box.lng_min, a.box.lat_min, lng_mid, lat_mid},
+          {lng_mid, a.box.lat_min, a.box.lng_max, lat_mid},
+          {a.box.lng_min, lat_mid, lng_mid, a.box.lat_max},
+          {lng_mid, lat_mid, a.box.lng_max, a.box.lat_max},
+      };
+      for (const geo::Mbr& child : children) {
+        aq.push(Area{child.MinDistance(q), child});
+      }
+      continue;
+    }
+    ++area_queries;
+    JUST_ASSIGN_OR_RETURN(
+        auto partial, SpatialRangeQueryInternal(a.box, stats, &seen_fids));
+    for (const exec::Row& row : partial.rows()) {
+      std::string fid =
+          fid_col_ >= 0 ? row[fid_col_].ToString() : std::string();
+      if (!fid.empty() && !seen_fids.insert(fid).second) continue;
+      double dist = 0;
+      if (geom_col_ >= 0) {
+        const exec::Value& g = row[geom_col_];
+        if (g.type() == exec::DataType::kGeometry) {
+          dist = g.geometry_value().Distance(q);
+        } else if (g.type() == exec::DataType::kTrajectory &&
+                   g.trajectory_value() != nullptr) {
+          dist = g.trajectory_value()->Bounds().MinDistance(q);
+        }
+      }
+      if (static_cast<int>(cq.size()) < k) {
+        cq.push(Candidate{dist, row});
+        dmax = cq.top().dist;
+      } else if (dist < cq.top().dist) {
+        cq.pop();
+        cq.push(Candidate{dist, row});
+        dmax = cq.top().dist;
+      }
+    }
+  }
+
+  std::vector<exec::Row> rows;
+  rows.reserve(cq.size());
+  while (!cq.empty()) {
+    rows.push_back(cq.top().row);
+    cq.pop();
+  }
+  std::reverse(rows.begin(), rows.end());  // nearest first
+  return exec::DataFrame(meta_.MakeSchema(), std::move(rows));
+}
+
+Result<exec::DataFrame> StTable::FullScan() const {
+  if (strategies_.empty()) {
+    return Status::InvalidArgument("table " + meta_.name + " has no indexes");
+  }
+  std::vector<curve::KeyRange> ranges;
+  int shards = strategies_[0]->options().num_shards;
+  for (int shard = 0; shard < shards; ++shard) {
+    curve::KeyRange range;
+    range.start.push_back(static_cast<char>(shard));
+    range.start += IndexPrefix(0);
+    range.end.push_back(static_cast<char>(shard));
+    std::string end_prefix = IndexPrefix(0);
+    // Successor of the 5-byte prefix: bump the index-slot byte.
+    end_prefix.back() = static_cast<char>(end_prefix.back() + 1);
+    range.end += end_prefix;
+    ranges.push_back(std::move(range));
+  }
+  JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
+  exec::DataFrame out(meta_.MakeSchema());
+  for (const auto& range_result : results) {
+    for (const auto& kv : range_result.rows) {
+      JUST_ASSIGN_OR_RETURN(auto row, DecodeRow(meta_, kv.value));
+      out.AddRow(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace just::core

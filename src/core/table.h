@@ -1,0 +1,119 @@
+#ifndef JUST_CORE_TABLE_H_
+#define JUST_CORE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/region_cluster.h"
+#include "common/status.h"
+#include "curve/index_strategy.h"
+#include "exec/dataframe.h"
+#include "meta/catalog.h"
+
+namespace just::core {
+
+/// Per-query execution statistics, exposed for the benches and EXPLAIN.
+struct QueryStats {
+  size_t key_ranges = 0;     ///< SCANs issued
+  size_t rows_scanned = 0;   ///< KV pairs read before refinement
+  size_t rows_matched = 0;   ///< rows surviving exact refinement
+};
+
+/// A bound data table: metadata plus its key spaces in the cluster. Each
+/// configured index gets its own key space (as each GeoMesa index is its own
+/// HBase table); every row is written once per index, keyed per Eq. (2)/(3).
+class StTable {
+ public:
+  StTable(meta::TableMeta meta, cluster::RegionCluster* cluster,
+          const curve::IndexOptions& index_options);
+
+  const meta::TableMeta& meta() const { return meta_; }
+
+  /// Upserts one row (insert or historical update: same fid + same
+  /// spatio-temporal key overwrites in place; Section I "update-enabled").
+  Status Insert(const exec::Row& row);
+
+  /// Removes a previously inserted row (all index entries).
+  Status Remove(const exec::Row& row);
+
+  /// Spatial range query (Section V-C): records within `box`.
+  Result<exec::DataFrame> SpatialRangeQuery(const geo::Mbr& box,
+                                            QueryStats* stats = nullptr) const;
+
+  /// Spatio-temporal range query: records within `box` generated in
+  /// [t_min, t_max].
+  Result<exec::DataFrame> StRangeQuery(const geo::Mbr& box,
+                                       TimestampMs t_min, TimestampMs t_max,
+                                       QueryStats* stats = nullptr) const;
+
+  /// k-NN query per Algorithm 1 (iterative area expansion with Lemma 1
+  /// pruning), built on spatial range queries.
+  Result<exec::DataFrame> KnnQuery(const geo::Point& q, int k,
+                                   QueryStats* stats = nullptr) const;
+
+  /// Full scan over the primary (first) index.
+  Result<exec::DataFrame> FullScan() const;
+
+  /// Equality lookup through a secondary attribute index (Figure 1's
+  /// Attribute Indexing). `column` must be listed in the table's
+  /// attr_indexes; rows whose column equals `value` are returned.
+  Result<exec::DataFrame> AttributeQuery(const std::string& column,
+                                         const exec::Value& value,
+                                         QueryStats* stats = nullptr) const;
+
+  /// True when `column` carries an attribute index.
+  bool HasAttributeIndex(const std::string& column) const;
+
+  /// Chooses the index used for a query: `temporal` requests a
+  /// spatio-temporal strategy. Falls back across categories when the ideal
+  /// kind is absent. Exposed for tests and the optimizer.
+  Result<const curve::IndexStrategy*> PickIndex(bool temporal) const;
+
+  /// Key-space prefix for index slot `i` (after the shard byte).
+  std::string IndexPrefix(size_t index_slot) const;
+
+ private:
+  Status WriteKeys(const exec::Row& row, bool delete_instead);
+  Result<curve::RecordRef> MakeRecordRef(const exec::Row& row) const;
+
+  /// Rewrites a strategy key (shard :: rest) as
+  /// shard :: table/index prefix :: rest.
+  std::string WrapKey(size_t index_slot, std::string_view strategy_key) const;
+  std::vector<curve::KeyRange> WrapRanges(
+      size_t index_slot, std::vector<curve::KeyRange> ranges) const;
+
+  /// Runs ranges, decodes rows, applies exact spatio-temporal refinement.
+  /// `fid_offset` is the byte position of the fid suffix in scanned keys;
+  /// rows whose fid is in `skip_fids` are dropped before decoding (used by
+  /// the k-NN expansion to avoid re-decoding records seen in earlier areas).
+  Result<exec::DataFrame> RunRanges(const std::vector<curve::KeyRange>& ranges,
+                                    const geo::Mbr& box, bool temporal,
+                                    TimestampMs t_min, TimestampMs t_max,
+                                    QueryStats* stats, int fid_offset,
+                                    const std::unordered_set<std::string>*
+                                        skip_fids) const;
+
+  /// Internal spatial range query with a skip set (see RunRanges).
+  Result<exec::DataFrame> SpatialRangeQueryInternal(
+      const geo::Mbr& box, QueryStats* stats,
+      const std::unordered_set<std::string>* skip_fids) const;
+
+  /// Slot id of the attribute index over attr_indexes[i]: SFC indexes come
+  /// first, attribute indexes after.
+  size_t AttrSlot(size_t attr_pos) const {
+    return strategies_.size() + attr_pos;
+  }
+
+  meta::TableMeta meta_;
+  cluster::RegionCluster* cluster_;
+  std::vector<std::unique_ptr<curve::IndexStrategy>> strategies_;
+  int fid_col_ = -1;
+  int geom_col_ = -1;
+  int time_col_ = -1;
+};
+
+}  // namespace just::core
+
+#endif  // JUST_CORE_TABLE_H_

@@ -1,0 +1,30 @@
+#include "curve/sfc.h"
+
+#include <algorithm>
+
+namespace just::curve {
+
+void MergeSfcRanges(std::vector<SfcRange>* ranges) {
+  if (ranges->size() <= 1) return;
+  std::sort(ranges->begin(), ranges->end(),
+            [](const SfcRange& a, const SfcRange& b) {
+              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+            });
+  std::vector<SfcRange> merged;
+  merged.reserve(ranges->size());
+  merged.push_back((*ranges)[0]);
+  for (size_t i = 1; i < ranges->size(); ++i) {
+    SfcRange& last = merged.back();
+    const SfcRange& cur = (*ranges)[i];
+    // Adjacent (hi + 1 == lo) or overlapping ranges merge.
+    if (cur.lo <= last.hi || (last.hi != UINT64_MAX && cur.lo == last.hi + 1)) {
+      last.hi = std::max(last.hi, cur.hi);
+      last.contained = last.contained && cur.contained;
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  ranges->swap(merged);
+}
+
+}  // namespace just::curve

@@ -1,0 +1,28 @@
+#ifndef JUST_CURVE_SFC_H_
+#define JUST_CURVE_SFC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace just::curve {
+
+/// A contiguous range [lo, hi] (inclusive) of space-filling-curve values.
+/// `contained` marks ranges fully inside the query region: scans over them
+/// need no exact-geometry refinement.
+struct SfcRange {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool contained = false;
+
+  bool operator==(const SfcRange& o) const {
+    return lo == o.lo && hi == o.hi && contained == o.contained;
+  }
+};
+
+/// Sorts by lo and merges adjacent/overlapping ranges. A merged range is
+/// `contained` only if every constituent was.
+void MergeSfcRanges(std::vector<SfcRange>* ranges);
+
+}  // namespace just::curve
+
+#endif  // JUST_CURVE_SFC_H_

@@ -1,0 +1,133 @@
+#include "curve/xz2.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace just::curve {
+
+namespace {
+double NormLng(double lng) {
+  return std::clamp((lng + 180.0) / 360.0, 0.0, 1.0);
+}
+double NormLat(double lat) {
+  return std::clamp((lat + 90.0) / 180.0, 0.0, 1.0);
+}
+}  // namespace
+
+Xz2Sfc::Xz2Sfc(int g) : g_(std::clamp(g, 1, 30)) {}
+
+uint64_t Xz2Sfc::SubtreeSize(int depth) const {
+  // Number of elements in a subtree whose root sits at `depth`:
+  // (4^(g - depth + 1) - 1) / 3.
+  int h = g_ - depth + 1;
+  return ((1ull << (2 * h)) - 1) / 3;
+}
+
+uint64_t Xz2Sfc::MaxCode() const { return SubtreeSize(0); }
+
+uint64_t Xz2Sfc::Index(const geo::Mbr& mbr) const {
+  double xmin = NormLng(mbr.lng_min);
+  double xmax = NormLng(mbr.lng_max);
+  double ymin = NormLat(mbr.lat_min);
+  double ymax = NormLat(mbr.lat_max);
+
+  // Element length: the deepest level whose doubled cell still contains the
+  // object.
+  double max_dim = std::max(xmax - xmin, ymax - ymin);
+  int length;
+  if (max_dim <= 0) {
+    length = g_;
+  } else {
+    int l1 = static_cast<int>(std::floor(std::log(max_dim) / std::log(0.5)));
+    if (l1 >= g_) {
+      length = g_;
+    } else {
+      // Does the object still fit a doubled cell one level deeper?
+      double w2 = std::pow(0.5, l1 + 1);
+      auto fits = [&](double min_v, double max_v) {
+        return std::floor(min_v / w2) * w2 + 2 * w2 >= max_v;
+      };
+      length = (fits(xmin, xmax) && fits(ymin, ymax)) ? l1 + 1 : l1;
+      length = std::clamp(length, 0, g_);
+    }
+  }
+
+  // Pre-order sequence code of the element: walk toward the cell containing
+  // the MBR's min corner for `length` steps.
+  double cx_min = 0, cy_min = 0, cx_max = 1, cy_max = 1;
+  uint64_t cs = 0;
+  for (int i = 0; i < length; ++i) {
+    double x_center = (cx_min + cx_max) / 2;
+    double y_center = (cy_min + cy_max) / 2;
+    uint64_t child_size = SubtreeSize(i + 1);
+    uint64_t quadrant;
+    if (xmin < x_center && ymin < y_center) {
+      quadrant = 0;
+      cx_max = x_center;
+      cy_max = y_center;
+    } else if (xmin >= x_center && ymin < y_center) {
+      quadrant = 1;
+      cx_min = x_center;
+      cy_max = y_center;
+    } else if (xmin < x_center && ymin >= y_center) {
+      quadrant = 2;
+      cx_max = x_center;
+      cy_min = y_center;
+    } else {
+      quadrant = 3;
+      cx_min = x_center;
+      cy_min = y_center;
+    }
+    cs += 1 + quadrant * child_size;
+  }
+  return cs;
+}
+
+void Xz2Sfc::Search(double xmin, double ymin, double xmax, double ymax,
+                    uint64_t code, int level, const NormQuery& q,
+                    std::vector<SfcRange>* out, int max_ranges) const {
+  double w = xmax - xmin;
+  double h = ymax - ymin;
+  // Extended (doubled) cell: any object stored in this subtree lies within.
+  double ex_max = xmax + w;
+  double ey_max = ymax + h;
+  bool overlaps = !(q.xmin > ex_max || q.xmax < xmin || q.ymin > ey_max ||
+                    q.ymax < ymin);
+  if (!overlaps) return;
+  bool contained = q.xmin <= xmin && q.xmax >= ex_max && q.ymin <= ymin &&
+                   q.ymax >= ey_max;
+  if (contained) {
+    out->push_back(SfcRange{code, code + SubtreeSize(level) - 1, true});
+    return;
+  }
+  if (level >= g_ || static_cast<int>(out->size()) >= max_ranges) {
+    // Stop refining: take the whole subtree as candidates.
+    out->push_back(SfcRange{code, code + SubtreeSize(level) - 1, false});
+    return;
+  }
+  // The element itself may store objects overlapping the query.
+  out->push_back(SfcRange{code, code, false});
+  double x_center = (xmin + xmax) / 2;
+  double y_center = (ymin + ymax) / 2;
+  uint64_t child_size = SubtreeSize(level + 1);
+  Search(xmin, ymin, x_center, y_center, code + 1, level + 1, q, out,
+         max_ranges);
+  Search(x_center, ymin, xmax, y_center, code + 1 + child_size, level + 1, q,
+         out, max_ranges);
+  Search(xmin, y_center, x_center, ymax, code + 1 + 2 * child_size, level + 1,
+         q, out, max_ranges);
+  Search(x_center, y_center, xmax, ymax, code + 1 + 3 * child_size, level + 1,
+         q, out, max_ranges);
+}
+
+std::vector<SfcRange> Xz2Sfc::Ranges(const geo::Mbr& query,
+                                     int max_ranges) const {
+  NormQuery q{NormLng(query.lng_min), NormLat(query.lat_min),
+              NormLng(query.lng_max), NormLat(query.lat_max)};
+  std::vector<SfcRange> out;
+  Search(0, 0, 1, 1, 0, 0, q, &out, max_ranges);
+  MergeSfcRanges(&out);
+  return out;
+}
+
+}  // namespace just::curve

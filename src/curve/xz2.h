@@ -1,0 +1,52 @@
+#ifndef JUST_CURVE_XZ2_H_
+#define JUST_CURVE_XZ2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "curve/sfc.h"
+#include "geo/point.h"
+
+namespace just::curve {
+
+/// XZ2 ordering for non-point geometries [Boehm et al., SSD 1999], as used
+/// by GeoMesa (Section IV-A, Figure 3f). An object is assigned to the
+/// smallest "enlarged" quadtree cell (a cell doubled in width and height)
+/// that contains its MBR; elements are numbered by pre-order position in the
+/// quadtree, which preserves locality without duplicating objects.
+class Xz2Sfc {
+ public:
+  /// `g` is the maximum quadtree depth (GeoMesa default 12).
+  explicit Xz2Sfc(int g = 12);
+
+  int resolution() const { return g_; }
+
+  /// Sequence code of the element that stores an object with this MBR.
+  uint64_t Index(const geo::Mbr& mbr) const;
+
+  /// Candidate element ranges for a rectangle query. Ranges marked
+  /// `contained` hold only objects fully inside the query.
+  std::vector<SfcRange> Ranges(const geo::Mbr& query,
+                               int max_ranges = 512) const;
+
+  /// Total number of sequence codes: (4^(g+1) - 1) / 3.
+  uint64_t MaxCode() const;
+
+ private:
+  struct NormQuery {
+    double xmin, ymin, xmax, ymax;
+  };
+
+  /// Size of the element subtree rooted at depth `depth` (inclusive).
+  uint64_t SubtreeSize(int depth) const;
+
+  void Search(double xmin, double ymin, double xmax, double ymax,
+              uint64_t code, int level, const NormQuery& q,
+              std::vector<SfcRange>* out, int max_ranges) const;
+
+  int g_;
+};
+
+}  // namespace just::curve
+
+#endif  // JUST_CURVE_XZ2_H_

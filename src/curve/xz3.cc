@@ -1,0 +1,128 @@
+#include "curve/xz3.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace just::curve {
+
+namespace {
+double NormLng(double lng) {
+  return std::clamp((lng + 180.0) / 360.0, 0.0, 1.0);
+}
+double NormLat(double lat) {
+  return std::clamp((lat + 90.0) / 180.0, 0.0, 1.0);
+}
+double NormT(double t) { return std::clamp(t, 0.0, 1.0); }
+}  // namespace
+
+Xz3Sfc::Xz3Sfc(int g) : g_(std::clamp(g, 1, 20)) {}
+
+uint64_t Xz3Sfc::SubtreeSize(int depth) const {
+  // (8^(g - depth + 1) - 1) / 7 elements in a subtree rooted at `depth`.
+  int h = g_ - depth + 1;
+  return ((1ull << (3 * h)) - 1) / 7;
+}
+
+uint64_t Xz3Sfc::MaxCode() const { return SubtreeSize(0); }
+
+uint64_t Xz3Sfc::Index(const geo::Mbr& mbr, double t0_frac,
+                       double t1_frac) const {
+  double mins[3] = {NormLng(mbr.lng_min), NormLat(mbr.lat_min),
+                    NormT(t0_frac)};
+  double maxs[3] = {NormLng(mbr.lng_max), NormLat(mbr.lat_max),
+                    NormT(t1_frac)};
+
+  double max_dim = 0;
+  for (int d = 0; d < 3; ++d) max_dim = std::max(max_dim, maxs[d] - mins[d]);
+  int length;
+  if (max_dim <= 0) {
+    length = g_;
+  } else {
+    int l1 = static_cast<int>(std::floor(std::log(max_dim) / std::log(0.5)));
+    if (l1 >= g_) {
+      length = g_;
+    } else {
+      double w2 = std::pow(0.5, l1 + 1);
+      auto fits = [&](double lo, double hi) {
+        return std::floor(lo / w2) * w2 + 2 * w2 >= hi;
+      };
+      bool all_fit = fits(mins[0], maxs[0]) && fits(mins[1], maxs[1]) &&
+                     fits(mins[2], maxs[2]);
+      length = all_fit ? l1 + 1 : l1;
+      length = std::clamp(length, 0, g_);
+    }
+  }
+
+  double cell_min[3] = {0, 0, 0};
+  double cell_max[3] = {1, 1, 1};
+  uint64_t cs = 0;
+  for (int i = 0; i < length; ++i) {
+    uint64_t child_size = SubtreeSize(i + 1);
+    uint64_t octant = 0;
+    for (int d = 0; d < 3; ++d) {
+      double center = (cell_min[d] + cell_max[d]) / 2;
+      if (mins[d] >= center) {
+        octant |= (1ull << d);
+        cell_min[d] = center;
+      } else {
+        cell_max[d] = center;
+      }
+    }
+    cs += 1 + octant * child_size;
+  }
+  return cs;
+}
+
+void Xz3Sfc::Search(const NormBox& cell, uint64_t code, int level,
+                    const NormBox& q, std::vector<SfcRange>* out,
+                    int max_ranges) const {
+  double ext_max[3];
+  for (int d = 0; d < 3; ++d) {
+    ext_max[d] = cell.max[d] + (cell.max[d] - cell.min[d]);
+  }
+  bool overlaps = true;
+  bool contained = true;
+  for (int d = 0; d < 3; ++d) {
+    if (q.min[d] > ext_max[d] || q.max[d] < cell.min[d]) overlaps = false;
+    if (q.min[d] > cell.min[d] || q.max[d] < ext_max[d]) contained = false;
+  }
+  if (!overlaps) return;
+  if (contained) {
+    out->push_back(SfcRange{code, code + SubtreeSize(level) - 1, true});
+    return;
+  }
+  if (level >= g_ || static_cast<int>(out->size()) >= max_ranges) {
+    out->push_back(SfcRange{code, code + SubtreeSize(level) - 1, false});
+    return;
+  }
+  out->push_back(SfcRange{code, code, false});
+  uint64_t child_size = SubtreeSize(level + 1);
+  for (uint64_t octant = 0; octant < 8; ++octant) {
+    NormBox child;
+    for (int d = 0; d < 3; ++d) {
+      double center = (cell.min[d] + cell.max[d]) / 2;
+      if (octant & (1ull << d)) {
+        child.min[d] = center;
+        child.max[d] = cell.max[d];
+      } else {
+        child.min[d] = cell.min[d];
+        child.max[d] = center;
+      }
+    }
+    Search(child, code + 1 + octant * child_size, level + 1, q, out,
+           max_ranges);
+  }
+}
+
+std::vector<SfcRange> Xz3Sfc::Ranges(const geo::Mbr& query, double t0_frac,
+                                     double t1_frac, int max_ranges) const {
+  NormBox root{{0, 0, 0}, {1, 1, 1}};
+  NormBox q{{NormLng(query.lng_min), NormLat(query.lat_min), NormT(t0_frac)},
+            {NormLng(query.lng_max), NormLat(query.lat_max), NormT(t1_frac)}};
+  std::vector<SfcRange> out;
+  Search(root, 0, 0, q, &out, max_ranges);
+  MergeSfcRanges(&out);
+  return out;
+}
+
+}  // namespace just::curve

@@ -1,0 +1,49 @@
+#ifndef JUST_CURVE_XZ3_H_
+#define JUST_CURVE_XZ3_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "curve/sfc.h"
+#include "geo/point.h"
+
+namespace just::curve {
+
+/// XZ3 ordering: the octree extension of XZ2 for spatio-temporal extents
+/// (Section IV-A / IV-C motivation, Figure 5a). Time is normalized within a
+/// period to [0, 1) and treated as the third dimension; an object is stored
+/// at the smallest doubled cube containing its spatio-temporal MBR.
+class Xz3Sfc {
+ public:
+  explicit Xz3Sfc(int g = 8);
+
+  int resolution() const { return g_; }
+
+  /// Sequence code for an object with spatial `mbr` and within-period time
+  /// extent [t0_frac, t1_frac] (fractions in [0, 1]).
+  uint64_t Index(const geo::Mbr& mbr, double t0_frac, double t1_frac) const;
+
+  /// Candidate element ranges for a spatio-temporal box query.
+  std::vector<SfcRange> Ranges(const geo::Mbr& query, double t0_frac,
+                               double t1_frac, int max_ranges = 512) const;
+
+  uint64_t MaxCode() const;
+
+ private:
+  struct NormBox {
+    double min[3];
+    double max[3];
+  };
+
+  uint64_t SubtreeSize(int depth) const;
+
+  void Search(const NormBox& cell, uint64_t code, int level,
+              const NormBox& q, std::vector<SfcRange>* out,
+              int max_ranges) const;
+
+  int g_;
+};
+
+}  // namespace just::curve
+
+#endif  // JUST_CURVE_XZ3_H_

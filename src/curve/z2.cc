@@ -1,0 +1,87 @@
+#include "curve/z2.h"
+
+#include <algorithm>
+
+#include "curve/zorder.h"
+
+namespace just::curve {
+
+Z2Sfc::Z2Sfc(int bits) : bits_(std::clamp(bits, 1, 31)) {}
+
+uint64_t Z2Sfc::Index(const geo::Point& p) const {
+  uint32_t x = NormalizeToBits(p.lng, -180.0, 180.0, bits_);
+  uint32_t y = NormalizeToBits(p.lat, -90.0, 90.0, bits_);
+  return Interleave2(x, y);
+}
+
+geo::Point Z2Sfc::Invert(uint64_t z) const {
+  uint32_t x, y;
+  Deinterleave2(z, &x, &y);
+  return geo::Point{DenormalizeFromBits(x, -180.0, 180.0, bits_),
+                    DenormalizeFromBits(y, -90.0, 90.0, bits_)};
+}
+
+geo::Mbr Z2Sfc::CellBounds(uint64_t prefix, int level) const {
+  // Walk the quad digits from most significant to least.
+  double lng_min = -180, lng_max = 180, lat_min = -90, lat_max = 90;
+  for (int i = level - 1; i >= 0; --i) {
+    uint64_t digit = (prefix >> (2 * i)) & 3;
+    double lng_mid = (lng_min + lng_max) / 2;
+    double lat_mid = (lat_min + lat_max) / 2;
+    if (digit & 1) {
+      lng_min = lng_mid;  // x bit set -> right half
+    } else {
+      lng_max = lng_mid;
+    }
+    if (digit & 2) {
+      lat_min = lat_mid;  // y bit set -> top half
+    } else {
+      lat_max = lat_mid;
+    }
+  }
+  return geo::Mbr{lng_min, lat_min, lng_max, lat_max};
+}
+
+void Z2Sfc::Decompose(uint64_t prefix, int level, const geo::Mbr& cell,
+                      const geo::Mbr& query, int max_level,
+                      std::vector<SfcRange>* out, int max_ranges) const {
+  if (!cell.Intersects(query)) return;
+  int remaining = 2 * (bits_ - level);
+  uint64_t lo = prefix << remaining;
+  uint64_t hi = lo + ((remaining == 64) ? UINT64_MAX
+                                        : ((1ull << remaining) - 1));
+  if (query.Contains(cell)) {
+    out->push_back(SfcRange{lo, hi, true});
+    return;
+  }
+  if (level >= max_level ||
+      static_cast<int>(out->size()) >= max_ranges) {
+    out->push_back(SfcRange{lo, hi, false});
+    return;
+  }
+  double lng_mid = (cell.lng_min + cell.lng_max) / 2;
+  double lat_mid = (cell.lat_min + cell.lat_max) / 2;
+  for (uint64_t digit = 0; digit < 4; ++digit) {
+    geo::Mbr child{
+        (digit & 1) ? lng_mid : cell.lng_min,
+        (digit & 2) ? lat_mid : cell.lat_min,
+        (digit & 1) ? cell.lng_max : lng_mid,
+        (digit & 2) ? cell.lat_max : lat_mid,
+    };
+    Decompose((prefix << 2) | digit, level + 1, child, query, max_level, out,
+              max_ranges);
+  }
+}
+
+std::vector<SfcRange> Z2Sfc::Ranges(const geo::Mbr& query,
+                                    int max_ranges) const {
+  std::vector<SfcRange> out;
+  // Depth cap: refining beyond ~16 quad levels yields sub-meter cells with
+  // no scan-selectivity benefit.
+  int max_level = std::min(bits_, 16);
+  Decompose(0, 0, geo::Mbr::World(), query, max_level, &out, max_ranges);
+  MergeSfcRanges(&out);
+  return out;
+}
+
+}  // namespace just::curve

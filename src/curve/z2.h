@@ -1,0 +1,50 @@
+#ifndef JUST_CURVE_Z2_H_
+#define JUST_CURVE_Z2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "curve/sfc.h"
+#include "geo/point.h"
+
+namespace just::curve {
+
+/// Z2 space-filling curve over (lng, lat), as used by GeoMesa for point
+/// data (Section IV-A, Figure 3a/3b). Each dimension is encoded to
+/// `bits` binary digits via binary search and the two codes are crosswise
+/// combined (interleaved).
+class Z2Sfc {
+ public:
+  /// `bits` is the per-dimension resolution alpha (<= 31). Key width is
+  /// 2 * bits.
+  explicit Z2Sfc(int bits = 30);
+
+  int bits() const { return bits_; }
+
+  /// Encodes a point to its Z2 value.
+  uint64_t Index(const geo::Point& p) const;
+
+  /// Decodes a Z2 value back to the lower-left corner of its cell.
+  geo::Point Invert(uint64_t z) const;
+
+  /// Decomposes a query rectangle into Z-value ranges via recursive
+  /// quadtree refinement, stopping at `max_ranges` (further refinement
+  /// would produce more SCANs than it saves).
+  std::vector<SfcRange> Ranges(const geo::Mbr& query,
+                               int max_ranges = 128) const;
+
+  /// The geographic cell covered by the Z-prefix `prefix` at `level`
+  /// quad subdivisions.
+  geo::Mbr CellBounds(uint64_t prefix, int level) const;
+
+ private:
+  void Decompose(uint64_t prefix, int level, const geo::Mbr& cell,
+                 const geo::Mbr& query, int max_level,
+                 std::vector<SfcRange>* out, int max_ranges) const;
+
+  int bits_;
+};
+
+}  // namespace just::curve
+
+#endif  // JUST_CURVE_Z2_H_

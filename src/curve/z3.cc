@@ -1,0 +1,67 @@
+#include "curve/z3.h"
+
+#include <algorithm>
+
+#include "curve/zorder.h"
+
+namespace just::curve {
+
+Z3Sfc::Z3Sfc(int bits) : bits_(std::clamp(bits, 1, 21)) {}
+
+uint64_t Z3Sfc::Index(const geo::Point& p, double time_frac) const {
+  uint32_t x = NormalizeToBits(p.lng, -180.0, 180.0, bits_);
+  uint32_t y = NormalizeToBits(p.lat, -90.0, 90.0, bits_);
+  uint32_t t = NormalizeToBits(time_frac, 0.0, 1.0, bits_);
+  return Interleave3(x, y, t);
+}
+
+void Z3Sfc::Decompose(uint64_t prefix, int level, const Cube& cell,
+                      const Cube& query, int max_level,
+                      std::vector<SfcRange>* out, int max_ranges) const {
+  bool intersects = cell.box.Intersects(query.box) &&
+                    !(cell.t0 > query.t1 || cell.t1 < query.t0);
+  if (!intersects) return;
+  int remaining = 3 * (bits_ - level);
+  uint64_t lo = prefix << remaining;
+  uint64_t hi = lo + ((remaining >= 64) ? UINT64_MAX
+                                        : ((1ull << remaining) - 1));
+  bool contained = query.box.Contains(cell.box) && query.t0 <= cell.t0 &&
+                   query.t1 >= cell.t1;
+  if (contained) {
+    out->push_back(SfcRange{lo, hi, true});
+    return;
+  }
+  if (level >= max_level || static_cast<int>(out->size()) >= max_ranges) {
+    out->push_back(SfcRange{lo, hi, false});
+    return;
+  }
+  double lng_mid = (cell.box.lng_min + cell.box.lng_max) / 2;
+  double lat_mid = (cell.box.lat_min + cell.box.lat_max) / 2;
+  double t_mid = (cell.t0 + cell.t1) / 2;
+  for (uint64_t digit = 0; digit < 8; ++digit) {
+    Cube child;
+    child.box = geo::Mbr{
+        (digit & 1) ? lng_mid : cell.box.lng_min,
+        (digit & 2) ? lat_mid : cell.box.lat_min,
+        (digit & 1) ? cell.box.lng_max : lng_mid,
+        (digit & 2) ? cell.box.lat_max : lat_mid,
+    };
+    child.t0 = (digit & 4) ? t_mid : cell.t0;
+    child.t1 = (digit & 4) ? cell.t1 : t_mid;
+    Decompose((prefix << 3) | digit, level + 1, child, query, max_level, out,
+              max_ranges);
+  }
+}
+
+std::vector<SfcRange> Z3Sfc::Ranges(const geo::Mbr& query, double t0_frac,
+                                    double t1_frac, int max_ranges) const {
+  std::vector<SfcRange> out;
+  Cube root{geo::Mbr::World(), 0.0, 1.0};
+  Cube q{query, std::clamp(t0_frac, 0.0, 1.0), std::clamp(t1_frac, 0.0, 1.0)};
+  int max_level = std::min(bits_, 12);
+  Decompose(0, 0, root, q, max_level, &out, max_ranges);
+  MergeSfcRanges(&out);
+  return out;
+}
+
+}  // namespace just::curve

@@ -1,0 +1,50 @@
+#ifndef JUST_CURVE_Z3_H_
+#define JUST_CURVE_Z3_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "curve/sfc.h"
+#include "geo/point.h"
+
+namespace just::curve {
+
+/// Z3 space-filling curve over (lng, lat, time-within-period) as used by
+/// GeoMesa for spatio-temporal point data (Section IV-A, Figure 3c-3e).
+/// Time is first binned into disjoint periods (Eq. 1); within a period it is
+/// normalized to [0, 1) and interleaved as a third dimension. This is the
+/// strategy whose spatial filtering degrades when the time scale dominates —
+/// the motivation for Z2T (Section IV-B).
+class Z3Sfc {
+ public:
+  /// `bits` per dimension (<= 21); key width is 3 * bits.
+  explicit Z3Sfc(int bits = 20);
+
+  int bits() const { return bits_; }
+
+  /// Encodes a point plus its normalized within-period time fraction
+  /// in [0, 1).
+  uint64_t Index(const geo::Point& p, double time_frac) const;
+
+  /// Decomposes a spatio-temporal box query (spatial MBR plus a
+  /// within-period time-fraction interval) into Z3 ranges via octree
+  /// refinement.
+  std::vector<SfcRange> Ranges(const geo::Mbr& query, double t0_frac,
+                               double t1_frac, int max_ranges = 128) const;
+
+ private:
+  struct Cube {
+    geo::Mbr box;
+    double t0, t1;
+  };
+
+  void Decompose(uint64_t prefix, int level, const Cube& cell,
+                 const Cube& query, int max_level, std::vector<SfcRange>* out,
+                 int max_ranges) const;
+
+  int bits_;
+};
+
+}  // namespace just::curve
+
+#endif  // JUST_CURVE_Z3_H_

@@ -1,0 +1,85 @@
+#include "curve/zorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace just::curve {
+
+namespace {
+// Spreads the low 32 bits of v so bit i moves to bit 2i ("morton magic").
+uint64_t Spread2(uint64_t v) {
+  v &= 0xFFFFFFFFull;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+uint32_t Compact2(uint64_t v) {
+  v &= 0x5555555555555555ull;
+  v = (v | (v >> 1)) & 0x3333333333333333ull;
+  v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v >> 4)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v >> 8)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v >> 16)) & 0x00000000FFFFFFFFull;
+  return static_cast<uint32_t>(v);
+}
+
+// Spreads the low 21 bits of v so bit i moves to bit 3i.
+uint64_t Spread3(uint64_t v) {
+  v &= 0x1FFFFFull;
+  v = (v | (v << 32)) & 0x001F00000000FFFFull;
+  v = (v | (v << 16)) & 0x001F0000FF0000FFull;
+  v = (v | (v << 8)) & 0x100F00F00F00F00Full;
+  v = (v | (v << 4)) & 0x10C30C30C30C30C3ull;
+  v = (v | (v << 2)) & 0x1249249249249249ull;
+  return v;
+}
+
+uint32_t Compact3(uint64_t v) {
+  v &= 0x1249249249249249ull;
+  v = (v | (v >> 2)) & 0x10C30C30C30C30C3ull;
+  v = (v | (v >> 4)) & 0x100F00F00F00F00Full;
+  v = (v | (v >> 8)) & 0x001F0000FF0000FFull;
+  v = (v | (v >> 16)) & 0x001F00000000FFFFull;
+  v = (v | (v >> 32)) & 0x00000000001FFFFFull;
+  return static_cast<uint32_t>(v);
+}
+}  // namespace
+
+uint64_t Interleave2(uint32_t x, uint32_t y) {
+  return Spread2(x) | (Spread2(y) << 1);
+}
+
+void Deinterleave2(uint64_t z, uint32_t* x, uint32_t* y) {
+  *x = Compact2(z);
+  *y = Compact2(z >> 1);
+}
+
+uint64_t Interleave3(uint32_t x, uint32_t y, uint32_t t) {
+  return Spread3(x) | (Spread3(y) << 1) | (Spread3(t) << 2);
+}
+
+void Deinterleave3(uint64_t z, uint32_t* x, uint32_t* y, uint32_t* t) {
+  *x = Compact3(z);
+  *y = Compact3(z >> 1);
+  *t = Compact3(z >> 2);
+}
+
+uint32_t NormalizeToBits(double v, double lo, double hi, int bits) {
+  const uint64_t cells = 1ull << bits;
+  double frac = (v - lo) / (hi - lo);
+  frac = std::clamp(frac, 0.0, 1.0);
+  uint64_t n = static_cast<uint64_t>(frac * static_cast<double>(cells));
+  if (n >= cells) n = cells - 1;  // v == hi maps to the last cell
+  return static_cast<uint32_t>(n);
+}
+
+double DenormalizeFromBits(uint32_t n, double lo, double hi, int bits) {
+  const double cells = static_cast<double>(1ull << bits);
+  return lo + (hi - lo) * (static_cast<double>(n) / cells);
+}
+
+}  // namespace just::curve

@@ -1,0 +1,36 @@
+#ifndef JUST_CURVE_ZORDER_H_
+#define JUST_CURVE_ZORDER_H_
+
+#include <cstdint>
+
+namespace just::curve {
+
+/// Bit-interleaving primitives for Z-ordering [Orenstein & Merrett, 1984].
+/// Dimension values are first normalized to fixed-width unsigned integers;
+/// interleaving produces a key whose lexicographic order follows the Z curve.
+
+/// Interleaves the low 31 bits of x and y: result bit (2i) = x bit i,
+/// bit (2i+1) = y bit i. (x varies fastest, matching Figure 3b where the
+/// longitude bit comes first at even positions.)
+uint64_t Interleave2(uint32_t x, uint32_t y);
+
+/// Inverse of Interleave2.
+void Deinterleave2(uint64_t z, uint32_t* x, uint32_t* y);
+
+/// Interleaves the low 21 bits of x, y, t into a 63-bit key
+/// (bit order per group: x, y, t).
+uint64_t Interleave3(uint32_t x, uint32_t y, uint32_t t);
+
+void Deinterleave3(uint64_t z, uint32_t* x, uint32_t* y, uint32_t* t);
+
+/// Normalizes a value in [lo, hi] to an unsigned integer in [0, 2^bits).
+/// Values are clamped to the range; this is the "binary search" encoding of
+/// Figure 3a.
+uint32_t NormalizeToBits(double v, double lo, double hi, int bits);
+
+/// Lower edge of the cell that `n` (a NormalizeToBits output) denotes.
+double DenormalizeFromBits(uint32_t n, double lo, double hi, int bits);
+
+}  // namespace just::curve
+
+#endif  // JUST_CURVE_ZORDER_H_

@@ -1,0 +1,85 @@
+#include "exec/dataframe.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace just::exec {
+
+namespace {
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name + " " + DataTypeName(fields_[i].type);
+  }
+  return out + ")";
+}
+
+size_t DataFrame::ApproxBytes() const {
+  size_t total = 0;
+  for (const Row& row : rows_) {
+    total += sizeof(Row);
+    for (const Value& v : row) total += v.ApproxBytes();
+  }
+  return total;
+}
+
+std::string DataFrame::ToDisplayString(size_t max_rows) const {
+  std::vector<size_t> widths;
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (const Field& f : schema_->fields()) {
+    header.push_back(f.name);
+    widths.push_back(f.name.size());
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row_cells;
+    for (size_t c = 0; c < rows_[r].size() && c < widths.size(); ++c) {
+      std::string s = rows_[r][c].ToString();
+      if (s.size() > 40) s = s.substr(0, 37) + "...";
+      widths[c] = std::max(widths[c], s.size());
+      row_cells.push_back(std::move(s));
+    }
+    cells.push_back(std::move(row_cells));
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+  std::string out = sep + render_row(header) + sep;
+  for (const auto& row : cells) out += render_row(row);
+  out += sep;
+  if (rows_.size() > shown) {
+    out += "(" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace just::exec

@@ -1,0 +1,83 @@
+#ifndef JUST_EXEC_DATAFRAME_H_
+#define JUST_EXEC_DATAFRAME_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/value.h"
+
+namespace just::exec {
+
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// Column layout of a table / view / intermediate result.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of a column by name; -1 when absent. Case-insensitive, as JustQL
+  /// identifiers are.
+  int IndexOf(const std::string& name) const;
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const { return fields_ == o.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// One record.
+using Row = std::vector<Value>;
+
+/// An in-memory table: the Spark DataFrame role in the paper's data flow
+/// (Figure 2). View tables are DataFrames cached in memory (Section IV-D).
+class DataFrame {
+ public:
+  DataFrame() : schema_(std::make_shared<Schema>()) {}
+  explicit DataFrame(std::shared_ptr<Schema> schema)
+      : schema_(std::move(schema)) {}
+  DataFrame(std::shared_ptr<Schema> schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<Schema>& schema_ptr() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>* mutable_rows() { return &rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Estimated heap footprint, used for view caching / OOM simulation.
+  size_t ApproxBytes() const;
+
+  /// Renders up to `max_rows` rows as an aligned text table (for examples
+  /// and the quickstart shell).
+  std::string ToDisplayString(size_t max_rows = 20) const;
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace just::exec
+
+#endif  // JUST_EXEC_DATAFRAME_H_

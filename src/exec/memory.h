@@ -1,0 +1,52 @@
+#ifndef JUST_EXEC_MEMORY_H_
+#define JUST_EXEC_MEMORY_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace just::exec {
+
+/// Tracks memory consumption against a fixed budget. JUST itself streams
+/// from disk and needs little memory, but the Spark-based baselines load
+/// all data (and large indexes) into RAM; this budget is how the benches
+/// reproduce their out-of-memory failures (Section VIII: "Simba runs out of
+/// memory when the data size of Traj is over 20%").
+class MemoryBudget {
+ public:
+  /// `capacity_bytes` = 0 means unlimited.
+  explicit MemoryBudget(size_t capacity_bytes = 0)
+      : capacity_(capacity_bytes) {}
+
+  /// Reserves `bytes`; fails with ResourceExhausted when the budget would
+  /// be exceeded (the simulated OOM).
+  Status Charge(size_t bytes) {
+    size_t used = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (capacity_ != 0 && used > capacity_) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "out of memory: budget " + std::to_string(capacity_) +
+          " bytes, requested " + std::to_string(bytes) + " with " +
+          std::to_string(used - bytes) + " in use");
+    }
+    return Status::OK();
+  }
+
+  void Release(size_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  void Reset() { used_.store(0, std::memory_order_relaxed); }
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::atomic<size_t> used_{0};
+};
+
+}  // namespace just::exec
+
+#endif  // JUST_EXEC_MEMORY_H_

@@ -1,0 +1,77 @@
+#ifndef JUST_EXEC_OPERATORS_H_
+#define JUST_EXEC_OPERATORS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/dataframe.h"
+
+namespace just::exec {
+
+/// Relational operators over DataFrames: the Spark SQL subset JUST pushes
+/// complex predicates, aggregates, and joins to (Section VI, SQL Execute).
+/// All operators are pure: they build a new DataFrame.
+
+/// Keeps rows for which `pred` returns true.
+DataFrame Filter(const DataFrame& input,
+                 const std::function<bool(const Row&)>& pred);
+
+/// Keeps the named columns, in order.
+Result<DataFrame> Project(const DataFrame& input,
+                          const std::vector<std::string>& columns);
+
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Stable multi-key sort.
+Result<DataFrame> Sort(const DataFrame& input,
+                       const std::vector<SortKey>& keys);
+
+DataFrame Limit(const DataFrame& input, size_t n);
+
+/// Aggregate functions for GROUP BY.
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+struct Aggregate {
+  AggFunc func = AggFunc::kCount;
+  std::string column;  ///< ignored for COUNT(*) — pass ""
+  std::string output_name;
+};
+
+/// Hash aggregation; with empty `group_by` produces one global row.
+Result<DataFrame> GroupBy(const DataFrame& input,
+                          const std::vector<std::string>& group_by,
+                          const std::vector<Aggregate>& aggregates);
+
+/// Inner hash join on `left_col` == `right_col`. Right columns that clash
+/// with left names get a "_r" suffix.
+Result<DataFrame> HashJoin(const DataFrame& left, const DataFrame& right,
+                           const std::string& left_col,
+                           const std::string& right_col);
+
+/// Per-row transform (1-1 analysis operations, e.g. coordinate transforms).
+DataFrame MapRows(const DataFrame& input, std::shared_ptr<Schema> out_schema,
+                  const std::function<Row(const Row&)>& fn);
+
+/// Per-row expansion (1-N analysis operations, e.g. trajectory
+/// segmentation), implemented with our own executor since Spark SQL UDFs
+/// cannot return multiple rows (Section V-D).
+DataFrame FlatMapRows(const DataFrame& input,
+                      std::shared_ptr<Schema> out_schema,
+                      const std::function<std::vector<Row>(const Row&)>& fn);
+
+/// Whole-table transform (N-M analysis operations, e.g. st_DBSCAN).
+DataFrame MapPartition(
+    const DataFrame& input, std::shared_ptr<Schema> out_schema,
+    const std::function<std::vector<Row>(const std::vector<Row>&)>& fn);
+
+/// Concatenates frames with identical schemas.
+Result<DataFrame> Union(const DataFrame& a, const DataFrame& b);
+
+}  // namespace just::exec
+
+#endif  // JUST_EXEC_OPERATORS_H_

@@ -1,0 +1,96 @@
+#ifndef JUST_EXEC_VALUE_H_
+#define JUST_EXEC_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "common/time_util.h"
+#include "geo/geometry.h"
+#include "traj/trajectory.h"
+
+namespace just::exec {
+
+/// Column types supported by JUST tables (Section IV-D): primitives,
+/// date/time, geometry, and the new st_series type (a trajectory GPS list).
+enum class DataType {
+  kNull,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kTimestamp,   ///< milliseconds since epoch ("date" in JustQL)
+  kGeometry,    ///< point / linestring / polygon
+  kTrajectory,  ///< st_series
+};
+
+std::string DataTypeName(DataType type);
+Result<DataType> ParseDataType(const std::string& name);
+
+/// A dynamically-typed cell value. Trajectories are shared (they can be
+/// megabytes); everything else is owned inline.
+class Value {
+ public:
+  Value() : type_(DataType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value String(std::string s);
+  static Value Timestamp(TimestampMs t);
+  static Value GeometryVal(geo::Geometry g);
+  static Value TrajectoryVal(std::shared_ptr<const traj::Trajectory> t);
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
+  TimestampMs timestamp_value() const { return std::get<int64_t>(data_); }
+  const geo::Geometry& geometry_value() const {
+    return std::get<geo::Geometry>(data_);
+  }
+  const std::shared_ptr<const traj::Trajectory>& trajectory_value() const {
+    return std::get<std::shared_ptr<const traj::Trajectory>>(data_);
+  }
+
+  /// Numeric coercion: int/double/bool/timestamp as double.
+  Result<double> AsDouble() const;
+  /// Int coercion (doubles truncate).
+  Result<int64_t> AsInt() const;
+
+  /// Total order for ORDER BY / MIN / MAX; null sorts first; values of
+  /// mismatched types order by type id. Numeric types compare numerically.
+  int Compare(const Value& other) const;
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  /// Hash consistent with Equals, for GROUP BY / hash join keys.
+  size_t Hash() const;
+
+  /// Rough heap footprint, for memory budgeting.
+  size_t ApproxBytes() const;
+
+  /// Display rendering (used by ResultSet and examples).
+  std::string ToString() const;
+
+  /// Compact binary encoding for storage cells.
+  void SerializeTo(std::string* out) const;
+  static Result<Value> Deserialize(const char** p, const char* limit);
+
+ private:
+  DataType type_;
+  std::variant<std::monostate, bool, int64_t, double, std::string,
+               geo::Geometry, std::shared_ptr<const traj::Trajectory>>
+      data_;
+};
+
+}  // namespace just::exec
+
+#endif  // JUST_EXEC_VALUE_H_

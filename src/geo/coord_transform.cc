@@ -1,0 +1,86 @@
+#include "geo/coord_transform.h"
+
+#include <cmath>
+
+namespace just::geo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kA = 6378245.0;              // Krasovsky 1940 semi-major axis
+constexpr double kEe = 0.00669342162296594323;  // eccentricity^2
+
+double TransformLat(double x, double y) {
+  double ret = -100.0 + 2.0 * x + 3.0 * y + 0.2 * y * y + 0.1 * x * y +
+               0.2 * std::sqrt(std::fabs(x));
+  ret += (20.0 * std::sin(6.0 * x * kPi) + 20.0 * std::sin(2.0 * x * kPi)) *
+         2.0 / 3.0;
+  ret += (20.0 * std::sin(y * kPi) + 40.0 * std::sin(y / 3.0 * kPi)) * 2.0 /
+         3.0;
+  ret += (160.0 * std::sin(y / 12.0 * kPi) + 320 * std::sin(y * kPi / 30.0)) *
+         2.0 / 3.0;
+  return ret;
+}
+
+double TransformLng(double x, double y) {
+  double ret = 300.0 + x + 2.0 * y + 0.1 * x * x + 0.1 * x * y +
+               0.1 * std::sqrt(std::fabs(x));
+  ret += (20.0 * std::sin(6.0 * x * kPi) + 20.0 * std::sin(2.0 * x * kPi)) *
+         2.0 / 3.0;
+  ret += (20.0 * std::sin(x * kPi) + 40.0 * std::sin(x / 3.0 * kPi)) * 2.0 /
+         3.0;
+  ret += (150.0 * std::sin(x / 12.0 * kPi) +
+          300.0 * std::sin(x / 30.0 * kPi)) *
+         2.0 / 3.0;
+  return ret;
+}
+}  // namespace
+
+bool OutsideChina(const Point& p) {
+  return p.lng < 72.004 || p.lng > 137.8347 || p.lat < 0.8293 ||
+         p.lat > 55.8271;
+}
+
+Point Wgs84ToGcj02(const Point& wgs) {
+  if (OutsideChina(wgs)) return wgs;
+  double dlat = TransformLat(wgs.lng - 105.0, wgs.lat - 35.0);
+  double dlng = TransformLng(wgs.lng - 105.0, wgs.lat - 35.0);
+  double rad_lat = wgs.lat / 180.0 * kPi;
+  double magic = std::sin(rad_lat);
+  magic = 1 - kEe * magic * magic;
+  double sqrt_magic = std::sqrt(magic);
+  dlat = (dlat * 180.0) / ((kA * (1 - kEe)) / (magic * sqrt_magic) * kPi);
+  dlng = (dlng * 180.0) / (kA / sqrt_magic * std::cos(rad_lat) * kPi);
+  return Point{wgs.lng + dlng, wgs.lat + dlat};
+}
+
+Point Gcj02ToWgs84(const Point& gcj) {
+  if (OutsideChina(gcj)) return gcj;
+  // Iterative inversion: wgs such that Wgs84ToGcj02(wgs) == gcj.
+  Point wgs = gcj;
+  for (int i = 0; i < 5; ++i) {
+    Point forward = Wgs84ToGcj02(wgs);
+    wgs.lng -= forward.lng - gcj.lng;
+    wgs.lat -= forward.lat - gcj.lat;
+  }
+  return wgs;
+}
+
+Point Gcj02ToBd09(const Point& gcj) {
+  constexpr double x_pi = kPi * 3000.0 / 180.0;
+  double z = std::sqrt(gcj.lng * gcj.lng + gcj.lat * gcj.lat) +
+             0.00002 * std::sin(gcj.lat * x_pi);
+  double theta = std::atan2(gcj.lat, gcj.lng) + 0.000003 *
+                     std::cos(gcj.lng * x_pi);
+  return Point{z * std::cos(theta) + 0.0065, z * std::sin(theta) + 0.006};
+}
+
+Point Bd09ToGcj02(const Point& bd) {
+  constexpr double x_pi = kPi * 3000.0 / 180.0;
+  double x = bd.lng - 0.0065;
+  double y = bd.lat - 0.006;
+  double z = std::sqrt(x * x + y * y) - 0.00002 * std::sin(y * x_pi);
+  double theta = std::atan2(y, x) - 0.000003 * std::cos(x * x_pi);
+  return Point{z * std::cos(theta), z * std::sin(theta)};
+}
+
+}  // namespace just::geo

@@ -1,0 +1,26 @@
+#ifndef JUST_GEO_COORD_TRANSFORM_H_
+#define JUST_GEO_COORD_TRANSFORM_H_
+
+#include "geo/point.h"
+
+namespace just::geo {
+
+/// Coordinate-standard transforms backing the paper's 1-1 analysis operators
+/// (st_WGS84ToGCJ02 etc., Section V-D). GCJ-02 is the Chinese national
+/// obfuscated datum; the forward transform is the published algorithm and the
+/// inverse is an iterative refinement.
+
+/// Returns true if the point is clearly outside China, where GCJ-02 applies
+/// no offset.
+bool OutsideChina(const Point& p);
+
+Point Wgs84ToGcj02(const Point& wgs);
+Point Gcj02ToWgs84(const Point& gcj);
+
+/// BD-09 (Baidu) transforms, included for API completeness.
+Point Gcj02ToBd09(const Point& gcj);
+Point Bd09ToGcj02(const Point& bd);
+
+}  // namespace just::geo
+
+#endif  // JUST_GEO_COORD_TRANSFORM_H_

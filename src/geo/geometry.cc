@@ -1,0 +1,263 @@
+#include "geo/geometry.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/bytes.h"
+
+namespace just::geo {
+
+Geometry Geometry::MakePoint(Point p) {
+  Geometry g;
+  g.type_ = GeometryType::kPoint;
+  g.points_ = {p};
+  return g;
+}
+
+Geometry Geometry::MakeLineString(std::vector<Point> pts) {
+  Geometry g;
+  g.type_ = GeometryType::kLineString;
+  g.points_ = std::move(pts);
+  if (g.points_.empty()) g.points_.push_back(Point{});
+  return g;
+}
+
+Geometry Geometry::MakePolygon(std::vector<Point> ring) {
+  Geometry g;
+  g.type_ = GeometryType::kPolygon;
+  g.points_ = std::move(ring);
+  if (g.points_.empty()) g.points_.push_back(Point{});
+  // Normalize: drop an explicit closing point equal to the first.
+  if (g.points_.size() > 1 && g.points_.front() == g.points_.back()) {
+    g.points_.pop_back();
+  }
+  return g;
+}
+
+Mbr Geometry::Bounds() const {
+  Mbr box = Mbr::Empty();
+  for (const Point& p : points_) box.Expand(p);
+  return box;
+}
+
+bool Geometry::Within(const Mbr& box) const { return box.Contains(Bounds()); }
+
+bool Geometry::Intersects(const Mbr& box) const {
+  if (!box.Intersects(Bounds())) return false;
+  if (type_ == GeometryType::kPoint) return true;
+  // Any vertex inside?
+  for (const Point& p : points_) {
+    if (box.Contains(p)) return true;
+  }
+  // Any edge crossing the box? Conservative: check segment-box overlap by
+  // sampling the segment bounding boxes (sufficient for query refinement).
+  size_t n = points_.size();
+  size_t edges = type_ == GeometryType::kPolygon ? n : n - 1;
+  for (size_t i = 0; i < edges; ++i) {
+    const Point& a = points_[i];
+    const Point& b = points_[(i + 1) % n];
+    Mbr seg = Mbr::Of(a.lng, a.lat, b.lng, b.lat);
+    if (box.Intersects(seg)) return true;
+  }
+  // Box fully inside a polygon?
+  if (type_ == GeometryType::kPolygon && ContainsPoint(box.Center())) {
+    return true;
+  }
+  return false;
+}
+
+bool Geometry::ContainsPoint(const Point& p) const {
+  if (type_ != GeometryType::kPolygon || points_.size() < 3) return false;
+  bool inside = false;
+  size_t n = points_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = points_[i];
+    const Point& b = points_[j];
+    bool crosses = (a.lat > p.lat) != (b.lat > p.lat);
+    if (crosses) {
+      double x = (b.lng - a.lng) * (p.lat - a.lat) / (b.lat - a.lat) + a.lng;
+      if (p.lng < x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Geometry::Distance(const Point& q) const {
+  switch (type_) {
+    case GeometryType::kPoint:
+      return EuclideanDistance(q, points_[0]);
+    case GeometryType::kLineString: {
+      double best = std::numeric_limits<double>::infinity();
+      if (points_.size() == 1) return EuclideanDistance(q, points_[0]);
+      for (size_t i = 0; i + 1 < points_.size(); ++i) {
+        best = std::min(best,
+                        PointSegmentDistance(q, points_[i], points_[i + 1]));
+      }
+      return best;
+    }
+    case GeometryType::kPolygon: {
+      if (ContainsPoint(q)) return 0.0;
+      double best = std::numeric_limits<double>::infinity();
+      size_t n = points_.size();
+      for (size_t i = 0; i < n; ++i) {
+        best = std::min(
+            best, PointSegmentDistance(q, points_[i], points_[(i + 1) % n]));
+      }
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+void AppendCoord(std::string* out, const Point& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f %.6f", p.lng, p.lat);
+  *out += buf;
+}
+}  // namespace
+
+std::string Geometry::ToWkt() const {
+  std::string out;
+  switch (type_) {
+    case GeometryType::kPoint:
+      out = "POINT (";
+      AppendCoord(&out, points_[0]);
+      out += ")";
+      return out;
+    case GeometryType::kLineString: {
+      out = "LINESTRING (";
+      for (size_t i = 0; i < points_.size(); ++i) {
+        if (i) out += ", ";
+        AppendCoord(&out, points_[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case GeometryType::kPolygon: {
+      out = "POLYGON ((";
+      for (size_t i = 0; i < points_.size(); ++i) {
+        if (i) out += ", ";
+        AppendCoord(&out, points_[i]);
+      }
+      if (!points_.empty()) {
+        out += ", ";
+        AppendCoord(&out, points_[0]);  // close the ring
+      }
+      out += "))";
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string Geometry::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(type_));
+  PutVarint64(&out, points_.size());
+  for (const Point& p : points_) {
+    PutFixed64(&out, OrderedDoubleBits(p.lng));
+    PutFixed64(&out, OrderedDoubleBits(p.lat));
+  }
+  return out;
+}
+
+Result<Geometry> Geometry::Deserialize(const std::string& bytes) {
+  if (bytes.empty()) return Status::Corruption("empty geometry");
+  const char* p = bytes.data();
+  const char* limit = p + bytes.size();
+  auto type = static_cast<GeometryType>(*p++);
+  uint64_t n;
+  if (!GetVarint64(&p, limit, &n)) return Status::Corruption("bad geometry");
+  if (static_cast<uint64_t>(limit - p) < n * 16) {
+    return Status::Corruption("truncated geometry");
+  }
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    double lng = OrderedBitsToDouble(GetFixed64(p));
+    p += 8;
+    double lat = OrderedBitsToDouble(GetFixed64(p));
+    p += 8;
+    pts.push_back(Point{lng, lat});
+  }
+  switch (type) {
+    case GeometryType::kPoint:
+      if (pts.empty()) return Status::Corruption("empty point");
+      return Geometry::MakePoint(pts[0]);
+    case GeometryType::kLineString:
+      return Geometry::MakeLineString(std::move(pts));
+    case GeometryType::kPolygon:
+      return Geometry::MakePolygon(std::move(pts));
+  }
+  return Status::Corruption("unknown geometry type");
+}
+
+namespace {
+// Parses "lng lat" pairs separated by commas until ')'.
+Result<std::vector<Point>> ParseCoordList(const std::string& s, size_t* pos) {
+  std::vector<Point> pts;
+  while (*pos < s.size() && s[*pos] != ')') {
+    char* end = nullptr;
+    double lng = std::strtod(s.c_str() + *pos, &end);
+    if (end == s.c_str() + *pos) {
+      return Status::InvalidArgument("bad WKT coordinate");
+    }
+    *pos = end - s.c_str();
+    double lat = std::strtod(s.c_str() + *pos, &end);
+    if (end == s.c_str() + *pos) {
+      return Status::InvalidArgument("bad WKT coordinate");
+    }
+    *pos = end - s.c_str();
+    pts.push_back(Point{lng, lat});
+    while (*pos < s.size() && (s[*pos] == ',' || std::isspace(
+                                  static_cast<unsigned char>(s[*pos])))) {
+      ++(*pos);
+    }
+  }
+  if (*pos >= s.size()) return Status::InvalidArgument("unclosed WKT");
+  ++(*pos);  // ')'
+  return pts;
+}
+}  // namespace
+
+Result<Geometry> Geometry::FromWkt(const std::string& wkt) {
+  std::string upper;
+  upper.reserve(wkt.size());
+  for (char c : wkt) upper += static_cast<char>(std::toupper(c));
+
+  auto skip_to_open = [&](size_t from) -> size_t {
+    size_t p = upper.find('(', from);
+    return p == std::string::npos ? upper.size() : p + 1;
+  };
+
+  if (upper.rfind("POINT", 0) == 0) {
+    size_t pos = skip_to_open(5);
+    JUST_ASSIGN_OR_RETURN(auto pts, ParseCoordList(wkt, &pos));
+    if (pts.size() != 1) return Status::InvalidArgument("POINT needs 1 coord");
+    return MakePoint(pts[0]);
+  }
+  if (upper.rfind("LINESTRING", 0) == 0) {
+    size_t pos = skip_to_open(10);
+    JUST_ASSIGN_OR_RETURN(auto pts, ParseCoordList(wkt, &pos));
+    if (pts.empty()) return Status::InvalidArgument("empty LINESTRING");
+    return MakeLineString(std::move(pts));
+  }
+  if (upper.rfind("POLYGON", 0) == 0) {
+    size_t pos = skip_to_open(7);
+    // POLYGON ((ring)) — skip the inner paren too.
+    while (pos < wkt.size() &&
+           std::isspace(static_cast<unsigned char>(wkt[pos]))) {
+      ++pos;
+    }
+    if (pos < wkt.size() && wkt[pos] == '(') ++pos;
+    JUST_ASSIGN_OR_RETURN(auto pts, ParseCoordList(wkt, &pos));
+    if (pts.size() < 3) return Status::InvalidArgument("POLYGON needs a ring");
+    return MakePolygon(std::move(pts));
+  }
+  return Status::InvalidArgument("unsupported WKT: " + wkt);
+}
+
+}  // namespace just::geo

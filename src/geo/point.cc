@@ -1,0 +1,55 @@
+#include "geo/point.h"
+
+#include <cstdio>
+
+namespace just::geo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEarthRadiusM = 6371008.8;
+double Rad(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+std::string Mbr::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.6f,%.6f,%.6f,%.6f]", lng_min, lat_min,
+                lng_max, lat_max);
+  return buf;
+}
+
+double EuclideanDistance(const Point& a, const Point& b) {
+  double dx = a.lng - b.lng;
+  double dy = a.lat - b.lat;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double HaversineMeters(const Point& a, const Point& b) {
+  double dlat = Rad(b.lat - a.lat);
+  double dlng = Rad(b.lng - a.lng);
+  double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(Rad(a.lat)) * std::cos(Rad(b.lat)) *
+                 std::sin(dlng / 2) * std::sin(dlng / 2);
+  return 2 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+Mbr SquareWindowKm(const Point& center, double side_km) {
+  // 1 degree latitude ~ 111.32 km; longitude shrinks by cos(lat).
+  double half_lat = side_km / 2.0 / 111.32;
+  double cos_lat = std::max(0.1, std::cos(Rad(center.lat)));
+  double half_lng = side_km / 2.0 / (111.32 * cos_lat);
+  return Mbr::Of(center.lng - half_lng, center.lat - half_lat,
+                 center.lng + half_lng, center.lat + half_lat);
+}
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  double abx = b.lng - a.lng;
+  double aby = b.lat - a.lat;
+  double apx = p.lng - a.lng;
+  double apy = p.lat - a.lat;
+  double ab2 = abx * abx + aby * aby;
+  double t = ab2 == 0 ? 0 : std::clamp((apx * abx + apy * aby) / ab2, 0.0, 1.0);
+  Point proj{a.lng + t * abx, a.lat + t * aby};
+  return EuclideanDistance(p, proj);
+}
+
+}  // namespace just::geo

@@ -1,0 +1,118 @@
+#ifndef JUST_GEO_POINT_H_
+#define JUST_GEO_POINT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace just::geo {
+
+/// A longitude/latitude point in degrees (WGS84, SRID 4326).
+struct Point {
+  double lng = 0;
+  double lat = 0;
+
+  bool operator==(const Point& o) const { return lng == o.lng && lat == o.lat; }
+};
+
+/// Axis-aligned minimum bounding rectangle in degrees.
+struct Mbr {
+  double lng_min = 0;
+  double lat_min = 0;
+  double lng_max = 0;
+  double lat_max = 0;
+
+  static Mbr Of(double lng_min, double lat_min, double lng_max,
+                double lat_max) {
+    return Mbr{std::min(lng_min, lng_max), std::min(lat_min, lat_max),
+               std::max(lng_min, lng_max), std::max(lat_min, lat_max)};
+  }
+
+  /// The whole-earth extent used as the root search space.
+  static Mbr World() { return Mbr{-180.0, -90.0, 180.0, 90.0}; }
+
+  /// An "empty" MBR that expands from nothing.
+  static Mbr Empty() {
+    return Mbr{1e300, 1e300, -1e300, -1e300};
+  }
+
+  bool IsEmpty() const { return lng_min > lng_max || lat_min > lat_max; }
+
+  bool Contains(const Point& p) const {
+    return p.lng >= lng_min && p.lng <= lng_max && p.lat >= lat_min &&
+           p.lat <= lat_max;
+  }
+
+  bool Contains(const Mbr& o) const {
+    return o.lng_min >= lng_min && o.lng_max <= lng_max &&
+           o.lat_min >= lat_min && o.lat_max <= lat_max;
+  }
+
+  bool Intersects(const Mbr& o) const {
+    return !(o.lng_min > lng_max || o.lng_max < lng_min ||
+             o.lat_min > lat_max || o.lat_max < lat_min);
+  }
+
+  void Expand(const Point& p) {
+    lng_min = std::min(lng_min, p.lng);
+    lat_min = std::min(lat_min, p.lat);
+    lng_max = std::max(lng_max, p.lng);
+    lat_max = std::max(lat_max, p.lat);
+  }
+
+  void Expand(const Mbr& o) {
+    lng_min = std::min(lng_min, o.lng_min);
+    lat_min = std::min(lat_min, o.lat_min);
+    lng_max = std::max(lng_max, o.lng_max);
+    lat_max = std::max(lat_max, o.lat_max);
+  }
+
+  double Width() const { return lng_max - lng_min; }
+  double Height() const { return lat_max - lat_min; }
+  Point Center() const {
+    return Point{(lng_min + lng_max) / 2, (lat_min + lat_max) / 2};
+  }
+
+  /// Minimum euclidean (degree-space) distance from a point to this box;
+  /// zero when the point is inside. This is Eq. (4)'s dA(q, a).
+  double MinDistance(const Point& q) const {
+    double dx = 0, dy = 0;
+    if (q.lng < lng_min) {
+      dx = lng_min - q.lng;
+    } else if (q.lng > lng_max) {
+      dx = q.lng - lng_max;
+    }
+    if (q.lat < lat_min) {
+      dy = lat_min - q.lat;
+    } else if (q.lat > lat_max) {
+      dy = q.lat - lat_max;
+    }
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  bool operator==(const Mbr& o) const {
+    return lng_min == o.lng_min && lat_min == o.lat_min &&
+           lng_max == o.lng_max && lat_max == o.lat_max;
+  }
+
+  std::string ToString() const;
+};
+
+/// Euclidean distance in degree space (the paper adopts euclidean distance
+/// for k-NN simplicity; see Section V-C).
+double EuclideanDistance(const Point& a, const Point& b);
+
+/// Great-circle distance in meters (haversine), used by trajectory analysis
+/// operators where physical speed matters.
+double HaversineMeters(const Point& a, const Point& b);
+
+/// Builds the MBR of a square spatial window of `side_km` kilometers centered
+/// at `center` (approximate degree conversion; fine for query workloads).
+Mbr SquareWindowKm(const Point& center, double side_km);
+
+/// Distance from point p to segment [a, b] in degree space.
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+}  // namespace just::geo
+
+#endif  // JUST_GEO_POINT_H_

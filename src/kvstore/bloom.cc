@@ -1,0 +1,61 @@
+#include "kvstore/bloom.h"
+
+#include <algorithm>
+
+namespace just::kv {
+
+uint64_t BloomHash(std::string_view key) {
+  // FNV-1a 64.
+  uint64_t h = 14695981039346656037ull;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(std::max(1, bits_per_key)) {}
+
+void BloomFilterBuilder::AddKey(std::string_view key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  // k = bits_per_key * ln2, clamped to [1, 30].
+  int k = static_cast<int>(bits_per_key_ * 0.69);
+  k = std::clamp(k, 1, 30);
+  size_t bits = std::max<size_t>(64, hashes_.size() * bits_per_key_);
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string out;
+  out.push_back(static_cast<char>(k));
+  out.resize(1 + bytes, '\0');
+  for (uint64_t h : hashes_) {
+    uint64_t delta = (h >> 33) | (h << 31);  // double hashing increment
+    for (int i = 0; i < k; ++i) {
+      size_t bit = h % bits;
+      out[1 + bit / 8] |= static_cast<char>(1 << (bit % 8));
+      h += delta;
+    }
+  }
+  return out;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (data_.size() < 2) return true;
+  int k = static_cast<unsigned char>(data_[0]);
+  if (k < 1 || k > 30) return true;  // treat as always-match on corruption
+  size_t bits = (data_.size() - 1) * 8;
+  uint64_t h = BloomHash(key);
+  uint64_t delta = (h >> 33) | (h << 31);
+  for (int i = 0; i < k; ++i) {
+    size_t bit = h % bits;
+    if ((data_[1 + bit / 8] & (1 << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace just::kv

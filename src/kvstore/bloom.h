@@ -1,0 +1,46 @@
+#ifndef JUST_KVSTORE_BLOOM_H_
+#define JUST_KVSTORE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace just::kv {
+
+/// Bloom filter over SSTable keys (double hashing, LevelDB-style), so point
+/// GETs skip tables that cannot contain the key.
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10);
+
+  void AddKey(std::string_view key);
+
+  /// Serializes the filter: [k: 1B][bit array].
+  std::string Finish();
+
+ private:
+  int bits_per_key_;
+  std::vector<uint64_t> hashes_;
+};
+
+/// Read-side probe over a serialized filter.
+class BloomFilter {
+ public:
+  /// `data` must outlive the filter (points into an SSTable buffer).
+  explicit BloomFilter(std::string_view data) : data_(data) {}
+
+  /// May return true for absent keys (false positives), never false for
+  /// present ones. An empty filter matches everything.
+  bool MayContain(std::string_view key) const;
+
+ private:
+  std::string_view data_;
+};
+
+/// Hash used by both sides.
+uint64_t BloomHash(std::string_view key);
+
+}  // namespace just::kv
+
+#endif  // JUST_KVSTORE_BLOOM_H_

@@ -1,0 +1,357 @@
+#include "kvstore/lsm_store.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace just::kv {
+
+namespace {
+// Internal values carry a 1-byte type tag so deletes leave tombstones that
+// mask older SSTable entries until compaction drops them.
+constexpr char kTypePut = 'P';
+constexpr char kTypeDelete = 'D';
+
+std::string MakeInternalValue(char type, std::string_view value) {
+  std::string v;
+  v.reserve(value.size() + 1);
+  v.push_back(type);
+  v.append(value.data(), value.size());
+  return v;
+}
+}  // namespace
+
+LsmStore::LsmStore(const StoreOptions& options)
+    : options_(options),
+      memtable_(std::make_unique<SkipList>()),
+      block_cache_(
+          std::make_unique<BlockCache>(options.block_cache_bytes)) {}
+
+LsmStore::~LsmStore() {
+  // Durability of the memtable is the WAL's job; just close cleanly.
+  std::unique_lock lock(mu_);
+  wal_.Sync();
+  wal_.Close();
+}
+
+std::string LsmStore::SstPath(uint64_t file_number) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/%06llu.sst",
+                static_cast<unsigned long long>(file_number));
+  return options_.dir + buf;
+}
+
+std::string LsmStore::WalPath() const { return options_.dir + "/wal.log"; }
+
+Result<std::unique_ptr<LsmStore>> LsmStore::Open(const StoreOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create dir " + options.dir + ": " +
+                           ec.message());
+  }
+  auto store = std::unique_ptr<LsmStore>(new LsmStore(options));
+  JUST_RETURN_NOT_OK(store->Recover());
+  return store;
+}
+
+Status LsmStore::Recover() {
+  std::unique_lock lock(mu_);
+  // 1) Manifest -> live SSTables.
+  std::string manifest_path = options_.dir + "/MANIFEST";
+  std::FILE* mf = std::fopen(manifest_path.c_str(), "rb");
+  if (mf != nullptr) {
+    char line[64];
+    while (std::fgets(line, sizeof(line), mf) != nullptr) {
+      uint64_t num = std::strtoull(line, nullptr, 10);
+      if (num == 0) continue;
+      auto reader = SsTableReader::Open(SstPath(num), num, block_cache_.get());
+      if (!reader.ok()) {
+        std::fclose(mf);
+        return reader.status();
+      }
+      sstables_.push_back(reader.value());
+      next_file_number_ = std::max(next_file_number_, num + 1);
+    }
+    std::fclose(mf);
+  }
+  // 2) WAL -> memtable.
+  JUST_RETURN_NOT_OK(ReplayWal(
+      WalPath(), [this](WalRecordType type, std::string_view key,
+                        std::string_view value) {
+        memtable_->Put(std::string(key),
+                       MakeInternalValue(type == WalRecordType::kPut
+                                             ? kTypePut
+                                             : kTypeDelete,
+                                         value));
+      }));
+  // 3) Reopen WAL for appending.
+  return wal_.Open(WalPath(), /*truncate=*/false);
+}
+
+Status LsmStore::WriteInternal(WalRecordType type, std::string_view key,
+                               std::string_view value) {
+  std::unique_lock lock(mu_);
+  JUST_RETURN_NOT_OK(wal_.Append(type, key, value));
+  if (options_.sync_wal) JUST_RETURN_NOT_OK(wal_.Sync());
+  memtable_->Put(std::string(key),
+                 MakeInternalValue(
+                     type == WalRecordType::kPut ? kTypePut : kTypeDelete,
+                     value));
+  if (memtable_->ApproximateBytes() >= options_.memtable_bytes) {
+    JUST_RETURN_NOT_OK(FlushLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmStore::Put(std::string_view key, std::string_view value) {
+  return WriteInternal(WalRecordType::kPut, key, value);
+}
+
+Status LsmStore::Delete(std::string_view key) {
+  return WriteInternal(WalRecordType::kDelete, key, {});
+}
+
+Status LsmStore::Get(std::string_view key, std::string* value) const {
+  std::shared_lock lock(mu_);
+  std::string internal;
+  if (memtable_->Get(std::string(key), &internal)) {
+    if (internal.empty() || internal[0] == kTypeDelete) {
+      return Status::NotFound("deleted");
+    }
+    value->assign(internal.data() + 1, internal.size() - 1);
+    return Status::OK();
+  }
+  // Newest SSTable first.
+  for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
+    Status st = (*it)->Get(key, &internal);
+    if (st.ok()) {
+      if (internal.empty() || internal[0] == kTypeDelete) {
+        return Status::NotFound("deleted");
+      }
+      value->assign(internal.data() + 1, internal.size() - 1);
+      return Status::OK();
+    }
+    if (!st.IsNotFound()) return st;
+  }
+  return Status::NotFound("no such key");
+}
+
+Status LsmStore::Scan(
+    std::string_view start, std::string_view end,
+    const std::function<bool(std::string_view, std::string_view)>& fn) const {
+  std::shared_lock lock(mu_);
+  // Sources, newest first: memtable, then SSTables newest->oldest.
+  struct Source {
+    std::unique_ptr<SkipList::Iterator> mem;
+    std::unique_ptr<SsTableReader::Iterator> sst;
+
+    bool Valid() const {
+      return mem != nullptr ? mem->Valid() : sst->Valid();
+    }
+    std::string_view key() const {
+      return mem != nullptr ? std::string_view(mem->key())
+                            : std::string_view(sst->key());
+    }
+    std::string_view value() const {
+      return mem != nullptr ? std::string_view(mem->value()) : sst->value();
+    }
+    void Next() {
+      if (mem != nullptr) {
+        mem->Next();
+      } else {
+        sst->Next();
+      }
+    }
+  };
+
+  std::vector<Source> sources;
+  {
+    Source s;
+    s.mem = std::make_unique<SkipList::Iterator>(memtable_.get());
+    s.mem->Seek(std::string(start));
+    sources.push_back(std::move(s));
+  }
+  for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
+    // Prune tables whose key range cannot intersect [start, end).
+    if (!end.empty() && std::string_view((*it)->smallest_key()) >= end) {
+      continue;
+    }
+    if (std::string_view((*it)->largest_key()) < start &&
+        !(*it)->largest_key().empty()) {
+      continue;
+    }
+    Source s;
+    s.sst = std::make_unique<SsTableReader::Iterator>(it->get());
+    s.sst->Seek(start);
+    sources.push_back(std::move(s));
+  }
+
+  std::string last_emitted;
+  bool have_last = false;
+  for (;;) {
+    // Pick the smallest current key; ties resolved by source order (newest
+    // source wins), so stale versions are skipped below.
+    int best = -1;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (!sources[i].Valid()) continue;
+      std::string_view k = sources[i].key();
+      if (!end.empty() && k >= end) continue;
+      if (best < 0 || k < sources[best].key()) best = static_cast<int>(i);
+    }
+    if (best < 0) break;
+    // Materialize the key: advancing the winning source below would
+    // invalidate a view into its current entry.
+    std::string key(sources[best].key());
+    std::string_view internal = sources[best].value();
+    bool duplicate = have_last && key == last_emitted;
+    if (!duplicate) {
+      last_emitted = key;
+      have_last = true;
+      if (!internal.empty() && internal[0] == kTypePut) {
+        if (!fn(key, internal.substr(1))) return Status::OK();
+      }
+      // Tombstones are skipped silently.
+    }
+    // Advance every source positioned at this key.
+    for (auto& s : sources) {
+      while (s.Valid() && s.key() == std::string_view(key)) s.Next();
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmStore::FlushLocked() {
+  if (memtable_->size() == 0) return Status::OK();
+  uint64_t file_number = next_file_number_++;
+  SsTableBuilder::Options bopts;
+  bopts.block_size = options_.block_size;
+  bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
+  SsTableBuilder builder(bopts);
+  JUST_RETURN_NOT_OK(builder.Open(SstPath(file_number)));
+  SkipList::Iterator it(memtable_.get());
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    JUST_RETURN_NOT_OK(builder.Add(it.key(), it.value()));
+  }
+  JUST_RETURN_NOT_OK(builder.Finish());
+  JUST_ASSIGN_OR_RETURN(
+      auto reader,
+      SsTableReader::Open(SstPath(file_number), file_number,
+                          block_cache_.get()));
+  sstables_.push_back(reader);
+  memtable_ = std::make_unique<SkipList>();
+  JUST_RETURN_NOT_OK(wal_.Open(WalPath(), /*truncate=*/true));
+  JUST_RETURN_NOT_OK(WriteManifestLocked());
+  if (static_cast<int>(sstables_.size()) >= options_.compaction_trigger) {
+    JUST_RETURN_NOT_OK(MergeAllLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmStore::MergeAllLocked() {
+  if (sstables_.size() <= 1) return Status::OK();
+  std::vector<std::shared_ptr<SsTableReader>> inputs = sstables_;
+  uint64_t out_number = next_file_number_++;
+  SsTableBuilder::Options bopts;
+  bopts.block_size = options_.block_size;
+  bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
+  SsTableBuilder merged(bopts);
+  JUST_RETURN_NOT_OK(merged.Open(SstPath(out_number)));
+
+  std::vector<std::unique_ptr<SsTableReader::Iterator>> iters;
+  for (auto input = inputs.rbegin(); input != inputs.rend(); ++input) {
+    auto iter = std::make_unique<SsTableReader::Iterator>(input->get());
+    iter->SeekToFirst();
+    iters.push_back(std::move(iter));  // newest first
+  }
+  std::string last_key;
+  bool have_last = false;
+  for (;;) {
+    int best = -1;
+    for (size_t i = 0; i < iters.size(); ++i) {
+      if (!iters[i]->Valid()) continue;
+      if (best < 0 || iters[i]->key() < iters[best]->key()) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    std::string key = iters[best]->key();
+    std::string_view value = iters[best]->value();
+    if (!have_last || key != last_key) {
+      // Full compaction: tombstones are dropped for good.
+      if (!value.empty() && value[0] == kTypePut) {
+        JUST_RETURN_NOT_OK(merged.Add(key, value));
+      }
+      last_key = key;
+      have_last = true;
+    }
+    for (auto& iter : iters) {
+      while (iter->Valid() && iter->key() == key) iter->Next();
+    }
+  }
+  JUST_RETURN_NOT_OK(merged.Finish());
+  JUST_ASSIGN_OR_RETURN(
+      auto merged_reader,
+      SsTableReader::Open(SstPath(out_number), out_number,
+                          block_cache_.get()));
+  for (const auto& input : inputs) {
+    ::unlink(input->path().c_str());
+  }
+  sstables_.clear();
+  sstables_.push_back(merged_reader);
+  block_cache_->Clear();
+  return WriteManifestLocked();
+}
+
+Status LsmStore::WriteManifestLocked() {
+  std::string tmp_path = options_.dir + "/MANIFEST.tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot write manifest");
+  for (const auto& table : sstables_) {
+    // Manifest lists file numbers in flush order.
+    std::string path = table->path();
+    size_t slash = path.find_last_of('/');
+    std::string name = path.substr(slash + 1);
+    uint64_t num = std::strtoull(name.c_str(), nullptr, 10);
+    std::fprintf(f, "%llu\n", static_cast<unsigned long long>(num));
+  }
+  if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+    return Status::IOError("manifest flush failed");
+  }
+  std::string final_path = options_.dir + "/MANIFEST";
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::IOError("manifest rename failed");
+  }
+  return Status::OK();
+}
+
+Status LsmStore::Flush() {
+  std::unique_lock lock(mu_);
+  return FlushLocked();
+}
+
+Status LsmStore::CompactAll() {
+  std::unique_lock lock(mu_);
+  JUST_RETURN_NOT_OK(FlushLocked());
+  return MergeAllLocked();
+}
+
+LsmStore::Stats LsmStore::GetStats() const {
+  std::shared_lock lock(mu_);
+  Stats stats;
+  stats.num_sstables = sstables_.size();
+  stats.memtable_entries = memtable_->size();
+  stats.memtable_bytes = memtable_->ApproximateBytes();
+  for (const auto& table : sstables_) {
+    stats.disk_bytes += table->file_size();
+    stats.sstable_entries += table->num_entries();
+  }
+  return stats;
+}
+
+}  // namespace just::kv

@@ -1,0 +1,95 @@
+#ifndef JUST_KVSTORE_LSM_STORE_H_
+#define JUST_KVSTORE_LSM_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kvstore/skiplist.h"
+#include "kvstore/sstable.h"
+#include "kvstore/wal.h"
+
+namespace just::kv {
+
+struct StoreOptions {
+  std::string dir;                      ///< data directory (created if absent)
+  size_t memtable_bytes = 4 << 20;      ///< flush threshold
+  size_t block_cache_bytes = 32 << 20;  ///< shared block cache budget
+  size_t block_size = 4096;
+  int bloom_bits_per_key = 10;
+  int compaction_trigger = 6;  ///< merge all tables when count reaches this
+  bool sync_wal = false;       ///< fflush per write (off for bulk loads)
+};
+
+/// A single-node ordered key-value store with LSM-tree storage: writes land
+/// in a WAL + skip-list memtable, flush to immutable SSTables, and scans
+/// merge all sources newest-first. This is the region-server storage engine
+/// (the role one HBase RegionServer plays for JUST). Keys are arbitrary byte
+/// strings; updates never rebuild indexes — the property that makes JUST
+/// "update-enabled" (Section I).
+class LsmStore {
+ public:
+  static Result<std::unique_ptr<LsmStore>> Open(const StoreOptions& options);
+
+  ~LsmStore();
+
+  LsmStore(const LsmStore&) = delete;
+  LsmStore& operator=(const LsmStore&) = delete;
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  Status Get(std::string_view key, std::string* value) const;
+
+  /// Ordered scan of [start, end); `end` empty means "to the last key".
+  /// The callback returns false to stop early.
+  Status Scan(std::string_view start, std::string_view end,
+              const std::function<bool(std::string_view key,
+                                       std::string_view value)>& fn) const;
+
+  /// Forces the memtable to disk.
+  Status Flush();
+
+  /// Merges all SSTables into one (size-tiered full compaction),
+  /// dropping tombstones.
+  Status CompactAll();
+
+  struct Stats {
+    size_t num_sstables = 0;
+    size_t memtable_entries = 0;
+    size_t memtable_bytes = 0;
+    uint64_t disk_bytes = 0;
+    uint64_t sstable_entries = 0;  ///< includes not-yet-compacted duplicates
+  };
+  Stats GetStats() const;
+
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  explicit LsmStore(const StoreOptions& options);
+
+  Status Recover();
+  Status WriteInternal(WalRecordType type, std::string_view key,
+                       std::string_view value);
+  Status FlushLocked();
+  Status MergeAllLocked();
+  Status WriteManifestLocked();
+  std::string SstPath(uint64_t file_number) const;
+  std::string WalPath() const;
+
+  StoreOptions options_;
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<SkipList> memtable_;
+  WalWriter wal_;
+  /// Newest table last (flush order); scans give later tables precedence.
+  std::vector<std::shared_ptr<SsTableReader>> sstables_;
+  uint64_t next_file_number_ = 1;
+  std::unique_ptr<BlockCache> block_cache_;
+};
+
+}  // namespace just::kv
+
+#endif  // JUST_KVSTORE_LSM_STORE_H_

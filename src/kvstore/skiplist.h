@@ -1,0 +1,74 @@
+#ifndef JUST_KVSTORE_SKIPLIST_H_
+#define JUST_KVSTORE_SKIPLIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace just::kv {
+
+/// An ordered map from byte-string keys to values, implemented as a skip
+/// list — the classical memtable structure (RocksDB/HBase MemStore role).
+/// Synchronization is the caller's responsibility (the store holds a mutex).
+class SkipList {
+ public:
+  SkipList();
+  ~SkipList();
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts or overwrites `key`.
+  void Put(const std::string& key, std::string value);
+
+  /// Returns true and sets *value if present.
+  bool Get(const std::string& key, std::string* value) const;
+
+  size_t size() const { return size_; }
+  size_t ApproximateBytes() const { return bytes_; }
+
+ private:
+  struct Node;
+
+ public:
+  /// Forward iterator over entries in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    void SeekToFirst();
+    /// Positions at the first entry >= target.
+    void Seek(const std::string& target);
+    void Next();
+
+    const std::string& key() const;
+    const std::string& value() const;
+
+   private:
+    const SkipList* list_;
+    Node* node_ = nullptr;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  Node* NewNode(std::string key, std::string value, int height);
+  int RandomHeight();
+  Node* FindGreaterOrEqual(const std::string& key, Node** prev) const;
+
+  Rng rng_;
+  Node* head_;
+  int height_ = 1;
+  size_t size_ = 0;
+  size_t bytes_ = 0;
+
+  friend class Iterator;
+};
+
+}  // namespace just::kv
+
+#endif  // JUST_KVSTORE_SKIPLIST_H_

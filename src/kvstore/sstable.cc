@@ -1,0 +1,310 @@
+#include "kvstore/sstable.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "kvstore/wal.h"
+
+namespace just::kv {
+
+namespace {
+constexpr uint64_t kTableMagic = 0x4A55535453535400ull;  // "JUSTSST\0"
+constexpr size_t kFooterSize = 48;
+
+std::string CacheKey(uint64_t file_id, uint64_t offset) {
+  std::string key;
+  PutFixed64(&key, file_id);
+  PutFixed64(&key, offset);
+  return key;
+}
+}  // namespace
+
+IoStats& GlobalIoStats() {
+  static IoStats* stats = new IoStats();
+  return *stats;
+}
+
+namespace {
+std::atomic<double> g_simulated_read_mbps{0.0};
+
+// Spin-waits (sleep granularity is too coarse for per-block charges).
+void ChargeReadLatency(uint64_t bytes) {
+  double mbps = g_simulated_read_mbps.load(std::memory_order_relaxed);
+  if (mbps <= 0) return;
+  int64_t ns = static_cast<int64_t>(static_cast<double>(bytes) * 1000.0 /
+                                    mbps);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // spin
+  }
+}
+}  // namespace
+
+void SetSimulatedReadBandwidthMBps(double mbps) {
+  g_simulated_read_mbps.store(mbps, std::memory_order_relaxed);
+}
+
+double SimulatedReadBandwidthMBps() {
+  return g_simulated_read_mbps.load(std::memory_order_relaxed);
+}
+
+SsTableBuilder::SsTableBuilder() : SsTableBuilder(Options()) {}
+
+SsTableBuilder::SsTableBuilder(Options options)
+    : options_(options),
+      data_block_(options.restart_interval),
+      index_block_(options.restart_interval),
+      bloom_(options.bloom_bits_per_key) {}
+
+Status SsTableBuilder::Open(const std::string& path) {
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create sstable " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SsTableBuilder::WriteRaw(std::string_view data) {
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return Status::IOError("sstable write failed: " + path_);
+  }
+  offset_ += data.size();
+  GlobalIoStats().bytes_written.fetch_add(data.size(),
+                                          std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SsTableBuilder::Add(std::string_view key, std::string_view value) {
+  if (file_ == nullptr) return Status::IOError("builder not open");
+  if (num_entries_ > 0 && std::string_view(last_key_) >= key) {
+    return Status::InvalidArgument("keys out of order in sstable build");
+  }
+  if (pending_index_) {
+    // Index the finished block by its last key (shortest separator would be
+    // an optimization; last key is correct).
+    std::string handle;
+    PutVarint64(&handle, pending_offset_);
+    PutVarint64(&handle, pending_size_);
+    index_block_.Add(pending_index_key_, handle);
+    pending_index_ = false;
+  }
+  bloom_.AddKey(key);
+  data_block_.Add(key, value);
+  last_key_.assign(key.data(), key.size());
+  ++num_entries_;
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    JUST_RETURN_NOT_OK(FlushDataBlock());
+  }
+  return Status::OK();
+}
+
+Status SsTableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return Status::OK();
+  pending_index_key_ = data_block_.last_key();
+  std::string block = data_block_.Finish();
+  pending_offset_ = offset_;
+  pending_size_ = block.size();
+  pending_index_ = true;
+  return WriteRaw(block);
+}
+
+Status SsTableBuilder::Finish() {
+  if (file_ == nullptr) return Status::IOError("builder not open");
+  JUST_RETURN_NOT_OK(FlushDataBlock());
+  if (pending_index_) {
+    std::string handle;
+    PutVarint64(&handle, pending_offset_);
+    PutVarint64(&handle, pending_size_);
+    index_block_.Add(pending_index_key_, handle);
+    pending_index_ = false;
+  }
+  std::string bloom = bloom_.Finish();
+  uint64_t bloom_offset = offset_;
+  JUST_RETURN_NOT_OK(WriteRaw(bloom));
+  std::string index = index_block_.Finish();
+  uint64_t index_offset = offset_;
+  JUST_RETURN_NOT_OK(WriteRaw(index));
+
+  std::string footer;
+  PutFixed64(&footer, bloom_offset);
+  PutFixed64(&footer, bloom.size());
+  PutFixed64(&footer, index_offset);
+  PutFixed64(&footer, index.size());
+  PutFixed64(&footer, num_entries_);
+  PutFixed64(&footer, kTableMagic);
+  JUST_RETURN_NOT_OK(WriteRaw(footer));
+
+  if (std::fflush(file_) != 0 || std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IOError("sstable close failed: " + path_);
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+SsTableReader::~SsTableReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SsTableReader::ReadAt(uint64_t offset, uint64_t size,
+                             std::string* out) const {
+  out->resize(size);
+  ssize_t n = ::pread(fd_, out->data(), size, static_cast<off_t>(offset));
+  if (n < 0 || static_cast<uint64_t>(n) != size) {
+    return Status::IOError("pread failed on " + path_);
+  }
+  GlobalIoStats().bytes_read.fetch_add(size, std::memory_order_relaxed);
+  GlobalIoStats().read_ops.fetch_add(1, std::memory_order_relaxed);
+  ChargeReadLatency(size);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<SsTableReader>> SsTableReader::Open(
+    const std::string& path, uint64_t file_id, BlockCache* cache) {
+  auto table = std::shared_ptr<SsTableReader>(new SsTableReader());
+  table->path_ = path;
+  table->file_id_ = file_id;
+  table->cache_ = cache;
+  table->fd_ = ::open(path.c_str(), O_RDONLY);
+  if (table->fd_ < 0) {
+    return Status::IOError("cannot open sstable " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(table->fd_, &st) != 0) {
+    return Status::IOError("fstat failed on " + path);
+  }
+  table->file_size_ = static_cast<uint64_t>(st.st_size);
+  if (table->file_size_ < kFooterSize) {
+    return Status::Corruption("sstable too small: " + path);
+  }
+  std::string footer;
+  JUST_RETURN_NOT_OK(
+      table->ReadAt(table->file_size_ - kFooterSize, kFooterSize, &footer));
+  const char* p = footer.data();
+  uint64_t bloom_offset = GetFixed64(p);
+  uint64_t bloom_size = GetFixed64(p + 8);
+  uint64_t index_offset = GetFixed64(p + 16);
+  uint64_t index_size = GetFixed64(p + 24);
+  table->num_entries_ = GetFixed64(p + 32);
+  if (GetFixed64(p + 40) != kTableMagic) {
+    return Status::Corruption("bad sstable magic: " + path);
+  }
+  JUST_RETURN_NOT_OK(table->ReadAt(bloom_offset, bloom_size,
+                                   &table->bloom_data_));
+  std::string index_data;
+  JUST_RETURN_NOT_OK(table->ReadAt(index_offset, index_size, &index_data));
+  JUST_ASSIGN_OR_RETURN(table->index_, Block::Parse(std::move(index_data)));
+
+  // Key bounds, for scan/compaction pruning.
+  Iterator it(table.get());
+  it.SeekToFirst();
+  if (it.Valid()) {
+    table->smallest_key_ = it.key();
+    Block::Iterator idx(table->index_.get());
+    idx.SeekToFirst();
+    std::string last_block_key;
+    while (idx.Valid()) {
+      last_block_key = idx.key();
+      idx.Next();
+    }
+    table->largest_key_ = last_block_key;
+  }
+  return table;
+}
+
+Result<std::shared_ptr<Block>> SsTableReader::ReadBlock(uint64_t offset,
+                                                        uint64_t size) const {
+  if (cache_ != nullptr) {
+    auto cached = cache_->Lookup(CacheKey(file_id_, offset));
+    if (cached != nullptr) return *cached;
+  }
+  std::string data;
+  JUST_RETURN_NOT_OK(ReadAt(offset, size, &data));
+  JUST_ASSIGN_OR_RETURN(auto block, Block::Parse(std::move(data)));
+  if (cache_ != nullptr) {
+    cache_->Insert(CacheKey(file_id_, offset),
+                   std::make_shared<std::shared_ptr<Block>>(block),
+                   block->size_bytes());
+  }
+  return block;
+}
+
+Status SsTableReader::Get(std::string_view key, std::string* value) const {
+  BloomFilter bloom(bloom_data_);
+  if (!bloom.MayContain(key)) return Status::NotFound("bloom miss");
+  Iterator it(this);
+  it.Seek(key);
+  if (it.Valid() && std::string_view(it.key()) == key) {
+    value->assign(it.value().data(), it.value().size());
+    return Status::OK();
+  }
+  return Status::NotFound("key not in table");
+}
+
+SsTableReader::Iterator::Iterator(const SsTableReader* table)
+    : table_(table),
+      index_iter_(std::make_unique<Block::Iterator>(table->index_.get())) {}
+
+void SsTableReader::Iterator::LoadDataBlock(bool first) {
+  data_block_ = nullptr;
+  data_iter_ = nullptr;
+  valid_ = false;
+  if (!index_iter_->Valid()) return;
+  const char* p = index_iter_->value().data();
+  const char* limit = p + index_iter_->value().size();
+  uint64_t offset, size;
+  if (!GetVarint64(&p, limit, &offset) || !GetVarint64(&p, limit, &size)) {
+    return;
+  }
+  auto block = table_->ReadBlock(offset, size);
+  if (!block.ok()) return;
+  data_block_ = block.value();
+  data_iter_ = std::make_unique<Block::Iterator>(data_block_.get());
+  if (first) data_iter_->SeekToFirst();
+  valid_ = data_iter_->Valid();
+}
+
+void SsTableReader::Iterator::SkipEmptyBlocks() {
+  while (!valid_ && index_iter_->Valid()) {
+    index_iter_->Next();
+    if (!index_iter_->Valid()) break;
+    LoadDataBlock(true);
+  }
+}
+
+void SsTableReader::Iterator::SeekToFirst() {
+  index_iter_->SeekToFirst();
+  LoadDataBlock(true);
+  SkipEmptyBlocks();
+}
+
+void SsTableReader::Iterator::Seek(std::string_view target) {
+  // Index keys are block last-keys, so the candidate block is the first
+  // index entry with key >= target.
+  index_iter_->Seek(target);
+  LoadDataBlock(false);
+  if (data_iter_ != nullptr) {
+    data_iter_->Seek(target);
+    valid_ = data_iter_->Valid();
+  }
+  SkipEmptyBlocks();
+}
+
+void SsTableReader::Iterator::Next() {
+  if (!valid_) return;
+  data_iter_->Next();
+  valid_ = data_iter_->Valid();
+  SkipEmptyBlocks();
+}
+
+}  // namespace just::kv

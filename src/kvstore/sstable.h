@@ -1,0 +1,151 @@
+#ifndef JUST_KVSTORE_SSTABLE_H_
+#define JUST_KVSTORE_SSTABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "kvstore/block.h"
+#include "kvstore/bloom.h"
+
+namespace just::kv {
+
+/// Cumulative I/O counters, exposed so benches can show how compression
+/// reduces disk reads (Section IV-D / Fig. 11b).
+struct IoStats {
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> read_ops{0};
+  std::atomic<uint64_t> bytes_written{0};
+};
+
+IoStats& GlobalIoStats();
+
+/// Optional disk model: when set to a positive MB/s figure, every SSTable
+/// read spins for bytes/bandwidth, so scan latency scales with bytes read
+/// even when the OS page cache makes real reads free. Benches use this to
+/// reproduce the paper's disk-bound behaviour; 0 (default) disables it.
+void SetSimulatedReadBandwidthMBps(double mbps);
+double SimulatedReadBandwidthMBps();
+
+/// Shared cache of decoded data blocks, keyed by (file id, block offset) —
+/// the HBase BlockCache role.
+using BlockCache = LruCache<std::string, std::shared_ptr<Block>>;
+
+/// Writes an immutable sorted-string table:
+///   [data blocks][bloom block][index block][footer]
+/// Index entries map each data block's last key to its (offset, size).
+class SsTableBuilder {
+ public:
+  struct Options {
+    size_t block_size = 4096;
+    int restart_interval = 16;
+    int bloom_bits_per_key = 10;
+  };
+
+  SsTableBuilder();
+  explicit SsTableBuilder(Options options);
+
+  Status Open(const std::string& path);
+
+  /// Keys must be strictly increasing.
+  Status Add(std::string_view key, std::string_view value);
+
+  /// Flushes all pending data and writes the footer.
+  Status Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t file_size() const { return offset_; }
+
+ private:
+  Status FlushDataBlock();
+  Status WriteRaw(std::string_view data);
+
+  Options options_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder bloom_;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  std::string last_key_;
+  bool pending_index_ = false;
+  std::string pending_index_key_;
+  uint64_t pending_offset_ = 0;
+  uint64_t pending_size_ = 0;
+};
+
+/// Read side of an SSTable. Thread-safe: reads use pread.
+class SsTableReader {
+ public:
+  ~SsTableReader();
+
+  /// Opens the file and loads the footer, index, and bloom filter. `cache`
+  /// may be null (blocks are then read per access). `file_id` must be unique
+  /// per open table for cache keying.
+  static Result<std::shared_ptr<SsTableReader>> Open(const std::string& path,
+                                                     uint64_t file_id,
+                                                     BlockCache* cache);
+
+  /// Point lookup.
+  Status Get(std::string_view key, std::string* value) const;
+
+  /// Two-level iterator over the whole table.
+  class Iterator {
+   public:
+    explicit Iterator(const SsTableReader* table);
+
+    bool Valid() const { return valid_; }
+    void SeekToFirst();
+    void Seek(std::string_view target);
+    void Next();
+
+    const std::string& key() const { return data_iter_->key(); }
+    std::string_view value() const { return data_iter_->value(); }
+
+   private:
+    void LoadDataBlock(bool first);
+    void SkipEmptyBlocks();
+
+    const SsTableReader* table_;
+    std::unique_ptr<Block::Iterator> index_iter_;
+    std::shared_ptr<Block> data_block_;
+    std::unique_ptr<Block::Iterator> data_iter_;
+    bool valid_ = false;
+  };
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t file_size() const { return file_size_; }
+  const std::string& smallest_key() const { return smallest_key_; }
+  const std::string& largest_key() const { return largest_key_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SsTableReader() = default;
+
+  Result<std::shared_ptr<Block>> ReadBlock(uint64_t offset,
+                                           uint64_t size) const;
+  Status ReadAt(uint64_t offset, uint64_t size, std::string* out) const;
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t file_id_ = 0;
+  uint64_t file_size_ = 0;
+  uint64_t num_entries_ = 0;
+  std::shared_ptr<Block> index_;
+  std::string bloom_data_;
+  std::string smallest_key_;
+  std::string largest_key_;
+  BlockCache* cache_ = nullptr;
+
+  friend class Iterator;
+};
+
+}  // namespace just::kv
+
+#endif  // JUST_KVSTORE_SSTABLE_H_

@@ -1,0 +1,116 @@
+#include "kvstore/wal.h"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace just::kv {
+
+namespace {
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path, bool truncate) {
+  Close();
+  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(WalRecordType type, std::string_view key,
+                         std::string_view value) {
+  if (file_ == nullptr) return Status::IOError("WAL not open");
+  std::string payload;
+  payload.push_back(static_cast<char>(type));
+  PutLengthPrefixed(&payload, key);
+  PutLengthPrefixed(&payload, value);
+  std::string record;
+  PutFixed32(&record, Crc32(payload));
+  PutVarint64(&record, payload.size());
+  record += payload;
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IOError("WAL write failed");
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::IOError("WAL not open");
+  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status ReplayWal(const std::string& path,
+                 const std::function<void(WalRecordType, std::string_view,
+                                          std::string_view)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // no WAL -> nothing to replay
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+
+  const char* p = content.data();
+  const char* limit = p + content.size();
+  while (p < limit) {
+    if (static_cast<size_t>(limit - p) < 5) break;  // torn tail
+    uint32_t crc = GetFixed32(p);
+    const char* q = p + 4;
+    uint64_t payload_len;
+    if (!GetVarint64(&q, limit, &payload_len)) break;
+    if (static_cast<uint64_t>(limit - q) < payload_len) break;
+    std::string_view payload(q, payload_len);
+    if (Crc32(payload) != crc) break;  // corrupt tail: stop replay
+    const char* r = payload.data();
+    const char* rlimit = r + payload.size();
+    if (r >= rlimit) break;
+    auto type = static_cast<WalRecordType>(*r++);
+    std::string_view key, value;
+    if (!GetLengthPrefixed(&r, rlimit, &key) ||
+        !GetLengthPrefixed(&r, rlimit, &value)) {
+      break;
+    }
+    fn(type, key, value);
+    p = q + payload_len;
+  }
+  return Status::OK();
+}
+
+}  // namespace just::kv

@@ -1,0 +1,51 @@
+#ifndef JUST_KVSTORE_WAL_H_
+#define JUST_KVSTORE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace just::kv {
+
+/// Record type in the write-ahead log.
+enum class WalRecordType : uint8_t { kPut = 1, kDelete = 2 };
+
+/// Append-only write-ahead log. Every mutation is logged before it reaches
+/// the memtable so an unflushed memtable can be rebuilt after a crash.
+/// Record: [crc32: fixed32][type: 1B][key len: varint][key]
+///         [value len: varint][value]
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status Open(const std::string& path, bool truncate);
+  Status Append(WalRecordType type, std::string_view key,
+                std::string_view value);
+  Status Sync();
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Replays a WAL file, invoking `fn` per record. Stops cleanly at the first
+/// torn/corrupt tail record (crash semantics).
+Status ReplayWal(const std::string& path,
+                 const std::function<void(WalRecordType, std::string_view key,
+                                          std::string_view value)>& fn);
+
+/// CRC-32 (ISO-HDLC polynomial) used by WAL and SSTable footers.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace just::kv
+
+#endif  // JUST_KVSTORE_WAL_H_

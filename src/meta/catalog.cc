@@ -1,0 +1,212 @@
+#include "meta/catalog.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/json.h"
+
+namespace just::meta {
+
+int TableMeta::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::shared_ptr<exec::Schema> TableMeta::MakeSchema() const {
+  auto schema = std::make_shared<exec::Schema>();
+  for (const ColumnDef& col : columns) {
+    schema->AddField(exec::Field{col.name, col.type});
+  }
+  return schema;
+}
+
+namespace {
+
+JsonValue TableToJson(const TableMeta& table) {
+  std::map<std::string, JsonValue> obj;
+  obj["user"] = JsonValue::String(table.user);
+  obj["name"] = JsonValue::String(table.name);
+  obj["kind"] = JsonValue::String(table.kind == TableKind::kCommon
+                                      ? "common"
+                                      : "plugin");
+  obj["plugin"] = JsonValue::String(table.plugin);
+  obj["fid"] = JsonValue::String(table.fid_column);
+  obj["geom"] = JsonValue::String(table.geom_column);
+  obj["time"] = JsonValue::String(table.time_column);
+  obj["id"] = JsonValue::Number(static_cast<double>(table.table_id));
+  std::vector<JsonValue> cols;
+  for (const ColumnDef& col : table.columns) {
+    std::map<std::string, JsonValue> c;
+    c["name"] = JsonValue::String(col.name);
+    c["type"] = JsonValue::String(exec::DataTypeName(col.type));
+    c["pk"] = JsonValue::Bool(col.primary_key);
+    c["srid"] = JsonValue::String(col.srid);
+    c["compress"] = JsonValue::String(col.compress);
+    cols.push_back(JsonValue::Object(std::move(c)));
+  }
+  obj["columns"] = JsonValue::Array(std::move(cols));
+  std::vector<JsonValue> idxs;
+  for (const IndexConfig& idx : table.indexes) {
+    std::map<std::string, JsonValue> x;
+    x["type"] = JsonValue::String(curve::IndexTypeName(idx.type));
+    x["period_ms"] = JsonValue::Number(static_cast<double>(idx.period_len_ms));
+    idxs.push_back(JsonValue::Object(std::move(x)));
+  }
+  obj["indexes"] = JsonValue::Array(std::move(idxs));
+  std::vector<JsonValue> attrs;
+  for (const std::string& col : table.attr_indexes) {
+    attrs.push_back(JsonValue::String(col));
+  }
+  obj["attrs"] = JsonValue::Array(std::move(attrs));
+  return JsonValue::Object(std::move(obj));
+}
+
+Result<TableMeta> TableFromJson(const JsonValue& json) {
+  TableMeta table;
+  table.user = json.GetString("user");
+  table.name = json.GetString("name");
+  table.kind =
+      json.GetString("kind") == "plugin" ? TableKind::kPlugin
+                                         : TableKind::kCommon;
+  table.plugin = json.GetString("plugin");
+  table.fid_column = json.GetString("fid");
+  table.geom_column = json.GetString("geom");
+  table.time_column = json.GetString("time");
+  table.table_id = static_cast<uint64_t>(json.Get("id").number_value());
+  for (const JsonValue& c : json.Get("columns").array_items()) {
+    ColumnDef col;
+    col.name = c.GetString("name");
+    JUST_ASSIGN_OR_RETURN(col.type, exec::ParseDataType(c.GetString("type")));
+    col.primary_key = c.Get("pk").bool_value();
+    col.srid = c.GetString("srid");
+    col.compress = c.GetString("compress");
+    table.columns.push_back(std::move(col));
+  }
+  for (const JsonValue& x : json.Get("indexes").array_items()) {
+    IndexConfig idx;
+    JUST_ASSIGN_OR_RETURN(idx.type,
+                          curve::ParseIndexType(x.GetString("type")));
+    idx.period_len_ms =
+        static_cast<int64_t>(x.Get("period_ms").number_value());
+    if (idx.period_len_ms <= 0) idx.period_len_ms = kMillisPerDay;
+    table.indexes.push_back(idx);
+  }
+  for (const JsonValue& a : json.Get("attrs").array_items()) {
+    if (a.is_string()) table.attr_indexes.push_back(a.string_value());
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string Catalog::Key(const std::string& user, const std::string& name) {
+  return user + "." + name;
+}
+
+Result<std::unique_ptr<Catalog>> Catalog::Open(const std::string& path) {
+  auto catalog = std::unique_ptr<Catalog>(new Catalog(path));
+  JUST_RETURN_NOT_OK(catalog->Load());
+  return catalog;
+}
+
+Status Catalog::Load() {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // fresh catalog
+  std::string content;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    JUST_ASSIGN_OR_RETURN(auto json, ParseJson(line));
+    JUST_ASSIGN_OR_RETURN(auto table, TableFromJson(json));
+    next_table_id_ = std::max(next_table_id_, table.table_id + 1);
+    tables_[Key(table.user, table.name)] = std::move(table);
+  }
+  return Status::OK();
+}
+
+Status Catalog::PersistLocked() const {
+  std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot write catalog " + tmp);
+  for (const auto& [key, table] : tables_) {
+    std::string line = TableToJson(table).ToString() + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      std::fclose(f);
+      return Status::IOError("catalog write failed");
+    }
+  }
+  if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+    return Status::IOError("catalog flush failed");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("catalog rename failed");
+  }
+  return Status::OK();
+}
+
+Status Catalog::CreateTable(TableMeta* table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Key(table->user, table->name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table already exists: " + table->name);
+  }
+  table->table_id = next_table_id_++;
+  tables_[key] = *table;
+  Status st = PersistLocked();
+  if (!st.ok()) {
+    tables_.erase(key);  // roll back the in-memory change
+    --next_table_id_;
+  }
+  return st;
+}
+
+Status Catalog::DropTable(const std::string& user, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(Key(user, name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  TableMeta saved = it->second;
+  tables_.erase(it);
+  Status st = PersistLocked();
+  if (!st.ok()) tables_[Key(user, name)] = saved;
+  return st;
+}
+
+Result<TableMeta> Catalog::GetTable(const std::string& user,
+                                    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(Key(user, name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::TableExists(const std::string& user,
+                          const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(Key(user, name)) != 0;
+}
+
+std::vector<TableMeta> Catalog::ListTables(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableMeta> out;
+  for (const auto& [key, table] : tables_) {
+    if (table.user == user) out.push_back(table);
+  }
+  return out;
+}
+
+}  // namespace just::meta

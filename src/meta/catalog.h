@@ -1,0 +1,92 @@
+#ifndef JUST_META_CATALOG_H_
+#define JUST_META_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "curve/index_strategy.h"
+#include "exec/dataframe.h"
+
+namespace just::meta {
+
+/// Table kinds of Section IV-D. (View tables live in memory and are tracked
+/// by the engine session state, not the durable catalog.)
+enum class TableKind { kCommon, kPlugin };
+
+/// One column declaration from CREATE TABLE.
+struct ColumnDef {
+  std::string name;
+  exec::DataType type = exec::DataType::kNull;
+  bool primary_key = false;
+  std::string srid;      ///< e.g. "4326" from point:srid=4326
+  std::string compress;  ///< e.g. "gzip" from st_series:compress=gzip|zip
+};
+
+/// One secondary index over the table's spatio-temporal fields.
+struct IndexConfig {
+  curve::IndexType type = curve::IndexType::kZ2;
+  int64_t period_len_ms = kMillisPerDay;
+};
+
+/// Everything the meta table records about a data table: kind, fields,
+/// index configuration, and the special-column bindings.
+struct TableMeta {
+  std::string user;    ///< namespace owner (Section VII-A)
+  std::string name;    ///< logical table name
+  TableKind kind = TableKind::kCommon;
+  std::string plugin;  ///< plugin type name, e.g. "trajectory"
+  std::vector<ColumnDef> columns;
+  std::vector<IndexConfig> indexes;
+  std::string fid_column;
+  std::string geom_column;
+  std::string time_column;
+  /// Columns carrying a secondary attribute index (Figure 1's "Attribute
+  /// Indexing"): equality predicates on them avoid full scans.
+  std::vector<std::string> attr_indexes;
+  uint64_t table_id = 0;  ///< storage key prefix, assigned by the catalog
+
+  int ColumnIndex(const std::string& column_name) const;
+  std::shared_ptr<exec::Schema> MakeSchema() const;
+};
+
+/// The meta store (the role MySQL plays in the paper): durable, transactional
+/// table metadata with namespace isolation. Persistence is a journaled JSON
+/// file rewritten atomically on every DDL commit.
+class Catalog {
+ public:
+  static Result<std::unique_ptr<Catalog>> Open(const std::string& path);
+
+  /// Assigns `table_id` and persists. Fails on duplicate (user, name).
+  Status CreateTable(TableMeta* table);
+
+  Status DropTable(const std::string& user, const std::string& name);
+
+  Result<TableMeta> GetTable(const std::string& user,
+                             const std::string& name) const;
+
+  bool TableExists(const std::string& user, const std::string& name) const;
+
+  /// Tables owned by `user`, sorted by name (SHOW TABLES).
+  std::vector<TableMeta> ListTables(const std::string& user) const;
+
+ private:
+  explicit Catalog(std::string path) : path_(std::move(path)) {}
+
+  Status Load();
+  Status PersistLocked() const;
+  static std::string Key(const std::string& user, const std::string& name);
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::map<std::string, TableMeta> tables_;
+  uint64_t next_table_id_ = 1;
+};
+
+}  // namespace just::meta
+
+#endif  // JUST_META_CATALOG_H_

@@ -1,0 +1,97 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace just::spatial {
+
+GridIndex::GridIndex(geo::Mbr extent, int cells_per_axis)
+    : extent_(extent), cells_(std::max(1, cells_per_axis)) {}
+
+int GridIndex::ClampCellX(double lng) const {
+  double frac = (lng - extent_.lng_min) / std::max(1e-12, extent_.Width());
+  int c = static_cast<int>(frac * cells_);
+  return std::clamp(c, 0, cells_ - 1);
+}
+
+int GridIndex::ClampCellY(double lat) const {
+  double frac = (lat - extent_.lat_min) / std::max(1e-12, extent_.Height());
+  int c = static_cast<int>(frac * cells_);
+  return std::clamp(c, 0, cells_ - 1);
+}
+
+void GridIndex::Insert(const SpatialEntry& entry) {
+  int x0 = ClampCellX(entry.box.lng_min);
+  int x1 = ClampCellX(entry.box.lng_max);
+  int y0 = ClampCellY(entry.box.lat_min);
+  int y1 = ClampCellY(entry.box.lat_max);
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      cells_map_[CellIndex(cx, cy)].push_back(entry);
+    }
+  }
+  ++num_entries_;
+}
+
+void GridIndex::Query(
+    const geo::Mbr& query,
+    const std::function<void(const SpatialEntry&)>& fn) const {
+  int x0 = ClampCellX(query.lng_min);
+  int x1 = ClampCellX(query.lng_max);
+  int y0 = ClampCellY(query.lat_min);
+  int y1 = ClampCellY(query.lat_max);
+  std::unordered_set<uint64_t> seen;
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      auto it = cells_map_.find(CellIndex(cx, cy));
+      if (it == cells_map_.end()) continue;
+      for (const SpatialEntry& e : it->second) {
+        if (!e.box.Intersects(query)) continue;
+        if (seen.insert(e.id).second) fn(e);
+      }
+    }
+  }
+}
+
+std::vector<SpatialEntry> GridIndex::Knn(const geo::Point& q, int k) const {
+  std::vector<SpatialEntry> result;
+  if (k <= 0 || num_entries_ == 0) return result;
+  double cell_w = extent_.Width() / cells_;
+  double cell_h = extent_.Height() / cells_;
+  double step = std::max(cell_w, cell_h);
+  double radius = step;
+  // Expand the search window until k candidates are safely inside it.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    geo::Mbr window = geo::Mbr::Of(q.lng - radius, q.lat - radius,
+                                   q.lng + radius, q.lat + radius);
+    std::vector<SpatialEntry> candidates;
+    Query(window, [&](const SpatialEntry& e) { candidates.push_back(e); });
+    // Keep only candidates whose distance is certain (<= radius).
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const SpatialEntry& a, const SpatialEntry& b) {
+                return a.box.MinDistance(q) < b.box.MinDistance(q);
+              });
+    if (static_cast<int>(candidates.size()) >= k &&
+        candidates[k - 1].box.MinDistance(q) <= radius) {
+      candidates.resize(k);
+      return candidates;
+    }
+    if (window.Contains(extent_)) {
+      if (static_cast<int>(candidates.size()) > k) candidates.resize(k);
+      return candidates;
+    }
+    radius *= 2;
+  }
+  return result;
+}
+
+size_t GridIndex::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& [key, bucket] : cells_map_) {
+    total += sizeof(key) + bucket.capacity() * sizeof(SpatialEntry) + 48;
+  }
+  return total;
+}
+
+}  // namespace just::spatial

@@ -1,0 +1,49 @@
+#ifndef JUST_SPATIAL_GRID_INDEX_H_
+#define JUST_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+#include "spatial/rtree.h"  // SpatialEntry
+
+namespace just::spatial {
+
+/// A uniform grid over a fixed extent — the partitioning scheme of the
+/// GeoSpark-like and SpatialSpark-like baselines (and Hadoop-GIS). Entries
+/// with extents are registered in every overlapped cell; queries dedupe by
+/// entry id.
+class GridIndex {
+ public:
+  GridIndex(geo::Mbr extent, int cells_per_axis);
+
+  void Insert(const SpatialEntry& entry);
+
+  void Query(const geo::Mbr& query,
+             const std::function<void(const SpatialEntry&)>& fn) const;
+
+  /// k nearest by expanding ring search.
+  std::vector<SpatialEntry> Knn(const geo::Point& q, int k) const;
+
+  size_t size() const { return num_entries_; }
+  size_t MemoryBytes() const;
+  int cells_per_axis() const { return cells_; }
+
+ private:
+  int64_t CellIndex(int cx, int cy) const {
+    return static_cast<int64_t>(cy) * cells_ + cx;
+  }
+  int ClampCellX(double lng) const;
+  int ClampCellY(double lat) const;
+
+  geo::Mbr extent_;
+  int cells_;
+  std::unordered_map<int64_t, std::vector<SpatialEntry>> cells_map_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace just::spatial
+
+#endif  // JUST_SPATIAL_GRID_INDEX_H_

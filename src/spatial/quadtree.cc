@@ -1,0 +1,130 @@
+#include "spatial/quadtree.h"
+
+#include <queue>
+
+namespace just::spatial {
+
+QuadTree::QuadTree(geo::Mbr extent, int bucket_size, int max_depth)
+    : extent_(extent),
+      bucket_size_(std::max(1, bucket_size)),
+      max_depth_(std::max(1, max_depth)) {
+  Node root;
+  root.box = extent_;
+  nodes_.push_back(std::move(root));
+}
+
+void QuadTree::Split(uint32_t node_index) {
+  geo::Mbr box = nodes_[node_index].box;
+  int depth = nodes_[node_index].depth;
+  double lng_mid = (box.lng_min + box.lng_max) / 2;
+  double lat_mid = (box.lat_min + box.lat_max) / 2;
+  for (int q = 0; q < 4; ++q) {
+    Node child;
+    child.box = geo::Mbr{
+        (q & 1) ? lng_mid : box.lng_min,
+        (q & 2) ? lat_mid : box.lat_min,
+        (q & 1) ? box.lng_max : lng_mid,
+        (q & 2) ? box.lat_max : lat_mid,
+    };
+    child.depth = depth + 1;
+    nodes_[node_index].children[q] =
+        static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(std::move(child));
+  }
+  std::vector<SpatialEntry> bucket;
+  bucket.swap(nodes_[node_index].bucket);
+  for (const SpatialEntry& e : bucket) {
+    num_entries_ -= 1;  // re-inserted below
+    InsertInto(node_index, e);
+  }
+}
+
+void QuadTree::InsertInto(uint32_t node_index, const SpatialEntry& entry) {
+  for (;;) {
+    Node& node = nodes_[node_index];
+    if (node.is_leaf()) {
+      if (static_cast<int>(node.bucket.size()) >= bucket_size_ &&
+          node.depth < max_depth_) {
+        Split(node_index);
+        continue;  // node is now internal; re-dispatch
+      }
+      node.bucket.push_back(entry);
+      ++num_entries_;
+      return;
+    }
+    // Route by box center; entries spanning children still live in exactly
+    // one leaf, queried via box intersection.
+    geo::Point c = entry.box.Center();
+    double lng_mid = (node.box.lng_min + node.box.lng_max) / 2;
+    double lat_mid = (node.box.lat_min + node.box.lat_max) / 2;
+    int q = (c.lng >= lng_mid ? 1 : 0) | (c.lat >= lat_mid ? 2 : 0);
+    node_index = static_cast<uint32_t>(node.children[q]);
+  }
+}
+
+void QuadTree::Insert(const SpatialEntry& entry) { InsertInto(0, entry); }
+
+void QuadTree::Query(
+    const geo::Mbr& query,
+    const std::function<void(const SpatialEntry&)>& fn) const {
+  std::vector<uint32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.box.Intersects(query)) continue;
+    if (node.is_leaf()) {
+      for (const SpatialEntry& e : node.bucket) {
+        if (e.box.Intersects(query)) fn(e);
+      }
+    } else {
+      for (int32_t c : node.children) {
+        stack.push_back(static_cast<uint32_t>(c));
+      }
+    }
+  }
+}
+
+std::vector<SpatialEntry> QuadTree::Knn(const geo::Point& q, int k) const {
+  std::vector<SpatialEntry> result;
+  if (k <= 0 || num_entries_ == 0) return result;
+  struct Item {
+    double dist;
+    bool is_entry;
+    uint32_t node;
+    SpatialEntry entry;
+    bool operator<(const Item& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Item> heap;
+  heap.push({nodes_[0].box.MinDistance(q), false, 0, {}});
+  while (!heap.empty() && static_cast<int>(result.size()) < k) {
+    Item item = heap.top();
+    heap.pop();
+    if (item.is_entry) {
+      result.push_back(item.entry);
+      continue;
+    }
+    const Node& node = nodes_[item.node];
+    if (node.is_leaf()) {
+      for (const SpatialEntry& e : node.bucket) {
+        heap.push({e.box.MinDistance(q), true, 0, e});
+      }
+    } else {
+      for (int32_t c : node.children) {
+        heap.push({nodes_[c].box.MinDistance(q), false,
+                   static_cast<uint32_t>(c),
+                   {}});
+      }
+    }
+  }
+  return result;
+}
+
+size_t QuadTree::MemoryBytes() const {
+  size_t total = nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    total += node.bucket.capacity() * sizeof(SpatialEntry);
+  }
+  return total;
+}
+
+}  // namespace just::spatial

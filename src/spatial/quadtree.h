@@ -1,0 +1,51 @@
+#ifndef JUST_SPATIAL_QUADTREE_H_
+#define JUST_SPATIAL_QUADTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/point.h"
+#include "spatial/rtree.h"  // SpatialEntry
+
+namespace just::spatial {
+
+/// A region quadtree with bucketed leaves — the global index of the
+/// LocationSpark-like baseline and MD-HBase's structure.
+class QuadTree {
+ public:
+  explicit QuadTree(geo::Mbr extent = geo::Mbr::World(), int bucket_size = 64,
+                    int max_depth = 16);
+
+  void Insert(const SpatialEntry& entry);
+
+  void Query(const geo::Mbr& query,
+             const std::function<void(const SpatialEntry&)>& fn) const;
+
+  std::vector<SpatialEntry> Knn(const geo::Point& q, int k) const;
+
+  size_t size() const { return num_entries_; }
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    geo::Mbr box;
+    int depth = 0;
+    std::vector<SpatialEntry> bucket;
+    int32_t children[4] = {-1, -1, -1, -1};  // indices into nodes_
+    bool is_leaf() const { return children[0] < 0; }
+  };
+
+  void Split(uint32_t node_index);
+  void InsertInto(uint32_t node_index, const SpatialEntry& entry);
+
+  geo::Mbr extent_;
+  int bucket_size_;
+  int max_depth_;
+  std::vector<Node> nodes_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace just::spatial
+
+#endif  // JUST_SPATIAL_QUADTREE_H_

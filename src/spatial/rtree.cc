@@ -1,0 +1,156 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace just::spatial {
+
+StrRTree::StrRTree(int fanout) : fanout_(std::max(2, fanout)) {}
+
+void StrRTree::BulkLoad(std::vector<SpatialEntry> entries) {
+  entries_ = std::move(entries);
+  nodes_.clear();
+  root_ = -1;
+  num_entries_ = entries_.size();
+  height_ = 0;
+  if (entries_.empty()) return;
+
+  // Level 0: STR-pack the entries into leaves.
+  std::vector<uint32_t> order(entries_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  size_t num_leaves =
+      (entries_.size() + fanout_ - 1) / static_cast<size_t>(fanout_);
+  size_t num_slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  size_t slice_size =
+      (entries_.size() + num_slices - 1) / std::max<size_t>(1, num_slices);
+
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return entries_[a].box.Center().lng < entries_[b].box.Center().lng;
+  });
+  for (size_t s = 0; s < order.size(); s += slice_size) {
+    size_t end = std::min(order.size(), s + slice_size);
+    std::sort(order.begin() + s, order.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                return entries_[a].box.Center().lat <
+                       entries_[b].box.Center().lat;
+              });
+  }
+
+  std::vector<uint32_t> level;  // node indices at the current level
+  for (size_t i = 0; i < order.size(); i += fanout_) {
+    Node leaf;
+    leaf.leaf = true;
+    size_t end = std::min(order.size(), i + fanout_);
+    for (size_t j = i; j < end; ++j) {
+      leaf.children.push_back(order[j]);
+      leaf.box.Expand(entries_[order[j]].box);
+    }
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(std::move(leaf));
+  }
+  height_ = 1;
+
+  // Pack upward until a single root remains.
+  while (level.size() > 1) {
+    // STR at internal levels too: sort by center lng, slice by lat.
+    std::sort(level.begin(), level.end(), [&](uint32_t a, uint32_t b) {
+      return nodes_[a].box.Center().lng < nodes_[b].box.Center().lng;
+    });
+    size_t n_parents =
+        (level.size() + fanout_ - 1) / static_cast<size_t>(fanout_);
+    size_t slices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n_parents))));
+    size_t chunk = (level.size() + slices - 1) / std::max<size_t>(1, slices);
+    for (size_t s = 0; s < level.size(); s += chunk) {
+      size_t end = std::min(level.size(), s + chunk);
+      std::sort(level.begin() + s, level.begin() + end,
+                [&](uint32_t a, uint32_t b) {
+                  return nodes_[a].box.Center().lat <
+                         nodes_[b].box.Center().lat;
+                });
+    }
+    std::vector<uint32_t> parents;
+    for (size_t i = 0; i < level.size(); i += fanout_) {
+      Node parent;
+      parent.leaf = false;
+      size_t end = std::min(level.size(), i + fanout_);
+      for (size_t j = i; j < end; ++j) {
+        parent.children.push_back(level[j]);
+        parent.box.Expand(nodes_[level[j]].box);
+      }
+      parents.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(parent));
+    }
+    level.swap(parents);
+    ++height_;
+  }
+  root_ = static_cast<int32_t>(level[0]);
+}
+
+void StrRTree::Query(
+    const geo::Mbr& query,
+    const std::function<void(const SpatialEntry&)>& fn) const {
+  if (root_ < 0) return;
+  std::vector<uint32_t> stack{static_cast<uint32_t>(root_)};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.box.Intersects(query)) continue;
+    if (node.leaf) {
+      for (uint32_t e : node.children) {
+        if (entries_[e].box.Intersects(query)) fn(entries_[e]);
+      }
+    } else {
+      for (uint32_t c : node.children) {
+        if (nodes_[c].box.Intersects(query)) stack.push_back(c);
+      }
+    }
+  }
+}
+
+std::vector<SpatialEntry> StrRTree::Knn(const geo::Point& q, int k) const {
+  std::vector<SpatialEntry> result;
+  if (root_ < 0 || k <= 0) return result;
+  // Best-first search over (distance, is_entry, index).
+  struct Item {
+    double dist;
+    bool is_entry;
+    uint32_t index;
+    bool operator<(const Item& o) const { return dist > o.dist; }  // min-heap
+  };
+  std::priority_queue<Item> heap;
+  heap.push({nodes_[root_].box.MinDistance(q), false,
+             static_cast<uint32_t>(root_)});
+  while (!heap.empty() && static_cast<int>(result.size()) < k) {
+    Item item = heap.top();
+    heap.pop();
+    if (item.is_entry) {
+      result.push_back(entries_[item.index]);
+      continue;
+    }
+    const Node& node = nodes_[item.index];
+    if (node.leaf) {
+      for (uint32_t e : node.children) {
+        heap.push({entries_[e].box.MinDistance(q), true, e});
+      }
+    } else {
+      for (uint32_t c : node.children) {
+        heap.push({nodes_[c].box.MinDistance(q), false, c});
+      }
+    }
+  }
+  return result;
+}
+
+size_t StrRTree::MemoryBytes() const {
+  size_t total = entries_.capacity() * sizeof(SpatialEntry) +
+                 nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    total += node.children.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+}  // namespace just::spatial

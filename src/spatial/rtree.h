@@ -1,0 +1,59 @@
+#ifndef JUST_SPATIAL_RTREE_H_
+#define JUST_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace just::spatial {
+
+/// An indexed spatial item: a bounding box plus the caller's record id.
+struct SpatialEntry {
+  geo::Mbr box;
+  uint64_t id = 0;
+};
+
+/// A bulk-loaded R-tree using Sort-Tile-Recursive packing [Leutenegger et
+/// al.] — the in-memory index the Simba-like and LocationSpark-like
+/// baselines build over their partitions. Supports box queries and
+/// best-first k-NN.
+class StrRTree {
+ public:
+  explicit StrRTree(int fanout = 16);
+
+  /// Builds the tree; replaces previous contents.
+  void BulkLoad(std::vector<SpatialEntry> entries);
+
+  /// Calls `fn` for every entry whose box intersects `query`.
+  void Query(const geo::Mbr& query,
+             const std::function<void(const SpatialEntry&)>& fn) const;
+
+  /// The k entries nearest to `q` by box min-distance (exact for points).
+  std::vector<SpatialEntry> Knn(const geo::Point& q, int k) const;
+
+  size_t size() const { return num_entries_; }
+  /// Heap bytes of the index structure (for OOM accounting).
+  size_t MemoryBytes() const;
+  int height() const { return height_; }
+
+ private:
+  struct Node {
+    geo::Mbr box = geo::Mbr::Empty();
+    bool leaf = true;
+    /// Leaf: indices into entries_. Internal: indices into nodes_.
+    std::vector<uint32_t> children;
+  };
+
+  int fanout_;
+  std::vector<SpatialEntry> entries_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t num_entries_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace just::spatial
+
+#endif  // JUST_SPATIAL_RTREE_H_

@@ -1,0 +1,33 @@
+#ifndef JUST_SQL_ANALYZER_H_
+#define JUST_SQL_ANALYZER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "sql/ast.h"
+#include "sql/plan.h"
+
+namespace just::sql {
+
+/// Builds an analyzed logical plan from a parsed SELECT (Section VI, "SQL
+/// Parse"): resolves table/view schemas through the meta table, verifies
+/// field names, expands `SELECT *`, and checks expression types.
+class Analyzer {
+ public:
+  Analyzer(core::JustEngine* engine, std::string user)
+      : engine_(engine), user_(std::move(user)) {}
+
+  Result<std::unique_ptr<PlanNode>> Analyze(const SelectStmt& select);
+
+ private:
+  Result<std::unique_ptr<PlanNode>> AnalyzeSource(const SelectStmt& select);
+
+  core::JustEngine* engine_;
+  std::string user_;
+};
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_ANALYZER_H_

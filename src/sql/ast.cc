@@ -1,0 +1,124 @@
+#include "sql/ast.h"
+
+#include <cctype>
+
+namespace just::sql {
+
+std::string BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kWithin:
+      return "WITHIN";
+    case BinaryOp::kBetween:
+      return "BETWEEN";
+    case BinaryOp::kIn:
+      return "IN";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Literal(exec::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Column(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->column = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                   std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Call(std::string name,
+                                 std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCall;
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  e->call_name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Star() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStar;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->column = column;
+  e->op = op;
+  e->call_name = call_name;
+  for (const auto& arg : args) e->args.push_back(arg->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.type() == exec::DataType::kString
+                 ? "'" + literal.ToString() + "'"
+                 : literal.ToString();
+    case Kind::kColumn:
+      return column;
+    case Kind::kStar:
+      return "*";
+    case Kind::kBinary: {
+      if (op == BinaryOp::kBetween && args.size() == 3) {
+        return "(" + args[0]->ToString() + " BETWEEN " +
+               args[1]->ToString() + " AND " + args[2]->ToString() + ")";
+      }
+      return "(" + args[0]->ToString() + " " + BinaryOpName(op) + " " +
+             args[1]->ToString() + ")";
+    }
+    case Kind::kCall: {
+      std::string out = call_name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace just::sql

@@ -1,0 +1,164 @@
+#ifndef JUST_SQL_AST_H_
+#define JUST_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/value.h"
+
+namespace just::sql {
+
+/// Binary operators in JustQL expressions.
+enum class BinaryOp {
+  kAnd,
+  kOr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kWithin,   ///< geom WITHIN <geometry>
+  kBetween,  ///< expanded to two comparisons during analysis
+  kIn,       ///< geom IN st_KNN(...)
+};
+
+std::string BinaryOpName(BinaryOp op);
+
+/// Expression tree: literals, column references, binary ops, calls.
+struct Expr {
+  enum class Kind { kLiteral, kColumn, kBinary, kCall, kStar };
+
+  Kind kind = Kind::kLiteral;
+  exec::Value literal;                       // kLiteral
+  std::string column;                        // kColumn
+  BinaryOp op = BinaryOp::kAnd;              // kBinary
+  std::string call_name;                     // kCall (lower-cased)
+  std::vector<std::unique_ptr<Expr>> args;   // kBinary: [lhs, rhs(, rhs2)]
+
+  static std::unique_ptr<Expr> Literal(exec::Value v);
+  static std::unique_ptr<Expr> Column(std::string name);
+  static std::unique_ptr<Expr> Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> Call(std::string name,
+                                    std::vector<std::unique_ptr<Expr>> args);
+  static std::unique_ptr<Expr> Star();
+
+  std::unique_ptr<Expr> Clone() const;
+  std::string ToString() const;
+};
+
+/// One item of a SELECT list.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  ///< empty: derived from the expression
+};
+
+struct OrderItem {
+  std::string column;
+  bool ascending = true;
+};
+
+/// SELECT ... FROM <table | view | (subquery)> [WHERE] [GROUP BY]
+/// [ORDER BY] [LIMIT].
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::string from_name;                  ///< table or view name
+  std::unique_ptr<SelectStmt> subquery;   ///< set when FROM (SELECT ...)
+  std::string subquery_alias;
+  // Optional JOIN (views): FROM a JOIN b ON a_col = b_col.
+  std::string join_name;
+  std::string join_left_col;
+  std::string join_right_col;
+  std::unique_ptr<Expr> where;
+  std::vector<std::string> group_by;
+  std::vector<OrderItem> order_by;
+  long limit = -1;
+};
+
+struct ColumnDecl {
+  std::string name;
+  std::string type_name;
+  bool primary_key = false;
+  std::string srid;
+  std::string compress;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnDecl> columns;  ///< empty for plugin tables
+  std::string plugin;               ///< CREATE TABLE x AS trajectory
+  std::string userdata_json;        ///< USERDATA {...}
+};
+
+struct CreateViewStmt {
+  std::string name;
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct DropStmt {
+  bool is_view = false;
+  std::string name;
+};
+
+struct ShowStmt {
+  bool views = false;  ///< SHOW TABLES vs SHOW VIEWS
+};
+
+struct DescStmt {
+  bool is_view = false;
+  std::string name;
+};
+
+struct LoadStmt {
+  std::string source_kind;  ///< "csv", "hive", "hbase"
+  std::string source_path;  ///< file path or db.table
+  std::string target_table;
+  std::string config_json;
+  std::string filter;  ///< FILTER '...' passthrough
+};
+
+struct StoreViewStmt {
+  std::string view;
+  std::string table;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;  ///< VALUES lists
+};
+
+/// A parsed JustQL statement (exactly one member set).
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateView,
+    kDrop,
+    kShow,
+    kDesc,
+    kLoad,
+    kStoreView,
+    kInsert,
+  };
+
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateViewStmt> create_view;
+  std::unique_ptr<DropStmt> drop;
+  std::unique_ptr<ShowStmt> show;
+  std::unique_ptr<DescStmt> desc;
+  std::unique_ptr<LoadStmt> load;
+  std::unique_ptr<StoreViewStmt> store_view;
+  std::unique_ptr<InsertStmt> insert;
+};
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_AST_H_

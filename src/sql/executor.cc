@@ -1,0 +1,323 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "exec/operators.h"
+#include "sql/expr_eval.h"
+#include "sql/functions.h"
+
+namespace just::sql {
+
+namespace {
+
+// Flattens an AND tree into conjuncts (borrowed pointers).
+void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr->kind == Expr::Kind::kBinary && expr->op == BinaryOp::kAnd) {
+    SplitConjuncts(expr->args[0].get(), out);
+    SplitConjuncts(expr->args[1].get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+bool IsGeometryLiteral(const Expr& e) {
+  return e.kind == Expr::Kind::kLiteral &&
+         e.literal.type() == exec::DataType::kGeometry;
+}
+
+bool IsTimeLiteral(const Expr& e, TimestampMs* out) {
+  if (e.kind != Expr::Kind::kLiteral) return false;
+  if (e.literal.type() == exec::DataType::kTimestamp) {
+    *out = e.literal.timestamp_value();
+    return true;
+  }
+  if (e.literal.type() == exec::DataType::kInt) {
+    *out = e.literal.int_value();
+    return true;
+  }
+  if (e.literal.type() == exec::DataType::kString) {
+    auto parsed = ParseTimestamp(e.literal.string_value());
+    if (!parsed.ok()) return false;
+    *out = parsed.value();
+    return true;
+  }
+  return false;
+}
+
+bool ColumnEquals(const Expr& e, const std::string& name) {
+  if (e.kind != Expr::Kind::kColumn) return false;
+  if (e.column.size() != name.size()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(e.column[i])) !=
+        std::tolower(static_cast<unsigned char>(name[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<exec::DataFrame> Executor::ExecuteScan(const PlanNode& scan,
+                                              const Expr* predicate) {
+  if (scan.kind == PlanNode::Kind::kScanView) {
+    JUST_ASSIGN_OR_RETURN(auto frame, engine_->GetView(user_, scan.name));
+    if (predicate != nullptr) {
+      const Expr& pred = *predicate;
+      frame = exec::Filter(frame, [&](const exec::Row& row) {
+        auto v = EvaluateExpr(pred, frame.schema(), row);
+        return v.ok() && v->type() == exec::DataType::kBool &&
+               v->bool_value();
+      });
+    }
+    if (!scan.required_columns.empty()) {
+      return exec::Project(frame, scan.required_columns);
+    }
+    return frame;
+  }
+
+  JUST_ASSIGN_OR_RETURN(auto table_meta,
+                        engine_->DescribeTable(user_, scan.name));
+  // Pull index-answerable predicates out of the conjunction.
+  std::vector<const Expr*> conjuncts;
+  if (predicate != nullptr) SplitConjuncts(predicate, &conjuncts);
+
+  bool have_box = false;
+  geo::Mbr box;
+  bool have_time = false;
+  TimestampMs t_min = 0, t_max = 0;
+  bool have_knn = false;
+  geo::Point knn_query{};
+  int knn_k = 0;
+  bool have_attr = false;
+  std::string attr_column;
+  exec::Value attr_value;
+  std::vector<const Expr*> residual;
+
+  for (const Expr* conjunct : conjuncts) {
+    if (conjunct->kind == Expr::Kind::kBinary &&
+        conjunct->op == BinaryOp::kWithin && !have_box &&
+        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
+        IsGeometryLiteral(*conjunct->args[1])) {
+      box = conjunct->args[1]->literal.geometry_value().Bounds();
+      have_box = true;
+      continue;
+    }
+    if (conjunct->kind == Expr::Kind::kBinary &&
+        conjunct->op == BinaryOp::kBetween && !have_time &&
+        ColumnEquals(*conjunct->args[0], table_meta.time_column)) {
+      TimestampMs lo, hi;
+      if (IsTimeLiteral(*conjunct->args[1], &lo) &&
+          IsTimeLiteral(*conjunct->args[2], &hi)) {
+        t_min = lo;
+        t_max = hi;
+        have_time = true;
+        continue;
+      }
+    }
+    if (conjunct->kind == Expr::Kind::kBinary &&
+        conjunct->op == BinaryOp::kIn && !have_knn &&
+        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
+        conjunct->args[1]->kind == Expr::Kind::kCall &&
+        conjunct->args[1]->call_name == "st_knn" &&
+        conjunct->args[1]->args.size() == 2) {
+      const Expr& point_arg = *conjunct->args[1]->args[0];
+      const Expr& k_arg = *conjunct->args[1]->args[1];
+      if (IsGeometryLiteral(point_arg) &&
+          k_arg.kind == Expr::Kind::kLiteral) {
+        auto k = k_arg.literal.AsInt();
+        if (k.ok()) {
+          knn_query = point_arg.literal.geometry_value().Bounds().Center();
+          knn_k = static_cast<int>(k.value());
+          have_knn = true;
+          continue;
+        }
+      }
+    }
+    if (conjunct->kind == Expr::Kind::kBinary &&
+        conjunct->op == BinaryOp::kEq && !have_attr &&
+        conjunct->args[0]->kind == Expr::Kind::kColumn &&
+        conjunct->args[1]->kind == Expr::Kind::kLiteral) {
+      // Equality on an attribute-indexed column (Figure 1's Attribute
+      // Indexing) answers through the secondary index instead of a scan.
+      bool indexed = false;
+      for (const std::string& indexed_col : table_meta.attr_indexes) {
+        if (ColumnEquals(*conjunct->args[0], indexed_col)) {
+          indexed = true;
+          attr_column = indexed_col;
+        }
+      }
+      if (indexed) {
+        attr_value = conjunct->args[1]->literal;
+        have_attr = true;
+        continue;
+      }
+    }
+    residual.push_back(conjunct);
+  }
+
+  last_stats_ = core::QueryStats();
+  exec::DataFrame frame;
+  if (have_knn) {
+    JUST_ASSIGN_OR_RETURN(
+        frame, engine_->KnnQuery(user_, scan.name, knn_query, knn_k,
+                                 &last_stats_));
+  } else if (have_box && have_time) {
+    JUST_ASSIGN_OR_RETURN(
+        frame, engine_->StRangeQuery(user_, scan.name, box, t_min, t_max,
+                                     &last_stats_));
+  } else if (have_box) {
+    JUST_ASSIGN_OR_RETURN(
+        frame, engine_->SpatialRangeQuery(user_, scan.name, box,
+                                          &last_stats_));
+  } else if (have_time) {
+    // Temporal-only: whole-earth spatio-temporal query.
+    JUST_ASSIGN_OR_RETURN(
+        frame, engine_->StRangeQuery(user_, scan.name, geo::Mbr::World(),
+                                     t_min, t_max, &last_stats_));
+  } else if (have_attr) {
+    JUST_ASSIGN_OR_RETURN(
+        frame, engine_->AttributeQuery(user_, scan.name, attr_column,
+                                       attr_value, &last_stats_));
+  } else {
+    JUST_ASSIGN_OR_RETURN(frame, engine_->FullScan(user_, scan.name));
+  }
+  // A spatial/temporal/knn path may leave an attr conjunct unhandled.
+  if (have_attr && (have_box || have_time || have_knn)) {
+    int attr_col = frame.schema().IndexOf(attr_column);
+    if (attr_col >= 0) {
+      const exec::Value& needle = attr_value;
+      frame = exec::Filter(frame, [&, attr_col](const exec::Row& row) {
+        return row[attr_col].Equals(needle);
+      });
+    }
+  }
+
+  if (!residual.empty()) {
+    const auto& schema = frame.schema();
+    frame = exec::Filter(frame, [&](const exec::Row& row) {
+      for (const Expr* conjunct : residual) {
+        auto v = EvaluateExpr(*conjunct, schema, row);
+        if (!v.ok() || v->type() != exec::DataType::kBool ||
+            !v->bool_value()) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  if (!scan.required_columns.empty()) {
+    return exec::Project(frame, scan.required_columns);
+  }
+  return frame;
+}
+
+Result<exec::DataFrame> Executor::ExecuteProject(const PlanNode& node) {
+  // 1-N / N-M function projects.
+  if (node.items.size() == 1 &&
+      node.items[0].expr->kind == Expr::Kind::kCall) {
+    const std::string& fn_name = node.items[0].expr->call_name;
+    const TableFunction* tf = FindTableFunction(fn_name);
+    const PartitionFunction* pf = FindPartitionFunction(fn_name);
+    if (tf != nullptr || pf != nullptr) {
+      JUST_ASSIGN_OR_RETURN(auto input, Execute(*node.children[0]));
+      const Expr& call = *node.items[0].expr;
+      if (call.args.empty()) {
+        return Status::InvalidArgument(fn_name + " needs an input column");
+      }
+      // Extra args must be constants.
+      std::vector<exec::Value> extra;
+      for (size_t i = 1; i < call.args.size(); ++i) {
+        JUST_ASSIGN_OR_RETURN(auto v, EvaluateConstant(*call.args[i]));
+        extra.push_back(std::move(v));
+      }
+      if (tf != nullptr) {
+        exec::DataFrame out(node.schema);
+        for (const exec::Row& row : input.rows()) {
+          JUST_ASSIGN_OR_RETURN(
+              auto value, EvaluateExpr(*call.args[0], input.schema(), row));
+          JUST_ASSIGN_OR_RETURN(auto produced, tf->fn(value, extra));
+          for (auto& r : produced) out.AddRow(std::move(r));
+        }
+        return out;
+      }
+      std::vector<exec::Value> column;
+      column.reserve(input.num_rows());
+      for (const exec::Row& row : input.rows()) {
+        JUST_ASSIGN_OR_RETURN(
+            auto value, EvaluateExpr(*call.args[0], input.schema(), row));
+        column.push_back(std::move(value));
+      }
+      JUST_ASSIGN_OR_RETURN(auto produced, pf->fn(column, extra));
+      exec::DataFrame out(node.schema);
+      for (auto& r : produced) out.AddRow(std::move(r));
+      return out;
+    }
+  }
+
+  JUST_ASSIGN_OR_RETURN(auto input, Execute(*node.children[0]));
+  exec::DataFrame out(node.schema);
+  for (const exec::Row& row : input.rows()) {
+    exec::Row projected;
+    projected.reserve(node.items.size());
+    for (const auto& item : node.items) {
+      JUST_ASSIGN_OR_RETURN(auto value,
+                            EvaluateExpr(*item.expr, input.schema(), row));
+      projected.push_back(std::move(value));
+    }
+    out.AddRow(std::move(projected));
+  }
+  return out;
+}
+
+Result<exec::DataFrame> Executor::Execute(const PlanNode& plan) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kScanTable:
+    case PlanNode::Kind::kScanView:
+      return ExecuteScan(plan, nullptr);
+    case PlanNode::Kind::kFilter: {
+      const PlanNode& child = *plan.children[0];
+      if (child.kind == PlanNode::Kind::kScanTable ||
+          child.kind == PlanNode::Kind::kScanView) {
+        // Fuse: the scan translates index-answerable predicates into
+        // key-range SCANs.
+        return ExecuteScan(child, plan.predicate.get());
+      }
+      JUST_ASSIGN_OR_RETURN(auto input, Execute(child));
+      const auto& schema = input.schema();
+      return exec::Filter(input, [&](const exec::Row& row) {
+        auto v = EvaluateExpr(*plan.predicate, schema, row);
+        return v.ok() && v->type() == exec::DataType::kBool &&
+               v->bool_value();
+      });
+    }
+    case PlanNode::Kind::kProject:
+      return ExecuteProject(plan);
+    case PlanNode::Kind::kAggregate: {
+      JUST_ASSIGN_OR_RETURN(auto input, Execute(*plan.children[0]));
+      return exec::GroupBy(input, plan.group_by, plan.aggregates);
+    }
+    case PlanNode::Kind::kSort: {
+      JUST_ASSIGN_OR_RETURN(auto input, Execute(*plan.children[0]));
+      std::vector<exec::SortKey> keys;
+      for (const auto& item : plan.order_by) {
+        keys.push_back({item.column, item.ascending});
+      }
+      return exec::Sort(input, keys);
+    }
+    case PlanNode::Kind::kLimit: {
+      JUST_ASSIGN_OR_RETURN(auto input, Execute(*plan.children[0]));
+      return exec::Limit(input, static_cast<size_t>(plan.limit));
+    }
+    case PlanNode::Kind::kJoin: {
+      JUST_ASSIGN_OR_RETURN(auto left, Execute(*plan.children[0]));
+      JUST_ASSIGN_OR_RETURN(auto right, Execute(*plan.children[1]));
+      return exec::HashJoin(left, right, plan.join_left_col,
+                            plan.join_right_col);
+    }
+  }
+  return Status::Internal("bad plan node");
+}
+
+}  // namespace just::sql

@@ -1,0 +1,38 @@
+#ifndef JUST_SQL_EXECUTOR_H_
+#define JUST_SQL_EXECUTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "sql/plan.h"
+
+namespace just::sql {
+
+/// Physical execution (Section VI, "SQL Execute"): spatial / spatio-temporal
+/// / k-NN predicates adjacent to a table scan are translated into GeoMesa
+/// key-range SCANs (the engine's indexed queries); everything else runs as
+/// DataFrame operations (the Spark SQL role).
+class Executor {
+ public:
+  Executor(core::JustEngine* engine, std::string user)
+      : engine_(engine), user_(std::move(user)) {}
+
+  Result<exec::DataFrame> Execute(const PlanNode& plan);
+
+  /// Stats from the last indexed scan (for benches / EXPLAIN ANALYZE).
+  const core::QueryStats& last_scan_stats() const { return last_stats_; }
+
+ private:
+  Result<exec::DataFrame> ExecuteScan(const PlanNode& scan,
+                                      const Expr* predicate);
+  Result<exec::DataFrame> ExecuteProject(const PlanNode& node);
+
+  core::JustEngine* engine_;
+  std::string user_;
+  core::QueryStats last_stats_;
+};
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_EXECUTOR_H_

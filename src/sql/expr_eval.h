@@ -1,0 +1,31 @@
+#ifndef JUST_SQL_EXPR_EVAL_H_
+#define JUST_SQL_EXPR_EVAL_H_
+
+#include "common/status.h"
+#include "exec/dataframe.h"
+#include "sql/ast.h"
+
+namespace just::sql {
+
+/// Evaluates an expression against one row. Column references resolve
+/// through `schema` (case-insensitive).
+Result<exec::Value> EvaluateExpr(const Expr& expr, const exec::Schema& schema,
+                                 const exec::Row& row);
+
+/// Evaluates a constant (column-free) expression; used by the optimizer's
+/// constant-folding rule (Section VI: "calculate constant expressions").
+Result<exec::Value> EvaluateConstant(const Expr& expr);
+
+/// True when the expression references no columns (and only pure scalar
+/// functions), i.e. it is foldable.
+bool IsConstantExpr(const Expr& expr);
+
+/// Infers the static result type of an expression against a schema.
+Result<exec::DataType> InferType(const Expr& expr, const exec::Schema& schema);
+
+/// Collects the column names an expression references into `out`.
+void CollectColumns(const Expr& expr, std::vector<std::string>* out);
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_EXPR_EVAL_H_

@@ -1,0 +1,470 @@
+#include "sql/functions.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "geo/coord_transform.h"
+#include "geo/geometry.h"
+#include "traj/dbscan.h"
+#include "traj/map_matching.h"
+#include "traj/preprocess.h"
+
+namespace just::sql {
+
+namespace {
+
+Status ArityError(const std::string& name, size_t want, size_t got) {
+  return Status::InvalidArgument(name + " expects " + std::to_string(want) +
+                                 " arguments, got " + std::to_string(got));
+}
+
+Result<double> NumArg(const std::string& fn, const std::vector<exec::Value>& a,
+                      size_t i) {
+  auto d = a[i].AsDouble();
+  if (!d.ok()) {
+    return Status::InvalidArgument(fn + ": argument " + std::to_string(i) +
+                                   " must be numeric");
+  }
+  return d.value();
+}
+
+Result<geo::Geometry> GeomArg(const std::string& fn,
+                              const std::vector<exec::Value>& a, size_t i) {
+  if (a[i].type() == exec::DataType::kGeometry) return a[i].geometry_value();
+  if (a[i].type() == exec::DataType::kTrajectory &&
+      a[i].trajectory_value() != nullptr) {
+    // Treat a trajectory as its path polyline.
+    std::vector<geo::Point> pts;
+    for (const auto& p : a[i].trajectory_value()->points()) {
+      pts.push_back(p.position);
+    }
+    return geo::Geometry::MakeLineString(std::move(pts));
+  }
+  return Status::InvalidArgument(fn + ": argument " + std::to_string(i) +
+                                 " must be a geometry");
+}
+
+Result<std::shared_ptr<const traj::Trajectory>> TrajArg(
+    const std::string& fn, const exec::Value& v) {
+  if (v.type() != exec::DataType::kTrajectory ||
+      v.trajectory_value() == nullptr) {
+    return Status::InvalidArgument(fn + " expects an st_series (item) value");
+  }
+  return v.trajectory_value();
+}
+
+std::vector<ScalarFunction> MakeScalarFunctions() {
+  std::vector<ScalarFunction> fns;
+
+  fns.push_back({"st_makembr", exec::DataType::kGeometry,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 4) return ArityError("st_makeMBR", 4,
+                                                        a.size());
+                   JUST_ASSIGN_OR_RETURN(double x0, NumArg("st_makeMBR", a, 0));
+                   JUST_ASSIGN_OR_RETURN(double y0, NumArg("st_makeMBR", a, 1));
+                   JUST_ASSIGN_OR_RETURN(double x1, NumArg("st_makeMBR", a, 2));
+                   JUST_ASSIGN_OR_RETURN(double y1, NumArg("st_makeMBR", a, 3));
+                   geo::Mbr box = geo::Mbr::Of(x0, y0, x1, y1);
+                   return exec::Value::GeometryVal(geo::Geometry::MakePolygon(
+                       {{box.lng_min, box.lat_min},
+                        {box.lng_max, box.lat_min},
+                        {box.lng_max, box.lat_max},
+                        {box.lng_min, box.lat_max}}));
+                 }});
+
+  fns.push_back({"st_makepoint", exec::DataType::kGeometry,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 2) return ArityError("st_makePoint", 2,
+                                                        a.size());
+                   JUST_ASSIGN_OR_RETURN(double lng,
+                                         NumArg("st_makePoint", a, 0));
+                   JUST_ASSIGN_OR_RETURN(double lat,
+                                         NumArg("st_makePoint", a, 1));
+                   return exec::Value::GeometryVal(
+                       geo::Geometry::MakePoint({lng, lat}));
+                 }});
+
+  fns.push_back({"st_within", exec::DataType::kBool,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 2) return ArityError("st_within", 2,
+                                                        a.size());
+                   JUST_ASSIGN_OR_RETURN(auto g, GeomArg("st_within", a, 0));
+                   JUST_ASSIGN_OR_RETURN(auto box, GeomArg("st_within", a, 1));
+                   return exec::Value::Bool(g.Within(box.Bounds()));
+                 }});
+
+  fns.push_back({"st_intersects", exec::DataType::kBool,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 2) return ArityError("st_intersects", 2,
+                                                        a.size());
+                   JUST_ASSIGN_OR_RETURN(auto g,
+                                         GeomArg("st_intersects", a, 0));
+                   JUST_ASSIGN_OR_RETURN(auto box,
+                                         GeomArg("st_intersects", a, 1));
+                   return exec::Value::Bool(g.Intersects(box.Bounds()));
+                 }});
+
+  fns.push_back({"st_distance", exec::DataType::kDouble,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 2) return ArityError("st_distance", 2,
+                                                        a.size());
+                   JUST_ASSIGN_OR_RETURN(auto g1, GeomArg("st_distance", a, 0));
+                   JUST_ASSIGN_OR_RETURN(auto g2, GeomArg("st_distance", a, 1));
+                   if (g2.is_point()) {
+                     return exec::Value::Double(g1.Distance(g2.AsPoint()));
+                   }
+                   if (g1.is_point()) {
+                     return exec::Value::Double(g2.Distance(g1.AsPoint()));
+                   }
+                   return exec::Value::Double(
+                       g1.Bounds().MinDistance(g2.Bounds().Center()));
+                 }});
+
+  fns.push_back({"st_distancemeters", exec::DataType::kDouble,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 2) {
+                     return ArityError("st_distanceMeters", 2, a.size());
+                   }
+                   JUST_ASSIGN_OR_RETURN(auto g1,
+                                         GeomArg("st_distanceMeters", a, 0));
+                   JUST_ASSIGN_OR_RETURN(auto g2,
+                                         GeomArg("st_distanceMeters", a, 1));
+                   return exec::Value::Double(geo::HaversineMeters(
+                       g1.Bounds().Center(), g2.Bounds().Center()));
+                 }});
+
+  auto coord_fn = [](const char* name, geo::Point (*transform)(
+                                           const geo::Point&)) {
+    return ScalarFunction{
+        name, exec::DataType::kGeometry,
+        [name, transform](const std::vector<exec::Value>& a)
+            -> Result<exec::Value> {
+          // Accepts (geom) or (lng, lat), per the Section V-D example
+          // SELECT st_WGS84ToGCJ02(lng, lat).
+          if (a.size() == 1) {
+            JUST_ASSIGN_OR_RETURN(auto g, GeomArg(name, a, 0));
+            if (!g.is_point()) {
+              return Status::InvalidArgument(
+                  std::string(name) + " expects a point");
+            }
+            return exec::Value::GeometryVal(
+                geo::Geometry::MakePoint(transform(g.AsPoint())));
+          }
+          if (a.size() == 2) {
+            JUST_ASSIGN_OR_RETURN(double lng, NumArg(name, a, 0));
+            JUST_ASSIGN_OR_RETURN(double lat, NumArg(name, a, 1));
+            return exec::Value::GeometryVal(
+                geo::Geometry::MakePoint(transform({lng, lat})));
+          }
+          return ArityError(name, 2, a.size());
+        }};
+  };
+  fns.push_back(coord_fn("st_wgs84togcj02", &geo::Wgs84ToGcj02));
+  fns.push_back(coord_fn("st_gcj02towgs84", &geo::Gcj02ToWgs84));
+  fns.push_back(coord_fn("st_gcj02tobd09", &geo::Gcj02ToBd09));
+  fns.push_back(coord_fn("st_bd09togcj02", &geo::Bd09ToGcj02));
+
+  fns.push_back({"st_astext", exec::DataType::kString,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 1) return ArityError("st_asText", 1,
+                                                        a.size());
+                   JUST_ASSIGN_OR_RETURN(auto g, GeomArg("st_asText", a, 0));
+                   return exec::Value::String(g.ToWkt());
+                 }});
+
+  fns.push_back({"st_geomfromtext", exec::DataType::kGeometry,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 1 ||
+                       a[0].type() != exec::DataType::kString) {
+                     return Status::InvalidArgument(
+                         "st_geomFromText expects a WKT string");
+                   }
+                   JUST_ASSIGN_OR_RETURN(
+                       auto g, geo::Geometry::FromWkt(a[0].string_value()));
+                   return exec::Value::GeometryVal(std::move(g));
+                 }});
+
+  fns.push_back({"st_x", exec::DataType::kDouble,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 1) return ArityError("st_x", 1, a.size());
+                   JUST_ASSIGN_OR_RETURN(auto g, GeomArg("st_x", a, 0));
+                   return exec::Value::Double(g.Bounds().Center().lng);
+                 }});
+
+  fns.push_back({"st_y", exec::DataType::kDouble,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 1) return ArityError("st_y", 1, a.size());
+                   JUST_ASSIGN_OR_RETURN(auto g, GeomArg("st_y", a, 0));
+                   return exec::Value::Double(g.Bounds().Center().lat);
+                 }});
+
+  fns.push_back({"st_trajlengthmeters", exec::DataType::kDouble,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 1) {
+                     return ArityError("st_trajLengthMeters", 1, a.size());
+                   }
+                   JUST_ASSIGN_OR_RETURN(
+                       auto t, TrajArg("st_trajLengthMeters", a[0]));
+                   return exec::Value::Double(t->LengthMeters());
+                 }});
+
+  fns.push_back({"st_numpoints", exec::DataType::kInt,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 1) return ArityError("st_numPoints", 1,
+                                                        a.size());
+                   if (a[0].type() == exec::DataType::kTrajectory &&
+                       a[0].trajectory_value() != nullptr) {
+                     return exec::Value::Int(
+                         static_cast<int64_t>(a[0].trajectory_value()->size()));
+                   }
+                   JUST_ASSIGN_OR_RETURN(auto g, GeomArg("st_numPoints", a, 0));
+                   return exec::Value::Int(
+                       static_cast<int64_t>(g.points().size()));
+                 }});
+
+  fns.push_back({"to_timestamp", exec::DataType::kTimestamp,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 1 ||
+                       a[0].type() != exec::DataType::kString) {
+                     return Status::InvalidArgument(
+                         "to_timestamp expects a date string");
+                   }
+                   JUST_ASSIGN_OR_RETURN(auto ts,
+                                         ParseTimestamp(a[0].string_value()));
+                   return exec::Value::Timestamp(ts);
+                 }});
+
+  fns.push_back({"abs", exec::DataType::kDouble,
+                 [](const std::vector<exec::Value>& a)
+                     -> Result<exec::Value> {
+                   if (a.size() != 1) return ArityError("abs", 1, a.size());
+                   JUST_ASSIGN_OR_RETURN(double v, NumArg("abs", a, 0));
+                   return exec::Value::Double(std::fabs(v));
+                 }});
+
+  return fns;
+}
+
+std::shared_ptr<exec::Schema> TrajOutputSchema() {
+  auto schema = std::make_shared<exec::Schema>();
+  schema->AddField({"tid", exec::DataType::kString});
+  schema->AddField({"start_time", exec::DataType::kTimestamp});
+  schema->AddField({"end_time", exec::DataType::kTimestamp});
+  schema->AddField({"item", exec::DataType::kTrajectory});
+  return schema;
+}
+
+exec::Row TrajToRow(const traj::Trajectory& t) {
+  return {exec::Value::String(t.oid()), exec::Value::Timestamp(t.start_time()),
+          exec::Value::Timestamp(t.end_time()),
+          exec::Value::TrajectoryVal(
+              std::make_shared<const traj::Trajectory>(t))};
+}
+
+std::vector<TableFunction> MakeTableFunctions() {
+  std::vector<TableFunction> fns;
+
+  fns.push_back(
+      {"st_trajnoisefilter", TrajOutputSchema(),
+       [](const exec::Value& input, const std::vector<exec::Value>&)
+           -> Result<std::vector<exec::Row>> {
+         JUST_ASSIGN_OR_RETURN(auto t, TrajArg("st_trajNoiseFilter", input));
+         return std::vector<exec::Row>{TrajToRow(traj::NoiseFilter(*t))};
+       }});
+
+  fns.push_back(
+      {"st_trajsegmentation", TrajOutputSchema(),
+       [](const exec::Value& input, const std::vector<exec::Value>&)
+           -> Result<std::vector<exec::Row>> {
+         JUST_ASSIGN_OR_RETURN(auto t,
+                               TrajArg("st_trajSegmentation", input));
+         std::vector<exec::Row> rows;
+         for (const auto& segment : traj::Segmentation(*t)) {
+           rows.push_back(TrajToRow(segment));
+         }
+         return rows;
+       }});
+
+  {
+    auto schema = std::make_shared<exec::Schema>();
+    schema->AddField({"tid", exec::DataType::kString});
+    schema->AddField({"stay_point", exec::DataType::kGeometry});
+    schema->AddField({"arrive", exec::DataType::kTimestamp});
+    schema->AddField({"depart", exec::DataType::kTimestamp});
+    fns.push_back(
+        {"st_trajstaypoint", schema,
+         [](const exec::Value& input, const std::vector<exec::Value>&)
+             -> Result<std::vector<exec::Row>> {
+           JUST_ASSIGN_OR_RETURN(auto t, TrajArg("st_trajStayPoint", input));
+           std::vector<exec::Row> rows;
+           for (const auto& sp : traj::DetectStayPoints(*t)) {
+             rows.push_back({exec::Value::String(t->oid()),
+                             exec::Value::GeometryVal(
+                                 geo::Geometry::MakePoint(sp.center)),
+                             exec::Value::Timestamp(sp.arrive),
+                             exec::Value::Timestamp(sp.depart)});
+           }
+           return rows;
+         }});
+  }
+
+  {
+    auto schema = std::make_shared<exec::Schema>();
+    schema->AddField({"tid", exec::DataType::kString});
+    schema->AddField({"segment_id", exec::DataType::kInt});
+    schema->AddField({"snapped", exec::DataType::kGeometry});
+    schema->AddField({"time", exec::DataType::kTimestamp});
+    fns.push_back(
+        {"st_trajmapmatching", schema,
+         [](const exec::Value& input, const std::vector<exec::Value>&)
+             -> Result<std::vector<exec::Row>> {
+           JUST_ASSIGN_OR_RETURN(auto t,
+                                 TrajArg("st_trajMapMatching", input));
+           auto network = GetMapMatchingNetwork();
+           if (network == nullptr) {
+             return Status::NotSupported(
+                 "st_trajMapMatching: no road network registered");
+           }
+           std::vector<exec::Row> rows;
+           for (const auto& m : traj::MapMatch(*t, *network)) {
+             rows.push_back({exec::Value::String(t->oid()),
+                             exec::Value::Int(m.segment_id),
+                             exec::Value::GeometryVal(
+                                 geo::Geometry::MakePoint(m.snapped)),
+                             exec::Value::Timestamp(m.raw.time)});
+           }
+           return rows;
+         }});
+  }
+
+  fns.push_back(
+      {"st_trajsimplify", TrajOutputSchema(),
+       [](const exec::Value& input, const std::vector<exec::Value>& extra)
+           -> Result<std::vector<exec::Row>> {
+         JUST_ASSIGN_OR_RETURN(auto t, TrajArg("st_trajSimplify", input));
+         double tol = 1e-4;
+         if (!extra.empty()) {
+           JUST_ASSIGN_OR_RETURN(tol, extra[0].AsDouble());
+         }
+         return std::vector<exec::Row>{TrajToRow(traj::Simplify(*t, tol))};
+       }});
+
+  return fns;
+}
+
+std::vector<PartitionFunction> MakePartitionFunctions() {
+  std::vector<PartitionFunction> fns;
+  {
+    auto schema = std::make_shared<exec::Schema>();
+    schema->AddField({"cluster", exec::DataType::kInt});
+    schema->AddField({"geom", exec::DataType::kGeometry});
+    fns.push_back(
+        {"st_dbscan", schema,
+         [](const std::vector<exec::Value>& column_values,
+            const std::vector<exec::Value>& extra)
+             -> Result<std::vector<exec::Row>> {
+           if (extra.size() != 2) {
+             return Status::InvalidArgument(
+                 "st_DBSCAN(geom, minPts, radius) expects 3 arguments");
+           }
+           std::vector<geo::Point> points;
+           points.reserve(column_values.size());
+           for (const auto& v : column_values) {
+             if (v.type() != exec::DataType::kGeometry) {
+               return Status::InvalidArgument(
+                   "st_DBSCAN expects a geometry column");
+             }
+             points.push_back(v.geometry_value().Bounds().Center());
+           }
+           traj::DbscanOptions options;
+           JUST_ASSIGN_OR_RETURN(auto min_pts, extra[0].AsInt());
+           JUST_ASSIGN_OR_RETURN(options.radius, extra[1].AsDouble());
+           options.min_pts = static_cast<int>(min_pts);
+           auto result = traj::Dbscan(points, options);
+           std::vector<exec::Row> rows;
+           for (size_t i = 0; i < points.size(); ++i) {
+             rows.push_back({exec::Value::Int(result.labels[i]),
+                             exec::Value::GeometryVal(
+                                 geo::Geometry::MakePoint(points[i]))});
+           }
+           return rows;
+         }});
+  }
+  return fns;
+}
+
+std::mutex g_network_mu;
+std::shared_ptr<const traj::RoadNetwork> g_network;  // NOLINT
+
+}  // namespace
+
+const ScalarFunction* FindScalarFunction(const std::string& name) {
+  static const std::vector<ScalarFunction>* fns =
+      new std::vector<ScalarFunction>(MakeScalarFunctions());
+  for (const auto& fn : *fns) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+bool FindAggregateFunction(const std::string& name, exec::AggFunc* out) {
+  if (name == "count") {
+    *out = exec::AggFunc::kCount;
+  } else if (name == "sum") {
+    *out = exec::AggFunc::kSum;
+  } else if (name == "avg") {
+    *out = exec::AggFunc::kAvg;
+  } else if (name == "min") {
+    *out = exec::AggFunc::kMin;
+  } else if (name == "max") {
+    *out = exec::AggFunc::kMax;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const TableFunction* FindTableFunction(const std::string& name) {
+  static const std::vector<TableFunction>* fns =
+      new std::vector<TableFunction>(MakeTableFunctions());
+  for (const auto& fn : *fns) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+const PartitionFunction* FindPartitionFunction(const std::string& name) {
+  static const std::vector<PartitionFunction>* fns =
+      new std::vector<PartitionFunction>(MakePartitionFunctions());
+  for (const auto& fn : *fns) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+void SetMapMatchingNetwork(
+    std::shared_ptr<const traj::RoadNetwork> network) {
+  std::lock_guard<std::mutex> lock(g_network_mu);
+  g_network = std::move(network);
+}
+
+std::shared_ptr<const traj::RoadNetwork> GetMapMatchingNetwork() {
+  std::lock_guard<std::mutex> lock(g_network_mu);
+  return g_network;
+}
+
+}  // namespace just::sql

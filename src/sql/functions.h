@@ -1,0 +1,65 @@
+#ifndef JUST_SQL_FUNCTIONS_H_
+#define JUST_SQL_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/operators.h"
+#include "exec/value.h"
+#include "traj/road_network.h"
+
+namespace just::sql {
+
+/// A scalar (1-1) function: the paper's UDF-backed analysis operations plus
+/// the query helpers (st_makeMBR, st_makePoint, ...).
+struct ScalarFunction {
+  std::string name;
+  exec::DataType return_type;
+  std::function<Result<exec::Value>(const std::vector<exec::Value>&)> fn;
+};
+
+/// Looks up a scalar function by lower-case name; nullptr when unknown.
+const ScalarFunction* FindScalarFunction(const std::string& name);
+
+/// Aggregate functions (COUNT/SUM/AVG/MIN/MAX) map to exec::AggFunc.
+bool FindAggregateFunction(const std::string& name, exec::AggFunc* out);
+
+/// 1-N table functions (Section V-D): one row in, many rows out. The
+/// executor routes these through its own FlatMap operator since "the UDF
+/// mechanism of Spark SQL is not supported for this case".
+struct TableFunction {
+  std::string name;
+  /// Output schema given the call arguments.
+  std::shared_ptr<exec::Schema> output_schema;
+  /// Expands one input value (the evaluated first argument) plus literal
+  /// extra args into output rows.
+  std::function<Result<std::vector<exec::Row>>(
+      const exec::Value& input, const std::vector<exec::Value>& extra_args)>
+      fn;
+};
+
+const TableFunction* FindTableFunction(const std::string& name);
+
+/// N-M partition functions (st_DBSCAN): all rows in, new rows out.
+struct PartitionFunction {
+  std::string name;
+  std::shared_ptr<exec::Schema> output_schema;
+  /// `column_values` holds the evaluated first-arg per row.
+  std::function<Result<std::vector<exec::Row>>(
+      const std::vector<exec::Value>& column_values,
+      const std::vector<exec::Value>& extra_args)>
+      fn;
+};
+
+const PartitionFunction* FindPartitionFunction(const std::string& name);
+
+/// Registers the road network used by st_trajMapMatching (the Map Recovery
+/// substrate). Process-wide; pass nullptr to clear.
+void SetMapMatchingNetwork(std::shared_ptr<const traj::RoadNetwork> network);
+std::shared_ptr<const traj::RoadNetwork> GetMapMatchingNetwork();
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_FUNCTIONS_H_

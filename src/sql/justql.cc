@@ -1,0 +1,308 @@
+#include "sql/justql.h"
+
+#include <cctype>
+
+#include "common/json.h"
+#include "core/loader.h"
+#include "core/plugins.h"
+#include "sql/analyzer.h"
+#include "sql/executor.h"
+#include "sql/expr_eval.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+
+namespace just::sql {
+
+namespace {
+
+exec::DataFrame MessageFrame(const std::string& column,
+                             const std::vector<std::string>& values) {
+  auto schema = std::make_shared<exec::Schema>();
+  schema->AddField({column, exec::DataType::kString});
+  exec::DataFrame frame(schema);
+  for (const std::string& v : values) {
+    frame.AddRow({exec::Value::String(v)});
+  }
+  return frame;
+}
+
+Result<int64_t> ParsePeriodName(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  if (lower == "day") return kMillisPerDay;
+  if (lower == "week") return kMillisPerWeek;
+  if (lower == "month") return kMillisPerMonth;
+  if (lower == "year") return kMillisPerYear;
+  if (lower == "century") return kMillisPerCentury;
+  return Status::InvalidArgument("unknown time period: " + name);
+}
+
+// Applies the USERDATA hint: {'geomesa.indices.enabled':'z3,xz2t'} selects
+// indexes, {'just.period':'day|week|month|year|century'} the Eq. (1) bin.
+Status ApplyUserdata(const std::string& json, meta::TableMeta* table) {
+  if (json.empty()) return Status::OK();
+  JUST_ASSIGN_OR_RETURN(auto doc, ParseJson(json));
+  int64_t period = kMillisPerDay;
+  std::string period_name = doc.GetString("just.period");
+  if (!period_name.empty()) {
+    JUST_ASSIGN_OR_RETURN(period, ParsePeriodName(period_name));
+  }
+  std::string attrs = doc.GetString("just.attr.indexes");
+  if (!attrs.empty()) {
+    std::string current;
+    for (char c : attrs) {
+      if (c == ',' || c == ' ') {
+        if (!current.empty()) table->attr_indexes.push_back(current);
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    if (!current.empty()) table->attr_indexes.push_back(current);
+  }
+  std::string enabled = doc.GetString("geomesa.indices.enabled");
+  if (!enabled.empty()) {
+    table->indexes.clear();
+    std::string current;
+    auto flush = [&]() -> Status {
+      if (current.empty()) return Status::OK();
+      JUST_ASSIGN_OR_RETURN(auto type, curve::ParseIndexType(current));
+      table->indexes.push_back({type, period});
+      current.clear();
+      return Status::OK();
+    };
+    for (char c : enabled) {
+      if (c == ',' || c == ' ') {
+        JUST_RETURN_NOT_OK(flush());
+      } else {
+        current += c;
+      }
+    }
+    JUST_RETURN_NOT_OK(flush());
+  } else if (!period_name.empty()) {
+    for (auto& index : table->indexes) index.period_len_ms = period;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> JustQL::ExplainSelect(const std::string& user,
+                                          const std::string& sql) {
+  JUST_ASSIGN_OR_RETURN(auto stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
+  Analyzer analyzer(engine_, user);
+  JUST_ASSIGN_OR_RETURN(auto plan, analyzer.Analyze(*stmt.select));
+  std::string out = "=== Analyzed Logical Plan ===\n" + plan->ToString();
+  JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan)));
+  out += "=== Optimized Logical Plan ===\n" + plan->ToString();
+  return out;
+}
+
+Result<QueryResult> JustQL::Execute(const std::string& user,
+                                    const std::string& sql) {
+  JUST_ASSIGN_OR_RETURN(auto stmt, ParseStatement(sql));
+  QueryResult result;
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect: {
+      Analyzer analyzer(engine_, user);
+      JUST_ASSIGN_OR_RETURN(auto plan, analyzer.Analyze(*stmt.select));
+      JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan)));
+      Executor executor(engine_, user);
+      JUST_ASSIGN_OR_RETURN(result.frame, executor.Execute(*plan));
+      return result;
+    }
+    case Statement::Kind::kCreateTable: {
+      const CreateTableStmt& create = *stmt.create_table;
+      if (!create.plugin.empty()) {
+        if (!core::IsKnownPlugin(create.plugin)) {
+          return Status::InvalidArgument("unknown plugin table type: " +
+                                         create.plugin);
+        }
+        JUST_ASSIGN_OR_RETURN(
+            auto table, core::MakePluginTable(create.plugin, user,
+                                              create.name));
+        JUST_RETURN_NOT_OK(ApplyUserdata(create.userdata_json, &table));
+        JUST_RETURN_NOT_OK(engine_->catalog()->CreateTable(&table));
+        result.message = "plugin table created: " + create.name;
+        return result;
+      }
+      meta::TableMeta table;
+      table.user = user;
+      table.name = create.name;
+      for (const ColumnDecl& decl : create.columns) {
+        meta::ColumnDef col;
+        col.name = decl.name;
+        JUST_ASSIGN_OR_RETURN(col.type,
+                              exec::ParseDataType(decl.type_name));
+        col.primary_key = decl.primary_key;
+        col.srid = decl.srid;
+        col.compress = decl.compress;
+        table.columns.push_back(std::move(col));
+      }
+      // Engine fills special columns + default indexes; USERDATA overrides.
+      // Defaults must be computed before overrides, so create via engine
+      // only when no USERDATA; otherwise prepare, apply, then create.
+      if (create.userdata_json.empty()) {
+        JUST_RETURN_NOT_OK(engine_->CreateTable(std::move(table)));
+      } else {
+        // Let the engine infer special columns by round-tripping through
+        // its defaulting logic first.
+        meta::TableMeta prepared = table;
+        // Infer special columns the same way CreateTable does.
+        for (const auto& col : prepared.columns) {
+          if (prepared.fid_column.empty() && col.primary_key) {
+            prepared.fid_column = col.name;
+          }
+          if (prepared.geom_column.empty() &&
+              (col.type == exec::DataType::kGeometry ||
+               col.type == exec::DataType::kTrajectory)) {
+            prepared.geom_column = col.name;
+          }
+          if (prepared.time_column.empty() &&
+              col.type == exec::DataType::kTimestamp) {
+            prepared.time_column = col.name;
+          }
+        }
+        JUST_RETURN_NOT_OK(ApplyUserdata(create.userdata_json, &prepared));
+        JUST_RETURN_NOT_OK(engine_->CreateTable(std::move(prepared)));
+      }
+      result.message = "table created: " + create.name;
+      return result;
+    }
+    case Statement::Kind::kCreateView: {
+      Analyzer analyzer(engine_, user);
+      JUST_ASSIGN_OR_RETURN(auto plan,
+                            analyzer.Analyze(*stmt.create_view->select));
+      JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan)));
+      Executor executor(engine_, user);
+      JUST_ASSIGN_OR_RETURN(auto frame, executor.Execute(*plan));
+      JUST_RETURN_NOT_OK(
+          engine_->CreateView(user, stmt.create_view->name, std::move(frame)));
+      result.message = "view created: " + stmt.create_view->name;
+      return result;
+    }
+    case Statement::Kind::kDrop: {
+      if (stmt.drop->is_view) {
+        JUST_RETURN_NOT_OK(engine_->DropView(user, stmt.drop->name));
+        result.message = "view dropped: " + stmt.drop->name;
+      } else {
+        JUST_RETURN_NOT_OK(engine_->DropTable(user, stmt.drop->name));
+        result.message = "table dropped: " + stmt.drop->name;
+      }
+      return result;
+    }
+    case Statement::Kind::kShow: {
+      if (stmt.show->views) {
+        result.frame = MessageFrame("view", engine_->ShowViews(user));
+      } else {
+        result.frame = MessageFrame("table", engine_->ShowTables(user));
+      }
+      return result;
+    }
+    case Statement::Kind::kDesc: {
+      auto schema = std::make_shared<exec::Schema>();
+      schema->AddField({"column", exec::DataType::kString});
+      schema->AddField({"type", exec::DataType::kString});
+      schema->AddField({"modifiers", exec::DataType::kString});
+      exec::DataFrame frame(schema);
+      if (stmt.desc->is_view) {
+        JUST_ASSIGN_OR_RETURN(auto view,
+                              engine_->GetView(user, stmt.desc->name));
+        for (const auto& f : view.schema().fields()) {
+          frame.AddRow({exec::Value::String(f.name),
+                        exec::Value::String(exec::DataTypeName(f.type)),
+                        exec::Value::String("")});
+        }
+      } else {
+        JUST_ASSIGN_OR_RETURN(auto table,
+                              engine_->DescribeTable(user, stmt.desc->name));
+        for (const auto& col : table.columns) {
+          std::string mods;
+          if (col.primary_key) mods += "primary key ";
+          if (!col.srid.empty()) mods += "srid=" + col.srid + " ";
+          if (!col.compress.empty()) mods += "compress=" + col.compress;
+          frame.AddRow({exec::Value::String(col.name),
+                        exec::Value::String(exec::DataTypeName(col.type)),
+                        exec::Value::String(mods)});
+        }
+      }
+      result.frame = std::move(frame);
+      return result;
+    }
+    case Statement::Kind::kLoad: {
+      const LoadStmt& load = *stmt.load;
+      if (load.source_kind != "csv" && load.source_kind != "file") {
+        return Status::NotSupported(
+            "only csv:'<path>' sources are available in this build (got " +
+            load.source_kind + ")");
+      }
+      core::LoadConfig config;
+      if (!load.config_json.empty()) {
+        JUST_ASSIGN_OR_RETURN(auto doc, ParseJson(load.config_json));
+        for (const auto& [key, value] : doc.object_members()) {
+          if (value.is_string()) {
+            config.mapping[key] = value.string_value();
+          }
+        }
+      }
+      if (!load.filter.empty()) {
+        // FILTER 'limit N' simplification.
+        size_t pos = load.filter.find("limit");
+        if (pos != std::string::npos) {
+          config.limit = std::strtol(load.filter.c_str() + pos + 5, nullptr,
+                                     10);
+        }
+      }
+      JUST_ASSIGN_OR_RETURN(
+          size_t loaded,
+          core::LoadCsv(engine_, user, load.target_table, load.source_path,
+                        config));
+      result.message = "loaded " + std::to_string(loaded) + " rows into " +
+                       load.target_table;
+      return result;
+    }
+    case Statement::Kind::kStoreView: {
+      JUST_RETURN_NOT_OK(engine_->StoreViewToTable(
+          user, stmt.store_view->view, stmt.store_view->table));
+      result.message = "view " + stmt.store_view->view + " stored to " +
+                       stmt.store_view->table;
+      return result;
+    }
+    case Statement::Kind::kInsert: {
+      JUST_ASSIGN_OR_RETURN(auto table_meta,
+                            engine_->DescribeTable(user, stmt.insert->table));
+      std::vector<exec::Row> rows;
+      for (const auto& value_list : stmt.insert->rows) {
+        if (value_list.size() != table_meta.columns.size()) {
+          return Status::InvalidArgument(
+              "INSERT width mismatch: expected " +
+              std::to_string(table_meta.columns.size()) + " values");
+        }
+        exec::Row row;
+        for (size_t i = 0; i < value_list.size(); ++i) {
+          JUST_ASSIGN_OR_RETURN(auto value,
+                                EvaluateConstant(*value_list[i]));
+          // Coerce strings to timestamps for date columns.
+          if (table_meta.columns[i].type == exec::DataType::kTimestamp &&
+              value.type() == exec::DataType::kString) {
+            JUST_ASSIGN_OR_RETURN(auto ts,
+                                  ParseTimestamp(value.string_value()));
+            value = exec::Value::Timestamp(ts);
+          }
+          row.push_back(std::move(value));
+        }
+        rows.push_back(std::move(row));
+      }
+      JUST_RETURN_NOT_OK(engine_->InsertBatch(user, stmt.insert->table, rows));
+      result.message =
+          "inserted " + std::to_string(rows.size()) + " rows";
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+}  // namespace just::sql

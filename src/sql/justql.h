@@ -1,0 +1,43 @@
+#ifndef JUST_SQL_JUSTQL_H_
+#define JUST_SQL_JUSTQL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "sql/plan.h"
+
+namespace just::sql {
+
+/// The outcome of one JustQL statement.
+struct QueryResult {
+  exec::DataFrame frame;  ///< rows for SELECT / SHOW / DESC
+  std::string message;    ///< acknowledgement for DDL / DML
+};
+
+/// The complete SQL engine facade (Section VI): parse -> analyze ->
+/// optimize -> execute, multiplexed over the shared engine with per-user
+/// namespaces (Section VII-A). This is what the SDKs and the web portal
+/// would submit statements to.
+class JustQL {
+ public:
+  explicit JustQL(core::JustEngine* engine) : engine_(engine) {}
+
+  /// Executes one statement on behalf of `user`.
+  Result<QueryResult> Execute(const std::string& user, const std::string& sql);
+
+  /// Renders the analyzed and optimized logical plans of a SELECT, for
+  /// inspection (the Figure 8 views).
+  Result<std::string> ExplainSelect(const std::string& user,
+                                    const std::string& sql);
+
+  core::JustEngine* engine() { return engine_; }
+
+ private:
+  core::JustEngine* engine_;
+};
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_JUSTQL_H_

@@ -1,0 +1,162 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace just::sql {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "SELECT", "FROM",  "WHERE",  "AND",    "OR",      "NOT",    "AS",
+      "CREATE", "TABLE", "VIEW",   "DROP",   "SHOW",    "TABLES", "VIEWS",
+      "DESC",   "LOAD",  "TO",     "CONFIG", "FILTER",  "STORE",  "INSERT",
+      "INTO",   "VALUES", "GROUP", "ORDER",  "BY",      "LIMIT",  "ASC",
+      "DESCENDING",       "WITHIN", "BETWEEN", "IN",    "USERDATA",
+      "PRIMARY", "KEY",   "JOIN",  "ON",     "TRUE",    "FALSE",  "NULL",
+  };
+  return *kKeywords;
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (c == '{') {
+      // Balanced JSON blob (strings may contain braces).
+      int depth = 0;
+      size_t start = i;
+      bool in_string = false;
+      char quote = 0;
+      for (; i < n; ++i) {
+        char b = input[i];
+        if (in_string) {
+          if (b == '\\') {
+            ++i;
+          } else if (b == quote) {
+            in_string = false;
+          }
+          continue;
+        }
+        if (b == '\'' || b == '"') {
+          in_string = true;
+          quote = b;
+        } else if (b == '{') {
+          ++depth;
+        } else if (b == '}') {
+          --depth;
+          if (depth == 0) {
+            ++i;
+            break;
+          }
+        }
+      }
+      if (depth != 0) {
+        return Status::InvalidArgument("unbalanced '{' at offset " +
+                                       std::to_string(start));
+      }
+      token.type = TokenType::kJson;
+      token.value = input.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string value;
+      while (i < n && input[i] != quote) {
+        if (input[i] == '\\' && i + 1 < n) {
+          ++i;
+          value += input[i];
+        } else {
+          value += input[i];
+        }
+        ++i;
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      ++i;  // closing quote
+      token.type = TokenType::kString;
+      token.value = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' ||
+                       input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        ++i;
+      }
+      token.type = TokenType::kNumber;
+      token.value = input.substr(start, i - start);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper;
+      for (char w : word) upper += static_cast<char>(std::toupper(w));
+      if (Keywords().count(upper) != 0) {
+        token.type = TokenType::kKeyword;
+        token.value = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.value = word;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = input.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+        two == "==") {
+      token.type = TokenType::kOperator;
+      token.value = two == "==" ? "=" : (two == "<>" ? "!=" : two);
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::string("=<>+-*/(),.;:|").find(c) != std::string::npos) {
+      token.type = TokenType::kOperator;
+      token.value = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace just::sql

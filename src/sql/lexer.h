@@ -1,0 +1,41 @@
+#ifndef JUST_SQL_LEXER_H_
+#define JUST_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace just::sql {
+
+enum class TokenType {
+  kIdentifier,  ///< unquoted word, not a keyword (value holds original case)
+  kKeyword,     ///< reserved word (value upper-cased)
+  kNumber,
+  kString,      ///< quoted literal (value unescaped, quotes stripped)
+  kJson,        ///< balanced {...} blob (value includes braces)
+  kOperator,    ///< punctuation / comparison
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string value;
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && value == kw;
+  }
+  bool IsOperator(const char* op) const {
+    return type == TokenType::kOperator && value == op;
+  }
+};
+
+/// Tokenizes a JustQL statement. Keywords are recognized case-insensitively;
+/// `{...}` blobs (USERDATA / CONFIG hints) are captured as single kJson
+/// tokens.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_LEXER_H_

@@ -1,0 +1,243 @@
+#include "sql/optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sql/expr_eval.h"
+
+namespace just::sql {
+
+namespace {
+
+// --- Rule 1: constant folding -------------------------------------------
+
+Status FoldConstants(Expr* expr) {
+  for (auto& arg : expr->args) {
+    JUST_RETURN_NOT_OK(FoldConstants(arg.get()));
+  }
+  if (expr->kind == Expr::Kind::kLiteral ||
+      expr->kind == Expr::Kind::kColumn || expr->kind == Expr::Kind::kStar) {
+    return Status::OK();
+  }
+  // Aggregates / table functions are not foldable; IsConstantExpr knows.
+  if (!IsConstantExpr(*expr)) return Status::OK();
+  JUST_ASSIGN_OR_RETURN(auto value, EvaluateConstant(*expr));
+  expr->kind = Expr::Kind::kLiteral;
+  expr->literal = std::move(value);
+  expr->args.clear();
+  expr->call_name.clear();
+  return Status::OK();
+}
+
+Status FoldPlanConstants(PlanNode* node) {
+  if (node->predicate != nullptr) {
+    JUST_RETURN_NOT_OK(FoldConstants(node->predicate.get()));
+  }
+  for (auto& item : node->items) {
+    // Keep table-function calls intact but fold their arguments.
+    for (auto& arg : item.expr->args) {
+      JUST_RETURN_NOT_OK(FoldConstants(arg.get()));
+    }
+    if (IsConstantExpr(*item.expr)) {
+      JUST_RETURN_NOT_OK(FoldConstants(item.expr.get()));
+    }
+  }
+  for (auto& child : node->children) {
+    JUST_RETURN_NOT_OK(FoldPlanConstants(child.get()));
+  }
+  return Status::OK();
+}
+
+// --- Rule 2: predicate pushdown ------------------------------------------
+
+// True if `project` only renames/passes through columns that the predicate
+// uses, allowing the predicate to be rewritten beneath it.
+bool RewritePredicateThroughProject(const PlanNode& project, Expr* predicate) {
+  if (predicate->kind == Expr::Kind::kColumn) {
+    for (const auto& item : project.items) {
+      std::string alias = item.alias.empty() &&
+                                  item.expr->kind == Expr::Kind::kColumn
+                              ? item.expr->column
+                              : item.alias;
+      if (alias == predicate->column || (item.alias.empty() &&
+                                         item.expr->ToString() ==
+                                             predicate->column)) {
+        if (item.expr->kind == Expr::Kind::kColumn) {
+          predicate->column = item.expr->column;
+          return true;
+        }
+        return false;  // computed column: cannot push below
+      }
+    }
+    // Not produced by the project: unknown -> refuse.
+    return false;
+  }
+  for (auto& arg : predicate->args) {
+    if (!RewritePredicateThroughProject(project, arg.get())) return false;
+  }
+  return true;
+}
+
+// Pushes Filter nodes down as far as possible. Returns the new subtree root.
+std::unique_ptr<PlanNode> PushFilters(std::unique_ptr<PlanNode> node) {
+  for (auto& child : node->children) {
+    child = PushFilters(std::move(child));
+  }
+  if (node->kind != PlanNode::Kind::kFilter) return node;
+
+  PlanNode* child = node->children[0].get();
+  switch (child->kind) {
+    case PlanNode::Kind::kFilter: {
+      // Merge: Filter(a, Filter(b, x)) -> Filter(a AND b, x).
+      child->predicate = Expr::Binary(BinaryOp::kAnd,
+                                      std::move(node->predicate),
+                                      std::move(child->predicate));
+      auto merged = std::move(node->children[0]);
+      return PushFilters(std::move(merged));
+    }
+    case PlanNode::Kind::kSort:
+    case PlanNode::Kind::kProject: {
+      bool can_push = true;
+      if (child->kind == PlanNode::Kind::kProject) {
+        // Try rewriting on a clone first; commit only on success. Computed
+        // columns (including 1-N / N-M function projects) fail the rewrite,
+        // which keeps the filter above them.
+        auto clone = node->predicate->Clone();
+        can_push = RewritePredicateThroughProject(*child, clone.get());
+        if (can_push) node->predicate = std::move(clone);
+      }
+      if (!can_push) return node;
+      // Swap: Filter(Sort/Project(x)) -> Sort/Project(Filter(x)).
+      auto inner = std::move(node->children[0]);      // sort/project
+      node->children[0] = std::move(inner->children[0]);
+      node->schema = node->children[0]->schema;
+      inner->children[0] = PushFilters(std::move(node));
+      return inner;
+    }
+    default:
+      return node;
+  }
+}
+
+// --- Rule 3: projection pushdown -----------------------------------------
+
+// Walks the tree, accumulating which columns each subtree must produce.
+// `needed` empty means "everything".
+void PushRequiredColumns(PlanNode* node, std::set<std::string> needed) {
+  switch (node->kind) {
+    case PlanNode::Kind::kScanTable:
+    case PlanNode::Kind::kScanView: {
+      if (!needed.empty()) {
+        node->required_columns.assign(needed.begin(), needed.end());
+        // Preserve schema order for readability.
+        std::vector<std::string> ordered;
+        for (const auto& f : node->schema->fields()) {
+          if (needed.count(f.name) != 0) ordered.push_back(f.name);
+        }
+        if (!ordered.empty()) node->required_columns = ordered;
+      }
+      return;
+    }
+    case PlanNode::Kind::kFilter: {
+      std::set<std::string> child_needed = needed;
+      if (!needed.empty()) {
+        std::vector<std::string> cols;
+        CollectColumns(*node->predicate, &cols);
+        child_needed.insert(cols.begin(), cols.end());
+      }
+      PushRequiredColumns(node->children[0].get(), std::move(child_needed));
+      return;
+    }
+    case PlanNode::Kind::kProject: {
+      std::set<std::string> child_needed;
+      for (const auto& item : node->items) {
+        std::vector<std::string> cols;
+        CollectColumns(*item.expr, &cols);
+        child_needed.insert(cols.begin(), cols.end());
+      }
+      // An empty reference set (all literals) still needs one pass-through
+      // column? No: scans can return full rows; keep as-is.
+      PushRequiredColumns(node->children[0].get(), std::move(child_needed));
+      return;
+    }
+    case PlanNode::Kind::kAggregate: {
+      std::set<std::string> child_needed(node->group_by.begin(),
+                                         node->group_by.end());
+      for (const auto& agg : node->aggregates) {
+        if (!agg.column.empty()) child_needed.insert(agg.column);
+      }
+      PushRequiredColumns(node->children[0].get(), std::move(child_needed));
+      return;
+    }
+    case PlanNode::Kind::kSort: {
+      std::set<std::string> child_needed = needed;
+      if (!needed.empty()) {
+        for (const auto& item : node->order_by) {
+          child_needed.insert(item.column);
+        }
+      }
+      PushRequiredColumns(node->children[0].get(), std::move(child_needed));
+      return;
+    }
+    case PlanNode::Kind::kLimit:
+      PushRequiredColumns(node->children[0].get(), std::move(needed));
+      return;
+    case PlanNode::Kind::kJoin: {
+      std::set<std::string> left_needed, right_needed;
+      if (!needed.empty()) {
+        for (const auto& f : node->children[0]->schema->fields()) {
+          if (needed.count(f.name) != 0) left_needed.insert(f.name);
+        }
+        for (const auto& f : node->children[1]->schema->fields()) {
+          std::string produced = f.name;
+          if (node->children[0]->schema->IndexOf(f.name) >= 0) {
+            produced += "_r";
+          }
+          if (needed.count(produced) != 0) right_needed.insert(f.name);
+        }
+        left_needed.insert(node->join_left_col);
+        right_needed.insert(node->join_right_col);
+      }
+      PushRequiredColumns(node->children[0].get(), std::move(left_needed));
+      PushRequiredColumns(node->children[1].get(), std::move(right_needed));
+      return;
+    }
+  }
+}
+
+// Removes Project nodes that are pure identity over their input schema.
+std::unique_ptr<PlanNode> RemoveIdentityProjects(
+    std::unique_ptr<PlanNode> node) {
+  for (auto& child : node->children) {
+    child = RemoveIdentityProjects(std::move(child));
+  }
+  if (node->kind != PlanNode::Kind::kProject) return node;
+  const PlanNode& child = *node->children[0];
+  if (child.schema == nullptr ||
+      node->items.size() != child.schema->num_fields()) {
+    return node;
+  }
+  for (size_t i = 0; i < node->items.size(); ++i) {
+    const SelectItem& item = node->items[i];
+    if (item.expr->kind != Expr::Kind::kColumn) return node;
+    const std::string& out_name =
+        item.alias.empty() ? item.expr->column : item.alias;
+    if (item.expr->column != child.schema->field(i).name ||
+        out_name != child.schema->field(i).name) {
+      return node;
+    }
+  }
+  return std::move(node->children[0]);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PlanNode>> Optimize(std::unique_ptr<PlanNode> plan) {
+  JUST_RETURN_NOT_OK(FoldPlanConstants(plan.get()));
+  plan = RemoveIdentityProjects(std::move(plan));
+  plan = PushFilters(std::move(plan));
+  PushRequiredColumns(plan.get(), {});
+  return plan;
+}
+
+}  // namespace just::sql

@@ -1,0 +1,22 @@
+#ifndef JUST_SQL_OPTIMIZER_H_
+#define JUST_SQL_OPTIMIZER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "sql/plan.h"
+
+namespace just::sql {
+
+/// Rule-based logical optimizer (Section VI, "SQL Optimize"), applying the
+/// paper's three rule classes:
+///   1. Calculate constant expressions (fid = 52*9 -> fid = 468;
+///      st_makeMBR(literals) -> a geometry literal).
+///   2. Push down selections toward the table scans.
+///   3. Push down projections: prune unneeded fields and record the
+///      required columns on each scan.
+Result<std::unique_ptr<PlanNode>> Optimize(std::unique_ptr<PlanNode> plan);
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_OPTIMIZER_H_

@@ -1,0 +1,577 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace just::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> Parse() {
+    JUST_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    // Optional trailing semicolon.
+    if (Cur().IsOperator(";")) Advance();
+    if (Cur().type != TokenType::kEnd) {
+      return Err("unexpected trailing input: '" + Cur().value + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(Cur().offset) + ": " +
+                                   message);
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Cur().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Err(std::string("expected ") + kw + ", got '" + Cur().value +
+                 "'");
+    }
+    return Status::OK();
+  }
+
+  bool AcceptOperator(const char* op) {
+    if (Cur().IsOperator(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectOperator(const char* op) {
+    if (!AcceptOperator(op)) {
+      return Err(std::string("expected '") + op + "', got '" + Cur().value +
+                 "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Cur().type != TokenType::kIdentifier) {
+      return Err("expected identifier, got '" + Cur().value + "'");
+    }
+    std::string name = Cur().value;
+    Advance();
+    return name;
+  }
+
+  // Accepts identifiers and non-reserved-looking keywords as names.
+  Result<std::string> ExpectName() {
+    if (Cur().type == TokenType::kIdentifier ||
+        Cur().type == TokenType::kKeyword) {
+      std::string name = Cur().value;
+      Advance();
+      return name;
+    }
+    return Err("expected name, got '" + Cur().value + "'");
+  }
+
+  Result<Statement> ParseStatementInner() {
+    if (Cur().IsKeyword("SELECT")) {
+      Statement stmt;
+      stmt.kind = Statement::Kind::kSelect;
+      JUST_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+      return stmt;
+    }
+    if (Cur().IsKeyword("CREATE")) return ParseCreate();
+    if (Cur().IsKeyword("DROP")) return ParseDrop();
+    if (Cur().IsKeyword("SHOW")) return ParseShow();
+    if (Cur().IsKeyword("DESC")) return ParseDesc();
+    if (Cur().IsKeyword("LOAD")) return ParseLoad();
+    if (Cur().IsKeyword("STORE")) return ParseStore();
+    if (Cur().IsKeyword("INSERT")) return ParseInsert();
+    return Err("unknown statement start: '" + Cur().value + "'");
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    JUST_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto select = std::make_unique<SelectStmt>();
+    // Select list.
+    for (;;) {
+      SelectItem item;
+      if (AcceptOperator("*")) {
+        item.expr = Expr::Star();
+      } else {
+        JUST_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          JUST_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        } else if (Cur().type == TokenType::kIdentifier) {
+          item.alias = Cur().value;  // bare alias
+          Advance();
+        }
+      }
+      select->items.push_back(std::move(item));
+      if (!AcceptOperator(",")) break;
+    }
+    JUST_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (AcceptOperator("(")) {
+      JUST_ASSIGN_OR_RETURN(select->subquery, ParseSelect());
+      JUST_RETURN_NOT_OK(ExpectOperator(")"));
+      AcceptKeyword("AS");
+      if (Cur().type == TokenType::kIdentifier) {
+        select->subquery_alias = Cur().value;
+        Advance();
+      }
+    } else {
+      JUST_ASSIGN_OR_RETURN(select->from_name, ExpectIdentifier());
+    }
+    if (AcceptKeyword("JOIN")) {
+      JUST_ASSIGN_OR_RETURN(select->join_name, ExpectIdentifier());
+      JUST_RETURN_NOT_OK(ExpectKeyword("ON"));
+      JUST_ASSIGN_OR_RETURN(select->join_left_col, ExpectIdentifier());
+      JUST_RETURN_NOT_OK(ExpectOperator("="));
+      JUST_ASSIGN_OR_RETURN(select->join_right_col, ExpectIdentifier());
+    }
+    if (AcceptKeyword("WHERE")) {
+      JUST_ASSIGN_OR_RETURN(select->where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      JUST_RETURN_NOT_OK(ExpectKeyword("BY"));
+      for (;;) {
+        JUST_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        select->group_by.push_back(std::move(col));
+        if (!AcceptOperator(",")) break;
+      }
+    }
+    if (AcceptKeyword("ORDER")) {
+      JUST_RETURN_NOT_OK(ExpectKeyword("BY"));
+      for (;;) {
+        OrderItem item;
+        JUST_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+        if (AcceptKeyword("ASC")) {
+          item.ascending = true;
+        } else if (AcceptKeyword("DESC") || AcceptKeyword("DESCENDING")) {
+          item.ascending = false;
+        }
+        select->order_by.push_back(std::move(item));
+        if (!AcceptOperator(",")) break;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Cur().type != TokenType::kNumber) return Err("expected LIMIT count");
+      select->limit = std::strtol(Cur().value.c_str(), nullptr, 10);
+      Advance();
+    }
+    return select;
+  }
+
+  Result<Statement> ParseCreate() {
+    Advance();  // CREATE
+    if (AcceptKeyword("VIEW")) {
+      Statement stmt;
+      stmt.kind = Statement::Kind::kCreateView;
+      stmt.create_view = std::make_unique<CreateViewStmt>();
+      JUST_ASSIGN_OR_RETURN(stmt.create_view->name, ExpectIdentifier());
+      JUST_RETURN_NOT_OK(ExpectKeyword("AS"));
+      JUST_ASSIGN_OR_RETURN(stmt.create_view->select, ParseSelect());
+      return stmt;
+    }
+    JUST_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateTable;
+    stmt.create_table = std::make_unique<CreateTableStmt>();
+    JUST_ASSIGN_OR_RETURN(stmt.create_table->name, ExpectIdentifier());
+    if (AcceptKeyword("AS")) {
+      JUST_ASSIGN_OR_RETURN(stmt.create_table->plugin, ExpectIdentifier());
+    } else {
+      JUST_RETURN_NOT_OK(ExpectOperator("("));
+      for (;;) {
+        ColumnDecl col;
+        JUST_ASSIGN_OR_RETURN(col.name, ExpectName());
+        JUST_ASSIGN_OR_RETURN(col.type_name, ExpectName());
+        if (AcceptOperator(":")) {
+          JUST_RETURN_NOT_OK(ParseColumnModifier(&col));
+        }
+        stmt.create_table->columns.push_back(std::move(col));
+        if (AcceptOperator(",")) continue;
+        JUST_RETURN_NOT_OK(ExpectOperator(")"));
+        break;
+      }
+    }
+    if (AcceptKeyword("USERDATA")) {
+      if (Cur().type != TokenType::kJson) {
+        return Err("USERDATA expects a {...} hint");
+      }
+      stmt.create_table->userdata_json = Cur().value;
+      Advance();
+    }
+    return stmt;
+  }
+
+  Status ParseColumnModifier(ColumnDecl* col) {
+    // `primary key` | `srid=4326` | `compress=gzip|zip`.
+    if (AcceptKeyword("PRIMARY")) {
+      JUST_RETURN_NOT_OK(ExpectKeyword("KEY"));
+      col->primary_key = true;
+      return Status::OK();
+    }
+    JUST_ASSIGN_OR_RETURN(std::string key, ExpectName());
+    JUST_RETURN_NOT_OK(ExpectOperator("="));
+    std::string value;
+    if (Cur().type == TokenType::kIdentifier ||
+        Cur().type == TokenType::kNumber ||
+        Cur().type == TokenType::kKeyword) {
+      value = Cur().value;
+      Advance();
+    } else {
+      return Err("expected modifier value");
+    }
+    // Alternatives 'gzip|zip': keep the first.
+    while (AcceptOperator("|")) {
+      if (Cur().type == TokenType::kIdentifier ||
+          Cur().type == TokenType::kKeyword) {
+        Advance();
+      }
+    }
+    std::string lower_key;
+    for (char c : key) lower_key += static_cast<char>(std::tolower(c));
+    if (lower_key == "srid") {
+      col->srid = value;
+    } else if (lower_key == "compress") {
+      col->compress = value;
+    } else {
+      return Err("unknown column modifier: " + key);
+    }
+    return Status::OK();
+  }
+
+  Result<Statement> ParseDrop() {
+    Advance();  // DROP
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDrop;
+    stmt.drop = std::make_unique<DropStmt>();
+    if (AcceptKeyword("VIEW")) {
+      stmt.drop->is_view = true;
+    } else {
+      JUST_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    }
+    JUST_ASSIGN_OR_RETURN(stmt.drop->name, ExpectIdentifier());
+    return stmt;
+  }
+
+  Result<Statement> ParseShow() {
+    Advance();  // SHOW
+    Statement stmt;
+    stmt.kind = Statement::Kind::kShow;
+    stmt.show = std::make_unique<ShowStmt>();
+    if (AcceptKeyword("VIEWS")) {
+      stmt.show->views = true;
+    } else {
+      JUST_RETURN_NOT_OK(ExpectKeyword("TABLES"));
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseDesc() {
+    Advance();  // DESC
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDesc;
+    stmt.desc = std::make_unique<DescStmt>();
+    if (AcceptKeyword("VIEW")) {
+      stmt.desc->is_view = true;
+    } else {
+      JUST_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    }
+    JUST_ASSIGN_OR_RETURN(stmt.desc->name, ExpectIdentifier());
+    return stmt;
+  }
+
+  Result<Statement> ParseLoad() {
+    Advance();  // LOAD
+    Statement stmt;
+    stmt.kind = Statement::Kind::kLoad;
+    stmt.load = std::make_unique<LoadStmt>();
+    JUST_ASSIGN_OR_RETURN(stmt.load->source_kind, ExpectIdentifier());
+    JUST_RETURN_NOT_OK(ExpectOperator(":"));
+    JUST_ASSIGN_OR_RETURN(stmt.load->source_path, ParsePathLike());
+    JUST_RETURN_NOT_OK(ExpectKeyword("TO"));
+    // Optional 'geomesa:' target prefix.
+    if (Cur().type == TokenType::kIdentifier &&
+        Peek().IsOperator(":")) {
+      Advance();
+      Advance();
+    }
+    JUST_ASSIGN_OR_RETURN(stmt.load->target_table, ExpectIdentifier());
+    if (AcceptKeyword("CONFIG")) {
+      if (Cur().type != TokenType::kJson) {
+        return Err("CONFIG expects a {...} mapping");
+      }
+      stmt.load->config_json = Cur().value;
+      Advance();
+    }
+    if (AcceptKeyword("FILTER")) {
+      if (Cur().type != TokenType::kString) {
+        return Err("FILTER expects a string");
+      }
+      stmt.load->filter = Cur().value;
+      Advance();
+    }
+    return stmt;
+  }
+
+  // A quoted path or dotted identifier chain (hive db.table).
+  Result<std::string> ParsePathLike() {
+    if (Cur().type == TokenType::kString) {
+      std::string path = Cur().value;
+      Advance();
+      return path;
+    }
+    JUST_ASSIGN_OR_RETURN(std::string path, ExpectIdentifier());
+    while (AcceptOperator(".")) {
+      JUST_ASSIGN_OR_RETURN(std::string part, ExpectIdentifier());
+      path += "." + part;
+    }
+    return path;
+  }
+
+  Result<Statement> ParseStore() {
+    Advance();  // STORE
+    JUST_RETURN_NOT_OK(ExpectKeyword("VIEW"));
+    Statement stmt;
+    stmt.kind = Statement::Kind::kStoreView;
+    stmt.store_view = std::make_unique<StoreViewStmt>();
+    JUST_ASSIGN_OR_RETURN(stmt.store_view->view, ExpectIdentifier());
+    JUST_RETURN_NOT_OK(ExpectKeyword("TO"));
+    JUST_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    JUST_ASSIGN_OR_RETURN(stmt.store_view->table, ExpectIdentifier());
+    return stmt;
+  }
+
+  Result<Statement> ParseInsert() {
+    Advance();  // INSERT
+    JUST_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    Statement stmt;
+    stmt.kind = Statement::Kind::kInsert;
+    stmt.insert = std::make_unique<InsertStmt>();
+    JUST_ASSIGN_OR_RETURN(stmt.insert->table, ExpectIdentifier());
+    JUST_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    for (;;) {
+      JUST_RETURN_NOT_OK(ExpectOperator("("));
+      std::vector<std::unique_ptr<Expr>> row;
+      for (;;) {
+        JUST_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+        row.push_back(std::move(expr));
+        if (AcceptOperator(",")) continue;
+        JUST_RETURN_NOT_OK(ExpectOperator(")"));
+        break;
+      }
+      stmt.insert->rows.push_back(std::move(row));
+      if (!AcceptOperator(",")) break;
+    }
+    return stmt;
+  }
+
+  // --- expressions ---
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    JUST_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      JUST_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    JUST_ASSIGN_OR_RETURN(auto lhs, ParseComparison());
+    while (AcceptKeyword("AND")) {
+      JUST_ASSIGN_OR_RETURN(auto rhs, ParseComparison());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    JUST_ASSIGN_OR_RETURN(auto lhs, ParseAdditive());
+    if (AcceptKeyword("WITHIN")) {
+      JUST_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+      return Expr::Binary(BinaryOp::kWithin, std::move(lhs), std::move(rhs));
+    }
+    if (AcceptKeyword("IN")) {
+      JUST_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+      return Expr::Binary(BinaryOp::kIn, std::move(lhs), std::move(rhs));
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      JUST_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+      JUST_RETURN_NOT_OK(ExpectKeyword("AND"));
+      JUST_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = BinaryOp::kBetween;
+      e->args.push_back(std::move(lhs));
+      e->args.push_back(std::move(lo));
+      e->args.push_back(std::move(hi));
+      return e;
+    }
+    struct OpMap {
+      const char* text;
+      BinaryOp op;
+    };
+    static const OpMap kOps[] = {{"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe},
+                                 {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                                 {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const OpMap& entry : kOps) {
+      if (AcceptOperator(entry.text)) {
+        JUST_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+        return Expr::Binary(entry.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    JUST_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+    for (;;) {
+      if (AcceptOperator("+")) {
+        JUST_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+        lhs = Expr::Binary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (AcceptOperator("-")) {
+        JUST_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+        lhs = Expr::Binary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    JUST_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    for (;;) {
+      if (AcceptOperator("*")) {
+        JUST_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+        lhs = Expr::Binary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (AcceptOperator("/")) {
+        JUST_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+        lhs = Expr::Binary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (AcceptOperator("-")) {
+      JUST_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+      return Expr::Binary(BinaryOp::kSub,
+                          Expr::Literal(exec::Value::Int(0)),
+                          std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& token = Cur();
+    switch (token.type) {
+      case TokenType::kNumber: {
+        std::string text = token.value;
+        Advance();
+        if (text.find('.') != std::string::npos ||
+            text.find('e') != std::string::npos ||
+            text.find('E') != std::string::npos) {
+          return Expr::Literal(
+              exec::Value::Double(std::strtod(text.c_str(), nullptr)));
+        }
+        return Expr::Literal(
+            exec::Value::Int(std::strtoll(text.c_str(), nullptr, 10)));
+      }
+      case TokenType::kString: {
+        std::string text = token.value;
+        Advance();
+        return Expr::Literal(exec::Value::String(std::move(text)));
+      }
+      case TokenType::kKeyword: {
+        if (token.value == "TRUE") {
+          Advance();
+          return Expr::Literal(exec::Value::Bool(true));
+        }
+        if (token.value == "FALSE") {
+          Advance();
+          return Expr::Literal(exec::Value::Bool(false));
+        }
+        if (token.value == "NULL") {
+          Advance();
+          return Expr::Literal(exec::Value::Null());
+        }
+        return Err("unexpected keyword in expression: " + token.value);
+      }
+      case TokenType::kIdentifier: {
+        std::string name = token.value;
+        Advance();
+        if (AcceptOperator("(")) {
+          std::vector<std::unique_ptr<Expr>> args;
+          if (!AcceptOperator(")")) {
+            for (;;) {
+              if (AcceptOperator("*")) {
+                args.push_back(Expr::Star());  // COUNT(*)
+              } else {
+                JUST_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+                args.push_back(std::move(arg));
+              }
+              if (AcceptOperator(",")) continue;
+              JUST_RETURN_NOT_OK(ExpectOperator(")"));
+              break;
+            }
+          }
+          return Expr::Call(std::move(name), std::move(args));
+        }
+        // Qualified column a.b: keep the last component.
+        while (AcceptOperator(".")) {
+          JUST_ASSIGN_OR_RETURN(name, ExpectIdentifier());
+        }
+        return Expr::Column(std::move(name));
+      }
+      case TokenType::kOperator: {
+        if (token.IsOperator("(")) {
+          Advance();
+          JUST_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+          JUST_RETURN_NOT_OK(ExpectOperator(")"));
+          return inner;
+        }
+        return Err("unexpected operator in expression: '" + token.value +
+                   "'");
+      }
+      default:
+        return Err("unexpected end of expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  JUST_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace just::sql

@@ -1,0 +1,23 @@
+#ifndef JUST_SQL_PARSER_H_
+#define JUST_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace just::sql {
+
+/// Parses one JustQL statement (Section V / VI). The grammar covers the
+/// paper's examples verbatim: CREATE TABLE with column modifiers
+/// (`fid integer:primary key`, `geom point:srid=4326`,
+/// `gpsList st_series:compress=gzip|zip`), plugin tables (CREATE TABLE x AS
+/// trajectory), views, LOAD ... CONFIG {...} FILTER '...', STORE VIEW,
+/// INSERT VALUES, and SELECT with WITHIN / BETWEEN / IN st_KNN predicates,
+/// GROUP BY, ORDER BY, LIMIT, subqueries, and view JOINs.
+Result<Statement> ParseStatement(const std::string& sql);
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_PARSER_H_

@@ -1,0 +1,79 @@
+#include "sql/plan.h"
+
+namespace just::sql {
+
+std::unique_ptr<PlanNode> MakePlanNode(PlanNode::Kind kind) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  return node;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case Kind::kScanTable:
+    case Kind::kScanView: {
+      out += kind == Kind::kScanTable ? "Scan [" : "ScanView [";
+      out += name;
+      if (!required_columns.empty()) {
+        out += " | columns: ";
+        for (size_t i = 0; i < required_columns.size(); ++i) {
+          if (i) out += ", ";
+          out += required_columns[i];
+        }
+      }
+      out += "]\n";
+      break;
+    }
+    case Kind::kFilter:
+      out += "Filter [" + (predicate ? predicate->ToString() : "true") +
+             "]\n";
+      break;
+    case Kind::kProject: {
+      out += "Project [";
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i) out += ", ";
+        out += items[i].expr->ToString();
+        if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+      }
+      out += "]\n";
+      break;
+    }
+    case Kind::kAggregate: {
+      out += "Aggregate [group by: ";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i) out += ", ";
+        out += group_by[i];
+      }
+      out += " | aggs: ";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i) out += ", ";
+        out += aggregates[i].output_name;
+      }
+      out += "]\n";
+      break;
+    }
+    case Kind::kSort: {
+      out += "Sort [";
+      for (size_t i = 0; i < order_by.size(); ++i) {
+        if (i) out += ", ";
+        out += order_by[i].column + (order_by[i].ascending ? "" : " DESC");
+      }
+      out += "]\n";
+      break;
+    }
+    case Kind::kLimit:
+      out += "Limit [" + std::to_string(limit) + "]\n";
+      break;
+    case Kind::kJoin:
+      out += "Join [" + join_left_col + " = " + join_right_col + "]\n";
+      break;
+  }
+  for (const auto& child : children) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+}  // namespace just::sql

@@ -1,0 +1,68 @@
+#ifndef JUST_SQL_PLAN_H_
+#define JUST_SQL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/dataframe.h"
+#include "exec/operators.h"
+#include "sql/ast.h"
+
+namespace just::sql {
+
+/// A logical plan node (Section VI). The analyzer builds the tree from a
+/// parsed SELECT; the optimizer rewrites it; the executor translates it into
+/// GeoMesa SCANs + DataFrame operations.
+struct PlanNode {
+  enum class Kind {
+    kScanTable,
+    kScanView,
+    kFilter,
+    kProject,
+    kAggregate,
+    kSort,
+    kLimit,
+    kJoin,
+  };
+
+  Kind kind = Kind::kScanTable;
+  std::vector<std::unique_ptr<PlanNode>> children;
+  /// Output schema, filled by the analyzer.
+  std::shared_ptr<exec::Schema> schema;
+
+  // kScanTable / kScanView:
+  std::string name;
+  /// Columns the executor must materialize; empty = all. Populated by the
+  /// projection-pushdown rule (Section VI rule 3).
+  std::vector<std::string> required_columns;
+
+  // kFilter:
+  std::unique_ptr<Expr> predicate;
+
+  // kProject:
+  std::vector<SelectItem> items;
+
+  // kAggregate:
+  std::vector<std::string> group_by;
+  std::vector<exec::Aggregate> aggregates;
+
+  // kSort:
+  std::vector<OrderItem> order_by;
+
+  // kLimit:
+  long limit = 0;
+
+  // kJoin:
+  std::string join_left_col;
+  std::string join_right_col;
+
+  /// Indented rendering for tests / EXPLAIN (matches Figure 8's shape).
+  std::string ToString(int indent = 0) const;
+};
+
+std::unique_ptr<PlanNode> MakePlanNode(PlanNode::Kind kind);
+
+}  // namespace just::sql
+
+#endif  // JUST_SQL_PLAN_H_

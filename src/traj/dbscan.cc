@@ -1,0 +1,83 @@
+#include "traj/dbscan.h"
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+namespace just::traj {
+
+namespace {
+// Grid cell key for neighbor lookups: cell side = radius, so all neighbors
+// of a point lie in its 3x3 cell block.
+uint64_t CellKey(int64_t cx, int64_t cy) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint32_t>(cy);
+}
+}  // namespace
+
+DbscanResult Dbscan(const std::vector<geo::Point>& points,
+                    const DbscanOptions& options) {
+  DbscanResult result;
+  const size_t n = points.size();
+  result.labels.assign(n, DbscanResult::kNoise);
+  if (n == 0 || options.radius <= 0) return result;
+
+  const double eps = options.radius;
+  const double eps2 = eps * eps;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> grid;
+  grid.reserve(n);
+  auto cell_of = [&](const geo::Point& p) {
+    return std::pair<int64_t, int64_t>(
+        static_cast<int64_t>(std::floor(p.lng / eps)),
+        static_cast<int64_t>(std::floor(p.lat / eps)));
+  };
+  for (size_t i = 0; i < n; ++i) {
+    auto [cx, cy] = cell_of(points[i]);
+    grid[CellKey(cx, cy)].push_back(static_cast<uint32_t>(i));
+  }
+
+  auto neighbors_of = [&](size_t i, std::vector<uint32_t>* out) {
+    out->clear();
+    auto [cx, cy] = cell_of(points[i]);
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = grid.find(CellKey(cx + dx, cy + dy));
+        if (it == grid.end()) continue;
+        for (uint32_t j : it->second) {
+          double dlng = points[i].lng - points[j].lng;
+          double dlat = points[i].lat - points[j].lat;
+          if (dlng * dlng + dlat * dlat <= eps2) out->push_back(j);
+        }
+      }
+    }
+  };
+
+  std::vector<bool> visited(n, false);
+  std::vector<uint32_t> neigh, sub_neigh;
+  for (size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    neighbors_of(i, &neigh);
+    if (static_cast<int>(neigh.size()) < options.min_pts) continue;  // noise
+    int cluster = result.num_clusters++;
+    result.labels[i] = cluster;
+    std::deque<uint32_t> frontier(neigh.begin(), neigh.end());
+    while (!frontier.empty()) {
+      uint32_t j = frontier.front();
+      frontier.pop_front();
+      if (result.labels[j] == DbscanResult::kNoise) {
+        result.labels[j] = cluster;  // border point adoption
+      }
+      if (visited[j]) continue;
+      visited[j] = true;
+      neighbors_of(j, &sub_neigh);
+      if (static_cast<int>(sub_neigh.size()) >= options.min_pts) {
+        for (uint32_t k : sub_neigh) frontier.push_back(k);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace just::traj

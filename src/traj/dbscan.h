@@ -1,0 +1,30 @@
+#ifndef JUST_TRAJ_DBSCAN_H_
+#define JUST_TRAJ_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace just::traj {
+
+/// DBSCAN result: cluster id per input point; kNoise (-1) marks outliers.
+/// Backs the paper's N-M analysis operation st_DBSCAN (Section V-D).
+struct DbscanResult {
+  static constexpr int kNoise = -1;
+  std::vector<int> labels;
+  int num_clusters = 0;
+};
+
+struct DbscanOptions {
+  double radius = 0.001;  ///< epsilon, in degrees
+  int min_pts = 4;        ///< density threshold (including the point itself)
+};
+
+/// Grid-accelerated DBSCAN [Ester et al., KDD 1996] in degree space.
+DbscanResult Dbscan(const std::vector<geo::Point>& points,
+                    const DbscanOptions& options);
+
+}  // namespace just::traj
+
+#endif  // JUST_TRAJ_DBSCAN_H_

@@ -1,0 +1,143 @@
+#include "traj/map_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace just::traj {
+
+namespace {
+struct Candidate {
+  const RoadSegment* segment;
+  geo::Point snapped;
+  double emission_logp;
+};
+}  // namespace
+
+std::vector<MatchedPoint> MapMatch(const Trajectory& trajectory,
+                                   const RoadNetwork& network,
+                                   const MapMatchOptions& options) {
+  const auto& pts = trajectory.points();
+  std::vector<MatchedPoint> result;
+  result.reserve(pts.size());
+  if (pts.empty()) return result;
+
+  // Candidate generation per fix.
+  std::vector<std::vector<Candidate>> layers(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    auto nearby = network.Nearby(pts[i].position, options.candidate_radius_deg);
+    std::sort(nearby.begin(), nearby.end(),
+              [&](const RoadSegment* a, const RoadSegment* b) {
+                return a->Distance(pts[i].position) <
+                       b->Distance(pts[i].position);
+              });
+    if (static_cast<int>(nearby.size()) > options.max_candidates) {
+      nearby.resize(options.max_candidates);
+    }
+    for (const RoadSegment* seg : nearby) {
+      Candidate c;
+      c.segment = seg;
+      c.snapped = seg->Project(pts[i].position);
+      double d = geo::EuclideanDistance(pts[i].position, c.snapped);
+      double z = d / options.sigma_deg;
+      c.emission_logp = -0.5 * z * z;
+      layers[i].push_back(c);
+    }
+  }
+
+  // Viterbi over layers; empty layers emit an unmatched point and reset the
+  // chain.
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> score(pts.size());
+  std::vector<std::vector<int>> back(pts.size());
+  int prev_layer = -1;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const auto& layer = layers[i];
+    score[i].assign(layer.size(), kNegInf);
+    back[i].assign(layer.size(), -1);
+    if (layer.empty()) {
+      prev_layer = -1;
+      continue;
+    }
+    if (prev_layer < 0) {
+      for (size_t s = 0; s < layer.size(); ++s) {
+        score[i][s] = layer[s].emission_logp;
+      }
+    } else {
+      size_t p = static_cast<size_t>(prev_layer);
+      double gps_step = geo::EuclideanDistance(pts[p].position,
+                                               pts[i].position);
+      for (size_t s = 0; s < layer.size(); ++s) {
+        for (size_t t = 0; t < layers[p].size(); ++t) {
+          if (score[p][t] == kNegInf) continue;
+          double snap_step =
+              geo::EuclideanDistance(layers[p][t].snapped, layer[s].snapped);
+          double trans_logp = -std::fabs(snap_step - gps_step) /
+                              options.transition_scale_deg;
+          double candidate_score =
+              score[p][t] + trans_logp + layer[s].emission_logp;
+          if (candidate_score > score[i][s]) {
+            score[i][s] = candidate_score;
+            back[i][s] = static_cast<int>(t);
+          }
+        }
+        if (score[i][s] == kNegInf) {
+          // Chain break (all predecessors unreachable): restart.
+          score[i][s] = layer[s].emission_logp;
+        }
+      }
+    }
+    prev_layer = static_cast<int>(i);
+  }
+
+  // Backtrack per maximal chain. Build choice[] by walking chains backward.
+  std::vector<int> choice(pts.size(), -1);
+  size_t i = pts.size();
+  while (i > 0) {
+    --i;
+    if (layers[i].empty() || choice[i] != -1) continue;
+    // Find best terminal state at i.
+    int best = -1;
+    for (size_t s = 0; s < layers[i].size(); ++s) {
+      if (best < 0 || score[i][s] > score[i][best]) {
+        best = static_cast<int>(s);
+      }
+    }
+    // Walk the back pointers toward the chain start.
+    size_t j = i;
+    int state = best;
+    for (;;) {
+      choice[j] = state;
+      int prev_state = back[j][state];
+      // Find the previous non-empty layer.
+      size_t k = j;
+      bool has_prev = false;
+      while (k > 0) {
+        --k;
+        if (!layers[k].empty()) {
+          has_prev = true;
+          break;
+        }
+      }
+      if (!has_prev || prev_state < 0 || choice[k] != -1) break;
+      j = k;
+      state = prev_state;
+    }
+  }
+
+  for (size_t idx = 0; idx < pts.size(); ++idx) {
+    MatchedPoint mp;
+    mp.raw = pts[idx];
+    if (!layers[idx].empty() && choice[idx] >= 0) {
+      const Candidate& c = layers[idx][static_cast<size_t>(choice[idx])];
+      mp.segment_id = c.segment->id;
+      mp.snapped = c.snapped;
+    } else {
+      mp.snapped = pts[idx].position;
+    }
+    result.push_back(mp);
+  }
+  return result;
+}
+
+}  // namespace just::traj

@@ -1,0 +1,39 @@
+#ifndef JUST_TRAJ_MAP_MATCHING_H_
+#define JUST_TRAJ_MAP_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/road_network.h"
+#include "traj/trajectory.h"
+
+namespace just::traj {
+
+/// One matched fix: the chosen segment and the snapped position.
+struct MatchedPoint {
+  int64_t segment_id = -1;  ///< -1 when no candidate within the radius
+  geo::Point snapped;
+  GpsPoint raw;
+};
+
+struct MapMatchOptions {
+  double candidate_radius_deg = 0.002;  ///< ~200 m candidate search radius
+  int max_candidates = 6;
+  /// Emission sigma (degrees): GPS error scale for the HMM.
+  double sigma_deg = 0.0005;
+  /// Transition weight penalizing jumps between distant segments.
+  double transition_scale_deg = 0.002;
+};
+
+/// HMM map matching (the paper's st_trajMapMatching, Section V-D, after
+/// [Newson & Krumm]): states are candidate segments per fix, emission
+/// probability decays with snap distance, transition probability decays with
+/// the discrepancy between the GPS displacement and the snapped
+/// displacement; Viterbi selects the most likely segment sequence.
+std::vector<MatchedPoint> MapMatch(const Trajectory& trajectory,
+                                   const RoadNetwork& network,
+                                   const MapMatchOptions& options = {});
+
+}  // namespace just::traj
+
+#endif  // JUST_TRAJ_MAP_MATCHING_H_

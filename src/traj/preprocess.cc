@@ -1,0 +1,125 @@
+#include "traj/preprocess.h"
+
+#include <cmath>
+
+namespace just::traj {
+
+Trajectory NoiseFilter(const Trajectory& input,
+                       const NoiseFilterOptions& options) {
+  const auto& pts = input.points();
+  std::vector<GpsPoint> kept;
+  kept.reserve(pts.size());
+  for (const GpsPoint& p : pts) {
+    if (kept.empty()) {
+      kept.push_back(p);
+      continue;
+    }
+    const GpsPoint& prev = kept.back();
+    int64_t dt = p.time - prev.time;
+    if (dt <= 0) continue;  // out-of-order or duplicate timestamp: drop
+    double dist = geo::HaversineMeters(prev.position, p.position);
+    double speed = dist / (static_cast<double>(dt) / 1000.0);
+    if (speed <= options.max_speed_mps) kept.push_back(p);
+  }
+  return Trajectory(input.oid(), std::move(kept));
+}
+
+std::vector<Trajectory> Segmentation(const Trajectory& input,
+                                     const SegmentationOptions& options) {
+  std::vector<Trajectory> segments;
+  const auto& pts = input.points();
+  std::vector<GpsPoint> current;
+  int seq = 0;
+  auto emit = [&] {
+    if (current.size() >= options.min_points) {
+      segments.emplace_back(input.oid() + "#" + std::to_string(seq++),
+                            std::move(current));
+    }
+    current = {};
+  };
+  for (const GpsPoint& p : pts) {
+    if (!current.empty()) {
+      const GpsPoint& prev = current.back();
+      bool gap = p.time - prev.time > options.max_gap_ms;
+      bool jump = geo::HaversineMeters(prev.position, p.position) >
+                  options.max_jump_meters;
+      if (gap || jump) emit();
+    }
+    current.push_back(p);
+  }
+  emit();
+  return segments;
+}
+
+std::vector<StayPoint> DetectStayPoints(const Trajectory& input,
+                                        const StayPointOptions& options) {
+  std::vector<StayPoint> stays;
+  const auto& pts = input.points();
+  size_t i = 0;
+  while (i < pts.size()) {
+    size_t j = i + 1;
+    while (j < pts.size() &&
+           geo::HaversineMeters(pts[i].position, pts[j].position) <=
+               options.max_radius_meters) {
+      ++j;
+    }
+    // Fixes [i, j) stay near pts[i].
+    if (j > i + 1 &&
+        pts[j - 1].time - pts[i].time >= options.min_duration_ms) {
+      StayPoint sp;
+      double lng = 0, lat = 0;
+      for (size_t k = i; k < j; ++k) {
+        lng += pts[k].position.lng;
+        lat += pts[k].position.lat;
+      }
+      double n = static_cast<double>(j - i);
+      sp.center = geo::Point{lng / n, lat / n};
+      sp.arrive = pts[i].time;
+      sp.depart = pts[j - 1].time;
+      sp.first_index = i;
+      sp.last_index = j - 1;
+      stays.push_back(sp);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+namespace {
+void DouglasPeucker(const std::vector<GpsPoint>& pts, size_t lo, size_t hi,
+                    double tolerance, std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double max_dist = -1;
+  size_t max_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    double d = geo::PointSegmentDistance(pts[i].position, pts[lo].position,
+                                         pts[hi].position);
+    if (d > max_dist) {
+      max_dist = d;
+      max_idx = i;
+    }
+  }
+  if (max_dist > tolerance) {
+    (*keep)[max_idx] = true;
+    DouglasPeucker(pts, lo, max_idx, tolerance, keep);
+    DouglasPeucker(pts, max_idx, hi, tolerance, keep);
+  }
+}
+}  // namespace
+
+Trajectory Simplify(const Trajectory& input, double tolerance_deg) {
+  const auto& pts = input.points();
+  if (pts.size() <= 2) return input;
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeucker(pts, 0, pts.size() - 1, tolerance_deg, &keep);
+  std::vector<GpsPoint> kept;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) kept.push_back(pts[i]);
+  }
+  return Trajectory(input.oid(), std::move(kept));
+}
+
+}  // namespace just::traj

@@ -1,0 +1,61 @@
+#ifndef JUST_TRAJ_PREPROCESS_H_
+#define JUST_TRAJ_PREPROCESS_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace just::traj {
+
+/// Trajectory preprocessing operators (the paper's 1-N analysis operations,
+/// Section V-D: st_trajNoiseFilter, st_trajSegmentation, st_trajStayPoint).
+
+struct NoiseFilterOptions {
+  /// A fix implying speed above this (from its predecessor) is noise.
+  double max_speed_mps = 55.0;  // ~200 km/h
+};
+
+/// Drops GPS fixes whose implied speed from the last kept fix exceeds the
+/// threshold (heuristic outlier removal per [33]).
+Trajectory NoiseFilter(const Trajectory& input,
+                       const NoiseFilterOptions& options = {});
+
+struct SegmentationOptions {
+  /// Split when the gap between consecutive fixes exceeds this.
+  int64_t max_gap_ms = 10 * kMillisPerMinute;
+  /// ... or when consecutive fixes are farther apart than this.
+  double max_jump_meters = 5000.0;
+  /// Segments shorter than this are discarded.
+  size_t min_points = 2;
+};
+
+/// Splits a trajectory at temporal/spatial discontinuities.
+std::vector<Trajectory> Segmentation(const Trajectory& input,
+                                     const SegmentationOptions& options = {});
+
+struct StayPoint {
+  geo::Point center;
+  TimestampMs arrive = 0;
+  TimestampMs depart = 0;
+  size_t first_index = 0;
+  size_t last_index = 0;
+};
+
+struct StayPointOptions {
+  double max_radius_meters = 100.0;
+  int64_t min_duration_ms = 5 * kMillisPerMinute;
+};
+
+/// Classic stay-point detection [Zheng, TIST 2015]: a maximal run of fixes
+/// within `max_radius_meters` of its anchor lasting at least
+/// `min_duration_ms`.
+std::vector<StayPoint> DetectStayPoints(const Trajectory& input,
+                                        const StayPointOptions& options = {});
+
+/// Douglas-Peucker path simplification (tolerance in degrees); an extension
+/// operator used by the map-recovery example.
+Trajectory Simplify(const Trajectory& input, double tolerance_deg);
+
+}  // namespace just::traj
+
+#endif  // JUST_TRAJ_PREPROCESS_H_

@@ -1,0 +1,176 @@
+#include "traj/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace just::traj {
+
+geo::Mbr RoadSegment::Bounds() const {
+  geo::Mbr box = geo::Mbr::Empty();
+  for (const geo::Point& p : shape) box.Expand(p);
+  return box;
+}
+
+double RoadSegment::Distance(const geo::Point& p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < shape.size(); ++i) {
+    best = std::min(best, geo::PointSegmentDistance(p, shape[i], shape[i + 1]));
+  }
+  return best;
+}
+
+geo::Point RoadSegment::Project(const geo::Point& p) const {
+  double best = std::numeric_limits<double>::infinity();
+  geo::Point best_point = shape.front();
+  for (size_t i = 0; i + 1 < shape.size(); ++i) {
+    const geo::Point& a = shape[i];
+    const geo::Point& b = shape[i + 1];
+    double abx = b.lng - a.lng;
+    double aby = b.lat - a.lat;
+    double ab2 = abx * abx + aby * aby;
+    double t = ab2 == 0 ? 0
+                        : std::clamp(((p.lng - a.lng) * abx +
+                                      (p.lat - a.lat) * aby) /
+                                         ab2,
+                                     0.0, 1.0);
+    geo::Point proj{a.lng + t * abx, a.lat + t * aby};
+    double d = geo::EuclideanDistance(p, proj);
+    if (d < best) {
+      best = d;
+      best_point = proj;
+    }
+  }
+  return best_point;
+}
+
+void RoadNetwork::AddSegment(RoadSegment segment) {
+  if (segment.length_m == 0 && segment.shape.size() >= 2) {
+    for (size_t i = 0; i + 1 < segment.shape.size(); ++i) {
+      segment.length_m +=
+          geo::HaversineMeters(segment.shape[i], segment.shape[i + 1]);
+    }
+  }
+  segments_.push_back(std::move(segment));
+  indexed_ = false;
+}
+
+uint64_t RoadNetwork::CellKey(int64_t cx, int64_t cy) const {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint32_t>(cy);
+}
+
+void RoadNetwork::BuildIndex(double cell_deg) {
+  cell_deg_ = cell_deg;
+  grid_.clear();
+  for (uint32_t i = 0; i < segments_.size(); ++i) {
+    geo::Mbr box = segments_[i].Bounds();
+    auto cx0 = static_cast<int64_t>(std::floor(box.lng_min / cell_deg_));
+    auto cx1 = static_cast<int64_t>(std::floor(box.lng_max / cell_deg_));
+    auto cy0 = static_cast<int64_t>(std::floor(box.lat_min / cell_deg_));
+    auto cy1 = static_cast<int64_t>(std::floor(box.lat_max / cell_deg_));
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (int64_t cy = cy0; cy <= cy1; ++cy) {
+        grid_[CellKey(cx, cy)].push_back(i);
+      }
+    }
+  }
+  indexed_ = true;
+}
+
+std::vector<const RoadSegment*> RoadNetwork::Nearby(const geo::Point& p,
+                                                    double radius_deg) const {
+  std::vector<const RoadSegment*> out;
+  if (!indexed_) return out;
+  auto cx0 = static_cast<int64_t>(std::floor((p.lng - radius_deg) / cell_deg_));
+  auto cx1 = static_cast<int64_t>(std::floor((p.lng + radius_deg) / cell_deg_));
+  auto cy0 = static_cast<int64_t>(std::floor((p.lat - radius_deg) / cell_deg_));
+  auto cy1 = static_cast<int64_t>(std::floor((p.lat + radius_deg) / cell_deg_));
+  std::unordered_set<uint32_t> seen;
+  for (int64_t cx = cx0; cx <= cx1; ++cx) {
+    for (int64_t cy = cy0; cy <= cy1; ++cy) {
+      auto it = grid_.find(CellKey(cx, cy));
+      if (it == grid_.end()) continue;
+      for (uint32_t idx : it->second) {
+        if (!seen.insert(idx).second) continue;
+        if (segments_[idx].Distance(p) <= radius_deg) {
+          out.push_back(&segments_[idx]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+const RoadSegment* RoadNetwork::Nearest(const geo::Point& p) const {
+  // Expanding-ring search over the grid; falls back to linear scan for
+  // tiny networks.
+  if (segments_.empty()) return nullptr;
+  double radius = cell_deg_;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    auto nearby = Nearby(p, radius);
+    if (!nearby.empty()) {
+      const RoadSegment* best = nullptr;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (const RoadSegment* seg : nearby) {
+        double d = seg->Distance(p);
+        if (d < best_d) {
+          best_d = d;
+          best = seg;
+        }
+      }
+      return best;
+    }
+    radius *= 2;
+  }
+  const RoadSegment* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const RoadSegment& seg : segments_) {
+    double d = seg.Distance(p);
+    if (d < best_d) {
+      best_d = d;
+      best = &seg;
+    }
+  }
+  return best;
+}
+
+RoadNetwork RoadNetwork::MakeGrid(const geo::Mbr& area, int rows, int cols) {
+  RoadNetwork network;
+  rows = std::max(2, rows);
+  cols = std::max(2, cols);
+  double dlat = area.Height() / (rows - 1);
+  double dlng = area.Width() / (cols - 1);
+  auto node_id = [&](int r, int c) {
+    return static_cast<int64_t>(r) * cols + c;
+  };
+  auto node_pos = [&](int r, int c) {
+    return geo::Point{area.lng_min + c * dlng, area.lat_min + r * dlat};
+  };
+  int64_t seg_id = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        RoadSegment s;
+        s.id = seg_id++;
+        s.from_node = node_id(r, c);
+        s.to_node = node_id(r, c + 1);
+        s.shape = {node_pos(r, c), node_pos(r, c + 1)};
+        network.AddSegment(std::move(s));
+      }
+      if (r + 1 < rows) {
+        RoadSegment s;
+        s.id = seg_id++;
+        s.from_node = node_id(r, c);
+        s.to_node = node_id(r + 1, c);
+        s.shape = {node_pos(r, c), node_pos(r + 1, c)};
+        network.AddSegment(std::move(s));
+      }
+    }
+  }
+  network.BuildIndex(std::max(dlat, dlng));
+  return network;
+}
+
+}  // namespace just::traj

@@ -1,0 +1,62 @@
+#ifndef JUST_TRAJ_ROAD_NETWORK_H_
+#define JUST_TRAJ_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace just::traj {
+
+/// A road segment: a directed polyline edge between two intersections.
+struct RoadSegment {
+  int64_t id = 0;
+  int64_t from_node = 0;
+  int64_t to_node = 0;
+  std::vector<geo::Point> shape;  ///< at least two points
+  double length_m = 0;
+
+  geo::Mbr Bounds() const;
+  /// Minimum degree-space distance from p to the segment's polyline.
+  double Distance(const geo::Point& p) const;
+  /// Closest point on the polyline to p.
+  geo::Point Project(const geo::Point& p) const;
+};
+
+/// An in-memory road network with a uniform-grid spatial index on segments.
+/// This is the substrate the map-matching operator (and the paper's Map
+/// Recovery application, Section VII-B) runs against.
+class RoadNetwork {
+ public:
+  void AddSegment(RoadSegment segment);
+
+  /// Must be called after the last AddSegment and before queries.
+  void BuildIndex(double cell_deg = 0.005);
+
+  const std::vector<RoadSegment>& segments() const { return segments_; }
+
+  /// Segments within `radius_deg` of p (candidate set for matching).
+  std::vector<const RoadSegment*> Nearby(const geo::Point& p,
+                                         double radius_deg) const;
+
+  /// The single closest segment, or nullptr for an empty network.
+  const RoadSegment* Nearest(const geo::Point& p) const;
+
+  /// Builds a synthetic Manhattan-style grid network covering `area` with
+  /// `rows` x `cols` intersections — stands in for a real digital map.
+  static RoadNetwork MakeGrid(const geo::Mbr& area, int rows, int cols);
+
+ private:
+  uint64_t CellKey(int64_t cx, int64_t cy) const;
+
+  std::vector<RoadSegment> segments_;
+  double cell_deg_ = 0.005;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> grid_;
+  bool indexed_ = false;
+};
+
+}  // namespace just::traj
+
+#endif  // JUST_TRAJ_ROAD_NETWORK_H_

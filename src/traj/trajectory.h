@@ -1,0 +1,73 @@
+#ifndef JUST_TRAJ_TRAJECTORY_H_
+#define JUST_TRAJ_TRAJECTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_util.h"
+#include "geo/point.h"
+
+namespace just::traj {
+
+/// One GPS fix.
+struct GpsPoint {
+  geo::Point position;
+  TimestampMs time = 0;
+
+  bool operator==(const GpsPoint& o) const {
+    return position == o.position && time == o.time;
+  }
+};
+
+/// A trajectory: the entity stored by the paper's "trajectory" plugin table
+/// (Figure 6): MBR, start/end points and times, and the GPS list — the
+/// big-bytes field the compression mechanism targets.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  Trajectory(std::string oid, std::vector<GpsPoint> points)
+      : oid_(std::move(oid)), points_(std::move(points)) {}
+
+  const std::string& oid() const { return oid_; }
+  const std::vector<GpsPoint>& points() const { return points_; }
+  std::vector<GpsPoint>* mutable_points() { return &points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  geo::Mbr Bounds() const;
+  TimestampMs start_time() const {
+    return points_.empty() ? 0 : points_.front().time;
+  }
+  TimestampMs end_time() const {
+    return points_.empty() ? 0 : points_.back().time;
+  }
+  const geo::Point& start_point() const { return points_.front().position; }
+  const geo::Point& end_point() const { return points_.back().position; }
+
+  /// Total path length in meters.
+  double LengthMeters() const;
+
+  /// GPS-list encodings for the storage layer. Raw: 24 bytes per point
+  /// (two doubles + int64 time) — what JUSTnc stores. Delta: quantized
+  /// (1e-6 deg, 1 ms) zig-zag varint deltas — the compact transform the
+  /// general-purpose codec is applied on top of.
+  std::string SerializeRaw() const;
+  std::string SerializeDelta() const;
+  static Result<Trajectory> DeserializeRaw(const std::string& oid,
+                                           std::string_view bytes);
+  static Result<Trajectory> DeserializeDelta(const std::string& oid,
+                                             std::string_view bytes);
+
+  bool operator==(const Trajectory& o) const {
+    return oid_ == o.oid_ && points_ == o.points_;
+  }
+
+ private:
+  std::string oid_;
+  std::vector<GpsPoint> points_;
+};
+
+}  // namespace just::traj
+
+#endif  // JUST_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,172 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace just::workload {
+
+geo::Mbr DefaultCityArea() {
+  return geo::Mbr{116.10, 39.70, 116.70, 40.15};
+}
+
+std::vector<traj::Trajectory> GenerateTrajectories(
+    const TrajOptions& options) {
+  Rng rng(options.seed);
+  auto start_ts = ParseTimestamp(options.start_date);
+  TimestampMs base_time = start_ts.ok() ? start_ts.value() : 0;
+
+  // Depots: courier stations scattered over the area.
+  std::vector<geo::Point> depots;
+  for (int i = 0; i < options.num_depots; ++i) {
+    depots.push_back(geo::Point{
+        rng.Uniform(options.area.lng_min, options.area.lng_max),
+        rng.Uniform(options.area.lat_min, options.area.lat_max)});
+  }
+
+  std::vector<traj::Trajectory> out;
+  out.reserve(options.num_trajectories);
+  for (int t = 0; t < options.num_trajectories; ++t) {
+    const geo::Point& depot = depots[rng.Uniform(depots.size())];
+    int day = static_cast<int>(rng.Uniform(options.num_days));
+    // Start between 07:00 and 16:00.
+    TimestampMs when = base_time + day * kMillisPerDay + 7 * kMillisPerHour +
+                       static_cast<int64_t>(rng.Uniform(9 * 60)) *
+                           kMillisPerMinute;
+    geo::Point pos{std::clamp(depot.lng + rng.NextGaussian() * 0.003,
+                              options.area.lng_min, options.area.lng_max),
+                   std::clamp(depot.lat + rng.NextGaussian() * 0.003,
+                              options.area.lat_min, options.area.lat_max)};
+    // Random-walk heading with occasional turns; courier speeds 2-8 m/s.
+    double heading = rng.Uniform(0.0, 6.283185307179586);
+    std::vector<traj::GpsPoint> points;
+    points.reserve(options.points_per_traj);
+    for (int i = 0; i < options.points_per_traj; ++i) {
+      points.push_back(traj::GpsPoint{pos, when});
+      double speed = 2.0 + rng.NextDouble() * 6.0;  // m/s
+      double step_m = speed * options.interval_seconds;
+      if (rng.NextDouble() < 0.15) {
+        heading += rng.NextGaussian() * 1.2;  // turn at a corner
+      }
+      double dlat = (step_m * std::sin(heading)) / 111320.0;
+      double dlng = (step_m * std::cos(heading)) /
+                    (111320.0 * std::max(0.2, std::cos(pos.lat * M_PI / 180)));
+      pos.lng = std::clamp(pos.lng + dlng, options.area.lng_min,
+                           options.area.lng_max);
+      pos.lat = std::clamp(pos.lat + dlat, options.area.lat_min,
+                           options.area.lat_max);
+      when += options.interval_seconds * kMillisPerSecond +
+              static_cast<int64_t>(rng.Uniform(2000));
+    }
+    out.emplace_back("traj" + std::to_string(t), std::move(points));
+  }
+  return out;
+}
+
+std::vector<OrderRecord> GenerateOrders(const OrderOptions& options) {
+  Rng rng(options.seed);
+  auto start_ts = ParseTimestamp(options.start_date);
+  TimestampMs base_time = start_ts.ok() ? start_ts.value() : 0;
+
+  struct Hotspot {
+    geo::Point center;
+    double sigma;
+    double weight;
+  };
+  std::vector<Hotspot> hotspots;
+  double total_weight = 0;
+  for (int i = 0; i < options.num_hotspots; ++i) {
+    Hotspot h;
+    h.center = geo::Point{
+        rng.Uniform(options.area.lng_min, options.area.lng_max),
+        rng.Uniform(options.area.lat_min, options.area.lat_max)};
+    h.sigma = 0.002 + rng.NextDouble() * 0.01;
+    h.weight = 0.2 + rng.NextDouble();
+    total_weight += h.weight;
+    hotspots.push_back(h);
+  }
+
+  std::vector<OrderRecord> out;
+  out.reserve(options.num_orders);
+  for (int i = 0; i < options.num_orders; ++i) {
+    // Weighted hotspot choice.
+    double pick = rng.NextDouble() * total_weight;
+    const Hotspot* chosen = &hotspots.back();
+    for (const Hotspot& h : hotspots) {
+      pick -= h.weight;
+      if (pick <= 0) {
+        chosen = &h;
+        break;
+      }
+    }
+    OrderRecord order;
+    order.fid = "order" + std::to_string(i);
+    order.point = geo::Point{
+        std::clamp(chosen->center.lng + rng.NextGaussian() * chosen->sigma,
+                   options.area.lng_min, options.area.lng_max),
+        std::clamp(chosen->center.lat + rng.NextGaussian() * chosen->sigma,
+                   options.area.lat_min, options.area.lat_max)};
+    // Diurnal profile: most orders 08:00-23:00, peak at ~20:30.
+    int day = static_cast<int>(rng.Uniform(options.num_days));
+    double hour = 15.5 + rng.NextGaussian() * 4.5;
+    hour = std::clamp(hour, 0.0, 23.99);
+    order.time = base_time + day * kMillisPerDay +
+                 static_cast<int64_t>(hour * kMillisPerHour);
+    out.push_back(std::move(order));
+  }
+  return out;
+}
+
+std::vector<traj::Trajectory> CopyAndSample(
+    const std::vector<traj::Trajectory>& base, int factor, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<traj::Trajectory> out;
+  out.reserve(base.size() * static_cast<size_t>(factor));
+  for (int copy = 0; copy < factor; ++copy) {
+    for (const traj::Trajectory& t : base) {
+      if (copy == 0) {
+        out.push_back(t);
+        continue;
+      }
+      // Jitter position slightly and shift each copy into later periods so
+      // the time span grows with the data (Table II: Synthetic spans
+      // 2014/03 - 2014/12).
+      double dlng = rng.NextGaussian() * 0.002;
+      double dlat = rng.NextGaussian() * 0.002;
+      int64_t dt = static_cast<int64_t>(copy) * 31 * kMillisPerDay;
+      std::vector<traj::GpsPoint> points = t.points();
+      for (traj::GpsPoint& p : points) {
+        p.position.lng += dlng;
+        p.position.lat += dlat;
+        p.time += dt;
+      }
+      out.emplace_back(t.oid() + "_c" + std::to_string(copy),
+                       std::move(points));
+    }
+  }
+  return out;
+}
+
+QueryCenters SampleQueryCenters(const geo::Mbr& area,
+                                const std::string& start_date, int num_days,
+                                int count, uint64_t seed) {
+  Rng rng(seed);
+  auto start_ts = ParseTimestamp(start_date);
+  TimestampMs base_time = start_ts.ok() ? start_ts.value() : 0;
+  QueryCenters out;
+  for (int i = 0; i < count; ++i) {
+    // Bias toward the middle of the area, where data density is higher.
+    double lng = area.lng_min +
+                 area.Width() * (0.5 + 0.35 * (rng.NextDouble() - 0.5) * 2);
+    double lat = area.lat_min +
+                 area.Height() * (0.5 + 0.35 * (rng.NextDouble() - 0.5) * 2);
+    out.centers.push_back(geo::Point{lng, lat});
+    out.times.push_back(base_time +
+                        static_cast<int64_t>(rng.Uniform(num_days)) *
+                            kMillisPerDay +
+                        static_cast<int64_t>(rng.Uniform(24)) *
+                            kMillisPerHour);
+  }
+  return out;
+}
+
+}  // namespace just::workload

@@ -1,0 +1,76 @@
+#ifndef JUST_WORKLOAD_GENERATORS_H_
+#define JUST_WORKLOAD_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_util.h"
+#include "geo/point.h"
+#include "traj/trajectory.h"
+
+namespace just::workload {
+
+/// Synthetic stand-ins for the paper's proprietary JD datasets (Table II).
+/// The generators match the properties the evaluation exercises: Traj has
+/// few records with thousands of points each (886M points / 314k records
+/// ~ 2800 points per trajectory); Order has many single-point records biased
+/// around urban hotspots; Synthetic replicates Traj by copy & sample.
+
+/// Roughly Beijing's urban extent; all datasets live here so query windows
+/// in km² have the paper's selectivity character.
+geo::Mbr DefaultCityArea();
+
+struct TrajOptions {
+  int num_trajectories = 1000;
+  int points_per_traj = 300;    ///< scaled-down stand-in for ~2800
+  int num_depots = 40;          ///< couriers start from depot hotspots
+  geo::Mbr area = DefaultCityArea();
+  std::string start_date = "2014-03-01";
+  int num_days = 31;            ///< Table II: 2014/03/01 - 2014/03/31
+  int interval_seconds = 15;    ///< GPS sampling period
+  uint64_t seed = 42;
+};
+
+/// Courier-like trajectories: each starts near a random depot on a random
+/// day and random-walks at delivery speeds, staying within one day (the Z2T
+/// period used in Table III).
+std::vector<traj::Trajectory> GenerateTrajectories(const TrajOptions& options);
+
+struct OrderRecord {
+  std::string fid;
+  geo::Point point;
+  TimestampMs time = 0;
+};
+
+struct OrderOptions {
+  int num_orders = 50000;
+  int num_hotspots = 60;
+  geo::Mbr area = DefaultCityArea();
+  std::string start_date = "2018-10-01";
+  int num_days = 61;  ///< Table II: 2018/10/01 - 2018/11/30
+  uint64_t seed = 7;
+};
+
+/// Purchase-order points: gaussian clusters around hotspots (the biased
+/// delivery addresses), with a diurnal time profile.
+std::vector<OrderRecord> GenerateOrders(const OrderOptions& options);
+
+/// Copy & sample: replicates `base` `factor` times with positional jitter
+/// and re-dated copies, extending the time span — how the paper builds the
+/// 1TB Synthetic set from Traj.
+std::vector<traj::Trajectory> CopyAndSample(
+    const std::vector<traj::Trajectory>& base, int factor, uint64_t seed);
+
+/// Query-parameter sampling per Table IV: centers drawn near the data.
+struct QueryCenters {
+  std::vector<geo::Point> centers;
+  std::vector<TimestampMs> times;
+};
+QueryCenters SampleQueryCenters(const geo::Mbr& area,
+                                const std::string& start_date, int num_days,
+                                int count, uint64_t seed);
+
+}  // namespace just::workload
+
+#endif  // JUST_WORKLOAD_GENERATORS_H_

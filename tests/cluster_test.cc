@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/region_cluster.h"
+#include "common/bytes.h"
+#include "test_util.h"
+
+namespace just::cluster {
+namespace {
+
+using just::testing::TempDir;
+
+ClusterOptions SmallCluster(const std::string& dir, int servers = 3) {
+  ClusterOptions opts;
+  opts.dir = dir;
+  opts.num_servers = servers;
+  opts.store.memtable_bytes = 32 << 10;
+  return opts;
+}
+
+std::string ShardKey(int shard, const std::string& rest) {
+  std::string key(1, static_cast<char>(shard));
+  return key + rest;
+}
+
+TEST(RegionClusterTest, RoutesByShardByte) {
+  TempDir dir("cluster_route");
+  auto cluster = RegionCluster::Open(SmallCluster(dir.path()));
+  ASSERT_TRUE(cluster.ok());
+  for (int shard = 0; shard < 8; ++shard) {
+    ASSERT_TRUE(
+        (*cluster)->Put(ShardKey(shard, "key"), "v" + std::to_string(shard))
+            .ok());
+  }
+  for (int shard = 0; shard < 8; ++shard) {
+    std::string v;
+    ASSERT_TRUE((*cluster)->Get(ShardKey(shard, "key"), &v).ok());
+    EXPECT_EQ(v, "v" + std::to_string(shard));
+  }
+}
+
+TEST(RegionClusterTest, ParallelScanHonorsRangeBounds) {
+  TempDir dir("cluster_scan");
+  auto cluster = RegionCluster::Open(SmallCluster(dir.path()));
+  ASSERT_TRUE(cluster.ok());
+  // Shard 1: keys 000..099.
+  for (int i = 0; i < 100; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%03d", i);
+    ASSERT_TRUE((*cluster)->Put(ShardKey(1, buf), "v").ok());
+  }
+  std::vector<curve::KeyRange> ranges;
+  curve::KeyRange r1{ShardKey(1, "010"), ShardKey(1, "020"), true};
+  curve::KeyRange r2{ShardKey(1, "050"), ShardKey(1, "055"), false};
+  ranges.push_back(r1);
+  ranges.push_back(r2);
+  auto results = (*cluster)->ParallelScan(ranges);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].rows.size(), 10u);
+  EXPECT_TRUE((*results)[0].contained);
+  EXPECT_EQ((*results)[1].rows.size(), 5u);
+  EXPECT_FALSE((*results)[1].contained);
+}
+
+TEST(RegionClusterTest, ParallelScanManyRanges) {
+  TempDir dir("cluster_many");
+  auto cluster = RegionCluster::Open(SmallCluster(dir.path(), 4));
+  ASSERT_TRUE(cluster.ok());
+  for (int shard = 0; shard < 8; ++shard) {
+    for (int i = 0; i < 50; ++i) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%03d", i);
+      ASSERT_TRUE((*cluster)->Put(ShardKey(shard, buf), "v").ok());
+    }
+  }
+  std::vector<curve::KeyRange> ranges;
+  for (int shard = 0; shard < 8; ++shard) {
+    ranges.push_back(curve::KeyRange{ShardKey(shard, "000"),
+                                     ShardKey(shard, "025"), false});
+  }
+  auto results = (*cluster)->ParallelScan(ranges);
+  ASSERT_TRUE(results.ok());
+  size_t total = 0;
+  for (const auto& rr : *results) total += rr.rows.size();
+  EXPECT_EQ(total, 8u * 25u);
+}
+
+TEST(RegionClusterTest, StatsAggregateAcrossServers) {
+  TempDir dir("cluster_stats");
+  auto cluster = RegionCluster::Open(SmallCluster(dir.path()));
+  ASSERT_TRUE(cluster.ok());
+  for (int shard = 0; shard < 6; ++shard) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*cluster)
+                      ->Put(ShardKey(shard, "key" + std::to_string(i)),
+                            std::string(100, 'x'))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE((*cluster)->FlushAll().ok());
+  auto stats = (*cluster)->GetStats();
+  EXPECT_EQ(stats.entries, 6u * 200u);
+  EXPECT_GT(stats.disk_bytes, 0u);
+}
+
+TEST(RegionClusterTest, CompactAllReducesSstables) {
+  TempDir dir("cluster_compact");
+  auto cluster = RegionCluster::Open(SmallCluster(dir.path()));
+  ASSERT_TRUE(cluster.ok());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          (*cluster)->Put(ShardKey(0, "key" + std::to_string(i)), "v").ok());
+    }
+    ASSERT_TRUE((*cluster)->FlushAll().ok());
+  }
+  ASSERT_TRUE((*cluster)->CompactAll().ok());
+  auto stats = (*cluster)->GetStats();
+  EXPECT_LE(stats.num_sstables, 3u);  // at most one per server
+}
+
+TEST(RegionClusterTest, RejectsZeroServers) {
+  ClusterOptions opts;
+  opts.dir = "/tmp/never";
+  opts.num_servers = 0;
+  EXPECT_FALSE(RegionCluster::Open(opts).ok());
+}
+
+}  // namespace
+}  // namespace just::cluster

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "compress/lz77.h"
+
+namespace just::compress {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t n) {
+  std::string s(n, '\0');
+  for (char& c : s) c = static_cast<char>(rng->Next() & 0xFF);
+  return s;
+}
+
+std::string RepetitiveText(size_t n) {
+  std::string s;
+  while (s.size() < n) {
+    s += "the quick brown fox jumps over the lazy dog; ";
+  }
+  s.resize(n);
+  return s;
+}
+
+TEST(Lz77Test, EmptyInput) {
+  std::string c = Lz77Compress("");
+  auto back = Lz77Decompress(c, 0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Lz77Test, RoundTripShortStrings) {
+  for (const char* s : {"a", "ab", "abc", "aaaa", "abcabcabcabc",
+                        "hello world hello world hello"}) {
+    std::string c = Lz77Compress(s);
+    auto back = Lz77Decompress(c, std::strlen(s));
+    ASSERT_TRUE(back.ok()) << s;
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(Lz77Test, RoundTripRandomBinary) {
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    std::string raw = RandomBytes(&rng, rng.Uniform(5000));
+    std::string c = Lz77Compress(raw);
+    auto back = Lz77Decompress(c, raw.size());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, raw);
+  }
+}
+
+TEST(Lz77Test, RoundTripLargeRepetitive) {
+  std::string raw = RepetitiveText(200000);
+  std::string c = Lz77Compress(raw);
+  auto back = Lz77Decompress(c, raw.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(Lz77Test, CompressesRepetitiveData) {
+  std::string raw = RepetitiveText(50000);
+  std::string c = Lz77Compress(raw);
+  // gzip-class ratio on this input is huge; ours should be at least 5x.
+  EXPECT_LT(c.size(), raw.size() / 5);
+}
+
+TEST(Lz77Test, RandomDataDoesNotExplode) {
+  Rng rng(2);
+  std::string raw = RandomBytes(&rng, 10000);
+  std::string c = Lz77Compress(raw);
+  // Worst case: 1 flag byte per 8 literals.
+  EXPECT_LE(c.size(), raw.size() + raw.size() / 8 + 16);
+}
+
+TEST(Lz77Test, OverlappingMatchRuns) {
+  // 'aaaa...' forces overlapping copies (offset 1, long length).
+  std::string raw(1000, 'a');
+  std::string c = Lz77Compress(raw);
+  EXPECT_LT(c.size(), 40u);
+  auto back = Lz77Decompress(c, raw.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(Lz77Test, DetectsCorruption) {
+  std::string raw = RepetitiveText(1000);
+  std::string c = Lz77Compress(raw);
+  EXPECT_FALSE(Lz77Decompress(c, raw.size() + 5).ok());  // wrong size
+  std::string truncated = c.substr(0, c.size() / 2);
+  EXPECT_FALSE(Lz77Decompress(truncated, raw.size()).ok());
+}
+
+TEST(Lz77Test, RejectsBadOffset) {
+  // Hand-craft: flag byte with match bit, offset beyond output.
+  std::string bad;
+  bad.push_back(0x01);              // first token is a match
+  bad.push_back(static_cast<char>(0xFF));  // offset lo
+  bad.push_back(0x00);              // offset hi -> offset 256
+  bad.push_back(0x00);              // length 3
+  EXPECT_FALSE(Lz77Decompress(bad, 3).ok());
+}
+
+TEST(CodecTest, Registry) {
+  EXPECT_EQ(GetCodec("gzip").value()->name(), "lz77");
+  EXPECT_EQ(GetCodec("zip").value()->name(), "lz77");
+  EXPECT_EQ(GetCodec("GZIP").value()->name(), "lz77");
+  EXPECT_EQ(GetCodec("none").value()->name(), "none");
+  EXPECT_EQ(GetCodec("").value()->name(), "none");
+  EXPECT_FALSE(GetCodec("lzma").ok());
+}
+
+TEST(CodecTest, CellRoundTripBothCodecs) {
+  Rng rng(3);
+  for (const Codec* codec : {NoneCodec(), Lz77Codec()}) {
+    for (int i = 0; i < 20; ++i) {
+      std::string raw = RandomBytes(&rng, rng.Uniform(2000));
+      std::string cell = EncodeCell(*codec, raw);
+      auto back = DecodeCell(cell);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(*back, raw);
+    }
+  }
+}
+
+// The Figure 10a effect: compressing tiny fields makes them *bigger*.
+TEST(CodecTest, SmallFieldsGrowUnderCompression) {
+  std::string tiny = "order123";  // a few bytes, incompressible
+  std::string plain_cell = EncodeCell(*NoneCodec(), tiny);
+  std::string gz_cell = EncodeCell(*Lz77Codec(), tiny);
+  EXPECT_GE(gz_cell.size(), plain_cell.size());
+}
+
+// The Figure 10b effect: big structured fields shrink a lot. (The real
+// trajectory path additionally delta-transforms before this codec; see
+// TrajectoryTest.CompressedCellMuchSmallerThanRaw.)
+TEST(CodecTest, BigFieldsShrinkUnderCompression) {
+  // A GPS-list-like payload: slowly varying values.
+  std::string raw;
+  int64_t v = 1000000;
+  for (int i = 0; i < 5000; ++i) {
+    v += 3;
+    raw.append(reinterpret_cast<const char*>(&v), 8);
+  }
+  std::string plain_cell = EncodeCell(*NoneCodec(), raw);
+  std::string gz_cell = EncodeCell(*Lz77Codec(), raw);
+  EXPECT_LT(gz_cell.size(), plain_cell.size() * 6 / 10);
+}
+
+TEST(CodecTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeCell("").ok());
+  std::string bad;
+  bad.push_back(9);  // unknown codec id
+  bad.push_back(0);
+  EXPECT_FALSE(DecodeCell(bad).ok());
+}
+
+}  // namespace
+}  // namespace just::compress

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "exec/dataframe.h"
+#include "exec/memory.h"
+#include "exec/operators.h"
+#include "exec/value.h"
+
+namespace just::exec {
+namespace {
+
+std::shared_ptr<Schema> TestSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddField({"id", DataType::kInt});
+  schema->AddField({"name", DataType::kString});
+  schema->AddField({"score", DataType::kDouble});
+  return schema;
+}
+
+DataFrame TestFrame() {
+  DataFrame df(TestSchema());
+  df.AddRow({Value::Int(1), Value::String("alice"), Value::Double(3.5)});
+  df.AddRow({Value::Int(2), Value::String("bob"), Value::Double(1.5)});
+  df.AddRow({Value::Int(3), Value::String("carol"), Value::Double(2.5)});
+  df.AddRow({Value::Int(4), Value::String("bob"), Value::Double(4.0)});
+  return df;
+}
+
+// --- Value ---
+
+TEST(ValueTest, TypeAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).int_value(), 5);
+  EXPECT_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Timestamp(123).timestamp_value(), 123);
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_EQ(Value::Int(3).AsDouble().value(), 3.0);
+  EXPECT_EQ(Value::Double(2.9).AsInt().value(), 2);
+  EXPECT_EQ(Value::Bool(true).AsDouble().value(), 1.0);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(3.0).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Double(1.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+}
+
+TEST(ValueTest, SerializeRoundTripAllTypes) {
+  std::vector<Value> values = {
+      Value::Null(),
+      Value::Bool(true),
+      Value::Int(-42),
+      Value::Double(3.14159),
+      Value::String("hello"),
+      Value::Timestamp(1393632000000LL),
+      Value::GeometryVal(geo::Geometry::MakePoint({116.4, 39.9})),
+  };
+  std::string buf;
+  for (const Value& v : values) v.SerializeTo(&buf);
+  const char* p = buf.data();
+  const char* limit = p + buf.size();
+  for (const Value& v : values) {
+    auto back = Value::Deserialize(&p, limit);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back->Equals(v)) << v.ToString();
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(ValueTest, TrajectorySerializeRoundTrip) {
+  auto t = std::make_shared<const traj::Trajectory>(
+      "oid1", std::vector<traj::GpsPoint>{{{116.4, 39.9}, 1000},
+                                          {{116.41, 39.91}, 2000}});
+  Value v = Value::TrajectoryVal(t);
+  std::string buf;
+  v.SerializeTo(&buf);
+  const char* p = buf.data();
+  auto back = Value::Deserialize(&p, buf.data() + buf.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->trajectory_value()->oid(), "oid1");
+  EXPECT_EQ(back->trajectory_value()->size(), 2u);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Timestamp(0).ToString(), "1970-01-01 00:00:00");
+}
+
+TEST(ValueTest, ParseDataTypeNames) {
+  EXPECT_EQ(ParseDataType("integer").value(), DataType::kInt);
+  EXPECT_EQ(ParseDataType("point").value(), DataType::kGeometry);
+  EXPECT_EQ(ParseDataType("st_series").value(), DataType::kTrajectory);
+  EXPECT_EQ(ParseDataType("DATE").value(), DataType::kTimestamp);
+  EXPECT_FALSE(ParseDataType("blob").ok());
+}
+
+// --- Schema / DataFrame ---
+
+TEST(SchemaTest, IndexOfCaseInsensitive) {
+  Schema s({{"Fid", DataType::kInt}, {"geom", DataType::kGeometry}});
+  EXPECT_EQ(s.IndexOf("fid"), 0);
+  EXPECT_EQ(s.IndexOf("GEOM"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(DataFrameTest, DisplayString) {
+  DataFrame df = TestFrame();
+  std::string out = df.ToDisplayString(2);
+  EXPECT_NE(out.find("alice"), std::string::npos);
+  EXPECT_NE(out.find("(2 more rows)"), std::string::npos);
+  EXPECT_EQ(out.find("carol"), std::string::npos);  // truncated
+}
+
+TEST(DataFrameTest, ApproxBytesGrowsWithRows) {
+  DataFrame small = TestFrame();
+  DataFrame big(TestSchema());
+  for (int i = 0; i < 100; ++i) {
+    big.AddRow({Value::Int(i), Value::String("user" + std::to_string(i)),
+                Value::Double(i)});
+  }
+  EXPECT_GT(big.ApproxBytes(), small.ApproxBytes());
+}
+
+// --- Operators ---
+
+TEST(OperatorsTest, Filter) {
+  DataFrame out = Filter(TestFrame(), [](const Row& row) {
+    return row[2].double_value() > 2.0;
+  });
+  EXPECT_EQ(out.num_rows(), 3u);
+}
+
+TEST(OperatorsTest, ProjectReordersColumns) {
+  auto out = Project(TestFrame(), {"score", "id"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().field(0).name, "score");
+  EXPECT_EQ(out->rows()[0][1].int_value(), 1);
+  EXPECT_FALSE(Project(TestFrame(), {"nope"}).ok());
+}
+
+TEST(OperatorsTest, SortMultiKey) {
+  auto out = Sort(TestFrame(), {{"name", true}, {"score", false}});
+  ASSERT_TRUE(out.ok());
+  // alice, bob(4.0), bob(1.5), carol.
+  EXPECT_EQ(out->rows()[0][1].string_value(), "alice");
+  EXPECT_EQ(out->rows()[1][2].double_value(), 4.0);
+  EXPECT_EQ(out->rows()[2][2].double_value(), 1.5);
+  EXPECT_EQ(out->rows()[3][1].string_value(), "carol");
+}
+
+TEST(OperatorsTest, SortDescending) {
+  auto out = Sort(TestFrame(), {{"score", false}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows()[0][2].double_value(), 4.0);
+  EXPECT_EQ(out->rows()[3][2].double_value(), 1.5);
+}
+
+TEST(OperatorsTest, Limit) {
+  EXPECT_EQ(Limit(TestFrame(), 2).num_rows(), 2u);
+  EXPECT_EQ(Limit(TestFrame(), 100).num_rows(), 4u);
+  EXPECT_EQ(Limit(TestFrame(), 0).num_rows(), 0u);
+}
+
+TEST(OperatorsTest, GroupByWithAggregates) {
+  auto out = GroupBy(TestFrame(), {"name"},
+                     {{AggFunc::kCount, "", "cnt"},
+                      {AggFunc::kSum, "score", "total"},
+                      {AggFunc::kMax, "score", "best"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 3u);
+  // Find bob's row.
+  for (const Row& row : out->rows()) {
+    if (row[0].string_value() == "bob") {
+      EXPECT_EQ(row[1].int_value(), 2);
+      EXPECT_EQ(row[2].double_value(), 5.5);
+      EXPECT_EQ(row[3].double_value(), 4.0);
+    }
+  }
+}
+
+TEST(OperatorsTest, GlobalAggregateOnEmptyInput) {
+  DataFrame empty(TestSchema());
+  auto out = GroupBy(empty, {}, {{AggFunc::kCount, "", "cnt"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->rows()[0][0].int_value(), 0);
+}
+
+TEST(OperatorsTest, AvgAndMin) {
+  auto out = GroupBy(TestFrame(), {},
+                     {{AggFunc::kAvg, "score", "avg"},
+                      {AggFunc::kMin, "score", "min"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->rows()[0][0].double_value(), 11.5 / 4, 1e-9);
+  EXPECT_EQ(out->rows()[0][1].double_value(), 1.5);
+}
+
+TEST(OperatorsTest, HashJoin) {
+  auto right_schema = std::make_shared<Schema>();
+  right_schema->AddField({"name", DataType::kString});
+  right_schema->AddField({"dept", DataType::kString});
+  DataFrame right(right_schema);
+  right.AddRow({Value::String("bob"), Value::String("eng")});
+  right.AddRow({Value::String("carol"), Value::String("ops")});
+
+  auto out = HashJoin(TestFrame(), right, "name", "name");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 3u);  // bob x2, carol x1
+  // Clashing column renamed.
+  EXPECT_GE(out->schema().IndexOf("name_r"), 0);
+}
+
+TEST(OperatorsTest, FlatMapExpandsRows) {
+  auto out_schema = std::make_shared<Schema>();
+  out_schema->AddField({"id", DataType::kInt});
+  DataFrame out = FlatMapRows(TestFrame(), out_schema, [](const Row& row) {
+    std::vector<Row> expanded;
+    for (int i = 0; i < row[0].int_value(); ++i) {
+      expanded.push_back({row[0]});
+    }
+    return expanded;
+  });
+  EXPECT_EQ(out.num_rows(), 1u + 2 + 3 + 4);
+}
+
+TEST(OperatorsTest, UnionRequiresMatchingSchema) {
+  auto ok = Union(TestFrame(), TestFrame());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_rows(), 8u);
+  auto other_schema = std::make_shared<Schema>();
+  other_schema->AddField({"x", DataType::kInt});
+  DataFrame other(other_schema);
+  EXPECT_FALSE(Union(TestFrame(), other).ok());
+}
+
+// --- MemoryBudget ---
+
+TEST(MemoryBudgetTest, ChargesAndReleases) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.Charge(60).ok());
+  EXPECT_TRUE(budget.Charge(40).ok());
+  Status st = budget.Charge(1);
+  EXPECT_TRUE(st.IsResourceExhausted());
+  budget.Release(50);
+  EXPECT_TRUE(budget.Charge(30).ok());
+  EXPECT_EQ(budget.used(), 80u);
+}
+
+TEST(MemoryBudgetTest, ZeroMeansUnlimited) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.Charge(SIZE_MAX / 2).ok());
+}
+
+TEST(MemoryBudgetTest, FailedChargeDoesNotLeak) {
+  MemoryBudget budget(10);
+  EXPECT_FALSE(budget.Charge(11).ok());
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+}  // namespace
+}  // namespace just::exec

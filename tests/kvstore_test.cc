@@ -1,0 +1,564 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kvstore/block.h"
+#include "kvstore/bloom.h"
+#include "kvstore/lsm_store.h"
+#include "kvstore/skiplist.h"
+#include "kvstore/sstable.h"
+#include "kvstore/wal.h"
+#include "test_util.h"
+
+namespace just::kv {
+namespace {
+
+using just::testing::TempDir;
+
+// --- SkipList ---
+
+TEST(SkipListTest, PutGetOverwrite) {
+  SkipList list;
+  list.Put("b", "2");
+  list.Put("a", "1");
+  list.Put("c", "3");
+  std::string v;
+  EXPECT_TRUE(list.Get("a", &v));
+  EXPECT_EQ(v, "1");
+  list.Put("a", "updated");
+  EXPECT_TRUE(list.Get("a", &v));
+  EXPECT_EQ(v, "updated");
+  EXPECT_FALSE(list.Get("zz", &v));
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(SkipListTest, IteratesInOrder) {
+  SkipList list;
+  Rng rng(1);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = std::to_string(rng.Next() % 10000);
+    std::string value = std::to_string(i);
+    list.Put(key, value);
+    model[key] = value;
+  }
+  SkipList::Iterator it(&list);
+  auto mit = model.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it.key(), mit->first);
+    EXPECT_EQ(it.value(), mit->second);
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+TEST(SkipListTest, SeekFindsLowerBound) {
+  SkipList list;
+  for (int i = 0; i < 100; i += 10) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%03d", i);
+    list.Put(buf, "v");
+  }
+  SkipList::Iterator it(&list);
+  it.Seek("015");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "020");
+  it.Seek("000");
+  EXPECT_EQ(it.key(), "000");
+  it.Seek("999");
+  EXPECT_FALSE(it.Valid());
+}
+
+// --- Bloom ---
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back("key" + std::to_string(i));
+    builder.AddKey(keys.back());
+  }
+  std::string data = builder.Finish();
+  BloomFilter filter(data);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(filter.MayContain(key)) << key;
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 2000; ++i) builder.AddKey("key" + std::to_string(i));
+  std::string data = builder.Finish();
+  BloomFilter filter(data);
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (filter.MayContain("absent" + std::to_string(i))) ++false_positives;
+  }
+  // 10 bits/key gives ~1%; allow generous slack.
+  EXPECT_LT(false_positives, 500);
+}
+
+TEST(BloomTest, EmptyFilterMatchesAll) {
+  BloomFilter filter("");
+  EXPECT_TRUE(filter.MayContain("anything"));
+}
+
+// --- Block ---
+
+TEST(BlockTest, BuildParseIterate) {
+  BlockBuilder builder(4);
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 100; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%04d", i);
+    entries.emplace_back(key, "value" + std::to_string(i));
+    builder.Add(entries.back().first, entries.back().second);
+  }
+  auto block = Block::Parse(builder.Finish());
+  ASSERT_TRUE(block.ok());
+  Block::Iterator it(block->get());
+  size_t i = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++i) {
+    ASSERT_LT(i, entries.size());
+    EXPECT_EQ(it.key(), entries[i].first);
+    EXPECT_EQ(it.value(), entries[i].second);
+  }
+  EXPECT_EQ(i, entries.size());
+}
+
+TEST(BlockTest, SeekExactAndBetween) {
+  BlockBuilder builder(4);
+  for (int i = 0; i < 100; i += 2) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%04d", i);
+    builder.Add(key, "v");
+  }
+  auto block = Block::Parse(builder.Finish());
+  ASSERT_TRUE(block.ok());
+  Block::Iterator it(block->get());
+  it.Seek("key0050");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "key0050");
+  it.Seek("key0051");  // between entries
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "key0052");
+  it.Seek("key9999");
+  EXPECT_FALSE(it.Valid());
+  it.Seek("");  // before all
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "key0000");
+}
+
+TEST(BlockTest, PrefixCompressionShrinksSharedKeys) {
+  BlockBuilder with_sharing(16);
+  BlockBuilder no_sharing(1);  // restart every entry: no sharing
+  for (int i = 0; i < 200; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "common/long/prefix/%06d", i);
+    with_sharing.Add(key, "v");
+    no_sharing.Add(key, "v");
+  }
+  EXPECT_LT(with_sharing.Finish().size(), no_sharing.Finish().size());
+}
+
+TEST(BlockTest, RejectsTinyBuffers) {
+  EXPECT_FALSE(Block::Parse("ab").ok());
+}
+
+// --- WAL ---
+
+TEST(WalTest, AppendReplay) {
+  TempDir dir("wal");
+  std::string path = dir.path() + "/wal.log";
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, true).ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kPut, "k1", "v1").ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kDelete, "k2", "").ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kPut, "k3", std::string(5000, 'x')).ok());
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+  std::vector<std::tuple<WalRecordType, std::string, std::string>> replayed;
+  ASSERT_TRUE(ReplayWal(path, [&](WalRecordType type, std::string_view k,
+                                  std::string_view v) {
+                replayed.emplace_back(type, std::string(k), std::string(v));
+              }).ok());
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(std::get<1>(replayed[0]), "k1");
+  EXPECT_EQ(std::get<0>(replayed[1]), WalRecordType::kDelete);
+  EXPECT_EQ(std::get<2>(replayed[2]).size(), 5000u);
+}
+
+TEST(WalTest, StopsAtTornTail) {
+  TempDir dir("wal_torn");
+  std::string path = dir.path() + "/wal.log";
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, true).ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kPut, "good", "1").ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kPut, "torn", "2").ok());
+    writer.Sync();
+  }
+  // Truncate the last few bytes (simulated crash mid-write).
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 3);
+  int count = 0;
+  ASSERT_TRUE(ReplayWal(path, [&](WalRecordType, std::string_view k,
+                                  std::string_view) {
+                EXPECT_EQ(k, "good");
+                ++count;
+              }).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(WalTest, MissingFileIsEmptyReplay) {
+  int count = 0;
+  ASSERT_TRUE(ReplayWal("/nonexistent/path/wal.log",
+                        [&](WalRecordType, std::string_view,
+                            std::string_view) { ++count; })
+                  .ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(WalTest, Crc32KnownVector) {
+  // Standard CRC-32 ("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+// --- SSTable ---
+
+TEST(SsTableTest, BuildOpenGetIterate) {
+  TempDir dir("sst");
+  std::string path = dir.path() + "/t.sst";
+  SsTableBuilder builder;
+  ASSERT_TRUE(builder.Open(path).ok());
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 5000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    std::string value = "value" + std::to_string(i * 7);
+    model[key] = value;
+    ASSERT_TRUE(builder.Add(key, value).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  auto reader = SsTableReader::Open(path, 1, nullptr);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_entries(), 5000u);
+
+  std::string v;
+  EXPECT_TRUE((*reader)->Get("key000123", &v).ok());
+  EXPECT_EQ(v, model["key000123"]);
+  EXPECT_TRUE((*reader)->Get("missing", &v).IsNotFound());
+
+  SsTableReader::Iterator it(reader->get());
+  auto mit = model.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it.key(), mit->first);
+    EXPECT_EQ(std::string(it.value()), mit->second);
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+TEST(SsTableTest, SeekWithinAndAcrossBlocks) {
+  TempDir dir("sst_seek");
+  std::string path = dir.path() + "/t.sst";
+  SsTableBuilder::Options opts;
+  opts.block_size = 256;  // force many blocks
+  SsTableBuilder builder(opts);
+  ASSERT_TRUE(builder.Open(path).ok());
+  for (int i = 0; i < 1000; i += 2) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(builder.Add(key, "v").ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SsTableReader::Open(path, 2, nullptr);
+  ASSERT_TRUE(reader.ok());
+  SsTableReader::Iterator it(reader->get());
+  it.Seek("key000501");  // odd: between entries
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "key000502");
+  it.Seek("key000000");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "key000000");
+  it.Seek("zzz");
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SsTableTest, RejectsOutOfOrderAdds) {
+  TempDir dir("sst_order");
+  SsTableBuilder builder;
+  ASSERT_TRUE(builder.Open(dir.path() + "/t.sst").ok());
+  ASSERT_TRUE(builder.Add("b", "1").ok());
+  EXPECT_FALSE(builder.Add("a", "2").ok());
+  EXPECT_FALSE(builder.Add("b", "3").ok());  // duplicates also rejected
+}
+
+TEST(SsTableTest, BlockCacheServesRepeatedReads) {
+  TempDir dir("sst_cache");
+  std::string path = dir.path() + "/t.sst";
+  SsTableBuilder builder;
+  ASSERT_TRUE(builder.Open(path).ok());
+  for (int i = 0; i < 2000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(builder.Add(key, "v").ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  BlockCache cache(1 << 20);
+  auto reader = SsTableReader::Open(path, 3, &cache);
+  ASSERT_TRUE(reader.ok());
+  std::string v;
+  ASSERT_TRUE((*reader)->Get("key000100", &v).ok());
+  uint64_t misses_after_first = cache.misses();
+  ASSERT_TRUE((*reader)->Get("key000100", &v).ok());
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), misses_after_first);  // second read from cache
+}
+
+TEST(SsTableTest, CorruptFileRejected) {
+  TempDir dir("sst_corrupt");
+  std::string path = dir.path() + "/t.sst";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::string junk(100, 'j');
+  std::fwrite(junk.data(), 1, junk.size(), f);
+  std::fclose(f);
+  EXPECT_FALSE(SsTableReader::Open(path, 4, nullptr).ok());
+}
+
+// --- LsmStore ---
+
+StoreOptions SmallStore(const std::string& dir) {
+  StoreOptions opts;
+  opts.dir = dir;
+  opts.memtable_bytes = 16 << 10;  // tiny: forces flushes
+  opts.compaction_trigger = 4;
+  return opts;
+}
+
+TEST(LsmStoreTest, PutGetDelete) {
+  TempDir dir("lsm_basic");
+  auto store = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+  std::string v;
+  EXPECT_TRUE((*store)->Get("a", &v).ok());
+  EXPECT_EQ(v, "1");
+  ASSERT_TRUE((*store)->Delete("a").ok());
+  EXPECT_TRUE((*store)->Get("a", &v).IsNotFound());
+}
+
+TEST(LsmStoreTest, ModelBasedRandomOps) {
+  TempDir dir("lsm_model");
+  auto store_or = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store_or.ok());
+  LsmStore* store = store_or->get();
+  std::map<std::string, std::string> model;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    std::string key = "k" + std::to_string(rng.Uniform(500));
+    if (rng.Uniform(10) < 7) {
+      std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE(store->Put(key, value).ok());
+      model[key] = value;
+    } else {
+      ASSERT_TRUE(store->Delete(key).ok());
+      model.erase(key);
+    }
+  }
+  // Point lookups agree.
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "k" + std::to_string(i);
+    std::string v;
+    Status st = store->Get(key, &v);
+    auto mit = model.find(key);
+    if (mit == model.end()) {
+      EXPECT_TRUE(st.IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(st.ok()) << key << " " << st.ToString();
+      EXPECT_EQ(v, mit->second);
+    }
+  }
+  // Full scan agrees (order + content).
+  std::vector<std::pair<std::string, std::string>> scanned;
+  ASSERT_TRUE(store
+                  ->Scan("", "",
+                         [&](std::string_view k, std::string_view v) {
+                           scanned.emplace_back(std::string(k),
+                                                std::string(v));
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(scanned.size(), model.size());
+  auto mit = model.begin();
+  for (size_t i = 0; i < scanned.size(); ++i, ++mit) {
+    EXPECT_EQ(scanned[i].first, mit->first);
+    EXPECT_EQ(scanned[i].second, mit->second);
+  }
+}
+
+TEST(LsmStoreTest, RangeScanBounds) {
+  TempDir dir("lsm_range");
+  auto store = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "%03d", i);
+    ASSERT_TRUE((*store)->Put(key, "v").ok());
+  }
+  std::vector<std::string> keys;
+  ASSERT_TRUE((*store)
+                  ->Scan("010", "020",
+                         [&](std::string_view k, std::string_view) {
+                           keys.emplace_back(k);
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(keys.size(), 10u);
+  EXPECT_EQ(keys.front(), "010");
+  EXPECT_EQ(keys.back(), "019");  // end exclusive
+}
+
+TEST(LsmStoreTest, ScanEarlyStop) {
+  TempDir dir("lsm_stop");
+  auto store = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "v").ok());
+  }
+  int seen = 0;
+  ASSERT_TRUE((*store)
+                  ->Scan("", "",
+                         [&](std::string_view, std::string_view) {
+                           return ++seen < 5;
+                         })
+                  .ok());
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(LsmStoreTest, NewestVersionWinsAcrossFlushes) {
+  TempDir dir("lsm_versions");
+  auto store = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("key", "old").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Put("key", "new").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  std::string v;
+  ASSERT_TRUE((*store)->Get("key", &v).ok());
+  EXPECT_EQ(v, "new");
+  // Scan also sees exactly one version.
+  int count = 0;
+  ASSERT_TRUE((*store)
+                  ->Scan("", "",
+                         [&](std::string_view, std::string_view val) {
+                           EXPECT_EQ(val, "new");
+                           ++count;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(LsmStoreTest, TombstoneMasksOlderSstEntry) {
+  TempDir dir("lsm_tomb");
+  auto store = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("doomed", "v").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Delete("doomed").ok());
+  std::string v;
+  EXPECT_TRUE((*store)->Get("doomed", &v).IsNotFound());
+  int count = 0;
+  ASSERT_TRUE((*store)
+                  ->Scan("", "",
+                         [&](std::string_view, std::string_view) {
+                           ++count;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(LsmStoreTest, RecoversFromWalAfterReopen) {
+  TempDir dir("lsm_recover");
+  {
+    auto store = LsmStore::Open(SmallStore(dir.path()));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("persist1", "a").ok());
+    ASSERT_TRUE((*store)->Put("persist2", "b").ok());
+    // No flush: data only in WAL + memtable.
+  }
+  auto store = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store.ok());
+  std::string v;
+  EXPECT_TRUE((*store)->Get("persist1", &v).ok());
+  EXPECT_EQ(v, "a");
+  EXPECT_TRUE((*store)->Get("persist2", &v).ok());
+  EXPECT_EQ(v, "b");
+}
+
+TEST(LsmStoreTest, RecoversSstablesViaManifest) {
+  TempDir dir("lsm_manifest");
+  {
+    auto store = LsmStore::Open(SmallStore(dir.path()));
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(
+          (*store)->Put("key" + std::to_string(i), std::string(50, 'x')).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto store = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store.ok());
+  std::string v;
+  for (int i = 0; i < 2000; i += 97) {
+    EXPECT_TRUE((*store)->Get("key" + std::to_string(i), &v).ok()) << i;
+  }
+}
+
+TEST(LsmStoreTest, CompactionMergesToOneTableAndDropsTombstones) {
+  TempDir dir("lsm_compact");
+  auto store = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store.ok());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put("key" + std::to_string(i),
+                            "round" + std::to_string(round))
+                      .ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  ASSERT_TRUE((*store)->Delete("key50").ok());
+  ASSERT_TRUE((*store)->CompactAll().ok());
+  auto stats = (*store)->GetStats();
+  EXPECT_EQ(stats.num_sstables, 1u);
+  EXPECT_EQ(stats.sstable_entries, 99u);  // 100 keys - 1 deleted, no dupes
+  std::string v;
+  ASSERT_TRUE((*store)->Get("key1", &v).ok());
+  EXPECT_EQ(v, "round2");
+  EXPECT_TRUE((*store)->Get("key50", &v).IsNotFound());
+}
+
+TEST(LsmStoreTest, AutomaticFlushOnMemtableLimit) {
+  TempDir dir("lsm_autoflush");
+  auto store = LsmStore::Open(SmallStore(dir.path()));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("key" + std::to_string(i), std::string(100, 'd')).ok());
+  }
+  auto stats = (*store)->GetStats();
+  EXPECT_GT(stats.num_sstables, 0u);  // must have flushed at least once
+  EXPECT_LT(stats.num_sstables, 50u);  // and compacted along the way
+}
+
+}  // namespace
+}  // namespace just::kv

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "spatial/grid_index.h"
+#include "spatial/quadtree.h"
+#include "spatial/rtree.h"
+
+namespace just::spatial {
+namespace {
+
+std::vector<SpatialEntry> RandomPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SpatialEntry> entries;
+  for (int i = 0; i < n; ++i) {
+    double lng = rng.Uniform(116.0, 117.0);
+    double lat = rng.Uniform(39.0, 40.0);
+    entries.push_back(SpatialEntry{geo::Mbr::Of(lng, lat, lng, lat),
+                                   static_cast<uint64_t>(i)});
+  }
+  return entries;
+}
+
+std::set<uint64_t> BruteForceQuery(const std::vector<SpatialEntry>& entries,
+                                   const geo::Mbr& query) {
+  std::set<uint64_t> out;
+  for (const auto& e : entries) {
+    if (e.box.Intersects(query)) out.insert(e.id);
+  }
+  return out;
+}
+
+std::vector<uint64_t> BruteForceKnn(const std::vector<SpatialEntry>& entries,
+                                    const geo::Point& q, int k) {
+  std::vector<SpatialEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const SpatialEntry& a, const SpatialEntry& b) {
+              return a.box.MinDistance(q) < b.box.MinDistance(q);
+            });
+  std::vector<uint64_t> out;
+  for (int i = 0; i < k && i < static_cast<int>(sorted.size()); ++i) {
+    out.push_back(sorted[i].id);
+  }
+  return out;
+}
+
+// Parameterized across the three index structures via a thin adapter.
+enum class IndexKind { kRTree, kQuadTree, kGrid };
+
+struct IndexAdapter {
+  IndexKind kind;
+  StrRTree rtree;
+  QuadTree quadtree{geo::Mbr::Of(116.0, 39.0, 117.0, 40.0), 32, 12};
+  GridIndex grid{geo::Mbr::Of(116.0, 39.0, 117.0, 40.0), 64};
+
+  explicit IndexAdapter(IndexKind k) : kind(k) {}
+
+  void Load(std::vector<SpatialEntry> entries) {
+    switch (kind) {
+      case IndexKind::kRTree:
+        rtree.BulkLoad(std::move(entries));
+        break;
+      case IndexKind::kQuadTree:
+        for (const auto& e : entries) quadtree.Insert(e);
+        break;
+      case IndexKind::kGrid:
+        for (const auto& e : entries) grid.Insert(e);
+        break;
+    }
+  }
+
+  std::set<uint64_t> Query(const geo::Mbr& box) {
+    std::set<uint64_t> out;
+    auto collect = [&](const SpatialEntry& e) { out.insert(e.id); };
+    switch (kind) {
+      case IndexKind::kRTree:
+        rtree.Query(box, collect);
+        break;
+      case IndexKind::kQuadTree:
+        quadtree.Query(box, collect);
+        break;
+      case IndexKind::kGrid:
+        grid.Query(box, collect);
+        break;
+    }
+    return out;
+  }
+
+  std::vector<SpatialEntry> Knn(const geo::Point& q, int k) {
+    switch (kind) {
+      case IndexKind::kRTree:
+        return rtree.Knn(q, k);
+      case IndexKind::kQuadTree:
+        return quadtree.Knn(q, k);
+      case IndexKind::kGrid:
+        return grid.Knn(q, k);
+    }
+    return {};
+  }
+
+  size_t MemoryBytes() {
+    switch (kind) {
+      case IndexKind::kRTree:
+        return rtree.MemoryBytes();
+      case IndexKind::kQuadTree:
+        return quadtree.MemoryBytes();
+      case IndexKind::kGrid:
+        return grid.MemoryBytes();
+    }
+    return 0;
+  }
+};
+
+class SpatialIndexTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(SpatialIndexTest, BoxQueryMatchesBruteForce) {
+  auto entries = RandomPoints(2000, 1);
+  IndexAdapter index(GetParam());
+  index.Load(entries);
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    double lng = rng.Uniform(116.0, 116.9);
+    double lat = rng.Uniform(39.0, 39.9);
+    geo::Mbr query = geo::Mbr::Of(lng, lat, lng + rng.Uniform(0.01, 0.3),
+                                  lat + rng.Uniform(0.01, 0.3));
+    EXPECT_EQ(index.Query(query), BruteForceQuery(entries, query));
+  }
+}
+
+TEST_P(SpatialIndexTest, KnnMatchesBruteForceDistances) {
+  auto entries = RandomPoints(1000, 3);
+  IndexAdapter index(GetParam());
+  index.Load(entries);
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    geo::Point q{rng.Uniform(116.0, 117.0), rng.Uniform(39.0, 40.0)};
+    int k = 1 + static_cast<int>(rng.Uniform(20));
+    auto got = index.Knn(q, k);
+    auto expected = BruteForceKnn(entries, q, k);
+    ASSERT_EQ(got.size(), expected.size());
+    // Compare distances (ids may differ on ties).
+    for (size_t i = 0; i < got.size(); ++i) {
+      double got_d = got[i].box.MinDistance(q);
+      geo::Mbr ebox;
+      for (const auto& e : entries) {
+        if (e.id == expected[i]) ebox = e.box;
+      }
+      EXPECT_NEAR(got_d, ebox.MinDistance(q), 1e-12);
+    }
+  }
+}
+
+TEST_P(SpatialIndexTest, EmptyIndexBehaves) {
+  IndexAdapter index(GetParam());
+  index.Load({});
+  EXPECT_TRUE(index.Query(geo::Mbr::Of(116, 39, 117, 40)).empty());
+  EXPECT_TRUE(index.Knn(geo::Point{116.5, 39.5}, 5).empty());
+}
+
+TEST_P(SpatialIndexTest, ReportsMemory) {
+  IndexAdapter index(GetParam());
+  index.Load(RandomPoints(5000, 5));
+  EXPECT_GT(index.MemoryBytes(), 5000u * sizeof(SpatialEntry) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, SpatialIndexTest,
+                         ::testing::Values(IndexKind::kRTree,
+                                           IndexKind::kQuadTree,
+                                           IndexKind::kGrid),
+                         [](const ::testing::TestParamInfo<IndexKind>& info) {
+                           switch (info.param) {
+                             case IndexKind::kRTree:
+                               return "RTree";
+                             case IndexKind::kQuadTree:
+                               return "QuadTree";
+                             case IndexKind::kGrid:
+                               return "Grid";
+                           }
+                           return "?";
+                         });
+
+TEST(RTreeTest, HandlesExtentObjects) {
+  Rng rng(6);
+  std::vector<SpatialEntry> entries;
+  for (int i = 0; i < 500; ++i) {
+    double lng = rng.Uniform(116.0, 116.9);
+    double lat = rng.Uniform(39.0, 39.9);
+    entries.push_back(
+        SpatialEntry{geo::Mbr::Of(lng, lat, lng + rng.Uniform(0.0, 0.1),
+                                  lat + rng.Uniform(0.0, 0.1)),
+                     static_cast<uint64_t>(i)});
+  }
+  StrRTree tree;
+  tree.BulkLoad(entries);
+  geo::Mbr query = geo::Mbr::Of(116.4, 39.4, 116.5, 39.5);
+  std::set<uint64_t> got;
+  tree.Query(query, [&](const SpatialEntry& e) { got.insert(e.id); });
+  EXPECT_EQ(got, BruteForceQuery(entries, query));
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  StrRTree tree(16);
+  tree.BulkLoad(RandomPoints(10000, 7));
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 5);
+}
+
+TEST(QuadTreeTest, SplitsUnderLoad) {
+  QuadTree tree(geo::Mbr::Of(116.0, 39.0, 117.0, 40.0), 8, 12);
+  auto entries = RandomPoints(1000, 8);
+  for (const auto& e : entries) tree.Insert(e);
+  EXPECT_EQ(tree.size(), 1000u);
+  geo::Mbr query = geo::Mbr::Of(116.2, 39.2, 116.4, 39.4);
+  std::set<uint64_t> got;
+  tree.Query(query, [&](const SpatialEntry& e) { got.insert(e.id); });
+  EXPECT_EQ(got, BruteForceQuery(entries, query));
+}
+
+TEST(GridIndexTest, DeduplicatesSpanningEntries) {
+  GridIndex grid(geo::Mbr::Of(116.0, 39.0, 117.0, 40.0), 16);
+  // An entry spanning many cells must be reported once.
+  grid.Insert(SpatialEntry{geo::Mbr::Of(116.1, 39.1, 116.9, 39.9), 1});
+  int count = 0;
+  grid.Query(geo::Mbr::Of(116.0, 39.0, 117.0, 40.0),
+             [&](const SpatialEntry&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace just::spatial

@@ -1,0 +1,235 @@
+// Edge cases and failure-path tests for the SQL layer: analyzer rejections,
+// type errors, odd-but-legal syntax, optimizer safety (no pushdown through
+// computed columns), and function misuse.
+
+#include <gtest/gtest.h>
+
+#include "sql/analyzer.h"
+#include "sql/executor.h"
+#include "sql/justql.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace just::sql {
+namespace {
+
+using just::testing::TempDir;
+
+class SqlEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("sql_edge");
+    core::EngineOptions options;
+    options.data_dir = dir_->path();
+    options.num_servers = 1;
+    options.num_shards = 2;
+    auto engine = core::JustEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).value();
+    ql_ = std::make_unique<JustQL>(engine_.get());
+    ASSERT_TRUE(ql_->Execute("u",
+                             "CREATE TABLE t (fid string:primary key, "
+                             "n integer, time date, geom point)")
+                    .ok());
+    ASSERT_TRUE(ql_->Execute("u",
+                             "INSERT INTO t VALUES "
+                             "('a', 1, '2018-10-01 00:00:00', "
+                             "st_makePoint(116.4, 39.9)), "
+                             "('b', 2, '2018-10-02 00:00:00', "
+                             "st_makePoint(116.5, 39.8))")
+                    .ok());
+  }
+
+  Result<QueryResult> Run(const std::string& sql) {
+    return ql_->Execute("u", sql);
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<core::JustEngine> engine_;
+  std::unique_ptr<JustQL> ql_;
+};
+
+// --- analyzer rejections ---
+
+TEST_F(SqlEdgeTest, UnknownColumnRejectedEverywhere) {
+  EXPECT_FALSE(Run("SELECT ghost FROM t").ok());
+  EXPECT_FALSE(Run("SELECT fid FROM t WHERE ghost = 1").ok());
+  EXPECT_FALSE(Run("SELECT fid FROM t ORDER BY ghost").ok());
+  EXPECT_FALSE(Run("SELECT ghost, count(*) c FROM t GROUP BY ghost").ok());
+}
+
+TEST_F(SqlEdgeTest, UnknownTableAndFunction) {
+  EXPECT_TRUE(Run("SELECT * FROM nope").status().IsNotFound());
+  EXPECT_FALSE(Run("SELECT st_imaginary(fid) FROM t").ok());
+}
+
+TEST_F(SqlEdgeTest, NonBooleanWhereRejected) {
+  EXPECT_FALSE(Run("SELECT fid FROM t WHERE n + 1").ok());
+}
+
+TEST_F(SqlEdgeTest, NonGroupedColumnRejected) {
+  EXPECT_FALSE(Run("SELECT fid, count(*) c FROM t GROUP BY n").ok());
+}
+
+TEST_F(SqlEdgeTest, TableFunctionMustBeAlone) {
+  ASSERT_TRUE(Run("CREATE TABLE traj AS trajectory").ok());
+  EXPECT_FALSE(Run("SELECT st_trajNoiseFilter(item), tid FROM traj").ok());
+}
+
+// --- odd but legal ---
+
+TEST_F(SqlEdgeTest, KeywordsAndColumnsAreCaseInsensitive) {
+  // Table names stay case-sensitive (they are namespace entries, as in
+  // HBase); keywords and column references are not.
+  auto r = Run("select FID from t where N = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 1u);
+  EXPECT_TRUE(Run("select fid from T").status().IsNotFound());
+}
+
+TEST_F(SqlEdgeTest, TrailingSemicolonAndComments) {
+  auto r = Run("SELECT fid FROM t -- trailing comment\n;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 2u);
+}
+
+TEST_F(SqlEdgeTest, LimitZeroAndHugeLimit) {
+  EXPECT_EQ(Run("SELECT fid FROM t LIMIT 0")->frame.num_rows(), 0u);
+  EXPECT_EQ(Run("SELECT fid FROM t LIMIT 9999")->frame.num_rows(), 2u);
+}
+
+TEST_F(SqlEdgeTest, ArithmeticPrecedence) {
+  auto r = Run("SELECT fid FROM t WHERE n = 8 - 3 * 2 - 1");  // n = 1
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->frame.num_rows(), 1u);
+  EXPECT_EQ(r->frame.rows()[0][0].string_value(), "a");
+  auto r2 = Run("SELECT fid FROM t WHERE n = (8 - 3) * (2 - 1) - 3");  // 2
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->frame.rows()[0][0].string_value(), "b");
+}
+
+TEST_F(SqlEdgeTest, UnaryMinus) {
+  auto r = Run("SELECT fid FROM t WHERE n = -1 + 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 1u);
+}
+
+TEST_F(SqlEdgeTest, BetweenOnStringsAndDates) {
+  auto r = Run("SELECT fid FROM t WHERE fid BETWEEN 'a' AND 'a'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->frame.num_rows(), 1u);
+  auto r2 = Run(
+      "SELECT fid FROM t WHERE time BETWEEN '2018-10-01' AND "
+      "'2018-10-01 23:59:59'");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->frame.num_rows(), 1u);
+}
+
+TEST_F(SqlEdgeTest, DivisionByZeroIsAnError) {
+  EXPECT_FALSE(Run("SELECT fid FROM t WHERE n = 1 / 0").ok());
+}
+
+TEST_F(SqlEdgeTest, EmptyTableQueries) {
+  ASSERT_TRUE(Run("CREATE TABLE empty (fid string:primary key, time date, "
+                  "geom point)")
+                  .ok());
+  EXPECT_EQ(Run("SELECT * FROM empty")->frame.num_rows(), 0u);
+  EXPECT_EQ(Run("SELECT count(*) c FROM empty")->frame.rows()[0][0]
+                .int_value(),
+            0);
+  auto knn = Run(
+      "SELECT fid FROM empty WHERE geom IN "
+      "st_KNN(st_makePoint(116.4, 39.9), 5)");
+  ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+  EXPECT_EQ(knn->frame.num_rows(), 0u);
+}
+
+TEST_F(SqlEdgeTest, KnnWithMoreKThanRows) {
+  auto r = Run(
+      "SELECT fid FROM t WHERE geom IN st_KNN(st_makePoint(116.4, 39.9), "
+      "100)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 2u);  // all rows, gracefully
+}
+
+TEST_F(SqlEdgeTest, SelectLiteralOnly) {
+  auto r = Run("SELECT 1 + 1 AS two FROM t LIMIT 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.rows()[0][0].int_value(), 2);
+}
+
+// --- optimizer safety ---
+
+TEST_F(SqlEdgeTest, NoPushdownThroughComputedColumns) {
+  // The filter references a computed alias: pushing it below the project
+  // would break; the optimizer must keep it above, and the query must
+  // still be correct.
+  auto r = Run(
+      "SELECT fid FROM (SELECT fid, n * 10 AS big FROM t) x "
+      "WHERE big = 20");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->frame.num_rows(), 1u);
+  EXPECT_EQ(r->frame.rows()[0][0].string_value(), "b");
+}
+
+TEST_F(SqlEdgeTest, AliasRenamePushdownStillCorrect) {
+  auto r = Run(
+      "SELECT renamed FROM (SELECT fid AS renamed, geom FROM t) x "
+      "WHERE geom WITHIN st_makeMBR(116.0, 39.0, 116.45, 40.0)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->frame.num_rows(), 1u);
+  EXPECT_EQ(r->frame.rows()[0][0].string_value(), "a");
+}
+
+TEST_F(SqlEdgeTest, DoubleNestedSubqueries) {
+  auto r = Run(
+      "SELECT fid FROM (SELECT * FROM (SELECT * FROM t) a) b WHERE n = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 1u);
+}
+
+TEST_F(SqlEdgeTest, OrPredicateNotPushedAsIndexQuery) {
+  // OR between spatial and attribute predicates cannot use the index alone;
+  // results must still be exact.
+  auto r = Run(
+      "SELECT fid FROM t WHERE geom WITHIN "
+      "st_makeMBR(116.45, 39.75, 116.55, 39.85) OR n = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 2u);  // 'b' spatially, 'a' by n
+}
+
+// --- DDL edges ---
+
+TEST_F(SqlEdgeTest, BadUserdataRejected) {
+  EXPECT_FALSE(Run("CREATE TABLE bad (fid string:primary key, time date, "
+                   "geom point) USERDATA {'geomesa.indices.enabled':'rtree'}")
+                   .ok());
+  EXPECT_FALSE(Run("CREATE TABLE bad2 (fid string:primary key, time date, "
+                   "geom point) USERDATA {'just.period':'fortnight'}")
+                   .ok());
+}
+
+TEST_F(SqlEdgeTest, InsertWidthMismatch) {
+  EXPECT_FALSE(Run("INSERT INTO t VALUES ('only-one-value')").ok());
+}
+
+TEST_F(SqlEdgeTest, InsertTypeCoercionDateString) {
+  ASSERT_TRUE(Run("INSERT INTO t VALUES ('c', 3, '2018-10-03', "
+                  "st_makePoint(116.6, 39.7))")
+                  .ok());
+  auto r = Run("SELECT time FROM t WHERE fid = 'c'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->frame.num_rows(), 1u);
+  EXPECT_EQ(r->frame.rows()[0][0].type(), exec::DataType::kTimestamp);
+}
+
+TEST_F(SqlEdgeTest, LoadUnsupportedSourceExplains) {
+  Status st =
+      Run("LOAD hive:db.tbl TO geomesa:t CONFIG {'fid': 'x'}").status();
+  EXPECT_EQ(st.code(), StatusCode::kNotSupported);
+  EXPECT_NE(st.message().find("csv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace just::sql

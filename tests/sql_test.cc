@@ -1,0 +1,623 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sql/analyzer.h"
+#include "sql/executor.h"
+#include "sql/expr_eval.h"
+#include "sql/functions.h"
+#include "sql/justql.h"
+#include "sql/lexer.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace just::sql {
+namespace {
+
+using just::testing::TempDir;
+
+// --- lexer ---
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT fid, geom FROM t WHERE fid = 52*9");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].value, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].value, "fid");
+  EXPECT_TRUE(tokens->back().type == TokenType::kEnd);
+}
+
+TEST(LexerTest, CapturesJsonBlob) {
+  auto tokens =
+      Tokenize("USERDATA {'geomesa.indices.enabled':'z3', 'n': {'x': 1}}");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ((*tokens)[1].type, TokenType::kJson);
+  EXPECT_EQ((*tokens)[1].value.front(), '{');
+  EXPECT_EQ((*tokens)[1].value.back(), '}');
+  EXPECT_NE((*tokens)[1].value.find("geomesa"), std::string::npos);
+}
+
+TEST(LexerTest, StringsAndComments) {
+  auto tokens = Tokenize("SELECT 'a''s' -- comment\n, \"b\" FROM t");
+  ASSERT_TRUE(tokens.ok());
+  // 'a' then 's' as separate strings is fine; just check no comment token.
+  for (const auto& t : *tokens) {
+    EXPECT_EQ(t.value.find("comment"), std::string::npos);
+  }
+}
+
+TEST(LexerTest, RejectsUnterminated) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+  EXPECT_FALSE(Tokenize("USERDATA {'a': 1").ok());
+  EXPECT_FALSE(Tokenize("SELECT #").ok());
+}
+
+// --- parser: the paper's statements verbatim ---
+
+TEST(ParserTest, PaperCreateCommonTable) {
+  auto stmt = ParseStatement(R"(
+      CREATE TABLE tra (
+        fid integer:primary key,
+        name string,
+        time date,
+        geom point:srid=4326,
+        gpsList st_series:compress=gzip|zip
+      ) USERDATA {'geomesa.indices.enabled':'z3'})");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateTable);
+  const auto& create = *stmt->create_table;
+  EXPECT_EQ(create.name, "tra");
+  ASSERT_EQ(create.columns.size(), 5u);
+  EXPECT_TRUE(create.columns[0].primary_key);
+  EXPECT_EQ(create.columns[3].srid, "4326");
+  EXPECT_EQ(create.columns[4].compress, "gzip");
+  EXPECT_NE(create.userdata_json.find("z3"), std::string::npos);
+}
+
+TEST(ParserTest, PaperCreatePluginTable) {
+  auto stmt = ParseStatement("CREATE TABLE mytraj AS trajectory");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->create_table->plugin, "trajectory");
+}
+
+TEST(ParserTest, PaperSpatialRangeQuery) {
+  auto stmt = ParseStatement(
+      "SELECT fid, name, time, geom FROM tbl WHERE geom WITHIN "
+      "st_makeMBR(116.0, 39.0, 117.0, 40.0)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = *stmt->select;
+  EXPECT_EQ(select.items.size(), 4u);
+  ASSERT_NE(select.where, nullptr);
+  EXPECT_EQ(select.where->op, BinaryOp::kWithin);
+}
+
+TEST(ParserTest, PaperStRangeQuery) {
+  auto stmt = ParseStatement(
+      "SELECT fid FROM tbl WHERE geom WITHIN st_makeMBR(1,2,3,4) AND "
+      "time BETWEEN '2018-10-01' AND '2018-10-02'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select->where->op, BinaryOp::kAnd);
+  EXPECT_EQ(stmt->select->where->args[1]->op, BinaryOp::kBetween);
+}
+
+TEST(ParserTest, PaperKnnQuery) {
+  auto stmt = ParseStatement(
+      "SELECT fid, name, time, geom FROM tbl WHERE geom IN "
+      "st_KNN(st_makePoint(116.4, 39.9), 50)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select->where->op, BinaryOp::kIn);
+  EXPECT_EQ(stmt->select->where->args[1]->call_name, "st_knn");
+}
+
+TEST(ParserTest, PaperSection6Query) {
+  auto stmt = ParseStatement(R"(
+      SELECT name, geom
+      FROM (SELECT * FROM tbl) t
+      WHERE fid=52*9 AND geom WITHIN st_makeMBR(1, 2, 3, 4)
+      ORDER BY time)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = *stmt->select;
+  ASSERT_NE(select.subquery, nullptr);
+  EXPECT_EQ(select.subquery_alias, "t");
+  EXPECT_EQ(select.order_by.size(), 1u);
+  EXPECT_EQ(select.order_by[0].column, "time");
+}
+
+TEST(ParserTest, PaperLoadStatement) {
+  auto stmt = ParseStatement(R"(
+      LOAD hive:mydb.mytable TO geomesa:tra
+      CONFIG {'fid': 'trajId', 'time': 'long_to_date_ms(timestamp)',
+              'geom': 'lng_lat_to_point(lng, lat)'}
+      FILTER 'trajId="1068" limit 10')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->load->source_kind, "hive");
+  EXPECT_EQ(stmt->load->source_path, "mydb.mytable");
+  EXPECT_EQ(stmt->load->target_table, "tra");
+  EXPECT_NE(stmt->load->config_json.find("trajId"), std::string::npos);
+  EXPECT_NE(stmt->load->filter.find("limit 10"), std::string::npos);
+}
+
+TEST(ParserTest, PaperViewStatements) {
+  auto create = ParseStatement("CREATE VIEW v1 AS SELECT fid FROM t");
+  ASSERT_TRUE(create.ok());
+  EXPECT_EQ(create->create_view->name, "v1");
+  auto store = ParseStatement("STORE VIEW v1 TO TABLE t2");
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->store_view->view, "v1");
+  EXPECT_EQ(store->store_view->table, "t2");
+  auto drop = ParseStatement("DROP VIEW v1");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_TRUE(drop->drop->is_view);
+  auto show = ParseStatement("SHOW VIEWS");
+  ASSERT_TRUE(show.ok());
+  EXPECT_TRUE(show->show->views);
+  auto desc = ParseStatement("DESC TABLE t");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_FALSE(desc->desc->is_view);
+}
+
+TEST(ParserTest, PaperAnalysisOperations) {
+  auto t1 = ParseStatement("SELECT st_WGS84ToGCJ02(lng, lat) FROM v");
+  ASSERT_TRUE(t1.ok());
+  auto t2 = ParseStatement("SELECT st_trajNoiseFilter(item) FROM v");
+  ASSERT_TRUE(t2.ok());
+  auto t3 = ParseStatement("SELECT st_DBSCAN(geom, 5, 0.001) FROM v");
+  ASSERT_TRUE(t3.ok());
+}
+
+TEST(ParserTest, GroupByOrderLimit) {
+  auto stmt = ParseStatement(
+      "SELECT name, count(*) AS cnt FROM t GROUP BY name "
+      "ORDER BY cnt DESC LIMIT 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select->group_by.size(), 1u);
+  EXPECT_FALSE(stmt->select->order_by[0].ascending);
+  EXPECT_EQ(stmt->select->limit, 5);
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = ParseStatement(
+      "INSERT INTO t VALUES ('a', '2018-10-01 00:00:00', "
+      "st_makePoint(116.4, 39.9)), ('b', '2018-10-02 00:00:00', "
+      "st_makePoint(116.5, 39.8))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->insert->rows.size(), 2u);
+  EXPECT_EQ(stmt->insert->rows[0].size(), 3u);
+}
+
+TEST(ParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseStatement("SELEC fid FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t extra garbage").ok());
+}
+
+// --- expression evaluation ---
+
+TEST(ExprEvalTest, ArithmeticAndComparison) {
+  exec::Schema schema({{"x", exec::DataType::kInt}});
+  exec::Row row = {exec::Value::Int(10)};
+  auto parse_where = [](const std::string& cond) {
+    auto stmt = ParseStatement("SELECT a FROM t WHERE " + cond);
+    return std::move(stmt.value().select->where);
+  };
+  auto eval = [&](const std::string& cond) {
+    auto expr = parse_where(cond);
+    auto v = EvaluateExpr(*expr, schema, row);
+    return v.ok() && v->bool_value();
+  };
+  EXPECT_TRUE(eval("x = 10"));
+  EXPECT_TRUE(eval("x + 5 = 15"));
+  EXPECT_TRUE(eval("x * 2 > 19"));
+  EXPECT_TRUE(eval("x BETWEEN 5 AND 15"));
+  EXPECT_FALSE(eval("x BETWEEN 11 AND 15"));
+  EXPECT_TRUE(eval("x = 10 AND x < 11"));
+  EXPECT_TRUE(eval("x = 9 OR x = 10"));
+  EXPECT_TRUE(eval("x / 2 = 5"));
+  EXPECT_FALSE(eval("x != 10"));
+}
+
+TEST(ExprEvalTest, ConstantFoldingDetection) {
+  auto stmt = ParseStatement(
+      "SELECT a FROM t WHERE fid = 52*9 AND geom WITHIN "
+      "st_makeMBR(1, 2, 3, 4)");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& where = *stmt->select->where;
+  EXPECT_FALSE(IsConstantExpr(where));                   // references fid
+  EXPECT_TRUE(IsConstantExpr(*where.args[0]->args[1]));  // 52*9
+  EXPECT_TRUE(IsConstantExpr(*where.args[1]->args[1]));  // st_makeMBR(...)
+  auto folded = EvaluateConstant(*where.args[0]->args[1]);
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(folded->int_value(), 468);
+}
+
+TEST(ExprEvalTest, ScalarFunctions) {
+  auto eval_const = [](const std::string& call) {
+    auto stmt = ParseStatement("SELECT a FROM t WHERE x = " + call);
+    return EvaluateConstant(*stmt.value().select->where->args[1]);
+  };
+  auto mbr = eval_const("st_makeMBR(116, 39, 117, 40)");
+  ASSERT_TRUE(mbr.ok());
+  EXPECT_EQ(mbr->type(), exec::DataType::kGeometry);
+  auto dist = eval_const(
+      "st_distance(st_makePoint(0, 0), st_makePoint(3, 4))");
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->double_value(), 5.0, 1e-9);
+  auto within = eval_const(
+      "st_within(st_makePoint(116.5, 39.5), st_makeMBR(116, 39, 117, 40))");
+  ASSERT_TRUE(within.ok());
+  EXPECT_TRUE(within->bool_value());
+  auto gcj = eval_const("st_WGS84ToGCJ02(116.4, 39.9)");
+  ASSERT_TRUE(gcj.ok());
+  EXPECT_NE(gcj->geometry_value().AsPoint().lng, 116.4);
+  auto text = eval_const("st_asText(st_makePoint(1, 2))");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->string_value(), "POINT (1.000000 2.000000)");
+}
+
+// --- full stack: engine + JustQL ---
+
+class JustQLTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("justql");
+    core::EngineOptions options;
+    options.data_dir = dir_->path();
+    options.num_servers = 2;
+    options.num_shards = 4;
+    auto engine = core::JustEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::move(engine).value();
+    ql_ = std::make_unique<JustQL>(engine_.get());
+  }
+
+  Result<QueryResult> Run(const std::string& sql) {
+    return ql_->Execute("tester", sql);
+  }
+
+  void MustRun(const std::string& sql) {
+    auto r = Run(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+
+  void LoadOrders(int n) {
+    MustRun(
+        "CREATE TABLE orders (fid string:primary key, time date, "
+        "geom point:srid=4326)");
+    workload::OrderOptions opts;
+    opts.num_orders = n;
+    for (const auto& order : workload::GenerateOrders(opts)) {
+      exec::Row row = {
+          exec::Value::String(order.fid), exec::Value::Timestamp(order.time),
+          exec::Value::GeometryVal(geo::Geometry::MakePoint(order.point))};
+      ASSERT_TRUE(engine_->Insert("tester", "orders", row).ok());
+    }
+    ASSERT_TRUE(engine_->Finalize().ok());
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<core::JustEngine> engine_;
+  std::unique_ptr<JustQL> ql_;
+};
+
+TEST_F(JustQLTest, DdlRoundTrip) {
+  MustRun(
+      "CREATE TABLE t1 (fid string:primary key, time date, "
+      "geom point:srid=4326)");
+  MustRun("CREATE TABLE mytraj AS trajectory");
+  auto show = Run("SHOW TABLES");
+  ASSERT_TRUE(show.ok());
+  EXPECT_EQ(show->frame.num_rows(), 2u);
+  auto desc = Run("DESC TABLE t1");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->frame.num_rows(), 3u);
+  MustRun("DROP TABLE t1");
+  show = Run("SHOW TABLES");
+  EXPECT_EQ(show->frame.num_rows(), 1u);
+  EXPECT_FALSE(Run("DROP TABLE t1").ok());  // already gone
+  EXPECT_FALSE(Run("CREATE TABLE mytraj AS trajectory").ok());  // duplicate
+}
+
+TEST_F(JustQLTest, UserdataSelectsIndexes) {
+  MustRun(
+      "CREATE TABLE z3only (fid string:primary key, time date, "
+      "geom point) USERDATA {'geomesa.indices.enabled':'z3'}");
+  auto meta = engine_->DescribeTable("tester", "z3only");
+  ASSERT_TRUE(meta.ok());
+  ASSERT_EQ(meta->indexes.size(), 1u);
+  EXPECT_EQ(meta->indexes[0].type, curve::IndexType::kZ3);
+  MustRun(
+      "CREATE TABLE yearly (fid string:primary key, time date, geom point) "
+      "USERDATA {'geomesa.indices.enabled':'z3', 'just.period':'year'}");
+  meta = engine_->DescribeTable("tester", "yearly");
+  EXPECT_EQ(meta->indexes[0].period_len_ms, kMillisPerYear);
+}
+
+TEST_F(JustQLTest, InsertAndSelectWhere) {
+  MustRun(
+      "CREATE TABLE pts (fid string:primary key, time date, geom point)");
+  MustRun(
+      "INSERT INTO pts VALUES "
+      "('a', '2018-10-01 10:00:00', st_makePoint(116.40, 39.90)), "
+      "('b', '2018-10-02 11:00:00', st_makePoint(116.50, 39.95)), "
+      "('c', '2018-10-03 12:00:00', st_makePoint(120.00, 30.00))");
+  auto r = Run(
+      "SELECT fid FROM pts WHERE geom WITHIN "
+      "st_makeMBR(116.0, 39.0, 117.0, 40.0) ORDER BY fid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->frame.num_rows(), 2u);
+  EXPECT_EQ(r->frame.rows()[0][0].string_value(), "a");
+  EXPECT_EQ(r->frame.rows()[1][0].string_value(), "b");
+}
+
+TEST_F(JustQLTest, SpatioTemporalRangeViaSql) {
+  MustRun(
+      "CREATE TABLE pts (fid string:primary key, time date, geom point)");
+  MustRun(
+      "INSERT INTO pts VALUES "
+      "('early', '2018-10-01 01:00:00', st_makePoint(116.40, 39.90)), "
+      "('late', '2018-10-20 01:00:00', st_makePoint(116.40, 39.90))");
+  auto r = Run(
+      "SELECT fid FROM pts WHERE geom WITHIN "
+      "st_makeMBR(116.0, 39.0, 117.0, 40.0) AND "
+      "time BETWEEN '2018-10-01' AND '2018-10-02'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->frame.num_rows(), 1u);
+  EXPECT_EQ(r->frame.rows()[0][0].string_value(), "early");
+}
+
+TEST_F(JustQLTest, KnnViaSql) {
+  LoadOrders(500);
+  auto r = Run(
+      "SELECT fid, geom FROM orders WHERE geom IN "
+      "st_KNN(st_makePoint(116.4, 39.9), 7)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 7u);
+}
+
+TEST_F(JustQLTest, AggregatesAndGroupBy) {
+  MustRun(
+      "CREATE TABLE pts (fid string:primary key, city string, time date, "
+      "geom point)");
+  MustRun(
+      "INSERT INTO pts VALUES "
+      "('a', 'bj', '2018-10-01 10:00:00', st_makePoint(116.4, 39.9)), "
+      "('b', 'bj', '2018-10-01 11:00:00', st_makePoint(116.5, 39.8)), "
+      "('c', 'sh', '2018-10-01 12:00:00', st_makePoint(121.4, 31.2))");
+  auto r = Run(
+      "SELECT city, count(*) AS cnt FROM pts GROUP BY city ORDER BY cnt "
+      "DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->frame.num_rows(), 2u);
+  EXPECT_EQ(r->frame.rows()[0][0].string_value(), "bj");
+  EXPECT_EQ(r->frame.rows()[0][1].int_value(), 2);
+}
+
+TEST_F(JustQLTest, ViewsAndStoreView) {
+  LoadOrders(300);
+  MustRun(
+      "CREATE VIEW nearby AS SELECT fid, time, geom FROM orders WHERE geom "
+      "WITHIN st_makeMBR(116.2, 39.8, 116.6, 40.0)");
+  auto show = Run("SHOW VIEWS");
+  ASSERT_TRUE(show.ok());
+  EXPECT_EQ(show->frame.num_rows(), 1u);
+  auto from_view = Run("SELECT count(*) AS n FROM nearby");
+  ASSERT_TRUE(from_view.ok());
+  int64_t view_count = from_view->frame.rows()[0][0].int_value();
+  EXPECT_GT(view_count, 0);
+  // "One query, multiple usages": store the view into a new table.
+  MustRun("STORE VIEW nearby TO TABLE nearby_tbl");
+  auto stored = Run("SELECT count(*) AS n FROM nearby_tbl");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->frame.rows()[0][0].int_value(), view_count);
+  MustRun("DROP VIEW nearby");
+  EXPECT_FALSE(Run("SELECT * FROM nearby").ok());
+}
+
+TEST_F(JustQLTest, SubqueryAndProjectionPruning) {
+  LoadOrders(200);
+  auto r = Run(
+      "SELECT fid FROM (SELECT * FROM orders) t WHERE geom WITHIN "
+      "st_makeMBR(116.0, 39.0, 117.0, 41.0) LIMIT 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LE(r->frame.num_rows(), 10u);
+  EXPECT_EQ(r->frame.schema().num_fields(), 1u);
+}
+
+TEST_F(JustQLTest, JoinOnViews) {
+  MustRun(
+      "CREATE TABLE pts (fid string:primary key, city string, time date, "
+      "geom point)");
+  MustRun(
+      "INSERT INTO pts VALUES "
+      "('a', 'bj', '2018-10-01 10:00:00', st_makePoint(116.4, 39.9)), "
+      "('b', 'sh', '2018-10-01 11:00:00', st_makePoint(121.4, 31.2))");
+  MustRun("CREATE VIEW left_v AS SELECT fid, city FROM pts");
+  MustRun("CREATE VIEW right_v AS SELECT city, count(*) AS cnt FROM pts "
+          "GROUP BY city");
+  auto r = Run(
+      "SELECT fid, cnt FROM left_v JOIN right_v ON city = city");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 2u);
+}
+
+TEST_F(JustQLTest, CoordinateTransform1to1) {
+  MustRun(
+      "CREATE TABLE pts (fid string:primary key, time date, geom point)");
+  MustRun(
+      "INSERT INTO pts VALUES ('a', '2018-10-01 10:00:00', "
+      "st_makePoint(116.4, 39.9))");
+  auto r = Run("SELECT st_WGS84ToGCJ02(geom) AS gcj FROM pts");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->frame.num_rows(), 1u);
+  geo::Point p = r->frame.rows()[0][0].geometry_value().AsPoint();
+  EXPECT_NE(p.lng, 116.4);  // offset applied
+  EXPECT_NEAR(p.lng, 116.4, 0.01);
+}
+
+TEST_F(JustQLTest, TrajectoryAnalysis1toN) {
+  MustRun("CREATE TABLE mytraj AS trajectory");
+  workload::TrajOptions opts;
+  opts.num_trajectories = 5;
+  opts.points_per_traj = 50;
+  for (const auto& t : workload::GenerateTrajectories(opts)) {
+    exec::Row row = {
+        exec::Value::String(t.oid()), exec::Value::String("c_" + t.oid()),
+        exec::Value::Timestamp(t.start_time()),
+        exec::Value::Timestamp(t.end_time()),
+        exec::Value::TrajectoryVal(
+            std::make_shared<const traj::Trajectory>(t))};
+    ASSERT_TRUE(engine_->Insert("tester", "mytraj", row).ok());
+  }
+  auto r = Run("SELECT st_trajNoiseFilter(item) FROM mytraj");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 5u);
+  EXPECT_GE(r->frame.schema().IndexOf("item"), 0);
+  auto seg = Run("SELECT st_trajSegmentation(item) FROM mytraj");
+  ASSERT_TRUE(seg.ok());
+  EXPECT_GE(seg->frame.num_rows(), 5u);
+}
+
+TEST_F(JustQLTest, DbscanNtoM) {
+  LoadOrders(400);
+  auto r = Run("SELECT st_DBSCAN(geom, 5, 0.002) FROM orders");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->frame.num_rows(), 400u);
+  // At least one cluster should emerge from hotspot data.
+  int64_t max_label = -1;
+  for (const auto& row : r->frame.rows()) {
+    max_label = std::max(max_label, row[0].int_value());
+  }
+  EXPECT_GE(max_label, 0);
+}
+
+TEST_F(JustQLTest, LoadCsvStatement) {
+  MustRun(
+      "CREATE TABLE pts (fid string:primary key, time date, geom point)");
+  std::string csv = dir_->path() + "/in.csv";
+  std::FILE* f = std::fopen(csv.c_str(), "wb");
+  std::fputs("id,ts,lng,lat\nx1,1538352000000,116.4,39.9\n"
+             "x2,1538352060000,116.5,39.8\n",
+             f);
+  std::fclose(f);
+  auto r = Run("LOAD csv:'" + csv +
+               "' TO geomesa:pts CONFIG {'fid': 'id', "
+               "'time': 'long_to_date_ms(ts)', "
+               "'geom': 'lng_lat_to_point(lng, lat)'}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto count = Run("SELECT count(*) AS n FROM pts");
+  EXPECT_EQ(count->frame.rows()[0][0].int_value(), 2);
+}
+
+TEST_F(JustQLTest, MultiUserIsolationViaSql) {
+  MustRun("CREATE TABLE t (fid string:primary key, time date, geom point)");
+  auto other = ql_->Execute("someone_else", "SHOW TABLES");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->frame.num_rows(), 0u);
+  EXPECT_FALSE(ql_->Execute("someone_else", "SELECT * FROM t").ok());
+}
+
+// --- optimizer: the Figure 8 rewrite ---
+
+TEST_F(JustQLTest, Figure8PlanOptimization) {
+  MustRun(
+      "CREATE TABLE tbl (fid integer:primary key, name string, time date, "
+      "geom point:srid=4326)");
+  std::string sql =
+      "SELECT name, geom FROM (SELECT * FROM tbl) t "
+      "WHERE fid=52*9 AND geom WITHIN st_makeMBR(116, 39, 117, 40) "
+      "ORDER BY time";
+  auto explain = ql_->ExplainSelect("tester", sql);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  const std::string& text = *explain;
+
+  // Analyzed plan: constant NOT folded yet.
+  size_t analyzed_pos = text.find("=== Analyzed");
+  size_t optimized_pos = text.find("=== Optimized");
+  ASSERT_NE(analyzed_pos, std::string::npos);
+  ASSERT_NE(optimized_pos, std::string::npos);
+  std::string analyzed = text.substr(analyzed_pos, optimized_pos);
+  std::string optimized = text.substr(optimized_pos);
+
+  // Rule 1: 52*9 folded to 468, st_makeMBR folded to a literal polygon.
+  EXPECT_NE(analyzed.find("52 * 9"), std::string::npos);
+  EXPECT_EQ(optimized.find("52 * 9"), std::string::npos);
+  EXPECT_NE(optimized.find("468"), std::string::npos);
+  EXPECT_EQ(optimized.find("st_makembr"), std::string::npos);
+
+  // Rule 2: in the optimized plan the Filter sits directly above the Scan.
+  size_t filter_pos = optimized.find("Filter");
+  size_t scan_pos = optimized.find("Scan [tbl");
+  ASSERT_NE(filter_pos, std::string::npos);
+  ASSERT_NE(scan_pos, std::string::npos);
+  EXPECT_LT(filter_pos, scan_pos);
+  std::string between = optimized.substr(filter_pos, scan_pos - filter_pos);
+  EXPECT_EQ(between.find("Project"), std::string::npos)
+      << "filter was not pushed below the projection";
+
+  // Rule 3: the scan records only the needed columns (name, geom, fid,
+  // time), i.e. projection pushdown happened.
+  EXPECT_NE(optimized.find("columns:"), std::string::npos);
+  size_t col_pos = optimized.find("columns:");
+  std::string cols = optimized.substr(col_pos, optimized.find(']', col_pos) -
+                                                   col_pos);
+  EXPECT_NE(cols.find("name"), std::string::npos);
+  EXPECT_NE(cols.find("geom"), std::string::npos);
+  EXPECT_NE(cols.find("fid"), std::string::npos);
+  EXPECT_NE(cols.find("time"), std::string::npos);
+
+  // And the optimized query still executes correctly.
+  auto r = Run(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST_F(JustQLTest, OptimizedAndUnoptimizedAgree) {
+  LoadOrders(300);
+  // Compare a query through the full pipeline against a manual filter of a
+  // full scan (semantic equivalence of the optimizer).
+  std::string sql =
+      "SELECT fid FROM (SELECT * FROM orders) t WHERE geom WITHIN "
+      "st_makeMBR(116.2, 39.8, 116.5, 40.0) ORDER BY fid";
+  auto optimized = Run(sql);
+  ASSERT_TRUE(optimized.ok());
+  auto full = Run("SELECT fid, geom FROM orders ORDER BY fid");
+  ASSERT_TRUE(full.ok());
+  geo::Mbr box = geo::Mbr::Of(116.2, 39.8, 116.5, 40.0);
+  std::vector<std::string> expected;
+  for (const auto& row : full->frame.rows()) {
+    if (row[1].geometry_value().Within(box)) {
+      expected.push_back(row[0].string_value());
+    }
+  }
+  ASSERT_EQ(optimized->frame.num_rows(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(optimized->frame.rows()[i][0].string_value(), expected[i]);
+  }
+}
+
+TEST_F(JustQLTest, ScanStatsShowIndexEffectiveness) {
+  LoadOrders(2000);
+  Analyzer analyzer(engine_.get(), "tester");
+  auto stmt = ParseStatement(
+      "SELECT fid FROM orders WHERE geom WITHIN "
+      "st_makeMBR(116.38, 39.88, 116.42, 39.92)");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = analyzer.Analyze(*stmt->select);
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(*plan));
+  ASSERT_TRUE(optimized.ok());
+  Executor executor(engine_.get(), "tester");
+  auto frame = executor.Execute(**optimized);
+  ASSERT_TRUE(frame.ok());
+  // The Z2 index must scan a small fraction of the table.
+  EXPECT_LT(executor.last_scan_stats().rows_scanned, 1000u);
+  EXPECT_GE(executor.last_scan_stats().rows_scanned,
+            executor.last_scan_stats().rows_matched);
+}
+
+}  // namespace
+}  // namespace just::sql

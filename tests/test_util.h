@@ -1,0 +1,35 @@
+#ifndef JUST_TESTS_TEST_UTIL_H_
+#define JUST_TESTS_TEST_UTIL_H_
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace just::testing {
+
+/// Creates a unique scratch directory under /tmp, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<uint64_t> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("just_test_" + tag + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace just::testing
+
+#endif  // JUST_TESTS_TEST_UTIL_H_

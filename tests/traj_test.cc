@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "traj/dbscan.h"
+#include "traj/map_matching.h"
+#include "traj/preprocess.h"
+#include "traj/road_network.h"
+#include "traj/trajectory.h"
+#include "workload/generators.h"
+
+namespace just::traj {
+namespace {
+
+Trajectory MakeWalk(int n, double lng0 = 116.4, double lat0 = 39.9,
+                    int64_t step_ms = 15000) {
+  std::vector<GpsPoint> pts;
+  Rng rng(7);
+  geo::Point p{lng0, lat0};
+  TimestampMs t = ParseTimestamp("2014-03-05 08:00:00").value();
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(GpsPoint{p, t});
+    p.lng += rng.Uniform(-1.0, 1.0) * 1e-4;
+    p.lat += rng.Uniform(-1.0, 1.0) * 1e-4;
+    t += step_ms;
+  }
+  return Trajectory("walk", std::move(pts));
+}
+
+TEST(TrajectoryTest, BoundsAndTimes) {
+  Trajectory t("t1", {{{116.1, 39.1}, 1000}, {{116.3, 39.5}, 5000},
+                      {{116.2, 39.3}, 9000}});
+  geo::Mbr box = t.Bounds();
+  EXPECT_EQ(box.lng_min, 116.1);
+  EXPECT_EQ(box.lat_max, 39.5);
+  EXPECT_EQ(t.start_time(), 1000);
+  EXPECT_EQ(t.end_time(), 9000);
+  EXPECT_GT(t.LengthMeters(), 0);
+}
+
+TEST(TrajectoryTest, RawSerializationRoundTrip) {
+  Trajectory t = MakeWalk(500);
+  auto back = Trajectory::DeserializeRaw("walk", t.SerializeRaw());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);  // raw is lossless
+}
+
+TEST(TrajectoryTest, DeltaSerializationNearLossless) {
+  Trajectory t = MakeWalk(500);
+  auto back = Trajectory::DeserializeDelta("walk", t.SerializeDelta());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    // Quantization error <= 0.5e-6 degrees (~5 cm).
+    EXPECT_NEAR(back->points()[i].position.lng, t.points()[i].position.lng,
+                1e-6);
+    EXPECT_NEAR(back->points()[i].position.lat, t.points()[i].position.lat,
+                1e-6);
+    EXPECT_EQ(back->points()[i].time, t.points()[i].time);
+  }
+}
+
+TEST(TrajectoryTest, DeltaMuchSmallerThanRaw) {
+  Trajectory t = MakeWalk(1000);
+  EXPECT_LT(t.SerializeDelta().size(), t.SerializeRaw().size() / 3);
+}
+
+// The production storage path: delta transform + LZ77 cell vs raw cell.
+// This is the Figure 10b mechanism (136 GB -> ~30 GB).
+TEST(TrajectoryTest, CompressedCellMuchSmallerThanRaw) {
+  Trajectory t = MakeWalk(2000);
+  std::string raw_cell =
+      compress::EncodeCell(*compress::NoneCodec(), t.SerializeRaw());
+  std::string gz_cell =
+      compress::EncodeCell(*compress::Lz77Codec(), t.SerializeDelta());
+  EXPECT_LT(gz_cell.size(), raw_cell.size() / 4);
+}
+
+TEST(TrajectoryTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Trajectory::DeserializeRaw("x", "garbage").ok());
+  std::string truncated = MakeWalk(10).SerializeDelta();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(Trajectory::DeserializeDelta("x", truncated).ok());
+}
+
+TEST(NoiseFilterTest, DropsTeleportingFix) {
+  Trajectory t("t", {{{116.40, 39.90}, 0},
+                     {{116.4001, 39.9001}, 15000},
+                     {{117.5, 40.9}, 30000},  // ~150 km jump in 15 s
+                     {{116.4002, 39.9002}, 45000}});
+  Trajectory filtered = NoiseFilter(t);
+  EXPECT_EQ(filtered.size(), 3u);
+  for (const GpsPoint& p : filtered.points()) {
+    EXPECT_LT(p.position.lng, 117.0);
+  }
+}
+
+TEST(NoiseFilterTest, DropsNonMonotoneTimestamps) {
+  Trajectory t("t", {{{116.40, 39.90}, 10000},
+                     {{116.4001, 39.9001}, 5000},  // goes back in time
+                     {{116.4002, 39.9002}, 20000}});
+  Trajectory filtered = NoiseFilter(t);
+  EXPECT_EQ(filtered.size(), 2u);
+}
+
+TEST(NoiseFilterTest, KeepsCleanTrajectory) {
+  Trajectory t = MakeWalk(200);
+  EXPECT_EQ(NoiseFilter(t).size(), t.size());
+}
+
+TEST(SegmentationTest, SplitsOnTimeGap) {
+  std::vector<GpsPoint> pts;
+  TimestampMs t = 0;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(GpsPoint{{116.4 + i * 1e-4, 39.9}, t});
+    t += 15000;
+  }
+  t += 2 * kMillisPerHour;  // big gap
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(GpsPoint{{116.5 + i * 1e-4, 39.9}, t});
+    t += 15000;
+  }
+  auto segments = Segmentation(Trajectory("t", pts));
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].size(), 10u);
+  EXPECT_EQ(segments[1].size(), 10u);
+  EXPECT_NE(segments[0].oid(), segments[1].oid());
+}
+
+TEST(SegmentationTest, DiscardsShortSegments) {
+  SegmentationOptions opts;
+  opts.min_points = 5;
+  std::vector<GpsPoint> pts;
+  for (int i = 0; i < 3; ++i) {
+    pts.push_back(GpsPoint{{116.4, 39.9}, i * 15000});
+  }
+  auto segments = Segmentation(Trajectory("t", pts), opts);
+  EXPECT_TRUE(segments.empty());
+}
+
+TEST(StayPointTest, FindsDwell) {
+  std::vector<GpsPoint> pts;
+  TimestampMs t = 0;
+  // Moving...
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(GpsPoint{{116.40 + i * 2e-3, 39.9}, t});
+    t += 30000;
+  }
+  // ...then 10 minutes parked at one spot...
+  geo::Point stay{116.45, 39.95};
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(GpsPoint{{stay.lng + 1e-5, stay.lat - 1e-5}, t});
+    t += 30000;
+  }
+  // ...then moving again.
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(GpsPoint{{116.46 + i * 2e-3, 39.96}, t});
+    t += 30000;
+  }
+  auto stays = DetectStayPoints(Trajectory("t", pts));
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_NEAR(stays[0].center.lng, stay.lng, 1e-3);
+  EXPECT_GE(stays[0].depart - stays[0].arrive, 5 * kMillisPerMinute);
+}
+
+TEST(StayPointTest, NoStaysWhenMoving) {
+  Trajectory t = MakeWalk(100);
+  StayPointOptions opts;
+  opts.max_radius_meters = 5;  // walk moves more than this
+  opts.min_duration_ms = kMillisPerMinute;
+  EXPECT_TRUE(DetectStayPoints(t, opts).empty());
+}
+
+TEST(SimplifyTest, ReducesStraightLine) {
+  std::vector<GpsPoint> pts;
+  for (int i = 0; i <= 100; ++i) {
+    pts.push_back(GpsPoint{{116.0 + i * 1e-3, 39.0 + i * 1e-3}, i * 1000});
+  }
+  Trajectory simplified = Simplify(Trajectory("t", pts), 1e-5);
+  EXPECT_EQ(simplified.size(), 2u);  // perfectly straight -> endpoints
+}
+
+TEST(SimplifyTest, KeepsCorners) {
+  std::vector<GpsPoint> pts;
+  for (int i = 0; i <= 50; ++i) {
+    pts.push_back(GpsPoint{{116.0 + i * 1e-3, 39.0}, i * 1000});
+  }
+  for (int i = 1; i <= 50; ++i) {
+    pts.push_back(GpsPoint{{116.05, 39.0 + i * 1e-3}, (50 + i) * 1000});
+  }
+  Trajectory simplified = Simplify(Trajectory("t", pts), 1e-5);
+  EXPECT_GE(simplified.size(), 3u);
+  EXPECT_LE(simplified.size(), 5u);
+}
+
+// --- DBSCAN ---
+
+// Naive O(n^2) reference implementation for cross-checking cluster counts.
+int NaiveClusterCount(const std::vector<geo::Point>& points, double eps,
+                      int min_pts) {
+  size_t n = points.size();
+  auto neighbors = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      double dx = points[i].lng - points[j].lng;
+      double dy = points[i].lat - points[j].lat;
+      if (dx * dx + dy * dy <= eps * eps) out.push_back(j);
+    }
+    return out;
+  };
+  std::vector<int> label(n, -2);  // -2 unvisited, -1 noise
+  int clusters = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (label[i] != -2) continue;
+    auto neigh = neighbors(i);
+    if (static_cast<int>(neigh.size()) < min_pts) {
+      label[i] = -1;
+      continue;
+    }
+    int c = clusters++;
+    label[i] = c;
+    std::vector<size_t> frontier = neigh;
+    while (!frontier.empty()) {
+      size_t j = frontier.back();
+      frontier.pop_back();
+      if (label[j] == -1) label[j] = c;
+      if (label[j] != -2) continue;
+      label[j] = c;
+      auto sub = neighbors(j);
+      if (static_cast<int>(sub.size()) >= min_pts) {
+        frontier.insert(frontier.end(), sub.begin(), sub.end());
+      }
+    }
+  }
+  return clusters;
+}
+
+TEST(DbscanTest, FindsThreeBlobs) {
+  Rng rng(5);
+  std::vector<geo::Point> pts;
+  geo::Point centers[3] = {{116.1, 39.1}, {116.5, 39.5}, {116.9, 39.9}};
+  for (const geo::Point& c : centers) {
+    for (int i = 0; i < 50; ++i) {
+      pts.push_back(geo::Point{c.lng + rng.NextGaussian() * 3e-4,
+                               c.lat + rng.NextGaussian() * 3e-4});
+    }
+  }
+  DbscanOptions opts;
+  opts.radius = 0.002;
+  opts.min_pts = 5;
+  auto result = Dbscan(pts, opts);
+  EXPECT_EQ(result.num_clusters, 3);
+  // All points in a blob share a label.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::set<int> labels;
+    for (int i = 0; i < 50; ++i) labels.insert(result.labels[blob * 50 + i]);
+    EXPECT_EQ(labels.size(), 1u) << "blob " << blob;
+  }
+}
+
+TEST(DbscanTest, MarksIsolatedPointsNoise) {
+  std::vector<geo::Point> pts;
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back(
+        geo::Point{116.0 + i * 0.05, 39.0 + (i % 7) * 0.05});  // spread out
+  }
+  DbscanOptions opts;
+  opts.radius = 0.001;
+  opts.min_pts = 3;
+  auto result = Dbscan(pts, opts);
+  EXPECT_EQ(result.num_clusters, 0);
+  for (int label : result.labels) EXPECT_EQ(label, DbscanResult::kNoise);
+}
+
+TEST(DbscanTest, MatchesNaiveClusterCountOnRandomData) {
+  Rng rng(8);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<geo::Point> pts;
+    int blobs = 2 + static_cast<int>(rng.Uniform(4));
+    for (int b = 0; b < blobs; ++b) {
+      geo::Point c{rng.Uniform(116.0, 117.0), rng.Uniform(39.0, 40.0)};
+      for (int i = 0; i < 40; ++i) {
+        pts.push_back(geo::Point{c.lng + rng.NextGaussian() * 2e-4,
+                                 c.lat + rng.NextGaussian() * 2e-4});
+      }
+    }
+    for (int i = 0; i < 20; ++i) {  // background noise
+      pts.push_back(
+          geo::Point{rng.Uniform(116.0, 117.0), rng.Uniform(39.0, 40.0)});
+    }
+    DbscanOptions opts;
+    opts.radius = 0.0015;
+    opts.min_pts = 5;
+    auto result = Dbscan(pts, opts);
+    EXPECT_EQ(result.num_clusters,
+              NaiveClusterCount(pts, opts.radius, opts.min_pts));
+  }
+}
+
+TEST(DbscanTest, EmptyInput) {
+  auto result = Dbscan({}, DbscanOptions{});
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+// --- Road network & map matching ---
+
+TEST(RoadNetworkTest, GridHasExpectedSegments) {
+  auto net = traj::RoadNetwork::MakeGrid(geo::Mbr::Of(116.0, 39.0, 116.1, 39.1),
+                                         5, 5);
+  // 5x5 grid: 5 rows x 4 horizontal + 4 vertical x 5 cols = 40 segments.
+  EXPECT_EQ(net.segments().size(), 40u);
+}
+
+TEST(RoadNetworkTest, NearbyAndNearest) {
+  auto net = traj::RoadNetwork::MakeGrid(geo::Mbr::Of(116.0, 39.0, 116.1, 39.1),
+                                         5, 5);
+  geo::Point p{116.0255, 39.012};  // near a horizontal street at lat 39.0?
+  const RoadSegment* nearest = net.Nearest(p);
+  ASSERT_NE(nearest, nullptr);
+  EXPECT_LT(nearest->Distance(p), 0.02);
+  auto nearby = net.Nearby(p, 0.03);
+  EXPECT_FALSE(nearby.empty());
+  // Nearest must be among nearby.
+  bool found = false;
+  for (const RoadSegment* s : nearby) {
+    if (s->id == nearest->id) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MapMatchingTest, SnapsToNearbyStreets) {
+  geo::Mbr area = geo::Mbr::Of(116.0, 39.0, 116.1, 39.1);
+  auto net = traj::RoadNetwork::MakeGrid(area, 11, 11);
+  // Walk along the street at lat 39.05 with small GPS noise.
+  Rng rng(9);
+  std::vector<GpsPoint> pts;
+  for (int i = 0; i <= 50; ++i) {
+    double lng = 116.0 + i * 0.002;
+    pts.push_back(GpsPoint{{lng, 39.05 + rng.NextGaussian() * 1e-4},
+                           i * 15000});
+  }
+  auto matched = MapMatch(Trajectory("t", pts), net);
+  ASSERT_EQ(matched.size(), pts.size());
+  int snapped = 0;
+  for (const MatchedPoint& m : matched) {
+    if (m.segment_id >= 0) {
+      ++snapped;
+      EXPECT_NEAR(m.snapped.lat, 39.05, 2e-4);  // snapped onto the street
+    }
+  }
+  EXPECT_GT(snapped, 45);
+}
+
+TEST(MapMatchingTest, UnmatchedWhenFarFromRoads) {
+  auto net = traj::RoadNetwork::MakeGrid(geo::Mbr::Of(116.0, 39.0, 116.1, 39.1),
+                                         3, 3);
+  std::vector<GpsPoint> pts = {{{130.0, 50.0}, 0}, {{130.1, 50.1}, 1000}};
+  auto matched = MapMatch(Trajectory("t", pts), net);
+  ASSERT_EQ(matched.size(), 2u);
+  EXPECT_EQ(matched[0].segment_id, -1);
+  EXPECT_EQ(matched[0].snapped.lng, 130.0);  // falls back to raw position
+}
+
+TEST(MapMatchingTest, EmptyTrajectory) {
+  auto net = traj::RoadNetwork::MakeGrid(geo::Mbr::Of(0, 0, 1, 1), 3, 3);
+  EXPECT_TRUE(MapMatch(Trajectory("t", {}), net).empty());
+}
+
+// --- Workload generators ---
+
+TEST(WorkloadTest, TrajectoriesMatchSpec) {
+  workload::TrajOptions opts;
+  opts.num_trajectories = 50;
+  opts.points_per_traj = 100;
+  auto trajectories = workload::GenerateTrajectories(opts);
+  ASSERT_EQ(trajectories.size(), 50u);
+  TimestampMs lo = ParseTimestamp(opts.start_date).value();
+  TimestampMs hi = lo + opts.num_days * kMillisPerDay + kMillisPerDay;
+  for (const auto& t : trajectories) {
+    EXPECT_EQ(t.size(), 100u);
+    EXPECT_TRUE(opts.area.Contains(t.Bounds()));
+    EXPECT_GE(t.start_time(), lo);
+    EXPECT_LT(t.end_time(), hi);
+    // Timestamps strictly increasing.
+    for (size_t i = 1; i < t.size(); ++i) {
+      EXPECT_GT(t.points()[i].time, t.points()[i - 1].time);
+    }
+  }
+}
+
+TEST(WorkloadTest, TrajectoriesDeterministicBySeed) {
+  workload::TrajOptions opts;
+  opts.num_trajectories = 5;
+  opts.points_per_traj = 20;
+  auto a = workload::GenerateTrajectories(opts);
+  auto b = workload::GenerateTrajectories(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(WorkloadTest, OrdersMatchSpec) {
+  workload::OrderOptions opts;
+  opts.num_orders = 500;
+  auto orders = workload::GenerateOrders(opts);
+  ASSERT_EQ(orders.size(), 500u);
+  TimestampMs lo = ParseTimestamp(opts.start_date).value();
+  std::set<std::string> fids;
+  for (const auto& o : orders) {
+    EXPECT_TRUE(opts.area.Contains(o.point));
+    EXPECT_GE(o.time, lo);
+    fids.insert(o.fid);
+  }
+  EXPECT_EQ(fids.size(), 500u);  // unique ids
+}
+
+TEST(WorkloadTest, CopyAndSampleScalesAndShiftsTime) {
+  workload::TrajOptions opts;
+  opts.num_trajectories = 10;
+  opts.points_per_traj = 20;
+  auto base = workload::GenerateTrajectories(opts);
+  auto scaled = workload::CopyAndSample(base, 3, 1);
+  EXPECT_EQ(scaled.size(), 30u);
+  // Copies extend the time span (Table II: Synthetic spans more months).
+  TimestampMs max_base = 0, max_scaled = 0;
+  for (const auto& t : base) max_base = std::max(max_base, t.end_time());
+  for (const auto& t : scaled) max_scaled = std::max(max_scaled, t.end_time());
+  EXPECT_GT(max_scaled, max_base + 30 * kMillisPerDay);
+}
+
+}  // namespace
+}  // namespace just::traj
