@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_range.dir/bench_spatial_range.cc.o"
+  "CMakeFiles/bench_spatial_range.dir/bench_spatial_range.cc.o.d"
+  "bench_spatial_range"
+  "bench_spatial_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sql_optimizer.dir/bench_sql_optimizer.cc.o"
+  "CMakeFiles/bench_sql_optimizer.dir/bench_sql_optimizer.cc.o.d"
+  "bench_sql_optimizer"
+  "bench_sql_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sql_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

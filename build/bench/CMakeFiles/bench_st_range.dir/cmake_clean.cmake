@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_st_range.dir/bench_st_range.cc.o"
+  "CMakeFiles/bench_st_range.dir/bench_st_range.cc.o.d"
+  "bench_st_range"
+  "bench_st_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_st_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

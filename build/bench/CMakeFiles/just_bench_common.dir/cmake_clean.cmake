@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/just_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/just_bench_common.dir/bench_common.cc.o.d"
+  "libjust_bench_common.a"
+  "libjust_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/just_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_knn_dispatch.dir/knn_dispatch.cpp.o"
+  "CMakeFiles/example_knn_dispatch.dir/knn_dispatch.cpp.o.d"
+  "example_knn_dispatch"
+  "example_knn_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_knn_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_map_recovery.dir/map_recovery.cpp.o"
+  "CMakeFiles/example_map_recovery.dir/map_recovery.cpp.o.d"
+  "example_map_recovery"
+  "example_map_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_map_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

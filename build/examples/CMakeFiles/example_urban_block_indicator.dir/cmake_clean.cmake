@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_urban_block_indicator.dir/urban_block_indicator.cpp.o"
+  "CMakeFiles/example_urban_block_indicator.dir/urban_block_indicator.cpp.o.d"
+  "example_urban_block_indicator"
+  "example_urban_block_indicator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_urban_block_indicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

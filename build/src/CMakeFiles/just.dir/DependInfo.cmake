@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hadoop_like.cc" "src/CMakeFiles/just.dir/baselines/hadoop_like.cc.o" "gcc" "src/CMakeFiles/just.dir/baselines/hadoop_like.cc.o.d"
+  "/root/repo/src/baselines/spark_like.cc" "src/CMakeFiles/just.dir/baselines/spark_like.cc.o" "gcc" "src/CMakeFiles/just.dir/baselines/spark_like.cc.o.d"
+  "/root/repo/src/cluster/region_cluster.cc" "src/CMakeFiles/just.dir/cluster/region_cluster.cc.o" "gcc" "src/CMakeFiles/just.dir/cluster/region_cluster.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/just.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/just.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/just.dir/common/json.cc.o" "gcc" "src/CMakeFiles/just.dir/common/json.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/just.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/just.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/just.dir/common/status.cc.o" "gcc" "src/CMakeFiles/just.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/just.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/just.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/time_util.cc" "src/CMakeFiles/just.dir/common/time_util.cc.o" "gcc" "src/CMakeFiles/just.dir/common/time_util.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/CMakeFiles/just.dir/compress/codec.cc.o" "gcc" "src/CMakeFiles/just.dir/compress/codec.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/CMakeFiles/just.dir/compress/lz77.cc.o" "gcc" "src/CMakeFiles/just.dir/compress/lz77.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/just.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/just.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/loader.cc" "src/CMakeFiles/just.dir/core/loader.cc.o" "gcc" "src/CMakeFiles/just.dir/core/loader.cc.o.d"
+  "/root/repo/src/core/plugins.cc" "src/CMakeFiles/just.dir/core/plugins.cc.o" "gcc" "src/CMakeFiles/just.dir/core/plugins.cc.o.d"
+  "/root/repo/src/core/result_set.cc" "src/CMakeFiles/just.dir/core/result_set.cc.o" "gcc" "src/CMakeFiles/just.dir/core/result_set.cc.o.d"
+  "/root/repo/src/core/row_codec.cc" "src/CMakeFiles/just.dir/core/row_codec.cc.o" "gcc" "src/CMakeFiles/just.dir/core/row_codec.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/CMakeFiles/just.dir/core/table.cc.o" "gcc" "src/CMakeFiles/just.dir/core/table.cc.o.d"
+  "/root/repo/src/curve/index_strategy.cc" "src/CMakeFiles/just.dir/curve/index_strategy.cc.o" "gcc" "src/CMakeFiles/just.dir/curve/index_strategy.cc.o.d"
+  "/root/repo/src/curve/sfc.cc" "src/CMakeFiles/just.dir/curve/sfc.cc.o" "gcc" "src/CMakeFiles/just.dir/curve/sfc.cc.o.d"
+  "/root/repo/src/curve/xz2.cc" "src/CMakeFiles/just.dir/curve/xz2.cc.o" "gcc" "src/CMakeFiles/just.dir/curve/xz2.cc.o.d"
+  "/root/repo/src/curve/xz3.cc" "src/CMakeFiles/just.dir/curve/xz3.cc.o" "gcc" "src/CMakeFiles/just.dir/curve/xz3.cc.o.d"
+  "/root/repo/src/curve/z2.cc" "src/CMakeFiles/just.dir/curve/z2.cc.o" "gcc" "src/CMakeFiles/just.dir/curve/z2.cc.o.d"
+  "/root/repo/src/curve/z3.cc" "src/CMakeFiles/just.dir/curve/z3.cc.o" "gcc" "src/CMakeFiles/just.dir/curve/z3.cc.o.d"
+  "/root/repo/src/curve/zorder.cc" "src/CMakeFiles/just.dir/curve/zorder.cc.o" "gcc" "src/CMakeFiles/just.dir/curve/zorder.cc.o.d"
+  "/root/repo/src/exec/dataframe.cc" "src/CMakeFiles/just.dir/exec/dataframe.cc.o" "gcc" "src/CMakeFiles/just.dir/exec/dataframe.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/just.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/just.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/value.cc" "src/CMakeFiles/just.dir/exec/value.cc.o" "gcc" "src/CMakeFiles/just.dir/exec/value.cc.o.d"
+  "/root/repo/src/geo/coord_transform.cc" "src/CMakeFiles/just.dir/geo/coord_transform.cc.o" "gcc" "src/CMakeFiles/just.dir/geo/coord_transform.cc.o.d"
+  "/root/repo/src/geo/geometry.cc" "src/CMakeFiles/just.dir/geo/geometry.cc.o" "gcc" "src/CMakeFiles/just.dir/geo/geometry.cc.o.d"
+  "/root/repo/src/geo/point.cc" "src/CMakeFiles/just.dir/geo/point.cc.o" "gcc" "src/CMakeFiles/just.dir/geo/point.cc.o.d"
+  "/root/repo/src/kvstore/block.cc" "src/CMakeFiles/just.dir/kvstore/block.cc.o" "gcc" "src/CMakeFiles/just.dir/kvstore/block.cc.o.d"
+  "/root/repo/src/kvstore/bloom.cc" "src/CMakeFiles/just.dir/kvstore/bloom.cc.o" "gcc" "src/CMakeFiles/just.dir/kvstore/bloom.cc.o.d"
+  "/root/repo/src/kvstore/lsm_store.cc" "src/CMakeFiles/just.dir/kvstore/lsm_store.cc.o" "gcc" "src/CMakeFiles/just.dir/kvstore/lsm_store.cc.o.d"
+  "/root/repo/src/kvstore/skiplist.cc" "src/CMakeFiles/just.dir/kvstore/skiplist.cc.o" "gcc" "src/CMakeFiles/just.dir/kvstore/skiplist.cc.o.d"
+  "/root/repo/src/kvstore/sstable.cc" "src/CMakeFiles/just.dir/kvstore/sstable.cc.o" "gcc" "src/CMakeFiles/just.dir/kvstore/sstable.cc.o.d"
+  "/root/repo/src/kvstore/wal.cc" "src/CMakeFiles/just.dir/kvstore/wal.cc.o" "gcc" "src/CMakeFiles/just.dir/kvstore/wal.cc.o.d"
+  "/root/repo/src/meta/catalog.cc" "src/CMakeFiles/just.dir/meta/catalog.cc.o" "gcc" "src/CMakeFiles/just.dir/meta/catalog.cc.o.d"
+  "/root/repo/src/spatial/grid_index.cc" "src/CMakeFiles/just.dir/spatial/grid_index.cc.o" "gcc" "src/CMakeFiles/just.dir/spatial/grid_index.cc.o.d"
+  "/root/repo/src/spatial/quadtree.cc" "src/CMakeFiles/just.dir/spatial/quadtree.cc.o" "gcc" "src/CMakeFiles/just.dir/spatial/quadtree.cc.o.d"
+  "/root/repo/src/spatial/rtree.cc" "src/CMakeFiles/just.dir/spatial/rtree.cc.o" "gcc" "src/CMakeFiles/just.dir/spatial/rtree.cc.o.d"
+  "/root/repo/src/sql/analyzer.cc" "src/CMakeFiles/just.dir/sql/analyzer.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/analyzer.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/just.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/just.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/expr_eval.cc" "src/CMakeFiles/just.dir/sql/expr_eval.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/expr_eval.cc.o.d"
+  "/root/repo/src/sql/functions.cc" "src/CMakeFiles/just.dir/sql/functions.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/functions.cc.o.d"
+  "/root/repo/src/sql/justql.cc" "src/CMakeFiles/just.dir/sql/justql.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/justql.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/just.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/optimizer.cc" "src/CMakeFiles/just.dir/sql/optimizer.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/optimizer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/just.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/plan.cc" "src/CMakeFiles/just.dir/sql/plan.cc.o" "gcc" "src/CMakeFiles/just.dir/sql/plan.cc.o.d"
+  "/root/repo/src/traj/dbscan.cc" "src/CMakeFiles/just.dir/traj/dbscan.cc.o" "gcc" "src/CMakeFiles/just.dir/traj/dbscan.cc.o.d"
+  "/root/repo/src/traj/map_matching.cc" "src/CMakeFiles/just.dir/traj/map_matching.cc.o" "gcc" "src/CMakeFiles/just.dir/traj/map_matching.cc.o.d"
+  "/root/repo/src/traj/preprocess.cc" "src/CMakeFiles/just.dir/traj/preprocess.cc.o" "gcc" "src/CMakeFiles/just.dir/traj/preprocess.cc.o.d"
+  "/root/repo/src/traj/road_network.cc" "src/CMakeFiles/just.dir/traj/road_network.cc.o" "gcc" "src/CMakeFiles/just.dir/traj/road_network.cc.o.d"
+  "/root/repo/src/traj/trajectory.cc" "src/CMakeFiles/just.dir/traj/trajectory.cc.o" "gcc" "src/CMakeFiles/just.dir/traj/trajectory.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/just.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/just.dir/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

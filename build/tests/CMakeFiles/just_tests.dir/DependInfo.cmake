@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attr_index_test.cc" "tests/CMakeFiles/just_tests.dir/attr_index_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/attr_index_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/just_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/just_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/just_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/compress_test.cc" "tests/CMakeFiles/just_tests.dir/compress_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/compress_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/just_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/curve_test.cc" "tests/CMakeFiles/just_tests.dir/curve_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/curve_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/just_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/geo_test.cc" "tests/CMakeFiles/just_tests.dir/geo_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/geo_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/just_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kvstore_test.cc" "tests/CMakeFiles/just_tests.dir/kvstore_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/kvstore_test.cc.o.d"
+  "/root/repo/tests/meta_test.cc" "tests/CMakeFiles/just_tests.dir/meta_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/meta_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/just_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/shape_test.cc" "tests/CMakeFiles/just_tests.dir/shape_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/shape_test.cc.o.d"
+  "/root/repo/tests/spatial_test.cc" "tests/CMakeFiles/just_tests.dir/spatial_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/spatial_test.cc.o.d"
+  "/root/repo/tests/sql_edge_test.cc" "tests/CMakeFiles/just_tests.dir/sql_edge_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/sql_edge_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/just_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/traj_test.cc" "tests/CMakeFiles/just_tests.dir/traj_test.cc.o" "gcc" "tests/CMakeFiles/just_tests.dir/traj_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/just.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
