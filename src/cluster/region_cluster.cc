@@ -1,6 +1,9 @@
 #include "cluster/region_cluster.h"
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
 
 namespace just::cluster {
 
@@ -25,22 +28,43 @@ int RegionCluster::ServerFor(std::string_view key) const {
          static_cast<int>(servers_.size());
 }
 
+Status RegionCluster::WithRetry(const std::function<Status()>& op) const {
+  Status st = op();
+  for (int attempt = 0; !st.ok() && st.IsTransient() &&
+                        attempt < options_.max_retries;
+       ++attempt) {
+    // Exponential backoff: a region server mid-restart needs a moment, and
+    // hammering it would only extend the brownout.
+    int delay_ms = options_.retry_backoff_ms << attempt;
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    st = op();
+  }
+  return st;
+}
+
 Status RegionCluster::Put(std::string_view key, std::string_view value) {
-  return servers_[ServerFor(key)]->Put(key, value);
+  kv::LsmStore* server = servers_[ServerFor(key)].get();
+  return WithRetry([&] { return server->Put(key, value); });
 }
 
 Status RegionCluster::Delete(std::string_view key) {
-  return servers_[ServerFor(key)]->Delete(key);
+  kv::LsmStore* server = servers_[ServerFor(key)].get();
+  return WithRetry([&] { return server->Delete(key); });
 }
 
 Status RegionCluster::Get(std::string_view key, std::string* value) const {
-  return servers_[ServerFor(key)]->Get(key, value);
+  kv::LsmStore* server = servers_[ServerFor(key)].get();
+  return WithRetry([&] { return server->Get(key, value); });
 }
 
 Result<std::vector<RegionCluster::RangeResult>> RegionCluster::ParallelScan(
     const std::vector<curve::KeyRange>& ranges) const {
   std::vector<RangeResult> results(ranges.size());
   std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mu;
   DefaultPool().ParallelFor(ranges.size(), [&](size_t i) {
     if (failed.load(std::memory_order_relaxed)) return;
     const curve::KeyRange& range = ranges[i];
@@ -51,20 +75,31 @@ Result<std::vector<RegionCluster::RangeResult>> RegionCluster::ParallelScan(
     int last = range.end.empty() ? num_servers() - 1 : ServerFor(range.end);
     if (last < first) last = num_servers() - 1;
     for (int server = first; server <= last; ++server) {
-      Status st = servers_[server]->Scan(
-          range.start, range.end,
-          [&](std::string_view key, std::string_view value) {
-            results[i].rows.push_back(
-                Row{std::string(key), std::string(value)});
-            return true;
-          });
+      // Rows are buffered per attempt: a retry after a mid-scan failure
+      // restarts the server's range cleanly instead of duplicating rows.
+      std::vector<Row> rows;
+      Status st = WithRetry([&] {
+        rows.clear();
+        return servers_[server]->Scan(
+            range.start, range.end,
+            [&](std::string_view key, std::string_view value) {
+              rows.push_back(Row{std::string(key), std::string(value)});
+              return true;
+            });
+      });
       if (!st.ok()) {
         failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = st;
         return;
       }
+      for (auto& row : rows) results[i].rows.push_back(std::move(row));
     }
   });
-  if (failed.load()) return Status::Internal("parallel scan failed");
+  if (failed.load()) {
+    return first_error.ok() ? Status::Internal("parallel scan failed")
+                            : first_error;
+  }
   return results;
 }
 
@@ -78,17 +113,22 @@ Status RegionCluster::Scan(
   // num_servers >= 256; in general this yields per-shard ordered output,
   // which all internal callers accept).
   for (const auto& server : servers_) {
-    bool stop = false;
-    Status st = server->Scan(start, end,
-                             [&](std::string_view k, std::string_view v) {
-                               if (!fn(k, v)) {
-                                 stop = true;
-                                 return false;
-                               }
-                               return true;
-                             });
+    // Buffer the server's rows so a transient failure can be retried without
+    // re-emitting rows the callback already consumed.
+    std::vector<Row> rows;
+    Status st = WithRetry([&] {
+      rows.clear();
+      return server->Scan(start, end,
+                          [&](std::string_view k, std::string_view v) {
+                            rows.push_back(Row{std::string(k),
+                                               std::string(v)});
+                            return true;
+                          });
+    });
     JUST_RETURN_NOT_OK(st);
-    if (stop) break;
+    for (const auto& row : rows) {
+      if (!fn(row.key, row.value)) return Status::OK();
+    }
   }
   return Status::OK();
 }

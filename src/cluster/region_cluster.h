@@ -19,6 +19,12 @@ struct ClusterOptions {
   std::string dir;       ///< one subdirectory per region server
   int num_servers = 5;   ///< the paper's 5-node cluster (Section VIII-A)
   kv::StoreOptions store;  ///< template for each server's store (dir ignored)
+  /// Bounded retry for transient region-server failures (IOError /
+  /// Unavailable — HBase clients retry RPCs the same way). Corruption and
+  /// NotFound are never retried. 0 disables retries.
+  int max_retries = 2;
+  /// Base backoff before the first retry; doubles per attempt.
+  int retry_backoff_ms = 1;
 };
 
 /// A simulated HBase cluster: `num_servers` region servers, each an LSM
@@ -74,6 +80,12 @@ class RegionCluster {
 
   /// Shard routing: first key byte modulo server count.
   int ServerFor(std::string_view key) const;
+
+  /// Runs `op` with bounded exponential-backoff retry on transient errors
+  /// (options_.max_retries / retry_backoff_ms). `op` must be idempotent and
+  /// side-effect-free until it succeeds — callers buffer scan rows per
+  /// attempt so a retried scan never duplicates rows downstream.
+  Status WithRetry(const std::function<Status()>& op) const;
 
   ClusterOptions options_;
   std::vector<std::unique_ptr<kv::LsmStore>> servers_;

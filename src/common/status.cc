@@ -25,6 +25,8 @@ const char* CodeName(StatusCode code) {
       return "PermissionDenied";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kResourceExhausted,  ///< e.g. a baseline system running out of memory.
   kPermissionDenied,
   kInternal,
+  kUnavailable,  ///< transient: the caller may retry (region server down).
 };
 
 /// Lightweight status object: an `kOk` status carries no allocation.
@@ -55,6 +56,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +71,14 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// True for failures a bounded retry can reasonably paper over (a region
+  /// server mid-failover, a transient I/O error) — NOT for corruption,
+  /// which retries would only re-detect.
+  bool IsTransient() const { return IsIOError() || IsUnavailable(); }
 
   /// Human-readable rendering, e.g. "IOError: no such file".
   std::string ToString() const;

@@ -43,10 +43,18 @@ std::string BloomFilterBuilder::Finish() {
   return out;
 }
 
-bool BloomFilter::MayContain(std::string_view key) const {
-  if (data_.size() < 2) return true;
+bool BloomFilter::valid() const {
+  if (data_.size() < 2) return false;
   int k = static_cast<unsigned char>(data_[0]);
-  if (k < 1 || k > 30) return true;  // treat as always-match on corruption
+  return k >= 1 && k <= 30;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  // Corrupt/invalid filters degrade to always-match: a false "no" would
+  // silently drop real rows, so the only safe answer is "maybe". Callers
+  // observe this via valid() and the store's bloom_fallbacks stat.
+  if (!valid()) return true;
+  int k = static_cast<unsigned char>(data_[0]);
   size_t bits = (data_.size() - 1) * 8;
   uint64_t h = BloomHash(key);
   uint64_t delta = (h >> 33) | (h << 31);

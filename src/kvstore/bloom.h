@@ -34,6 +34,12 @@ class BloomFilter {
   /// present ones. An empty filter matches everything.
   bool MayContain(std::string_view key) const;
 
+  /// False when the serialized bytes cannot be a real filter (too short, or
+  /// an out-of-range probe count) — MayContain then always answers true.
+  /// Callers that care about observability count these fallbacks; see
+  /// SsTableReader::bloom_fallback_lookups().
+  bool valid() const;
+
  private:
   std::string_view data_;
 };

@@ -1,13 +1,10 @@
 #include "kvstore/lsm_store.h"
 
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <filesystem>
 
 namespace just::kv {
 
@@ -24,10 +21,33 @@ std::string MakeInternalValue(char type, std::string_view value) {
   v.append(value.data(), value.size());
   return v;
 }
+
+/// Parses "NNNNNN.sst" -> file number; nullopt for any other name.
+bool ParseSstName(const std::string& name, uint64_t* num) {
+  constexpr std::string_view kSuffix = ".sst";
+  if (name.size() <= kSuffix.size() ||
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+          0) {
+    return false;
+  }
+  std::string digits = name.substr(0, name.size() - kSuffix.size());
+  if (digits.empty()) return false;
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  *num = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+bool EndsWith(const std::string& name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 }  // namespace
 
 LsmStore::LsmStore(const StoreOptions& options)
     : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()),
       memtable_(std::make_unique<SkipList>()),
       block_cache_(
           std::make_unique<BlockCache>(options.block_cache_bytes)) {}
@@ -49,13 +69,8 @@ std::string LsmStore::SstPath(uint64_t file_number) const {
 std::string LsmStore::WalPath() const { return options_.dir + "/wal.log"; }
 
 Result<std::unique_ptr<LsmStore>> LsmStore::Open(const StoreOptions& options) {
-  std::error_code ec;
-  std::filesystem::create_directories(options.dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create dir " + options.dir + ": " +
-                           ec.message());
-  }
   auto store = std::unique_ptr<LsmStore>(new LsmStore(options));
+  JUST_RETURN_NOT_OK(store->env_->CreateDirs(options.dir));
   JUST_RETURN_NOT_OK(store->Recover());
   return store;
 }
@@ -63,35 +78,67 @@ Result<std::unique_ptr<LsmStore>> LsmStore::Open(const StoreOptions& options) {
 Status LsmStore::Recover() {
   std::unique_lock lock(mu_);
   // 1) Manifest -> live SSTables.
+  std::set<uint64_t> live;
   std::string manifest_path = options_.dir + "/MANIFEST";
-  std::FILE* mf = std::fopen(manifest_path.c_str(), "rb");
-  if (mf != nullptr) {
-    char line[64];
-    while (std::fgets(line, sizeof(line), mf) != nullptr) {
-      uint64_t num = std::strtoull(line, nullptr, 10);
+  if (env_->FileExists(manifest_path)) {
+    std::string manifest;
+    JUST_RETURN_NOT_OK(env_->ReadFileToString(manifest_path, &manifest));
+    const char* p = manifest.c_str();
+    while (*p != '\0') {
+      char* end = nullptr;
+      uint64_t num = std::strtoull(p, &end, 10);
+      if (end == p) break;
+      p = end;
+      while (*p == '\n' || *p == '\r') ++p;
       if (num == 0) continue;
-      auto reader = SsTableReader::Open(SstPath(num), num, block_cache_.get());
-      if (!reader.ok()) {
-        std::fclose(mf);
-        return reader.status();
-      }
-      sstables_.push_back(reader.value());
+      JUST_ASSIGN_OR_RETURN(
+          auto reader,
+          SsTableReader::Open(SstPath(num), num, block_cache_.get(), env_));
+      sstables_.push_back(reader);
+      live.insert(num);
       next_file_number_ = std::max(next_file_number_, num + 1);
     }
-    std::fclose(mf);
   }
-  // 2) WAL -> memtable.
+  // 2) Quarantine partial flush/compaction leftovers so they can never be
+  // mistaken for live data (and never collide with reused file numbers).
+  JUST_RETURN_NOT_OK(QuarantineStrays(live));
+  // 3) WAL -> memtable.
   JUST_RETURN_NOT_OK(ReplayWal(
-      WalPath(), [this](WalRecordType type, std::string_view key,
-                        std::string_view value) {
+      WalPath(),
+      [this](WalRecordType type, std::string_view key,
+             std::string_view value) {
         memtable_->Put(std::string(key),
                        MakeInternalValue(type == WalRecordType::kPut
                                              ? kTypePut
                                              : kTypeDelete,
                                          value));
-      }));
-  // 3) Reopen WAL for appending.
-  return wal_.Open(WalPath(), /*truncate=*/false);
+      },
+      env_));
+  // 4) Reopen WAL for appending.
+  return wal_.Open(WalPath(), /*truncate=*/false, env_);
+}
+
+Status LsmStore::QuarantineStrays(const std::set<uint64_t>& live) {
+  JUST_ASSIGN_OR_RETURN(auto names, env_->ListDir(options_.dir));
+  for (const std::string& name : names) {
+    std::string path = options_.dir + "/" + name;
+    if (EndsWith(name, ".tmp")) {
+      // A build that never completed: nothing referenced it, drop it.
+      JUST_RETURN_NOT_OK(env_->RemoveFile(path));
+      continue;
+    }
+    uint64_t num = 0;
+    if (ParseSstName(name, &num) && live.count(num) == 0) {
+      // Fully written but never committed to the manifest (crash between
+      // rename and manifest sync), or an input of a committed compaction
+      // whose deletion did not finish. Keep the bytes for forensics, but
+      // move them out of the namespace.
+      JUST_RETURN_NOT_OK(env_->RenameFile(path, path + ".quarantine"));
+      next_file_number_ = std::max(next_file_number_, num + 1);
+      ++quarantined_files_;
+    }
+  }
+  return Status::OK();
 }
 
 Status LsmStore::WriteInternal(WalRecordType type, std::string_view key,
@@ -154,6 +201,9 @@ Status LsmStore::Scan(
     bool Valid() const {
       return mem != nullptr ? mem->Valid() : sst->Valid();
     }
+    Status status() const {
+      return mem != nullptr ? Status::OK() : sst->status();
+    }
     std::string_view key() const {
       return mem != nullptr ? std::string_view(mem->key())
                             : std::string_view(sst->key());
@@ -196,10 +246,15 @@ Status LsmStore::Scan(
   bool have_last = false;
   for (;;) {
     // Pick the smallest current key; ties resolved by source order (newest
-    // source wins), so stale versions are skipped below.
+    // source wins), so stale versions are skipped below. A source that went
+    // invalid on a corrupt block fails the scan instead of silently
+    // shortening it.
     int best = -1;
     for (size_t i = 0; i < sources.size(); ++i) {
-      if (!sources[i].Valid()) continue;
+      if (!sources[i].Valid()) {
+        JUST_RETURN_NOT_OK(sources[i].status());
+        continue;
+      }
       std::string_view k = sources[i].key();
       if (!end.empty() && k >= end) continue;
       if (best < 0 || k < sources[best].key()) best = static_cast<int>(i);
@@ -229,24 +284,31 @@ Status LsmStore::Scan(
 Status LsmStore::FlushLocked() {
   if (memtable_->size() == 0) return Status::OK();
   uint64_t file_number = next_file_number_++;
+  std::string final_path = SstPath(file_number);
+  std::string tmp_path = final_path + ".tmp";
   SsTableBuilder::Options bopts;
   bopts.block_size = options_.block_size;
   bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
   SsTableBuilder builder(bopts);
-  JUST_RETURN_NOT_OK(builder.Open(SstPath(file_number)));
+  JUST_RETURN_NOT_OK(builder.Open(tmp_path, env_));
   SkipList::Iterator it(memtable_.get());
   for (it.SeekToFirst(); it.Valid(); it.Next()) {
     JUST_RETURN_NOT_OK(builder.Add(it.key(), it.value()));
   }
+  // Finish syncs the temp file; the rename publishes it atomically. On any
+  // failure before the manifest commits, the memtable and WAL still hold
+  // every record, so nothing acknowledged can be lost.
   JUST_RETURN_NOT_OK(builder.Finish());
+  JUST_RETURN_NOT_OK(env_->RenameFile(tmp_path, final_path));
   JUST_ASSIGN_OR_RETURN(
       auto reader,
-      SsTableReader::Open(SstPath(file_number), file_number,
-                          block_cache_.get()));
+      SsTableReader::Open(final_path, file_number, block_cache_.get(), env_));
   sstables_.push_back(reader);
-  memtable_ = std::make_unique<SkipList>();
-  JUST_RETURN_NOT_OK(wal_.Open(WalPath(), /*truncate=*/true));
   JUST_RETURN_NOT_OK(WriteManifestLocked());
+  // The flush is durable only now; dropping the memtable or truncating the
+  // WAL any earlier would lose acknowledged writes on a crash.
+  memtable_ = std::make_unique<SkipList>();
+  JUST_RETURN_NOT_OK(wal_.Open(WalPath(), /*truncate=*/true, env_));
   if (static_cast<int>(sstables_.size()) >= options_.compaction_trigger) {
     JUST_RETURN_NOT_OK(MergeAllLocked());
   }
@@ -257,11 +319,13 @@ Status LsmStore::MergeAllLocked() {
   if (sstables_.size() <= 1) return Status::OK();
   std::vector<std::shared_ptr<SsTableReader>> inputs = sstables_;
   uint64_t out_number = next_file_number_++;
+  std::string final_path = SstPath(out_number);
+  std::string tmp_path = final_path + ".tmp";
   SsTableBuilder::Options bopts;
   bopts.block_size = options_.block_size;
   bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
   SsTableBuilder merged(bopts);
-  JUST_RETURN_NOT_OK(merged.Open(SstPath(out_number)));
+  JUST_RETURN_NOT_OK(merged.Open(tmp_path, env_));
 
   std::vector<std::unique_ptr<SsTableReader::Iterator>> iters;
   for (auto input = inputs.rbegin(); input != inputs.rend(); ++input) {
@@ -294,40 +358,45 @@ Status LsmStore::MergeAllLocked() {
       while (iter->Valid() && iter->key() == key) iter->Next();
     }
   }
+  // An input iterator that stopped on a corrupt block must fail the
+  // compaction — otherwise its remaining entries would be silently dropped.
+  for (const auto& iter : iters) {
+    JUST_RETURN_NOT_OK(iter->status());
+  }
   JUST_RETURN_NOT_OK(merged.Finish());
+  JUST_RETURN_NOT_OK(env_->RenameFile(tmp_path, final_path));
   JUST_ASSIGN_OR_RETURN(
       auto merged_reader,
-      SsTableReader::Open(SstPath(out_number), out_number,
-                          block_cache_.get()));
-  for (const auto& input : inputs) {
-    ::unlink(input->path().c_str());
-  }
+      SsTableReader::Open(final_path, out_number, block_cache_.get(), env_));
   sstables_.clear();
   sstables_.push_back(merged_reader);
   block_cache_->Clear();
-  return WriteManifestLocked();
+  JUST_RETURN_NOT_OK(WriteManifestLocked());
+  // Inputs are dead only once the manifest no longer references them;
+  // deletion is best-effort — leftovers are quarantined at the next open.
+  for (const auto& input : inputs) {
+    (void)env_->RemoveFile(input->path());
+  }
+  return Status::OK();
 }
 
 Status LsmStore::WriteManifestLocked() {
   std::string tmp_path = options_.dir + "/MANIFEST.tmp";
-  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot write manifest");
+  JUST_ASSIGN_OR_RETURN(auto file,
+                        env_->NewWritableFile(tmp_path, /*truncate=*/true));
   for (const auto& table : sstables_) {
     // Manifest lists file numbers in flush order.
     std::string path = table->path();
     size_t slash = path.find_last_of('/');
     std::string name = path.substr(slash + 1);
     uint64_t num = std::strtoull(name.c_str(), nullptr, 10);
-    std::fprintf(f, "%llu\n", static_cast<unsigned long long>(num));
+    JUST_RETURN_NOT_OK(file->Append(std::to_string(num) + "\n"));
   }
-  if (std::fflush(f) != 0 || std::fclose(f) != 0) {
-    return Status::IOError("manifest flush failed");
-  }
-  std::string final_path = options_.dir + "/MANIFEST";
-  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    return Status::IOError("manifest rename failed");
-  }
-  return Status::OK();
+  // Sync before rename: the manifest is the commit point of every flush and
+  // compaction, so it must be durable before it becomes visible.
+  JUST_RETURN_NOT_OK(file->Sync());
+  JUST_RETURN_NOT_OK(file->Close());
+  return env_->RenameFile(tmp_path, options_.dir + "/MANIFEST");
 }
 
 Status LsmStore::Flush() {
@@ -347,9 +416,12 @@ LsmStore::Stats LsmStore::GetStats() const {
   stats.num_sstables = sstables_.size();
   stats.memtable_entries = memtable_->size();
   stats.memtable_bytes = memtable_->ApproximateBytes();
+  stats.quarantined_files = quarantined_files_;
   for (const auto& table : sstables_) {
     stats.disk_bytes += table->file_size();
     stats.sstable_entries += table->num_entries();
+    if (table->bloom_corrupt()) ++stats.corrupt_bloom_tables;
+    stats.bloom_fallbacks += table->bloom_fallback_lookups();
   }
   return stats;
 }

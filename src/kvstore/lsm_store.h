@@ -3,12 +3,14 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "kvstore/env.h"
 #include "kvstore/skiplist.h"
 #include "kvstore/sstable.h"
 #include "kvstore/wal.h"
@@ -22,7 +24,8 @@ struct StoreOptions {
   size_t block_size = 4096;
   int bloom_bits_per_key = 10;
   int compaction_trigger = 6;  ///< merge all tables when count reaches this
-  bool sync_wal = false;       ///< fflush per write (off for bulk loads)
+  bool sync_wal = false;       ///< fsync per write (off for bulk loads)
+  Env* env = nullptr;          ///< filesystem seam; nullptr = Env::Default()
 };
 
 /// A single-node ordered key-value store with LSM-tree storage: writes land
@@ -31,6 +34,18 @@ struct StoreOptions {
 /// (the role one HBase RegionServer plays for JUST). Keys are arbitrary byte
 /// strings; updates never rebuild indexes — the property that makes JUST
 /// "update-enabled" (Section I).
+///
+/// Failure model (see DESIGN.md "Failure model"):
+///  - Flush and compaction are crash-atomic: tables are built in `.tmp`
+///    files, fsynced, renamed into place, and only referenced by readers
+///    after the (also fsynced) MANIFEST records them. The WAL is truncated
+///    only after the flush it covers is durable.
+///  - Startup quarantines stray files: `.tmp` leftovers are deleted and
+///    `.sst` files the MANIFEST does not reference are renamed to
+///    `.quarantine` so a half-finished flush can never serve reads.
+///  - Every SSTable block and the WAL tail are CRC-checked; corruption
+///    surfaces as Status::Corruption (bloom filters degrade to always-match
+///    and are counted in Stats instead — they gate I/O, not correctness).
 class LsmStore {
  public:
   static Result<std::unique_ptr<LsmStore>> Open(const StoreOptions& options);
@@ -63,6 +78,12 @@ class LsmStore {
     size_t memtable_bytes = 0;
     uint64_t disk_bytes = 0;
     uint64_t sstable_entries = 0;  ///< includes not-yet-compacted duplicates
+    /// Tables whose bloom block failed its checksum (serving via fallback).
+    size_t corrupt_bloom_tables = 0;
+    /// Point lookups that could not use a bloom filter and searched anyway.
+    uint64_t bloom_fallbacks = 0;
+    /// Files quarantined at the last recovery (stray `.sst` leftovers).
+    size_t quarantined_files = 0;
   };
   Stats GetStats() const;
 
@@ -72,6 +93,9 @@ class LsmStore {
   explicit LsmStore(const StoreOptions& options);
 
   Status Recover();
+  /// Deletes `.tmp` leftovers and quarantines `.sst` files the manifest
+  /// does not reference (partial flushes/compactions from a crash).
+  Status QuarantineStrays(const std::set<uint64_t>& live);
   Status WriteInternal(WalRecordType type, std::string_view key,
                        std::string_view value);
   Status FlushLocked();
@@ -81,12 +105,14 @@ class LsmStore {
   std::string WalPath() const;
 
   StoreOptions options_;
+  Env* env_;
   mutable std::shared_mutex mu_;
   std::unique_ptr<SkipList> memtable_;
   WalWriter wal_;
   /// Newest table last (flush order); scans give later tables precedence.
   std::vector<std::shared_ptr<SsTableReader>> sstables_;
   uint64_t next_file_number_ = 1;
+  size_t quarantined_files_ = 0;
   std::unique_ptr<BlockCache> block_cache_;
 };
 

@@ -1,12 +1,6 @@
 #include "kvstore/sstable.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <chrono>
-#include <cerrno>
-#include <cstring>
 
 #include "common/bytes.h"
 #include "kvstore/wal.h"
@@ -14,8 +8,12 @@
 namespace just::kv {
 
 namespace {
-constexpr uint64_t kTableMagic = 0x4A55535453535400ull;  // "JUSTSST\0"
-constexpr size_t kFooterSize = 48;
+// "JUSTSST\1": version 1 adds per-block + footer CRCs.
+constexpr uint64_t kTableMagic = 0x4A55535453535401ull;
+// bloom handle (16) + index handle (16) + num_entries (8) + magic (8)
+// + footer crc (4).
+constexpr size_t kFooterSize = 52;
+constexpr size_t kBlockTrailerSize = 4;  // CRC32 of the block payload
 
 std::string CacheKey(uint64_t file_id, uint64_t offset) {
   std::string key;
@@ -63,24 +61,29 @@ SsTableBuilder::SsTableBuilder(Options options)
       index_block_(options.restart_interval),
       bloom_(options.bloom_bits_per_key) {}
 
-Status SsTableBuilder::Open(const std::string& path) {
+Status SsTableBuilder::Open(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   path_ = path;
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot create sstable " + path + ": " +
-                           std::strerror(errno));
-  }
+  JUST_ASSIGN_OR_RETURN(file_, env->NewWritableFile(path, /*truncate=*/true));
   return Status::OK();
 }
 
 Status SsTableBuilder::WriteRaw(std::string_view data) {
-  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
-    return Status::IOError("sstable write failed: " + path_);
-  }
+  JUST_RETURN_NOT_OK(file_->Append(data));
   offset_ += data.size();
   GlobalIoStats().bytes_written.fetch_add(data.size(),
                                           std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status SsTableBuilder::WriteBlock(std::string_view contents, uint64_t* offset,
+                                  uint64_t* size) {
+  *offset = offset_;
+  *size = contents.size();
+  JUST_RETURN_NOT_OK(WriteRaw(contents));
+  std::string trailer;
+  PutFixed32(&trailer, Crc32(contents));
+  return WriteRaw(trailer);
 }
 
 Status SsTableBuilder::Add(std::string_view key, std::string_view value) {
@@ -111,10 +114,8 @@ Status SsTableBuilder::FlushDataBlock() {
   if (data_block_.empty()) return Status::OK();
   pending_index_key_ = data_block_.last_key();
   std::string block = data_block_.Finish();
-  pending_offset_ = offset_;
-  pending_size_ = block.size();
   pending_index_ = true;
-  return WriteRaw(block);
+  return WriteBlock(block, &pending_offset_, &pending_size_);
 }
 
 Status SsTableBuilder::Finish() {
@@ -127,41 +128,32 @@ Status SsTableBuilder::Finish() {
     index_block_.Add(pending_index_key_, handle);
     pending_index_ = false;
   }
-  std::string bloom = bloom_.Finish();
-  uint64_t bloom_offset = offset_;
-  JUST_RETURN_NOT_OK(WriteRaw(bloom));
-  std::string index = index_block_.Finish();
-  uint64_t index_offset = offset_;
-  JUST_RETURN_NOT_OK(WriteRaw(index));
+  uint64_t bloom_offset, bloom_size;
+  JUST_RETURN_NOT_OK(WriteBlock(bloom_.Finish(), &bloom_offset, &bloom_size));
+  uint64_t index_offset, index_size;
+  JUST_RETURN_NOT_OK(
+      WriteBlock(index_block_.Finish(), &index_offset, &index_size));
 
   std::string footer;
   PutFixed64(&footer, bloom_offset);
-  PutFixed64(&footer, bloom.size());
+  PutFixed64(&footer, bloom_size);
   PutFixed64(&footer, index_offset);
-  PutFixed64(&footer, index.size());
+  PutFixed64(&footer, index_size);
   PutFixed64(&footer, num_entries_);
   PutFixed64(&footer, kTableMagic);
+  PutFixed32(&footer, Crc32(footer));
   JUST_RETURN_NOT_OK(WriteRaw(footer));
 
-  if (std::fflush(file_) != 0 || std::fclose(file_) != 0) {
-    file_ = nullptr;
-    return Status::IOError("sstable close failed: " + path_);
-  }
+  // A finished table must survive a crash: sync before reporting success.
+  Status st = file_->Sync();
+  if (st.ok()) st = file_->Close();
   file_ = nullptr;
-  return Status::OK();
-}
-
-SsTableReader::~SsTableReader() {
-  if (fd_ >= 0) ::close(fd_);
+  return st;
 }
 
 Status SsTableReader::ReadAt(uint64_t offset, uint64_t size,
                              std::string* out) const {
-  out->resize(size);
-  ssize_t n = ::pread(fd_, out->data(), size, static_cast<off_t>(offset));
-  if (n < 0 || static_cast<uint64_t>(n) != size) {
-    return Status::IOError("pread failed on " + path_);
-  }
+  JUST_RETURN_NOT_OK(file_->Read(offset, size, out));
   GlobalIoStats().bytes_read.fetch_add(size, std::memory_order_relaxed);
   GlobalIoStats().read_ops.fetch_add(1, std::memory_order_relaxed);
   ChargeReadLatency(size);
@@ -169,21 +161,14 @@ Status SsTableReader::ReadAt(uint64_t offset, uint64_t size,
 }
 
 Result<std::shared_ptr<SsTableReader>> SsTableReader::Open(
-    const std::string& path, uint64_t file_id, BlockCache* cache) {
+    const std::string& path, uint64_t file_id, BlockCache* cache, Env* env) {
+  if (env == nullptr) env = Env::Default();
   auto table = std::shared_ptr<SsTableReader>(new SsTableReader());
   table->path_ = path;
   table->file_id_ = file_id;
   table->cache_ = cache;
-  table->fd_ = ::open(path.c_str(), O_RDONLY);
-  if (table->fd_ < 0) {
-    return Status::IOError("cannot open sstable " + path + ": " +
-                           std::strerror(errno));
-  }
-  struct stat st;
-  if (::fstat(table->fd_, &st) != 0) {
-    return Status::IOError("fstat failed on " + path);
-  }
-  table->file_size_ = static_cast<uint64_t>(st.st_size);
+  JUST_ASSIGN_OR_RETURN(table->file_, env->NewRandomAccessFile(path));
+  JUST_ASSIGN_OR_RETURN(table->file_size_, env->GetFileSize(path));
   if (table->file_size_ < kFooterSize) {
     return Status::Corruption("sstable too small: " + path);
   }
@@ -191,6 +176,10 @@ Result<std::shared_ptr<SsTableReader>> SsTableReader::Open(
   JUST_RETURN_NOT_OK(
       table->ReadAt(table->file_size_ - kFooterSize, kFooterSize, &footer));
   const char* p = footer.data();
+  if (Crc32(std::string_view(footer.data(), kFooterSize - 4)) !=
+      GetFixed32(p + kFooterSize - 4)) {
+    return Status::Corruption("sstable footer checksum mismatch: " + path);
+  }
   uint64_t bloom_offset = GetFixed64(p);
   uint64_t bloom_size = GetFixed64(p + 8);
   uint64_t index_offset = GetFixed64(p + 16);
@@ -199,15 +188,37 @@ Result<std::shared_ptr<SsTableReader>> SsTableReader::Open(
   if (GetFixed64(p + 40) != kTableMagic) {
     return Status::Corruption("bad sstable magic: " + path);
   }
-  JUST_RETURN_NOT_OK(table->ReadAt(bloom_offset, bloom_size,
-                                   &table->bloom_data_));
-  std::string index_data;
-  JUST_RETURN_NOT_OK(table->ReadAt(index_offset, index_size, &index_data));
-  JUST_ASSIGN_OR_RETURN(table->index_, Block::Parse(std::move(index_data)));
+
+  // Bloom block: corruption degrades to always-match (counted), because the
+  // filter only prunes lookups — losing it costs I/O, never correctness.
+  std::string bloom_raw;
+  JUST_RETURN_NOT_OK(table->ReadAt(bloom_offset,
+                                   bloom_size + kBlockTrailerSize,
+                                   &bloom_raw));
+  if (Crc32(std::string_view(bloom_raw.data(), bloom_size)) ==
+      GetFixed32(bloom_raw.data() + bloom_size)) {
+    bloom_raw.resize(bloom_size);
+    table->bloom_data_ = std::move(bloom_raw);
+  } else {
+    table->bloom_corrupt_ = true;
+  }
+
+  // Index block: corruption is fatal for the table.
+  std::string index_raw;
+  JUST_RETURN_NOT_OK(table->ReadAt(index_offset,
+                                   index_size + kBlockTrailerSize,
+                                   &index_raw));
+  if (Crc32(std::string_view(index_raw.data(), index_size)) !=
+      GetFixed32(index_raw.data() + index_size)) {
+    return Status::Corruption("sstable index checksum mismatch: " + path);
+  }
+  index_raw.resize(index_size);
+  JUST_ASSIGN_OR_RETURN(table->index_, Block::Parse(std::move(index_raw)));
 
   // Key bounds, for scan/compaction pruning.
   Iterator it(table.get());
   it.SeekToFirst();
+  JUST_RETURN_NOT_OK(it.status());
   if (it.Valid()) {
     table->smallest_key_ = it.key();
     Block::Iterator idx(table->index_.get());
@@ -229,7 +240,12 @@ Result<std::shared_ptr<Block>> SsTableReader::ReadBlock(uint64_t offset,
     if (cached != nullptr) return *cached;
   }
   std::string data;
-  JUST_RETURN_NOT_OK(ReadAt(offset, size, &data));
+  JUST_RETURN_NOT_OK(ReadAt(offset, size + kBlockTrailerSize, &data));
+  if (Crc32(std::string_view(data.data(), size)) !=
+      GetFixed32(data.data() + size)) {
+    return Status::Corruption("block checksum mismatch in " + path_);
+  }
+  data.resize(size);
   JUST_ASSIGN_OR_RETURN(auto block, Block::Parse(std::move(data)));
   if (cache_ != nullptr) {
     cache_->Insert(CacheKey(file_id_, offset),
@@ -241,9 +257,15 @@ Result<std::shared_ptr<Block>> SsTableReader::ReadBlock(uint64_t offset,
 
 Status SsTableReader::Get(std::string_view key, std::string* value) const {
   BloomFilter bloom(bloom_data_);
-  if (!bloom.MayContain(key)) return Status::NotFound("bloom miss");
+  if (!bloom.valid()) {
+    // Corrupt or missing filter: count the fallback, search unconditionally.
+    bloom_fallback_lookups_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!bloom.MayContain(key)) {
+    return Status::NotFound("bloom miss");
+  }
   Iterator it(this);
   it.Seek(key);
+  JUST_RETURN_NOT_OK(it.status());
   if (it.Valid() && std::string_view(it.key()) == key) {
     value->assign(it.value().data(), it.value().size());
     return Status::OK();
@@ -255,6 +277,12 @@ SsTableReader::Iterator::Iterator(const SsTableReader* table)
     : table_(table),
       index_iter_(std::make_unique<Block::Iterator>(table->index_.get())) {}
 
+Status SsTableReader::Iterator::status() const {
+  if (!status_.ok()) return status_;
+  if (data_iter_ != nullptr) return data_iter_->status();
+  return Status::OK();
+}
+
 void SsTableReader::Iterator::LoadDataBlock(bool first) {
   data_block_ = nullptr;
   data_iter_ = nullptr;
@@ -264,10 +292,15 @@ void SsTableReader::Iterator::LoadDataBlock(bool first) {
   const char* limit = p + index_iter_->value().size();
   uint64_t offset, size;
   if (!GetVarint64(&p, limit, &offset) || !GetVarint64(&p, limit, &size)) {
+    status_ = Status::Corruption("bad index entry in " + table_->path_);
     return;
   }
   auto block = table_->ReadBlock(offset, size);
-  if (!block.ok()) return;
+  if (!block.ok()) {
+    // Surface unreadable/corrupt blocks instead of silently ending the scan.
+    status_ = block.status();
+    return;
+  }
   data_block_ = block.value();
   data_iter_ = std::make_unique<Block::Iterator>(data_block_.get());
   if (first) data_iter_->SeekToFirst();
@@ -275,7 +308,7 @@ void SsTableReader::Iterator::LoadDataBlock(bool first) {
 }
 
 void SsTableReader::Iterator::SkipEmptyBlocks() {
-  while (!valid_ && index_iter_->Valid()) {
+  while (!valid_ && status_.ok() && index_iter_->Valid()) {
     index_iter_->Next();
     if (!index_iter_->Valid()) break;
     LoadDataBlock(true);
@@ -283,6 +316,7 @@ void SsTableReader::Iterator::SkipEmptyBlocks() {
 }
 
 void SsTableReader::Iterator::SeekToFirst() {
+  status_ = Status::OK();
   index_iter_->SeekToFirst();
   LoadDataBlock(true);
   SkipEmptyBlocks();
@@ -291,6 +325,7 @@ void SsTableReader::Iterator::SeekToFirst() {
 void SsTableReader::Iterator::Seek(std::string_view target) {
   // Index keys are block last-keys, so the candidate block is the first
   // index entry with key >= target.
+  status_ = Status::OK();
   index_iter_->Seek(target);
   LoadDataBlock(false);
   if (data_iter_ != nullptr) {

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -12,6 +11,7 @@
 #include "common/status.h"
 #include "kvstore/block.h"
 #include "kvstore/bloom.h"
+#include "kvstore/env.h"
 
 namespace just::kv {
 
@@ -38,7 +38,11 @@ using BlockCache = LruCache<std::string, std::shared_ptr<Block>>;
 
 /// Writes an immutable sorted-string table:
 ///   [data blocks][bloom block][index block][footer]
-/// Index entries map each data block's last key to its (offset, size).
+/// Every block (data, bloom, index) carries a CRC32 trailer, and the footer
+/// is CRC-protected too, so any single flipped byte on disk is detected at
+/// read time instead of surfacing as wrong rows (the HDFS-checksum role).
+/// Index entries map each data block's last key to its (offset, size); the
+/// recorded size excludes the 4-byte CRC trailer.
 class SsTableBuilder {
  public:
   struct Options {
@@ -50,12 +54,14 @@ class SsTableBuilder {
   SsTableBuilder();
   explicit SsTableBuilder(Options options);
 
-  Status Open(const std::string& path);
+  /// `env` nullptr means Env::Default().
+  Status Open(const std::string& path, Env* env = nullptr);
 
   /// Keys must be strictly increasing.
   Status Add(std::string_view key, std::string_view value);
 
-  /// Flushes all pending data and writes the footer.
+  /// Flushes all pending data, writes the footer, and fsyncs the file so a
+  /// successfully finished table survives a crash.
   Status Finish();
 
   uint64_t num_entries() const { return num_entries_; }
@@ -63,10 +69,14 @@ class SsTableBuilder {
 
  private:
   Status FlushDataBlock();
+  /// Writes `contents` + CRC32 trailer; returns the payload handle via
+  /// `offset`/`size` (size excludes the trailer).
+  Status WriteBlock(std::string_view contents, uint64_t* offset,
+                    uint64_t* size);
   Status WriteRaw(std::string_view data);
 
   Options options_;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
   BlockBuilder data_block_;
   BlockBuilder index_block_;
@@ -80,22 +90,30 @@ class SsTableBuilder {
   uint64_t pending_size_ = 0;
 };
 
-/// Read side of an SSTable. Thread-safe: reads use pread.
+/// Read side of an SSTable. Thread-safe: reads use pread. Every block read
+/// is CRC-verified; a mismatch surfaces as Status::Corruption, except for
+/// the bloom filter, which degrades to always-match (it is an optimization,
+/// not a correctness gate) and is counted via bloom_fallback_lookups().
 class SsTableReader {
  public:
-  ~SsTableReader();
+  ~SsTableReader() = default;
 
   /// Opens the file and loads the footer, index, and bloom filter. `cache`
   /// may be null (blocks are then read per access). `file_id` must be unique
-  /// per open table for cache keying.
+  /// per open table for cache keying. `env` nullptr means Env::Default().
   static Result<std::shared_ptr<SsTableReader>> Open(const std::string& path,
                                                      uint64_t file_id,
-                                                     BlockCache* cache);
+                                                     BlockCache* cache,
+                                                     Env* env = nullptr);
 
-  /// Point lookup.
+  /// Point lookup. Returns Corruption if the consulted blocks fail their
+  /// checksum.
   Status Get(std::string_view key, std::string* value) const;
 
-  /// Two-level iterator over the whole table.
+  /// Two-level iterator over the whole table. A block that fails its CRC
+  /// makes the iterator invalid with a non-OK status() — callers must check
+  /// status() when Valid() turns false to distinguish end-of-table from
+  /// corruption.
   class Iterator {
    public:
     explicit Iterator(const SsTableReader* table);
@@ -108,6 +126,9 @@ class SsTableReader {
     const std::string& key() const { return data_iter_->key(); }
     std::string_view value() const { return data_iter_->value(); }
 
+    /// OK unless iteration stopped on a corrupt or unreadable block.
+    Status status() const;
+
    private:
     void LoadDataBlock(bool first);
     void SkipEmptyBlocks();
@@ -117,6 +138,7 @@ class SsTableReader {
     std::shared_ptr<Block> data_block_;
     std::unique_ptr<Block::Iterator> data_iter_;
     bool valid_ = false;
+    Status status_;
   };
 
   uint64_t num_entries() const { return num_entries_; }
@@ -125,20 +147,32 @@ class SsTableReader {
   const std::string& largest_key() const { return largest_key_; }
   const std::string& path() const { return path_; }
 
+  /// True when the bloom block failed its checksum at open; lookups then
+  /// fall back to always-match.
+  bool bloom_corrupt() const { return bloom_corrupt_; }
+  /// Lookups that could not use the bloom filter (corrupt or invalid) and
+  /// had to search the table unconditionally.
+  uint64_t bloom_fallback_lookups() const {
+    return bloom_fallback_lookups_.load(std::memory_order_relaxed);
+  }
+
  private:
   SsTableReader() = default;
 
+  /// Reads and CRC-verifies the block whose payload is [offset, offset+size).
   Result<std::shared_ptr<Block>> ReadBlock(uint64_t offset,
                                            uint64_t size) const;
   Status ReadAt(uint64_t offset, uint64_t size, std::string* out) const;
 
-  int fd_ = -1;
+  std::unique_ptr<RandomAccessFile> file_;
   std::string path_;
   uint64_t file_id_ = 0;
   uint64_t file_size_ = 0;
   uint64_t num_entries_ = 0;
   std::shared_ptr<Block> index_;
   std::string bloom_data_;
+  bool bloom_corrupt_ = false;
+  mutable std::atomic<uint64_t> bloom_fallback_lookups_{0};
   std::string smallest_key_;
   std::string largest_key_;
   BlockCache* cache_ = nullptr;

@@ -1,9 +1,6 @@
 #include "kvstore/wal.h"
 
 #include <array>
-#include <cerrno>
-#include <cstring>
-#include <vector>
 
 #include "common/bytes.h"
 
@@ -34,13 +31,10 @@ uint32_t Crc32(std::string_view data) {
 
 WalWriter::~WalWriter() { Close(); }
 
-Status WalWriter::Open(const std::string& path, bool truncate) {
+Status WalWriter::Open(const std::string& path, bool truncate, Env* env) {
   Close();
-  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot open WAL " + path + ": " +
-                           std::strerror(errno));
-  }
+  if (env == nullptr) env = Env::Default();
+  JUST_ASSIGN_OR_RETURN(file_, env->NewWritableFile(path, truncate));
   return Status::OK();
 }
 
@@ -55,37 +49,29 @@ Status WalWriter::Append(WalRecordType type, std::string_view key,
   PutFixed32(&record, Crc32(payload));
   PutVarint64(&record, payload.size());
   record += payload;
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-    return Status::IOError("WAL write failed");
-  }
-  return Status::OK();
+  return file_->Append(record);
 }
 
 Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::IOError("WAL not open");
-  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
-  return Status::OK();
+  return file_->Sync();
 }
 
 void WalWriter::Close() {
   if (file_ != nullptr) {
-    std::fclose(file_);
+    file_->Close();
     file_ = nullptr;
   }
 }
 
 Status ReplayWal(const std::string& path,
                  const std::function<void(WalRecordType, std::string_view,
-                                          std::string_view)>& fn) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::OK();  // no WAL -> nothing to replay
+                                          std::string_view)>& fn,
+                 Env* env) {
+  if (env == nullptr) env = Env::Default();
+  if (!env->FileExists(path)) return Status::OK();  // no WAL: nothing to do
   std::string content;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    content.append(buf, n);
-  }
-  std::fclose(f);
+  JUST_RETURN_NOT_OK(env->ReadFileToString(path, &content));
 
   const char* p = content.data();
   const char* limit = p + content.size();

@@ -1,12 +1,13 @@
 #ifndef JUST_KVSTORE_WAL_H_
 #define JUST_KVSTORE_WAL_H_
 
-#include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
+#include "kvstore/env.h"
 
 namespace just::kv {
 
@@ -25,25 +26,30 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  Status Open(const std::string& path, bool truncate);
+  /// `env` nullptr means Env::Default().
+  Status Open(const std::string& path, bool truncate, Env* env = nullptr);
   Status Append(WalRecordType type, std::string_view key,
                 std::string_view value);
+  /// Makes every appended record durable (fsync).
   Status Sync();
   void Close();
 
   bool is_open() const { return file_ != nullptr; }
 
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
 };
 
 /// Replays a WAL file, invoking `fn` per record. Stops cleanly at the first
-/// torn/corrupt tail record (crash semantics).
+/// torn/corrupt tail record (crash semantics). `env` nullptr means
+/// Env::Default().
 Status ReplayWal(const std::string& path,
                  const std::function<void(WalRecordType, std::string_view key,
-                                          std::string_view value)>& fn);
+                                          std::string_view value)>& fn,
+                 Env* env = nullptr);
 
-/// CRC-32 (ISO-HDLC polynomial) used by WAL and SSTable footers.
+/// CRC-32 (ISO-HDLC polynomial) used by WAL records, SSTable blocks, and
+/// SSTable footers.
 uint32_t Crc32(std::string_view data);
 
 }  // namespace just::kv

@@ -1,0 +1,325 @@
+// Crash and corruption recovery: torn WAL tails, simulated power loss,
+// startup quarantine of half-written SSTables, and a byte-flip sweep that
+// corrupts every single byte of an SSTable in turn. The invariant under
+// test: the store serves exactly-correct data or a clean Status::Corruption
+// — never a wrong answer, never a silent loss.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kvstore/fault_env.h"
+#include "kvstore/lsm_store.h"
+#include "kvstore/wal.h"
+#include "test_util.h"
+
+namespace just::kv {
+namespace {
+
+using just::testing::TempDir;
+
+StoreOptions SmallStoreOptions(const std::string& dir, Env* env) {
+  StoreOptions opts;
+  opts.dir = dir;
+  opts.env = env;
+  opts.block_size = 256;
+  opts.compaction_trigger = 100;  // keep the table layout deterministic
+  return opts;
+}
+
+std::string TestKey(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key%03d", i);
+  return buf;
+}
+
+std::string TestValue(int i) {
+  return "value-" + std::to_string(i) + std::string(16, 'v');
+}
+
+// --- Torn WAL tail ---
+
+// Writes K records, then truncates the log at every byte offset inside the
+// last record. Replay must yield exactly the first K-1 records each time: a
+// torn tail is dropped cleanly, never half-applied, and never takes the
+// preceding intact records with it.
+TEST(CrashRecoveryTest, TornWalTailReplaysExactlyPrecedingRecords) {
+  TempDir dir("torn_wal");
+  const std::string path = dir.path() + "/wal.log";
+  const int kRecords = 5;
+  std::vector<uint64_t> size_after;  // file size after each record
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, /*truncate=*/true).ok());
+    for (int i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(writer.Append(WalRecordType::kPut, TestKey(i),
+                                TestValue(i)).ok());
+      ASSERT_TRUE(writer.Sync().ok());
+      auto size = Env::Default()->GetFileSize(path);
+      ASSERT_TRUE(size.ok());
+      size_after.push_back(*size);
+    }
+  }
+
+  auto replay = [&](std::vector<std::pair<std::string, std::string>>* out) {
+    out->clear();
+    return ReplayWal(path, [&](WalRecordType type, std::string_view key,
+                               std::string_view value) {
+      ASSERT_EQ(type, WalRecordType::kPut);
+      out->emplace_back(std::string(key), std::string(value));
+    });
+  };
+
+  std::vector<std::pair<std::string, std::string>> records;
+  ASSERT_TRUE(replay(&records).ok());
+  ASSERT_EQ(records.size(), static_cast<size_t>(kRecords));
+
+  // Truncate downward through every byte of the last record, including the
+  // cut that removes it entirely.
+  for (uint64_t cut = size_after[kRecords - 1] - 1;
+       cut + 1 > size_after[kRecords - 2]; --cut) {
+    ASSERT_TRUE(Env::Default()->TruncateFile(path, cut).ok());
+    ASSERT_TRUE(replay(&records).ok()) << "cut at byte " << cut;
+    ASSERT_EQ(records.size(), static_cast<size_t>(kRecords - 1))
+        << "cut at byte " << cut;
+    for (int i = 0; i < kRecords - 1; ++i) {
+      EXPECT_EQ(records[i].first, TestKey(i));
+      EXPECT_EQ(records[i].second, TestValue(i));
+    }
+  }
+}
+
+// A flipped byte mid-log must not let later records through: replay applies
+// the intact prefix and stops at the damaged record.
+TEST(CrashRecoveryTest, CorruptWalRecordStopsReplayAtIntactPrefix) {
+  TempDir dir("corrupt_wal");
+  const std::string path = dir.path() + "/wal.log";
+  std::vector<uint64_t> size_after;
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, /*truncate=*/true).ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(writer.Append(WalRecordType::kPut, TestKey(i),
+                                TestValue(i)).ok());
+      ASSERT_TRUE(writer.Sync().ok());
+      size_after.push_back(*Env::Default()->GetFileSize(path));
+    }
+  }
+  FaultInjectionEnv env;
+  // Damage the third record's payload.
+  ASSERT_TRUE(env.FlipByte(path, size_after[1] + 6).ok());
+  size_t count = 0;
+  ASSERT_TRUE(ReplayWal(path, [&](WalRecordType, std::string_view key,
+                                  std::string_view) {
+    EXPECT_EQ(key, TestKey(static_cast<int>(count)));
+    ++count;
+  }).ok());
+  EXPECT_EQ(count, 2u);
+}
+
+// --- Simulated power loss ---
+
+// With sync_wal on, every acknowledged write survives power loss; writes
+// acknowledged without sync may vanish, but the store must still reopen
+// cleanly and keep everything that was synced before.
+TEST(CrashRecoveryTest, PowerLossKeepsSyncedWritesDropsUnsynced) {
+  TempDir dir("power_loss");
+  FaultInjectionEnv env;
+  {
+    StoreOptions opts = SmallStoreOptions(dir.path(), &env);
+    opts.sync_wal = true;
+    auto store = LsmStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*store)->Put(TestKey(i), TestValue(i)).ok());
+    }
+  }
+  {
+    StoreOptions opts = SmallStoreOptions(dir.path(), &env);
+    opts.sync_wal = false;  // acknowledgement no longer implies durability
+    auto store = LsmStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*store)->Put("unsynced" + std::to_string(i), "gone").ok());
+    }
+    env.DropUnsyncedWrites();  // power loss; store object still "running"
+  }  // the dying store's close attempts fail under the write lockout
+  env.ClearFaults();
+
+  auto store = LsmStore::Open(SmallStoreOptions(dir.path(), Env::Default()));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  std::string value;
+  for (int i = 0; i < 10; ++i) {
+    Status st = (*store)->Get(TestKey(i), &value);
+    ASSERT_TRUE(st.ok()) << "synced write " << i << " lost: " << st.ToString();
+    EXPECT_EQ(value, TestValue(i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(
+        (*store)->Get("unsynced" + std::to_string(i), &value).IsNotFound());
+  }
+}
+
+// Power loss immediately after Flush(): the flushed table was fsynced and
+// committed via the MANIFEST before Flush returned, so it must survive even
+// though the WAL that covered those writes is now truncated.
+TEST(CrashRecoveryTest, PowerLossAfterFlushKeepsFlushedData) {
+  TempDir dir("power_after_flush");
+  FaultInjectionEnv env;
+  {
+    auto store = LsmStore::Open(SmallStoreOptions(dir.path(), &env));
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*store)->Put(TestKey(i), TestValue(i)).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    env.DropUnsyncedWrites();
+  }
+  env.ClearFaults();
+  auto store = LsmStore::Open(SmallStoreOptions(dir.path(), Env::Default()));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  std::string value;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*store)->Get(TestKey(i), &value).ok()) << TestKey(i);
+    EXPECT_EQ(value, TestValue(i));
+  }
+}
+
+// --- Startup quarantine ---
+
+TEST(CrashRecoveryTest, QuarantinesStraySstAndRemovesTmpFiles) {
+  TempDir dir("quarantine");
+  {
+    auto store = LsmStore::Open(SmallStoreOptions(dir.path(), Env::Default()));
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE((*store)->Put(TestKey(i), TestValue(i)).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Plant the debris a crash mid-flush/compaction leaves behind: a table the
+  // MANIFEST never committed and a half-built temp file.
+  Env* posix = Env::Default();
+  for (const char* name : {"000099.sst", "000042.sst.tmp"}) {
+    auto file = posix->NewWritableFile(dir.path() + "/" + name, true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("partial table junk").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  auto store = LsmStore::Open(SmallStoreOptions(dir.path(), Env::Default()));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->GetStats().quarantined_files, 1u);
+  EXPECT_FALSE(posix->FileExists(dir.path() + "/000099.sst"));
+  EXPECT_TRUE(posix->FileExists(dir.path() + "/000099.sst.quarantine"));
+  EXPECT_FALSE(posix->FileExists(dir.path() + "/000042.sst.tmp"));
+
+  // Committed data is untouched by the cleanup.
+  std::string value;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*store)->Get(TestKey(i), &value).ok());
+    EXPECT_EQ(value, TestValue(i));
+  }
+  // The file-number counter skips past the quarantined table, so the next
+  // flush cannot collide with it.
+  ASSERT_TRUE((*store)->Put("zz", "after").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_TRUE(posix->FileExists(dir.path() + "/000100.sst"));
+}
+
+// --- Byte-flip sweep ---
+
+// Flips every single byte of a committed SSTable in turn and checks the
+// acceptance criterion from the failure model: each read either returns
+// exactly-correct data or Status::Corruption. A flip that lands in the bloom
+// block is allowed to degrade to always-match — correctness is unaffected —
+// but must then show up in Stats as a corrupt bloom table.
+TEST(CrashRecoveryTest, AnySingleByteFlipIsDetectedOrHarmless) {
+  TempDir dir("byte_flip");
+  const int kKeys = 40;
+  std::map<std::string, std::string> model;
+  {
+    auto store = LsmStore::Open(SmallStoreOptions(dir.path(), Env::Default()));
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < kKeys; ++i) {
+      ASSERT_TRUE((*store)->Put(TestKey(i), TestValue(i)).ok());
+      model[TestKey(i)] = TestValue(i);
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Locate the single SSTable produced by the flush.
+  std::string sst_path;
+  auto entries = Env::Default()->ListDir(dir.path());
+  ASSERT_TRUE(entries.ok());
+  for (const auto& name : *entries) {
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".sst") {
+      ASSERT_TRUE(sst_path.empty()) << "expected exactly one table";
+      sst_path = dir.path() + "/" + name;
+    }
+  }
+  ASSERT_FALSE(sst_path.empty());
+  auto file_size = Env::Default()->GetFileSize(sst_path);
+  ASSERT_TRUE(file_size.ok());
+
+  FaultInjectionEnv flipper;  // used only for its FlipByte utility
+  size_t bloom_degradations = 0;
+  for (uint64_t offset = 0; offset < *file_size; ++offset) {
+    ASSERT_TRUE(flipper.FlipByte(sst_path, offset).ok());
+
+    auto store = LsmStore::Open(SmallStoreOptions(dir.path(), Env::Default()));
+    if (!store.ok()) {
+      // Footer/index/first-block damage can fail the open — but only with a
+      // corruption report, never a crash or a silently empty store.
+      EXPECT_TRUE(store.status().IsCorruption())
+          << "offset " << offset << ": " << store.status().ToString();
+    } else {
+      bool all_reads_clean = true;
+      // Full scan: either the exact model contents or a corruption error.
+      std::map<std::string, std::string> scanned;
+      Status st = (*store)->Scan(
+          "", "", [&](std::string_view k, std::string_view v) {
+            scanned.emplace(std::string(k), std::string(v));
+            return true;
+          });
+      if (st.ok()) {
+        EXPECT_EQ(scanned, model) << "offset " << offset;
+      } else {
+        all_reads_clean = false;
+        EXPECT_TRUE(st.IsCorruption())
+            << "offset " << offset << ": " << st.ToString();
+      }
+      // Point reads: correct value or corruption — never a wrong value and
+      // never a false NotFound.
+      for (int i = 0; i < kKeys; i += 7) {
+        std::string value;
+        st = (*store)->Get(TestKey(i), &value);
+        if (st.ok()) {
+          EXPECT_EQ(value, model[TestKey(i)])
+              << "offset " << offset << " key " << TestKey(i);
+        } else {
+          all_reads_clean = false;
+          EXPECT_TRUE(st.IsCorruption())
+              << "offset " << offset << ": " << st.ToString();
+        }
+      }
+      if (all_reads_clean) {
+        // Every byte of the table is checksummed, so a flip that nothing
+        // noticed can only mean the bloom block took the hit and the table
+        // degraded to bloom-less lookups — which must be observable.
+        EXPECT_EQ((*store)->GetStats().corrupt_bloom_tables, 1u)
+            << "offset " << offset << " flipped undetected";
+        ++bloom_degradations;
+      }
+    }
+
+    ASSERT_TRUE(flipper.FlipByte(sst_path, offset).ok());  // restore
+  }
+  // The table carries a real bloom filter, so some flips must have landed
+  // in it and exercised the degradation path.
+  EXPECT_GT(bloom_degradations, 0u);
+}
+
+}  // namespace
+}  // namespace just::kv

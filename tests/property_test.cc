@@ -5,6 +5,7 @@
 
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "common/rng.h"
 #include "compress/codec.h"
@@ -198,6 +199,84 @@ INSTANTIATE_TEST_SUITE_P(
                       curve::IndexType::kZ2T, curve::IndexType::kXz2T),
     [](const ::testing::TestParamInfo<curve::IndexType>& info) {
       return curve::IndexTypeName(info.param);
+    });
+
+// --- Index strategies: planner ranges always cover the encoded key ---
+//
+// The fundamental recall contract of every curve index: if a record lies
+// inside a query's box and time window, the key EncodeKey produces for it
+// must fall inside at least one of the [start, end) ranges QueryRanges
+// plans for that query — otherwise the SCAN layer silently drops a
+// qualifying record and no refinement step can get it back.
+
+class CurveCoverageTest
+    : public ::testing::TestWithParam<std::tuple<curve::IndexType, uint64_t>> {
+};
+
+TEST_P(CurveCoverageTest, PlannerRangesCoverKeysOfQualifyingRecords) {
+  auto [type, seed] = GetParam();
+  curve::IndexOptions options;
+  options.num_shards = 3;
+  auto strategy = curve::IndexStrategy::Create(type, options);
+  Rng rng(seed);
+  TimestampMs day = ParseTimestamp("2014-03-10").value();
+  for (int trial = 0; trial < 150; ++trial) {
+    // Random query box, kept away from the domain edges.
+    double lng0 = rng.Uniform(-170.0, 165.0);
+    double lat0 = rng.Uniform(-80.0, 75.0);
+    double width = rng.Uniform(0.05, 4.0);
+    double height = rng.Uniform(0.05, 4.0);
+    geo::Mbr qbox = geo::Mbr::Of(lng0, lat0, lng0 + width, lat0 + height);
+    // Random time window between one millisecond and ~two periods long.
+    TimestampMs t0 =
+        day + static_cast<TimestampMs>(rng.Uniform(3 * kMillisPerDay));
+    TimestampMs t1 =
+        t0 + 1 + static_cast<TimestampMs>(rng.Uniform(2 * kMillisPerDay));
+
+    // A record strictly inside the box and window. Point indexes get a
+    // degenerate MBR; extent indexes get a small box contained in the query.
+    double cx = rng.Uniform(lng0 + 0.05 * width, lng0 + 0.7 * width);
+    double cy = rng.Uniform(lat0 + 0.05 * height, lat0 + 0.7 * height);
+    curve::RecordRef ref;
+    if (curve::IsExtentIndex(type)) {
+      ref.mbr = geo::Mbr::Of(cx, cy, cx + rng.Uniform(0.0, 0.25 * width),
+                             cy + rng.Uniform(0.0, 0.25 * height));
+    } else {
+      ref.mbr = geo::Mbr::Of(cx, cy, cx, cy);
+    }
+    ref.t_min = ref.t_max =
+        t0 + static_cast<TimestampMs>(rng.Uniform(t1 - t0 + 1));
+    ref.fid = "f" + std::to_string(trial);
+
+    std::string key = strategy->EncodeKey(ref);
+    auto ranges = strategy->QueryRanges(qbox, t0, t1);
+    bool covered = false;
+    for (const auto& range : ranges) {
+      if (key >= range.start && (range.end.empty() || key < range.end)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << curve::IndexTypeName(type) << " trial " << trial
+                         << ": record at (" << cx << ", " << cy
+                         << ") t=" << ref.t_min << " escaped all "
+                         << ranges.size() << " planned ranges";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, CurveCoverageTest,
+    ::testing::Combine(::testing::Values(curve::IndexType::kZ2,
+                                         curve::IndexType::kZ3,
+                                         curve::IndexType::kXz2,
+                                         curve::IndexType::kXz3,
+                                         curve::IndexType::kZ2T,
+                                         curve::IndexType::kXz2T),
+                       ::testing::Values(11ull, 20140310ull)),
+    [](const ::testing::TestParamInfo<std::tuple<curve::IndexType, uint64_t>>&
+           info) {
+      return curve::IndexTypeName(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
     });
 
 // --- Compression framing: every payload length round-trips exactly ---
