@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 
+#include "bench_common.h"
 #include "core/engine.h"
 #include "workload/generators.h"
 
@@ -136,7 +137,6 @@ int main(int argc, char** argv) {
       ->Arg(4)
       ->Arg(64)
       ->Arg(32768);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  just::bench::RunBenchmarks(argc, argv);
   return 0;
 }

@@ -1,6 +1,13 @@
 #include "bench_common.h"
 
+#include <benchmark/benchmark.h>
+
 #include <chrono>
+#include <fstream>
+#include <iterator>
+#include <string_view>
+
+#include "obs/metrics.h"
 
 namespace just::bench {
 
@@ -263,6 +270,39 @@ baselines::BaselineOptions CalibratedBaselineOptions(Dataset dataset) {
   options.memory_budget_bytes =
       static_cast<size_t>(static_cast<double>(total) * 1.07);
   return options;
+}
+
+void RunBenchmarks(int argc, char** argv) {
+  // Find the output file before Initialize consumes the flags.
+  std::string out_path;
+  constexpr std::string_view kFlag = "--benchmark_out=";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      out_path = std::string(arg.substr(kFlag.size()));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();  // flushes and closes the output file
+  if (out_path.empty()) return;
+
+  // Splice the registry snapshot into the record: google-benchmark's JSON
+  // output is one object ending with "}\n", so inserting before the final
+  // brace keeps it a valid single object.
+  std::ifstream in(out_path);
+  if (!in.is_open()) return;
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  size_t brace = json.find_last_of('}');
+  if (brace == std::string::npos) return;
+  std::string snapshot = obs::Registry::Global().JsonDump();
+  std::string injected = json.substr(0, brace) +
+                         ",\n  \"obs_registry\": " + snapshot + "\n" +
+                         json.substr(brace);
+  std::ofstream out(out_path, std::ios::trunc);
+  out << injected;
 }
 
 }  // namespace just::bench

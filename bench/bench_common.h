@@ -106,6 +106,13 @@ baselines::BaselineOptions CalibratedBaselineOptions(Dataset dataset);
 /// Scratch root for bench data; wiped on first use per process.
 std::string BenchDataRoot();
 
+/// benchmark::Initialize + RunSpecifiedBenchmarks + Shutdown, then — when
+/// `--benchmark_out=<file>` was passed — injects a snapshot of the global
+/// metrics registry into the finished JSON record as a top-level
+/// "obs_registry" member, so every BENCH_*.json carries the storage/query
+/// counters that produced its numbers.
+void RunBenchmarks(int argc, char** argv);
+
 }  // namespace just::bench
 
 #endif  // JUST_BENCH_BENCH_COMMON_H_

@@ -130,8 +130,7 @@ int main(int argc, char** argv) {
         ->Arg(pct)
         ->Iterations(1);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  just::bench::RunBenchmarks(argc, argv);
   PrintFigure("Figure 10c", Dataset::kOrder, {Variant::kJust},
               SparkSystems());
   PrintFigure("Figure 10d", Dataset::kTraj,

@@ -96,7 +96,6 @@ int main(int argc, char** argv) {
       ->DenseRange(20, 100, 40);
   benchmark::RegisterBenchmark("Fig14b/Synthetic/kNN", BM_SyntheticKnn)
       ->DenseRange(20, 100, 40);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  just::bench::RunBenchmarks(argc, argv);
   return 0;
 }

@@ -20,7 +20,7 @@ void RunJustQueries(benchmark::State& state, Dataset dataset, Variant variant,
   Fixture* fx = GetFixture(dataset, pct, variant);
   size_t qi = 0;
   size_t results = 0;
-  uint64_t io_before = kv::GlobalIoStats().bytes_read.load();
+  uint64_t io_before = kv::GlobalIoStats().bytes_read;
   for (auto _ : state) {
     geo::Mbr box = geo::SquareWindowKm(
         fx->centers.centers[qi++ % fx->centers.centers.size()], window_km);
@@ -37,7 +37,7 @@ void RunJustQueries(benchmark::State& state, Dataset dataset, Variant variant,
   // The Fig 11b/11d mechanism: compression cuts bytes read from the store.
   // (Wall-clock benefits require a cold cache; see EXPERIMENTS.md.)
   state.counters["io_KB_per_query"] =
-      static_cast<double>(kv::GlobalIoStats().bytes_read.load() - io_before) /
+      static_cast<double>(kv::GlobalIoStats().bytes_read - io_before) /
       1024.0 / iters;
 }
 
@@ -157,7 +157,6 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   just::bench::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  just::bench::RunBenchmarks(argc, argv);
   return 0;
 }

@@ -83,8 +83,7 @@ int main(int argc, char** argv) {
                                BM_OptimizedExecution);
   benchmark::RegisterBenchmark("Fig8/Execute/Unoptimized",
                                BM_UnoptimizedExecution);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  just::bench::RunBenchmarks(argc, argv);
 
   // Print the Figure 8 plans.
   Fixture* fx = GetFixture(Dataset::kOrder, 100, Variant::kJust);

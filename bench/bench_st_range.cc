@@ -171,7 +171,6 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   just::bench::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  just::bench::RunBenchmarks(argc, argv);
   return 0;
 }

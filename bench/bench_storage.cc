@@ -83,8 +83,7 @@ int main(int argc, char** argv) {
         ->Arg(pct)
         ->Iterations(1);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  just::bench::RunBenchmarks(argc, argv);
   PrintSeries("Figure 10a", Dataset::kOrder,
               {Variant::kJust, Variant::kOrderCompressed});
   PrintSeries("Figure 10b", Dataset::kTraj,

@@ -120,8 +120,7 @@ void BM_TableGeneration(benchmark::State& state) {
 int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("Tables/TraitsLookup",
                                just::bench::BM_TableGeneration);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  just::bench::RunBenchmarks(argc, argv);
   just::bench::PrintTable1();
   just::bench::PrintTable2();
   just::bench::PrintTable3();

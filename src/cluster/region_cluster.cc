@@ -5,6 +5,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace just::cluster {
 
 Result<std::unique_ptr<RegionCluster>> RegionCluster::Open(
@@ -29,10 +32,14 @@ int RegionCluster::ServerFor(std::string_view key) const {
 }
 
 Status RegionCluster::WithRetry(const std::function<Status()>& op) const {
+  // Stable pointer into the registry; fetched once per process.
+  static obs::Counter* retries =
+      obs::Registry::Global().GetCounter("just_cluster_retries_total");
   Status st = op();
   for (int attempt = 0; !st.ok() && st.IsTransient() &&
                         attempt < options_.max_retries;
        ++attempt) {
+    retries->Increment();
     // Exponential backoff: a region server mid-restart needs a moment, and
     // hammering it would only extend the brownout.
     int delay_ms = options_.retry_backoff_ms << attempt;
@@ -65,7 +72,18 @@ Result<std::vector<RegionCluster::RangeResult>> RegionCluster::ParallelScan(
   std::atomic<bool> failed{false};
   Status first_error;
   std::mutex error_mu;
+  static obs::Histogram* scan_hist =
+      obs::Registry::Global().GetHistogram("just_cluster_parallel_scan_us");
+  obs::ScopedSpan span("cluster.ParallelScan");
+  if (span.span() != nullptr) {
+    span.span()->AddAttr("ranges", std::to_string(ranges.size()));
+  }
+  const auto scan_start = std::chrono::steady_clock::now();
+  // Pool workers have their own thread-local state: hand them the span
+  // explicitly so their I/O counters attribute to this scan.
+  obs::TraceSpan* parent_span = obs::CurrentSpan();
   DefaultPool().ParallelFor(ranges.size(), [&](size_t i) {
+    obs::SpanScope scope(parent_span);
     if (failed.load(std::memory_order_relaxed)) return;
     const curve::KeyRange& range = ranges[i];
     results[i].contained = range.contained;
@@ -96,6 +114,10 @@ Result<std::vector<RegionCluster::RangeResult>> RegionCluster::ParallelScan(
       for (auto& row : rows) results[i].rows.push_back(std::move(row));
     }
   });
+  scan_hist->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - scan_start)
+          .count()));
   if (failed.load()) {
     return first_error.ok() ? Status::Internal("parallel scan failed")
                             : first_error;

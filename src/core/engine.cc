@@ -24,6 +24,9 @@ Result<std::unique_ptr<JustEngine>> JustEngine::Open(
   cluster_options.store = options.store;
   JUST_ASSIGN_OR_RETURN(engine->cluster_,
                         cluster::RegionCluster::Open(cluster_options));
+  engine->slow_query_log_ = std::make_unique<obs::SlowQueryLog>(
+      options.slow_query_threshold_us, /*capacity=*/128,
+      options.slow_query_log_to_stderr);
   return engine;
 }
 

@@ -13,6 +13,7 @@
 #include "core/table.h"
 #include "exec/dataframe.h"
 #include "meta/catalog.h"
+#include "obs/slow_query_log.h"
 
 namespace just::core {
 
@@ -23,6 +24,10 @@ struct EngineOptions {
   kv::StoreOptions store;             ///< per-region-server store options
   curve::IndexOptions index;          ///< SFC resolutions, range budgets
   ResultSet::Options result_options;  ///< direct-vs-spill thresholds
+  /// Statements at least this slow are captured in the engine's slow-query
+  /// log (and counted as just_sql_slow_queries_total). Negative disables.
+  int64_t slow_query_threshold_us = 500000;
+  bool slow_query_log_to_stderr = true;
 };
 
 /// The JUST engine: one shared instance serves every user (the paper's
@@ -123,6 +128,7 @@ class JustEngine {
 
   meta::Catalog* catalog() { return catalog_.get(); }
   cluster::RegionCluster* cluster() { return cluster_.get(); }
+  obs::SlowQueryLog* slow_query_log() { return slow_query_log_.get(); }
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -133,6 +139,7 @@ class JustEngine {
   EngineOptions options_;
   std::unique_ptr<meta::Catalog> catalog_;
   std::unique_ptr<cluster::RegionCluster> cluster_;
+  std::unique_ptr<obs::SlowQueryLog> slow_query_log_;
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<StTable>> table_cache_;

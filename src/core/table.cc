@@ -6,10 +6,29 @@
 
 #include "common/bytes.h"
 #include "core/row_codec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace just::core {
 
 namespace {
+/// Dual attribution of per-query stats: the process-wide registry counters
+/// and (when a trace is active) the current span.
+void RecordQueryCounters(size_t ranges, size_t scanned, size_t matched) {
+  static obs::Counter* key_ranges =
+      obs::Registry::Global().GetCounter("just_query_key_ranges_total");
+  static obs::Counter* rows_scanned =
+      obs::Registry::Global().GetCounter("just_query_rows_scanned_total");
+  static obs::Counter* rows_matched =
+      obs::Registry::Global().GetCounter("just_query_rows_matched_total");
+  key_ranges->Add(ranges);
+  rows_scanned->Add(scanned);
+  rows_matched->Add(matched);
+  obs::TraceKeyRanges(ranges);
+  obs::TraceRowsScanned(scanned);
+  obs::TraceRowsMatched(matched);
+}
+
 /// Minimum expansion-area size for Algorithm 1 (the paper's g = 1km x 1km
 /// system parameter, expressed in degrees at mid latitudes).
 constexpr double kMinKnnAreaDeg = 0.01;
@@ -184,6 +203,7 @@ Result<exec::DataFrame> StTable::AttributeQuery(const std::string& column,
     stats->rows_scanned += scanned;
     stats->rows_matched += out.num_rows();
   }
+  RecordQueryCounters(ranges.size(), scanned, out.num_rows());
   return out;
 }
 
@@ -262,6 +282,7 @@ Result<exec::DataFrame> StTable::RunRanges(
     stats->rows_scanned += scanned;
     stats->rows_matched += out.num_rows();
   }
+  RecordQueryCounters(ranges.size(), scanned, out.num_rows());
   return out;
 }
 

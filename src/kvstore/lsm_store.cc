@@ -50,7 +50,29 @@ LsmStore::LsmStore(const StoreOptions& options)
       env_(options.env != nullptr ? options.env : Env::Default()),
       memtable_(std::make_unique<SkipList>()),
       block_cache_(
-          std::make_unique<BlockCache>(options.block_cache_bytes)) {}
+          std::make_unique<BlockCache>(options.block_cache_bytes)) {
+  using SK = obs::Registry::SourceKind;
+  metric_sources_.emplace_back("just_kv_block_cache_hits_total",
+                               SK::kCumulative,
+                               [this] { return block_cache_->hits(); });
+  metric_sources_.emplace_back("just_kv_block_cache_misses_total",
+                               SK::kCumulative,
+                               [this] { return block_cache_->misses(); });
+  metric_sources_.emplace_back("just_kv_disk_bytes", SK::kLive, [this] {
+    std::shared_lock lock(mu_);
+    uint64_t total = 0;
+    for (const auto& table : sstables_) total += table->file_size();
+    return total;
+  });
+  metric_sources_.emplace_back("just_kv_memtable_bytes", SK::kLive, [this] {
+    std::shared_lock lock(mu_);
+    return static_cast<uint64_t>(memtable_->ApproximateBytes());
+  });
+  metric_sources_.emplace_back("just_kv_sstables", SK::kLive, [this] {
+    std::shared_lock lock(mu_);
+    return static_cast<uint64_t>(sstables_.size());
+  });
+}
 
 LsmStore::~LsmStore() {
   // Durability of the memtable is the WAL's job; just close cleanly.
@@ -93,7 +115,8 @@ Status LsmStore::Recover() {
       if (num == 0) continue;
       JUST_ASSIGN_OR_RETURN(
           auto reader,
-          SsTableReader::Open(SstPath(num), num, block_cache_.get(), env_));
+          SsTableReader::Open(SstPath(num), num, block_cache_.get(), env_,
+                              &io_stats_));
       sstables_.push_back(reader);
       live.insert(num);
       next_file_number_ = std::max(next_file_number_, num + 1);
@@ -290,7 +313,7 @@ Status LsmStore::FlushLocked() {
   bopts.block_size = options_.block_size;
   bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
   SsTableBuilder builder(bopts);
-  JUST_RETURN_NOT_OK(builder.Open(tmp_path, env_));
+  JUST_RETURN_NOT_OK(builder.Open(tmp_path, env_, &io_stats_));
   SkipList::Iterator it(memtable_.get());
   for (it.SeekToFirst(); it.Valid(); it.Next()) {
     JUST_RETURN_NOT_OK(builder.Add(it.key(), it.value()));
@@ -302,7 +325,8 @@ Status LsmStore::FlushLocked() {
   JUST_RETURN_NOT_OK(env_->RenameFile(tmp_path, final_path));
   JUST_ASSIGN_OR_RETURN(
       auto reader,
-      SsTableReader::Open(final_path, file_number, block_cache_.get(), env_));
+      SsTableReader::Open(final_path, file_number, block_cache_.get(), env_,
+                          &io_stats_));
   sstables_.push_back(reader);
   JUST_RETURN_NOT_OK(WriteManifestLocked());
   // The flush is durable only now; dropping the memtable or truncating the
@@ -325,7 +349,7 @@ Status LsmStore::MergeAllLocked() {
   bopts.block_size = options_.block_size;
   bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
   SsTableBuilder merged(bopts);
-  JUST_RETURN_NOT_OK(merged.Open(tmp_path, env_));
+  JUST_RETURN_NOT_OK(merged.Open(tmp_path, env_, &io_stats_));
 
   std::vector<std::unique_ptr<SsTableReader::Iterator>> iters;
   for (auto input = inputs.rbegin(); input != inputs.rend(); ++input) {
@@ -367,7 +391,8 @@ Status LsmStore::MergeAllLocked() {
   JUST_RETURN_NOT_OK(env_->RenameFile(tmp_path, final_path));
   JUST_ASSIGN_OR_RETURN(
       auto merged_reader,
-      SsTableReader::Open(final_path, out_number, block_cache_.get(), env_));
+      SsTableReader::Open(final_path, out_number, block_cache_.get(), env_,
+                          &io_stats_));
   sstables_.clear();
   sstables_.push_back(merged_reader);
   block_cache_->Clear();
@@ -421,8 +446,15 @@ LsmStore::Stats LsmStore::GetStats() const {
     stats.disk_bytes += table->file_size();
     stats.sstable_entries += table->num_entries();
     if (table->bloom_corrupt()) ++stats.corrupt_bloom_tables;
-    stats.bloom_fallbacks += table->bloom_fallback_lookups();
   }
+  // Thin view over the registry-backed per-store counters.
+  stats.bloom_fallbacks = io_stats_.bloom_fallbacks.Value();
+  stats.bloom_prunes = io_stats_.bloom_prunes.Value();
+  stats.bytes_read = io_stats_.bytes_read.Value();
+  stats.bytes_written = io_stats_.bytes_written.Value();
+  stats.read_ops = io_stats_.read_ops.Value();
+  stats.block_cache_hits = block_cache_->hits();
+  stats.block_cache_misses = block_cache_->misses();
   return stats;
 }
 

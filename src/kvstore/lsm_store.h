@@ -72,6 +72,9 @@ class LsmStore {
   /// dropping tombstones.
   Status CompactAll();
 
+  /// Thin view over this store's registry-backed counters plus the usual
+  /// structural numbers. The authoritative values live in `io_stats()` and
+  /// the block cache; this struct just snapshots them.
   struct Stats {
     size_t num_sstables = 0;
     size_t memtable_entries = 0;
@@ -82,10 +85,20 @@ class LsmStore {
     size_t corrupt_bloom_tables = 0;
     /// Point lookups that could not use a bloom filter and searched anyway.
     uint64_t bloom_fallbacks = 0;
+    /// Point lookups a bloom filter pruned without touching data blocks.
+    uint64_t bloom_prunes = 0;
     /// Files quarantined at the last recovery (stray `.sst` leftovers).
     size_t quarantined_files = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+    uint64_t read_ops = 0;
+    uint64_t block_cache_hits = 0;
+    uint64_t block_cache_misses = 0;
   };
   Stats GetStats() const;
+
+  /// Per-store I/O counters (registered into obs::Registry as just_kv_*).
+  IoStats& io_stats() const { return io_stats_; }
 
   const StoreOptions& options() const { return options_; }
 
@@ -114,6 +127,10 @@ class LsmStore {
   uint64_t next_file_number_ = 1;
   size_t quarantined_files_ = 0;
   std::unique_ptr<BlockCache> block_cache_;
+  mutable IoStats io_stats_;
+  /// Last member: these sources read the fields above, so they must be
+  /// unregistered (and cumulative values folded) before anything else dies.
+  std::vector<obs::ScopedSource> metric_sources_;
 };
 
 }  // namespace just::kv

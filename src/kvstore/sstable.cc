@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "kvstore/wal.h"
+#include "obs/trace.h"
 
 namespace just::kv {
 
@@ -23,7 +24,30 @@ std::string CacheKey(uint64_t file_id, uint64_t offset) {
 }
 }  // namespace
 
-IoStats& GlobalIoStats() {
+IoStats::IoStats() {
+  using SK = obs::Registry::SourceKind;
+  sources_.emplace_back("just_kv_bytes_read_total", SK::kCumulative,
+                        [this] { return bytes_read.Value(); });
+  sources_.emplace_back("just_kv_read_ops_total", SK::kCumulative,
+                        [this] { return read_ops.Value(); });
+  sources_.emplace_back("just_kv_bytes_written_total", SK::kCumulative,
+                        [this] { return bytes_written.Value(); });
+  sources_.emplace_back("just_kv_bloom_prunes_total", SK::kCumulative,
+                        [this] { return bloom_prunes.Value(); });
+  sources_.emplace_back("just_kv_bloom_fallbacks_total", SK::kCumulative,
+                        [this] { return bloom_fallbacks.Value(); });
+}
+
+IoTotals GlobalIoStats() {
+  const obs::Registry& registry = obs::Registry::Global();
+  IoTotals totals;
+  totals.bytes_read = registry.CounterValue("just_kv_bytes_read_total");
+  totals.read_ops = registry.CounterValue("just_kv_read_ops_total");
+  totals.bytes_written = registry.CounterValue("just_kv_bytes_written_total");
+  return totals;
+}
+
+IoStats& OrphanIoStats() {
   static IoStats* stats = new IoStats();
   return *stats;
 }
@@ -61,8 +85,9 @@ SsTableBuilder::SsTableBuilder(Options options)
       index_block_(options.restart_interval),
       bloom_(options.bloom_bits_per_key) {}
 
-Status SsTableBuilder::Open(const std::string& path, Env* env) {
+Status SsTableBuilder::Open(const std::string& path, Env* env, IoStats* io) {
   if (env == nullptr) env = Env::Default();
+  io_ = io != nullptr ? io : &OrphanIoStats();
   path_ = path;
   JUST_ASSIGN_OR_RETURN(file_, env->NewWritableFile(path, /*truncate=*/true));
   return Status::OK();
@@ -71,8 +96,7 @@ Status SsTableBuilder::Open(const std::string& path, Env* env) {
 Status SsTableBuilder::WriteRaw(std::string_view data) {
   JUST_RETURN_NOT_OK(file_->Append(data));
   offset_ += data.size();
-  GlobalIoStats().bytes_written.fetch_add(data.size(),
-                                          std::memory_order_relaxed);
+  io_->bytes_written.Add(data.size());
   return Status::OK();
 }
 
@@ -154,19 +178,22 @@ Status SsTableBuilder::Finish() {
 Status SsTableReader::ReadAt(uint64_t offset, uint64_t size,
                              std::string* out) const {
   JUST_RETURN_NOT_OK(file_->Read(offset, size, out));
-  GlobalIoStats().bytes_read.fetch_add(size, std::memory_order_relaxed);
-  GlobalIoStats().read_ops.fetch_add(1, std::memory_order_relaxed);
+  io_->bytes_read.Add(size);
+  io_->read_ops.Increment();
+  obs::TraceBytesRead(size);
   ChargeReadLatency(size);
   return Status::OK();
 }
 
 Result<std::shared_ptr<SsTableReader>> SsTableReader::Open(
-    const std::string& path, uint64_t file_id, BlockCache* cache, Env* env) {
+    const std::string& path, uint64_t file_id, BlockCache* cache, Env* env,
+    IoStats* io) {
   if (env == nullptr) env = Env::Default();
   auto table = std::shared_ptr<SsTableReader>(new SsTableReader());
   table->path_ = path;
   table->file_id_ = file_id;
   table->cache_ = cache;
+  table->io_ = io != nullptr ? io : &OrphanIoStats();
   JUST_ASSIGN_OR_RETURN(table->file_, env->NewRandomAccessFile(path));
   JUST_ASSIGN_OR_RETURN(table->file_size_, env->GetFileSize(path));
   if (table->file_size_ < kFooterSize) {
@@ -237,7 +264,11 @@ Result<std::shared_ptr<Block>> SsTableReader::ReadBlock(uint64_t offset,
                                                         uint64_t size) const {
   if (cache_ != nullptr) {
     auto cached = cache_->Lookup(CacheKey(file_id_, offset));
-    if (cached != nullptr) return *cached;
+    if (cached != nullptr) {
+      obs::TraceCacheHit();
+      return *cached;
+    }
+    obs::TraceCacheMiss();
   }
   std::string data;
   JUST_RETURN_NOT_OK(ReadAt(offset, size + kBlockTrailerSize, &data));
@@ -260,7 +291,11 @@ Status SsTableReader::Get(std::string_view key, std::string* value) const {
   if (!bloom.valid()) {
     // Corrupt or missing filter: count the fallback, search unconditionally.
     bloom_fallback_lookups_.fetch_add(1, std::memory_order_relaxed);
+    io_->bloom_fallbacks.Increment();
+    obs::TraceBloomFallback();
   } else if (!bloom.MayContain(key)) {
+    io_->bloom_prunes.Increment();
+    obs::TraceBloomPrune();
     return Status::NotFound("bloom miss");
   }
   Iterator it(this);

@@ -6,24 +6,49 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/lru_cache.h"
 #include "common/status.h"
 #include "kvstore/block.h"
 #include "kvstore/bloom.h"
 #include "kvstore/env.h"
+#include "obs/metrics.h"
 
 namespace just::kv {
 
-/// Cumulative I/O counters, exposed so benches can show how compression
-/// reduces disk reads (Section IV-D / Fig. 11b).
+/// Per-store cumulative I/O counters. Each instance self-registers into the
+/// global obs::Registry as a cumulative source (just_kv_*_total), so the
+/// process-wide view is the aggregation of every live store plus the folded
+/// totals of dead ones — concurrent stores in tests and benches no longer
+/// pollute each other, while GlobalIoStats() stays monotonic.
 struct IoStats {
-  std::atomic<uint64_t> bytes_read{0};
-  std::atomic<uint64_t> read_ops{0};
-  std::atomic<uint64_t> bytes_written{0};
+  obs::Counter bytes_read;
+  obs::Counter read_ops;
+  obs::Counter bytes_written;
+  obs::Counter bloom_prunes;     ///< point lookups a bloom filter skipped
+  obs::Counter bloom_fallbacks;  ///< lookups with no usable bloom filter
+
+  IoStats();
+
+ private:
+  // Declared after the counters: unregistered (and folded) before they die.
+  std::vector<obs::ScopedSource> sources_;
 };
 
-IoStats& GlobalIoStats();
+/// Process-wide I/O totals at one instant (sum over live + dead stores).
+struct IoTotals {
+  uint64_t bytes_read = 0;
+  uint64_t read_ops = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// Thin aggregation view over the registry — the old global-singleton
+/// accessor, kept for benches that report process-wide I/O.
+IoTotals GlobalIoStats();
+
+/// Fallback sink for readers/builders opened without a store (tests, tools).
+IoStats& OrphanIoStats();
 
 /// Optional disk model: when set to a positive MB/s figure, every SSTable
 /// read spins for bytes/bandwidth, so scan latency scales with bytes read
@@ -54,8 +79,9 @@ class SsTableBuilder {
   SsTableBuilder();
   explicit SsTableBuilder(Options options);
 
-  /// `env` nullptr means Env::Default().
-  Status Open(const std::string& path, Env* env = nullptr);
+  /// `env` nullptr means Env::Default(); `io` nullptr means OrphanIoStats().
+  Status Open(const std::string& path, Env* env = nullptr,
+              IoStats* io = nullptr);
 
   /// Keys must be strictly increasing.
   Status Add(std::string_view key, std::string_view value);
@@ -77,6 +103,7 @@ class SsTableBuilder {
 
   Options options_;
   std::unique_ptr<WritableFile> file_;
+  IoStats* io_ = nullptr;
   std::string path_;
   BlockBuilder data_block_;
   BlockBuilder index_block_;
@@ -100,11 +127,13 @@ class SsTableReader {
 
   /// Opens the file and loads the footer, index, and bloom filter. `cache`
   /// may be null (blocks are then read per access). `file_id` must be unique
-  /// per open table for cache keying. `env` nullptr means Env::Default().
+  /// per open table for cache keying. `env` nullptr means Env::Default();
+  /// `io` nullptr means OrphanIoStats().
   static Result<std::shared_ptr<SsTableReader>> Open(const std::string& path,
                                                      uint64_t file_id,
                                                      BlockCache* cache,
-                                                     Env* env = nullptr);
+                                                     Env* env = nullptr,
+                                                     IoStats* io = nullptr);
 
   /// Point lookup. Returns Corruption if the consulted blocks fail their
   /// checksum.
@@ -165,6 +194,7 @@ class SsTableReader {
   Status ReadAt(uint64_t offset, uint64_t size, std::string* out) const;
 
   std::unique_ptr<RandomAccessFile> file_;
+  IoStats* io_ = nullptr;
   std::string path_;
   uint64_t file_id_ = 0;
   uint64_t file_size_ = 0;

@@ -1,0 +1,322 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+namespace just::obs {
+
+namespace {
+
+/// Stable per-thread shard index; consecutive threads land on different
+/// shards so concurrent writers rarely share a cacheline.
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return shard;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendJsonKey(std::string* out, const std::string& key) {
+  out->push_back('"');
+  for (char c : key) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->append("\":");
+}
+
+}  // namespace
+
+void Counter::Add(uint64_t delta) {
+  shards_[ThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+namespace {
+/// Bucket index for a value: 0 holds {0, 1}, bucket i holds
+/// [2^(i-1), 2^i) for i >= 1, clamped to the last bucket.
+size_t BucketFor(uint64_t value) {
+  if (value <= 1) return 0;
+  size_t bits = 64 - static_cast<size_t>(__builtin_clzll(value));
+  return std::min(bits, Histogram::kBuckets - 1);
+}
+}  // namespace
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 2;
+  if (i >= kBuckets - 1) return UINT64_MAX;
+  return 1ull << i;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = min_.load(std::memory_order_relaxed);
+  while (value < prev &&
+         !min_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<uint64_t> Histogram::CumulativeBuckets() const {
+  std::vector<uint64_t> out(kBuckets);
+  uint64_t running = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  // A concurrent Record between reading count_ and the buckets only shifts
+  // the estimate by one sample — acceptable for a monitoring quantile.
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      // Linear interpolation inside the bucket.
+      double lo = i == 0 ? 0.0 : static_cast<double>(1ull << (i - 1));
+      double hi = i >= kBuckets - 1
+                      ? static_cast<double>(max_.load(std::memory_order_relaxed))
+                      : static_cast<double>(BucketUpperBound(i));
+      double frac = (target - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
+      double v = lo + frac * (hi - lo);
+      // Clamp into the observed range so tiny histograms don't extrapolate.
+      v = std::max(v, static_cast<double>(
+                          std::min(min_.load(std::memory_order_relaxed),
+                                   max_.load(std::memory_order_relaxed))));
+      v = std::min(v,
+                   static_cast<double>(max_.load(std::memory_order_relaxed)));
+      return v;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_.load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = Count();
+  snap.sum = Sum();
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0 : mn;
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.p50 = Quantile(0.50);
+  snap.p95 = Quantile(0.95);
+  snap.p99 = Quantile(0.99);
+  return snap;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t Registry::RegisterSource(const std::string& name, SourceKind kind,
+                                  std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_source_id_++;
+  sources_[id] = Source{name, kind, std::move(fn)};
+  return id;
+}
+
+void Registry::Unregister(uint64_t id) {
+  std::function<uint64_t()> fn;
+  std::string name;
+  SourceKind kind;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sources_.find(id);
+    if (it == sources_.end()) return;
+    name = it->second.name;
+    kind = it->second.kind;
+    fn = std::move(it->second.fn);
+    sources_.erase(it);
+  }
+  // Fold outside the lock: fn may take the owner's lock (e.g. an LsmStore
+  // source reads store state under the store mutex).
+  if (kind == SourceKind::kCumulative) {
+    uint64_t last = fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    folded_[name] += last;
+  }
+}
+
+uint64_t Registry::SourceSumLocked(const std::string& name,
+                                   bool cumulative_only) const {
+  uint64_t total = 0;
+  for (const auto& [id, source] : sources_) {
+    (void)id;
+    if (source.name != name) continue;
+    if (cumulative_only && source.kind != SourceKind::kCumulative) continue;
+    total += source.fn();
+  }
+  auto folded = folded_.find(name);
+  if (folded != folded_.end()) total += folded->second;
+  return total;
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = SourceSumLocked(name, /*cumulative_only=*/false);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) total += it->second->Value();
+  return total;
+}
+
+RegistrySnapshot Registry::GetSnapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] += counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] += gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  // Sources: cumulative sources read as counters, live sources as gauges.
+  for (const auto& [id, source] : sources_) {
+    (void)id;
+    if (source.kind == SourceKind::kCumulative) {
+      snap.counters[source.name] += source.fn();
+    } else {
+      snap.gauges[source.name] += static_cast<int64_t>(source.fn());
+    }
+  }
+  for (const auto& [name, base] : folded_) {
+    snap.counters[name] += base;
+  }
+  return snap;
+}
+
+std::string Registry::TextExposition() const {
+  RegistrySnapshot snap = GetSnapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  // Histograms need the live objects for their buckets; re-walk under lock.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, histogram] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    auto cumulative = histogram->CumulativeBuckets();
+    uint64_t total = cumulative.empty() ? 0 : cumulative.back();
+    for (size_t i = 0; i < cumulative.size(); ++i) {
+      if (i + 1 < cumulative.size() &&
+          cumulative[i] == (i == 0 ? 0u : cumulative[i - 1])) {
+        continue;  // skip empty buckets to keep the page readable
+      }
+      std::string le = i >= Histogram::kBuckets - 1
+                           ? "+Inf"
+                           : std::to_string(Histogram::BucketUpperBound(i));
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative[i]) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+    out += name + "_sum " + std::to_string(histogram->Sum()) + "\n";
+    out += name + "_count " + std::to_string(total) + "\n";
+    auto hsnap = histogram->Snapshot();
+    out += name + "{quantile=\"0.5\"} " + FormatDouble(hsnap.p50) + "\n";
+    out += name + "{quantile=\"0.95\"} " + FormatDouble(hsnap.p95) + "\n";
+    out += name + "{quantile=\"0.99\"} " + FormatDouble(hsnap.p99) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::JsonDump() const {
+  RegistrySnapshot snap = GetSnapshot();
+  std::string out = "{";
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonKey(&out, name);
+    out += "{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"min\":" + std::to_string(h.min) +
+           ",\"max\":" + std::to_string(h.max) + ",\"p50\":" +
+           FormatDouble(h.p50) + ",\"p95\":" + FormatDouble(h.p95) +
+           ",\"p99\":" + FormatDouble(h.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace just::obs

@@ -1,0 +1,214 @@
+#ifndef JUST_OBS_METRICS_H_
+#define JUST_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace just::obs {
+
+/// A monotonically increasing counter. Increments are striped over
+/// cacheline-padded atomic shards (indexed by a per-thread hash) so hot-path
+/// writers on different cores do not bounce the same cacheline; reads sum
+/// the shards and are therefore O(shards) but exact.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta);
+  void Increment() { Add(1); }
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// A settable instantaneous value (last write wins).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Summary of a histogram at one instant.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Latency histogram over exponential (power-of-two) buckets: bucket i
+/// counts values in [2^(i-1), 2^i) with bucket 0 holding zeros/ones.
+/// Quantiles interpolate linearly inside the winning bucket, which bounds
+/// the relative error by the bucket width (2x) and in practice keeps it
+/// within a few percent for smooth distributions. Units are whatever the
+/// caller records (the registry's conventions use microseconds).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  /// Quantile in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+  HistogramSnapshot Snapshot() const;
+
+  /// Upper bound (exclusive) of bucket i — for exposition.
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Raw cumulative counts per bucket (for Prometheus le-buckets).
+  std::vector<uint64_t> CumulativeBuckets() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time view of the whole registry, used by benches (embedded into
+/// BENCH_*.json records) and by tests comparing EXPLAIN ANALYZE output
+/// against registry deltas.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value by name; 0 when absent.
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  int64_t gauge(const std::string& name) const {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+};
+
+/// Process-wide metrics registry: named counters, gauges, and histograms,
+/// plus *sources* — callback-backed values contributed by live objects
+/// (e.g. one LsmStore's IoStats). Multiple sources may share a name; the
+/// exposed value is the sum. Cumulative sources fold their final value into
+/// a retained base on unregistration, so process-wide counters stay
+/// monotonic across object lifetimes; live sources simply drop out.
+///
+/// Metric objects are never deleted once created — returned pointers are
+/// stable for the process lifetime and safe to cache in hot paths.
+class Registry {
+ public:
+  enum class SourceKind {
+    kCumulative,  ///< counter-like: folds into a base when unregistered
+    kLive,        ///< gauge-like: disappears when unregistered
+  };
+
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates. Thread-safe; the pointer never invalidates.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Registers a callback contributing to `name`; returns an id for
+  /// Unregister. The callback must stay valid until unregistered and must
+  /// not call back into the registry.
+  uint64_t RegisterSource(const std::string& name, SourceKind kind,
+                          std::function<uint64_t()> fn);
+  void Unregister(uint64_t id);
+
+  /// Total for a counter-like name: owned counter + source sum + folded base.
+  uint64_t CounterValue(const std::string& name) const;
+
+  RegistrySnapshot GetSnapshot() const;
+
+  /// Prometheus text exposition format (counters, gauges, histograms with
+  /// cumulative le-buckets and quantile series).
+  std::string TextExposition() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string JsonDump() const;
+
+ private:
+  struct Source {
+    std::string name;
+    SourceKind kind;
+    std::function<uint64_t()> fn;
+  };
+
+  uint64_t SourceSumLocked(const std::string& name, bool cumulative_only) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<uint64_t, Source> sources_;
+  std::map<std::string, uint64_t> folded_;  ///< bases of dead cumulative sources
+  uint64_t next_source_id_ = 1;
+};
+
+/// RAII registration of a metric source into the global registry.
+class ScopedSource {
+ public:
+  ScopedSource() = default;
+  ScopedSource(const std::string& name, Registry::SourceKind kind,
+               std::function<uint64_t()> fn)
+      : id_(Registry::Global().RegisterSource(name, kind, std::move(fn))) {}
+  ~ScopedSource() { reset(); }
+
+  ScopedSource(ScopedSource&& o) noexcept : id_(o.id_) { o.id_ = 0; }
+  ScopedSource& operator=(ScopedSource&& o) noexcept {
+    if (this != &o) {
+      reset();
+      id_ = o.id_;
+      o.id_ = 0;
+    }
+    return *this;
+  }
+  ScopedSource(const ScopedSource&) = delete;
+  ScopedSource& operator=(const ScopedSource&) = delete;
+
+  void reset() {
+    if (id_ != 0) Registry::Global().Unregister(id_);
+    id_ = 0;
+  }
+
+ private:
+  uint64_t id_ = 0;
+};
+
+}  // namespace just::obs
+
+#endif  // JUST_OBS_METRICS_H_

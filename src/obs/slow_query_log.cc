@@ -1,0 +1,45 @@
+#include "obs/slow_query_log.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace just::obs {
+
+SlowQueryLog::SlowQueryLog(int64_t threshold_us, size_t capacity,
+                           bool log_to_stderr)
+    : threshold_us_(threshold_us),
+      capacity_(capacity == 0 ? 1 : capacity),
+      log_to_stderr_(log_to_stderr) {}
+
+void SlowQueryLog::MaybeRecord(SlowQueryEntry entry) {
+  if (threshold_us_ < 0) return;
+  if (static_cast<int64_t>(entry.wall_us) < threshold_us_) return;
+  Registry::Global().GetCounter("just_sql_slow_queries_total")->Increment();
+  if (log_to_stderr_) {
+    std::fprintf(stderr,
+                 "[slow-query] user=%s wall_ms=%.3f rows=%llu scanned=%llu "
+                 "ranges=%llu sql=%s\n",
+                 entry.user.c_str(),
+                 static_cast<double>(entry.wall_us) / 1000.0,
+                 static_cast<unsigned long long>(entry.rows),
+                 static_cast<unsigned long long>(entry.rows_scanned),
+                 static_cast<unsigned long long>(entry.key_ranges),
+                 entry.sql.c_str());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryEntry>(entries_.begin(), entries_.end());
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace just::obs

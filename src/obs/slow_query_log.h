@@ -1,0 +1,51 @@
+#ifndef JUST_OBS_SLOW_QUERY_LOG_H_
+#define JUST_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace just::obs {
+
+/// One captured slow statement.
+struct SlowQueryEntry {
+  std::string user;
+  std::string sql;
+  uint64_t wall_us = 0;
+  uint64_t rows = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t key_ranges = 0;
+};
+
+/// Threshold-based slow-query log: the engine records every statement whose
+/// wall time meets `threshold_us` into a bounded ring buffer (newest kept)
+/// and counts it in the registry (`just_sql_slow_queries_total`). A negative
+/// threshold disables the log; 0 captures everything (used by tests).
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(int64_t threshold_us, size_t capacity = 128,
+                        bool log_to_stderr = true);
+
+  /// Records the statement if it is slow enough. Thread-safe.
+  void MaybeRecord(SlowQueryEntry entry);
+
+  int64_t threshold_us() const { return threshold_us_; }
+  void set_threshold_us(int64_t t) { threshold_us_ = t; }
+
+  /// Snapshot, newest last.
+  std::vector<SlowQueryEntry> Entries() const;
+  size_t size() const;
+
+ private:
+  int64_t threshold_us_;
+  const size_t capacity_;
+  const bool log_to_stderr_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> entries_;
+};
+
+}  // namespace just::obs
+
+#endif  // JUST_OBS_SLOW_QUERY_LOG_H_

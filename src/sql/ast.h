@@ -133,6 +133,13 @@ struct InsertStmt {
   std::vector<std::vector<std::unique_ptr<Expr>>> rows;  ///< VALUES lists
 };
 
+/// EXPLAIN [ANALYZE] SELECT ...: logical plans only, or (with ANALYZE) the
+/// executed physical plan annotated with per-operator runtime counters.
+struct ExplainStmt {
+  bool analyze = false;
+  std::unique_ptr<SelectStmt> select;
+};
+
 /// A parsed JustQL statement (exactly one member set).
 struct Statement {
   enum class Kind {
@@ -145,6 +152,7 @@ struct Statement {
     kLoad,
     kStoreView,
     kInsert,
+    kExplain,
   };
 
   Kind kind = Kind::kSelect;
@@ -157,6 +165,7 @@ struct Statement {
   std::unique_ptr<LoadStmt> load;
   std::unique_ptr<StoreViewStmt> store_view;
   std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<ExplainStmt> explain;
 };
 
 }  // namespace just::sql

@@ -4,12 +4,36 @@
 #include <cctype>
 
 #include "exec/operators.h"
+#include "obs/trace.h"
 #include "sql/expr_eval.h"
 #include "sql/functions.h"
 
 namespace just::sql {
 
 namespace {
+
+/// Span label for one physical operator.
+std::string PlanNodeLabel(const PlanNode& plan) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kScanTable:
+    case PlanNode::Kind::kScanView:
+      return "";  // ExecuteScan opens its own span with access-path attrs
+    case PlanNode::Kind::kFilter:
+      return "Filter";
+    case PlanNode::Kind::kProject:
+      return "Project";
+    case PlanNode::Kind::kAggregate:
+      return "Aggregate";
+    case PlanNode::Kind::kSort:
+      return "Sort";
+    case PlanNode::Kind::kLimit:
+      return "Limit";
+    case PlanNode::Kind::kJoin:
+      return "Join";
+  }
+  return "Unknown";
+}
+
 
 // Flattens an AND tree into conjuncts (borrowed pointers).
 void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
@@ -60,7 +84,21 @@ bool ColumnEquals(const Expr& e, const std::string& name) {
 }  // namespace
 
 Result<exec::DataFrame> Executor::ExecuteScan(const PlanNode& scan,
-                                              const Expr* predicate) {
+                                              const Expr* predicate,
+                                              core::QueryStats* stats) {
+  obs::ScopedSpan span("Scan " + scan.name);
+  auto result = ExecuteScanImpl(scan, predicate, stats, span.span());
+  if (span.span() != nullptr && result.ok()) {
+    span.span()->counters().rows_out.store(result->num_rows(),
+                                           std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Result<exec::DataFrame> Executor::ExecuteScanImpl(const PlanNode& scan,
+                                                  const Expr* predicate,
+                                                  core::QueryStats* stats,
+                                                  obs::TraceSpan* span) {
   if (scan.kind == PlanNode::Kind::kScanView) {
     JUST_ASSIGN_OR_RETURN(auto frame, engine_->GetView(user_, scan.name));
     if (predicate != nullptr) {
@@ -157,31 +195,43 @@ Result<exec::DataFrame> Executor::ExecuteScan(const PlanNode& scan,
     residual.push_back(conjunct);
   }
 
-  last_stats_ = core::QueryStats();
+  core::QueryStats scan_stats;
+  const char* access = "full_scan";
   exec::DataFrame frame;
   if (have_knn) {
+    access = "knn";
     JUST_ASSIGN_OR_RETURN(
         frame, engine_->KnnQuery(user_, scan.name, knn_query, knn_k,
-                                 &last_stats_));
+                                 &scan_stats));
   } else if (have_box && have_time) {
+    access = "st_range";
     JUST_ASSIGN_OR_RETURN(
         frame, engine_->StRangeQuery(user_, scan.name, box, t_min, t_max,
-                                     &last_stats_));
+                                     &scan_stats));
   } else if (have_box) {
+    access = "spatial_range";
     JUST_ASSIGN_OR_RETURN(
         frame, engine_->SpatialRangeQuery(user_, scan.name, box,
-                                          &last_stats_));
+                                          &scan_stats));
   } else if (have_time) {
     // Temporal-only: whole-earth spatio-temporal query.
+    access = "temporal_range";
     JUST_ASSIGN_OR_RETURN(
         frame, engine_->StRangeQuery(user_, scan.name, geo::Mbr::World(),
-                                     t_min, t_max, &last_stats_));
+                                     t_min, t_max, &scan_stats));
   } else if (have_attr) {
+    access = "attr_index";
     JUST_ASSIGN_OR_RETURN(
         frame, engine_->AttributeQuery(user_, scan.name, attr_column,
-                                       attr_value, &last_stats_));
+                                       attr_value, &scan_stats));
   } else {
     JUST_ASSIGN_OR_RETURN(frame, engine_->FullScan(user_, scan.name));
+  }
+  if (span != nullptr) span->AddAttr("access", access);
+  if (stats != nullptr) {
+    stats->key_ranges += scan_stats.key_ranges;
+    stats->rows_scanned += scan_stats.rows_scanned;
+    stats->rows_matched += scan_stats.rows_matched;
   }
   // A spatial/temporal/knn path may leave an attr conjunct unhandled.
   if (have_attr && (have_box || have_time || have_knn)) {
@@ -213,7 +263,8 @@ Result<exec::DataFrame> Executor::ExecuteScan(const PlanNode& scan,
   return frame;
 }
 
-Result<exec::DataFrame> Executor::ExecuteProject(const PlanNode& node) {
+Result<exec::DataFrame> Executor::ExecuteProject(const PlanNode& node,
+                                                 core::QueryStats* stats) {
   // 1-N / N-M function projects.
   if (node.items.size() == 1 &&
       node.items[0].expr->kind == Expr::Kind::kCall) {
@@ -221,7 +272,7 @@ Result<exec::DataFrame> Executor::ExecuteProject(const PlanNode& node) {
     const TableFunction* tf = FindTableFunction(fn_name);
     const PartitionFunction* pf = FindPartitionFunction(fn_name);
     if (tf != nullptr || pf != nullptr) {
-      JUST_ASSIGN_OR_RETURN(auto input, Execute(*node.children[0]));
+      JUST_ASSIGN_OR_RETURN(auto input, ExecuteInner(*node.children[0], stats));
       const Expr& call = *node.items[0].expr;
       if (call.args.empty()) {
         return Status::InvalidArgument(fn_name + " needs an input column");
@@ -256,7 +307,7 @@ Result<exec::DataFrame> Executor::ExecuteProject(const PlanNode& node) {
     }
   }
 
-  JUST_ASSIGN_OR_RETURN(auto input, Execute(*node.children[0]));
+  JUST_ASSIGN_OR_RETURN(auto input, ExecuteInner(*node.children[0], stats));
   exec::DataFrame out(node.schema);
   for (const exec::Row& row : input.rows()) {
     exec::Row projected;
@@ -271,53 +322,77 @@ Result<exec::DataFrame> Executor::ExecuteProject(const PlanNode& node) {
   return out;
 }
 
-Result<exec::DataFrame> Executor::Execute(const PlanNode& plan) {
-  switch (plan.kind) {
-    case PlanNode::Kind::kScanTable:
-    case PlanNode::Kind::kScanView:
-      return ExecuteScan(plan, nullptr);
-    case PlanNode::Kind::kFilter: {
-      const PlanNode& child = *plan.children[0];
-      if (child.kind == PlanNode::Kind::kScanTable ||
-          child.kind == PlanNode::Kind::kScanView) {
-        // Fuse: the scan translates index-answerable predicates into
-        // key-range SCANs.
-        return ExecuteScan(child, plan.predicate.get());
-      }
-      JUST_ASSIGN_OR_RETURN(auto input, Execute(child));
-      const auto& schema = input.schema();
-      return exec::Filter(input, [&](const exec::Row& row) {
-        auto v = EvaluateExpr(*plan.predicate, schema, row);
-        return v.ok() && v->type() == exec::DataType::kBool &&
-               v->bool_value();
-      });
-    }
-    case PlanNode::Kind::kProject:
-      return ExecuteProject(plan);
-    case PlanNode::Kind::kAggregate: {
-      JUST_ASSIGN_OR_RETURN(auto input, Execute(*plan.children[0]));
-      return exec::GroupBy(input, plan.group_by, plan.aggregates);
-    }
-    case PlanNode::Kind::kSort: {
-      JUST_ASSIGN_OR_RETURN(auto input, Execute(*plan.children[0]));
-      std::vector<exec::SortKey> keys;
-      for (const auto& item : plan.order_by) {
-        keys.push_back({item.column, item.ascending});
-      }
-      return exec::Sort(input, keys);
-    }
-    case PlanNode::Kind::kLimit: {
-      JUST_ASSIGN_OR_RETURN(auto input, Execute(*plan.children[0]));
-      return exec::Limit(input, static_cast<size_t>(plan.limit));
-    }
-    case PlanNode::Kind::kJoin: {
-      JUST_ASSIGN_OR_RETURN(auto left, Execute(*plan.children[0]));
-      JUST_ASSIGN_OR_RETURN(auto right, Execute(*plan.children[1]));
-      return exec::HashJoin(left, right, plan.join_left_col,
-                            plan.join_right_col);
-    }
+Result<exec::DataFrame> Executor::Execute(const PlanNode& plan,
+                                          core::QueryStats* stats) {
+  return ExecuteInner(plan, stats);
+}
+
+Result<exec::DataFrame> Executor::ExecuteInner(const PlanNode& plan,
+                                               core::QueryStats* stats) {
+  // Scans open their own span (with access-path attributes) in ExecuteScan.
+  if (plan.kind == PlanNode::Kind::kScanTable ||
+      plan.kind == PlanNode::Kind::kScanView) {
+    return ExecuteScan(plan, nullptr, stats);
   }
-  return Status::Internal("bad plan node");
+  obs::ScopedSpan span(PlanNodeLabel(plan));
+  auto result = [&]() -> Result<exec::DataFrame> {
+    switch (plan.kind) {
+      case PlanNode::Kind::kScanTable:
+      case PlanNode::Kind::kScanView:
+        return Status::Internal("unreachable");
+      case PlanNode::Kind::kFilter: {
+        const PlanNode& child = *plan.children[0];
+        if (child.kind == PlanNode::Kind::kScanTable ||
+            child.kind == PlanNode::Kind::kScanView) {
+          // Fuse: the scan translates index-answerable predicates into
+          // key-range SCANs.
+          return ExecuteScan(child, plan.predicate.get(), stats);
+        }
+        JUST_ASSIGN_OR_RETURN(auto input, ExecuteInner(child, stats));
+        const auto& schema = input.schema();
+        return exec::Filter(input, [&](const exec::Row& row) {
+          auto v = EvaluateExpr(*plan.predicate, schema, row);
+          return v.ok() && v->type() == exec::DataType::kBool &&
+                 v->bool_value();
+        });
+      }
+      case PlanNode::Kind::kProject:
+        return ExecuteProject(plan, stats);
+      case PlanNode::Kind::kAggregate: {
+        JUST_ASSIGN_OR_RETURN(auto input,
+                              ExecuteInner(*plan.children[0], stats));
+        return exec::GroupBy(input, plan.group_by, plan.aggregates);
+      }
+      case PlanNode::Kind::kSort: {
+        JUST_ASSIGN_OR_RETURN(auto input,
+                              ExecuteInner(*plan.children[0], stats));
+        std::vector<exec::SortKey> keys;
+        for (const auto& item : plan.order_by) {
+          keys.push_back({item.column, item.ascending});
+        }
+        return exec::Sort(input, keys);
+      }
+      case PlanNode::Kind::kLimit: {
+        JUST_ASSIGN_OR_RETURN(auto input,
+                              ExecuteInner(*plan.children[0], stats));
+        return exec::Limit(input, static_cast<size_t>(plan.limit));
+      }
+      case PlanNode::Kind::kJoin: {
+        JUST_ASSIGN_OR_RETURN(auto left,
+                              ExecuteInner(*plan.children[0], stats));
+        JUST_ASSIGN_OR_RETURN(auto right,
+                              ExecuteInner(*plan.children[1], stats));
+        return exec::HashJoin(left, right, plan.join_left_col,
+                              plan.join_right_col);
+      }
+    }
+    return Status::Internal("bad plan node");
+  }();
+  if (span.span() != nullptr && result.ok()) {
+    span.span()->counters().rows_out.store(result->num_rows(),
+                                           std::memory_order_relaxed);
+  }
+  return result;
 }
 
 }  // namespace just::sql

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "sql/plan.h"
 
 namespace just::sql {
@@ -13,24 +14,36 @@ namespace just::sql {
 /// / k-NN predicates adjacent to a table scan are translated into GeoMesa
 /// key-range SCANs (the engine's indexed queries); everything else runs as
 /// DataFrame operations (the Spark SQL role).
+///
+/// The executor holds no per-query state: scan statistics are returned
+/// through the optional `stats` out-parameter, so one instance can run plans
+/// from many threads concurrently. When a trace is active on the calling
+/// thread (EXPLAIN ANALYZE), every operator contributes a span.
 class Executor {
  public:
   Executor(core::JustEngine* engine, std::string user)
       : engine_(engine), user_(std::move(user)) {}
 
-  Result<exec::DataFrame> Execute(const PlanNode& plan);
-
-  /// Stats from the last indexed scan (for benches / EXPLAIN ANALYZE).
-  const core::QueryStats& last_scan_stats() const { return last_stats_; }
+  /// Runs the plan. `stats`, when non-null, accumulates the key-range scan
+  /// statistics of every indexed scan in the plan.
+  Result<exec::DataFrame> Execute(const PlanNode& plan,
+                                  core::QueryStats* stats = nullptr);
 
  private:
+  Result<exec::DataFrame> ExecuteInner(const PlanNode& plan,
+                                       core::QueryStats* stats);
   Result<exec::DataFrame> ExecuteScan(const PlanNode& scan,
-                                      const Expr* predicate);
-  Result<exec::DataFrame> ExecuteProject(const PlanNode& node);
+                                      const Expr* predicate,
+                                      core::QueryStats* stats);
+  Result<exec::DataFrame> ExecuteScanImpl(const PlanNode& scan,
+                                          const Expr* predicate,
+                                          core::QueryStats* stats,
+                                          obs::TraceSpan* span);
+  Result<exec::DataFrame> ExecuteProject(const PlanNode& node,
+                                         core::QueryStats* stats);
 
   core::JustEngine* engine_;
   std::string user_;
-  core::QueryStats last_stats_;
 };
 
 }  // namespace just::sql

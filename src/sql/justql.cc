@@ -1,10 +1,13 @@
 #include "sql/justql.h"
 
 #include <cctype>
+#include <chrono>
 
 #include "common/json.h"
 #include "core/loader.h"
 #include "core/plugins.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/analyzer.h"
 #include "sql/executor.h"
 #include "sql/expr_eval.h"
@@ -103,6 +106,35 @@ Result<std::string> JustQL::ExplainSelect(const std::string& user,
 
 Result<QueryResult> JustQL::Execute(const std::string& user,
                                     const std::string& sql) {
+  static obs::Counter* statements =
+      obs::Registry::Global().GetCounter("just_sql_statements_total");
+  static obs::Histogram* latency =
+      obs::Registry::Global().GetHistogram("just_sql_statement_us");
+  statements->Increment();
+  const auto start = std::chrono::steady_clock::now();
+  core::QueryStats stats;
+  auto result = ExecuteParsed(user, sql, &stats);
+  const uint64_t wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  latency->Record(wall_us);
+  if (engine_->slow_query_log() != nullptr) {
+    obs::SlowQueryEntry entry;
+    entry.user = user;
+    entry.sql = sql;
+    entry.wall_us = wall_us;
+    entry.rows = result.ok() ? result->frame.num_rows() : 0;
+    entry.rows_scanned = stats.rows_scanned;
+    entry.key_ranges = stats.key_ranges;
+    engine_->slow_query_log()->MaybeRecord(std::move(entry));
+  }
+  return result;
+}
+
+Result<QueryResult> JustQL::ExecuteParsed(const std::string& user,
+                                          const std::string& sql,
+                                          core::QueryStats* stats) {
   JUST_ASSIGN_OR_RETURN(auto stmt, ParseStatement(sql));
   QueryResult result;
   switch (stmt.kind) {
@@ -111,7 +143,31 @@ Result<QueryResult> JustQL::Execute(const std::string& user,
       JUST_ASSIGN_OR_RETURN(auto plan, analyzer.Analyze(*stmt.select));
       JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan)));
       Executor executor(engine_, user);
-      JUST_ASSIGN_OR_RETURN(result.frame, executor.Execute(*plan));
+      JUST_ASSIGN_OR_RETURN(result.frame, executor.Execute(*plan, stats));
+      return result;
+    }
+    case Statement::Kind::kExplain: {
+      const ExplainStmt& explain = *stmt.explain;
+      Analyzer analyzer(engine_, user);
+      JUST_ASSIGN_OR_RETURN(auto plan, analyzer.Analyze(*explain.select));
+      JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan)));
+      if (!explain.analyze) {
+        result.message =
+            "=== Optimized Logical Plan ===\n" + plan->ToString();
+        return result;
+      }
+      // EXPLAIN ANALYZE: run the plan under a trace; every physical
+      // operator (and the storage layers beneath it) contributes a span.
+      obs::Trace trace("Query");
+      {
+        obs::SpanScope scope(trace.root());
+        Executor executor(engine_, user);
+        JUST_ASSIGN_OR_RETURN(result.frame, executor.Execute(*plan, stats));
+      }
+      trace.root()->counters().rows_out.store(result.frame.num_rows(),
+                                              std::memory_order_relaxed);
+      trace.root()->End();
+      result.message = "=== EXPLAIN ANALYZE ===\n" + trace.ToString();
       return result;
     }
     case Statement::Kind::kCreateTable: {

@@ -35,6 +35,12 @@ class JustQL {
   core::JustEngine* engine() { return engine_; }
 
  private:
+  /// Parses and runs one statement; `stats` accumulates indexed-scan
+  /// statistics (for the slow-query log).
+  Result<QueryResult> ExecuteParsed(const std::string& user,
+                                    const std::string& sql,
+                                    core::QueryStats* stats);
+
   core::JustEngine* engine_;
 };
 

@@ -98,6 +98,18 @@ class Parser {
       JUST_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
       return stmt;
     }
+    if (Cur().IsKeyword("EXPLAIN")) {
+      Advance();
+      Statement stmt;
+      stmt.kind = Statement::Kind::kExplain;
+      stmt.explain = std::make_unique<ExplainStmt>();
+      stmt.explain->analyze = AcceptKeyword("ANALYZE");
+      if (!Cur().IsKeyword("SELECT")) {
+        return Err("EXPLAIN supports SELECT only");
+      }
+      JUST_ASSIGN_OR_RETURN(stmt.explain->select, ParseSelect());
+      return stmt;
+    }
     if (Cur().IsKeyword("CREATE")) return ParseCreate();
     if (Cur().IsKeyword("DROP")) return ParseDrop();
     if (Cur().IsKeyword("SHOW")) return ParseShow();

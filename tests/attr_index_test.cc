@@ -109,13 +109,14 @@ TEST_F(AttrIndexTest, SqlEqualityUsesIndexNotFullScan) {
   auto optimized = sql::Optimize(std::move(*plan));
   ASSERT_TRUE(optimized.ok());
   sql::Executor executor(engine_.get(), "u");
-  auto frame = executor.Execute(**optimized);
+  core::QueryStats stats;
+  auto frame = executor.Execute(**optimized, &stats);
   ASSERT_TRUE(frame.ok()) << frame.status().ToString();
   EXPECT_EQ(frame->num_rows(), 100u);
   // rows_scanned == matches proves the index path was taken (a full scan
-  // leaves last_scan_stats at zero scanned since it bypasses RunRanges, so
-  // also check it is non-zero).
-  EXPECT_EQ(executor.last_scan_stats().rows_scanned, 100u);
+  // leaves the stats at zero scanned since it bypasses RunRanges, so also
+  // check it is non-zero).
+  EXPECT_EQ(stats.rows_scanned, 100u);
 }
 
 TEST_F(AttrIndexTest, SqlCombinesAttrWithResidualPredicates) {

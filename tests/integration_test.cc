@@ -230,10 +230,10 @@ TEST(IntegrationTest, CompressionReducesIoOnScans) {
     ASSERT_TRUE((*engine)->Insert("u", "gps", row).ok());
   }
   ASSERT_TRUE((*engine)->Finalize().ok());
-  uint64_t before = kv::GlobalIoStats().bytes_read.load();
+  uint64_t before = kv::GlobalIoStats().bytes_read;
   auto frame = (*engine)->FullScan("u", "gps");
   ASSERT_TRUE(frame.ok());
-  uint64_t compressed_read = kv::GlobalIoStats().bytes_read.load() - before;
+  uint64_t compressed_read = kv::GlobalIoStats().bytes_read - before;
   // Logical GPS bytes: 400 pts x 24 B x 40 trajectories = 384 KB; the scan
   // must have read much less thanks to the delta+LZ77 cells.
   EXPECT_LT(compressed_read, 40u * 400u * 24u / 2);

@@ -611,12 +611,12 @@ TEST_F(JustQLTest, ScanStatsShowIndexEffectiveness) {
   auto optimized = Optimize(std::move(*plan));
   ASSERT_TRUE(optimized.ok());
   Executor executor(engine_.get(), "tester");
-  auto frame = executor.Execute(**optimized);
+  core::QueryStats stats;
+  auto frame = executor.Execute(**optimized, &stats);
   ASSERT_TRUE(frame.ok());
   // The Z2 index must scan a small fraction of the table.
-  EXPECT_LT(executor.last_scan_stats().rows_scanned, 1000u);
-  EXPECT_GE(executor.last_scan_stats().rows_scanned,
-            executor.last_scan_stats().rows_matched);
+  EXPECT_LT(stats.rows_scanned, 1000u);
+  EXPECT_GE(stats.rows_scanned, stats.rows_matched);
 }
 
 }  // namespace
