@@ -7,9 +7,25 @@
 //   - Traj (Fig 10b): compressing the GPS-list field shrinks storage by
 //     roughly 4.5x (136 GB raw -> ~30 GB stored, including both indexes).
 
+// Also hosts the write-path probe: a mixed read/write benchmark measuring
+// per-Put latency while background flushes and concurrent scans run. The
+// old write path built SSTables inline under the store lock, so the Put
+// that tripped the memtable limit paid the whole build (multi-ms p99); the
+// group-commit + background-flush path keeps the tail flat. The obs
+// registry snapshot (including just_kv_write_stalls_total and the
+// group-commit histogram) is embedded in --benchmark_out JSON by
+// RunBenchmarks.
+
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
 #include "bench_common.h"
+#include "kvstore/lsm_store.h"
+#include "obs/metrics.h"
 
 namespace just::bench {
 namespace {
@@ -27,6 +43,73 @@ void BM_Storage(benchmark::State& state, Dataset dataset, Variant variant) {
   state.counters["ratio_vs_raw"] =
       static_cast<double>(stats.disk_bytes) /
       static_cast<double>(fx->raw_bytes);
+}
+
+/// Mixed read/write: one writer thread Putting 256-byte values while a
+/// scanner thread runs full scans, with a memtable small enough that many
+/// flushes (and compactions) happen mid-run. Reports the Put latency tail —
+/// the number the background flush exists to protect.
+void BM_MixedPutLatencyAcrossFlush(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const int num_ops = static_cast<int>(state.range(0));
+  auto* stalls =
+      obs::Registry::Global().GetCounter("just_kv_write_stalls_total");
+  auto* flushes = obs::Registry::Global().GetCounter("just_kv_flushes_total");
+  obs::Histogram put_lat;
+  uint64_t stalls_delta = 0;
+  uint64_t flushes_delta = 0;
+  for (auto _ : state) {
+    fs::path dir =
+        fs::temp_directory_path() /
+        ("just_bench_mixed_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    kv::StoreOptions opts;
+    opts.dir = dir.string();
+    opts.memtable_bytes = 256 << 10;  // many flushes across the run
+    auto store_or = kv::LsmStore::Open(opts);
+    if (!store_or.ok()) {
+      state.SkipWithError(store_or.status().ToString().c_str());
+      break;
+    }
+    kv::LsmStore* store = store_or->get();
+    const uint64_t stalls0 = stalls->Value();
+    const uint64_t flushes0 = flushes->Value();
+    std::atomic<bool> stop{false};
+    std::thread scanner([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t rows = 0;
+        (void)store->Scan("", "",
+                          [&](std::string_view, std::string_view) {
+                            ++rows;
+                            return true;
+                          });
+        benchmark::DoNotOptimize(rows);
+      }
+    });
+    std::string value(256, 'v');
+    char key[32];
+    for (int i = 0; i < num_ops; ++i) {
+      std::snprintf(key, sizeof(key), "k%010d", i);
+      auto t0 = std::chrono::steady_clock::now();
+      (void)store->Put(key, value);
+      put_lat.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+    stop.store(true);
+    scanner.join();
+    stalls_delta += stalls->Value() - stalls0;
+    flushes_delta += flushes->Value() - flushes0;
+    store_or->reset();
+    fs::remove_all(dir);
+  }
+  state.counters["put_p50_us"] = put_lat.Quantile(0.5);
+  state.counters["put_p99_us"] = put_lat.Quantile(0.99);
+  state.counters["put_max_us"] = static_cast<double>(put_lat.Snapshot().max);
+  state.counters["flushes"] = static_cast<double>(flushes_delta);
+  state.counters["write_stalls"] = static_cast<double>(stalls_delta);
+  state.SetItemsProcessed(state.iterations() * num_ops);
 }
 
 void PrintSeries(const char* figure, Dataset dataset,
@@ -83,6 +166,11 @@ int main(int argc, char** argv) {
         ->Arg(pct)
         ->Iterations(1);
   }
+  benchmark::RegisterBenchmark("WritePath/MixedPutLatencyAcrossFlush",
+                               BM_MixedPutLatencyAcrossFlush)
+      ->Arg(20000)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
   just::bench::RunBenchmarks(argc, argv);
   PrintSeries("Figure 10a", Dataset::kOrder,
               {Variant::kJust, Variant::kOrderCompressed});

@@ -1,5 +1,6 @@
 #include "cluster/region_cluster.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -9,6 +10,20 @@
 #include "obs/trace.h"
 
 namespace just::cluster {
+
+namespace {
+/// True when every key in [start, end) shares start's first byte, i.e. the
+/// range cannot cross a shard boundary. Covers both planner shapes: equal
+/// first bytes, and an exclusive end that is exactly the next byte value
+/// (["\x04...", "\x05") holds only keys starting with 0x04).
+bool SingleShardByte(std::string_view start, std::string_view end) {
+  if (start.empty() || end.empty()) return false;
+  auto s = static_cast<unsigned char>(start[0]);
+  auto e = static_cast<unsigned char>(end[0]);
+  if (s == e) return true;
+  return end.size() == 1 && e == s + 1;
+}
+}  // namespace
 
 Result<std::unique_ptr<RegionCluster>> RegionCluster::Open(
     const ClusterOptions& options) {
@@ -66,6 +81,44 @@ Status RegionCluster::Get(std::string_view key, std::string* value) const {
   return WithRetry([&] { return server->Get(key, value); });
 }
 
+Status RegionCluster::WriteBatch(std::vector<kv::WriteOp> ops) {
+  if (ops.empty()) return Status::OK();
+  std::vector<std::vector<kv::WriteOp>> per_server(servers_.size());
+  for (auto& op : ops) {
+    per_server[ServerFor(op.key)].push_back(std::move(op));
+  }
+  size_t busy_servers = 0;
+  for (const auto& slice : per_server) busy_servers += slice.empty() ? 0 : 1;
+  // Small batches (or one-server batches) are not worth pool dispatch.
+  if (busy_servers <= 1 || ops.size() < 64) {
+    for (size_t s = 0; s < per_server.size(); ++s) {
+      if (per_server[s].empty()) continue;
+      kv::LsmStore* server = servers_[s].get();
+      JUST_RETURN_NOT_OK(
+          WithRetry([&] { return server->WriteBatch(per_server[s]); }));
+    }
+    return Status::OK();
+  }
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mu;
+  DefaultPool().ParallelFor(per_server.size(), [&](size_t s) {
+    if (per_server[s].empty()) return;
+    kv::LsmStore* server = servers_[s].get();
+    Status st = WithRetry([&] { return server->WriteBatch(per_server[s]); });
+    if (!st.ok()) {
+      failed.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = st;
+    }
+  });
+  if (failed.load()) {
+    return first_error.ok() ? Status::Internal("batch write failed")
+                            : first_error;
+  }
+  return Status::OK();
+}
+
 Result<std::vector<RegionCluster::RangeResult>> RegionCluster::ParallelScan(
     const std::vector<curve::KeyRange>& ranges) const {
   std::vector<RangeResult> results(ranges.size());
@@ -87,11 +140,18 @@ Result<std::vector<RegionCluster::RangeResult>> RegionCluster::ParallelScan(
     if (failed.load(std::memory_order_relaxed)) return;
     const curve::KeyRange& range = ranges[i];
     results[i].contained = range.contained;
-    // A range produced by the index strategies stays inside one shard byte,
-    // hence one server. Guard against cross-shard ranges anyway.
-    int first = ServerFor(range.start);
-    int last = range.end.empty() ? num_servers() - 1 : ServerFor(range.end);
-    if (last < first) last = num_servers() - 1;
+    // Routing is first_byte % num_servers — NOT a contiguous partition: a
+    // range spanning multiple shard bytes can land on every server (e.g.
+    // bytes 0x04..0x06 with 5 servers hit servers 4, 0 and 1, which the old
+    // `[ServerFor(start), ServerFor(end)]` guess silently skipped). Only a
+    // range confined to a single shard byte maps to a single server; the
+    // ranges the index strategies emit are of exactly that shape, so the
+    // fast path still covers the common case.
+    int first = 0;
+    int last = num_servers() - 1;
+    if (SingleShardByte(range.start, range.end)) {
+      first = last = ServerFor(range.start);
+    }
     for (int server = first; server <= last; ++server) {
       // Rows are buffered per attempt: a retry after a mid-scan failure
       // restarts the server's range cleanly instead of duplicating rows.
@@ -134,22 +194,36 @@ Status RegionCluster::Scan(
   // first byte and servers see disjoint byte prefixes... only when
   // num_servers >= 256; in general this yields per-shard ordered output,
   // which all internal callers accept).
+  static obs::Counter* rows_fetched = obs::Registry::Global().GetCounter(
+      "just_cluster_scan_rows_fetched_total");
+  const size_t batch_rows = std::max<size_t>(1, options_.scan_batch_rows);
   for (const auto& server : servers_) {
-    // Buffer the server's rows so a transient failure can be retried without
-    // re-emitting rows the callback already consumed.
-    std::vector<Row> rows;
-    Status st = WithRetry([&] {
-      rows.clear();
-      return server->Scan(start, end,
-                          [&](std::string_view k, std::string_view v) {
-                            rows.push_back(Row{std::string(k),
-                                               std::string(v)});
-                            return true;
-                          });
-    });
-    JUST_RETURN_NOT_OK(st);
-    for (const auto& row : rows) {
-      if (!fn(row.key, row.value)) return Status::OK();
+    // Stream the server's range in bounded batches instead of buffering it
+    // whole: an early-stopping consumer (LIMIT-style) used to pay for the
+    // entire range before the first row reached it. Each batch is buffered
+    // so a transient failure can be retried without re-emitting rows the
+    // callback already consumed; the cursor only advances once a batch is
+    // delivered, so a retried batch restarts cleanly.
+    std::string cursor(start);
+    for (;;) {
+      std::vector<Row> rows;
+      Status st = WithRetry([&] {
+        rows.clear();
+        return server->Scan(cursor, end,
+                            [&](std::string_view k, std::string_view v) {
+                              rows.push_back(Row{std::string(k),
+                                                 std::string(v)});
+                              return rows.size() < batch_rows;
+                            });
+      });
+      JUST_RETURN_NOT_OK(st);
+      rows_fetched->Add(rows.size());
+      for (const auto& row : rows) {
+        if (!fn(row.key, row.value)) return Status::OK();
+      }
+      if (rows.size() < batch_rows) break;  // server range exhausted
+      // Next batch resumes just past the last delivered key.
+      cursor = rows.back().key + '\0';
     }
   }
   return Status::OK();

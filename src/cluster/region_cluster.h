@@ -25,6 +25,10 @@ struct ClusterOptions {
   int max_retries = 2;
   /// Base backoff before the first retry; doubles per attempt.
   int retry_backoff_ms = 1;
+  /// Scan() streams each server's range in batches of this many rows so
+  /// early-stopping consumers never force a server to materialize its whole
+  /// range (each batch stays individually retry-safe).
+  size_t scan_batch_rows = 512;
 };
 
 /// A simulated HBase cluster: `num_servers` region servers, each an LSM
@@ -40,6 +44,13 @@ class RegionCluster {
   Status Put(std::string_view key, std::string_view value);
   Status Delete(std::string_view key);
   Status Get(std::string_view key, std::string* value) const;
+
+  /// Routes every op to its owning server and commits each server's slice
+  /// as one group-commit batch (parallel across servers for large batches).
+  /// This is the bulk-ingest path: N rows cost ~1 WAL append + fsync per
+  /// server instead of N. Atomicity is per server, not cross-server — same
+  /// as HBase multi-row mutations.
+  Status WriteBatch(std::vector<kv::WriteOp> ops);
 
   /// One row returned by a scan.
   struct Row {

@@ -122,7 +122,8 @@ Result<curve::RecordRef> StTable::MakeRecordRef(const exec::Row& row) const {
   return ref;
 }
 
-Status StTable::WriteKeys(const exec::Row& row, bool delete_instead) {
+Status StTable::AppendWriteOps(const exec::Row& row, bool delete_instead,
+                               std::vector<kv::WriteOp>* ops) const {
   JUST_ASSIGN_OR_RETURN(auto ref, MakeRecordRef(row));
   std::string value;
   if (!delete_instead) {
@@ -130,11 +131,7 @@ Status StTable::WriteKeys(const exec::Row& row, bool delete_instead) {
   }
   for (size_t slot = 0; slot < strategies_.size(); ++slot) {
     std::string key = WrapKey(slot, strategies_[slot]->EncodeKey(ref));
-    if (delete_instead) {
-      JUST_RETURN_NOT_OK(cluster_->Delete(key));
-    } else {
-      JUST_RETURN_NOT_OK(cluster_->Put(key, value));
-    }
+    ops->push_back(kv::WriteOp{std::move(key), value, delete_instead});
   }
   // Secondary attribute indexes: shard :: table/slot :: value :: fid.
   int shard = strategies_.empty()
@@ -147,13 +144,15 @@ Status StTable::WriteKeys(const exec::Row& row, bool delete_instead) {
     key += IndexPrefix(AttrSlot(a));
     key += EncodeAttrKeyPart(row[col]);
     key += ref.fid;
-    if (delete_instead) {
-      JUST_RETURN_NOT_OK(cluster_->Delete(key));
-    } else {
-      JUST_RETURN_NOT_OK(cluster_->Put(key, value));
-    }
+    ops->push_back(kv::WriteOp{std::move(key), value, delete_instead});
   }
   return Status::OK();
+}
+
+Status StTable::WriteKeys(const exec::Row& row, bool delete_instead) {
+  std::vector<kv::WriteOp> ops;
+  JUST_RETURN_NOT_OK(AppendWriteOps(row, delete_instead, &ops));
+  return cluster_->WriteBatch(std::move(ops));
 }
 
 bool StTable::HasAttributeIndex(const std::string& column) const {
@@ -212,6 +211,25 @@ Status StTable::Insert(const exec::Row& row) {
     return Status::InvalidArgument("table " + meta_.name + " has no indexes");
   }
   return WriteKeys(row, /*delete_instead=*/false);
+}
+
+Status StTable::InsertBatch(const std::vector<exec::Row>& rows) {
+  if (strategies_.empty()) {
+    return Status::InvalidArgument("table " + meta_.name + " has no indexes");
+  }
+  // Bound the staged batch: index fan-out multiplies rows into keys, and a
+  // loader chunk should translate into a handful of group commits, not an
+  // unbounded buffer.
+  constexpr size_t kMaxOpsPerBatch = 4096;
+  std::vector<kv::WriteOp> ops;
+  for (const exec::Row& row : rows) {
+    JUST_RETURN_NOT_OK(AppendWriteOps(row, /*delete_instead=*/false, &ops));
+    if (ops.size() >= kMaxOpsPerBatch) {
+      JUST_RETURN_NOT_OK(cluster_->WriteBatch(std::move(ops)));
+      ops.clear();
+    }
+  }
+  return cluster_->WriteBatch(std::move(ops));
 }
 
 Status StTable::Remove(const exec::Row& row) {

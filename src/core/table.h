@@ -35,6 +35,11 @@ class StTable {
   /// spatio-temporal key overwrites in place; Section I "update-enabled").
   Status Insert(const exec::Row& row);
 
+  /// Upserts many rows in one cluster batch: every index key of every row
+  /// is routed and group-committed per server (~1 WAL fsync per server
+  /// instead of one per key). The bulk-load path (Section VII).
+  Status InsertBatch(const std::vector<exec::Row>& rows);
+
   /// Removes a previously inserted row (all index entries).
   Status Remove(const exec::Row& row);
 
@@ -76,6 +81,11 @@ class StTable {
 
  private:
   Status WriteKeys(const exec::Row& row, bool delete_instead);
+  /// Appends every index entry of `row` (one per strategy + one per
+  /// attribute index) to `ops` as puts or tombstones; shared by the
+  /// single-row and batch write paths.
+  Status AppendWriteOps(const exec::Row& row, bool delete_instead,
+                        std::vector<kv::WriteOp>* ops) const;
   Result<curve::RecordRef> MakeRecordRef(const exec::Row& row) const;
 
   /// Rewrites a strategy key (shard :: rest) as

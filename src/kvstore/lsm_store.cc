@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +14,17 @@ namespace {
 // mask older SSTable entries until compaction drops them.
 constexpr char kTypePut = 'P';
 constexpr char kTypeDelete = 'D';
+
+// A group-commit leader stops absorbing followers once the batch reaches
+// this many WAL bytes, so one giant writer cannot add unbounded latency to
+// the small writers queued behind it.
+constexpr size_t kMaxGroupCommitBytes = 1 << 20;
+
+// A failed background flush is retried this many times (transient fault
+// tolerance) before the error latches into bg_error_ and the store goes
+// read-only for writes. The WAL segments covering the stuck memtable are
+// retained, so nothing acknowledged is lost.
+constexpr int kBgFlushAttempts = 3;
 
 std::string MakeInternalValue(char type, std::string_view value) {
   std::string v;
@@ -39,18 +51,98 @@ bool ParseSstName(const std::string& name, uint64_t* num) {
   return true;
 }
 
+/// Parses "wal-NNNNNN.log" -> segment number ("wal.log" is segment 0 and is
+/// matched separately; it predates segmentation).
+bool ParseWalSegmentName(const std::string& name, uint64_t* num) {
+  constexpr std::string_view kPrefix = "wal-";
+  constexpr std::string_view kSuffix = ".log";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return false;
+  }
+  std::string digits =
+      name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  if (digits.empty()) return false;
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  *num = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
 bool EndsWith(const std::string& name, std::string_view suffix) {
   return name.size() >= suffix.size() &&
          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+obs::Counter* WriteStallCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_kv_write_stalls_total");
+  return c;
+}
+
+obs::Histogram* WriteStallHist() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("just_kv_write_stall_us");
+  return h;
+}
+
+obs::Histogram* GroupCommitBatchHist() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("just_kv_group_commit_batch_ops");
+  return h;
+}
+
+obs::Counter* FlushCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_kv_flushes_total");
+  return c;
+}
+
+obs::Histogram* FlushHist() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("just_kv_bg_flush_us");
+  return h;
+}
 }  // namespace
+
+/// One queued write. The front of writers_ is the leader: it commits its own
+/// ops plus every follower's in a single WAL append (+ at most one fsync),
+/// then distributes the shared status and hands leadership to the new front.
+struct LsmStore::Writer {
+  const WriteOp* ops = nullptr;
+  size_t count = 0;
+  bool flush_request = false;
+  bool done = false;
+  Status status;
+  std::condition_variable cv;
+};
 
 LsmStore::LsmStore(const StoreOptions& options)
     : options_(options),
       env_(options.env != nullptr ? options.env : Env::Default()),
-      memtable_(std::make_unique<SkipList>()),
+      memtable_(std::make_shared<SkipList>()),
       block_cache_(
           std::make_unique<BlockCache>(options.block_cache_bytes)) {
+  // Resolve every registry entry the write path records into up front.
+  // Registry snapshots invoke the live sources below while holding the
+  // registry mutex, and those sources take mu_ — so mu_ holders must never
+  // call back into Registry::Get* (lock-order inversion). After this warm-up
+  // the accessors are initialized statics and recording is lock-free.
+  WriteStallCounter();
+  WriteStallHist();
+  GroupCommitBatchHist();
+  FlushCounter();
+  FlushHist();
   using SK = obs::Registry::SourceKind;
   metric_sources_.emplace_back("just_kv_block_cache_hits_total",
                                SK::kCumulative,
@@ -66,16 +158,32 @@ LsmStore::LsmStore(const StoreOptions& options)
   });
   metric_sources_.emplace_back("just_kv_memtable_bytes", SK::kLive, [this] {
     std::shared_lock lock(mu_);
-    return static_cast<uint64_t>(memtable_->ApproximateBytes());
+    uint64_t total = memtable_->ApproximateBytes();
+    if (imm_ != nullptr) total += imm_->ApproximateBytes();
+    return total;
   });
   metric_sources_.emplace_back("just_kv_sstables", SK::kLive, [this] {
     std::shared_lock lock(mu_);
     return static_cast<uint64_t>(sstables_.size());
   });
+  metric_sources_.emplace_back("just_kv_flush_queue_depth", SK::kLive,
+                               [this] {
+                                 std::shared_lock lock(mu_);
+                                 return static_cast<uint64_t>(
+                                     imm_ != nullptr ? 1 : 0);
+                               });
 }
 
 LsmStore::~LsmStore() {
-  // Durability of the memtable is the WAL's job; just close cleanly.
+  {
+    std::unique_lock lock(mu_);
+    stop_bg_ = true;
+    bg_cv_.notify_all();
+  }
+  if (bg_thread_.joinable()) bg_thread_.join();
+  // Durability of the memtable is the WAL's job; just close cleanly. The
+  // background thread is gone and the API contract forbids concurrent calls
+  // with destruction, so wal_ is safe to touch here.
   std::unique_lock lock(mu_);
   wal_.Sync();
   wal_.Close();
@@ -88,18 +196,28 @@ std::string LsmStore::SstPath(uint64_t file_number) const {
   return options_.dir + buf;
 }
 
-std::string LsmStore::WalPath() const { return options_.dir + "/wal.log"; }
+std::string LsmStore::WalSegmentPath(uint64_t segment) const {
+  if (segment == 0) return options_.dir + "/wal.log";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/wal-%06llu.log",
+                static_cast<unsigned long long>(segment));
+  return options_.dir + buf;
+}
 
 Result<std::unique_ptr<LsmStore>> LsmStore::Open(const StoreOptions& options) {
   auto store = std::unique_ptr<LsmStore>(new LsmStore(options));
   JUST_RETURN_NOT_OK(store->env_->CreateDirs(options.dir));
   JUST_RETURN_NOT_OK(store->Recover());
+  store->bg_thread_ = std::thread(&LsmStore::BackgroundLoop, store.get());
   return store;
 }
 
 Status LsmStore::Recover() {
   std::unique_lock lock(mu_);
-  // 1) Manifest -> live SSTables.
+  // 1) Manifest -> live SSTables + minimum live WAL segment. The "wal N"
+  // line makes stale segments harmless: even if deleting a flushed segment
+  // failed (crash, transient fault), replay skips everything below N, so an
+  // old record can never resurrect over newer flushed data.
   std::set<uint64_t> live;
   std::string manifest_path = options_.dir + "/MANIFEST";
   if (env_->FileExists(manifest_path)) {
@@ -107,6 +225,13 @@ Status LsmStore::Recover() {
     JUST_RETURN_NOT_OK(env_->ReadFileToString(manifest_path, &manifest));
     const char* p = manifest.c_str();
     while (*p != '\0') {
+      if (std::strncmp(p, "wal ", 4) == 0) {
+        char* end = nullptr;
+        min_wal_number_ = std::strtoull(p + 4, &end, 10);
+        p = end != nullptr ? end : p + 4;
+        while (*p == '\n' || *p == '\r') ++p;
+        continue;
+      }
       char* end = nullptr;
       uint64_t num = std::strtoull(p, &end, 10);
       if (end == p) break;
@@ -125,20 +250,51 @@ Status LsmStore::Recover() {
   // 2) Quarantine partial flush/compaction leftovers so they can never be
   // mistaken for live data (and never collide with reused file numbers).
   JUST_RETURN_NOT_OK(QuarantineStrays(live));
-  // 3) WAL -> memtable.
-  JUST_RETURN_NOT_OK(ReplayWal(
-      WalPath(),
-      [this](WalRecordType type, std::string_view key,
-             std::string_view value) {
-        memtable_->Put(std::string(key),
-                       MakeInternalValue(type == WalRecordType::kPut
-                                             ? kTypePut
-                                             : kTypeDelete,
-                                         value));
-      },
-      env_));
-  // 4) Reopen WAL for appending.
-  return wal_.Open(WalPath(), /*truncate=*/false, env_);
+  // 3) WAL segments -> memtable, in segment order (newer segments overwrite
+  // older ones). Segments below the manifest's minimum are dead: delete
+  // them (best-effort) instead of replaying.
+  std::set<uint64_t> found;
+  JUST_ASSIGN_OR_RETURN(auto names, env_->ListDir(options_.dir));
+  for (const std::string& name : names) {
+    uint64_t seg = 0;
+    if (name == "wal.log") {
+      found.insert(0);
+    } else if (ParseWalSegmentName(name, &seg)) {
+      found.insert(seg);
+    }
+  }
+  uint64_t max_seg = 0;
+  for (uint64_t seg : found) {
+    max_seg = std::max(max_seg, seg);
+    if (seg < min_wal_number_) {
+      (void)env_->RemoveFile(WalSegmentPath(seg));
+      continue;
+    }
+    JUST_RETURN_NOT_OK(ReplayWal(
+        WalSegmentPath(seg),
+        [this](WalRecordType type, std::string_view key,
+               std::string_view value) {
+          memtable_->Put(std::string(key),
+                         MakeInternalValue(type == WalRecordType::kPut
+                                               ? kTypePut
+                                               : kTypeDelete,
+                                           value));
+        },
+        env_));
+    wal_segments_.insert(seg);
+  }
+  if (memtable_->size() == 0) {
+    // Nothing replayable: the old segments are dead weight, drop them.
+    for (uint64_t seg : wal_segments_) {
+      (void)env_->RemoveFile(WalSegmentPath(seg));
+    }
+    wal_segments_.clear();
+  }
+  // 4) Open a fresh active segment; recovered records stay covered by the
+  // segments they were replayed from until the next flush commits.
+  wal_number_ = std::max<uint64_t>(max_seg + 1, 1);
+  wal_segments_.insert(wal_number_);
+  return wal_.Open(WalSegmentPath(wal_number_), /*truncate=*/true, env_);
 }
 
 Status LsmStore::QuarantineStrays(const std::set<uint64_t>& live) {
@@ -164,41 +320,258 @@ Status LsmStore::QuarantineStrays(const std::set<uint64_t>& live) {
   return Status::OK();
 }
 
-Status LsmStore::WriteInternal(WalRecordType type, std::string_view key,
-                               std::string_view value) {
+Status LsmStore::Put(std::string_view key, std::string_view value) {
+  WriteOp op{std::string(key), std::string(value), /*is_delete=*/false};
+  return QueueWrite(&op, 1, /*flush_request=*/false);
+}
+
+Status LsmStore::Delete(std::string_view key) {
+  WriteOp op{std::string(key), std::string(), /*is_delete=*/true};
+  return QueueWrite(&op, 1, /*flush_request=*/false);
+}
+
+Status LsmStore::WriteBatch(const std::vector<WriteOp>& ops) {
+  if (ops.empty()) return Status::OK();
+  return QueueWrite(ops.data(), ops.size(), /*flush_request=*/false);
+}
+
+Status LsmStore::QueueWrite(const WriteOp* ops, size_t count,
+                            bool flush_request) {
+  Writer w;
+  w.ops = ops;
+  w.count = count;
+  w.flush_request = flush_request;
+
+  std::unique_lock<std::mutex> ql(writers_mu_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) w.cv.wait(ql);
+  if (w.done) return w.status;  // a previous leader committed us
+
+  // We are the leader: absorb the queue (bounded by kMaxGroupCommitBytes so
+  // a huge batch does not stretch everyone's latency) and commit it.
+  std::vector<Writer*> batch;
+  size_t total_ops = 0;
+  size_t total_bytes = 0;
+  for (Writer* cand : writers_) {
+    if (!batch.empty() && total_bytes >= kMaxGroupCommitBytes) break;
+    batch.push_back(cand);
+    total_ops += cand->count;
+    for (size_t i = 0; i < cand->count; ++i) {
+      total_bytes += cand->ops[i].key.size() + cand->ops[i].value.size();
+    }
+  }
+  ql.unlock();
+
+  Status st = CommitBatch(batch, total_ops);
+
+  ql.lock();
+  for (Writer* member : batch) {
+    writers_.pop_front();
+    if (member != &w) {
+      member->status = st;
+      member->done = true;
+      member->cv.notify_one();
+    }
+  }
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  return st;
+}
+
+Status LsmStore::CommitBatch(const std::vector<Writer*>& batch,
+                             size_t total_ops) {
+  // Encode the whole batch into one buffer outside any lock.
+  std::string encoded;
+  bool want_flush = false;
+  for (const Writer* w : batch) {
+    want_flush |= w->flush_request;
+    for (size_t i = 0; i < w->count; ++i) {
+      const WriteOp& op = w->ops[i];
+      EncodeWalRecord(&encoded,
+                      op.is_delete ? WalRecordType::kDelete
+                                   : WalRecordType::kPut,
+                      op.key, op.value);
+    }
+  }
+  {
+    std::shared_lock lock(mu_);
+    if (!bg_error_.ok()) return bg_error_;
+  }
+  // WAL I/O happens without mu_: queue leadership serializes access to wal_,
+  // and readers never touch it. One append + at most one fsync per batch is
+  // the whole point of group commit.
+  if (!encoded.empty()) {
+    if (!wal_.is_open()) {
+      // A failed segment rotation left the WAL closed; resume the segment.
+      JUST_RETURN_NOT_OK(
+          wal_.Open(WalSegmentPath(wal_number_), /*truncate=*/false, env_));
+    }
+    JUST_RETURN_NOT_OK(wal_.AppendEncoded(encoded));
+    if (options_.sync_wal) JUST_RETURN_NOT_OK(wal_.Sync());
+    GroupCommitBatchHist()->Record(total_ops);
+  }
+
   std::unique_lock lock(mu_);
-  JUST_RETURN_NOT_OK(wal_.Append(type, key, value));
-  if (options_.sync_wal) JUST_RETURN_NOT_OK(wal_.Sync());
-  memtable_->Put(std::string(key),
-                 MakeInternalValue(
-                     type == WalRecordType::kPut ? kTypePut : kTypeDelete,
-                     value));
-  if (memtable_->ApproximateBytes() >= options_.memtable_bytes) {
-    JUST_RETURN_NOT_OK(FlushLocked());
+  if (!bg_error_.ok()) return bg_error_;
+  for (const Writer* w : batch) {
+    for (size_t i = 0; i < w->count; ++i) {
+      const WriteOp& op = w->ops[i];
+      memtable_->Put(op.key,
+                     MakeInternalValue(op.is_delete ? kTypeDelete : kTypePut,
+                                       op.value));
+    }
+  }
+  bool full = memtable_->ApproximateBytes() >= options_.memtable_bytes;
+  if ((full || want_flush) && memtable_->size() > 0) {
+    JUST_RETURN_NOT_OK(SwapMemtableLocked(lock));
   }
   return Status::OK();
 }
 
-Status LsmStore::Put(std::string_view key, std::string_view value) {
-  return WriteInternal(WalRecordType::kPut, key, value);
+Status LsmStore::SwapMemtableLocked(std::unique_lock<std::shared_mutex>& lock) {
+  if (imm_ != nullptr) {
+    // The previous memtable is still flushing: this is the only place a
+    // writer waits on flush I/O (LevelDB's write stall).
+    WriteStallCounter()->Increment();
+    auto t0 = std::chrono::steady_clock::now();
+    flush_done_cv_.wait(
+        lock, [this] { return imm_ == nullptr || !bg_error_.ok(); });
+    WriteStallHist()->Record(ElapsedUs(t0));
+    if (!bg_error_.ok()) return bg_error_;
+  }
+  imm_ = std::move(memtable_);
+  memtable_ = std::make_shared<SkipList>();
+  imm_wal_cutoff_ = wal_number_;
+  imm_seq_ = ++swap_seq_;
+  // Rotate to a fresh segment so the flusher can delete the covered ones
+  // without truncating records that arrived after the swap.
+  ++wal_number_;
+  wal_segments_.insert(wal_number_);
+  Status st = wal_.Open(WalSegmentPath(wal_number_), /*truncate=*/true, env_);
+  bg_cv_.notify_all();
+  // On rotation failure the swap still happened (the flush must proceed);
+  // the next leader retries opening the segment before appending.
+  return st;
 }
 
-Status LsmStore::Delete(std::string_view key) {
-  return WriteInternal(WalRecordType::kDelete, key, {});
+void LsmStore::BackgroundLoop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    bg_cv_.wait(lock, [this] {
+      return stop_bg_ || (imm_ != nullptr && bg_error_.ok()) ||
+             compact_pending_;
+    });
+    if (imm_ != nullptr && bg_error_.ok()) {
+      BackgroundFlush(lock);
+      continue;
+    }
+    if (compact_pending_) {
+      compact_pending_ = false;
+      if (!stop_bg_ && bg_error_.ok()) (void)CompactLocked(lock);
+      continue;
+    }
+    if (stop_bg_) return;
+  }
+}
+
+void LsmStore::BackgroundFlush(std::unique_lock<std::shared_mutex>& lock) {
+  std::shared_ptr<SkipList> mem = imm_;
+  const uint64_t cutoff = imm_wal_cutoff_;
+  const uint64_t seq = imm_seq_;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status st;
+  for (int attempt = 0; attempt < kBgFlushAttempts; ++attempt) {
+    uint64_t file_number = next_file_number_++;
+    std::shared_ptr<SsTableReader> reader;
+    lock.unlock();
+    st = BuildSsTable(*mem, file_number, &reader);
+    lock.lock();
+    if (!st.ok()) continue;  // transient build failure: retry with new number
+    sstables_.push_back(reader);
+    uint64_t prev_min = min_wal_number_;
+    min_wal_number_ = cutoff + 1;
+    st = WriteManifestLocked();
+    if (!st.ok()) {
+      // Not committed: the renamed .sst is a stray (quarantined at the next
+      // open); the memtable and WAL still hold everything. Retry fresh.
+      sstables_.pop_back();
+      min_wal_number_ = prev_min;
+      continue;
+    }
+    // Durable. Release the memtable, retire the covered WAL segments, and
+    // wake stalled writers / Flush() waiters.
+    imm_ = nullptr;
+    flushed_seq_ = std::max(flushed_seq_, seq);
+    RemoveWalSegmentsLocked(cutoff);
+    if (static_cast<int>(sstables_.size()) >= options_.compaction_trigger) {
+      compact_pending_ = true;
+      bg_cv_.notify_all();
+    }
+    FlushCounter()->Increment();
+    FlushHist()->Record(ElapsedUs(t0));
+    flush_done_cv_.notify_all();
+    return;
+  }
+  // Permanent failure: latch it. imm_ stays readable (Get/Scan include it)
+  // and its WAL segments stay on disk, so acknowledged data survives a
+  // restart; new writes fail fast with this status.
+  bg_error_ = st.ok() ? Status::IOError("background flush failed") : st;
+  flush_done_cv_.notify_all();
+}
+
+Status LsmStore::BuildSsTable(const SkipList& mem, uint64_t file_number,
+                              std::shared_ptr<SsTableReader>* out) {
+  std::string final_path = SstPath(file_number);
+  std::string tmp_path = final_path + ".tmp";
+  SsTableBuilder::Options bopts;
+  bopts.block_size = options_.block_size;
+  bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
+  SsTableBuilder builder(bopts);
+  JUST_RETURN_NOT_OK(builder.Open(tmp_path, env_, &io_stats_));
+  SkipList::Iterator it(&mem);
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    JUST_RETURN_NOT_OK(builder.Add(it.key(), it.value()));
+  }
+  // Finish syncs the temp file; the rename publishes it atomically. On any
+  // failure before the manifest commits, the memtable and WAL still hold
+  // every record, so nothing acknowledged can be lost.
+  JUST_RETURN_NOT_OK(builder.Finish());
+  JUST_RETURN_NOT_OK(env_->RenameFile(tmp_path, final_path));
+  JUST_ASSIGN_OR_RETURN(
+      auto reader,
+      SsTableReader::Open(final_path, file_number, block_cache_.get(), env_,
+                          &io_stats_));
+  *out = std::move(reader);
+  return Status::OK();
+}
+
+void LsmStore::RemoveWalSegmentsLocked(uint64_t cutoff) {
+  // Best-effort: the manifest's "wal" line already fences these segments
+  // out of replay, so a failed deletion cannot resurrect stale data.
+  for (auto it = wal_segments_.begin();
+       it != wal_segments_.end() && *it <= cutoff;) {
+    (void)env_->RemoveFile(WalSegmentPath(*it));
+    it = wal_segments_.erase(it);
+  }
 }
 
 Status LsmStore::Get(std::string_view key, std::string* value) const {
-  std::shared_lock lock(mu_);
   std::string internal;
-  if (memtable_->Get(std::string(key), &internal)) {
-    if (internal.empty() || internal[0] == kTypeDelete) {
-      return Status::NotFound("deleted");
+  std::vector<std::shared_ptr<SsTableReader>> tables;
+  {
+    std::shared_lock lock(mu_);
+    // Newest first: active memtable, then the one being flushed.
+    if (memtable_->Get(std::string(key), &internal) ||
+        (imm_ != nullptr && imm_->Get(std::string(key), &internal))) {
+      if (internal.empty() || internal[0] == kTypeDelete) {
+        return Status::NotFound("deleted");
+      }
+      value->assign(internal.data() + 1, internal.size() - 1);
+      return Status::OK();
     }
-    value->assign(internal.data() + 1, internal.size() - 1);
-    return Status::OK();
+    tables = sstables_;  // pin: safe to search after dropping the lock
   }
   // Newest SSTable first.
-  for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
+  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
     Status st = (*it)->Get(key, &internal);
     if (st.ok()) {
       if (internal.empty() || internal[0] == kTypeDelete) {
@@ -215,27 +588,49 @@ Status LsmStore::Get(std::string_view key, std::string* value) const {
 Status LsmStore::Scan(
     std::string_view start, std::string_view end,
     const std::function<bool(std::string_view, std::string_view)>& fn) const {
-  std::shared_lock lock(mu_);
-  // Sources, newest first: memtable, then SSTables newest->oldest.
+  // Snapshot the sources under the lock, then merge without it: the active
+  // memtable is mutable (SkipList::Put overwrites values in place), so its
+  // window is *copied*; the immutable memtable and the SSTables are frozen,
+  // so shared_ptr pins suffice. After this block the scan never touches
+  // store state — writers proceed and the callback may re-enter the store.
+  std::vector<std::pair<std::string, std::string>> active;
+  std::shared_ptr<SkipList> imm;
+  std::vector<std::shared_ptr<SsTableReader>> tables;
+  {
+    std::shared_lock lock(mu_);
+    memtable_->AppendRange(std::string(start), end, &active);
+    imm = imm_;
+    tables = sstables_;
+  }
+
+  // Sources, newest first: active window, frozen memtable, then SSTables
+  // newest->oldest.
   struct Source {
+    const std::vector<std::pair<std::string, std::string>>* vec = nullptr;
+    size_t vec_pos = 0;
     std::unique_ptr<SkipList::Iterator> mem;
     std::unique_ptr<SsTableReader::Iterator> sst;
 
     bool Valid() const {
+      if (vec != nullptr) return vec_pos < vec->size();
       return mem != nullptr ? mem->Valid() : sst->Valid();
     }
     Status status() const {
-      return mem != nullptr ? Status::OK() : sst->status();
+      return sst != nullptr ? sst->status() : Status::OK();
     }
     std::string_view key() const {
+      if (vec != nullptr) return (*vec)[vec_pos].first;
       return mem != nullptr ? std::string_view(mem->key())
                             : std::string_view(sst->key());
     }
     std::string_view value() const {
+      if (vec != nullptr) return (*vec)[vec_pos].second;
       return mem != nullptr ? std::string_view(mem->value()) : sst->value();
     }
     void Next() {
-      if (mem != nullptr) {
+      if (vec != nullptr) {
+        ++vec_pos;
+      } else if (mem != nullptr) {
         mem->Next();
       } else {
         sst->Next();
@@ -246,11 +641,16 @@ Status LsmStore::Scan(
   std::vector<Source> sources;
   {
     Source s;
-    s.mem = std::make_unique<SkipList::Iterator>(memtable_.get());
+    s.vec = &active;
+    sources.push_back(std::move(s));
+  }
+  if (imm != nullptr) {
+    Source s;
+    s.mem = std::make_unique<SkipList::Iterator>(imm.get());
     s.mem->Seek(std::string(start));
     sources.push_back(std::move(s));
   }
-  for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
+  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
     // Prune tables whose key range cannot intersect [start, end).
     if (!end.empty() && std::string_view((*it)->smallest_key()) >= end) {
       continue;
@@ -304,101 +704,110 @@ Status LsmStore::Scan(
   return Status::OK();
 }
 
-Status LsmStore::FlushLocked() {
-  if (memtable_->size() == 0) return Status::OK();
-  uint64_t file_number = next_file_number_++;
-  std::string final_path = SstPath(file_number);
-  std::string tmp_path = final_path + ".tmp";
-  SsTableBuilder::Options bopts;
-  bopts.block_size = options_.block_size;
-  bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
-  SsTableBuilder builder(bopts);
-  JUST_RETURN_NOT_OK(builder.Open(tmp_path, env_, &io_stats_));
-  SkipList::Iterator it(memtable_.get());
-  for (it.SeekToFirst(); it.Valid(); it.Next()) {
-    JUST_RETURN_NOT_OK(builder.Add(it.key(), it.value()));
-  }
-  // Finish syncs the temp file; the rename publishes it atomically. On any
-  // failure before the manifest commits, the memtable and WAL still hold
-  // every record, so nothing acknowledged can be lost.
-  JUST_RETURN_NOT_OK(builder.Finish());
-  JUST_RETURN_NOT_OK(env_->RenameFile(tmp_path, final_path));
-  JUST_ASSIGN_OR_RETURN(
-      auto reader,
-      SsTableReader::Open(final_path, file_number, block_cache_.get(), env_,
-                          &io_stats_));
-  sstables_.push_back(reader);
-  JUST_RETURN_NOT_OK(WriteManifestLocked());
-  // The flush is durable only now; dropping the memtable or truncating the
-  // WAL any earlier would lose acknowledged writes on a crash.
-  memtable_ = std::make_unique<SkipList>();
-  JUST_RETURN_NOT_OK(wal_.Open(WalPath(), /*truncate=*/true, env_));
-  if (static_cast<int>(sstables_.size()) >= options_.compaction_trigger) {
-    JUST_RETURN_NOT_OK(MergeAllLocked());
-  }
-  return Status::OK();
-}
-
-Status LsmStore::MergeAllLocked() {
-  if (sstables_.size() <= 1) return Status::OK();
+Status LsmStore::CompactLocked(std::unique_lock<std::shared_mutex>& lock) {
+  if (compaction_running_ || sstables_.size() <= 1) return Status::OK();
+  compaction_running_ = true;
+  // Snapshot the inputs; flushes only *append* to sstables_ and no second
+  // compaction can start, so the inputs stay a stable prefix of the list
+  // while the merge runs without the lock.
   std::vector<std::shared_ptr<SsTableReader>> inputs = sstables_;
   uint64_t out_number = next_file_number_++;
+  lock.unlock();
+
   std::string final_path = SstPath(out_number);
   std::string tmp_path = final_path + ".tmp";
   SsTableBuilder::Options bopts;
   bopts.block_size = options_.block_size;
   bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
   SsTableBuilder merged(bopts);
-  JUST_RETURN_NOT_OK(merged.Open(tmp_path, env_, &io_stats_));
+  Status st = merged.Open(tmp_path, env_, &io_stats_);
+  std::shared_ptr<SsTableReader> merged_reader;
+  if (st.ok()) {
+    std::vector<std::unique_ptr<SsTableReader::Iterator>> iters;
+    for (auto input = inputs.rbegin(); input != inputs.rend(); ++input) {
+      auto iter = std::make_unique<SsTableReader::Iterator>(input->get());
+      iter->SeekToFirst();
+      iters.push_back(std::move(iter));  // newest first
+    }
+    std::string last_key;
+    bool have_last = false;
+    for (;;) {
+      int best = -1;
+      for (size_t i = 0; i < iters.size(); ++i) {
+        if (!iters[i]->Valid()) continue;
+        if (best < 0 || iters[i]->key() < iters[best]->key()) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      std::string key = iters[best]->key();
+      std::string_view value = iters[best]->value();
+      if (!have_last || key != last_key) {
+        // Full compaction: tombstones are dropped for good.
+        if (!value.empty() && value[0] == kTypePut) {
+          st = merged.Add(key, value);
+          if (!st.ok()) break;
+        }
+        last_key = key;
+        have_last = true;
+      }
+      for (auto& iter : iters) {
+        while (iter->Valid() && iter->key() == key) iter->Next();
+      }
+    }
+    // An input iterator that stopped on a corrupt block must fail the
+    // compaction — otherwise its remaining entries would be silently
+    // dropped.
+    if (st.ok()) {
+      for (const auto& iter : iters) {
+        if (!iter->status().ok()) {
+          st = iter->status();
+          break;
+        }
+      }
+    }
+    if (st.ok()) st = merged.Finish();
+    if (st.ok()) st = env_->RenameFile(tmp_path, final_path);
+    if (st.ok()) {
+      auto opened = SsTableReader::Open(final_path, out_number,
+                                        block_cache_.get(), env_, &io_stats_);
+      if (opened.ok()) {
+        merged_reader = *std::move(opened);
+      } else {
+        st = opened.status();
+      }
+    }
+  }
 
-  std::vector<std::unique_ptr<SsTableReader::Iterator>> iters;
-  for (auto input = inputs.rbegin(); input != inputs.rend(); ++input) {
-    auto iter = std::make_unique<SsTableReader::Iterator>(input->get());
-    iter->SeekToFirst();
-    iters.push_back(std::move(iter));  // newest first
+  lock.lock();
+  compaction_running_ = false;
+  if (!st.ok()) {
+    flush_done_cv_.notify_all();
+    return st;
   }
-  std::string last_key;
-  bool have_last = false;
-  for (;;) {
-    int best = -1;
-    for (size_t i = 0; i < iters.size(); ++i) {
-      if (!iters[i]->Valid()) continue;
-      if (best < 0 || iters[i]->key() < iters[best]->key()) {
-        best = static_cast<int>(i);
-      }
-    }
-    if (best < 0) break;
-    std::string key = iters[best]->key();
-    std::string_view value = iters[best]->value();
-    if (!have_last || key != last_key) {
-      // Full compaction: tombstones are dropped for good.
-      if (!value.empty() && value[0] == kTypePut) {
-        JUST_RETURN_NOT_OK(merged.Add(key, value));
-      }
-      last_key = key;
-      have_last = true;
-    }
-    for (auto& iter : iters) {
-      while (iter->Valid() && iter->key() == key) iter->Next();
-    }
-  }
-  // An input iterator that stopped on a corrupt block must fail the
-  // compaction — otherwise its remaining entries would be silently dropped.
-  for (const auto& iter : iters) {
-    JUST_RETURN_NOT_OK(iter->status());
-  }
-  JUST_RETURN_NOT_OK(merged.Finish());
-  JUST_RETURN_NOT_OK(env_->RenameFile(tmp_path, final_path));
-  JUST_ASSIGN_OR_RETURN(
-      auto merged_reader,
-      SsTableReader::Open(final_path, out_number, block_cache_.get(), env_,
-                          &io_stats_));
+  // Install: replace the input prefix with the merged table, keeping any
+  // tables flushed while the merge ran (they are newer, so they stay after
+  // it in precedence order).
+  std::vector<std::shared_ptr<SsTableReader>> rest(
+      sstables_.begin() + static_cast<long>(inputs.size()), sstables_.end());
   sstables_.clear();
   sstables_.push_back(merged_reader);
+  sstables_.insert(sstables_.end(), rest.begin(), rest.end());
   block_cache_->Clear();
-  JUST_RETURN_NOT_OK(WriteManifestLocked());
+  st = WriteManifestLocked();
+  if (!st.ok()) {
+    // Not committed: restore the previous table list; the merged file is a
+    // stray that the next open quarantines.
+    sstables_ = std::move(inputs);
+    sstables_.insert(sstables_.end(), rest.begin(), rest.end());
+    flush_done_cv_.notify_all();
+    return st;
+  }
+  flush_done_cv_.notify_all();
   // Inputs are dead only once the manifest no longer references them;
   // deletion is best-effort — leftovers are quarantined at the next open.
+  // Readers holding snapshot pins keep their open file handles (POSIX
+  // unlink semantics), so in-flight scans are unaffected.
   for (const auto& input : inputs) {
     (void)env_->RemoveFile(input->path());
   }
@@ -409,6 +818,10 @@ Status LsmStore::WriteManifestLocked() {
   std::string tmp_path = options_.dir + "/MANIFEST.tmp";
   JUST_ASSIGN_OR_RETURN(auto file,
                         env_->NewWritableFile(tmp_path, /*truncate=*/true));
+  // First line: minimum live WAL segment. Replay ignores older segments, so
+  // a flushed segment whose deletion failed stays harmless forever.
+  JUST_RETURN_NOT_OK(
+      file->Append("wal " + std::to_string(min_wal_number_) + "\n"));
   for (const auto& table : sstables_) {
     // Manifest lists file numbers in flush order.
     std::string path = table->path();
@@ -425,14 +838,24 @@ Status LsmStore::WriteManifestLocked() {
 }
 
 Status LsmStore::Flush() {
+  // Route the request through the write queue so it serializes with
+  // in-flight commits, then wait until the background thread has made the
+  // resulting swap durable.
+  JUST_RETURN_NOT_OK(QueueWrite(nullptr, 0, /*flush_request=*/true));
   std::unique_lock lock(mu_);
-  return FlushLocked();
+  const uint64_t target = swap_seq_;
+  flush_done_cv_.wait(
+      lock, [&] { return flushed_seq_ >= target || !bg_error_.ok(); });
+  return flushed_seq_ >= target ? Status::OK() : bg_error_;
 }
 
 Status LsmStore::CompactAll() {
+  JUST_RETURN_NOT_OK(Flush());
   std::unique_lock lock(mu_);
-  JUST_RETURN_NOT_OK(FlushLocked());
-  return MergeAllLocked();
+  // If the background thread is mid-compaction, wait for it, then run (or
+  // confirm there is nothing left to merge).
+  flush_done_cv_.wait(lock, [this] { return !compaction_running_; });
+  return CompactLocked(lock);
 }
 
 LsmStore::Stats LsmStore::GetStats() const {
@@ -441,6 +864,10 @@ LsmStore::Stats LsmStore::GetStats() const {
   stats.num_sstables = sstables_.size();
   stats.memtable_entries = memtable_->size();
   stats.memtable_bytes = memtable_->ApproximateBytes();
+  if (imm_ != nullptr) {
+    stats.memtable_entries += imm_->size();
+    stats.memtable_bytes += imm_->ApproximateBytes();
+  }
   stats.quarantined_files = quarantined_files_;
   for (const auto& table : sstables_) {
     stats.disk_bytes += table->file_size();

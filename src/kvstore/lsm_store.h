@@ -1,12 +1,16 @@
 #ifndef JUST_KVSTORE_LSM_STORE_H_
 #define JUST_KVSTORE_LSM_STORE_H_
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -24,8 +28,16 @@ struct StoreOptions {
   size_t block_size = 4096;
   int bloom_bits_per_key = 10;
   int compaction_trigger = 6;  ///< merge all tables when count reaches this
-  bool sync_wal = false;       ///< fsync per write (off for bulk loads)
+  bool sync_wal = false;       ///< fsync per commit (off for bulk loads)
   Env* env = nullptr;          ///< filesystem seam; nullptr = Env::Default()
+};
+
+/// One mutation in a WriteBatch. `is_delete` writes a tombstone and ignores
+/// `value`.
+struct WriteOp {
+  std::string key;
+  std::string value;
+  bool is_delete = false;
 };
 
 /// A single-node ordered key-value store with LSM-tree storage: writes land
@@ -35,17 +47,38 @@ struct StoreOptions {
 /// strings; updates never rebuild indexes — the property that makes JUST
 /// "update-enabled" (Section I).
 ///
+/// Concurrency model (see DESIGN.md "Write path"):
+///  - Group commit: writers enqueue on an internal queue; the front writer
+///    becomes the leader, appends the whole queue's records to the WAL with
+///    at most one fsync, and applies them to the memtable. N concurrent
+///    writers pay ~1 leader I/O instead of N serialized ones.
+///  - Background flush: when the active memtable fills it is swapped for a
+///    fresh one under the lock and handed — immutable — to a background
+///    thread that builds, fsyncs, renames, and MANIFEST-commits the SSTable.
+///    Writers only stall if the *next* memtable also fills before the
+///    previous flush finishes (counted in just_kv_write_stalls_total).
+///  - Snapshot reads: Get/Scan pin shared_ptr references to the memtables
+///    and SSTables under the lock, then read without it — long scans never
+///    block writers, and a scan callback may call Put/Delete/Get/Flush on
+///    the same store without self-deadlocking.
+///
 /// Failure model (see DESIGN.md "Failure model"):
+///  - The WAL is segmented: each memtable has its own segment(s), and a
+///    segment is deleted only after the flush covering it has committed to
+///    the MANIFEST (which records the minimum live segment, so a segment
+///    whose deletion failed can never resurrect stale data).
 ///  - Flush and compaction are crash-atomic: tables are built in `.tmp`
 ///    files, fsynced, renamed into place, and only referenced by readers
-///    after the (also fsynced) MANIFEST records them. The WAL is truncated
-///    only after the flush it covers is durable.
+///    after the (also fsynced) MANIFEST records them.
 ///  - Startup quarantines stray files: `.tmp` leftovers are deleted and
 ///    `.sst` files the MANIFEST does not reference are renamed to
 ///    `.quarantine` so a half-finished flush can never serve reads.
 ///  - Every SSTable block and the WAL tail are CRC-checked; corruption
 ///    surfaces as Status::Corruption (bloom filters degrade to always-match
 ///    and are counted in Stats instead — they gate I/O, not correctness).
+///  - A background-flush failure is retried a few times, then latched into
+///    a sticky error returned by subsequent writes; the covering WAL
+///    segments are retained, so nothing acknowledged is ever lost silently.
 class LsmStore {
  public:
   static Result<std::unique_ptr<LsmStore>> Open(const StoreOptions& options);
@@ -57,19 +90,27 @@ class LsmStore {
 
   Status Put(std::string_view key, std::string_view value);
   Status Delete(std::string_view key);
+
+  /// Applies every op atomically with respect to the WAL (one group-commit
+  /// entry) — the batch either replays fully after a crash or not at all
+  /// beyond the synced prefix. This is the bulk-ingest fast path.
+  Status WriteBatch(const std::vector<WriteOp>& ops);
+
   Status Get(std::string_view key, std::string* value) const;
 
   /// Ordered scan of [start, end); `end` empty means "to the last key".
-  /// The callback returns false to stop early.
+  /// The callback returns false to stop early. The store lock is NOT held
+  /// while the callback runs: callbacks may write to this same store.
   Status Scan(std::string_view start, std::string_view end,
               const std::function<bool(std::string_view key,
                                        std::string_view value)>& fn) const;
 
-  /// Forces the memtable to disk.
+  /// Forces the memtable to disk and waits until the flush is durable
+  /// (MANIFEST-committed). Concurrent writers keep running meanwhile.
   Status Flush();
 
-  /// Merges all SSTables into one (size-tiered full compaction),
-  /// dropping tombstones.
+  /// Flushes, then merges all SSTables into one (size-tiered full
+  /// compaction), dropping tombstones.
   Status CompactAll();
 
   /// Thin view over this store's registry-backed counters plus the usual
@@ -77,7 +118,7 @@ class LsmStore {
   /// the block cache; this struct just snapshots them.
   struct Stats {
     size_t num_sstables = 0;
-    size_t memtable_entries = 0;
+    size_t memtable_entries = 0;  ///< active + immutable memtable
     size_t memtable_bytes = 0;
     uint64_t disk_bytes = 0;
     uint64_t sstable_entries = 0;  ///< includes not-yet-compacted duplicates
@@ -103,31 +144,88 @@ class LsmStore {
   const StoreOptions& options() const { return options_; }
 
  private:
+  struct Writer;  ///< one queued (batch of) mutation(s); see lsm_store.cc
+
   explicit LsmStore(const StoreOptions& options);
 
   Status Recover();
   /// Deletes `.tmp` leftovers and quarantines `.sst` files the manifest
   /// does not reference (partial flushes/compactions from a crash).
   Status QuarantineStrays(const std::set<uint64_t>& live);
-  Status WriteInternal(WalRecordType type, std::string_view key,
-                       std::string_view value);
-  Status FlushLocked();
-  Status MergeAllLocked();
+
+  /// Enqueues `ops` (and/or a flush request) and blocks until a leader has
+  /// committed them. The caller owning the front of the queue becomes the
+  /// leader for everything queued behind it.
+  Status QueueWrite(const WriteOp* ops, size_t count, bool flush_request);
+  /// Leader body: WAL group append (+ optional fsync), memtable apply,
+  /// memtable swap when full. Serialized by queue leadership, so wal_ needs
+  /// no extra lock.
+  Status CommitBatch(const std::vector<Writer*>& batch, size_t total_ops);
+  /// Swaps the full memtable for a fresh one and wakes the flusher. Stalls
+  /// (counted) while a previous immutable memtable is still flushing.
+  /// Expects `lock` held; may release and reacquire it.
+  Status SwapMemtableLocked(std::unique_lock<std::shared_mutex>& lock);
+
+  void BackgroundLoop();
+  /// Builds + installs the SSTable for imm_; expects `lock` held and
+  /// releases it during the build. Retries transient failures, then latches
+  /// bg_error_.
+  void BackgroundFlush(std::unique_lock<std::shared_mutex>& lock);
+  /// Full compaction body shared by the background trigger and CompactAll.
+  /// Expects `lock` held; releases it during the merge.
+  Status CompactLocked(std::unique_lock<std::shared_mutex>& lock);
+  /// Builds `file_number`.sst from `mem` (tmp + fsync + rename) and opens a
+  /// reader for it. Runs without the store lock: `mem` is frozen and every
+  /// other input (env, options, cache) is immutable after Open().
+  Status BuildSsTable(const SkipList& mem, uint64_t file_number,
+                      std::shared_ptr<SsTableReader>* out);
+
   Status WriteManifestLocked();
   std::string SstPath(uint64_t file_number) const;
-  std::string WalPath() const;
+  /// Segment 0 is the legacy single-file name ("wal.log"); rotated segments
+  /// are "wal-NNNNNN.log".
+  std::string WalSegmentPath(uint64_t segment) const;
+  /// Deletes (best-effort) every live WAL segment numbered <= cutoff.
+  void RemoveWalSegmentsLocked(uint64_t cutoff);
 
   StoreOptions options_;
   Env* env_;
+
+  /// Guards all state below it. Writers additionally serialize through the
+  /// writer queue; wal_ is owned by the current queue leader (plus Recover
+  /// and the destructor, which run without concurrent writers).
   mutable std::shared_mutex mu_;
-  std::unique_ptr<SkipList> memtable_;
-  WalWriter wal_;
+  std::shared_ptr<SkipList> memtable_;        ///< active (mutable)
+  std::shared_ptr<SkipList> imm_;             ///< frozen, being flushed
+  WalWriter wal_;                             ///< active segment writer
+  uint64_t wal_number_ = 0;                   ///< active segment number
+  std::set<uint64_t> wal_segments_;           ///< live segments, incl. active
+  uint64_t imm_wal_cutoff_ = 0;  ///< segments <= this cover imm_
+  uint64_t min_wal_number_ = 0;  ///< from MANIFEST: older segments are dead
   /// Newest table last (flush order); scans give later tables precedence.
   std::vector<std::shared_ptr<SsTableReader>> sstables_;
   uint64_t next_file_number_ = 1;
   size_t quarantined_files_ = 0;
+  Status bg_error_;               ///< sticky background-flush failure
+  bool stop_bg_ = false;
+  bool compact_pending_ = false;
+  bool compaction_running_ = false;
+  uint64_t swap_seq_ = 0;     ///< memtable swaps scheduled
+  uint64_t flushed_seq_ = 0;  ///< memtable swaps whose flush is durable
+  uint64_t imm_seq_ = 0;      ///< swap_seq_ value that produced imm_
+
+  /// Group-commit writer queue (leader = front).
+  std::mutex writers_mu_;
+  std::deque<Writer*> writers_;
+
+  /// Wakes the background thread (imm_ set / compaction pending / stop).
+  std::condition_variable_any bg_cv_;
+  /// Signals flush completion or bg_error_ to stalled writers and Flush().
+  std::condition_variable_any flush_done_cv_;
+
   std::unique_ptr<BlockCache> block_cache_;
   mutable IoStats io_stats_;
+  std::thread bg_thread_;
   /// Last member: these sources read the fields above, so they must be
   /// unregistered (and cumulative values folded) before anything else dies.
   std::vector<obs::ScopedSource> metric_sources_;

@@ -73,6 +73,16 @@ void SkipList::Put(const std::string& key, std::string value) {
   }
 }
 
+void SkipList::AppendRange(
+    const std::string& start, std::string_view end,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  for (Node* n = FindGreaterOrEqual(start, nullptr); n != nullptr;
+       n = n->next[0]) {
+    if (!end.empty() && std::string_view(n->key) >= end) break;
+    out->emplace_back(n->key, n->value);
+  }
+}
+
 bool SkipList::Get(const std::string& key, std::string* value) const {
   Node* node = FindGreaterOrEqual(key, nullptr);
   if (node != nullptr && node->key == key) {

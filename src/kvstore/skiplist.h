@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -26,6 +28,14 @@ class SkipList {
 
   /// Returns true and sets *value if present.
   bool Get(const std::string& key, std::string* value) const;
+
+  /// Appends every entry in [start, end) to `out` in key order (`end` empty
+  /// means "to the last key"). Snapshot scans use this to copy the *mutable*
+  /// memtable's window under the store lock, then merge lock-free — the
+  /// immutable sources (frozen memtable, SSTables) never need copying.
+  void AppendRange(const std::string& start, std::string_view end,
+                   std::vector<std::pair<std::string, std::string>>* out)
+      const;
 
   size_t size() const { return size_; }
   size_t ApproximateBytes() const { return bytes_; }

@@ -38,18 +38,28 @@ Status WalWriter::Open(const std::string& path, bool truncate, Env* env) {
   return Status::OK();
 }
 
-Status WalWriter::Append(WalRecordType type, std::string_view key,
-                         std::string_view value) {
-  if (file_ == nullptr) return Status::IOError("WAL not open");
+void EncodeWalRecord(std::string* dst, WalRecordType type,
+                     std::string_view key, std::string_view value) {
   std::string payload;
   payload.push_back(static_cast<char>(type));
   PutLengthPrefixed(&payload, key);
   PutLengthPrefixed(&payload, value);
+  PutFixed32(dst, Crc32(payload));
+  PutVarint64(dst, payload.size());
+  *dst += payload;
+}
+
+Status WalWriter::Append(WalRecordType type, std::string_view key,
+                         std::string_view value) {
+  if (file_ == nullptr) return Status::IOError("WAL not open");
   std::string record;
-  PutFixed32(&record, Crc32(payload));
-  PutVarint64(&record, payload.size());
-  record += payload;
+  EncodeWalRecord(&record, type, key, value);
   return file_->Append(record);
+}
+
+Status WalWriter::AppendEncoded(std::string_view records) {
+  if (file_ == nullptr) return Status::IOError("WAL not open");
+  return file_->Append(records);
 }
 
 Status WalWriter::Sync() {

@@ -30,6 +30,10 @@ class WalWriter {
   Status Open(const std::string& path, bool truncate, Env* env = nullptr);
   Status Append(WalRecordType type, std::string_view key,
                 std::string_view value);
+  /// Appends bytes already encoded with EncodeWalRecord — the group-commit
+  /// path encodes a whole batch into one buffer and hands it to the file in
+  /// a single append, so one leader pays one I/O call for N writers.
+  Status AppendEncoded(std::string_view records);
   /// Makes every appended record durable (fsync).
   Status Sync();
   void Close();
@@ -39,6 +43,10 @@ class WalWriter {
  private:
   std::unique_ptr<WritableFile> file_;
 };
+
+/// Serializes one WAL record (crc + length-prefixed payload) onto `dst`.
+void EncodeWalRecord(std::string* dst, WalRecordType type,
+                     std::string_view key, std::string_view value);
 
 /// Replays a WAL file, invoking `fn` per record. Stops cleanly at the first
 /// torn/corrupt tail record (crash semantics). `env` nullptr means
