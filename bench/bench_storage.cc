@@ -15,6 +15,10 @@
 // registry snapshot (including just_kv_write_stalls_total and the
 // group-commit histogram) is embedded in --benchmark_out JSON by
 // RunBenchmarks.
+//
+// And the compaction-strategy probe (Compaction/Amplification/*): the same
+// bulk load run under leveled vs legacy full compaction, reporting write
+// amplification and SSTable probes per Get. See EXPERIMENTS.md.
 
 #include <benchmark/benchmark.h>
 
@@ -112,6 +116,98 @@ void BM_MixedPutLatencyAcrossFlush(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * num_ops);
 }
 
+/// Compaction strategy probe: bulk-load many memtables' worth of data (with
+/// key overlap so compaction has real merging to do), wait for the tree to
+/// settle, and report write amplification (bytes rewritten by compaction
+/// per byte flushed) and point-read amplification (SSTables probed per
+/// Get). arg0 selects the strategy: 1 = leveled, 0 = the old full merge.
+/// Leveled should show bounded read-amp with write-amp ~O(levels); full
+/// compaction shows read-amp that decays only after each O(N) rewrite.
+void BM_CompactionAmplification(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const bool leveled = state.range(0) == 1;
+  const int num_ops = 60000;  // ~16 MB of key+value across ~60 memtables
+  auto* flush_out =
+      obs::Registry::Global().GetCounter("just_kv_flush_output_bytes_total");
+  auto* comp_in = obs::Registry::Global().GetCounter(
+      "just_kv_compaction_input_bytes_total");
+  auto* comp_out = obs::Registry::Global().GetCounter(
+      "just_kv_compaction_output_bytes_total");
+  auto* compactions =
+      obs::Registry::Global().GetCounter("just_kv_compactions_total");
+  double write_amp = 0;
+  double read_amp = 0;
+  double l0_files = 0;
+  double total_files = 0;
+  uint64_t compactions_delta = 0;
+  for (auto _ : state) {
+    fs::path dir = fs::temp_directory_path() /
+                   ("just_bench_compaction_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    kv::StoreOptions opts;
+    opts.dir = dir.string();
+    opts.memtable_bytes = 256 << 10;
+    opts.compaction_trigger = 4;
+    opts.compaction_style = leveled ? kv::CompactionStyle::kLeveled
+                                    : kv::CompactionStyle::kFull;
+    opts.level_base_bytes = 1 << 20;
+    opts.target_file_size = 512 << 10;
+    auto store_or = kv::LsmStore::Open(opts);
+    if (!store_or.ok()) {
+      state.SkipWithError(store_or.status().ToString().c_str());
+      break;
+    }
+    kv::LsmStore* store = store_or->get();
+    const uint64_t flush0 = flush_out->Value();
+    const uint64_t in0 = comp_in->Value();
+    const uint64_t out0 = comp_out->Value();
+    const uint64_t compactions0 = compactions->Value();
+    std::string value(220, 'v');
+    char key[32];
+    for (int i = 0; i < num_ops; ++i) {
+      // i % (num_ops / 4) overlaps each key ~4 times: compaction must merge
+      // real duplicates, not just concatenate disjoint runs.
+      std::snprintf(key, sizeof(key), "k%010d", i % (num_ops / 4));
+      (void)store->Put(key, value);
+    }
+    (void)store->Flush();
+    (void)store->WaitForBackgroundIdle();
+    const uint64_t flushed = flush_out->Value() - flush0;
+    write_amp = flushed == 0
+                    ? 0.0
+                    : static_cast<double>(flushed +
+                                          (comp_out->Value() - out0)) /
+                          static_cast<double>(flushed);
+    benchmark::DoNotOptimize(comp_in->Value() - in0);
+    compactions_delta += compactions->Value() - compactions0;
+    // Point-read amplification over a uniform sample of live keys.
+    const uint64_t probes0 = store->io_stats().get_probes.Value();
+    const int num_gets = 2000;
+    std::string out_value;
+    for (int i = 0; i < num_gets; ++i) {
+      std::snprintf(key, sizeof(key), "k%010d",
+                    (i * 7919) % (num_ops / 4));
+      (void)store->Get(key, &out_value);
+    }
+    read_amp = static_cast<double>(store->io_stats().get_probes.Value() -
+                                   probes0) /
+               num_gets;
+    auto stats = store->GetStats();
+    l0_files = stats.level_files.empty()
+                   ? 0.0
+                   : static_cast<double>(stats.level_files[0]);
+    total_files = static_cast<double>(stats.num_sstables);
+    store_or->reset();
+    fs::remove_all(dir);
+  }
+  state.counters["write_amp"] = write_amp;
+  state.counters["read_amp_probes_per_get"] = read_amp;
+  state.counters["compactions"] = static_cast<double>(compactions_delta);
+  state.counters["l0_files"] = l0_files;
+  state.counters["total_files"] = total_files;
+  state.SetItemsProcessed(state.iterations() * num_ops);
+}
+
 void PrintSeries(const char* figure, Dataset dataset,
                  const std::vector<Variant>& variants) {
   std::printf("\n%s — storage size (MB) vs data size, dataset=%s\n", figure,
@@ -169,6 +265,16 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("WritePath/MixedPutLatencyAcrossFlush",
                                BM_MixedPutLatencyAcrossFlush)
       ->Arg(20000)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Compaction/Amplification/leveled",
+                               BM_CompactionAmplification)
+      ->Arg(1)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Compaction/Amplification/full",
+                               BM_CompactionAmplification)
+      ->Arg(0)
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
   just::bench::RunBenchmarks(argc, argv);

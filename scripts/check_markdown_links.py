@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Checks that every relative link in the repo's markdown files resolves.
+
+Scans *.md at the repository root and everything under docs/, extracts
+inline links/images ([text](target), ![alt](target)) and reference-style
+definitions ([label]: target), and verifies that relative targets exist on
+disk. External schemes (http, https, mailto) and pure in-page anchors are
+skipped; fenced code blocks and inline code spans are stripped first so
+example snippets cannot produce false positives.
+
+Stdlib only — no packages to install. Exit status 0 when every link
+resolves, 1 otherwise (one line per broken link, file:line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCED_BLOCK = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`\n]*`")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:
+
+
+def markdown_files():
+    files = sorted(REPO_ROOT.glob("*.md"))
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files += sorted(docs.rglob("*.md"))
+    return files
+
+
+def check_file(md_file):
+    """Returns a list of (line_number, target, reason) for broken links."""
+    text = md_file.read_text(encoding="utf-8")
+    # Blank out code regions, preserving newlines so line numbers survive.
+    def blank(match):
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    stripped = FENCED_BLOCK.sub(blank, text)
+    stripped = INLINE_CODE.sub(blank, stripped)
+
+    broken = []
+    targets = []
+    for pattern in (INLINE_LINK, REFERENCE_DEF):
+        for match in pattern.finditer(stripped):
+            line = stripped.count("\n", 0, match.start()) + 1
+            targets.append((line, match.group(1)))
+
+    for line, target in targets:
+        if EXTERNAL.match(target):
+            continue  # external URL: existence is not checkable offline
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue  # pure in-page anchor
+        resolved = (md_file.parent / path_part).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            broken.append((line, target, "points outside the repository"))
+            continue
+        if not resolved.exists():
+            broken.append((line, target, "target does not exist"))
+    return broken
+
+
+def main():
+    files = markdown_files()
+    if not files:
+        print("no markdown files found — wrong working tree?", file=sys.stderr)
+        return 1
+    failures = 0
+    for md_file in files:
+        for line, target, reason in check_file(md_file):
+            rel = md_file.relative_to(REPO_ROOT)
+            print(f"{rel}:{line}: broken link '{target}' ({reason})")
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"\n{failures} broken link(s) across {checked} files")
+        return 1
+    print(f"OK: all relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <queue>
 
 namespace just::kv {
 
@@ -26,12 +27,50 @@ constexpr size_t kMaxGroupCommitBytes = 1 << 20;
 // retained, so nothing acknowledged is lost.
 constexpr int kBgFlushAttempts = 3;
 
+// MANIFEST v2 header line. v1 manifests (PR-4 and earlier) have no header:
+// they start with "wal N" followed by bare file numbers.
+constexpr std::string_view kManifestHeaderV2 = "just-manifest 2";
+
 std::string MakeInternalValue(char type, std::string_view value) {
   std::string v;
   v.reserve(value.size() + 1);
   v.push_back(type);
   v.append(value.data(), value.size());
   return v;
+}
+
+// Keys are arbitrary bytes but the MANIFEST is line-oriented text, so file
+// key ranges are hex-encoded. The empty key encodes as "-" (an empty hex
+// field would make the line ambiguous to split).
+std::string HexEncodeKey(std::string_view key) {
+  if (key.empty()) return "-";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size() * 2);
+  for (unsigned char c : key) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecodeKey(std::string_view hex, std::string* out) {
+  out->clear();
+  if (hex == "-") return true;
+  if (hex.size() % 2 != 0) return false;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
 }
 
 /// Parses "NNNNNN.sst" -> file number; nullopt for any other name.
@@ -84,6 +123,11 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+bool RangesOverlap(std::string_view a_lo, std::string_view a_hi,
+                   std::string_view b_lo, std::string_view b_hi) {
+  return !(a_hi < b_lo || b_hi < a_lo);
+}
+
 obs::Counter* WriteStallCounter() {
   static obs::Counter* c =
       obs::Registry::Global().GetCounter("just_kv_write_stalls_total");
@@ -113,6 +157,114 @@ obs::Histogram* FlushHist() {
       obs::Registry::Global().GetHistogram("just_kv_bg_flush_us");
   return h;
 }
+
+obs::Counter* FlushOutputBytesCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_kv_flush_output_bytes_total");
+  return c;
+}
+
+obs::Counter* CompactionCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_kv_compactions_total");
+  return c;
+}
+
+obs::Counter* CompactionInputBytesCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "just_kv_compaction_input_bytes_total");
+  return c;
+}
+
+obs::Counter* CompactionOutputBytesCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "just_kv_compaction_output_bytes_total");
+  return c;
+}
+
+obs::Counter* TrivialMoveCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "just_kv_compaction_trivial_moves_total");
+  return c;
+}
+
+obs::Histogram* CompactionHist() {
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("just_kv_compaction_us");
+  return h;
+}
+
+/// Registers (once, process-wide) the derived write-amplification gauge:
+/// 100 * (flush bytes + compaction output bytes) / flush bytes. 100 means a
+/// byte is written exactly once after the WAL; each rewrite adds ~100. The
+/// callback reads the warmed static counters directly — a registry snapshot
+/// holds the registry mutex while calling it, so it must not call back into
+/// Registry::Get*.
+void EnsureWriteAmpSource() {
+  static obs::ScopedSource* source = new obs::ScopedSource(
+      "just_kv_write_amp_x100", obs::Registry::SourceKind::kLive, [] {
+        uint64_t flushed = FlushOutputBytesCounter()->Value();
+        uint64_t compacted = CompactionOutputBytesCounter()->Value();
+        return flushed == 0 ? uint64_t{0}
+                            : (flushed + compacted) * 100 / flushed;
+      });
+  (void)source;
+}
+
+/// Merge-reads one L1+ level: the files are sorted and non-overlapping, so
+/// the level reads as a single sorted run through one open SSTable iterator
+/// at a time. Seek binary-searches the file list first.
+class LevelIterator {
+ public:
+  explicit LevelIterator(std::vector<std::shared_ptr<SsTableReader>> files)
+      : files_(std::move(files)) {}
+
+  void Seek(std::string_view target) {
+    idx_ = static_cast<size_t>(
+        std::lower_bound(files_.begin(), files_.end(), target,
+                         [](const std::shared_ptr<SsTableReader>& t,
+                            std::string_view k) {
+                           return std::string_view(t->largest_key()) < k;
+                         }) -
+        files_.begin());
+    if (idx_ >= files_.size()) {
+      iter_.reset();
+      return;
+    }
+    iter_ = std::make_unique<SsTableReader::Iterator>(files_[idx_].get());
+    iter_->Seek(target);
+    SkipExhaustedFiles();
+  }
+
+  bool Valid() const { return iter_ != nullptr && iter_->Valid(); }
+  const std::string& key() const { return iter_->key(); }
+  std::string_view value() const { return iter_->value(); }
+
+  void Next() {
+    iter_->Next();
+    SkipExhaustedFiles();
+  }
+
+  Status status() const {
+    return iter_ != nullptr ? iter_->status() : Status::OK();
+  }
+
+ private:
+  void SkipExhaustedFiles() {
+    while (iter_ != nullptr && !iter_->Valid() && iter_->status().ok()) {
+      if (++idx_ >= files_.size()) {
+        iter_.reset();
+        return;
+      }
+      iter_ = std::make_unique<SsTableReader::Iterator>(files_[idx_].get());
+      iter_->SeekToFirst();
+    }
+  }
+
+  std::vector<std::shared_ptr<SsTableReader>> files_;
+  size_t idx_ = 0;
+  std::unique_ptr<SsTableReader::Iterator> iter_;
+};
 }  // namespace
 
 /// One queued write. The front of writers_ is the leader: it commits its own
@@ -133,6 +285,11 @@ LsmStore::LsmStore(const StoreOptions& options)
       memtable_(std::make_shared<SkipList>()),
       block_cache_(
           std::make_unique<BlockCache>(options.block_cache_bytes)) {
+  options_.num_levels = std::max(2, options_.num_levels);
+  options_.level_fanout = std::max(2, options_.level_fanout);
+  options_.target_file_size = std::max<size_t>(1, options_.target_file_size);
+  levels_.resize(static_cast<size_t>(options_.num_levels));
+  compact_cursor_.resize(levels_.size());
   // Resolve every registry entry the write path records into up front.
   // Registry snapshots invoke the live sources below while holding the
   // registry mutex, and those sources take mu_ — so mu_ holders must never
@@ -143,6 +300,13 @@ LsmStore::LsmStore(const StoreOptions& options)
   GroupCommitBatchHist();
   FlushCounter();
   FlushHist();
+  FlushOutputBytesCounter();
+  CompactionCounter();
+  CompactionInputBytesCounter();
+  CompactionOutputBytesCounter();
+  TrivialMoveCounter();
+  CompactionHist();
+  EnsureWriteAmpSource();
   using SK = obs::Registry::SourceKind;
   metric_sources_.emplace_back("just_kv_block_cache_hits_total",
                                SK::kCumulative,
@@ -153,7 +317,9 @@ LsmStore::LsmStore(const StoreOptions& options)
   metric_sources_.emplace_back("just_kv_disk_bytes", SK::kLive, [this] {
     std::shared_lock lock(mu_);
     uint64_t total = 0;
-    for (const auto& table : sstables_) total += table->file_size();
+    for (const auto& level : levels_) {
+      for (const auto& table : level) total += table->file_size();
+    }
     return total;
   });
   metric_sources_.emplace_back("just_kv_memtable_bytes", SK::kLive, [this] {
@@ -164,7 +330,7 @@ LsmStore::LsmStore(const StoreOptions& options)
   });
   metric_sources_.emplace_back("just_kv_sstables", SK::kLive, [this] {
     std::shared_lock lock(mu_);
-    return static_cast<uint64_t>(sstables_.size());
+    return static_cast<uint64_t>(TotalTablesLocked());
   });
   metric_sources_.emplace_back("just_kv_flush_queue_depth", SK::kLive,
                                [this] {
@@ -172,6 +338,27 @@ LsmStore::LsmStore(const StoreOptions& options)
                                  return static_cast<uint64_t>(
                                      imm_ != nullptr ? 1 : 0);
                                });
+}
+
+void LsmStore::RegisterLevelMetricSources() {
+  using SK = obs::Registry::SourceKind;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    metric_sources_.emplace_back(
+        "just_kv_level" + std::to_string(i) + "_files", SK::kLive, [this, i] {
+          std::shared_lock lock(mu_);
+          return i < levels_.size() ? static_cast<uint64_t>(levels_[i].size())
+                                    : uint64_t{0};
+        });
+    metric_sources_.emplace_back(
+        "just_kv_level" + std::to_string(i) + "_bytes", SK::kLive, [this, i] {
+          std::shared_lock lock(mu_);
+          uint64_t total = 0;
+          if (i < levels_.size()) {
+            for (const auto& table : levels_[i]) total += table->file_size();
+          }
+          return total;
+        });
+  }
 }
 
 LsmStore::~LsmStore() {
@@ -208,8 +395,118 @@ Result<std::unique_ptr<LsmStore>> LsmStore::Open(const StoreOptions& options) {
   auto store = std::unique_ptr<LsmStore>(new LsmStore(options));
   JUST_RETURN_NOT_OK(store->env_->CreateDirs(options.dir));
   JUST_RETURN_NOT_OK(store->Recover());
+  // Recover may have grown levels_ past num_levels (older MANIFEST), so the
+  // per-level gauges register only now, with the level count settled.
+  store->RegisterLevelMetricSources();
   store->bg_thread_ = std::thread(&LsmStore::BackgroundLoop, store.get());
   return store;
+}
+
+Status LsmStore::ParseManifestLocked(const std::string& contents,
+                                     std::set<uint64_t>* live) {
+  // Split into whitespace-separated tokens per line.
+  std::vector<std::vector<std::string>> lines;
+  {
+    std::vector<std::string> tokens;
+    std::string token;
+    for (char c : contents) {
+      if (c == '\n') {
+        if (!token.empty()) tokens.push_back(std::move(token));
+        token.clear();
+        if (!tokens.empty()) lines.push_back(std::move(tokens));
+        tokens.clear();
+      } else if (c == ' ' || c == '\r' || c == '\t') {
+        if (!token.empty()) tokens.push_back(std::move(token));
+        token.clear();
+      } else {
+        token.push_back(c);
+      }
+    }
+    if (!token.empty()) tokens.push_back(std::move(token));
+    if (!tokens.empty()) lines.push_back(std::move(tokens));
+  }
+
+  bool v2 = !lines.empty() && lines[0].size() == 2 &&
+            lines[0][0] == "just-manifest";
+  if (v2 && lines[0][1] != "2") {
+    return Status::Corruption("unsupported MANIFEST version: " + lines[0][1]);
+  }
+
+  auto open_table = [&](uint64_t num, size_t level)
+      -> Result<std::shared_ptr<SsTableReader>> {
+    JUST_ASSIGN_OR_RETURN(
+        auto reader,
+        SsTableReader::Open(SstPath(num), num, block_cache_.get(), env_,
+                            &io_stats_));
+    if (level >= levels_.size()) {
+      levels_.resize(level + 1);
+      compact_cursor_.resize(level + 1);
+    }
+    levels_[level].push_back(reader);
+    live->insert(num);
+    next_file_number_ = std::max(next_file_number_, num + 1);
+    return reader;
+  };
+
+  for (size_t i = v2 ? 1 : 0; i < lines.size(); ++i) {
+    const auto& line = lines[i];
+    if (line[0] == "wal" && line.size() == 2) {
+      min_wal_number_ = std::strtoull(line[1].c_str(), nullptr, 10);
+      continue;
+    }
+    if (v2) {
+      // "file <level> <number> <smallest-hex> <largest-hex>"
+      if (line[0] != "file" || line.size() != 5) {
+        return Status::Corruption("malformed MANIFEST line");
+      }
+      uint64_t level = std::strtoull(line[1].c_str(), nullptr, 10);
+      uint64_t num = std::strtoull(line[2].c_str(), nullptr, 10);
+      if (num == 0 || level > 1000) {
+        return Status::Corruption("malformed MANIFEST file entry");
+      }
+      std::string smallest;
+      std::string largest;
+      if (!HexDecodeKey(line[3], &smallest) ||
+          !HexDecodeKey(line[4], &largest)) {
+        return Status::Corruption("malformed MANIFEST key range");
+      }
+      JUST_ASSIGN_OR_RETURN(auto reader,
+                            open_table(num, static_cast<size_t>(level)));
+      // The recorded range is a consistency check on the table contents: a
+      // mismatch means the MANIFEST and the .sst diverged (e.g. a partially
+      // restored backup) and range pruning would silently skip data.
+      if (reader->smallest_key() != smallest ||
+          reader->largest_key() != largest) {
+        return Status::Corruption("MANIFEST key range mismatch for file " +
+                                  std::to_string(num));
+      }
+    } else {
+      // v1: bare file numbers in flush order — the flat table list of the
+      // full-compaction era. They all load into L0, whose read path (every
+      // table consulted, newest first) matches the old semantics; leveled
+      // compaction then migrates them down as it runs.
+      uint64_t num = std::strtoull(line[0].c_str(), nullptr, 10);
+      if (num == 0) continue;
+      JUST_RETURN_NOT_OK(open_table(num, 0).status());
+    }
+  }
+
+  // Deeper levels must read as sorted non-overlapping runs. The MANIFEST
+  // records files in that order, but trust nothing that cheap to verify.
+  for (size_t level = 1; level < levels_.size(); ++level) {
+    auto& files = levels_[level];
+    std::sort(files.begin(), files.end(),
+              [](const auto& a, const auto& b) {
+                return a->smallest_key() < b->smallest_key();
+              });
+    for (size_t i = 1; i < files.size(); ++i) {
+      if (files[i]->smallest_key() <= files[i - 1]->largest_key()) {
+        return Status::Corruption("overlapping tables at level " +
+                                  std::to_string(level));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status LsmStore::Recover() {
@@ -223,29 +520,7 @@ Status LsmStore::Recover() {
   if (env_->FileExists(manifest_path)) {
     std::string manifest;
     JUST_RETURN_NOT_OK(env_->ReadFileToString(manifest_path, &manifest));
-    const char* p = manifest.c_str();
-    while (*p != '\0') {
-      if (std::strncmp(p, "wal ", 4) == 0) {
-        char* end = nullptr;
-        min_wal_number_ = std::strtoull(p + 4, &end, 10);
-        p = end != nullptr ? end : p + 4;
-        while (*p == '\n' || *p == '\r') ++p;
-        continue;
-      }
-      char* end = nullptr;
-      uint64_t num = std::strtoull(p, &end, 10);
-      if (end == p) break;
-      p = end;
-      while (*p == '\n' || *p == '\r') ++p;
-      if (num == 0) continue;
-      JUST_ASSIGN_OR_RETURN(
-          auto reader,
-          SsTableReader::Open(SstPath(num), num, block_cache_.get(), env_,
-                              &io_stats_));
-      sstables_.push_back(reader);
-      live.insert(num);
-      next_file_number_ = std::max(next_file_number_, num + 1);
-    }
+    JUST_RETURN_NOT_OK(ParseManifestLocked(manifest, &live));
   }
   // 2) Quarantine partial flush/compaction leftovers so they can never be
   // mistaken for live data (and never collide with reused file numbers).
@@ -466,7 +741,21 @@ void LsmStore::BackgroundLoop() {
     }
     if (compact_pending_) {
       compact_pending_ = false;
-      if (!stop_bg_ && bg_error_.ok()) (void)CompactLocked(lock);
+      if (!stop_bg_ && bg_error_.ok() && !compaction_running_) {
+        if (options_.compaction_style == CompactionStyle::kFull) {
+          if (FullCompactionNeededLocked()) {
+            (void)CompactEverythingLocked(lock);
+          }
+        } else {
+          int level = PickCompactionLevelLocked();
+          if (level >= 0) {
+            (void)RunCompactionLocked(lock, PickCompactionLocked(level));
+          }
+        }
+        // A compaction failure stays un-latched (the tree is merely
+        // unbalanced, not unsafe); the next flush re-schedules it.
+      }
+      flush_done_cv_.notify_all();
       continue;
     }
     if (stop_bg_) return;
@@ -486,14 +775,14 @@ void LsmStore::BackgroundFlush(std::unique_lock<std::shared_mutex>& lock) {
     st = BuildSsTable(*mem, file_number, &reader);
     lock.lock();
     if (!st.ok()) continue;  // transient build failure: retry with new number
-    sstables_.push_back(reader);
+    levels_[0].push_back(reader);
     uint64_t prev_min = min_wal_number_;
     min_wal_number_ = cutoff + 1;
     st = WriteManifestLocked();
     if (!st.ok()) {
       // Not committed: the renamed .sst is a stray (quarantined at the next
       // open); the memtable and WAL still hold everything. Retry fresh.
-      sstables_.pop_back();
+      levels_[0].pop_back();
       min_wal_number_ = prev_min;
       continue;
     }
@@ -502,11 +791,9 @@ void LsmStore::BackgroundFlush(std::unique_lock<std::shared_mutex>& lock) {
     imm_ = nullptr;
     flushed_seq_ = std::max(flushed_seq_, seq);
     RemoveWalSegmentsLocked(cutoff);
-    if (static_cast<int>(sstables_.size()) >= options_.compaction_trigger) {
-      compact_pending_ = true;
-      bg_cv_.notify_all();
-    }
+    MaybeScheduleCompactionLocked();
     FlushCounter()->Increment();
+    FlushOutputBytesCounter()->Add(reader->file_size());
     FlushHist()->Record(ElapsedUs(t0));
     flush_done_cv_.notify_all();
     return;
@@ -556,7 +843,7 @@ void LsmStore::RemoveWalSegmentsLocked(uint64_t cutoff) {
 
 Status LsmStore::Get(std::string_view key, std::string* value) const {
   std::string internal;
-  std::vector<std::shared_ptr<SsTableReader>> tables;
+  std::vector<std::vector<std::shared_ptr<SsTableReader>>> levels;
   {
     std::shared_lock lock(mu_);
     // Newest first: active memtable, then the one being flushed.
@@ -568,19 +855,54 @@ Status LsmStore::Get(std::string_view key, std::string* value) const {
       value->assign(internal.data() + 1, internal.size() - 1);
       return Status::OK();
     }
-    tables = sstables_;  // pin: safe to search after dropping the lock
+    levels = levels_;  // pin: safe to search after dropping the lock
   }
-  // Newest SSTable first.
-  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
-    Status st = (*it)->Get(key, &internal);
-    if (st.ok()) {
+  auto probe = [&](const SsTableReader& table, Status* st) {
+    io_stats_.get_probes.Increment();
+    *st = table.Get(key, &internal);
+    return !st->IsNotFound();
+  };
+  // L0 files may overlap, so all of them are candidates, newest first; the
+  // smallest/largest range check skips files for free (not counted as a
+  // probe — no table state is consulted).
+  for (auto it = levels[0].rbegin(); it != levels[0].rend(); ++it) {
+    const auto& table = *it;
+    if (key < std::string_view(table->smallest_key()) ||
+        key > std::string_view(table->largest_key())) {
+      continue;
+    }
+    Status st;
+    if (probe(*table, &st)) {
+      if (!st.ok()) return st;
       if (internal.empty() || internal[0] == kTypeDelete) {
         return Status::NotFound("deleted");
       }
       value->assign(internal.data() + 1, internal.size() - 1);
       return Status::OK();
     }
-    if (!st.IsNotFound()) return st;
+  }
+  // Deeper levels are non-overlapping sorted runs: binary-search the ONE
+  // file whose range can hold the key. This is the bound leveled compaction
+  // exists to provide — at most L0-count + one probe per level.
+  for (size_t lvl = 1; lvl < levels.size(); ++lvl) {
+    const auto& files = levels[lvl];
+    auto it = std::lower_bound(files.begin(), files.end(), key,
+                               [](const std::shared_ptr<SsTableReader>& t,
+                                  std::string_view k) {
+                                 return std::string_view(t->largest_key()) < k;
+                               });
+    if (it == files.end() || key < std::string_view((*it)->smallest_key())) {
+      continue;
+    }
+    Status st;
+    if (probe(**it, &st)) {
+      if (!st.ok()) return st;
+      if (internal.empty() || internal[0] == kTypeDelete) {
+        return Status::NotFound("deleted");
+      }
+      value->assign(internal.data() + 1, internal.size() - 1);
+      return Status::OK();
+    }
   }
   return Status::NotFound("no such key");
 }
@@ -595,47 +917,69 @@ Status LsmStore::Scan(
   // store state — writers proceed and the callback may re-enter the store.
   std::vector<std::pair<std::string, std::string>> active;
   std::shared_ptr<SkipList> imm;
-  std::vector<std::shared_ptr<SsTableReader>> tables;
+  std::vector<std::vector<std::shared_ptr<SsTableReader>>> levels;
   {
     std::shared_lock lock(mu_);
     memtable_->AppendRange(std::string(start), end, &active);
     imm = imm_;
-    tables = sstables_;
+    levels = levels_;
   }
 
-  // Sources, newest first: active window, frozen memtable, then SSTables
-  // newest->oldest.
+  // Sources in precedence order (lower index = newer): the active window,
+  // the frozen memtable, every L0 table newest->oldest, then ONE merged
+  // iterator per deeper level — a level is a single sorted run, so it costs
+  // one heap slot no matter how many files it holds.
   struct Source {
     const std::vector<std::pair<std::string, std::string>>* vec = nullptr;
     size_t vec_pos = 0;
     std::unique_ptr<SkipList::Iterator> mem;
     std::unique_ptr<SsTableReader::Iterator> sst;
+    std::unique_ptr<LevelIterator> lvl;
 
     bool Valid() const {
       if (vec != nullptr) return vec_pos < vec->size();
-      return mem != nullptr ? mem->Valid() : sst->Valid();
+      if (mem != nullptr) return mem->Valid();
+      if (sst != nullptr) return sst->Valid();
+      return lvl->Valid();
     }
     Status status() const {
-      return sst != nullptr ? sst->status() : Status::OK();
+      if (sst != nullptr) return sst->status();
+      if (lvl != nullptr) return lvl->status();
+      return Status::OK();
     }
     std::string_view key() const {
       if (vec != nullptr) return (*vec)[vec_pos].first;
-      return mem != nullptr ? std::string_view(mem->key())
-                            : std::string_view(sst->key());
+      if (mem != nullptr) return mem->key();
+      if (sst != nullptr) return sst->key();
+      return lvl->key();
     }
     std::string_view value() const {
       if (vec != nullptr) return (*vec)[vec_pos].second;
-      return mem != nullptr ? std::string_view(mem->value()) : sst->value();
+      if (mem != nullptr) return mem->value();
+      if (sst != nullptr) return sst->value();
+      return lvl->value();
     }
     void Next() {
       if (vec != nullptr) {
         ++vec_pos;
       } else if (mem != nullptr) {
         mem->Next();
-      } else {
+      } else if (sst != nullptr) {
         sst->Next();
+      } else {
+        lvl->Next();
       }
     }
+  };
+
+  auto intersects = [&](const SsTableReader& t) {
+    if (!end.empty() && std::string_view(t.smallest_key()) >= end) {
+      return false;
+    }
+    if (std::string_view(t.largest_key()) < start && !t.largest_key().empty()) {
+      return false;
+    }
+    return true;
   };
 
   std::vector<Source> sources;
@@ -650,106 +994,343 @@ Status LsmStore::Scan(
     s.mem->Seek(std::string(start));
     sources.push_back(std::move(s));
   }
-  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
-    // Prune tables whose key range cannot intersect [start, end).
-    if (!end.empty() && std::string_view((*it)->smallest_key()) >= end) {
-      continue;
-    }
-    if (std::string_view((*it)->largest_key()) < start &&
-        !(*it)->largest_key().empty()) {
-      continue;
-    }
+  for (auto it = levels[0].rbegin(); it != levels[0].rend(); ++it) {
+    if (!intersects(**it)) continue;  // cannot intersect [start, end)
     Source s;
     s.sst = std::make_unique<SsTableReader::Iterator>(it->get());
     s.sst->Seek(start);
     sources.push_back(std::move(s));
   }
+  for (size_t lvl = 1; lvl < levels.size(); ++lvl) {
+    std::vector<std::shared_ptr<SsTableReader>> files;
+    for (const auto& table : levels[lvl]) {
+      if (intersects(*table)) files.push_back(table);
+    }
+    if (files.empty()) continue;
+    Source s;
+    s.lvl = std::make_unique<LevelIterator>(std::move(files));
+    s.lvl->Seek(start);
+    sources.push_back(std::move(s));
+  }
+
+  // K-way heap merge: the heap orders source indices by current key, ties
+  // broken toward the lower (newer) index so the freshest version of a key
+  // pops first and duplicates are skipped via last_emitted. A source that
+  // went invalid on a corrupt block fails the scan instead of silently
+  // shortening it.
+  auto newer_first = [&sources](int a, int b) {
+    int c = sources[static_cast<size_t>(a)].key().compare(
+        sources[static_cast<size_t>(b)].key());
+    if (c != 0) return c > 0;  // min-heap on key
+    return a > b;              // equal keys: lower index (newer) on top
+  };
+  std::priority_queue<int, std::vector<int>, decltype(newer_first)> heap(
+      newer_first);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i].Valid()) {
+      heap.push(static_cast<int>(i));
+    } else {
+      JUST_RETURN_NOT_OK(sources[i].status());
+    }
+  }
 
   std::string last_emitted;
   bool have_last = false;
-  for (;;) {
-    // Pick the smallest current key; ties resolved by source order (newest
-    // source wins), so stale versions are skipped below. A source that went
-    // invalid on a corrupt block fails the scan instead of silently
-    // shortening it.
-    int best = -1;
-    for (size_t i = 0; i < sources.size(); ++i) {
-      if (!sources[i].Valid()) {
-        JUST_RETURN_NOT_OK(sources[i].status());
-        continue;
-      }
-      std::string_view k = sources[i].key();
-      if (!end.empty() && k >= end) continue;
-      if (best < 0 || k < sources[best].key()) best = static_cast<int>(i);
+  while (!heap.empty()) {
+    int i = heap.top();
+    heap.pop();
+    Source& s = sources[static_cast<size_t>(i)];
+    // Materialize the key: advancing the source below invalidates the view.
+    std::string key(s.key());
+    if (!end.empty() && std::string_view(key) >= end) {
+      continue;  // this source is done; keys only grow
     }
-    if (best < 0) break;
-    // Materialize the key: advancing the winning source below would
-    // invalidate a view into its current entry.
-    std::string key(sources[best].key());
-    std::string_view internal = sources[best].value();
-    bool duplicate = have_last && key == last_emitted;
-    if (!duplicate) {
+    if (!have_last || key != last_emitted) {
       last_emitted = key;
       have_last = true;
+      std::string_view internal = s.value();
       if (!internal.empty() && internal[0] == kTypePut) {
         if (!fn(key, internal.substr(1))) return Status::OK();
       }
       // Tombstones are skipped silently.
     }
-    // Advance every source positioned at this key.
-    for (auto& s : sources) {
-      while (s.Valid() && s.key() == std::string_view(key)) s.Next();
+    s.Next();
+    if (s.Valid()) {
+      heap.push(i);
+    } else {
+      JUST_RETURN_NOT_OK(s.status());
     }
   }
   return Status::OK();
 }
 
-Status LsmStore::CompactLocked(std::unique_lock<std::shared_mutex>& lock) {
-  if (compaction_running_ || sstables_.size() <= 1) return Status::OK();
+uint64_t LsmStore::MaxBytesForLevel(int level) const {
+  double budget = static_cast<double>(options_.level_base_bytes);
+  for (int i = 1; i < level; ++i) {
+    budget *= static_cast<double>(options_.level_fanout);
+  }
+  return static_cast<uint64_t>(budget);
+}
+
+uint64_t LsmStore::LevelBytesLocked(int level) const {
+  uint64_t total = 0;
+  for (const auto& table : levels_[static_cast<size_t>(level)]) {
+    total += table->file_size();
+  }
+  return total;
+}
+
+size_t LsmStore::TotalTablesLocked() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+bool LsmStore::FullCompactionNeededLocked() const {
+  size_t total = TotalTablesLocked();
+  return total > 1 &&
+         total >= static_cast<size_t>(std::max(2, options_.compaction_trigger));
+}
+
+int LsmStore::PickCompactionLevelLocked() const {
+  if (!levels_[0].empty() &&
+      static_cast<int>(levels_[0].size()) >=
+          std::max(1, options_.compaction_trigger)) {
+    return 0;
+  }
+  // Lowest over-budget level first: upper levels shadow lower ones, so
+  // draining them first keeps read amplification bounded. The bottom level
+  // has nowhere to push data and never compacts on its own.
+  for (int level = 1; level + 1 < static_cast<int>(levels_.size()); ++level) {
+    if (LevelBytesLocked(level) > MaxBytesForLevel(level)) return level;
+  }
+  return -1;
+}
+
+bool LsmStore::CompactionNeededLocked() const {
+  return options_.compaction_style == CompactionStyle::kFull
+             ? FullCompactionNeededLocked()
+             : PickCompactionLevelLocked() >= 0;
+}
+
+void LsmStore::MaybeScheduleCompactionLocked() {
+  if (!compact_pending_ && CompactionNeededLocked()) {
+    compact_pending_ = true;
+    bg_cv_.notify_all();
+  }
+}
+
+LsmStore::CompactionJob LsmStore::PickCompactionLocked(int level) {
+  CompactionJob job;
+  job.upper_level = level;
+  job.output_level = level + 1;
+  const auto& upper_files = levels_[static_cast<size_t>(level)];
+  if (level == 0) {
+    // All of L0 (its files overlap arbitrarily), newest first so merge
+    // precedence matches read precedence.
+    job.upper.assign(upper_files.rbegin(), upper_files.rend());
+  } else {
+    // Round-robin by key range: first file past the cursor, wrapping to the
+    // front — every range eventually compacts, so no key-range hot spot can
+    // starve the rest of the level.
+    size_t pick = 0;
+    for (size_t i = 0; i < upper_files.size(); ++i) {
+      if (upper_files[i]->smallest_key() > compact_cursor_[static_cast<size_t>(
+              level)]) {
+        pick = i;
+        break;
+      }
+    }
+    job.upper.push_back(upper_files[pick]);
+  }
+
+  std::string lo = job.upper.front()->smallest_key();
+  std::string hi = job.upper.front()->largest_key();
+  for (const auto& table : job.upper) {
+    if (table->smallest_key() < lo) lo = table->smallest_key();
+    if (table->largest_key() > hi) hi = table->largest_key();
+  }
+  // Overlapping files at the output level join the merge. Each one may
+  // widen [lo, hi], which can pull in further files — iterate to a fixpoint
+  // so the outputs never overlap a survivor at the output level.
+  const auto& lower_files = levels_[static_cast<size_t>(job.output_level)];
+  std::vector<bool> taken(lower_files.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < lower_files.size(); ++i) {
+      if (taken[i]) continue;
+      const auto& table = lower_files[i];
+      if (!RangesOverlap(table->smallest_key(), table->largest_key(), lo,
+                         hi)) {
+        continue;
+      }
+      taken[i] = true;
+      job.lower.push_back(table);
+      if (table->smallest_key() < lo) lo = table->smallest_key();
+      if (table->largest_key() > hi) hi = table->largest_key();
+      changed = true;
+    }
+  }
+
+  // Tombstones can only be dropped when nothing below the output level
+  // holds this key range — otherwise an older value would resurrect.
+  job.drop_tombstones = true;
+  for (size_t lvl = static_cast<size_t>(job.output_level) + 1;
+       lvl < levels_.size(); ++lvl) {
+    for (const auto& table : levels_[lvl]) {
+      if (RangesOverlap(table->smallest_key(), table->largest_key(), lo, hi)) {
+        job.drop_tombstones = false;
+        break;
+      }
+    }
+    if (!job.drop_tombstones) break;
+  }
+  return job;
+}
+
+Status LsmStore::CompactEverythingLocked(
+    std::unique_lock<std::shared_mutex>& lock) {
+  if (TotalTablesLocked() <= 1) return Status::OK();
+  CompactionJob job;
+  job.upper_level = -1;
+  job.output_level = static_cast<int>(levels_.size()) - 1;
+  job.drop_tombstones = true;  // outputs are the bottom-most data
+  // Precedence order: L0 newest->oldest, then each deeper (older) level.
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it) {
+    job.upper.push_back(*it);
+  }
+  for (size_t lvl = 1; lvl < levels_.size(); ++lvl) {
+    for (const auto& table : levels_[lvl]) job.upper.push_back(table);
+  }
+  return RunCompactionLocked(lock, job);
+}
+
+Status LsmStore::RunCompactionLocked(std::unique_lock<std::shared_mutex>& lock,
+                                     CompactionJob job) {
+  if (compaction_running_) return Status::OK();  // installer already active
+  if (job.upper.empty()) return Status::OK();
+  const size_t output_level = static_cast<size_t>(job.output_level);
+
+  // Trivial move: a single non-L0 file with nothing to merge below just
+  // changes level in the MANIFEST — no rewrite, no I/O. Skipped when
+  // tombstone GC applies: GC requires rewriting the file's contents.
+  if (job.upper_level > 0 && job.upper.size() == 1 && job.lower.empty() &&
+      !job.drop_tombstones) {
+    const auto moved = job.upper.front();
+    auto backup = levels_;
+    auto& from = levels_[static_cast<size_t>(job.upper_level)];
+    from.erase(std::remove(from.begin(), from.end(), moved), from.end());
+    auto& to = levels_[output_level];
+    to.push_back(moved);
+    std::sort(to.begin(), to.end(), [](const auto& a, const auto& b) {
+      return a->smallest_key() < b->smallest_key();
+    });
+    Status st = WriteManifestLocked();
+    if (!st.ok()) {
+      levels_ = std::move(backup);
+      return st;
+    }
+    compact_cursor_[static_cast<size_t>(job.upper_level)] =
+        moved->largest_key();
+    TrivialMoveCounter()->Increment();
+    MaybeScheduleCompactionLocked();
+    flush_done_cv_.notify_all();
+    return Status::OK();
+  }
+
   compaction_running_ = true;
-  // Snapshot the inputs; flushes only *append* to sstables_ and no second
-  // compaction can start, so the inputs stay a stable prefix of the list
-  // while the merge runs without the lock.
-  std::vector<std::shared_ptr<SsTableReader>> inputs = sstables_;
-  uint64_t out_number = next_file_number_++;
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t input_bytes = 0;
+  // Inputs, newest first: upper (already precedence-ordered), then the
+  // lower-level files (older by the leveling invariant).
+  std::vector<std::shared_ptr<SsTableReader>> inputs = job.upper;
+  inputs.insert(inputs.end(), job.lower.begin(), job.lower.end());
+  for (const auto& table : inputs) input_bytes += table->file_size();
   lock.unlock();
 
-  std::string final_path = SstPath(out_number);
-  std::string tmp_path = final_path + ".tmp";
-  SsTableBuilder::Options bopts;
-  bopts.block_size = options_.block_size;
-  bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
-  SsTableBuilder merged(bopts);
-  Status st = merged.Open(tmp_path, env_, &io_stats_);
-  std::shared_ptr<SsTableReader> merged_reader;
-  if (st.ok()) {
+  // ---- Merge phase (no lock): k-way merge the inputs into outputs that
+  // roll over at target_file_size, each built tmp -> fsync -> rename.
+  struct Output {
+    uint64_t number = 0;
+    std::string path;
+    std::shared_ptr<SsTableReader> reader;
+  };
+  std::vector<Output> outputs;
+  std::unique_ptr<SsTableBuilder> builder;
+  std::string builder_tmp;
+  uint64_t builder_number = 0;
+  uint64_t output_bytes = 0;
+
+  auto open_builder = [&]() -> Status {
+    lock.lock();
+    builder_number = next_file_number_++;
+    lock.unlock();
+    SsTableBuilder::Options bopts;
+    bopts.block_size = options_.block_size;
+    bopts.bloom_bits_per_key = options_.bloom_bits_per_key;
+    builder = std::make_unique<SsTableBuilder>(bopts);
+    builder_tmp = SstPath(builder_number) + ".tmp";
+    return builder->Open(builder_tmp, env_, &io_stats_);
+  };
+  auto finish_builder = [&]() -> Status {
+    JUST_RETURN_NOT_OK(builder->Finish());
+    std::string final_path = SstPath(builder_number);
+    JUST_RETURN_NOT_OK(env_->RenameFile(builder_tmp, final_path));
+    JUST_ASSIGN_OR_RETURN(
+        auto reader,
+        SsTableReader::Open(final_path, builder_number, block_cache_.get(),
+                            env_, &io_stats_));
+    output_bytes += reader->file_size();
+    outputs.push_back({builder_number, final_path, std::move(reader)});
+    builder.reset();
+    return Status::OK();
+  };
+
+  Status st;
+  {
     std::vector<std::unique_ptr<SsTableReader::Iterator>> iters;
-    for (auto input = inputs.rbegin(); input != inputs.rend(); ++input) {
-      auto iter = std::make_unique<SsTableReader::Iterator>(input->get());
+    for (const auto& input : inputs) {
+      auto iter = std::make_unique<SsTableReader::Iterator>(input.get());
       iter->SeekToFirst();
-      iters.push_back(std::move(iter));  // newest first
+      iters.push_back(std::move(iter));
     }
-    std::string last_key;
-    bool have_last = false;
     for (;;) {
+      // Smallest current key wins; strict < keeps the first (newest) of a
+      // tie on top, so stale versions are skipped below.
       int best = -1;
       for (size_t i = 0; i < iters.size(); ++i) {
         if (!iters[i]->Valid()) continue;
-        if (best < 0 || iters[i]->key() < iters[best]->key()) {
+        if (best < 0 || iters[i]->key() < iters[static_cast<size_t>(
+                best)]->key()) {
           best = static_cast<int>(i);
         }
       }
       if (best < 0) break;
-      std::string key = iters[best]->key();
-      std::string_view value = iters[best]->value();
-      if (!have_last || key != last_key) {
-        // Full compaction: tombstones are dropped for good.
-        if (!value.empty() && value[0] == kTypePut) {
-          st = merged.Add(key, value);
+      std::string key = iters[static_cast<size_t>(best)]->key();
+      std::string_view value = iters[static_cast<size_t>(best)]->value();
+      bool keep = !value.empty() && value[0] == kTypePut;
+      // A tombstone survives the merge unless nothing below the output
+      // level can hold an older version of its key.
+      if (!keep && !job.drop_tombstones) keep = !value.empty();
+      if (keep) {
+        if (builder == nullptr) {
+          st = open_builder();
           if (!st.ok()) break;
         }
-        last_key = key;
-        have_last = true;
+        st = builder->Add(key, value);
+        if (!st.ok()) break;
+        // Leveled compactions roll outputs so one upper file only ever
+        // overlaps a bounded slice of the level below. A full merge
+        // (upper_level < 0) must NOT roll: its contract — and what the
+        // kFull trigger and CompactAll callers count on — is a single
+        // merged run, or the output count would immediately re-arm the
+        // full-compaction trigger.
+        if (job.upper_level >= 0 &&
+            builder->file_size() >= options_.target_file_size) {
+          st = finish_builder();
+          if (!st.ok()) break;
+        }
       }
       for (auto& iter : iters) {
         while (iter->Valid() && iter->key() == key) iter->Next();
@@ -766,48 +1347,69 @@ Status LsmStore::CompactLocked(std::unique_lock<std::shared_mutex>& lock) {
         }
       }
     }
-    if (st.ok()) st = merged.Finish();
-    if (st.ok()) st = env_->RenameFile(tmp_path, final_path);
-    if (st.ok()) {
-      auto opened = SsTableReader::Open(final_path, out_number,
-                                        block_cache_.get(), env_, &io_stats_);
-      if (opened.ok()) {
-        merged_reader = *std::move(opened);
-      } else {
-        st = opened.status();
-      }
+    if (st.ok() && builder != nullptr) st = finish_builder();
+  }
+  if (!st.ok()) {
+    // Unwind without publishing: drop the half-built tmp and any finished
+    // outputs (none are in the MANIFEST; leftovers would be quarantined at
+    // the next open anyway).
+    if (builder != nullptr) {
+      builder.reset();
+      (void)env_->RemoveFile(builder_tmp);
     }
+    for (const auto& out : outputs) (void)env_->RemoveFile(out.path);
+    lock.lock();
+    compaction_running_ = false;
+    flush_done_cv_.notify_all();
+    return st;
   }
 
+  // ---- Install phase (lock): swap inputs for outputs, MANIFEST-commit.
   lock.lock();
-  compaction_running_ = false;
-  if (!st.ok()) {
-    flush_done_cv_.notify_all();
-    return st;
+  auto backup = levels_;
+  for (auto& level : levels_) {
+    level.erase(std::remove_if(level.begin(), level.end(),
+                               [&](const std::shared_ptr<SsTableReader>& t) {
+                                 return std::find(inputs.begin(), inputs.end(),
+                                                  t) != inputs.end();
+                               }),
+                level.end());
   }
-  // Install: replace the input prefix with the merged table, keeping any
-  // tables flushed while the merge ran (they are newer, so they stay after
-  // it in precedence order).
-  std::vector<std::shared_ptr<SsTableReader>> rest(
-      sstables_.begin() + static_cast<long>(inputs.size()), sstables_.end());
-  sstables_.clear();
-  sstables_.push_back(merged_reader);
-  sstables_.insert(sstables_.end(), rest.begin(), rest.end());
-  block_cache_->Clear();
+  auto& target = levels_[output_level];
+  for (const auto& out : outputs) target.push_back(out.reader);
+  std::sort(target.begin(), target.end(), [](const auto& a, const auto& b) {
+    return a->smallest_key() < b->smallest_key();
+  });
   st = WriteManifestLocked();
   if (!st.ok()) {
-    // Not committed: restore the previous table list; the merged file is a
-    // stray that the next open quarantines.
-    sstables_ = std::move(inputs);
-    sstables_.insert(sstables_.end(), rest.begin(), rest.end());
+    // Not committed: restore the previous tree; the outputs are strays that
+    // the next open quarantines.
+    levels_ = std::move(backup);
+    compaction_running_ = false;
     flush_done_cv_.notify_all();
     return st;
   }
+  if (job.upper_level > 0) {
+    // Advance the round-robin cursor past the consumed range.
+    std::string hi;
+    for (const auto& table : job.upper) {
+      if (table->largest_key() > hi) hi = table->largest_key();
+    }
+    compact_cursor_[static_cast<size_t>(job.upper_level)] = hi;
+  }
+  CompactionCounter()->Increment();
+  CompactionInputBytesCounter()->Add(input_bytes);
+  CompactionOutputBytesCounter()->Add(output_bytes);
+  CompactionHist()->Record(ElapsedUs(t0));
+  compaction_running_ = false;
+  MaybeScheduleCompactionLocked();
   flush_done_cv_.notify_all();
   // Inputs are dead only once the manifest no longer references them;
   // deletion is best-effort — leftovers are quarantined at the next open.
   // Readers holding snapshot pins keep their open file handles (POSIX
-  // unlink semantics), so in-flight scans are unaffected.
+  // unlink semantics), so in-flight scans are unaffected. Their cached
+  // blocks age out of the LRU on their own — no cache flush needed, the
+  // (file_id, offset) keys of dead files are simply never requested again.
   for (const auto& input : inputs) {
     (void)env_->RemoveFile(input->path());
   }
@@ -818,18 +1420,23 @@ Status LsmStore::WriteManifestLocked() {
   std::string tmp_path = options_.dir + "/MANIFEST.tmp";
   JUST_ASSIGN_OR_RETURN(auto file,
                         env_->NewWritableFile(tmp_path, /*truncate=*/true));
-  // First line: minimum live WAL segment. Replay ignores older segments, so
-  // a flushed segment whose deletion failed stays harmless forever.
-  JUST_RETURN_NOT_OK(
-      file->Append("wal " + std::to_string(min_wal_number_) + "\n"));
-  for (const auto& table : sstables_) {
-    // Manifest lists file numbers in flush order.
-    std::string path = table->path();
-    size_t slash = path.find_last_of('/');
-    std::string name = path.substr(slash + 1);
-    uint64_t num = std::strtoull(name.c_str(), nullptr, 10);
-    JUST_RETURN_NOT_OK(file->Append(std::to_string(num) + "\n"));
+  std::string body;
+  body.append(kManifestHeaderV2);
+  body.push_back('\n');
+  // Minimum live WAL segment: replay ignores older segments, so a flushed
+  // segment whose deletion failed stays harmless forever.
+  body.append("wal " + std::to_string(min_wal_number_) + "\n");
+  // One line per table: level, file number, key range. L0 is written in
+  // flush order (its read precedence); deeper levels in key order.
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    for (const auto& table : levels_[level]) {
+      body.append("file " + std::to_string(level) + " " +
+                  std::to_string(table->file_id()) + " " +
+                  HexEncodeKey(table->smallest_key()) + " " +
+                  HexEncodeKey(table->largest_key()) + "\n");
+    }
   }
+  JUST_RETURN_NOT_OK(file->Append(body));
   // Sync before rename: the manifest is the commit point of every flush and
   // compaction, so it must be durable before it becomes visible.
   JUST_RETURN_NOT_OK(file->Sync());
@@ -852,16 +1459,26 @@ Status LsmStore::Flush() {
 Status LsmStore::CompactAll() {
   JUST_RETURN_NOT_OK(Flush());
   std::unique_lock lock(mu_);
-  // If the background thread is mid-compaction, wait for it, then run (or
-  // confirm there is nothing left to merge).
+  // If the background thread is mid-compaction, wait for it, then run the
+  // full merge on the caller's thread.
   flush_done_cv_.wait(lock, [this] { return !compaction_running_; });
-  return CompactLocked(lock);
+  return CompactEverythingLocked(lock);
+}
+
+Status LsmStore::WaitForBackgroundIdle() {
+  std::unique_lock lock(mu_);
+  flush_done_cv_.wait(lock, [this] {
+    return !bg_error_.ok() ||
+           (imm_ == nullptr && !compact_pending_ && !compaction_running_ &&
+            !CompactionNeededLocked());
+  });
+  return bg_error_;
 }
 
 LsmStore::Stats LsmStore::GetStats() const {
   std::shared_lock lock(mu_);
   Stats stats;
-  stats.num_sstables = sstables_.size();
+  stats.num_sstables = TotalTablesLocked();
   stats.memtable_entries = memtable_->size();
   stats.memtable_bytes = memtable_->ApproximateBytes();
   if (imm_ != nullptr) {
@@ -869,10 +1486,16 @@ LsmStore::Stats LsmStore::GetStats() const {
     stats.memtable_bytes += imm_->ApproximateBytes();
   }
   stats.quarantined_files = quarantined_files_;
-  for (const auto& table : sstables_) {
-    stats.disk_bytes += table->file_size();
-    stats.sstable_entries += table->num_entries();
-    if (table->bloom_corrupt()) ++stats.corrupt_bloom_tables;
+  stats.level_files.resize(levels_.size());
+  stats.level_bytes.resize(levels_.size());
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    stats.level_files[level] = levels_[level].size();
+    for (const auto& table : levels_[level]) {
+      stats.level_bytes[level] += table->file_size();
+      stats.disk_bytes += table->file_size();
+      stats.sstable_entries += table->num_entries();
+      if (table->bloom_corrupt()) ++stats.corrupt_bloom_tables;
+    }
   }
   // Thin view over the registry-backed per-store counters.
   stats.bloom_fallbacks = io_stats_.bloom_fallbacks.Value();
@@ -883,6 +1506,25 @@ LsmStore::Stats LsmStore::GetStats() const {
   stats.block_cache_hits = block_cache_->hits();
   stats.block_cache_misses = block_cache_->misses();
   return stats;
+}
+
+std::vector<std::vector<LsmStore::TableInfo>> LsmStore::GetLevelInfo() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::vector<TableInfo>> info(levels_.size());
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    info[level].reserve(levels_[level].size());
+    for (const auto& table : levels_[level]) {
+      TableInfo t;
+      t.file_number = table->file_id();
+      t.path = table->path();
+      t.smallest_key = table->smallest_key();
+      t.largest_key = table->largest_key();
+      t.file_size = table->file_size();
+      t.num_entries = table->num_entries();
+      info[level].push_back(std::move(t));
+    }
+  }
+  return info;
 }
 
 }  // namespace just::kv

@@ -21,15 +21,46 @@
 
 namespace just::kv {
 
+/// How SSTables are merged as they accumulate. See docs/STORAGE_TUNING.md
+/// for the write/read-amplification trade-off each style makes.
+enum class CompactionStyle {
+  /// LevelDB-style leveled compaction: L0 holds overlapping flush outputs;
+  /// L1+ are sorted runs of non-overlapping, key-range-partitioned tables.
+  /// A compaction merges one L(n) file with only the overlapping L(n+1)
+  /// files, so writes are rewritten O(levels) times and a Get probes at
+  /// most (L0 files + one table per deeper level).
+  kLeveled,
+  /// Legacy single-shot full compaction: merge *every* table into one run
+  /// whenever the table count reaches `compaction_trigger`. O(N) write
+  /// amplification — kept for benchmarking against kLeveled.
+  kFull,
+};
+
 struct StoreOptions {
   std::string dir;                      ///< data directory (created if absent)
   size_t memtable_bytes = 4 << 20;      ///< flush threshold
   size_t block_cache_bytes = 32 << 20;  ///< shared block cache budget
   size_t block_size = 4096;
   int bloom_bits_per_key = 10;
-  int compaction_trigger = 6;  ///< merge all tables when count reaches this
-  bool sync_wal = false;       ///< fsync per commit (off for bulk loads)
-  Env* env = nullptr;          ///< filesystem seam; nullptr = Env::Default()
+  /// kLeveled: start an L0->L1 compaction when L0 holds this many tables.
+  /// kFull: merge all tables into one when the total count reaches this.
+  int compaction_trigger = 6;
+  bool sync_wal = false;  ///< fsync per commit (off for bulk loads)
+  Env* env = nullptr;     ///< filesystem seam; nullptr = Env::Default()
+
+  CompactionStyle compaction_style = CompactionStyle::kLeveled;
+  /// Maximum level count (levels beyond the bottom are never created; a
+  /// reopened store grows extra levels if an older MANIFEST references
+  /// them). Minimum 2: L0 plus one sorted run.
+  int num_levels = 7;
+  /// Size budget ratio between adjacent levels: L(n+1) holds `level_fanout`
+  /// times the bytes of L(n). Write amplification per level ~= fanout.
+  int level_fanout = 10;
+  /// Byte budget of L1; L(n) may hold level_base_bytes * fanout^(n-1).
+  size_t level_base_bytes = 8 << 20;
+  /// Compaction outputs roll to a new SSTable at this size, so one L(n)
+  /// file only ever overlaps a bounded byte range of L(n+1).
+  size_t target_file_size = 2 << 20;
 };
 
 /// One mutation in a WriteBatch. `is_delete` writes a tombstone and ignores
@@ -41,8 +72,10 @@ struct WriteOp {
 };
 
 /// A single-node ordered key-value store with LSM-tree storage: writes land
-/// in a WAL + skip-list memtable, flush to immutable SSTables, and scans
-/// merge all sources newest-first. This is the region-server storage engine
+/// in a WAL + skip-list memtable, flush to immutable L0 SSTables, and
+/// leveled compaction keeps deeper levels as non-overlapping sorted runs so
+/// reads probe a bounded set of tables. This is the region-server storage
+/// engine
 /// (the role one HBase RegionServer plays for JUST). Keys are arbitrary byte
 /// strings; updates never rebuild indexes — the property that makes JUST
 /// "update-enabled" (Section I).
@@ -61,6 +94,23 @@ struct WriteOp {
 ///    and SSTables under the lock, then read without it — long scans never
 ///    block writers, and a scan callback may call Put/Delete/Get/Flush on
 ///    the same store without self-deadlocking.
+///
+/// Leveled compaction (the default style; see docs/STORAGE_TUNING.md):
+///  - Flush outputs land in L0 and may overlap each other; L1+ hold
+///    non-overlapping tables sorted by key range, recorded with their
+///    smallest/largest keys in the MANIFEST.
+///  - When L0 reaches `compaction_trigger` tables, all of L0 merges with
+///    the overlapping L1 files. When L(n>=1) exceeds its byte budget
+///    (level_base_bytes * fanout^(n-1)), one file — picked round-robin by
+///    key range — merges with the overlapping L(n+1) files. Outputs split
+///    at `target_file_size`.
+///  - Tombstones are dropped only when the output is the bottom-most data:
+///    no level below the output holds any table, so nothing older can
+///    resurrect. Bottom-level tables therefore never contain tombstones.
+///  - Get checks the memtables, then L0 newest-to-oldest, then — because
+///    deeper levels do not overlap — at most ONE binary-searched candidate
+///    table per L1+ level. Scan runs a k-way heap merge over one iterator
+///    per L0 table plus one per deeper level.
 ///
 /// Failure model (see DESIGN.md "Failure model"):
 ///  - The WAL is segmented: each memtable has its own segment(s), and a
@@ -109,15 +159,26 @@ class LsmStore {
   /// (MANIFEST-committed). Concurrent writers keep running meanwhile.
   Status Flush();
 
-  /// Flushes, then merges all SSTables into one (size-tiered full
-  /// compaction), dropping tombstones.
+  /// Flushes, then merges every level into one bottom-level SSTable,
+  /// dropping all tombstones (a manual major compaction). The output is
+  /// deliberately NOT split at `target_file_size`: a split result could
+  /// exceed `compaction_trigger` and re-arm the style's own trigger.
   Status CompactAll();
+
+  /// Blocks until no flush is pending or running and the compaction debt is
+  /// paid off (no level over budget). Returns the sticky background error,
+  /// if any. Tests and bulk loaders use this to measure the steady state.
+  Status WaitForBackgroundIdle();
 
   /// Thin view over this store's registry-backed counters plus the usual
   /// structural numbers. The authoritative values live in `io_stats()` and
   /// the block cache; this struct just snapshots them.
   struct Stats {
     size_t num_sstables = 0;
+    /// SSTable count per level, L0 first (empty trailing levels included).
+    std::vector<size_t> level_files;
+    /// Byte total per level, parallel to `level_files`.
+    std::vector<uint64_t> level_bytes;
     size_t memtable_entries = 0;  ///< active + immutable memtable
     size_t memtable_bytes = 0;
     uint64_t disk_bytes = 0;
@@ -143,12 +204,36 @@ class LsmStore {
 
   const StoreOptions& options() const { return options_; }
 
+  /// One live SSTable, as tests and tools see it.
+  struct TableInfo {
+    uint64_t file_number = 0;
+    std::string path;
+    std::string smallest_key;
+    std::string largest_key;
+    uint64_t file_size = 0;
+    uint64_t num_entries = 0;
+  };
+  /// Per-level table layout. `[0]` is L0 in flush order (newest last);
+  /// deeper levels are sorted by smallest_key and must not overlap — the
+  /// invariant the property tests assert.
+  std::vector<std::vector<TableInfo>> GetLevelInfo() const;
+
  private:
   struct Writer;  ///< one queued (batch of) mutation(s); see lsm_store.cc
 
   explicit LsmStore(const StoreOptions& options);
 
   Status Recover();
+  /// Loads the MANIFEST body into levels_/min_wal_number_. Handles both the
+  /// current v2 format ("just-manifest 2" header, per-file level + key
+  /// range) and the legacy headerless v1 list of file numbers, which all
+  /// load into L0 — exactly the set a v1 store's full-merge scans consulted.
+  Status ParseManifestLocked(const std::string& contents,
+                             std::set<uint64_t>* live);
+  /// Registers the per-level file/byte gauges. Called from Open() after
+  /// Recover() fixed the level count; must run without mu_ held (source
+  /// registration takes the registry mutex, whose callbacks take mu_).
+  void RegisterLevelMetricSources();
   /// Deletes `.tmp` leftovers and quarantines `.sst` files the manifest
   /// does not reference (partial flushes/compactions from a crash).
   Status QuarantineStrays(const std::set<uint64_t>& live);
@@ -171,9 +256,46 @@ class LsmStore {
   /// releases it during the build. Retries transient failures, then latches
   /// bg_error_.
   void BackgroundFlush(std::unique_lock<std::shared_mutex>& lock);
-  /// Full compaction body shared by the background trigger and CompactAll.
-  /// Expects `lock` held; releases it during the merge.
-  Status CompactLocked(std::unique_lock<std::shared_mutex>& lock);
+  /// One leveled (or full) compaction, described before the merge runs.
+  struct CompactionJob {
+    /// Level the `upper` inputs came from; -1 for a full compaction that
+    /// consumes every table of every level.
+    int upper_level = -1;
+    int output_level = 0;
+    /// Inputs, newest first — upper-level files shadow lower-level ones.
+    std::vector<std::shared_ptr<SsTableReader>> upper;
+    /// Overlapping files already at `output_level` (older than `upper`).
+    std::vector<std::shared_ptr<SsTableReader>> lower;
+    /// True when no live data sits below `output_level`, so tombstones have
+    /// nothing left to mask and can be dropped.
+    bool drop_tombstones = false;
+  };
+
+  /// Byte budget of L(n>=1): level_base_bytes * fanout^(n-1).
+  uint64_t MaxBytesForLevel(int level) const;
+  /// Lowest level that currently needs compacting, or -1. L0 compacts on
+  /// file count (compaction_trigger); deeper levels on their byte budget.
+  int PickCompactionLevelLocked() const;
+  /// Builds the job for compacting `level` into `level + 1`: all of L0 (plus
+  /// overlapping L1) for level 0, else the cursor-picked file plus the
+  /// overlapping files below.
+  CompactionJob PickCompactionLocked(int level);
+  /// Merges `job`'s inputs into `target_file_size`-sized outputs at
+  /// job.output_level, installs them, and commits the MANIFEST. Expects
+  /// `lock` held; releases it during the merge. No-op while another
+  /// compaction runs (compaction_running_ serializes installers).
+  Status RunCompactionLocked(std::unique_lock<std::shared_mutex>& lock,
+                             CompactionJob job);
+  /// CompactAll body: one full merge of every table into the bottom level.
+  Status CompactEverythingLocked(std::unique_lock<std::shared_mutex>& lock);
+  /// kFull-style background trigger: total table count vs compaction_trigger.
+  bool FullCompactionNeededLocked() const;
+  /// True when the current style has compaction work to do.
+  bool CompactionNeededLocked() const;
+  /// Sets compact_pending_ (and wakes the background thread) when needed.
+  void MaybeScheduleCompactionLocked();
+  uint64_t LevelBytesLocked(int level) const;
+  size_t TotalTablesLocked() const;
   /// Builds `file_number`.sst from `mem` (tmp + fsync + rename) and opens a
   /// reader for it. Runs without the store lock: `mem` is frozen and every
   /// other input (env, options, cache) is immutable after Open().
@@ -202,8 +324,16 @@ class LsmStore {
   std::set<uint64_t> wal_segments_;           ///< live segments, incl. active
   uint64_t imm_wal_cutoff_ = 0;  ///< segments <= this cover imm_
   uint64_t min_wal_number_ = 0;  ///< from MANIFEST: older segments are dead
-  /// Newest table last (flush order); scans give later tables precedence.
-  std::vector<std::shared_ptr<SsTableReader>> sstables_;
+  /// levels_[0] = L0, newest table last (flush order; later tables take
+  /// precedence). levels_[n>=1] are sorted by smallest_key and pairwise
+  /// non-overlapping. Sized to options_.num_levels at construction; grows
+  /// only if an older MANIFEST references deeper levels.
+  std::vector<std::vector<std::shared_ptr<SsTableReader>>> levels_;
+  /// Round-robin pick cursor per level: the next compaction at level n
+  /// takes the first file whose smallest_key exceeds compact_cursor_[n],
+  /// wrapping — every key range eventually gets its turn (LevelDB's
+  /// compaction pointer).
+  std::vector<std::string> compact_cursor_;
   uint64_t next_file_number_ = 1;
   size_t quarantined_files_ = 0;
   Status bg_error_;               ///< sticky background-flush failure

@@ -36,6 +36,8 @@ IoStats::IoStats() {
                         [this] { return bloom_prunes.Value(); });
   sources_.emplace_back("just_kv_bloom_fallbacks_total", SK::kCumulative,
                         [this] { return bloom_fallbacks.Value(); });
+  sources_.emplace_back("just_kv_get_sst_probes_total", SK::kCumulative,
+                        [this] { return get_probes.Value(); });
 }
 
 IoTotals GlobalIoStats() {

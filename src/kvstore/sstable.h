@@ -28,6 +28,11 @@ struct IoStats {
   obs::Counter bytes_written;
   obs::Counter bloom_prunes;     ///< point lookups a bloom filter skipped
   obs::Counter bloom_fallbacks;  ///< lookups with no usable bloom filter
+  /// SSTables consulted per Get after level pruning (the store's point-read
+  /// amplification: probes / gets). A probe still counts when the table's
+  /// bloom filter then skips the data blocks — the bound leveled compaction
+  /// buys is on tables *considered*, not blocks read.
+  obs::Counter get_probes;
 
   IoStats();
 
@@ -172,6 +177,8 @@ class SsTableReader {
 
   uint64_t num_entries() const { return num_entries_; }
   uint64_t file_size() const { return file_size_; }
+  /// The unique id this table was opened with (its MANIFEST file number).
+  uint64_t file_id() const { return file_id_; }
   const std::string& smallest_key() const { return smallest_key_; }
   const std::string& largest_key() const { return largest_key_; }
   const std::string& path() const { return path_; }

@@ -88,6 +88,39 @@ Status ApplyUserdata(const std::string& json, meta::TableMeta* table) {
   return Status::OK();
 }
 
+// Renders the LSM level layout + compaction totals from the metrics
+// registry: one line per level (summed across every live store in the
+// process) and one compaction summary line. Appended to EXPLAIN ANALYZE so
+// the storage shape behind the plan's I/O numbers is visible in place.
+// Token names deliberately avoid the span-counter tokens (" bytes_read=",
+// " rows_scanned=", ...) that explain_analyze_test sums over the output.
+std::string LsmStorageSummary() {
+  obs::RegistrySnapshot snap = obs::Registry::Global().GetSnapshot();
+  std::string out = "=== Storage (LSM levels) ===\n";
+  for (int level = 0;; ++level) {
+    std::string files_name = "just_kv_level" + std::to_string(level) +
+                             "_files";
+    if (snap.gauges.find(files_name) == snap.gauges.end()) break;
+    out += "L" + std::to_string(level) + ": files=" +
+           std::to_string(snap.gauge(files_name)) + " size_bytes=" +
+           std::to_string(snap.gauge("just_kv_level" + std::to_string(level) +
+                                     "_bytes")) +
+           "\n";
+  }
+  out += "compactions=" +
+         std::to_string(snap.counter("just_kv_compactions_total")) +
+         " compaction_in=" +
+         std::to_string(snap.counter("just_kv_compaction_input_bytes_total")) +
+         " compaction_out=" +
+         std::to_string(
+             snap.counter("just_kv_compaction_output_bytes_total")) +
+         " flush_out=" +
+         std::to_string(snap.counter("just_kv_flush_output_bytes_total")) +
+         " write_amp_x100=" +
+         std::to_string(snap.gauge("just_kv_write_amp_x100")) + "\n";
+  return out;
+}
+
 }  // namespace
 
 Result<std::string> JustQL::ExplainSelect(const std::string& user,
@@ -167,7 +200,8 @@ Result<QueryResult> JustQL::ExecuteParsed(const std::string& user,
       trace.root()->counters().rows_out.store(result.frame.num_rows(),
                                               std::memory_order_relaxed);
       trace.root()->End();
-      result.message = "=== EXPLAIN ANALYZE ===\n" + trace.ToString();
+      result.message =
+          "=== EXPLAIN ANALYZE ===\n" + trace.ToString() + LsmStorageSummary();
       return result;
     }
     case Statement::Kind::kCreateTable: {

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kvstore/fault_env.h"
@@ -319,6 +322,173 @@ TEST(CrashRecoveryTest, AnySingleByteFlipIsDetectedOrHarmless) {
   // The table carries a real bloom filter, so some flips must have landed
   // in it and exercised the degradation path.
   EXPECT_GT(bloom_degradations, 0u);
+}
+
+// --- Power cut mid-leveled-compaction ---
+
+// Leveled store with budgets small enough that the fourth flush schedules
+// an L0->L1 compaction. sync_wal keeps the failure model strict: every
+// acknowledged write must survive any cut.
+StoreOptions LeveledCrashOptions(const std::string& dir, Env* env) {
+  StoreOptions opts;
+  opts.dir = dir;
+  opts.env = env;
+  opts.block_size = 256;
+  opts.compaction_trigger = 4;
+  opts.compaction_style = CompactionStyle::kLeveled;
+  opts.num_levels = 4;
+  opts.level_base_bytes = 16 << 10;
+  opts.level_fanout = 4;
+  opts.target_file_size = 8 << 10;
+  opts.sync_wal = true;
+  return opts;
+}
+
+// Four overlapping memtables, the last carrying tombstones, flushed until
+// L0 hits the compaction trigger — so exactly one L0->L1 compaction is
+// scheduled as the final flush commits. `model` gets the expected contents.
+void LoadUntilCompactionTriggered(LsmStore* store,
+                                  std::map<std::string, std::string>* model) {
+  for (int round = 0; round < 4; ++round) {
+    for (int j = 0; j < 30; ++j) {
+      int i = round * 8 + j;  // ranges overlap: the merge has real work
+      ASSERT_TRUE(store->Put(TestKey(i), TestValue(i + round)).ok());
+      (*model)[TestKey(i)] = TestValue(i + round);
+    }
+    if (round == 3) {
+      for (int i = 0; i < 5; ++i) {  // tombstones ride into the compaction
+        ASSERT_TRUE(store->Delete(TestKey(i)).ok());
+        model->erase(TestKey(i));
+      }
+    }
+    ASSERT_TRUE(store->Flush().ok());
+  }
+}
+
+void VerifyExactlyModel(LsmStore* store,
+                        const std::map<std::string, std::string>& model) {
+  std::string value;
+  for (const auto& [key, expected] : model) {
+    Status st = store->Get(key, &value);
+    ASSERT_TRUE(st.ok()) << key << ": " << st.ToString();
+    EXPECT_EQ(value, expected) << key;
+  }
+  for (int i = 0; i < 5; ++i) {  // deleted keys must stay deleted
+    EXPECT_TRUE(store->Get(TestKey(i), &value).IsNotFound()) << TestKey(i);
+  }
+  std::map<std::string, std::string> scanned;
+  ASSERT_TRUE(store
+                  ->Scan("", "",
+                         [&](std::string_view k, std::string_view v) {
+                           scanned.emplace(std::string(k), std::string(v));
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(scanned, model);
+}
+
+// Waits (bounded) until the injected fault has been hit or the background
+// compaction finished without reaching it.
+void AwaitFaultOrIdle(FaultInjectionEnv* env, LsmStore* store,
+                      int64_t fail_at) {
+  for (int spin = 0; spin < 300; ++spin) {
+    if (env->write_ops() >= fail_at) return;
+    if (store->GetStats().level_files[0] == 0) return;  // compaction done
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// Measures how many filesystem write ops the scheduled L0->L1 compaction
+// performs on a healthy disk, so the sweeps below can target every one.
+int64_t MeasureCompactionWriteOps() {
+  TempDir dir("compaction_ops_probe");
+  FaultInjectionEnv env;
+  auto store = LsmStore::Open(LeveledCrashOptions(dir.path(), &env));
+  EXPECT_TRUE(store.ok());
+  std::map<std::string, std::string> model;
+  LoadUntilCompactionTriggered(store->get(), &model);
+  const int64_t before = env.write_ops();
+  EXPECT_TRUE((*store)->WaitForBackgroundIdle().ok());
+  auto stats = (*store)->GetStats();
+  EXPECT_EQ(stats.level_files[0], 0u);  // the compaction actually ran
+  EXPECT_GT(stats.level_files[1], 0u);
+  return env.write_ops() - before;
+}
+
+// Sweeps a dead-disk power cut across every write op of the L0->L1
+// compaction: tmp-file create/append/sync, the rename, the MANIFEST
+// commit, the input deletions. Whatever op the cut lands on, reopening
+// must serve exactly the acknowledged contents — the compaction inputs
+// stay live until the MANIFEST rename commits the outputs, so a
+// half-finished compaction can lose nothing and resurrect nothing.
+TEST(CrashRecoveryTest, PowerCutMidCompactionLosesNothing) {
+  const int64_t compaction_ops = MeasureCompactionWriteOps();
+  ASSERT_GT(compaction_ops, 0);
+  // Full sweep, capped to keep the test time bounded under sanitizers.
+  const int64_t step = std::max<int64_t>(1, compaction_ops / 40);
+  for (int64_t k = 1; k <= compaction_ops; k += step) {
+    TempDir dir("power_cut_compaction");
+    FaultInjectionEnv env;
+    std::map<std::string, std::string> model;
+    {
+      auto store = LsmStore::Open(LeveledCrashOptions(dir.path(), &env));
+      ASSERT_TRUE(store.ok());
+      LoadUntilCompactionTriggered(store->get(), &model);
+      const int64_t fail_at = env.write_ops() + k;
+      env.FailWriteOp(fail_at);  // disk dies at the k-th compaction op
+      AwaitFaultOrIdle(&env, store->get(), fail_at);
+      env.DropUnsyncedWrites();  // power loss
+    }  // the dying store's close attempts fail under the write lockout
+    env.ClearFaults();
+
+    auto store =
+        LsmStore::Open(LeveledCrashOptions(dir.path(), Env::Default()));
+    ASSERT_TRUE(store.ok()) << "cut at op " << k << ": "
+                            << store.status().ToString();
+    VerifyExactlyModel(store->get(), model);
+
+    // The recovered store must remain fully operational: new writes,
+    // background compaction, and a manual major compaction all succeed.
+    ASSERT_TRUE((*store)->Put("post-crash", "alive").ok()) << "op " << k;
+    ASSERT_TRUE((*store)->Flush().ok()) << "op " << k;
+    ASSERT_TRUE((*store)->WaitForBackgroundIdle().ok()) << "op " << k;
+    ASSERT_TRUE((*store)->CompactAll().ok()) << "op " << k;
+    model["post-crash"] = "alive";
+    VerifyExactlyModel(store->get(), model);
+  }
+}
+
+// A transient single-op fault during compaction (disk recovers immediately)
+// must not corrupt anything: the attempt unwinds, reads stay exact, and a
+// later manual compaction succeeds.
+TEST(CrashRecoveryTest, TransientFaultDuringCompactionUnwindsCleanly) {
+  const int64_t compaction_ops = MeasureCompactionWriteOps();
+  ASSERT_GT(compaction_ops, 0);
+  const int64_t step = std::max<int64_t>(1, compaction_ops / 10);
+  for (int64_t k = 1; k <= compaction_ops; k += step) {
+    TempDir dir("transient_compaction");
+    FaultInjectionEnv env;
+    std::map<std::string, std::string> model;
+    auto store = LsmStore::Open(LeveledCrashOptions(dir.path(), &env));
+    ASSERT_TRUE(store.ok());
+    LoadUntilCompactionTriggered(store->get(), &model);
+    const int64_t fail_at = env.write_ops() + k;
+    env.FailWriteOp(fail_at, /*all_after=*/false);  // one-shot fault
+    AwaitFaultOrIdle(&env, store->get(), fail_at);
+
+    VerifyExactlyModel(store->get(), model);
+    ASSERT_TRUE((*store)->CompactAll().ok()) << "op " << k;
+    VerifyExactlyModel(store->get(), model);
+    // The deeper levels still hold the non-overlap invariant.
+    auto levels = (*store)->GetLevelInfo();
+    for (size_t level = 1; level < levels.size(); ++level) {
+      for (size_t i = 0; i + 1 < levels[level].size(); ++i) {
+        ASSERT_LT(levels[level][i].largest_key,
+                  levels[level][i + 1].smallest_key)
+            << "op " << k << " L" << level;
+      }
+    }
+  }
 }
 
 }  // namespace
