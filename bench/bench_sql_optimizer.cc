@@ -7,11 +7,14 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "exec/column_batch.h"
 #include "sql/analyzer.h"
 #include "sql/executor.h"
+#include "sql/expr_eval.h"
 #include "sql/justql.h"
 #include "sql/optimizer.h"
 #include "sql/parser.h"
+#include "sql/predicate_program.h"
 
 namespace just::bench {
 namespace {
@@ -72,6 +75,124 @@ void BM_ParseAndOptimizeOnly(benchmark::State& state) {
   }
 }
 
+// --- Post-scan refinement: row-at-a-time vs vectorized -------------------
+//
+// The same selective residual predicate (a numeric cutoff keeping ~5% of
+// rows plus a string disequality) evaluated over the whole Order table,
+// isolated from scan I/O: the data is decoded once outside the timing loop.
+// RowAtATime is the legacy path (BoundExpr tree-walk per row); Vectorized
+// is the compiled predicate program over column batches. rows_per_sec is
+// the headline acceptance number.
+
+struct RefineSetup {
+  exec::DataFrame frame;
+  exec::BatchVector batches;
+  sql::Statement stmt;
+  sql::BoundExpr bound;
+  std::shared_ptr<const sql::PredicateProgram> program;
+};
+
+RefineSetup* GetRefineSetup() {
+  static RefineSetup* setup = [] {
+    Fixture* fx = GetFixture(Dataset::kOrder, 100, Variant::kJust);
+    auto* s = new RefineSetup();
+    auto frame = fx->engine->FullScan(fx->user, fx->table);
+    if (!frame.ok()) std::abort();
+    s->frame = std::move(frame).value();
+    s->batches = exec::BatchesFromDataFrame(s->frame);
+
+    TimestampMs cutoff =
+        fx->time_lo + (fx->time_hi - fx->time_lo) / 20;  // ~5% selective
+    auto stmt = sql::ParseStatement(
+        "SELECT * FROM orders WHERE time < " + std::to_string(cutoff) +
+        " AND fid != 'order_none'");
+    if (!stmt.ok()) std::abort();
+    s->stmt = std::move(*stmt);
+    const sql::Expr& where = *s->stmt.select->where;
+    auto bound = sql::BoundExpr::Bind(where, s->frame.schema());
+    if (!bound.ok()) std::abort();
+    s->bound = std::move(*bound);
+    auto program = sql::PredicateProgram::Compile(where, s->frame.schema());
+    if (!program.ok()) std::abort();
+    s->program = std::move(*program);
+    return s;
+  }();
+  return setup;
+}
+
+void BM_RefineRowAtATime(benchmark::State& state) {
+  RefineSetup* s = GetRefineSetup();
+  size_t kept = 0;
+  for (auto _ : state) {
+    kept = 0;
+    for (const exec::Row& row : s->frame.rows()) {
+      auto ok = s->bound.EvalBool(row);
+      if (ok.ok() && ok.value()) ++kept;
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * s->frame.num_rows()),
+      benchmark::Counter::kIsRate);
+  state.counters["selectivity"] =
+      static_cast<double>(kept) / static_cast<double>(s->frame.num_rows());
+}
+
+void BM_RefineVectorized(benchmark::State& state) {
+  RefineSetup* s = GetRefineSetup();
+  size_t kept = 0;
+  for (auto _ : state) {
+    kept = 0;
+    for (exec::ColumnBatch& batch : s->batches) {
+      batch.ClearSelection();
+      if (!s->program->Run(&batch).ok()) {
+        state.SkipWithError("program run failed");
+        return;
+      }
+      kept += batch.num_active();
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * s->frame.num_rows()),
+      benchmark::Counter::kIsRate);
+  state.counters["selectivity"] =
+      static_cast<double>(kept) / static_cast<double>(s->frame.num_rows());
+}
+
+// End-to-end SQL with the same residual shape, through both executors.
+void BM_RefineEndToEnd(benchmark::State& state, bool interpreted) {
+  Fixture* fx = GetFixture(Dataset::kOrder, 100, Variant::kJust);
+  RefineSetup* s = GetRefineSetup();
+  sql::Analyzer analyzer(fx->engine.get(), fx->user);
+  auto plan = analyzer.Analyze(*s->stmt.select);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  auto optimized = sql::Optimize(std::move(*plan));
+  if (!optimized.ok()) {
+    state.SkipWithError(optimized.status().ToString().c_str());
+    return;
+  }
+  sql::Executor executor(fx->engine.get(), fx->user,
+                         sql::ExecOptions{.force_interpreted = interpreted});
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto frame = executor.Execute(**optimized);
+    if (!frame.ok()) {
+      state.SkipWithError(frame.status().ToString().c_str());
+      return;
+    }
+    rows = frame->num_rows();
+    benchmark::DoNotOptimize(frame);
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * s->frame.num_rows()),
+      benchmark::Counter::kIsRate);
+  state.counters["rows_out"] = static_cast<double>(rows);
+}
+
 }  // namespace
 }  // namespace just::bench
 
@@ -83,6 +204,16 @@ int main(int argc, char** argv) {
                                BM_OptimizedExecution);
   benchmark::RegisterBenchmark("Fig8/Execute/Unoptimized",
                                BM_UnoptimizedExecution);
+  benchmark::RegisterBenchmark("Refine/RowAtATime", BM_RefineRowAtATime);
+  benchmark::RegisterBenchmark("Refine/Vectorized", BM_RefineVectorized);
+  benchmark::RegisterBenchmark("Refine/EndToEnd/Interpreted",
+                               [](benchmark::State& s) {
+                                 BM_RefineEndToEnd(s, true);
+                               });
+  benchmark::RegisterBenchmark("Refine/EndToEnd/Vectorized",
+                               [](benchmark::State& s) {
+                                 BM_RefineEndToEnd(s, false);
+                               });
   just::bench::RunBenchmarks(argc, argv);
 
   // Print the Figure 8 plans.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark baselines (BENCH_<name>.json at the
+# repo root). Each file is the google-benchmark JSON record plus the
+# "obs_registry" member that RunBenchmarks injects, so a baseline carries
+# both the timings and the storage/query counters that produced them.
+#
+# Usage:
+#   scripts/snapshot_bench.sh [build_dir] [bench_target ...]
+#
+# Defaults: build_dir = <repo>/build, targets = bench_storage
+# bench_sql_optimizer. Extra google-benchmark flags can be passed through
+# BENCH_FLAGS (e.g. BENCH_FLAGS="--benchmark_filter=Refine").
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+if [ "$#" -gt 0 ]; then shift; fi
+BENCHES=("$@")
+if [ "${#BENCHES[@]}" -eq 0 ]; then
+  BENCHES=(bench_storage bench_sql_optimizer)
+fi
+
+for bench in "${BENCHES[@]}"; do
+  cmake --build "$BUILD" --target "$bench" >/dev/null
+  out="$ROOT/BENCH_${bench#bench_}.json"
+  echo "=== $bench -> $out"
+  # min_time keeps the full sweep tractable on a laptop; baselines are for
+  # trend-watching, not for publishing absolute numbers.
+  "$BUILD/bench/$bench" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    ${BENCH_FLAGS:-}
+done

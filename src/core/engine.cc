@@ -216,6 +216,33 @@ Result<exec::DataFrame> JustEngine::AttributeQuery(const std::string& user,
   return bound->AttributeQuery(column, value, stats);
 }
 
+Result<exec::BatchVector> JustEngine::SpatialRangeQueryBatch(
+    const std::string& user, const std::string& table, const geo::Mbr& box,
+    QueryStats* stats) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->SpatialRangeQueryBatch(box, stats);
+}
+
+Result<exec::BatchVector> JustEngine::StRangeQueryBatch(
+    const std::string& user, const std::string& table, const geo::Mbr& box,
+    TimestampMs t_min, TimestampMs t_max, QueryStats* stats) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->StRangeQueryBatch(box, t_min, t_max, stats);
+}
+
+Result<exec::BatchVector> JustEngine::FullScanBatch(const std::string& user,
+                                                    const std::string& table) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->FullScanBatch();
+}
+
+Result<exec::BatchVector> JustEngine::AttributeQueryBatch(
+    const std::string& user, const std::string& table,
+    const std::string& column, const exec::Value& value, QueryStats* stats) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->AttributeQueryBatch(column, value, stats);
+}
+
 Result<std::unique_ptr<ResultSet>> JustEngine::MakeResultSet(
     exec::DataFrame frame) {
   return ResultSet::Make(std::move(frame), options_.result_options);

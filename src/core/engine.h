@@ -92,6 +92,26 @@ class JustEngine {
                                          const exec::Value& value,
                                          QueryStats* stats = nullptr);
 
+  // --- Columnar query variants (see StTable's *Batch methods) ---
+
+  Result<exec::BatchVector> SpatialRangeQueryBatch(const std::string& user,
+                                                   const std::string& table,
+                                                   const geo::Mbr& box,
+                                                   QueryStats* stats = nullptr);
+  Result<exec::BatchVector> StRangeQueryBatch(const std::string& user,
+                                              const std::string& table,
+                                              const geo::Mbr& box,
+                                              TimestampMs t_min,
+                                              TimestampMs t_max,
+                                              QueryStats* stats = nullptr);
+  Result<exec::BatchVector> FullScanBatch(const std::string& user,
+                                          const std::string& table);
+  Result<exec::BatchVector> AttributeQueryBatch(const std::string& user,
+                                                const std::string& table,
+                                                const std::string& column,
+                                                const exec::Value& value,
+                                                QueryStats* stats = nullptr);
+
   /// Wraps a query result for cursor-style delivery.
   Result<std::unique_ptr<ResultSet>> MakeResultSet(exec::DataFrame frame);
 

@@ -104,4 +104,86 @@ Result<exec::Row> DecodeRow(const meta::TableMeta& table,
   return row;
 }
 
+BatchRowDecoder::BatchRowDecoder(const meta::TableMeta& table)
+    : table_(table) {
+  is_trajectory_.reserve(table.columns.size());
+  for (const meta::ColumnDef& col : table.columns) {
+    is_trajectory_.push_back(col.type == exec::DataType::kTrajectory);
+  }
+}
+
+Status BatchRowDecoder::DecodeInto(std::string_view bytes,
+                                   exec::ColumnBatch* batch) const {
+  using Storage = exec::ColumnVector::Storage;
+  const char* p = bytes.data();
+  const char* limit = p + bytes.size();
+  for (size_t i = 0; i < table_.columns.size(); ++i) {
+    std::string_view cell;
+    if (!GetLengthPrefixed(&p, limit, &cell)) {
+      return Status::Corruption("truncated row for table " + table_.name);
+    }
+    JUST_ASSIGN_OR_RETURN(std::string cell_raw, compress::DecodeCell(cell));
+    exec::ColumnVector& col = batch->column(i);
+    if (is_trajectory_[i] && !cell_raw.empty() &&
+        (cell_raw[0] == kTrajRaw || cell_raw[0] == kTrajDelta)) {
+      JUST_ASSIGN_OR_RETURN(auto value, DecodeTrajectoryCell(cell_raw));
+      col.AppendValue(std::move(value));
+      continue;
+    }
+    const char* q = cell_raw.data();
+    const char* qlimit = q + cell_raw.size();
+    if (q >= qlimit) return Status::Corruption("empty cell");
+    const auto wire = static_cast<exec::DataType>(*q);
+    // Typed fast paths: parse the wire payload straight into the column's
+    // storage, skipping the Value round-trip.
+    bool decoded = false;
+    if (wire == exec::DataType::kNull && col.storage() != Storage::kObject) {
+      col.AppendNull();
+      decoded = true;
+    } else if (wire == col.declared_type()) {
+      ++q;  // type byte
+      switch (col.storage()) {
+        case Storage::kInt64:
+          if (wire == exec::DataType::kBool) {
+            if (q >= qlimit) return Status::Corruption("truncated bool");
+            col.AppendInt64(*q != 0);
+            decoded = true;
+          } else {  // kInt / kTimestamp
+            int64_t v;
+            if (!GetVarintSigned(&q, qlimit, &v)) {
+              return Status::Corruption("truncated int");
+            }
+            col.AppendInt64(v);
+            decoded = true;
+          }
+          break;
+        case Storage::kDouble: {
+          if (qlimit - q < 8) return Status::Corruption("truncated double");
+          col.AppendDouble(OrderedBitsToDouble(GetFixed64(q)));
+          decoded = true;
+          break;
+        }
+        case Storage::kString: {
+          std::string_view s;
+          if (!GetLengthPrefixed(&q, qlimit, &s)) {
+            return Status::Corruption("truncated string");
+          }
+          col.AppendString(std::string(s));
+          decoded = true;
+          break;
+        }
+        case Storage::kObject:
+          break;  // generic path below
+      }
+    }
+    if (!decoded) {
+      const char* r = cell_raw.data();
+      JUST_ASSIGN_OR_RETURN(auto value, exec::Value::Deserialize(&r, qlimit));
+      col.AppendValue(std::move(value));
+    }
+  }
+  batch->FinishRow();
+  return Status::OK();
+}
+
 }  // namespace just::core

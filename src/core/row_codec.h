@@ -3,8 +3,10 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
+#include "exec/column_batch.h"
 #include "exec/dataframe.h"
 #include "meta/catalog.h"
 
@@ -22,6 +24,29 @@ Result<std::string> EncodeRow(const meta::TableMeta& table,
 /// Inverse of EncodeRow.
 Result<exec::Row> DecodeRow(const meta::TableMeta& table,
                             std::string_view bytes);
+
+/// Decodes serialized rows straight into ColumnBatch columns, skipping the
+/// per-cell Value materialization DecodeRow pays: fixed-width cells (bool /
+/// int / timestamp / double) parse from the wire format directly into the
+/// typed column vectors, strings move into the string vector, and only
+/// geometry / trajectory / type-mismatched cells build a generic Value.
+/// Per-column codec decisions are resolved once at construction, not per
+/// row.
+class BatchRowDecoder {
+ public:
+  explicit BatchRowDecoder(const meta::TableMeta& table);
+
+  /// Appends one decoded row to `batch` (which must have been created with
+  /// this table's schema). On error the batch is left without the partial
+  /// row's FinishRow, so callers should discard it.
+  Status DecodeInto(std::string_view bytes, exec::ColumnBatch* batch) const;
+
+ private:
+  const meta::TableMeta& table_;
+  /// Per column: true when the cell payload is an st_series cell (tagged
+  /// trajectory encoding) rather than a Value serialization.
+  std::vector<bool> is_trajectory_;
+};
 
 }  // namespace just::core
 

@@ -162,9 +162,9 @@ bool StTable::HasAttributeIndex(const std::string& column) const {
   return false;
 }
 
-Result<exec::DataFrame> StTable::AttributeQuery(const std::string& column,
-                                                const exec::Value& value,
-                                                QueryStats* stats) const {
+Result<exec::BatchVector> StTable::AttributeQueryBatch(
+    const std::string& column, const exec::Value& value,
+    QueryStats* stats) const {
   size_t attr_pos = meta_.attr_indexes.size();
   for (size_t a = 0; a < meta_.attr_indexes.size(); ++a) {
     if (meta_.attr_indexes[a] == column) attr_pos = a;
@@ -185,25 +185,55 @@ Result<exec::DataFrame> StTable::AttributeQuery(const std::string& column,
     ranges.push_back(std::move(range));
   }
   JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
-  exec::DataFrame out(meta_.MakeSchema());
+  auto schema = meta_.MakeSchema();
+  BatchRowDecoder decoder(meta_);
+  exec::BatchVector batches;
+  exec::ColumnBatch current(schema);
   size_t scanned = 0;
   int col = meta_.ColumnIndex(column);
+  // Exact recheck of the indexed column (the key encoding is injective, but
+  // stay defensive), as a column loop over each full batch.
+  auto refine = [&](exec::ColumnBatch* batch) {
+    if (col < 0 || batch->num_rows() == 0) return;
+    const exec::ColumnVector& c = batch->column(static_cast<size_t>(col));
+    std::vector<uint32_t> sel;
+    sel.reserve(batch->num_rows());
+    for (uint32_t row = 0; row < batch->num_rows(); ++row) {
+      if (c.ValueAt(row).Equals(value)) sel.push_back(row);
+    }
+    batch->SetSelection(std::move(sel));
+  };
   for (const auto& range_result : results) {
     for (const auto& kv : range_result.rows) {
       ++scanned;
-      JUST_ASSIGN_OR_RETURN(auto row, DecodeRow(meta_, kv.value));
-      // Exact check (the key encoding is injective, but stay defensive).
-      if (col >= 0 && !row[col].Equals(value)) continue;
-      out.AddRow(std::move(row));
+      if (current.num_rows() >= exec::kBatchRows) {
+        refine(&current);
+        batches.push_back(std::move(current));
+        current = exec::ColumnBatch(schema);
+      }
+      JUST_RETURN_NOT_OK(decoder.DecodeInto(kv.value, &current));
     }
   }
+  if (current.num_rows() > 0) {
+    refine(&current);
+    batches.push_back(std::move(current));
+  }
+  size_t matched = exec::BatchesActiveRows(batches);
   if (stats != nullptr) {
     stats->key_ranges += ranges.size();
     stats->rows_scanned += scanned;
-    stats->rows_matched += out.num_rows();
+    stats->rows_matched += matched;
   }
-  RecordQueryCounters(ranges.size(), scanned, out.num_rows());
-  return out;
+  RecordQueryCounters(ranges.size(), scanned, matched);
+  return batches;
+}
+
+Result<exec::DataFrame> StTable::AttributeQuery(const std::string& column,
+                                                const exec::Value& value,
+                                                QueryStats* stats) const {
+  JUST_ASSIGN_OR_RETURN(auto batches, AttributeQueryBatch(column, value,
+                                                          stats));
+  return exec::BatchesToDataFrame(meta_.MakeSchema(), batches);
 }
 
 Status StTable::Insert(const exec::Row& row) {
@@ -250,12 +280,71 @@ Result<const curve::IndexStrategy*> StTable::PickIndex(bool temporal) const {
   return strategies_.front().get();
 }
 
-Result<exec::DataFrame> StTable::RunRanges(
+void StTable::RefineBatch(exec::ColumnBatch* batch, const geo::Mbr& box,
+                          bool temporal, TimestampMs t_min,
+                          TimestampMs t_max) const {
+  using Storage = exec::ColumnVector::Storage;
+  const exec::ColumnVector* gcol =
+      geom_col_ >= 0 ? &batch->column(static_cast<size_t>(geom_col_))
+                     : nullptr;
+  // Geometry and trajectory cells live in object storage; a non-object
+  // geometry column means runtime values of a non-geometry type, which the
+  // refinement passes through (same as the row-at-a-time check).
+  if (gcol != nullptr && gcol->storage() != Storage::kObject) gcol = nullptr;
+  const exec::ColumnVector* tcol =
+      time_col_ >= 0 ? &batch->column(static_cast<size_t>(time_col_))
+                     : nullptr;
+  const bool t_typed = tcol != nullptr && tcol->storage() == Storage::kInt64 &&
+                       tcol->declared_type() == exec::DataType::kTimestamp;
+  const int64_t* t_data = t_typed ? tcol->i64_data() : nullptr;
+
+  std::vector<uint32_t> sel;
+  sel.reserve(batch->num_rows());
+  for (uint32_t row = 0; row < batch->num_rows(); ++row) {
+    // Exact refinement (contained ranges still need the time check for
+    // extent indexes; cheap relative to decode).
+    bool keep = true;
+    const traj::Trajectory* traj = nullptr;
+    if (gcol != nullptr) {
+      const exec::Value& g = gcol->ObjectAt(row);
+      if (g.type() == exec::DataType::kGeometry) {
+        keep = g.geometry_value().Within(box);
+      } else if (g.type() == exec::DataType::kTrajectory &&
+                 g.trajectory_value() != nullptr) {
+        traj = g.trajectory_value().get();
+        keep = box.Intersects(traj->Bounds());
+      }
+    }
+    if (keep && temporal) {
+      TimestampMs t = 0;
+      if (t_typed) {
+        if (!tcol->IsNull(row)) {
+          t = t_data[row];
+        } else if (traj != nullptr) {
+          t = traj->start_time();
+        }
+      } else if (tcol != nullptr && tcol->storage() == Storage::kObject &&
+                 tcol->ObjectAt(row).type() == exec::DataType::kTimestamp) {
+        t = tcol->ObjectAt(row).timestamp_value();
+      } else if (traj != nullptr) {
+        t = traj->start_time();
+      }
+      keep = t >= t_min && t <= t_max;
+    }
+    if (keep) sel.push_back(row);
+  }
+  batch->SetSelection(std::move(sel));
+}
+
+Result<exec::BatchVector> StTable::RunRangesBatch(
     const std::vector<curve::KeyRange>& ranges, const geo::Mbr& box,
     bool temporal, TimestampMs t_min, TimestampMs t_max, QueryStats* stats,
     int fid_offset, const std::unordered_set<std::string>* skip_fids) const {
   JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
-  exec::DataFrame out(meta_.MakeSchema());
+  auto schema = meta_.MakeSchema();
+  BatchRowDecoder decoder(meta_);
+  exec::BatchVector batches;
+  exec::ColumnBatch current(schema);
   std::unordered_set<std::string> seen_keys;
   size_t scanned = 0;
   for (const auto& range_result : results) {
@@ -267,41 +356,36 @@ Result<exec::DataFrame> StTable::RunRanges(
         continue;  // already delivered by an earlier expansion area
       }
       if (!seen_keys.insert(kv.key).second) continue;  // overlapping ranges
-      JUST_ASSIGN_OR_RETURN(auto row, DecodeRow(meta_, kv.value));
-      // Exact refinement (contained ranges still need the time check for
-      // extent indexes; cheap relative to decode).
-      bool keep = true;
-      if (geom_col_ >= 0) {
-        const exec::Value& g = row[geom_col_];
-        if (g.type() == exec::DataType::kGeometry) {
-          keep = g.geometry_value().Within(box);
-        } else if (g.type() == exec::DataType::kTrajectory &&
-                   g.trajectory_value() != nullptr) {
-          keep = box.Intersects(g.trajectory_value()->Bounds());
-        }
+      if (current.num_rows() >= exec::kBatchRows) {
+        RefineBatch(&current, box, temporal, t_min, t_max);
+        batches.push_back(std::move(current));
+        current = exec::ColumnBatch(schema);
       }
-      if (keep && temporal) {
-        TimestampMs t = 0;
-        if (time_col_ >= 0 &&
-            row[time_col_].type() == exec::DataType::kTimestamp) {
-          t = row[time_col_].timestamp_value();
-        } else if (geom_col_ >= 0 &&
-                   row[geom_col_].type() == exec::DataType::kTrajectory &&
-                   row[geom_col_].trajectory_value() != nullptr) {
-          t = row[geom_col_].trajectory_value()->start_time();
-        }
-        keep = t >= t_min && t <= t_max;
-      }
-      if (keep) out.AddRow(std::move(row));
+      JUST_RETURN_NOT_OK(decoder.DecodeInto(kv.value, &current));
     }
   }
+  if (current.num_rows() > 0) {
+    RefineBatch(&current, box, temporal, t_min, t_max);
+    batches.push_back(std::move(current));
+  }
+  size_t matched = exec::BatchesActiveRows(batches);
   if (stats != nullptr) {
     stats->key_ranges += ranges.size();
     stats->rows_scanned += scanned;
-    stats->rows_matched += out.num_rows();
+    stats->rows_matched += matched;
   }
-  RecordQueryCounters(ranges.size(), scanned, out.num_rows());
-  return out;
+  RecordQueryCounters(ranges.size(), scanned, matched);
+  return batches;
+}
+
+Result<exec::DataFrame> StTable::RunRanges(
+    const std::vector<curve::KeyRange>& ranges, const geo::Mbr& box,
+    bool temporal, TimestampMs t_min, TimestampMs t_max, QueryStats* stats,
+    int fid_offset, const std::unordered_set<std::string>* skip_fids) const {
+  JUST_ASSIGN_OR_RETURN(
+      auto batches, RunRangesBatch(ranges, box, temporal, t_min, t_max,
+                                   stats, fid_offset, skip_fids));
+  return exec::BatchesToDataFrame(meta_.MakeSchema(), batches);
 }
 
 Result<exec::DataFrame> StTable::SpatialRangeQuery(const geo::Mbr& box,
@@ -309,7 +393,12 @@ Result<exec::DataFrame> StTable::SpatialRangeQuery(const geo::Mbr& box,
   return SpatialRangeQueryInternal(box, stats, nullptr);
 }
 
-Result<exec::DataFrame> StTable::SpatialRangeQueryInternal(
+Result<exec::BatchVector> StTable::SpatialRangeQueryBatch(
+    const geo::Mbr& box, QueryStats* stats) const {
+  return SpatialRangeQueryInternalBatch(box, stats, nullptr);
+}
+
+Result<exec::BatchVector> StTable::SpatialRangeQueryInternalBatch(
     const geo::Mbr& box, QueryStats* stats,
     const std::unordered_set<std::string>* skip_fids) const {
   JUST_ASSIGN_OR_RETURN(const curve::IndexStrategy* strategy,
@@ -322,14 +411,22 @@ Result<exec::DataFrame> StTable::SpatialRangeQueryInternal(
                                                        INT64_MAX));
   // Table/index prefix (5 bytes) is spliced in after the shard byte.
   int fid_offset = strategy->FidOffset() + 5;
-  return RunRanges(ranges, box, /*temporal=*/false, 0, 0, stats, fid_offset,
-                   skip_fids);
+  return RunRangesBatch(ranges, box, /*temporal=*/false, 0, 0, stats,
+                        fid_offset, skip_fids);
 }
 
-Result<exec::DataFrame> StTable::StRangeQuery(const geo::Mbr& box,
-                                              TimestampMs t_min,
-                                              TimestampMs t_max,
-                                              QueryStats* stats) const {
+Result<exec::DataFrame> StTable::SpatialRangeQueryInternal(
+    const geo::Mbr& box, QueryStats* stats,
+    const std::unordered_set<std::string>* skip_fids) const {
+  JUST_ASSIGN_OR_RETURN(
+      auto batches, SpatialRangeQueryInternalBatch(box, stats, skip_fids));
+  return exec::BatchesToDataFrame(meta_.MakeSchema(), batches);
+}
+
+Result<exec::BatchVector> StTable::StRangeQueryBatch(const geo::Mbr& box,
+                                                     TimestampMs t_min,
+                                                     TimestampMs t_max,
+                                                     QueryStats* stats) const {
   JUST_ASSIGN_OR_RETURN(const curve::IndexStrategy* strategy,
                         PickIndex(/*temporal=*/true));
   size_t slot = 0;
@@ -337,8 +434,17 @@ Result<exec::DataFrame> StTable::StRangeQuery(const geo::Mbr& box,
     if (strategies_[i].get() == strategy) slot = i;
   }
   auto ranges = WrapRanges(slot, strategy->QueryRanges(box, t_min, t_max));
-  return RunRanges(ranges, box, /*temporal=*/true, t_min, t_max, stats,
-                   strategy->FidOffset() + 5, nullptr);
+  return RunRangesBatch(ranges, box, /*temporal=*/true, t_min, t_max, stats,
+                        strategy->FidOffset() + 5, nullptr);
+}
+
+Result<exec::DataFrame> StTable::StRangeQuery(const geo::Mbr& box,
+                                              TimestampMs t_min,
+                                              TimestampMs t_max,
+                                              QueryStats* stats) const {
+  JUST_ASSIGN_OR_RETURN(auto batches,
+                        StRangeQueryBatch(box, t_min, t_max, stats));
+  return exec::BatchesToDataFrame(meta_.MakeSchema(), batches);
 }
 
 Result<exec::DataFrame> StTable::KnnQuery(const geo::Point& q, int k,
@@ -449,7 +555,7 @@ Result<exec::DataFrame> StTable::KnnQuery(const geo::Point& q, int k,
   return exec::DataFrame(meta_.MakeSchema(), std::move(rows));
 }
 
-Result<exec::DataFrame> StTable::FullScan() const {
+Result<exec::BatchVector> StTable::FullScanBatch() const {
   if (strategies_.empty()) {
     return Status::InvalidArgument("table " + meta_.name + " has no indexes");
   }
@@ -467,14 +573,26 @@ Result<exec::DataFrame> StTable::FullScan() const {
     ranges.push_back(std::move(range));
   }
   JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
-  exec::DataFrame out(meta_.MakeSchema());
+  auto schema = meta_.MakeSchema();
+  BatchRowDecoder decoder(meta_);
+  exec::BatchVector batches;
+  exec::ColumnBatch current(schema);
   for (const auto& range_result : results) {
     for (const auto& kv : range_result.rows) {
-      JUST_ASSIGN_OR_RETURN(auto row, DecodeRow(meta_, kv.value));
-      out.AddRow(std::move(row));
+      if (current.num_rows() >= exec::kBatchRows) {
+        batches.push_back(std::move(current));
+        current = exec::ColumnBatch(schema);
+      }
+      JUST_RETURN_NOT_OK(decoder.DecodeInto(kv.value, &current));
     }
   }
-  return out;
+  if (current.num_rows() > 0) batches.push_back(std::move(current));
+  return batches;
+}
+
+Result<exec::DataFrame> StTable::FullScan() const {
+  JUST_ASSIGN_OR_RETURN(auto batches, FullScanBatch());
+  return exec::BatchesToDataFrame(meta_.MakeSchema(), batches);
 }
 
 }  // namespace just::core

@@ -9,6 +9,7 @@
 #include "cluster/region_cluster.h"
 #include "common/status.h"
 #include "curve/index_strategy.h"
+#include "exec/column_batch.h"
 #include "exec/dataframe.h"
 #include "meta/catalog.h"
 
@@ -53,6 +54,24 @@ class StTable {
                                        TimestampMs t_min, TimestampMs t_max,
                                        QueryStats* stats = nullptr) const;
 
+  // --- Columnar variants (the vectorized executor's scan sources) ---
+  // Scanned KV pairs decode straight into ColumnBatches (BatchRowDecoder);
+  // exact spatio-temporal refinement runs as column loops that shrink each
+  // batch's selection vector instead of materializing Value rows. The
+  // DataFrame methods above are thin wrappers over these.
+
+  Result<exec::BatchVector> SpatialRangeQueryBatch(
+      const geo::Mbr& box, QueryStats* stats = nullptr) const;
+  Result<exec::BatchVector> StRangeQueryBatch(const geo::Mbr& box,
+                                              TimestampMs t_min,
+                                              TimestampMs t_max,
+                                              QueryStats* stats = nullptr) const;
+  Result<exec::BatchVector> FullScanBatch() const;
+  Result<exec::BatchVector> AttributeQueryBatch(const std::string& column,
+                                                const exec::Value& value,
+                                                QueryStats* stats = nullptr)
+      const;
+
   /// k-NN query per Algorithm 1 (iterative area expansion with Lemma 1
   /// pruning), built on spatial range queries.
   Result<exec::DataFrame> KnnQuery(const geo::Point& q, int k,
@@ -94,10 +113,18 @@ class StTable {
   std::vector<curve::KeyRange> WrapRanges(
       size_t index_slot, std::vector<curve::KeyRange> ranges) const;
 
-  /// Runs ranges, decodes rows, applies exact spatio-temporal refinement.
+  /// Runs ranges, decodes KV pairs into batches, applies exact
+  /// spatio-temporal refinement via each batch's selection vector.
   /// `fid_offset` is the byte position of the fid suffix in scanned keys;
   /// rows whose fid is in `skip_fids` are dropped before decoding (used by
   /// the k-NN expansion to avoid re-decoding records seen in earlier areas).
+  Result<exec::BatchVector> RunRangesBatch(
+      const std::vector<curve::KeyRange>& ranges, const geo::Mbr& box,
+      bool temporal, TimestampMs t_min, TimestampMs t_max, QueryStats* stats,
+      int fid_offset,
+      const std::unordered_set<std::string>* skip_fids) const;
+
+  /// Row-oriented wrapper over RunRangesBatch.
   Result<exec::DataFrame> RunRanges(const std::vector<curve::KeyRange>& ranges,
                                     const geo::Mbr& box, bool temporal,
                                     TimestampMs t_min, TimestampMs t_max,
@@ -105,7 +132,15 @@ class StTable {
                                     const std::unordered_set<std::string>*
                                         skip_fids) const;
 
-  /// Internal spatial range query with a skip set (see RunRanges).
+  /// Exact refinement as column loops: geometry containment / trajectory
+  /// intersection plus the temporal check, shrinking `batch`'s selection.
+  void RefineBatch(exec::ColumnBatch* batch, const geo::Mbr& box,
+                   bool temporal, TimestampMs t_min, TimestampMs t_max) const;
+
+  /// Internal spatial range query with a skip set (see RunRangesBatch).
+  Result<exec::BatchVector> SpatialRangeQueryInternalBatch(
+      const geo::Mbr& box, QueryStats* stats,
+      const std::unordered_set<std::string>* skip_fids) const;
   Result<exec::DataFrame> SpatialRangeQueryInternal(
       const geo::Mbr& box, QueryStats* stats,
       const std::unordered_set<std::string>* skip_fids) const;

@@ -155,6 +155,11 @@ std::string TraceSpan::ToString(int indent) const {
                 c.bloom_prunes.load(std::memory_order_relaxed));
   AppendCounter(&out, "bloom_fallbacks",
                 c.bloom_fallbacks.load(std::memory_order_relaxed));
+  AppendCounter(&out, "batches", c.batches.load(std::memory_order_relaxed));
+  AppendCounter(&out, "eval_specialized_us",
+                c.eval_specialized_ns.load(std::memory_order_relaxed) / 1000);
+  AppendCounter(&out, "eval_interpreted_us",
+                c.eval_interpreted_ns.load(std::memory_order_relaxed) / 1000);
   out += ")\n";
   for (const TraceSpan* child : children()) {
     out += child->ToString(indent + 1);
@@ -196,6 +201,11 @@ std::string TraceSpan::ToJson() const {
   add("bloom_prunes", c.bloom_prunes.load(std::memory_order_relaxed), &fc);
   add("bloom_fallbacks", c.bloom_fallbacks.load(std::memory_order_relaxed),
       &fc);
+  add("batches", c.batches.load(std::memory_order_relaxed), &fc);
+  add("eval_specialized_ns",
+      c.eval_specialized_ns.load(std::memory_order_relaxed), &fc);
+  add("eval_interpreted_ns",
+      c.eval_interpreted_ns.load(std::memory_order_relaxed), &fc);
   out += "},\"children\":[";
   first = true;
   for (const TraceSpan* child : children()) {

@@ -27,6 +27,12 @@ struct SpanCounters {
   std::atomic<uint64_t> rows_scanned{0};     ///< KV pairs before refinement
   std::atomic<uint64_t> rows_matched{0};     ///< rows surviving refinement
   std::atomic<uint64_t> rows_out{0};         ///< rows the operator emitted
+  std::atomic<uint64_t> batches{0};          ///< column batches processed
+  /// Time spent in compiled (type-specialized) predicate/projection kernels
+  /// vs the interpreted EvaluateExpr fallback — the JIT papers' headline
+  /// number, surfaced per operator by EXPLAIN ANALYZE.
+  std::atomic<uint64_t> eval_specialized_ns{0};
+  std::atomic<uint64_t> eval_interpreted_ns{0};
 };
 
 /// One node of a per-query trace: a named time interval with counters,
@@ -160,6 +166,13 @@ inline void TraceRowsScanned(uint64_t n) {
 }
 inline void TraceRowsMatched(uint64_t n) {
   TraceAdd(&SpanCounters::rows_matched, n);
+}
+inline void TraceBatches(uint64_t n) { TraceAdd(&SpanCounters::batches, n); }
+inline void TraceEvalSpecializedNs(uint64_t ns) {
+  TraceAdd(&SpanCounters::eval_specialized_ns, ns);
+}
+inline void TraceEvalInterpretedNs(uint64_t ns) {
+  TraceAdd(&SpanCounters::eval_interpreted_ns, ns);
 }
 
 }  // namespace just::obs

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <numeric>
 
 #include "exec/operators.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/expr_eval.h"
 #include "sql/functions.h"
@@ -327,8 +330,39 @@ Result<exec::DataFrame> Executor::Execute(const PlanNode& plan,
   return ExecuteInner(plan, stats);
 }
 
+bool Executor::CanExecuteBatch(const PlanNode& plan) const {
+  if (options_.force_interpreted) return false;
+  switch (plan.kind) {
+    case PlanNode::Kind::kScanTable:
+    case PlanNode::Kind::kScanView:
+    case PlanNode::Kind::kFilter:
+      return true;
+    case PlanNode::Kind::kProject:
+      // 1-N / N-M analysis functions reshape rows; they stay row-oriented.
+      if (plan.items.size() == 1 &&
+          plan.items[0].expr->kind == Expr::Kind::kCall) {
+        const std::string& fn = plan.items[0].expr->call_name;
+        if (FindTableFunction(fn) != nullptr ||
+            FindPartitionFunction(fn) != nullptr) {
+          return false;
+        }
+      }
+      return true;
+    case PlanNode::Kind::kAggregate:
+      // Global (ungrouped) aggregation runs as column loops; grouped
+      // aggregation hashes row keys and stays row-oriented.
+      return plan.group_by.empty();
+    default:
+      return false;
+  }
+}
+
 Result<exec::DataFrame> Executor::ExecuteInner(const PlanNode& plan,
                                                core::QueryStats* stats) {
+  if (CanExecuteBatch(plan)) {
+    JUST_ASSIGN_OR_RETURN(auto out, ExecuteBatch(plan, stats));
+    return exec::BatchesToDataFrame(out.schema, out.batches);
+  }
   // Scans open their own span (with access-path attributes) in ExecuteScan.
   if (plan.kind == PlanNode::Kind::kScanTable ||
       plan.kind == PlanNode::Kind::kScanView) {
@@ -393,6 +427,601 @@ Result<exec::DataFrame> Executor::ExecuteInner(const PlanNode& plan,
                                            std::memory_order_relaxed);
   }
   return result;
+}
+
+// --- Columnar pipeline ------------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+/// Per-stage batch accounting: process-wide counters plus the stage's span.
+void RecordBatchStage(obs::TraceSpan* span, size_t batches, size_t rows) {
+  static obs::Counter* batches_total =
+      obs::Registry::Global().GetCounter("just_sql_batches_total");
+  static obs::Counter* rows_total =
+      obs::Registry::Global().GetCounter("just_sql_batch_rows_total");
+  batches_total->Add(batches);
+  rows_total->Add(rows);
+  if (span != nullptr) {
+    span->counters().batches.fetch_add(batches, std::memory_order_relaxed);
+  }
+}
+
+/// The active physical rows of `batch` as a flat index array. `scratch`
+/// backs the no-selection case.
+const uint32_t* ActiveRows(const exec::ColumnBatch& batch,
+                           std::vector<uint32_t>* scratch, size_t* n) {
+  *n = batch.num_active();
+  if (batch.has_selection()) return batch.selection().data();
+  scratch->resize(batch.num_rows());
+  std::iota(scratch->begin(), scratch->end(), 0);
+  return scratch->data();
+}
+
+}  // namespace
+
+Result<Executor::BatchResult> Executor::ExecuteBatchOrConvert(
+    const PlanNode& plan, core::QueryStats* stats) {
+  if (CanExecuteBatch(plan)) return ExecuteBatch(plan, stats);
+  JUST_ASSIGN_OR_RETURN(auto frame, ExecuteInner(plan, stats));
+  BatchResult out{frame.schema_ptr(), {}};
+  out.batches = exec::BatchesFromDataFrame(std::move(frame));
+  return out;
+}
+
+Result<Executor::BatchResult> Executor::ExecuteBatch(const PlanNode& plan,
+                                                     core::QueryStats* stats) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kScanTable:
+    case PlanNode::Kind::kScanView:
+      return ExecuteScanBatch(plan, nullptr, stats);
+    case PlanNode::Kind::kFilter: {
+      obs::ScopedSpan span("Filter");
+      auto result = [&]() -> Result<BatchResult> {
+        const PlanNode& child = *plan.children[0];
+        if (child.kind == PlanNode::Kind::kScanTable ||
+            child.kind == PlanNode::Kind::kScanView) {
+          // Fuse: the scan translates index-answerable predicates into
+          // key-range SCANs and refines the residual columnar-ly.
+          return ExecuteScanBatch(child, plan.predicate.get(), stats);
+        }
+        JUST_ASSIGN_OR_RETURN(auto input, ExecuteBatchOrConvert(child, stats));
+        std::vector<const Expr*> conjuncts;
+        SplitConjuncts(plan.predicate.get(), &conjuncts);
+        JUST_RETURN_NOT_OK(RunPredicate(conjuncts, &input, span.span()));
+        RecordBatchStage(span.span(), input.batches.size(),
+                         exec::BatchesActiveRows(input.batches));
+        return input;
+      }();
+      if (span.span() != nullptr && result.ok()) {
+        span.span()->counters().rows_out.store(
+            exec::BatchesActiveRows(result->batches),
+            std::memory_order_relaxed);
+      }
+      return result;
+    }
+    case PlanNode::Kind::kProject:
+      return ExecuteProjectBatch(plan, stats);
+    case PlanNode::Kind::kAggregate:
+      return ExecuteAggregateBatch(plan, stats);
+    default:
+      return Status::Internal("plan node is not batch-capable");
+  }
+}
+
+Status Executor::RunPredicate(const std::vector<const Expr*>& conjuncts,
+                              BatchResult* input, obs::TraceSpan* span) {
+  if (conjuncts.empty()) return Status::OK();
+  JUST_ASSIGN_OR_RETURN(auto program,
+                        PredicateProgramCache::Global().GetOrCompile(
+                            conjuncts, *input->schema));
+  PredicateStats pstats;
+  for (exec::ColumnBatch& batch : input->batches) {
+    JUST_RETURN_NOT_OK(program->Run(&batch, &pstats));
+  }
+  if (span != nullptr) {
+    span->counters().eval_specialized_ns.fetch_add(pstats.specialized_ns,
+                                                   std::memory_order_relaxed);
+    span->counters().eval_interpreted_ns.fetch_add(pstats.interpreted_ns,
+                                                   std::memory_order_relaxed);
+    span->AddAttr("eval_mode", program->ModeLabel());
+  }
+  return Status::OK();
+}
+
+Result<Executor::BatchResult> Executor::ProjectColumns(
+    BatchResult input, const std::vector<std::string>& columns) {
+  std::vector<int> indices;
+  auto schema = std::make_shared<exec::Schema>();
+  for (const std::string& name : columns) {
+    int idx = input.schema->IndexOf(name);
+    if (idx < 0) return Status::InvalidArgument("no such column: " + name);
+    indices.push_back(idx);
+    schema->AddField(input.schema->field(static_cast<size_t>(idx)));
+  }
+  BatchResult out{schema, {}};
+  out.batches.reserve(input.batches.size());
+  std::vector<uint32_t> scratch;
+  for (const exec::ColumnBatch& batch : input.batches) {
+    size_t n = 0;
+    const uint32_t* rows = ActiveRows(batch, &scratch, &n);
+    std::vector<exec::ColumnVector> cols;
+    cols.reserve(indices.size());
+    for (int idx : indices) {
+      cols.push_back(
+          batch.column(static_cast<size_t>(idx)).Gather(rows, n));
+    }
+    out.batches.push_back(
+        exec::ColumnBatch::FromColumns(schema, std::move(cols), n));
+  }
+  return out;
+}
+
+Result<Executor::BatchResult> Executor::ExecuteScanBatch(
+    const PlanNode& scan, const Expr* predicate, core::QueryStats* stats) {
+  obs::ScopedSpan span("Scan " + scan.name);
+  auto result = ExecuteScanBatchImpl(scan, predicate, stats, span.span());
+  if (span.span() != nullptr && result.ok()) {
+    span.span()->counters().rows_out.store(
+        exec::BatchesActiveRows(result->batches), std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Result<Executor::BatchResult> Executor::ExecuteScanBatchImpl(
+    const PlanNode& scan, const Expr* predicate, core::QueryStats* stats,
+    obs::TraceSpan* span) {
+  if (scan.kind == PlanNode::Kind::kScanView) {
+    JUST_ASSIGN_OR_RETURN(auto frame, engine_->GetView(user_, scan.name));
+    BatchResult result{frame.schema_ptr(), {}};
+    result.batches = exec::BatchesFromDataFrame(std::move(frame));
+    if (predicate != nullptr) {
+      std::vector<const Expr*> conjuncts;
+      SplitConjuncts(predicate, &conjuncts);
+      JUST_RETURN_NOT_OK(RunPredicate(conjuncts, &result, span));
+    }
+    RecordBatchStage(span, result.batches.size(),
+                     exec::BatchesActiveRows(result.batches));
+    if (!scan.required_columns.empty()) {
+      return ProjectColumns(std::move(result), scan.required_columns);
+    }
+    return result;
+  }
+
+  JUST_ASSIGN_OR_RETURN(auto table_meta,
+                        engine_->DescribeTable(user_, scan.name));
+  // Pull index-answerable predicates out of the conjunction (same extraction
+  // as the row-at-a-time path).
+  std::vector<const Expr*> conjuncts;
+  if (predicate != nullptr) SplitConjuncts(predicate, &conjuncts);
+
+  bool have_box = false;
+  geo::Mbr box;
+  bool have_time = false;
+  TimestampMs t_min = 0, t_max = 0;
+  bool have_knn = false;
+  geo::Point knn_query{};
+  int knn_k = 0;
+  bool have_attr = false;
+  std::string attr_column;
+  exec::Value attr_value;
+  std::vector<const Expr*> residual;
+
+  for (const Expr* conjunct : conjuncts) {
+    if (conjunct->kind == Expr::Kind::kBinary &&
+        conjunct->op == BinaryOp::kWithin && !have_box &&
+        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
+        IsGeometryLiteral(*conjunct->args[1])) {
+      box = conjunct->args[1]->literal.geometry_value().Bounds();
+      have_box = true;
+      continue;
+    }
+    if (conjunct->kind == Expr::Kind::kBinary &&
+        conjunct->op == BinaryOp::kBetween && !have_time &&
+        ColumnEquals(*conjunct->args[0], table_meta.time_column)) {
+      TimestampMs lo, hi;
+      if (IsTimeLiteral(*conjunct->args[1], &lo) &&
+          IsTimeLiteral(*conjunct->args[2], &hi)) {
+        t_min = lo;
+        t_max = hi;
+        have_time = true;
+        continue;
+      }
+    }
+    if (conjunct->kind == Expr::Kind::kBinary &&
+        conjunct->op == BinaryOp::kIn && !have_knn &&
+        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
+        conjunct->args[1]->kind == Expr::Kind::kCall &&
+        conjunct->args[1]->call_name == "st_knn" &&
+        conjunct->args[1]->args.size() == 2) {
+      const Expr& point_arg = *conjunct->args[1]->args[0];
+      const Expr& k_arg = *conjunct->args[1]->args[1];
+      if (IsGeometryLiteral(point_arg) &&
+          k_arg.kind == Expr::Kind::kLiteral) {
+        auto k = k_arg.literal.AsInt();
+        if (k.ok()) {
+          knn_query = point_arg.literal.geometry_value().Bounds().Center();
+          knn_k = static_cast<int>(k.value());
+          have_knn = true;
+          continue;
+        }
+      }
+    }
+    if (conjunct->kind == Expr::Kind::kBinary &&
+        conjunct->op == BinaryOp::kEq && !have_attr &&
+        conjunct->args[0]->kind == Expr::Kind::kColumn &&
+        conjunct->args[1]->kind == Expr::Kind::kLiteral) {
+      bool indexed = false;
+      for (const std::string& indexed_col : table_meta.attr_indexes) {
+        if (ColumnEquals(*conjunct->args[0], indexed_col)) {
+          indexed = true;
+          attr_column = indexed_col;
+        }
+      }
+      if (indexed) {
+        attr_value = conjunct->args[1]->literal;
+        have_attr = true;
+        continue;
+      }
+    }
+    residual.push_back(conjunct);
+  }
+
+  core::QueryStats scan_stats;
+  const char* access = "full_scan";
+  BatchResult result{table_meta.MakeSchema(), {}};
+  if (have_knn) {
+    access = "knn";
+    // k-NN keeps its row-oriented heap expansion; batches start afterwards.
+    JUST_ASSIGN_OR_RETURN(
+        auto frame, engine_->KnnQuery(user_, scan.name, knn_query, knn_k,
+                                      &scan_stats));
+    result.batches = exec::BatchesFromDataFrame(std::move(frame));
+  } else if (have_box && have_time) {
+    access = "st_range";
+    JUST_ASSIGN_OR_RETURN(
+        result.batches, engine_->StRangeQueryBatch(user_, scan.name, box,
+                                                   t_min, t_max, &scan_stats));
+  } else if (have_box) {
+    access = "spatial_range";
+    JUST_ASSIGN_OR_RETURN(
+        result.batches,
+        engine_->SpatialRangeQueryBatch(user_, scan.name, box, &scan_stats));
+  } else if (have_time) {
+    // Temporal-only: whole-earth spatio-temporal query.
+    access = "temporal_range";
+    JUST_ASSIGN_OR_RETURN(
+        result.batches,
+        engine_->StRangeQueryBatch(user_, scan.name, geo::Mbr::World(), t_min,
+                                   t_max, &scan_stats));
+  } else if (have_attr) {
+    access = "attr_index";
+    JUST_ASSIGN_OR_RETURN(
+        result.batches,
+        engine_->AttributeQueryBatch(user_, scan.name, attr_column, attr_value,
+                                     &scan_stats));
+  } else {
+    JUST_ASSIGN_OR_RETURN(result.batches,
+                          engine_->FullScanBatch(user_, scan.name));
+  }
+  if (span != nullptr) span->AddAttr("access", access);
+  if (stats != nullptr) {
+    stats->key_ranges += scan_stats.key_ranges;
+    stats->rows_scanned += scan_stats.rows_scanned;
+    stats->rows_matched += scan_stats.rows_matched;
+  }
+  // A spatial/temporal/knn path may leave an attr conjunct unhandled:
+  // vectorized equality recheck over the surviving selection.
+  if (have_attr && (have_box || have_time || have_knn)) {
+    int attr_col = result.schema->IndexOf(attr_column);
+    if (attr_col >= 0) {
+      const auto t0 = Clock::now();
+      std::vector<uint32_t> scratch;
+      for (exec::ColumnBatch& batch : result.batches) {
+        size_t n = 0;
+        const uint32_t* rows = ActiveRows(batch, &scratch, &n);
+        const exec::ColumnVector& c =
+            batch.column(static_cast<size_t>(attr_col));
+        std::vector<uint32_t> sel;
+        sel.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          if (c.ValueAt(rows[i]).Equals(attr_value)) sel.push_back(rows[i]);
+        }
+        batch.SetSelection(std::move(sel));
+      }
+      if (span != nullptr) {
+        span->counters().eval_specialized_ns.fetch_add(
+            ElapsedNs(t0), std::memory_order_relaxed);
+      }
+    }
+  }
+
+  JUST_RETURN_NOT_OK(RunPredicate(residual, &result, span));
+  RecordBatchStage(span, result.batches.size(),
+                   exec::BatchesActiveRows(result.batches));
+  if (!scan.required_columns.empty()) {
+    return ProjectColumns(std::move(result), scan.required_columns);
+  }
+  return result;
+}
+
+Result<Executor::BatchResult> Executor::ExecuteProjectBatch(
+    const PlanNode& node, core::QueryStats* stats) {
+  obs::ScopedSpan span("Project");
+  JUST_ASSIGN_OR_RETURN(auto input,
+                        ExecuteBatchOrConvert(*node.children[0], stats));
+
+  // Bind items once per query: pure column references copy column-wise; any
+  // other expression evaluates per surviving row with pre-bound offsets.
+  struct ItemPlan {
+    int col = -1;  ///< source column for a pure reference; -1 = expression
+    BoundExpr bound;
+  };
+  std::vector<ItemPlan> item_plans;
+  item_plans.reserve(node.items.size());
+  bool any_expr = false;
+  for (const auto& item : node.items) {
+    ItemPlan ip;
+    if (item.expr->kind == Expr::Kind::kColumn) {
+      ip.col = input.schema->IndexOf(item.expr->column);
+    }
+    if (ip.col < 0) {
+      JUST_ASSIGN_OR_RETURN(ip.bound,
+                            BoundExpr::Bind(*item.expr, *input.schema));
+      any_expr = true;
+    }
+    item_plans.push_back(std::move(ip));
+  }
+
+  BatchResult out{node.schema, {}};
+  out.batches.reserve(input.batches.size());
+  uint64_t specialized_ns = 0;
+  uint64_t interpreted_ns = 0;
+  std::vector<uint32_t> scratch;
+  for (const exec::ColumnBatch& batch : input.batches) {
+    size_t n = 0;
+    const uint32_t* rows = ActiveRows(batch, &scratch, &n);
+    std::vector<exec::ColumnVector> cols;
+    cols.reserve(item_plans.size());
+    for (size_t i = 0; i < item_plans.size(); ++i) {
+      if (item_plans[i].col >= 0) {
+        const auto t0 = Clock::now();
+        cols.push_back(
+            batch.column(static_cast<size_t>(item_plans[i].col))
+                .Gather(rows, n));
+        specialized_ns += ElapsedNs(t0);
+      } else {
+        cols.emplace_back(node.schema->field(i).type);
+      }
+    }
+    if (any_expr) {
+      const auto t0 = Clock::now();
+      for (size_t r = 0; r < n; ++r) {
+        exec::Row row = batch.MaterializeRow(rows[r]);
+        for (size_t i = 0; i < item_plans.size(); ++i) {
+          if (item_plans[i].col >= 0) continue;
+          JUST_ASSIGN_OR_RETURN(auto value, item_plans[i].bound.Eval(row));
+          cols[i].AppendValue(std::move(value));
+        }
+      }
+      interpreted_ns += ElapsedNs(t0);
+    }
+    out.batches.push_back(
+        exec::ColumnBatch::FromColumns(node.schema, std::move(cols), n));
+  }
+  RecordBatchStage(span.span(), out.batches.size(),
+                   exec::BatchesActiveRows(out.batches));
+  if (span.span() != nullptr) {
+    span.span()->counters().eval_specialized_ns.fetch_add(
+        specialized_ns, std::memory_order_relaxed);
+    span.span()->counters().eval_interpreted_ns.fetch_add(
+        interpreted_ns, std::memory_order_relaxed);
+    span.span()->counters().rows_out.store(
+        exec::BatchesActiveRows(out.batches), std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Result<Executor::BatchResult> Executor::ExecuteAggregateBatch(
+    const PlanNode& node, core::QueryStats* stats) {
+  obs::ScopedSpan span("Aggregate");
+  JUST_ASSIGN_OR_RETURN(auto input,
+                        ExecuteBatchOrConvert(*node.children[0], stats));
+  using Storage = exec::ColumnVector::Storage;
+
+  struct Spec {
+    exec::AggFunc func;
+    int index;  // -1 for COUNT(*)
+  };
+  std::vector<Spec> specs;
+  for (const exec::Aggregate& agg : node.aggregates) {
+    int idx = -1;
+    if (!agg.column.empty()) {
+      idx = input.schema->IndexOf(agg.column);
+      if (idx < 0) {
+        return Status::InvalidArgument("no such column: " + agg.column);
+      }
+    }
+    specs.push_back({agg.func, idx});
+  }
+
+  // Mirrors the row-at-a-time AggState exactly (null skipping, sum_valid,
+  // Value-ordered min/max), but consumes columns: typed storages run flat
+  // int64/double loops; everything else walks generic Values.
+  struct State {
+    int64_t count = 0;
+    double sum = 0;
+    bool sum_valid = true;
+    exec::Value min, max;
+    bool has_minmax = false;
+
+    void Merge(const exec::Value& v) {
+      if (!has_minmax) {
+        min = v;
+        max = v;
+        has_minmax = true;
+      } else {
+        if (v.Compare(min) < 0) min = v;
+        if (v.Compare(max) > 0) max = v;
+      }
+    }
+  };
+  std::vector<State> states(specs.size());
+
+  uint64_t specialized_ns = 0;
+  uint64_t interpreted_ns = 0;
+  std::vector<uint32_t> scratch;
+  for (const exec::ColumnBatch& batch : input.batches) {
+    size_t n = 0;
+    const uint32_t* rows = ActiveRows(batch, &scratch, &n);
+    for (size_t a = 0; a < specs.size(); ++a) {
+      State& st = states[a];
+      if (specs[a].index < 0) {
+        st.count += static_cast<int64_t>(n);  // COUNT(*)
+        continue;
+      }
+      const exec::ColumnVector& col =
+          batch.column(static_cast<size_t>(specs[a].index));
+      if (col.storage() == Storage::kInt64) {
+        const auto t0 = Clock::now();
+        const int64_t* data = col.i64_data();
+        int64_t lo = 0, hi = 0;
+        bool any = false;
+        for (size_t i = 0; i < n; ++i) {
+          uint32_t row = rows[i];
+          if (col.has_nulls() && col.IsNull(row)) continue;
+          int64_t v = data[row];
+          ++st.count;
+          st.sum += static_cast<double>(v);
+          if (!any) {
+            lo = hi = v;
+            any = true;
+          } else {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+          }
+        }
+        if (any) {
+          // Render extremes per the declared type, then merge Value-wise so
+          // mixed (degraded) batches stay comparable.
+          auto render = [&](int64_t v) {
+            switch (col.declared_type()) {
+              case exec::DataType::kBool:
+                return exec::Value::Bool(v != 0);
+              case exec::DataType::kTimestamp:
+                return exec::Value::Timestamp(v);
+              default:
+                return exec::Value::Int(v);
+            }
+          };
+          st.Merge(render(lo));
+          st.Merge(render(hi));
+        }
+        specialized_ns += ElapsedNs(t0);
+      } else if (col.storage() == Storage::kDouble) {
+        const auto t0 = Clock::now();
+        const double* data = col.f64_data();
+        double lo = 0, hi = 0;
+        bool any = false;
+        for (size_t i = 0; i < n; ++i) {
+          uint32_t row = rows[i];
+          if (col.has_nulls() && col.IsNull(row)) continue;
+          double v = data[row];
+          ++st.count;
+          st.sum += v;
+          if (!any) {
+            lo = hi = v;
+            any = true;
+          } else {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+          }
+        }
+        if (any) {
+          st.Merge(exec::Value::Double(lo));
+          st.Merge(exec::Value::Double(hi));
+        }
+        specialized_ns += ElapsedNs(t0);
+      } else {
+        const auto t0 = Clock::now();
+        for (size_t i = 0; i < n; ++i) {
+          exec::Value v = col.ValueAt(rows[i]);
+          if (v.is_null()) continue;
+          ++st.count;
+          auto d = v.AsDouble();
+          if (d.ok()) {
+            st.sum += d.value();
+          } else {
+            st.sum_valid = false;
+          }
+          st.Merge(v);
+        }
+        interpreted_ns += ElapsedNs(t0);
+      }
+    }
+  }
+
+  // Output schema mirrors exec::GroupBy's global-aggregation shape.
+  auto schema = std::make_shared<exec::Schema>();
+  for (size_t a = 0; a < node.aggregates.size(); ++a) {
+    exec::DataType type =
+        specs[a].func == exec::AggFunc::kCount
+            ? exec::DataType::kInt
+            : (specs[a].index >= 0 &&
+                       (specs[a].func == exec::AggFunc::kMin ||
+                        specs[a].func == exec::AggFunc::kMax)
+                   ? input.schema->field(static_cast<size_t>(specs[a].index))
+                         .type
+                   : exec::DataType::kDouble);
+    schema->AddField(exec::Field{node.aggregates[a].output_name, type});
+  }
+  exec::Row row;
+  row.reserve(specs.size());
+  for (size_t a = 0; a < specs.size(); ++a) {
+    const State& st = states[a];
+    switch (specs[a].func) {
+      case exec::AggFunc::kCount:
+        row.push_back(exec::Value::Int(st.count));
+        break;
+      case exec::AggFunc::kSum:
+        row.push_back(st.count == 0 || !st.sum_valid
+                          ? exec::Value::Null()
+                          : exec::Value::Double(st.sum));
+        break;
+      case exec::AggFunc::kAvg:
+        row.push_back(st.count == 0 || !st.sum_valid
+                          ? exec::Value::Null()
+                          : exec::Value::Double(
+                                st.sum / static_cast<double>(st.count)));
+        break;
+      case exec::AggFunc::kMin:
+        row.push_back(st.has_minmax ? st.min : exec::Value::Null());
+        break;
+      case exec::AggFunc::kMax:
+        row.push_back(st.has_minmax ? st.max : exec::Value::Null());
+        break;
+    }
+  }
+  BatchResult out{schema, {}};
+  exec::ColumnBatch result_batch(schema);
+  result_batch.AppendRow(std::move(row));
+  out.batches.push_back(std::move(result_batch));
+  RecordBatchStage(span.span(), 1, 1);
+  if (span.span() != nullptr) {
+    span.span()->counters().eval_specialized_ns.fetch_add(
+        specialized_ns, std::memory_order_relaxed);
+    span.span()->counters().eval_interpreted_ns.fetch_add(
+        interpreted_ns, std::memory_order_relaxed);
+    span.span()->counters().rows_out.store(1, std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace just::sql

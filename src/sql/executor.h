@@ -1,28 +1,50 @@
 #ifndef JUST_SQL_EXECUTOR_H_
 #define JUST_SQL_EXECUTOR_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/engine.h"
+#include "exec/column_batch.h"
 #include "obs/trace.h"
 #include "sql/plan.h"
+#include "sql/predicate_program.h"
 
 namespace just::sql {
+
+/// Execution-mode knobs.
+struct ExecOptions {
+  /// Forces the legacy row-at-a-time path: every predicate and projection
+  /// runs through the interpreted EvaluateExpr tree walk, no column batches,
+  /// no predicate programs. Kept as the differential-testing oracle and the
+  /// benchmark baseline for the vectorized path.
+  bool force_interpreted = false;
+};
 
 /// Physical execution (Section VI, "SQL Execute"): spatial / spatio-temporal
 /// / k-NN predicates adjacent to a table scan are translated into GeoMesa
 /// key-range SCANs (the engine's indexed queries); everything else runs as
 /// DataFrame operations (the Spark SQL role).
 ///
+/// Post-scan refinement is columnar: scans produce ColumnBatches, residual
+/// predicates compile once per query into flat type-specialized programs
+/// (cached in PredicateProgramCache), and filter / plain-project / global-
+/// aggregate stages run as tight loops over column vectors connected by
+/// selection vectors. Sort, limit, join, and analysis functions materialize
+/// rows at their input boundary and run row-at-a-time.
+///
 /// The executor holds no per-query state: scan statistics are returned
 /// through the optional `stats` out-parameter, so one instance can run plans
 /// from many threads concurrently. When a trace is active on the calling
-/// thread (EXPLAIN ANALYZE), every operator contributes a span.
+/// thread (EXPLAIN ANALYZE), every operator contributes a span with batch
+/// counts and interpreted-vs-specialized evaluation time.
 class Executor {
  public:
-  Executor(core::JustEngine* engine, std::string user)
-      : engine_(engine), user_(std::move(user)) {}
+  Executor(core::JustEngine* engine, std::string user,
+           ExecOptions options = {})
+      : engine_(engine), user_(std::move(user)), options_(options) {}
 
   /// Runs the plan. `stats`, when non-null, accumulates the key-range scan
   /// statistics of every indexed scan in the plan.
@@ -30,8 +52,46 @@ class Executor {
                                   core::QueryStats* stats = nullptr);
 
  private:
+  /// A run of batches plus the schema they share (needed when the run is
+  /// empty).
+  struct BatchResult {
+    std::shared_ptr<exec::Schema> schema;
+    exec::BatchVector batches;
+  };
+
+  /// True when the node itself executes on the columnar path (children are
+  /// converted at their boundary if they do not).
+  bool CanExecuteBatch(const PlanNode& plan) const;
+
   Result<exec::DataFrame> ExecuteInner(const PlanNode& plan,
                                        core::QueryStats* stats);
+
+  // --- Columnar pipeline ---
+  Result<BatchResult> ExecuteBatch(const PlanNode& plan,
+                                   core::QueryStats* stats);
+  /// ExecuteBatch when capable, otherwise row-execute and convert.
+  Result<BatchResult> ExecuteBatchOrConvert(const PlanNode& plan,
+                                            core::QueryStats* stats);
+  Result<BatchResult> ExecuteScanBatch(const PlanNode& scan,
+                                       const Expr* predicate,
+                                       core::QueryStats* stats);
+  Result<BatchResult> ExecuteScanBatchImpl(const PlanNode& scan,
+                                           const Expr* predicate,
+                                           core::QueryStats* stats,
+                                           obs::TraceSpan* span);
+  Result<BatchResult> ExecuteProjectBatch(const PlanNode& node,
+                                          core::QueryStats* stats);
+  Result<BatchResult> ExecuteAggregateBatch(const PlanNode& node,
+                                            core::QueryStats* stats);
+  /// Compiles `conjuncts` through the plan cache and filters every batch,
+  /// attributing batch counts and per-mode evaluation time to `span`.
+  Status RunPredicate(const std::vector<const Expr*>& conjuncts,
+                      BatchResult* input, obs::TraceSpan* span);
+  /// Keeps the named columns (scan projection pushdown), column-wise.
+  Result<BatchResult> ProjectColumns(
+      BatchResult input, const std::vector<std::string>& columns);
+
+  // --- Row-at-a-time path (force_interpreted; also sort/limit/join) ---
   Result<exec::DataFrame> ExecuteScan(const PlanNode& scan,
                                       const Expr* predicate,
                                       core::QueryStats* stats);
@@ -44,6 +104,7 @@ class Executor {
 
   core::JustEngine* engine_;
   std::string user_;
+  ExecOptions options_;
 };
 
 }  // namespace just::sql

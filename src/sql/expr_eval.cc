@@ -13,28 +13,42 @@ bool IsNumericType(exec::DataType t) {
          t == exec::DataType::kDouble || t == exec::DataType::kTimestamp;
 }
 
-Result<exec::Value> EvalBinary(const Expr& expr, const exec::Schema& schema,
-                               const exec::Row& row);
+/// Per-evaluation context: the schema, the row, and (optionally) the
+/// bound-offset table a BoundExpr resolved at plan time. When `offsets` is
+/// set, column references cost one pointer-keyed hash lookup instead of a
+/// case-insensitive string scan of the schema per row.
+struct EvalCtx {
+  const exec::Schema* schema;
+  const exec::Row* row;
+  const std::unordered_map<const Expr*, int>* offsets = nullptr;
+};
 
-Result<exec::Value> Eval(const Expr& expr, const exec::Schema& schema,
-                         const exec::Row& row) {
+Result<exec::Value> EvalBinary(const Expr& expr, const EvalCtx& ctx);
+
+Result<exec::Value> Eval(const Expr& expr, const EvalCtx& ctx) {
   switch (expr.kind) {
     case Expr::Kind::kLiteral:
       return expr.literal;
     case Expr::Kind::kStar:
       return Status::InvalidArgument("'*' is not a value expression");
     case Expr::Kind::kColumn: {
-      int idx = schema.IndexOf(expr.column);
+      int idx;
+      if (ctx.offsets != nullptr) {
+        auto it = ctx.offsets->find(&expr);
+        idx = it == ctx.offsets->end() ? -1 : it->second;
+      } else {
+        idx = ctx.schema->IndexOf(expr.column);
+      }
       if (idx < 0) {
         return Status::InvalidArgument("no such column: " + expr.column);
       }
-      if (static_cast<size_t>(idx) >= row.size()) {
+      if (static_cast<size_t>(idx) >= ctx.row->size()) {
         return Status::Internal("row narrower than schema");
       }
-      return row[idx];
+      return (*ctx.row)[idx];
     }
     case Expr::Kind::kBinary:
-      return EvalBinary(expr, schema, row);
+      return EvalBinary(expr, ctx);
     case Expr::Kind::kCall: {
       const ScalarFunction* fn = FindScalarFunction(expr.call_name);
       if (fn == nullptr) {
@@ -43,7 +57,7 @@ Result<exec::Value> Eval(const Expr& expr, const exec::Schema& schema,
       std::vector<exec::Value> args;
       args.reserve(expr.args.size());
       for (const auto& arg : expr.args) {
-        JUST_ASSIGN_OR_RETURN(auto v, Eval(*arg, schema, row));
+        JUST_ASSIGN_OR_RETURN(auto v, Eval(*arg, ctx));
         args.push_back(std::move(v));
       }
       return fn->fn(args);
@@ -52,38 +66,36 @@ Result<exec::Value> Eval(const Expr& expr, const exec::Schema& schema,
   return Status::Internal("bad expression kind");
 }
 
-Result<bool> EvalBool(const Expr& expr, const exec::Schema& schema,
-                      const exec::Row& row) {
-  JUST_ASSIGN_OR_RETURN(auto v, Eval(expr, schema, row));
+Result<bool> EvalBool(const Expr& expr, const EvalCtx& ctx) {
+  JUST_ASSIGN_OR_RETURN(auto v, Eval(expr, ctx));
   if (v.type() == exec::DataType::kBool) return v.bool_value();
   if (v.is_null()) return false;
   return Status::InvalidArgument("expected boolean, got " + v.ToString());
 }
 
-Result<exec::Value> EvalBinary(const Expr& expr, const exec::Schema& schema,
-                               const exec::Row& row) {
+Result<exec::Value> EvalBinary(const Expr& expr, const EvalCtx& ctx) {
   switch (expr.op) {
     case BinaryOp::kAnd: {
-      JUST_ASSIGN_OR_RETURN(bool lhs, EvalBool(*expr.args[0], schema, row));
+      JUST_ASSIGN_OR_RETURN(bool lhs, EvalBool(*expr.args[0], ctx));
       if (!lhs) return exec::Value::Bool(false);
-      JUST_ASSIGN_OR_RETURN(bool rhs, EvalBool(*expr.args[1], schema, row));
+      JUST_ASSIGN_OR_RETURN(bool rhs, EvalBool(*expr.args[1], ctx));
       return exec::Value::Bool(rhs);
     }
     case BinaryOp::kOr: {
-      JUST_ASSIGN_OR_RETURN(bool lhs, EvalBool(*expr.args[0], schema, row));
+      JUST_ASSIGN_OR_RETURN(bool lhs, EvalBool(*expr.args[0], ctx));
       if (lhs) return exec::Value::Bool(true);
-      JUST_ASSIGN_OR_RETURN(bool rhs, EvalBool(*expr.args[1], schema, row));
+      JUST_ASSIGN_OR_RETURN(bool rhs, EvalBool(*expr.args[1], ctx));
       return exec::Value::Bool(rhs);
     }
     case BinaryOp::kBetween: {
-      JUST_ASSIGN_OR_RETURN(auto v, Eval(*expr.args[0], schema, row));
-      JUST_ASSIGN_OR_RETURN(auto lo, Eval(*expr.args[1], schema, row));
-      JUST_ASSIGN_OR_RETURN(auto hi, Eval(*expr.args[2], schema, row));
+      JUST_ASSIGN_OR_RETURN(auto v, Eval(*expr.args[0], ctx));
+      JUST_ASSIGN_OR_RETURN(auto lo, Eval(*expr.args[1], ctx));
+      JUST_ASSIGN_OR_RETURN(auto hi, Eval(*expr.args[2], ctx));
       return exec::Value::Bool(v.Compare(lo) >= 0 && v.Compare(hi) <= 0);
     }
     case BinaryOp::kWithin: {
-      JUST_ASSIGN_OR_RETURN(auto g, Eval(*expr.args[0], schema, row));
-      JUST_ASSIGN_OR_RETURN(auto region, Eval(*expr.args[1], schema, row));
+      JUST_ASSIGN_OR_RETURN(auto g, Eval(*expr.args[0], ctx));
+      JUST_ASSIGN_OR_RETURN(auto region, Eval(*expr.args[1], ctx));
       if (region.type() != exec::DataType::kGeometry) {
         return Status::InvalidArgument("WITHIN expects a geometry region");
       }
@@ -106,8 +118,8 @@ Result<exec::Value> EvalBinary(const Expr& expr, const exec::Schema& schema,
       break;
   }
 
-  JUST_ASSIGN_OR_RETURN(auto lhs, Eval(*expr.args[0], schema, row));
-  JUST_ASSIGN_OR_RETURN(auto rhs, Eval(*expr.args[1], schema, row));
+  JUST_ASSIGN_OR_RETURN(auto lhs, Eval(*expr.args[0], ctx));
+  JUST_ASSIGN_OR_RETURN(auto rhs, Eval(*expr.args[1], ctx));
   switch (expr.op) {
     case BinaryOp::kEq:
       return exec::Value::Bool(lhs.Equals(rhs));
@@ -161,13 +173,58 @@ Result<exec::Value> EvalBinary(const Expr& expr, const exec::Schema& schema,
 
 Result<exec::Value> EvaluateExpr(const Expr& expr, const exec::Schema& schema,
                                  const exec::Row& row) {
-  return Eval(expr, schema, row);
+  return Eval(expr, EvalCtx{&schema, &row});
 }
 
 Result<exec::Value> EvaluateConstant(const Expr& expr) {
   static const exec::Schema* kEmpty = new exec::Schema();
   static const exec::Row* kNoRow = new exec::Row();
-  return Eval(expr, *kEmpty, *kNoRow);
+  return Eval(expr, EvalCtx{kEmpty, kNoRow});
+}
+
+namespace {
+
+Status BindColumns(const Expr& expr, const exec::Schema& schema,
+                   std::unordered_map<const Expr*, int>* out) {
+  switch (expr.kind) {
+    case Expr::Kind::kColumn: {
+      int idx = schema.IndexOf(expr.column);
+      if (idx < 0) {
+        return Status::InvalidArgument("no such column: " + expr.column);
+      }
+      (*out)[&expr] = idx;
+      return Status::OK();
+    }
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kCall:
+      for (const auto& arg : expr.args) {
+        JUST_RETURN_NOT_OK(BindColumns(*arg, schema, out));
+      }
+      return Status::OK();
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace
+
+Result<BoundExpr> BoundExpr::Bind(const Expr& expr,
+                                  const exec::Schema& schema) {
+  BoundExpr bound;
+  bound.expr_ = &expr;
+  JUST_RETURN_NOT_OK(BindColumns(expr, schema, &bound.offsets_));
+  return bound;
+}
+
+Result<exec::Value> BoundExpr::Eval(const exec::Row& row) const {
+  // The schema is never consulted once offsets are bound; pass a dummy.
+  static const exec::Schema* kEmpty = new exec::Schema();
+  return sql::Eval(*expr_, EvalCtx{kEmpty, &row, &offsets_});
+}
+
+Result<bool> BoundExpr::EvalBool(const exec::Row& row) const {
+  static const exec::Schema* kEmpty = new exec::Schema();
+  return sql::EvalBool(*expr_, EvalCtx{kEmpty, &row, &offsets_});
 }
 
 bool IsConstantExpr(const Expr& expr) {

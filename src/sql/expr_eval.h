@@ -1,6 +1,8 @@
 #ifndef JUST_SQL_EXPR_EVAL_H_
 #define JUST_SQL_EXPR_EVAL_H_
 
+#include <unordered_map>
+
 #include "common/status.h"
 #include "exec/dataframe.h"
 #include "sql/ast.h"
@@ -8,9 +10,36 @@
 namespace just::sql {
 
 /// Evaluates an expression against one row. Column references resolve
-/// through `schema` (case-insensitive).
+/// through `schema` (case-insensitive). Prefer BoundExpr in per-row loops:
+/// this variant re-runs Schema::IndexOf (a case-insensitive string scan)
+/// for every column reference on every row.
 Result<exec::Value> EvaluateExpr(const Expr& expr, const exec::Schema& schema,
                                  const exec::Row& row);
+
+/// An expression with its column references resolved against one schema at
+/// plan/bind time: evaluation looks offsets up in a per-node table instead
+/// of string-matching the schema per row. Borrows `expr`; the expression
+/// (and the schema's shape) must outlive the binding.
+class BoundExpr {
+ public:
+  BoundExpr() = default;
+
+  /// Resolves every column node of `expr` against `schema`. Fails when a
+  /// referenced column is absent, which surfaces bad plans at bind time
+  /// instead of per-row.
+  static Result<BoundExpr> Bind(const Expr& expr, const exec::Schema& schema);
+
+  Result<exec::Value> Eval(const exec::Row& row) const;
+  /// Boolean evaluation with the filter convention: NULL is false.
+  Result<bool> EvalBool(const exec::Row& row) const;
+
+  const Expr* expr() const { return expr_; }
+
+ private:
+  const Expr* expr_ = nullptr;
+  /// Column node -> row offset, resolved once.
+  std::unordered_map<const Expr*, int> offsets_;
+};
 
 /// Evaluates a constant (column-free) expression; used by the optimizer's
 /// constant-folding rule (Section VI: "calculate constant expressions").

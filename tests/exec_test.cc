@@ -1,29 +1,30 @@
 #include <gtest/gtest.h>
 
+#include "exec/column_batch.h"
 #include "exec/dataframe.h"
 #include "exec/memory.h"
 #include "exec/operators.h"
 #include "exec/value.h"
+#include "test_util.h"
 
 namespace just::exec {
 namespace {
 
-std::shared_ptr<Schema> TestSchema() {
-  auto schema = std::make_shared<Schema>();
-  schema->AddField({"id", DataType::kInt});
-  schema->AddField({"name", DataType::kString});
-  schema->AddField({"score", DataType::kDouble});
-  return schema;
+just::testing::FrameBuilder TestBuilder() {
+  just::testing::FrameBuilder b;
+  b.Col("id", DataType::kInt)
+      .Col("name", DataType::kString)
+      .Col("score", DataType::kDouble)
+      .Row({Value::Int(1), Value::String("alice"), Value::Double(3.5)})
+      .Row({Value::Int(2), Value::String("bob"), Value::Double(1.5)})
+      .Row({Value::Int(3), Value::String("carol"), Value::Double(2.5)})
+      .Row({Value::Int(4), Value::String("bob"), Value::Double(4.0)});
+  return b;
 }
 
-DataFrame TestFrame() {
-  DataFrame df(TestSchema());
-  df.AddRow({Value::Int(1), Value::String("alice"), Value::Double(3.5)});
-  df.AddRow({Value::Int(2), Value::String("bob"), Value::Double(1.5)});
-  df.AddRow({Value::Int(3), Value::String("carol"), Value::Double(2.5)});
-  df.AddRow({Value::Int(4), Value::String("bob"), Value::Double(4.0)});
-  return df;
-}
+std::shared_ptr<Schema> TestSchema() { return TestBuilder().schema(); }
+
+DataFrame TestFrame() { return TestBuilder().Frame(); }
 
 // --- Value ---
 
@@ -247,6 +248,101 @@ TEST(OperatorsTest, UnionRequiresMatchingSchema) {
   other_schema->AddField({"x", DataType::kInt});
   DataFrame other(other_schema);
   EXPECT_FALSE(Union(TestFrame(), other).ok());
+}
+
+// --- ColumnBatch ---
+
+TEST(ColumnBatchTest, TypedStorageSelection) {
+  DataFrame df = TestFrame();
+  ColumnBatch batch = ColumnBatch::FromDataFrame(df);
+  ASSERT_EQ(batch.num_rows(), 4u);
+  EXPECT_EQ(batch.column(0).storage(), ColumnVector::Storage::kInt64);
+  EXPECT_EQ(batch.column(1).storage(), ColumnVector::Storage::kString);
+  EXPECT_EQ(batch.column(2).storage(), ColumnVector::Storage::kDouble);
+  EXPECT_EQ(batch.column(0).Int64At(2), 3);
+  EXPECT_EQ(batch.column(2).DoubleAt(3), 4.0);
+
+  batch.SetSelection({1, 3});
+  EXPECT_EQ(batch.num_active(), 2u);
+  DataFrame out = batch.ToDataFrame();
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.rows()[0][1].string_value(), "bob");
+  EXPECT_EQ(out.rows()[1][2].double_value(), 4.0);
+}
+
+TEST(ColumnBatchTest, NullBitmapRoundTrip) {
+  just::testing::FrameBuilder b;
+  b.Col("x", DataType::kInt)
+      .Row({Value::Int(1)})
+      .Row({Value::Null()})
+      .Row({Value::Int(3)});
+  ColumnBatch batch = ColumnBatch::FromDataFrame(b.Frame());
+  EXPECT_EQ(batch.column(0).storage(), ColumnVector::Storage::kInt64);
+  EXPECT_TRUE(batch.column(0).has_nulls());
+  EXPECT_FALSE(batch.column(0).IsNull(0));
+  EXPECT_TRUE(batch.column(0).IsNull(1));
+  DataFrame out = batch.ToDataFrame();
+  EXPECT_TRUE(out.rows()[1][0].is_null());
+  EXPECT_EQ(out.rows()[2][0].int_value(), 3);
+}
+
+TEST(ColumnBatchTest, MixedTypesDegradeToObjectStorage) {
+  just::testing::FrameBuilder b;
+  b.Col("x", DataType::kInt)
+      .Row({Value::Int(1)})
+      .Row({Value::Double(2.5)});  // runtime type strays from declared
+  ColumnBatch batch = ColumnBatch::FromDataFrame(b.Frame());
+  EXPECT_EQ(batch.column(0).storage(), ColumnVector::Storage::kObject);
+  // The exact per-row Values survive (no silent coercion).
+  EXPECT_EQ(batch.column(0).ValueAt(0).type(), DataType::kInt);
+  EXPECT_EQ(batch.column(0).ValueAt(1).double_value(), 2.5);
+}
+
+TEST(ColumnBatchTest, DeclaredTypeAwareValueAt) {
+  just::testing::FrameBuilder b;
+  b.Col("flag", DataType::kBool)
+      .Col("t", DataType::kTimestamp)
+      .Row({Value::Bool(true), Value::Timestamp(1000)});
+  ColumnBatch batch = ColumnBatch::FromDataFrame(b.Frame());
+  EXPECT_EQ(batch.column(0).ValueAt(0).type(), DataType::kBool);
+  EXPECT_TRUE(batch.column(0).ValueAt(0).bool_value());
+  EXPECT_EQ(batch.column(1).ValueAt(0).type(), DataType::kTimestamp);
+  EXPECT_EQ(batch.column(1).ValueAt(0).timestamp_value(), 1000);
+}
+
+TEST(ColumnBatchTest, GatherCompactsSurvivors) {
+  ColumnBatch batch = ColumnBatch::FromDataFrame(TestFrame());
+  const uint32_t rows[] = {0, 2};
+  ColumnVector names = batch.column(1).Gather(rows, 2);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names.StringAt(0), "alice");
+  EXPECT_EQ(names.StringAt(1), "carol");
+
+  std::vector<ColumnVector> cols;
+  cols.push_back(std::move(names));
+  auto schema = std::make_shared<Schema>();
+  schema->AddField({"name", DataType::kString});
+  ColumnBatch packed = ColumnBatch::FromColumns(schema, std::move(cols), 2);
+  EXPECT_EQ(packed.num_active(), 2u);
+  EXPECT_FALSE(packed.has_selection());
+}
+
+TEST(ColumnBatchTest, BatchVectorChunksAtBatchRows) {
+  DataFrame df(TestSchema());
+  const size_t n = kBatchRows + 10;
+  for (size_t i = 0; i < n; ++i) {
+    df.AddRow({Value::Int(static_cast<int64_t>(i)), Value::String("u"),
+               Value::Double(static_cast<double>(i))});
+  }
+  BatchVector batches = BatchesFromDataFrame(std::move(df));
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].num_rows(), kBatchRows);
+  EXPECT_EQ(batches[1].num_rows(), 10u);
+  EXPECT_EQ(BatchesActiveRows(batches), n);
+  DataFrame back = BatchesToDataFrame(TestSchema(), batches);
+  ASSERT_EQ(back.num_rows(), n);
+  EXPECT_EQ(back.rows()[n - 1][0].int_value(),
+            static_cast<int64_t>(n - 1));
 }
 
 // --- MemoryBudget ---

@@ -175,6 +175,29 @@ TEST_F(ExplainAnalyzeTest, AnalyzeCountersMatchRegistryDelta) {
             1u);
 }
 
+// The columnar path's EXPLAIN surface: per-stage batch counts plus the
+// predicate-program evaluation mode and its specialized-vs-interpreted time.
+TEST_F(ExplainAnalyzeTest, AnalyzeShowsBatchCountsAndEvalMode) {
+  // fid != 'o1' is a residual conjunct with a specialized string kernel.
+  auto r = Run(
+      "EXPLAIN ANALYZE SELECT fid FROM orders WHERE geom WITHIN "
+      "st_makeMBR(116.0, 39.5, 116.5, 40.0) AND fid != 'o1'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string& msg = r->message;
+  EXPECT_GT(SumToken(msg, " batches="), 0u) << msg;
+  EXPECT_NE(msg.find("eval_mode=specialized"), std::string::npos) << msg;
+
+  // A function-call conjunct has no specialized kernel: the program runs it
+  // through the interpreted fallback and reports the time there.
+  auto r2 = Run(
+      "EXPLAIN ANALYZE SELECT fid FROM orders WHERE "
+      "st_distance(geom, st_makePoint(116.2, 39.8)) < 0.3");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  const std::string& msg2 = r2->message;
+  EXPECT_NE(msg2.find("eval_mode=interpreted"), std::string::npos) << msg2;
+  EXPECT_GT(SumToken(msg2, " eval_interpreted_us="), 0u) << msg2;
+}
+
 TEST_F(ExplainAnalyzeTest, SlowQueryLogCapturesStatements) {
   ASSERT_NE(engine_->slow_query_log(), nullptr);
   size_t before = engine_->slow_query_log()->size();

@@ -259,6 +259,30 @@ TEST(ExprEvalTest, ScalarFunctions) {
   EXPECT_EQ(text->string_value(), "POINT (1.000000 2.000000)");
 }
 
+TEST(ExprEvalTest, BoundExprMatchesEvaluateExprOverFrame) {
+  just::testing::FrameBuilder b;
+  b.Col("x", exec::DataType::kInt)
+      .Col("y", exec::DataType::kDouble)
+      .Row({exec::Value::Int(1), exec::Value::Double(0.5)})
+      .Row({exec::Value::Null(), exec::Value::Double(2.0)})
+      .Row({exec::Value::Int(3), exec::Value::Null()});
+  exec::DataFrame frame = b.Frame();
+  auto stmt = ParseStatement("SELECT a FROM t WHERE x + 1 > y");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& where = *stmt->select->where;
+  auto bound = BoundExpr::Bind(where, frame.schema());
+  ASSERT_TRUE(bound.ok());
+  for (const exec::Row& row : frame.rows()) {
+    auto slow = EvaluateExpr(where, frame.schema(), row);
+    auto fast = bound->Eval(row);
+    ASSERT_EQ(slow.ok(), fast.ok());
+    if (slow.ok()) EXPECT_TRUE(slow->Equals(*fast));
+  }
+  // Binding against a schema missing a referenced column fails up front.
+  exec::Schema missing({{"x", exec::DataType::kInt}});
+  EXPECT_FALSE(BoundExpr::Bind(where, missing).ok());
+}
+
 // --- full stack: engine + JustQL ---
 
 class JustQLTest : public ::testing::Test {

@@ -4,7 +4,14 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/column_batch.h"
+#include "exec/dataframe.h"
+#include "exec/value.h"
 
 namespace just::testing {
 
@@ -28,6 +35,39 @@ class TempDir {
 
  private:
   std::filesystem::path path_;
+};
+
+/// Fluent schema+rows builder shared by the exec, sql, and parity tests.
+/// Renders the same data as a row-oriented DataFrame or as column batches,
+/// which is exactly what differential tests of the two execution paths need.
+class FrameBuilder {
+ public:
+  FrameBuilder& Col(std::string name, exec::DataType type) {
+    schema_->AddField({std::move(name), type});
+    return *this;
+  }
+
+  FrameBuilder& Row(exec::Row values) {
+    rows_.push_back(std::move(values));
+    return *this;
+  }
+
+  const std::shared_ptr<exec::Schema>& schema() const { return schema_; }
+
+  exec::DataFrame Frame() const {
+    exec::DataFrame df(schema_);
+    for (const auto& row : rows_) df.AddRow(row);
+    return df;
+  }
+
+  /// The same rows chunked into ColumnBatches (kBatchRows per batch).
+  exec::BatchVector Batches() const {
+    return exec::BatchesFromDataFrame(Frame());
+  }
+
+ private:
+  std::shared_ptr<exec::Schema> schema_ = std::make_shared<exec::Schema>();
+  std::vector<exec::Row> rows_;
 };
 
 }  // namespace just::testing
