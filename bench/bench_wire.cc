@@ -1,0 +1,184 @@
+// Loadgen for the wire protocol: an in-process RegionServer driven by
+// hundreds of concurrent client connections (benchmark's thread fan-out —
+// each bench thread owns one RegionClient, i.e. one TCP connection, which
+// is exactly the deployed shape: the server runs a thread per connection).
+//
+// Two questions this answers in CI logs:
+//  - throughput/latency of a Put/Get RPC at 64 and 256 connections;
+//  - that admission control degrades gracefully: with a deliberately tiny
+//    max_inflight the server sheds (kUnavailable) instead of queueing
+//    without bound, and the shed counters show up in the obs registry.
+//
+// Run: ./bench_wire [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bench_common.h"
+#include "net/region_client.h"
+#include "net/region_server.h"
+#include "obs/metrics.h"
+
+namespace just::bench {
+namespace {
+
+std::string WireBenchDir(const char* tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("just_bench_wire_" + std::to_string(::getpid())) / tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// One server per benchmark registration, torn down when the last thread
+/// leaves. Clients are thread-local: one connection per bench thread.
+class ServerFixture {
+ public:
+  explicit ServerFixture(const char* tag, int max_inflight = 256)
+      : tag_(tag), max_inflight_(max_inflight) {}
+
+  void ThreadSetUp() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (threads_++ == 0) {
+      net::RegionServerOptions opts;
+      opts.store.dir = WireBenchDir(tag_);
+      opts.store.sync_wal = false;
+      opts.max_inflight = max_inflight_;
+      auto server = net::RegionServer::Start(opts);
+      if (!server.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     server.status().ToString().c_str());
+        std::abort();
+      }
+      server_ = std::move(*server);
+    }
+  }
+
+  void ThreadTearDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--threads_ == 0) server_.reset();
+  }
+
+  int port() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return server_->port();
+  }
+
+  net::RegionServer* server() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return server_.get();
+  }
+
+ private:
+  const char* tag_;
+  int max_inflight_;
+  std::mutex mu_;
+  int threads_ = 0;
+  std::unique_ptr<net::RegionServer> server_;
+};
+
+std::string ThreadKey(int thread_index, uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t%03d/%012llu", thread_index,
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_WirePut(benchmark::State& state) {
+  static ServerFixture fixture("put");
+  fixture.ThreadSetUp();
+  {
+    net::RegionClientOptions copts;
+    copts.port = fixture.port();
+    net::RegionClient client(copts);
+    uint64_t i = 0;
+    uint64_t failures = 0;
+    std::string value(128, 'v');
+    for (auto _ : state) {
+      if (!client.Put(ThreadKey(state.thread_index(), i++), value).ok()) {
+        ++failures;
+      }
+    }
+    state.counters["fail"] =
+        benchmark::Counter(static_cast<double>(failures));
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+  }
+  fixture.ThreadTearDown();
+}
+BENCHMARK(BM_WirePut)->Threads(64)->Threads(256)->UseRealTime();
+
+void BM_WireGet(benchmark::State& state) {
+  static ServerFixture fixture("get");
+  fixture.ThreadSetUp();
+  {
+    net::RegionClientOptions copts;
+    copts.port = fixture.port();
+    net::RegionClient client(copts);
+    // Each thread reads back its own small working set.
+    constexpr uint64_t kKeys = 64;
+    std::string value(128, 'v');
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      (void)client.Put(ThreadKey(state.thread_index(), i), value);
+    }
+    uint64_t i = 0;
+    uint64_t failures = 0;
+    std::string v;
+    for (auto _ : state) {
+      if (!client.Get(ThreadKey(state.thread_index(), i++ % kKeys), &v)
+               .ok()) {
+        ++failures;
+      }
+    }
+    state.counters["fail"] =
+        benchmark::Counter(static_cast<double>(failures));
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+  }
+  fixture.ThreadTearDown();
+}
+BENCHMARK(BM_WireGet)->Threads(64)->Threads(256)->UseRealTime();
+
+/// Overload: 256 connections against max_inflight=4. The interesting
+/// numbers are the counters — shed_total climbing while every RPC still
+/// gets a prompt answer (shed responses are cheap, so items/s stays high).
+void BM_WireOverload(benchmark::State& state) {
+  static ServerFixture fixture("overload", /*max_inflight=*/4);
+  fixture.ThreadSetUp();
+  {
+    net::RegionClientOptions copts;
+    copts.port = fixture.port();
+    net::RegionClient client(copts);
+    uint64_t i = 0;
+    uint64_t shed = 0;
+    std::string value(128, 'v');
+    for (auto _ : state) {
+      Status st = client.Put(ThreadKey(state.thread_index(), i++), value);
+      if (st.IsUnavailable()) ++shed;
+    }
+    if (state.thread_index() == 0) {
+      state.counters["server_shed"] = benchmark::Counter(
+          static_cast<double>(fixture.server()->shed_total()));
+      state.counters["server_requests"] = benchmark::Counter(
+          static_cast<double>(fixture.server()->requests_total()));
+    }
+    state.counters["client_shed"] =
+        benchmark::Counter(static_cast<double>(shed));
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+  }
+  fixture.ThreadTearDown();
+}
+BENCHMARK(BM_WireOverload)->Threads(256)->UseRealTime();
+
+}  // namespace
+}  // namespace just::bench
+
+int main(int argc, char** argv) {
+  just::bench::RunBenchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,68 @@
+#ifndef JUST_CLUSTER_REGION_BACKEND_H_
+#define JUST_CLUSTER_REGION_BACKEND_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kvstore/lsm_store.h"
+
+namespace just::cluster {
+
+/// Stats one region server reports to the cluster aggregate.
+struct BackendStats {
+  uint64_t disk_bytes = 0;
+  uint64_t entries = 0;  ///< sstable + memtable entries
+  uint64_t num_sstables = 0;
+};
+
+/// One region server as the cluster sees it, independent of deployment:
+/// in-process (an owned LsmStore, the historical mode) or out-of-process
+/// (a socket client speaking the binary wire protocol to a
+/// `just_region_server`). RegionCluster's routing, retry, and scan-batching
+/// logic is written against this interface only, which is what lets
+/// tests/cluster_test.cc run the identical suite over both deployments.
+///
+/// Contract notes:
+///  - Transient failures (connection loss, shed-on-overload, timeouts)
+///    surface as IsTransient() statuses; the cluster retries with backoff.
+///  - Scan has LsmStore::Scan semantics: ordered [start, end), callback
+///    returns false to stop early. Implementations may page internally
+///    (the socket backend does, via the wire protocol's resume cursor);
+///    on failure, rows may already have been delivered — callers that
+///    retry must buffer per attempt, which RegionCluster does.
+class RegionBackend {
+ public:
+  virtual ~RegionBackend() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  virtual Status Delete(std::string_view key) = 0;
+  virtual Status Get(std::string_view key, std::string* value) = 0;
+  virtual Status WriteBatch(const std::vector<kv::WriteOp>& ops) = 0;
+  virtual Status Scan(
+      std::string_view start, std::string_view end,
+      const std::function<bool(std::string_view, std::string_view)>& fn) = 0;
+  virtual Status Flush() = 0;
+  virtual Status CompactAll() = 0;
+  virtual Status GetStats(BackendStats* stats) = 0;
+
+  /// "local:<dir>" or "socket:<host>:<port>" — for error messages.
+  virtual std::string name() const = 0;
+};
+
+/// Opens an in-process backend: an LsmStore owned by this process.
+Result<std::unique_ptr<RegionBackend>> OpenLocalBackend(
+    const kv::StoreOptions& options);
+
+/// Opens a socket backend for a running `just_region_server` at
+/// `addr` ("host:port"). Verifies liveness with a Ping (briefly retried so
+/// a just-spawned server can finish binding).
+Result<std::unique_ptr<RegionBackend>> OpenSocketBackend(
+    const std::string& addr, uint32_t scan_page_rows);
+
+}  // namespace just::cluster
+
+#endif  // JUST_CLUSTER_REGION_BACKEND_H_

@@ -27,6 +27,19 @@ bool SingleShardByte(std::string_view start, std::string_view end) {
 
 Result<std::unique_ptr<RegionCluster>> RegionCluster::Open(
     const ClusterOptions& options) {
+  if (!options.server_addrs.empty()) {
+    // Out-of-process deployment: one socket backend per running
+    // `just_region_server`; this process owns no stores.
+    auto cluster = std::unique_ptr<RegionCluster>(new RegionCluster(options));
+    for (const auto& addr : options.server_addrs) {
+      JUST_ASSIGN_OR_RETURN(
+          auto backend,
+          OpenSocketBackend(
+              addr, static_cast<uint32_t>(options.scan_batch_rows)));
+      cluster->servers_.push_back(std::move(backend));
+    }
+    return cluster;
+  }
   if (options.num_servers < 1) {
     return Status::InvalidArgument("cluster needs at least one server");
   }
@@ -34,8 +47,8 @@ Result<std::unique_ptr<RegionCluster>> RegionCluster::Open(
   for (int i = 0; i < options.num_servers; ++i) {
     kv::StoreOptions store_options = options.store;
     store_options.dir = options.dir + "/rs" + std::to_string(i);
-    JUST_ASSIGN_OR_RETURN(auto store, kv::LsmStore::Open(store_options));
-    cluster->servers_.push_back(std::move(store));
+    JUST_ASSIGN_OR_RETURN(auto backend, OpenLocalBackend(store_options));
+    cluster->servers_.push_back(std::move(backend));
   }
   return cluster;
 }
@@ -67,17 +80,17 @@ Status RegionCluster::WithRetry(const std::function<Status()>& op) const {
 }
 
 Status RegionCluster::Put(std::string_view key, std::string_view value) {
-  kv::LsmStore* server = servers_[ServerFor(key)].get();
+  RegionBackend* server = servers_[ServerFor(key)].get();
   return WithRetry([&] { return server->Put(key, value); });
 }
 
 Status RegionCluster::Delete(std::string_view key) {
-  kv::LsmStore* server = servers_[ServerFor(key)].get();
+  RegionBackend* server = servers_[ServerFor(key)].get();
   return WithRetry([&] { return server->Delete(key); });
 }
 
 Status RegionCluster::Get(std::string_view key, std::string* value) const {
-  kv::LsmStore* server = servers_[ServerFor(key)].get();
+  RegionBackend* server = servers_[ServerFor(key)].get();
   return WithRetry([&] { return server->Get(key, value); });
 }
 
@@ -93,7 +106,7 @@ Status RegionCluster::WriteBatch(std::vector<kv::WriteOp> ops) {
   if (busy_servers <= 1 || ops.size() < 64) {
     for (size_t s = 0; s < per_server.size(); ++s) {
       if (per_server[s].empty()) continue;
-      kv::LsmStore* server = servers_[s].get();
+      RegionBackend* server = servers_[s].get();
       JUST_RETURN_NOT_OK(
           WithRetry([&] { return server->WriteBatch(per_server[s]); }));
     }
@@ -104,7 +117,7 @@ Status RegionCluster::WriteBatch(std::vector<kv::WriteOp> ops) {
   std::mutex error_mu;
   DefaultPool().ParallelFor(per_server.size(), [&](size_t s) {
     if (per_server[s].empty()) return;
-    kv::LsmStore* server = servers_[s].get();
+    RegionBackend* server = servers_[s].get();
     Status st = WithRetry([&] { return server->WriteBatch(per_server[s]); });
     if (!st.ok()) {
       failed.store(true, std::memory_order_relaxed);
@@ -246,9 +259,10 @@ Status RegionCluster::CompactAll() {
 RegionCluster::Stats RegionCluster::GetStats() const {
   Stats stats;
   for (const auto& server : servers_) {
-    kv::LsmStore::Stats s = server->GetStats();
+    BackendStats s;
+    if (!server->GetStats(&s).ok()) continue;  // best-effort aggregate
     stats.disk_bytes += s.disk_bytes;
-    stats.entries += s.sstable_entries + s.memtable_entries;
+    stats.entries += s.entries;
     stats.num_sstables += s.num_sstables;
   }
   return stats;

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "cluster/region_backend.h"
 #include "curve/index_strategy.h"
 #include "kvstore/lsm_store.h"
 
@@ -19,23 +20,37 @@ struct ClusterOptions {
   std::string dir;       ///< one subdirectory per region server
   int num_servers = 5;   ///< the paper's 5-node cluster (Section VIII-A)
   kv::StoreOptions store;  ///< template for each server's store (dir ignored)
+  /// Out-of-process deployment: when non-empty, each entry is the
+  /// "host:port" of a running `just_region_server` process and the cluster
+  /// talks the binary wire protocol to it instead of opening local stores
+  /// (`dir`, `num_servers`, and `store` are then ignored — the server
+  /// processes own their stores). Order matters: entry i serves shard
+  /// bytes b with b % N == i, exactly like local server i would.
+  std::vector<std::string> server_addrs;
   /// Bounded retry for transient region-server failures (IOError /
-  /// Unavailable — HBase clients retry RPCs the same way). Corruption and
-  /// NotFound are never retried. 0 disables retries.
+  /// Unavailable — HBase clients retry RPCs the same way; a remote server
+  /// shedding load under overload surfaces as Unavailable too). Corruption
+  /// and NotFound are never retried. 0 disables retries.
   int max_retries = 2;
   /// Base backoff before the first retry; doubles per attempt.
   int retry_backoff_ms = 1;
   /// Scan() streams each server's range in batches of this many rows so
   /// early-stopping consumers never force a server to materialize its whole
-  /// range (each batch stays individually retry-safe).
+  /// range (each batch stays individually retry-safe). Socket backends also
+  /// use this as the wire page size.
   size_t scan_batch_rows = 512;
 };
 
-/// A simulated HBase cluster: `num_servers` region servers, each an LSM
-/// store. The shard byte that the indexing strategies prepend to every key
-/// (GeoMesa's random prefix) routes records to servers, achieving the load
-/// balance Section IV-A describes; SCANs over key ranges run in parallel
-/// across servers (Section IV-B, step 3).
+/// The HBase-cluster role: `num_servers` region servers, each one
+/// RegionBackend — an in-process LSM store (the historical single-binary
+/// mode) or a remote `just_region_server` process reached over the binary
+/// wire protocol (see ClusterOptions::server_addrs). The shard byte that
+/// the indexing strategies prepend to every key (GeoMesa's random prefix)
+/// routes records to servers, achieving the load balance Section IV-A
+/// describes; SCANs over key ranges run in parallel across servers
+/// (Section IV-B, step 3). All routing/retry/batching behaviour is
+/// identical across deployments — tests/cluster_test.cc runs the same
+/// suite against both.
 class RegionCluster {
  public:
   static Result<std::unique_ptr<RegionCluster>> Open(
@@ -99,7 +114,7 @@ class RegionCluster {
   Status WithRetry(const std::function<Status()>& op) const;
 
   ClusterOptions options_;
-  std::vector<std::unique_ptr<kv::LsmStore>> servers_;
+  std::vector<std::unique_ptr<RegionBackend>> servers_;
 };
 
 }  // namespace just::cluster

@@ -1,0 +1,242 @@
+#include "net/region_client.h"
+
+#include "obs/metrics.h"
+
+namespace just::net {
+
+namespace {
+
+obs::Counter* RpcCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_net_client_rpcs_total");
+  return c;
+}
+
+obs::Counter* ReconnectCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_net_client_reconnects_total");
+  return c;
+}
+
+obs::Counter* ErrorCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_net_client_rpc_errors_total");
+  return c;
+}
+
+}  // namespace
+
+Status RegionClient::EnsureConnected() {
+  if (sock_.valid()) return Status::OK();
+  JUST_ASSIGN_OR_RETURN(sock_, Connect(options_.host, options_.port));
+  ReconnectCounter()->Increment();
+  if (options_.io_timeout_ms > 0) {
+    JUST_RETURN_NOT_OK(sock_.SetRecvTimeout(options_.io_timeout_ms));
+    JUST_RETURN_NOT_OK(sock_.SetSendTimeout(options_.io_timeout_ms));
+  }
+  return Status::OK();
+}
+
+Status RegionClient::Fail(Status st) {
+  // The byte stream can no longer be trusted (timeout mid-frame, torn
+  // response, CRC mismatch): drop the connection so the next call redials,
+  // and surface the failure as transient for the caller's retry policy.
+  Disconnect();
+  ErrorCounter()->Increment();
+  if (st.IsTransient()) return st;
+  return Status::Unavailable("region server RPC failed: " + st.ToString());
+}
+
+Status RegionClient::RawSend(std::string_view frame) {
+  JUST_RETURN_NOT_OK(EnsureConnected());
+  Status st = sock_.WriteFully(frame.data(), frame.size());
+  if (!st.ok()) return Fail(st);
+  return Status::OK();
+}
+
+Status RegionClient::RawRecvPayload(std::string* payload) {
+  if (!sock_.valid()) return Status::Unavailable("not connected");
+  Status st = ReadFramePayload(sock_, payload, options_.max_frame_bytes);
+  if (!st.ok()) return Fail(st);
+  return Status::OK();
+}
+
+Status RegionClient::Call(const std::string& frame, uint64_t request_id,
+                          MsgType* type, std::string* payload,
+                          std::string_view* body) {
+  RpcCounter()->Increment();
+  JUST_RETURN_NOT_OK(RawSend(frame));
+  // Responses arrive in request order on this synchronous client, but a
+  // shed response can only ever match our own id (we pipeline nothing), so
+  // an id mismatch means a stale or misrouted frame: kill the connection.
+  JUST_RETURN_NOT_OK(RawRecvPayload(payload));
+  FrameHeader header;
+  Status st = ParsePayload(*payload, &header, body);
+  if (!st.ok()) return Fail(st);
+  if (header.request_id != request_id) {
+    return Fail(Status::Internal("response id mismatch"));
+  }
+  *type = header.type;
+  return Status::OK();
+}
+
+Status RegionClient::StatusCall(const std::string& frame,
+                                uint64_t request_id) {
+  MsgType type;
+  std::string payload;
+  std::string_view body;
+  JUST_RETURN_NOT_OK(Call(frame, request_id, &type, &payload, &body));
+  if (type != MsgType::kStatusResp) {
+    return Fail(Status::Internal("unexpected response type"));
+  }
+  StatusResponse resp;
+  Status st = DecodeStatusResponse(body, &resp);
+  if (!st.ok()) return Fail(st);
+  return resp.status;
+}
+
+Status RegionClient::Ping() {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  EncodePingRequest(id, &frame);
+  return StatusCall(frame, id);
+}
+
+Status RegionClient::Put(std::string_view key, std::string_view value) {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  EncodePutRequest({std::string(key), std::string(value)}, id, &frame);
+  return StatusCall(frame, id);
+}
+
+Status RegionClient::Delete(std::string_view key) {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  EncodeDeleteRequest({std::string(key)}, id, &frame);
+  return StatusCall(frame, id);
+}
+
+Status RegionClient::WriteBatch(const std::vector<kv::WriteOp>& ops) {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  WriteBatchRequest req;
+  req.ops = ops;
+  EncodeWriteBatchRequest(req, id, &frame);
+  return StatusCall(frame, id);
+}
+
+Status RegionClient::Flush() {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  EncodeEmptyRequest(MsgType::kFlushReq, id, &frame);
+  return StatusCall(frame, id);
+}
+
+Status RegionClient::CompactAll() {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  EncodeEmptyRequest(MsgType::kCompactReq, id, &frame);
+  return StatusCall(frame, id);
+}
+
+Status RegionClient::WaitForBackgroundIdle() {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  EncodeEmptyRequest(MsgType::kWaitIdleReq, id, &frame);
+  return StatusCall(frame, id);
+}
+
+Status RegionClient::Get(std::string_view key, std::string* value) {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  EncodeGetRequest({std::string(key)}, id, &frame);
+  MsgType type;
+  std::string payload;
+  std::string_view body;
+  JUST_RETURN_NOT_OK(Call(frame, id, &type, &payload, &body));
+  if (type == MsgType::kStatusResp) {
+    // Shed or rejected before execution: the body is a bare status.
+    StatusResponse resp;
+    Status st = DecodeStatusResponse(body, &resp);
+    if (!st.ok()) return Fail(st);
+    return resp.status.ok()
+               ? Status::Internal("status-only response to a Get")
+               : resp.status;
+  }
+  if (type != MsgType::kGetResp) {
+    return Fail(Status::Internal("unexpected response type"));
+  }
+  GetResponse resp;
+  Status st = DecodeGetResponse(body, &resp);
+  if (!st.ok()) return Fail(st);
+  if (resp.status.ok()) *value = std::move(resp.value);
+  return resp.status;
+}
+
+Status RegionClient::ScanPage(const ScanRequest& req, ScanResponse* resp) {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  EncodeScanRequest(req, id, &frame);
+  MsgType type;
+  std::string payload;
+  std::string_view body;
+  JUST_RETURN_NOT_OK(Call(frame, id, &type, &payload, &body));
+  if (type == MsgType::kStatusResp) {
+    StatusResponse sr;
+    Status st = DecodeStatusResponse(body, &sr);
+    if (!st.ok()) return Fail(st);
+    return sr.status.ok()
+               ? Status::Internal("status-only response to a Scan")
+               : sr.status;
+  }
+  if (type != MsgType::kScanResp) {
+    return Fail(Status::Internal("unexpected response type"));
+  }
+  Status st = DecodeScanResponse(body, resp);
+  if (!st.ok()) return Fail(st);
+  return resp->status;
+}
+
+Status RegionClient::GetStats(StatsResponse* resp) {
+  uint64_t id = NextRequestId();
+  std::string frame;
+  EncodeEmptyRequest(MsgType::kStatsReq, id, &frame);
+  MsgType type;
+  std::string payload;
+  std::string_view body;
+  JUST_RETURN_NOT_OK(Call(frame, id, &type, &payload, &body));
+  if (type == MsgType::kStatusResp) {
+    StatusResponse sr;
+    Status st = DecodeStatusResponse(body, &sr);
+    if (!st.ok()) return Fail(st);
+    return sr.status.ok()
+               ? Status::Internal("status-only response to a Stats")
+               : sr.status;
+  }
+  if (type != MsgType::kStatsResp) {
+    return Fail(Status::Internal("unexpected response type"));
+  }
+  Status st = DecodeStatsResponse(body, resp);
+  if (!st.ok()) return Fail(st);
+  return resp->status;
+}
+
+Status RegionClient::Scan(
+    std::string_view start, std::string_view end,
+    const std::function<bool(std::string_view, std::string_view)>& fn) {
+  ScanRequest req;
+  req.start_key = std::string(start);
+  req.end_key = std::string(end);
+  req.limit_rows = options_.scan_page_rows;
+  for (;;) {
+    ScanResponse resp;
+    JUST_RETURN_NOT_OK(ScanPage(req, &resp));
+    for (const auto& row : resp.rows) {
+      if (!fn(row.key, row.value)) return Status::OK();
+    }
+    if (!resp.has_more) return Status::OK();
+    req.start_key = resp.next_cursor;
+  }
+}
+
+}  // namespace just::net

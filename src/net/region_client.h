@@ -1,0 +1,98 @@
+#ifndef JUST_NET_REGION_CLIENT_H_
+#define JUST_NET_REGION_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kvstore/lsm_store.h"
+#include "net/socket.h"
+#include "net/wire_protocol.h"
+
+namespace just::net {
+
+struct RegionClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Bounds how long one RPC may block on the socket. A timeout surfaces as
+  /// kUnavailable and drops the connection (the stream is unsynced); the
+  /// next call reconnects. 0 = block forever.
+  int io_timeout_ms = 10000;
+  /// Page size for the paged Scan(); also sent as ScanRequest::limit_rows.
+  uint32_t scan_page_rows = 512;
+  size_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// Synchronous client stub for one region server. Every RPC is single-shot:
+/// connection failures, timeouts, and torn responses return kUnavailable
+/// (IsTransient), and retry policy stays with the caller — RegionCluster
+/// funnels these through its existing WithRetry path. Reconnection is
+/// lazy: a failed call marks the connection dead and the next call redials.
+///
+/// Not thread-safe: use one client per thread (connections are cheap; the
+/// server runs a thread per connection).
+class RegionClient {
+ public:
+  explicit RegionClient(RegionClientOptions options)
+      : options_(std::move(options)) {}
+
+  Status Ping();
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  /// NotFound when the key is absent (mirrors LsmStore::Get).
+  Status Get(std::string_view key, std::string* value);
+  Status WriteBatch(const std::vector<kv::WriteOp>& ops);
+
+  /// One page of a scan; resume by re-sending with
+  /// `req.start_key = resp->next_cursor` while `resp->has_more`.
+  Status ScanPage(const ScanRequest& req, ScanResponse* resp);
+
+  /// Paged scan over [start, end): streams pages of scan_page_rows through
+  /// `fn` (return false to stop early). No internal retry — a transient
+  /// page failure aborts the scan with that status, and rows already
+  /// delivered this call may be re-delivered by a caller-level retry
+  /// (RegionCluster buffers per attempt for exactly this reason).
+  Status Scan(std::string_view start, std::string_view end,
+              const std::function<bool(std::string_view, std::string_view)>&
+                  fn);
+
+  Status Flush();
+  Status CompactAll();
+  Status WaitForBackgroundIdle();
+  Status GetStats(StatsResponse* resp);
+
+  // --- Low-level access (pipelining tests and the loadgen bench) ---
+
+  /// Sends pre-encoded frame bytes without waiting for a response.
+  Status RawSend(std::string_view frame);
+  /// Reads one response payload (CRC-verified, header not yet parsed).
+  Status RawRecvPayload(std::string* payload);
+  uint64_t NextRequestId() { return ++last_request_id_; }
+
+  const RegionClientOptions& options() const { return options_; }
+  bool connected() const { return sock_.valid(); }
+  void Disconnect() { sock_.Close(); }
+  /// Dials if not connected (RPCs do this implicitly).
+  Status EnsureConnected();
+
+ private:
+  /// Sends `frame` and reads responses until one carries `request_id`;
+  /// returns its parsed header type + body via out-params. Any transport
+  /// failure disconnects and returns kUnavailable.
+  Status Call(const std::string& frame, uint64_t request_id, MsgType* type,
+              std::string* payload, std::string_view* body);
+  /// Shared epilogue for RPCs whose response is a bare StatusResponse.
+  Status StatusCall(const std::string& frame, uint64_t request_id);
+  Status Fail(Status st);
+
+  RegionClientOptions options_;
+  Socket sock_;
+  uint64_t last_request_id_ = 0;
+};
+
+}  // namespace just::net
+
+#endif  // JUST_NET_REGION_CLIENT_H_

@@ -1,0 +1,375 @@
+#include "net/region_server.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "kvstore/wal.h"
+
+namespace just::net {
+
+namespace {
+
+/// One decoded-enough request: the body is parsed by the worker so the
+/// reader stays on the wire (admission only needs the header).
+struct PendingRequest {
+  MsgType type;
+  uint64_t request_id;
+  std::string body;
+};
+
+}  // namespace
+
+struct RegionServer::Connection {
+  Socket sock;
+  std::mutex write_mu;  ///< serializes worker responses and reader sheds
+
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<PendingRequest> queue;
+  bool closed = false;
+
+  std::thread reader;
+  std::thread worker;
+  std::atomic<bool> finished{false};  ///< both threads are done; reapable
+};
+
+RegionServer::RegionServer(const RegionServerOptions& options)
+    : options_(options) {
+  auto& reg = obs::Registry::Global();
+  requests_counter_ = reg.GetCounter("just_net_server_requests_total");
+  shed_counter_ = reg.GetCounter("just_net_server_shed_total");
+  corrupt_counter_ = reg.GetCounter("just_net_server_corrupt_frames_total");
+  connections_counter_ = reg.GetCounter("just_net_server_connections_total");
+  active_conns_gauge_ = reg.GetGauge("just_net_server_active_connections");
+  inflight_gauge_ = reg.GetGauge("just_net_server_inflight_requests");
+  request_us_ = reg.GetHistogram("just_net_server_request_us");
+}
+
+Result<std::unique_ptr<RegionServer>> RegionServer::Start(
+    const RegionServerOptions& options) {
+  if (options.store.dir.empty()) {
+    return Status::InvalidArgument("region server needs store.dir");
+  }
+  auto server = std::unique_ptr<RegionServer>(new RegionServer(options));
+  JUST_ASSIGN_OR_RETURN(server->store_, kv::LsmStore::Open(options.store));
+  JUST_ASSIGN_OR_RETURN(server->listener_,
+                        Listener::Listen(options.host, options.port));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+RegionServer::~RegionServer() { Stop(); }
+
+void RegionServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Already stopped; wait for the first Stop() to have joined everything.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_.Close();  // wakes Accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    conn->sock.ShutdownBoth();
+    {
+      std::lock_guard<std::mutex> lock(conn->queue_mu);
+      conn->closed = true;
+    }
+    conn->queue_cv.notify_all();
+  }
+  for (auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->worker.joinable()) conn->worker.join();
+  }
+}
+
+void RegionServer::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      if ((*it)->worker.joinable()) (*it)->worker.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RegionServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener closed (Stop) or fatal
+    if (stopping_.load()) return;
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(*accepted);
+    connections_counter_->Increment();
+    active_connections_.fetch_add(1);
+    active_conns_gauge_->Add(1);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      ReapFinishedLocked();
+      conns_.push_back(conn);
+    }
+    conn->worker = std::thread([this, conn] { WorkerLoop(conn); });
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void RegionServer::SendFrame(Connection& conn, const std::string& frame) {
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  Status st = conn.sock.WriteFully(frame.data(), frame.size());
+  if (!st.ok()) {
+    // The peer is gone (or wedged past the send timeout): wake the reader
+    // so the whole connection unwinds.
+    conn.sock.ShutdownBoth();
+  }
+}
+
+void RegionServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    std::string payload;
+    Status st = ReadFramePayload(conn->sock, &payload,
+                                 options_.max_frame_bytes);
+    if (!st.ok()) {
+      // Oversized or CRC-corrupt frames leave the byte stream unsynced:
+      // count and drop the connection. Plain I/O errors / EOF just end it.
+      if (st.IsCorruption() || st.IsInvalidArgument()) {
+        corrupt_frames_total_.fetch_add(1);
+        corrupt_counter_->Increment();
+      }
+      break;
+    }
+    FrameHeader header;
+    std::string_view body;
+    st = ParsePayload(payload, &header, &body);
+    if (!st.ok() || !IsRequestType(header.type)) {
+      // Framing was intact (CRC passed), so the stream is still synced:
+      // answer with kInvalidArgument and keep serving. Without a parsable
+      // header the id is best-effort zero.
+      uint64_t id = payload.size() >= kPayloadHeaderBytes
+                        ? GetFixed64(payload.data() + 1)
+                        : 0;
+      std::string out;
+      EncodeStatusResponse(
+          {st.ok() ? Status::InvalidArgument("not a request type") : st}, id,
+          &out);
+      SendFrame(*conn, out);
+      continue;
+    }
+    requests_total_.fetch_add(1);
+    requests_counter_->Increment();
+
+    // Health checks and overload introspection bypass admission: they are
+    // how clients *observe* shedding, so they must not themselves shed.
+    bool exempt = header.type == MsgType::kPingReq ||
+                  header.type == MsgType::kStatsReq;
+    if (!exempt) {
+      bool shed = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->queue_mu);
+        if (static_cast<int>(conn->queue.size()) >= options_.max_pipeline) {
+          shed = true;  // per-connection pipeline queue full
+        }
+      }
+      if (!shed &&
+          inflight_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+        shed = true;  // server-wide admission cap
+      }
+      if (shed) {
+        shed_total_.fetch_add(1);
+        shed_counter_->Increment();
+        std::string out;
+        EncodeStatusResponse(
+            {Status::Unavailable("server overloaded: request shed")},
+            header.request_id, &out);
+        SendFrame(*conn, out);
+        continue;
+      }
+    }
+    inflight_.fetch_add(1);
+    inflight_gauge_->Add(1);
+    {
+      std::lock_guard<std::mutex> lock(conn->queue_mu);
+      if (conn->closed) {
+        inflight_.fetch_sub(1);
+        inflight_gauge_->Add(-1);
+        break;
+      }
+      conn->queue.push_back(
+          PendingRequest{header.type, header.request_id, std::string(body)});
+    }
+    conn->queue_cv.notify_one();
+  }
+  // Reader exit means the connection is done (EOF, I/O error, or an
+  // unsynced stream): send FIN now so the peer observes the close
+  // immediately — the fd itself lives until the Connection is reaped.
+  conn->sock.ShutdownBoth();
+  {
+    std::lock_guard<std::mutex> lock(conn->queue_mu);
+    conn->closed = true;
+  }
+  conn->queue_cv.notify_all();
+}
+
+void RegionServer::WorkerLoop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    PendingRequest req;
+    {
+      std::unique_lock<std::mutex> lock(conn->queue_mu);
+      conn->queue_cv.wait(lock,
+                          [&] { return conn->closed || !conn->queue.empty(); });
+      if (conn->queue.empty()) break;  // closed and drained
+      req = std::move(conn->queue.front());
+      conn->queue.pop_front();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::string out;
+    Execute(req.type, req.request_id, req.body, &out);
+    request_us_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    SendFrame(*conn, out);
+    inflight_.fetch_sub(1);
+    inflight_gauge_->Add(-1);
+  }
+  // Requests admitted but never executed still hold inflight slots.
+  {
+    std::lock_guard<std::mutex> lock(conn->queue_mu);
+    for (size_t i = 0; i < conn->queue.size(); ++i) {
+      inflight_.fetch_sub(1);
+      inflight_gauge_->Add(-1);
+    }
+    conn->queue.clear();
+  }
+  active_connections_.fetch_sub(1);
+  active_conns_gauge_->Add(-1);
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void RegionServer::HandleScan(const ScanRequest& req, ScanResponse* resp) {
+  const uint32_t limit = std::min(req.limit_rows, options_.scan_limit_clamp);
+  resp->rows.reserve(std::min<uint32_t>(limit, 1024));
+  resp->status = store_->Scan(
+      req.start_key, req.end_key,
+      [&](std::string_view key, std::string_view value) {
+        resp->rows.push_back(WireRow{std::string(key), std::string(value)});
+        return resp->rows.size() < limit;
+      });
+  if (resp->status.ok() && resp->rows.size() == limit) {
+    // The page filled: there may be more. The resume cursor is the smallest
+    // key strictly after the last delivered one, so a client can continue
+    // against a restarted server with no scan state held here.
+    resp->has_more = true;
+    resp->next_cursor = resp->rows.back().key + '\0';
+  }
+}
+
+StatsResponse RegionServer::BuildStats() {
+  StatsResponse resp;
+  kv::LsmStore::Stats s = store_->GetStats();
+  resp.disk_bytes = s.disk_bytes;
+  resp.entries = s.sstable_entries + s.memtable_entries;
+  resp.num_sstables = s.num_sstables;
+  resp.requests_total = requests_total_.load();
+  resp.shed_total = shed_total_.load();
+  resp.corrupt_frames_total = corrupt_frames_total_.load();
+  resp.active_connections =
+      static_cast<uint64_t>(std::max<int64_t>(0, active_connections_.load()));
+  return resp;
+}
+
+void RegionServer::Execute(MsgType type, uint64_t request_id,
+                           std::string_view body, std::string* out) {
+  switch (type) {
+    case MsgType::kPingReq: {
+      Status st = DecodeEmptyBody(body);
+      EncodeStatusResponse({st}, request_id, out);
+      return;
+    }
+    case MsgType::kGetReq: {
+      GetRequest req;
+      Status st = DecodeGetRequest(body, &req);
+      GetResponse resp;
+      resp.status = st.ok() ? store_->Get(req.key, &resp.value) : st;
+      EncodeGetResponse(resp, request_id, out);
+      return;
+    }
+    case MsgType::kPutReq: {
+      PutRequest req;
+      Status st = DecodePutRequest(body, &req);
+      if (st.ok()) st = store_->Put(req.key, req.value);
+      EncodeStatusResponse({st}, request_id, out);
+      return;
+    }
+    case MsgType::kDeleteReq: {
+      DeleteRequest req;
+      Status st = DecodeDeleteRequest(body, &req);
+      if (st.ok()) st = store_->Delete(req.key);
+      EncodeStatusResponse({st}, request_id, out);
+      return;
+    }
+    case MsgType::kWriteBatchReq: {
+      WriteBatchRequest req;
+      Status st = DecodeWriteBatchRequest(body, &req);
+      if (st.ok()) st = store_->WriteBatch(req.ops);
+      EncodeStatusResponse({st}, request_id, out);
+      return;
+    }
+    case MsgType::kScanReq: {
+      ScanRequest req;
+      Status st = DecodeScanRequest(body, &req);
+      ScanResponse resp;
+      if (st.ok()) {
+        HandleScan(req, &resp);
+      } else {
+        resp.status = st;
+      }
+      EncodeScanResponse(resp, request_id, out);
+      return;
+    }
+    case MsgType::kFlushReq: {
+      Status st = DecodeEmptyBody(body);
+      if (st.ok()) st = store_->Flush();
+      EncodeStatusResponse({st}, request_id, out);
+      return;
+    }
+    case MsgType::kCompactReq: {
+      Status st = DecodeEmptyBody(body);
+      if (st.ok()) st = store_->CompactAll();
+      EncodeStatusResponse({st}, request_id, out);
+      return;
+    }
+    case MsgType::kWaitIdleReq: {
+      Status st = DecodeEmptyBody(body);
+      if (st.ok()) st = store_->WaitForBackgroundIdle();
+      EncodeStatusResponse({st}, request_id, out);
+      return;
+    }
+    case MsgType::kStatsReq: {
+      Status st = DecodeEmptyBody(body);
+      StatsResponse resp;
+      if (st.ok()) {
+        resp = BuildStats();
+      } else {
+        resp.status = st;
+      }
+      EncodeStatsResponse(resp, request_id, out);
+      return;
+    }
+    default:
+      EncodeStatusResponse({Status::InvalidArgument("unhandled request type")},
+                           request_id, out);
+      return;
+  }
+}
+
+}  // namespace just::net

@@ -1,0 +1,128 @@
+#ifndef JUST_NET_REGION_SERVER_H_
+#define JUST_NET_REGION_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "kvstore/lsm_store.h"
+#include "net/socket.h"
+#include "net/wire_protocol.h"
+#include "obs/metrics.h"
+
+namespace just::net {
+
+struct RegionServerOptions {
+  kv::StoreOptions store;  ///< store.dir must be set
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; the bound port is port()
+
+  /// Admission control. A request is *shed* — answered immediately with
+  /// kUnavailable (transient, so clients retry with backoff) and never
+  /// executed — when either bound would be exceeded. Both queues are
+  /// bounded, so a flood of pipelined requests costs O(caps) memory, never
+  /// an OOM; 0 sheds everything (used by tests to pin the behaviour).
+  int max_inflight = 256;  ///< server-wide decoded-but-unfinished requests
+  int max_pipeline = 16;   ///< per-connection queued requests
+
+  size_t max_frame_bytes = kMaxFrameBytes;
+  /// Server-side clamp on ScanRequest::limit_rows: one scan page never
+  /// materializes more than this many rows regardless of what the client
+  /// asked for (backpressure for scans).
+  uint32_t scan_limit_clamp = 4096;
+};
+
+/// Out-of-process region server: owns one LsmStore and serves the binary
+/// wire protocol (see wire_protocol.h) over TCP with a thread-per-connection
+/// accept loop. Embeddable (bench/bench_wire.cc runs it in-process) and
+/// wrapped by the `just_region_server` binary for real deployments and the
+/// multi-process tests.
+///
+/// Connection model: each connection gets a reader thread (frame decode +
+/// admission) and a worker thread (execute + respond) joined by a bounded
+/// queue, so a client may pipeline requests; responses carry the request's
+/// id, so a shed response overtaking a queued request is unambiguous.
+/// kPingReq and kStatsReq bypass admission — health checks and overload
+/// introspection must keep working precisely when the server sheds.
+///
+/// Frames that fail CRC or exceed the size cap close the connection (the
+/// byte stream cannot be resynchronized); structurally malformed bodies
+/// behind a valid CRC get a kInvalidArgument response and the connection
+/// survives.
+class RegionServer {
+ public:
+  static Result<std::unique_ptr<RegionServer>> Start(
+      const RegionServerOptions& options);
+
+  ~RegionServer();
+
+  RegionServer(const RegionServer&) = delete;
+  RegionServer& operator=(const RegionServer&) = delete;
+
+  /// Stops accepting, wakes and joins every connection thread, then closes
+  /// the store. Idempotent.
+  void Stop();
+
+  int port() const { return listener_.port(); }
+  kv::LsmStore* store() const { return store_.get(); }
+
+  uint64_t requests_total() const { return requests_total_.load(); }
+  uint64_t shed_total() const { return shed_total_.load(); }
+  uint64_t corrupt_frames_total() const { return corrupt_frames_total_.load(); }
+  int64_t active_connections() const { return active_connections_.load(); }
+
+ private:
+  struct Connection;
+
+  explicit RegionServer(const RegionServerOptions& options);
+
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  void WorkerLoop(const std::shared_ptr<Connection>& conn);
+  /// Reaps connections whose threads have finished (called from the accept
+  /// loop so long-lived servers do not accumulate dead Connection objects).
+  void ReapFinishedLocked();
+
+  /// Executes one admitted request and appends the response frame to `out`.
+  void Execute(MsgType type, uint64_t request_id, std::string_view body,
+               std::string* out);
+  void HandleScan(const ScanRequest& req, ScanResponse* resp);
+  StatsResponse BuildStats();
+
+  /// Writes a frame under the connection's write lock; on failure shuts the
+  /// socket down so both threads unwind.
+  void SendFrame(Connection& conn, const std::string& frame);
+
+  RegionServerOptions options_;
+  std::unique_ptr<kv::LsmStore> store_;
+  Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  // Per-server counters (also mirrored into obs::Registry as
+  // just_net_server_*): the wire StatsResponse reports these so a remote
+  // client can observe shedding without scraping this process.
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> shed_total_{0};
+  std::atomic<uint64_t> corrupt_frames_total_{0};
+  std::atomic<int64_t> active_connections_{0};
+  std::atomic<int64_t> inflight_{0};
+
+  obs::Counter* requests_counter_;
+  obs::Counter* shed_counter_;
+  obs::Counter* corrupt_counter_;
+  obs::Counter* connections_counter_;
+  obs::Gauge* active_conns_gauge_;
+  obs::Gauge* inflight_gauge_;
+  obs::Histogram* request_us_;
+};
+
+}  // namespace just::net
+
+#endif  // JUST_NET_REGION_SERVER_H_

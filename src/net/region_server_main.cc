@@ -1,0 +1,123 @@
+// just_region_server — standalone out-of-process region server.
+//
+// Serves the binary wire protocol (src/net/wire_protocol.h) over TCP on top
+// of one LsmStore. Spawned by the multi-process tests (tests/net_harness.h)
+// and usable directly:
+//
+//   just_region_server --dir /data/rs0 --port 4700 --sync-wal 1
+//
+// With --port 0 the kernel picks an ephemeral port; --port-file writes the
+// bound port (atomically: tmp + rename) so a spawner can discover it.
+// SIGTERM/SIGINT stop the server cleanly; acknowledged writes survive
+// SIGKILL via the store's WAL (run with --sync-wal 1 for that guarantee).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "kvstore/lsm_store.h"
+#include "net/region_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --dir DIR [--host H] [--port P] [--port-file FILE]\n"
+      "          [--max-inflight N] [--max-pipeline N] [--sync-wal 0|1]\n"
+      "          [--memtable-bytes N] [--compaction-trigger N]\n",
+      argv0);
+}
+
+bool WritePortFile(const std::string& path, int port) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%d\n", port);
+  std::fflush(f);
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  just::net::RegionServerOptions options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dir") {
+      options.store.dir = next();
+    } else if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = std::atoi(next());
+    } else if (arg == "--port-file") {
+      port_file = next();
+    } else if (arg == "--max-inflight") {
+      options.max_inflight = std::atoi(next());
+    } else if (arg == "--max-pipeline") {
+      options.max_pipeline = std::atoi(next());
+    } else if (arg == "--sync-wal") {
+      options.store.sync_wal = std::atoi(next()) != 0;
+    } else if (arg == "--memtable-bytes") {
+      options.store.memtable_bytes =
+          static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--compaction-trigger") {
+      options.store.compaction_trigger = std::atoi(next());
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.store.dir.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto server = just::net::RegionServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "just_region_server: start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  if (!port_file.empty() &&
+      !WritePortFile(port_file, (*server)->port())) {
+    std::fprintf(stderr, "just_region_server: cannot write port file %s\n",
+                 port_file.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "just_region_server: serving %s on %s:%d\n",
+               options.store.dir.c_str(), options.host.c_str(),
+               (*server)->port());
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*server)->Stop();
+  return 0;
+}

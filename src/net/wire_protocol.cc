@@ -1,0 +1,379 @@
+#include "net/wire_protocol.h"
+
+#include "common/bytes.h"
+#include "kvstore/wal.h"  // kv::Crc32
+#include "net/socket.h"
+
+namespace just::net {
+
+namespace {
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed message: ") + what);
+}
+
+/// Rebuilds a Status from its wire code. The code has already been
+/// range-checked by DecodeStatus.
+Status StatusFromCode(StatusCode code, std::string msg) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(msg));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case StatusCode::kPermissionDenied:
+      return Status::PermissionDenied(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(msg));
+  }
+  return Status::Internal("unreachable status code");
+}
+
+/// Starts a payload: type byte + request id. Body bytes append after.
+void BeginPayload(MsgType type, uint64_t request_id, std::string* payload) {
+  payload->push_back(static_cast<char>(type));
+  PutFixed64(payload, request_id);
+}
+
+/// Wraps a finished payload into a frame appended to `dst`.
+void FinishFrame(const std::string& payload, std::string* dst) {
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, kv::Crc32(payload));
+  dst->append(payload);
+}
+
+bool GetString(const char** p, const char* limit, std::string* out) {
+  std::string_view sv;
+  if (!GetLengthPrefixed(p, limit, &sv)) return false;
+  out->assign(sv.data(), sv.size());
+  return true;
+}
+
+Status ExpectEnd(const char* p, const char* limit) {
+  if (p != limit) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsRequestType(MsgType t) {
+  return t >= MsgType::kPingReq && t <= MsgType::kWaitIdleReq;
+}
+
+bool IsKnownType(uint8_t t) {
+  auto m = static_cast<MsgType>(t);
+  return IsRequestType(m) ||
+         (m >= MsgType::kStatusResp && m <= MsgType::kStatsResp);
+}
+
+void EncodeStatus(const Status& st, std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(st.code()));
+  PutLengthPrefixed(dst, st.message());
+}
+
+Status DecodeStatus(const char** p, const char* limit, Status* st) {
+  uint32_t code = 0;
+  if (!GetVarint32(p, limit, &code)) return Malformed("status code");
+  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Malformed("status code out of range");
+  }
+  std::string msg;
+  if (!GetString(p, limit, &msg)) return Malformed("status message");
+  *st = StatusFromCode(static_cast<StatusCode>(code), std::move(msg));
+  return Status::OK();
+}
+
+// --- Requests ----------------------------------------------------------
+
+void EncodePingRequest(uint64_t request_id, std::string* dst) {
+  EncodeEmptyRequest(MsgType::kPingReq, request_id, dst);
+}
+
+void EncodeEmptyRequest(MsgType type, uint64_t request_id, std::string* dst) {
+  std::string payload;
+  BeginPayload(type, request_id, &payload);
+  FinishFrame(payload, dst);
+}
+
+void EncodeGetRequest(const GetRequest& req, uint64_t request_id,
+                      std::string* dst) {
+  std::string payload;
+  BeginPayload(MsgType::kGetReq, request_id, &payload);
+  PutLengthPrefixed(&payload, req.key);
+  FinishFrame(payload, dst);
+}
+
+void EncodePutRequest(const PutRequest& req, uint64_t request_id,
+                      std::string* dst) {
+  std::string payload;
+  BeginPayload(MsgType::kPutReq, request_id, &payload);
+  PutLengthPrefixed(&payload, req.key);
+  PutLengthPrefixed(&payload, req.value);
+  FinishFrame(payload, dst);
+}
+
+void EncodeDeleteRequest(const DeleteRequest& req, uint64_t request_id,
+                         std::string* dst) {
+  std::string payload;
+  BeginPayload(MsgType::kDeleteReq, request_id, &payload);
+  PutLengthPrefixed(&payload, req.key);
+  FinishFrame(payload, dst);
+}
+
+void EncodeWriteBatchRequest(const WriteBatchRequest& req, uint64_t request_id,
+                             std::string* dst) {
+  std::string payload;
+  BeginPayload(MsgType::kWriteBatchReq, request_id, &payload);
+  PutVarint32(&payload, static_cast<uint32_t>(req.ops.size()));
+  for (const auto& op : req.ops) {
+    payload.push_back(op.is_delete ? 1 : 0);
+    PutLengthPrefixed(&payload, op.key);
+    if (!op.is_delete) PutLengthPrefixed(&payload, op.value);
+  }
+  FinishFrame(payload, dst);
+}
+
+void EncodeScanRequest(const ScanRequest& req, uint64_t request_id,
+                       std::string* dst) {
+  std::string payload;
+  BeginPayload(MsgType::kScanReq, request_id, &payload);
+  PutLengthPrefixed(&payload, req.start_key);
+  PutLengthPrefixed(&payload, req.end_key);
+  PutVarint32(&payload, req.limit_rows);
+  FinishFrame(payload, dst);
+}
+
+Status DecodeGetRequest(std::string_view body, GetRequest* req) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  if (!GetString(&p, limit, &req->key)) return Malformed("get key");
+  return ExpectEnd(p, limit);
+}
+
+Status DecodePutRequest(std::string_view body, PutRequest* req) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  if (!GetString(&p, limit, &req->key)) return Malformed("put key");
+  if (!GetString(&p, limit, &req->value)) return Malformed("put value");
+  return ExpectEnd(p, limit);
+}
+
+Status DecodeDeleteRequest(std::string_view body, DeleteRequest* req) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  if (!GetString(&p, limit, &req->key)) return Malformed("delete key");
+  return ExpectEnd(p, limit);
+}
+
+Status DecodeWriteBatchRequest(std::string_view body, WriteBatchRequest* req) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  uint32_t count = 0;
+  if (!GetVarint32(&p, limit, &count)) return Malformed("batch count");
+  // An op takes at least 2 bytes on the wire; a count promising more ops
+  // than the body could possibly hold is rejected before reserving memory.
+  if (count > body.size() / 2 + 1) return Malformed("batch count too large");
+  req->ops.clear();
+  req->ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (p >= limit) return Malformed("batch op truncated");
+    uint8_t tag = static_cast<uint8_t>(*p++);
+    if (tag > 1) return Malformed("batch op tag");
+    kv::WriteOp op;
+    op.is_delete = tag == 1;
+    if (!GetString(&p, limit, &op.key)) return Malformed("batch op key");
+    if (!op.is_delete && !GetString(&p, limit, &op.value)) {
+      return Malformed("batch op value");
+    }
+    req->ops.push_back(std::move(op));
+  }
+  return ExpectEnd(p, limit);
+}
+
+Status DecodeScanRequest(std::string_view body, ScanRequest* req) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  if (!GetString(&p, limit, &req->start_key)) return Malformed("scan start");
+  if (!GetString(&p, limit, &req->end_key)) return Malformed("scan end");
+  if (!GetVarint32(&p, limit, &req->limit_rows)) return Malformed("scan limit");
+  if (req->limit_rows == 0) return Malformed("scan limit zero");
+  return ExpectEnd(p, limit);
+}
+
+Status DecodeEmptyBody(std::string_view body) {
+  if (!body.empty()) return Malformed("unexpected body");
+  return Status::OK();
+}
+
+// --- Responses ---------------------------------------------------------
+
+void EncodeStatusResponse(const StatusResponse& resp, uint64_t request_id,
+                          std::string* dst) {
+  std::string payload;
+  BeginPayload(MsgType::kStatusResp, request_id, &payload);
+  EncodeStatus(resp.status, &payload);
+  FinishFrame(payload, dst);
+}
+
+void EncodeGetResponse(const GetResponse& resp, uint64_t request_id,
+                       std::string* dst) {
+  std::string payload;
+  BeginPayload(MsgType::kGetResp, request_id, &payload);
+  EncodeStatus(resp.status, &payload);
+  PutLengthPrefixed(&payload, resp.value);
+  FinishFrame(payload, dst);
+}
+
+void EncodeScanResponse(const ScanResponse& resp, uint64_t request_id,
+                        std::string* dst) {
+  std::string payload;
+  BeginPayload(MsgType::kScanResp, request_id, &payload);
+  EncodeStatus(resp.status, &payload);
+  PutVarint32(&payload, static_cast<uint32_t>(resp.rows.size()));
+  for (const auto& row : resp.rows) {
+    PutLengthPrefixed(&payload, row.key);
+    PutLengthPrefixed(&payload, row.value);
+  }
+  payload.push_back(resp.has_more ? 1 : 0);
+  PutLengthPrefixed(&payload, resp.next_cursor);
+  FinishFrame(payload, dst);
+}
+
+void EncodeStatsResponse(const StatsResponse& resp, uint64_t request_id,
+                         std::string* dst) {
+  std::string payload;
+  BeginPayload(MsgType::kStatsResp, request_id, &payload);
+  EncodeStatus(resp.status, &payload);
+  PutFixed64(&payload, resp.disk_bytes);
+  PutFixed64(&payload, resp.entries);
+  PutFixed64(&payload, resp.num_sstables);
+  PutFixed64(&payload, resp.requests_total);
+  PutFixed64(&payload, resp.shed_total);
+  PutFixed64(&payload, resp.corrupt_frames_total);
+  PutFixed64(&payload, resp.active_connections);
+  FinishFrame(payload, dst);
+}
+
+Status DecodeStatusResponse(std::string_view body, StatusResponse* resp) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  JUST_RETURN_NOT_OK(DecodeStatus(&p, limit, &resp->status));
+  return ExpectEnd(p, limit);
+}
+
+Status DecodeGetResponse(std::string_view body, GetResponse* resp) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  JUST_RETURN_NOT_OK(DecodeStatus(&p, limit, &resp->status));
+  if (!GetString(&p, limit, &resp->value)) return Malformed("get value");
+  return ExpectEnd(p, limit);
+}
+
+Status DecodeScanResponse(std::string_view body, ScanResponse* resp) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  JUST_RETURN_NOT_OK(DecodeStatus(&p, limit, &resp->status));
+  uint32_t count = 0;
+  if (!GetVarint32(&p, limit, &count)) return Malformed("scan row count");
+  if (count > body.size() / 2 + 1) return Malformed("scan row count too large");
+  resp->rows.clear();
+  resp->rows.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireRow row;
+    if (!GetString(&p, limit, &row.key)) return Malformed("scan row key");
+    if (!GetString(&p, limit, &row.value)) return Malformed("scan row value");
+    resp->rows.push_back(std::move(row));
+  }
+  if (p >= limit) return Malformed("scan has_more");
+  uint8_t has_more = static_cast<uint8_t>(*p++);
+  if (has_more > 1) return Malformed("scan has_more flag");
+  resp->has_more = has_more == 1;
+  if (!GetString(&p, limit, &resp->next_cursor)) return Malformed("scan cursor");
+  return ExpectEnd(p, limit);
+}
+
+Status DecodeStatsResponse(std::string_view body, StatsResponse* resp) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  JUST_RETURN_NOT_OK(DecodeStatus(&p, limit, &resp->status));
+  if (limit - p != 7 * 8) return Malformed("stats body size");
+  resp->disk_bytes = GetFixed64(p);
+  resp->entries = GetFixed64(p + 8);
+  resp->num_sstables = GetFixed64(p + 16);
+  resp->requests_total = GetFixed64(p + 24);
+  resp->shed_total = GetFixed64(p + 32);
+  resp->corrupt_frames_total = GetFixed64(p + 40);
+  resp->active_connections = GetFixed64(p + 48);
+  return Status::OK();
+}
+
+// --- Framing -----------------------------------------------------------
+
+Status DecodeFrame(std::string_view frame, std::string_view* payload,
+                   size_t max_frame_bytes) {
+  if (frame.size() < kFrameHeaderBytes) {
+    return Status::Corruption("truncated frame header");
+  }
+  uint32_t len = GetFixed32(frame.data());
+  uint32_t crc = GetFixed32(frame.data() + 4);
+  if (len > max_frame_bytes) {
+    return Status::InvalidArgument("frame exceeds maximum size");
+  }
+  if (frame.size() - kFrameHeaderBytes < len) {
+    return Status::Corruption("truncated frame payload");
+  }
+  std::string_view body(frame.data() + kFrameHeaderBytes, len);
+  if (kv::Crc32(body) != crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  *payload = body;
+  return Status::OK();
+}
+
+Status ReadFramePayload(Socket& sock, std::string* payload,
+                        size_t max_frame_bytes) {
+  char header[kFrameHeaderBytes];
+  JUST_RETURN_NOT_OK(sock.ReadFully(header, sizeof(header)));
+  uint32_t len = GetFixed32(header);
+  uint32_t crc = GetFixed32(header + 4);
+  if (len > max_frame_bytes) {
+    return Status::InvalidArgument("frame exceeds maximum size");
+  }
+  payload->resize(len);
+  if (len > 0) JUST_RETURN_NOT_OK(sock.ReadFully(payload->data(), len));
+  if (kv::Crc32(*payload) != crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  return Status::OK();
+}
+
+Status ParsePayload(std::string_view payload, FrameHeader* header,
+                    std::string_view* body) {
+  if (payload.size() < kPayloadHeaderBytes) {
+    return Status::InvalidArgument("payload too short for header");
+  }
+  uint8_t type = static_cast<uint8_t>(payload[0]);
+  if (!IsKnownType(type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(type));
+  }
+  header->type = static_cast<MsgType>(type);
+  header->request_id = GetFixed64(payload.data() + 1);
+  *body = payload.substr(kPayloadHeaderBytes);
+  return Status::OK();
+}
+
+}  // namespace just::net

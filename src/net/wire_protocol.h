@@ -1,0 +1,206 @@
+#ifndef JUST_NET_WIRE_PROTOCOL_H_
+#define JUST_NET_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "kvstore/lsm_store.h"
+
+namespace just::net {
+
+/// Binary wire protocol between the region-server client stub and
+/// `just_region_server` (docs/ARCHITECTURE.md "Wire protocol" has the
+/// rationale; the frame layout is normative here).
+///
+/// Frame:
+///   [payload_len: fixed32 LE]   bytes of payload (excludes the 8B header)
+///   [crc32:       fixed32 LE]   CRC-32 (ISO-HDLC, kv::Crc32) of payload
+///   [payload]
+/// Payload:
+///   [msg_type:    u8]
+///   [request_id:  fixed64 LE]   echoed verbatim in the response
+///   [body]                      per-message encoding, see Encode*/Decode*
+///
+/// Safety contract (enforced by the fuzz tests): decoding arbitrary bytes
+/// never crashes, never reads past the given buffer, and returns
+///   - kInvalidArgument for frames larger than the negotiated maximum or
+///     bodies that are structurally malformed *after* the CRC matched
+///     (a buggy peer, not line noise), and
+///   - kCorruption for truncated frames or CRC mismatches (torn or
+///     bit-flipped bytes — the stream can no longer be trusted).
+///
+/// Requests a server cannot parse past the header still get a response
+/// (kInvalidArgument, same request_id); frames failing CRC close the
+/// connection, since resynchronizing an untrusted byte stream is hopeless.
+
+/// Frame payloads larger than this are rejected before allocation.
+constexpr size_t kMaxFrameBytes = 32u << 20;
+/// Fixed bytes in front of every payload: length + CRC.
+constexpr size_t kFrameHeaderBytes = 8;
+/// Payload bytes before the body: type + request id.
+constexpr size_t kPayloadHeaderBytes = 9;
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kPingReq = 1,
+  kGetReq = 2,
+  kPutReq = 3,
+  kDeleteReq = 4,
+  kWriteBatchReq = 5,
+  kScanReq = 6,
+  kFlushReq = 7,
+  kCompactReq = 8,
+  kStatsReq = 9,
+  kWaitIdleReq = 10,
+  // Responses.
+  kStatusResp = 32,  ///< status only: ping/put/delete/batch/flush/compact/idle
+  kGetResp = 33,
+  kScanResp = 34,
+  kStatsResp = 35,
+};
+
+/// True for the types a client may send.
+bool IsRequestType(MsgType t);
+/// True for any known type (request or response).
+bool IsKnownType(uint8_t t);
+
+struct FrameHeader {
+  MsgType type = MsgType::kPingReq;
+  uint64_t request_id = 0;
+};
+
+// --- Message structs ---------------------------------------------------
+
+struct GetRequest {
+  std::string key;
+};
+
+struct PutRequest {
+  std::string key;
+  std::string value;
+};
+
+struct DeleteRequest {
+  std::string key;
+};
+
+struct WriteBatchRequest {
+  std::vector<kv::WriteOp> ops;
+};
+
+/// One page of a scan. The cursor protocol: a response with
+/// `has_more == true` carries `next_cursor`; the client resumes by sending
+/// a new ScanRequest with `start_key = next_cursor` (the server holds no
+/// per-scan state, so a resumed scan survives server restarts and
+/// connection loss — the basis of the kill-mid-scan tests).
+struct ScanRequest {
+  std::string start_key;
+  std::string end_key;    ///< exclusive; empty = to the last key
+  uint32_t limit_rows = 512;
+};
+
+struct WireRow {
+  std::string key;
+  std::string value;
+};
+
+struct ScanResponse {
+  Status status;
+  std::vector<WireRow> rows;
+  bool has_more = false;
+  std::string next_cursor;  ///< valid iff has_more
+};
+
+struct StatusResponse {
+  Status status;
+};
+
+struct GetResponse {
+  Status status;  ///< NotFound when the key is absent
+  std::string value;
+};
+
+/// Store structure plus the server-side admission/overload counters, so a
+/// client (or test) can observe shedding without scraping the remote
+/// process's metrics endpoint.
+struct StatsResponse {
+  Status status;
+  uint64_t disk_bytes = 0;
+  uint64_t entries = 0;
+  uint64_t num_sstables = 0;
+  uint64_t requests_total = 0;
+  uint64_t shed_total = 0;
+  uint64_t corrupt_frames_total = 0;
+  uint64_t active_connections = 0;
+};
+
+// --- Encoding ----------------------------------------------------------
+// Encode* append one complete frame (header + CRC + payload) to `dst`.
+
+void EncodePingRequest(uint64_t request_id, std::string* dst);
+void EncodeGetRequest(const GetRequest& req, uint64_t request_id,
+                      std::string* dst);
+void EncodePutRequest(const PutRequest& req, uint64_t request_id,
+                      std::string* dst);
+void EncodeDeleteRequest(const DeleteRequest& req, uint64_t request_id,
+                         std::string* dst);
+void EncodeWriteBatchRequest(const WriteBatchRequest& req, uint64_t request_id,
+                             std::string* dst);
+void EncodeScanRequest(const ScanRequest& req, uint64_t request_id,
+                       std::string* dst);
+void EncodeEmptyRequest(MsgType type, uint64_t request_id, std::string* dst);
+
+void EncodeStatusResponse(const StatusResponse& resp, uint64_t request_id,
+                          std::string* dst);
+void EncodeGetResponse(const GetResponse& resp, uint64_t request_id,
+                       std::string* dst);
+void EncodeScanResponse(const ScanResponse& resp, uint64_t request_id,
+                        std::string* dst);
+void EncodeStatsResponse(const StatsResponse& resp, uint64_t request_id,
+                         std::string* dst);
+
+// --- Decoding ----------------------------------------------------------
+
+/// Splits a complete frame into its CRC-verified payload. `frame` must hold
+/// exactly one frame (header + payload). Returns kCorruption on truncation
+/// or CRC mismatch, kInvalidArgument on an oversized declared length.
+Status DecodeFrame(std::string_view frame, std::string_view* payload,
+                   size_t max_frame_bytes = kMaxFrameBytes);
+
+/// Parses the payload header; `body` receives the remaining bytes.
+/// Unknown message types return kInvalidArgument.
+Status ParsePayload(std::string_view payload, FrameHeader* header,
+                    std::string_view* body);
+
+Status DecodeGetRequest(std::string_view body, GetRequest* req);
+Status DecodePutRequest(std::string_view body, PutRequest* req);
+Status DecodeDeleteRequest(std::string_view body, DeleteRequest* req);
+Status DecodeWriteBatchRequest(std::string_view body, WriteBatchRequest* req);
+Status DecodeScanRequest(std::string_view body, ScanRequest* req);
+Status DecodeEmptyBody(std::string_view body);
+
+Status DecodeStatusResponse(std::string_view body, StatusResponse* resp);
+Status DecodeGetResponse(std::string_view body, GetResponse* resp);
+Status DecodeScanResponse(std::string_view body, ScanResponse* resp);
+Status DecodeStatsResponse(std::string_view body, StatsResponse* resp);
+
+/// Status over the wire: varint code + length-prefixed message. Decoding
+/// validates the code range.
+void EncodeStatus(const Status& st, std::string* dst);
+Status DecodeStatus(const char** p, const char* limit, Status* st);
+
+class Socket;
+
+/// Reads one frame off a socket and returns its CRC-verified payload:
+/// kUnavailable for I/O failures (EOF, timeout, reset), kInvalidArgument
+/// for an oversized declared length, kCorruption for a CRC mismatch. After
+/// a non-OK return the stream is unsynced and must be closed.
+Status ReadFramePayload(Socket& sock, std::string* payload,
+                        size_t max_frame_bytes = kMaxFrameBytes);
+
+}  // namespace just::net
+
+#endif  // JUST_NET_WIRE_PROTOCOL_H_

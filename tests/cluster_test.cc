@@ -1,33 +1,72 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "cluster/region_cluster.h"
 #include "common/bytes.h"
+#include "net_harness.h"
 #include "test_util.h"
 
 namespace just::cluster {
 namespace {
 
+using just::testing::ServerProcess;
 using just::testing::TempDir;
-
-ClusterOptions SmallCluster(const std::string& dir, int servers = 3) {
-  ClusterOptions opts;
-  opts.dir = dir;
-  opts.num_servers = servers;
-  opts.store.memtable_bytes = 32 << 10;
-  return opts;
-}
 
 std::string ShardKey(int shard, const std::string& rest) {
   std::string key(1, static_cast<char>(shard));
   return key + rest;
 }
 
-TEST(RegionClusterTest, RoutesByShardByte) {
-  TempDir dir("cluster_route");
-  auto cluster = RegionCluster::Open(SmallCluster(dir.path()));
-  ASSERT_TRUE(cluster.ok());
+/// Runs the whole suite against both deployments of the cluster:
+///  - "inproc": every region server is an LSM store in this process (the
+///    historical single-binary mode);
+///  - "socket": every region server is a real spawned `just_region_server`
+///    process reached over the wire protocol.
+/// Identical behaviour across the two is the point of the RegionBackend
+/// seam, so the assertions are byte-for-byte the same.
+class RegionClusterTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  Result<std::unique_ptr<RegionCluster>> OpenCluster(int num_servers = 3) {
+    dir_ = std::make_unique<TempDir>("cluster_" + GetParam());
+    ClusterOptions opts;
+    opts.dir = dir_->path();
+    opts.num_servers = num_servers;
+    opts.store.memtable_bytes = 32 << 10;
+    if (GetParam() == "socket") {
+      for (int i = 0; i < num_servers; ++i) {
+        ServerProcess::Options po;
+        po.dir = dir_->path() + "/rs" + std::to_string(i);
+        std::filesystem::create_directories(po.dir);
+        // No crash tests here, so skip the per-commit fsync; keep the tiny
+        // memtable so flush/compaction paths run just like inproc.
+        po.sync_wal = false;
+        po.memtable_bytes = 32 << 10;
+        auto server = std::make_unique<ServerProcess>(po);
+        if (!server->Start()) {
+          return Status::Internal("failed to start region server process");
+        }
+        opts.server_addrs.push_back(server->addr());
+        servers_.push_back(std::move(server));
+      }
+    }
+    return RegionCluster::Open(opts);
+  }
+
+  void TearDown() override {
+    for (auto& server : servers_) server->Terminate();
+    servers_.clear();
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::vector<std::unique_ptr<ServerProcess>> servers_;
+};
+
+TEST_P(RegionClusterTest, RoutesByShardByte) {
+  auto cluster = OpenCluster();
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
   for (int shard = 0; shard < 8; ++shard) {
     ASSERT_TRUE(
         (*cluster)->Put(ShardKey(shard, "key"), "v" + std::to_string(shard))
@@ -40,10 +79,9 @@ TEST(RegionClusterTest, RoutesByShardByte) {
   }
 }
 
-TEST(RegionClusterTest, ParallelScanHonorsRangeBounds) {
-  TempDir dir("cluster_scan");
-  auto cluster = RegionCluster::Open(SmallCluster(dir.path()));
-  ASSERT_TRUE(cluster.ok());
+TEST_P(RegionClusterTest, ParallelScanHonorsRangeBounds) {
+  auto cluster = OpenCluster();
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
   // Shard 1: keys 000..099.
   for (int i = 0; i < 100; ++i) {
     char buf[8];
@@ -64,10 +102,9 @@ TEST(RegionClusterTest, ParallelScanHonorsRangeBounds) {
   EXPECT_FALSE((*results)[1].contained);
 }
 
-TEST(RegionClusterTest, ParallelScanManyRanges) {
-  TempDir dir("cluster_many");
-  auto cluster = RegionCluster::Open(SmallCluster(dir.path(), 4));
-  ASSERT_TRUE(cluster.ok());
+TEST_P(RegionClusterTest, ParallelScanManyRanges) {
+  auto cluster = OpenCluster(4);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
   for (int shard = 0; shard < 8; ++shard) {
     for (int i = 0; i < 50; ++i) {
       char buf[8];
@@ -87,10 +124,27 @@ TEST(RegionClusterTest, ParallelScanManyRanges) {
   EXPECT_EQ(total, 8u * 25u);
 }
 
-TEST(RegionClusterTest, StatsAggregateAcrossServers) {
-  TempDir dir("cluster_stats");
-  auto cluster = RegionCluster::Open(SmallCluster(dir.path()));
-  ASSERT_TRUE(cluster.ok());
+TEST_P(RegionClusterTest, WriteBatchRoutesAcrossServers) {
+  auto cluster = OpenCluster();
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  std::vector<kv::WriteOp> ops;
+  for (int shard = 0; shard < 8; ++shard) {
+    for (int i = 0; i < 20; ++i) {
+      ops.push_back(kv::WriteOp{ShardKey(shard, "b" + std::to_string(i)),
+                                "v" + std::to_string(shard), false});
+    }
+  }
+  ASSERT_TRUE((*cluster)->WriteBatch(std::move(ops)).ok());
+  for (int shard = 0; shard < 8; ++shard) {
+    std::string v;
+    ASSERT_TRUE((*cluster)->Get(ShardKey(shard, "b0"), &v).ok());
+    EXPECT_EQ(v, "v" + std::to_string(shard));
+  }
+}
+
+TEST_P(RegionClusterTest, StatsAggregateAcrossServers) {
+  auto cluster = OpenCluster();
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
   for (int shard = 0; shard < 6; ++shard) {
     for (int i = 0; i < 200; ++i) {
       ASSERT_TRUE((*cluster)
@@ -105,10 +159,9 @@ TEST(RegionClusterTest, StatsAggregateAcrossServers) {
   EXPECT_GT(stats.disk_bytes, 0u);
 }
 
-TEST(RegionClusterTest, CompactAllReducesSstables) {
-  TempDir dir("cluster_compact");
-  auto cluster = RegionCluster::Open(SmallCluster(dir.path()));
-  ASSERT_TRUE(cluster.ok());
+TEST_P(RegionClusterTest, CompactAllReducesSstables) {
+  auto cluster = OpenCluster();
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
   for (int round = 0; round < 3; ++round) {
     for (int i = 0; i < 100; ++i) {
       ASSERT_TRUE(
@@ -121,10 +174,30 @@ TEST(RegionClusterTest, CompactAllReducesSstables) {
   EXPECT_LE(stats.num_sstables, 3u);  // at most one per server
 }
 
-TEST(RegionClusterTest, RejectsZeroServers) {
+INSTANTIATE_TEST_SUITE_P(Backends, RegionClusterTest,
+                         ::testing::Values("inproc", "socket"),
+                         [](const auto& info) { return info.param; });
+
+TEST(RegionClusterOpenTest, RejectsZeroServers) {
   ClusterOptions opts;
   opts.dir = "/tmp/never";
   opts.num_servers = 0;
+  EXPECT_FALSE(RegionCluster::Open(opts).ok());
+}
+
+TEST(RegionClusterOpenTest, RejectsUnreachableServerAddr) {
+  ClusterOptions opts;
+  // Nothing listens here; Open must fail with a transient status rather
+  // than hang or crash.
+  opts.server_addrs = {"127.0.0.1:1"};
+  auto cluster = RegionCluster::Open(opts);
+  ASSERT_FALSE(cluster.ok());
+  EXPECT_TRUE(cluster.status().IsTransient());
+}
+
+TEST(RegionClusterOpenTest, RejectsMalformedServerAddr) {
+  ClusterOptions opts;
+  opts.server_addrs = {"no-port-here"};
   EXPECT_FALSE(RegionCluster::Open(opts).ok());
 }
 

@@ -1,0 +1,423 @@
+// Multi-process tests for the out-of-process region server. Every test here
+// spawns at least one real `just_region_server` process (tests/net_harness.h)
+// and talks to it through the socket client — the same path a deployed
+// cluster uses. The crash tests SIGKILL the process mid-write and assert,
+// through the client, that every acknowledged write survives (the server
+// runs with --sync-wal 1, so acknowledged == fsynced).
+//
+// These tests carry the ctest label "net": they run in the plain and
+// asan/ubsan CI jobs but are excluded from tsan (fork + exec of an
+// instrumented child per test is slow and adds no interleaving coverage the
+// in-process tests lack).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/region_cluster.h"
+#include "common/bytes.h"
+#include "kvstore/wal.h"
+#include "net/region_client.h"
+#include "net/wire_protocol.h"
+#include "net_harness.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace just::net {
+namespace {
+
+using just::testing::FaultProxy;
+using just::testing::ServerProcess;
+using just::testing::TempDir;
+
+RegionClient MakeClient(int port, uint32_t page_rows = 512,
+                        int io_timeout_ms = 10000) {
+  RegionClientOptions opts;
+  opts.port = port;
+  opts.scan_page_rows = page_rows;
+  opts.io_timeout_ms = io_timeout_ms;
+  return RegionClient(opts);
+}
+
+std::string PaddedKey(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%05d", i);
+  return buf;
+}
+
+TEST(RegionServerTest, PutGetDeleteOverSocket) {
+  TempDir dir("net_basic");
+  ServerProcess server({.dir = dir.path()});
+  ASSERT_TRUE(server.Start());
+  RegionClient client = MakeClient(server.port());
+
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Put("alpha", "1").ok());
+  ASSERT_TRUE(client.Put("beta", "2").ok());
+
+  std::string v;
+  ASSERT_TRUE(client.Get("alpha", &v).ok());
+  EXPECT_EQ(v, "1");
+  EXPECT_TRUE(client.Get("missing", &v).IsNotFound());
+
+  ASSERT_TRUE(client.Delete("alpha").ok());
+  EXPECT_TRUE(client.Get("alpha", &v).IsNotFound());
+  ASSERT_TRUE(client.Get("beta", &v).ok());
+  EXPECT_EQ(v, "2");
+}
+
+TEST(RegionServerTest, WriteBatchAndPagedScan) {
+  TempDir dir("net_batch");
+  ServerProcess server({.dir = dir.path(), .sync_wal = false});
+  ASSERT_TRUE(server.Start());
+  // Page size far below the row count: the scan below crosses many
+  // cursor-resumed pages.
+  RegionClient client = MakeClient(server.port(), /*page_rows=*/16);
+
+  constexpr int kRows = 200;
+  std::vector<kv::WriteOp> ops;
+  for (int i = 0; i < kRows; ++i) {
+    ops.push_back(kv::WriteOp{PaddedKey(i), "v" + std::to_string(i), false});
+  }
+  // A couple of deletes in the same batch, applied in order.
+  ops.push_back(kv::WriteOp{PaddedKey(3), "", true});
+  ops.push_back(kv::WriteOp{PaddedKey(7), "", true});
+  ASSERT_TRUE(client.WriteBatch(ops).ok());
+
+  std::vector<std::string> keys;
+  ASSERT_TRUE(client
+                  .Scan("", "",
+                        [&](std::string_view k, std::string_view v) {
+                          keys.push_back(std::string(k));
+                          // PaddedKey(i) is "k%05d": recover i to check v.
+                          int i = std::atoi(std::string(k.substr(1)).c_str());
+                          EXPECT_EQ(v, "v" + std::to_string(i));
+                          return true;
+                        })
+                  .ok());
+  EXPECT_EQ(keys.size(), static_cast<size_t>(kRows - 2));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), PaddedKey(3)), 0);
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), PaddedKey(7)), 0);
+
+  // Early stop: the callback's false return ends the scan cleanly.
+  int seen = 0;
+  ASSERT_TRUE(client
+                  .Scan("", "",
+                        [&](std::string_view, std::string_view) {
+                          return ++seen < 10;
+                        })
+                  .ok());
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(RegionServerTest, ScanCursorResumesAcrossRestart) {
+  TempDir dir("net_cursor");
+  ServerProcess server({.dir = dir.path()});  // sync_wal on: survives SIGKILL
+  ASSERT_TRUE(server.Start());
+
+  constexpr int kRows = 100;
+  {
+    RegionClient client = MakeClient(server.port());
+    std::vector<kv::WriteOp> ops;
+    for (int i = 0; i < kRows; ++i) {
+      ops.push_back(kv::WriteOp{PaddedKey(i), "v", false});
+    }
+    ASSERT_TRUE(client.WriteBatch(ops).ok());
+
+    // First page.
+    ScanRequest req;
+    req.limit_rows = 30;
+    ScanResponse page;
+    ASSERT_TRUE(client.ScanPage(req, &page).ok());
+    ASSERT_TRUE(page.status.ok());
+    ASSERT_EQ(page.rows.size(), 30u);
+    ASSERT_TRUE(page.has_more);
+
+    // Kill the server between pages: the cursor is pure client state, so
+    // the scan continues against the restarted process.
+    server.Kill();
+    ASSERT_TRUE(server.Restart());
+
+    std::vector<std::string> keys;
+    for (const auto& row : page.rows) keys.push_back(row.key);
+    RegionClient client2 = MakeClient(server.port());
+    std::string cursor = page.next_cursor;
+    bool more = true;
+    while (more) {
+      ScanRequest next;
+      next.start_key = cursor;
+      next.limit_rows = 30;
+      ScanResponse p;
+      ASSERT_TRUE(client2.ScanPage(next, &p).ok());
+      ASSERT_TRUE(p.status.ok());
+      for (const auto& row : p.rows) keys.push_back(row.key);
+      more = p.has_more;
+      cursor = p.next_cursor;
+    }
+    ASSERT_EQ(keys.size(), static_cast<size_t>(kRows));
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_EQ(std::set<std::string>(keys.begin(), keys.end()).size(),
+              keys.size())
+        << "resumed scan duplicated rows";
+  }
+}
+
+TEST(RegionServerTest, SigkillMidWriteLosesNoAcknowledgedWrite) {
+  TempDir dir("net_crash");
+  ServerProcess server({.dir = dir.path()});  // sync_wal = true
+  ASSERT_TRUE(server.Start());
+
+  // Hammer writes from a background thread, recording exactly which ones
+  // the server acknowledged, then SIGKILL mid-stream.
+  std::atomic<bool> stop{false};
+  std::vector<int> acked;
+  std::thread writer([&] {
+    RegionClient client = MakeClient(server.port());
+    for (int i = 0; !stop.load(); ++i) {
+      if (client.Put(PaddedKey(i), "v" + std::to_string(i)).ok()) {
+        acked.push_back(i);
+      } else {
+        break;  // server is gone
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server.Kill();
+  stop.store(true);
+  writer.join();
+  ASSERT_FALSE(acked.empty()) << "no write completed before the kill";
+
+  ASSERT_TRUE(server.Restart());
+  RegionClient client = MakeClient(server.port());
+  for (int i : acked) {
+    std::string v;
+    ASSERT_TRUE(client.Get(PaddedKey(i), &v).ok())
+        << "acknowledged write " << i << " lost after SIGKILL";
+    EXPECT_EQ(v, "v" + std::to_string(i));
+  }
+}
+
+TEST(RegionServerTest, ShedsOnInflightCapAndCountsIt) {
+  TempDir dir("net_shed_inflight");
+  // max_inflight=0 makes the server-wide admission cap shed every
+  // non-exempt request, deterministically.
+  ServerProcess server(
+      {.dir = dir.path(), .sync_wal = false, .max_inflight = 0});
+  ASSERT_TRUE(server.Start());
+  RegionClient client = MakeClient(server.port());
+
+  // Ping and GetStats bypass admission: overload introspection must work
+  // while the server is shedding.
+  ASSERT_TRUE(client.Ping().ok());
+
+  Status st = client.Put("k", "v");
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_TRUE(st.IsTransient()) << "shed must feed the retry path";
+  std::string v;
+  EXPECT_TRUE(client.Get("k", &v).IsUnavailable());
+
+  StatsResponse stats;
+  ASSERT_TRUE(client.GetStats(&stats).ok());
+  EXPECT_GE(stats.shed_total, 2u);
+  EXPECT_GE(stats.requests_total, 2u);
+}
+
+TEST(RegionServerTest, ShedsOnPipelineCapAndCountsIt) {
+  TempDir dir("net_shed_pipeline");
+  // max_pipeline=0: the per-connection queue admits nothing.
+  ServerProcess server(
+      {.dir = dir.path(), .sync_wal = false, .max_pipeline = 0});
+  ASSERT_TRUE(server.Start());
+  RegionClient client = MakeClient(server.port());
+
+  Status st = client.Put("k", "v");
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  StatsResponse stats;
+  ASSERT_TRUE(client.GetStats(&stats).ok());
+  EXPECT_GE(stats.shed_total, 1u);
+}
+
+TEST(RegionServerTest, CorruptFrameClosesConnectionAndCounts) {
+  TempDir dir("net_corrupt");
+  ServerProcess server({.dir = dir.path(), .sync_wal = false});
+  ASSERT_TRUE(server.Start());
+
+  // Handcraft a frame whose payload byte is flipped after the CRC was
+  // computed: the server must count it, close the connection, and keep
+  // serving new connections.
+  {
+    auto sock = Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(sock.ok());
+    std::string frame;
+    EncodePingRequest(1, &frame);
+    frame[frame.size() - 1] = static_cast<char>(frame.back() ^ 0x40);
+    ASSERT_TRUE(sock->WriteFully(frame.data(), frame.size()).ok());
+    // The server closes: the next read sees EOF (Unavailable).
+    char byte;
+    EXPECT_FALSE(sock->ReadFully(&byte, 1).ok());
+  }
+  {
+    // Oversized declared length: also counted, also closes.
+    auto sock = Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(sock.ok());
+    std::string frame;
+    PutFixed32(&frame, static_cast<uint32_t>(kMaxFrameBytes + 1));
+    PutFixed32(&frame, 0);
+    ASSERT_TRUE(sock->WriteFully(frame.data(), frame.size()).ok());
+    char byte;
+    EXPECT_FALSE(sock->ReadFully(&byte, 1).ok());
+  }
+
+  RegionClient client = MakeClient(server.port());
+  StatsResponse stats;
+  ASSERT_TRUE(client.GetStats(&stats).ok());
+  EXPECT_GE(stats.corrupt_frames_total, 2u);
+  ASSERT_TRUE(client.Put("still", "serving").ok());
+}
+
+TEST(RegionServerTest, MalformedBodyBehindValidCrcKeepsConnection) {
+  TempDir dir("net_malformed");
+  ServerProcess server({.dir = dir.path(), .sync_wal = false});
+  ASSERT_TRUE(server.Start());
+  RegionClient client = MakeClient(server.port());
+  ASSERT_TRUE(client.EnsureConnected().ok());
+
+  // A structurally bad payload with a correct CRC: unknown message type 99.
+  // The stream stays synced, so the server answers kInvalidArgument on the
+  // same connection instead of dropping it.
+  std::string payload;
+  payload.push_back(static_cast<char>(99));
+  PutFixed64(&payload, 42);
+  std::string frame;
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, kv::Crc32(payload));
+  frame += payload;
+  ASSERT_TRUE(client.RawSend(frame).ok());
+
+  std::string resp_payload;
+  ASSERT_TRUE(client.RawRecvPayload(&resp_payload).ok());
+  FrameHeader header;
+  std::string_view body;
+  ASSERT_TRUE(ParsePayload(resp_payload, &header, &body).ok());
+  EXPECT_EQ(header.type, MsgType::kStatusResp);
+  EXPECT_EQ(header.request_id, 42u);
+  StatusResponse resp;
+  ASSERT_TRUE(DecodeStatusResponse(body, &resp).ok());
+  EXPECT_TRUE(resp.status.IsInvalidArgument()) << resp.status.ToString();
+
+  // Same connection still serves real requests.
+  ASSERT_TRUE(client.Ping().ok());
+}
+
+TEST(RegionServerTest, ClusterScanSurvivesConnectionCutWithoutDupOrDrop) {
+  TempDir dir("net_cut");
+  ServerProcess server({.dir = dir.path(), .sync_wal = false});
+  ASSERT_TRUE(server.Start());
+  FaultProxy proxy(server.port());
+
+  // Load rows directly (not through the proxy).
+  constexpr int kRows = 400;
+  {
+    RegionClient direct = MakeClient(server.port());
+    std::vector<kv::WriteOp> ops;
+    for (int i = 0; i < kRows; ++i) {
+      ops.push_back(
+          kv::WriteOp{PaddedKey(i), std::string(100, 'x'), false});
+    }
+    ASSERT_TRUE(direct.WriteBatch(ops).ok());
+  }
+
+  cluster::ClusterOptions opts;
+  opts.server_addrs = {"127.0.0.1:" + std::to_string(proxy.port())};
+  opts.scan_batch_rows = 50;  // many wire pages -> the cut lands mid-scan
+  opts.max_retries = 6;
+  opts.retry_backoff_ms = 1;
+  auto cluster = cluster::RegionCluster::Open(opts);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  obs::Counter* retries =
+      obs::Registry::Global().GetCounter("just_cluster_retries_total");
+  const uint64_t retries_before = retries->Value();
+
+  // Tear the connection a few pages into the scan: the client sees a torn
+  // frame (kUnavailable), the cluster retries the *batch* from its cursor,
+  // and the row stream downstream must not notice.
+  proxy.CutAfterUpstreamBytes(8 * 1024);
+  std::vector<std::string> keys;
+  Status st = (*cluster)->Scan(
+      "", "", [&](std::string_view k, std::string_view) {
+        keys.push_back(std::string(k));
+        return true;
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(keys.size(), static_cast<size_t>(kRows));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::set<std::string>(keys.begin(), keys.end()).size(),
+            keys.size())
+      << "retried scan duplicated rows";
+  EXPECT_GT(retries->Value(), retries_before)
+      << "the cut should have forced at least one retry";
+}
+
+TEST(RegionServerTest, ClusterWriteBatchRetriesThroughConnectionCut) {
+  TempDir dir("net_cut_write");
+  ServerProcess server({.dir = dir.path(), .sync_wal = false});
+  ASSERT_TRUE(server.Start());
+  FaultProxy proxy(server.port());
+
+  cluster::ClusterOptions opts;
+  opts.server_addrs = {"127.0.0.1:" + std::to_string(proxy.port())};
+  opts.max_retries = 6;
+  opts.retry_backoff_ms = 1;
+  auto cluster = cluster::RegionCluster::Open(opts);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  // Cut while the batch's response (or the batch itself) is in flight; the
+  // retried batch re-applies the same puts, which is idempotent.
+  proxy.CutAfterUpstreamBytes(1);
+  std::vector<kv::WriteOp> ops;
+  for (int i = 0; i < 100; ++i) {
+    ops.push_back(kv::WriteOp{PaddedKey(i), "v", false});
+  }
+  ASSERT_TRUE((*cluster)->WriteBatch(std::move(ops)).ok());
+
+  std::string v;
+  ASSERT_TRUE((*cluster)->Get(PaddedKey(0), &v).ok());
+  ASSERT_TRUE((*cluster)->Get(PaddedKey(99), &v).ok());
+}
+
+TEST(RegionServerTest, StalledConnectionHitsBoundedTimeout) {
+  TempDir dir("net_stall");
+  ServerProcess server({.dir = dir.path(), .sync_wal = false});
+  ASSERT_TRUE(server.Start());
+  FaultProxy proxy(server.port());
+
+  RegionClient client = MakeClient(proxy.port(), 512,
+                                   /*io_timeout_ms=*/300);
+  ASSERT_TRUE(client.Put("k", "v").ok());  // warm connection through proxy
+
+  proxy.SetStalled(true);
+  const auto start = std::chrono::steady_clock::now();
+  std::string v;
+  Status st = client.Get("k", &v);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_TRUE(st.IsTransient());
+  EXPECT_LT(elapsed.count(), 5000) << "timeout must be bounded by the option";
+
+  // Unstall: the lazy reconnect makes the next call succeed.
+  proxy.SetStalled(false);
+  ASSERT_TRUE(client.Get("k", &v).ok());
+  EXPECT_EQ(v, "v");
+}
+
+}  // namespace
+}  // namespace just::net
