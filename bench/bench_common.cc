@@ -272,6 +272,25 @@ baselines::BaselineOptions CalibratedBaselineOptions(Dataset dataset) {
   return options;
 }
 
+namespace {
+
+std::map<std::string, std::string>* BenchJsonExtras() {
+  static auto* extras = new std::map<std::string, std::string>();
+  return extras;
+}
+
+std::mutex& BenchJsonExtrasMu() {
+  static auto* mu = new std::mutex();
+  return *mu;
+}
+
+}  // namespace
+
+void AddBenchJsonExtra(const std::string& key, const std::string& json) {
+  std::lock_guard<std::mutex> lock(BenchJsonExtrasMu());
+  (*BenchJsonExtras())[key] = json;
+}
+
 void RunBenchmarks(int argc, char** argv) {
   // Find the output file before Initialize consumes the flags.
   std::string out_path;
@@ -298,9 +317,15 @@ void RunBenchmarks(int argc, char** argv) {
   size_t brace = json.find_last_of('}');
   if (brace == std::string::npos) return;
   std::string snapshot = obs::Registry::Global().JsonDump();
-  std::string injected = json.substr(0, brace) +
-                         ",\n  \"obs_registry\": " + snapshot + "\n" +
-                         json.substr(brace);
+  std::string members = ",\n  \"obs_registry\": " + snapshot;
+  {
+    std::lock_guard<std::mutex> lock(BenchJsonExtrasMu());
+    for (const auto& [key, value] : *BenchJsonExtras()) {
+      members += ",\n  \"" + key + "\": " + value;
+    }
+  }
+  std::string injected =
+      json.substr(0, brace) + members + "\n" + json.substr(brace);
   std::ofstream out(out_path, std::ios::trunc);
   out << injected;
 }

@@ -113,6 +113,13 @@ std::string BenchDataRoot();
 /// counters that produced its numbers.
 void RunBenchmarks(int argc, char** argv);
 
+/// Registers an extra top-level member for the BENCH JSON: `json` must be a
+/// complete JSON value and lands as `"key": <json>` next to "obs_registry".
+/// Benches call this from fixture teardown for state the client-side
+/// registry cannot see (e.g. bench_wire embeds the *server's*
+/// StatsResponse). Last write per key wins; thread-safe.
+void AddBenchJsonExtra(const std::string& key, const std::string& json);
+
 }  // namespace just::bench
 
 #endif  // JUST_BENCH_BENCH_COMMON_H_

@@ -63,7 +63,10 @@ class ServerFixture {
 
   void ThreadTearDown() {
     std::lock_guard<std::mutex> lock(mu_);
-    if (--threads_ == 0) server_.reset();
+    if (--threads_ == 0) {
+      EmbedServerStats();
+      server_.reset();
+    }
   }
 
   int port() {
@@ -77,6 +80,32 @@ class ServerFixture {
   }
 
  private:
+  /// Snapshots the server's StatsResponse into the BENCH JSON (key
+  /// "server_stats_<tag>") before shutdown: the client-side registry can't
+  /// see server-side shed/request counters when the server is a separate
+  /// process, so benches record them explicitly while it's still up.
+  void EmbedServerStats() {
+    net::RegionClientOptions copts;
+    copts.port = server_->port();
+    net::RegionClient client(copts);
+    net::StatsResponse stats;
+    if (!client.GetStats(&stats).ok()) return;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"disk_bytes\": %llu, \"entries\": %llu, \"num_sstables\": %llu, "
+        "\"requests_total\": %llu, \"shed_total\": %llu, "
+        "\"corrupt_frames_total\": %llu, \"active_connections\": %llu}",
+        static_cast<unsigned long long>(stats.disk_bytes),
+        static_cast<unsigned long long>(stats.entries),
+        static_cast<unsigned long long>(stats.num_sstables),
+        static_cast<unsigned long long>(stats.requests_total),
+        static_cast<unsigned long long>(stats.shed_total),
+        static_cast<unsigned long long>(stats.corrupt_frames_total),
+        static_cast<unsigned long long>(stats.active_connections));
+    AddBenchJsonExtra(std::string("server_stats_") + tag_, buf);
+  }
+
   const char* tag_;
   int max_inflight_;
   std::mutex mu_;

@@ -22,6 +22,7 @@ Result<std::unique_ptr<JustEngine>> JustEngine::Open(
   cluster_options.dir = options.data_dir + "/cluster";
   cluster_options.num_servers = options.num_servers;
   cluster_options.store = options.store;
+  cluster_options.server_addrs = options.server_addrs;
   JUST_ASSIGN_OR_RETURN(engine->cluster_,
                         cluster::RegionCluster::Open(cluster_options));
   engine->slow_query_log_ = std::make_unique<obs::SlowQueryLog>(

@@ -22,6 +22,13 @@ struct EngineOptions {
   int num_servers = 4;   ///< region servers in the simulated cluster
   int num_shards = 8;    ///< key shard prefixes (>= num_servers for balance)
   kv::StoreOptions store;             ///< per-region-server store options
+  /// Out-of-process deployment: when non-empty, each entry is a
+  /// "host:port" of a running just_region_server and the cluster talks
+  /// sockets instead of opening local stores (overrides num_servers; see
+  /// cluster::ClusterOptions::server_addrs). EXPLAIN ANALYZE still shows
+  /// per-server work — the remote span trees are grafted into the query
+  /// trace over the wire.
+  std::vector<std::string> server_addrs;
   curve::IndexOptions index;          ///< SFC resolutions, range budgets
   ResultSet::Options result_options;  ///< direct-vs-spill thresholds
   /// Statements at least this slow are captured in the engine's slow-query

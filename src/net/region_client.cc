@@ -1,6 +1,11 @@
 #include "net/region_client.h"
 
+#include <array>
+#include <chrono>
+
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_codec.h"
 
 namespace just::net {
 
@@ -22,6 +27,43 @@ obs::Counter* ErrorCounter() {
   static obs::Counter* c =
       obs::Registry::Global().GetCounter("just_net_client_rpc_errors_total");
   return c;
+}
+
+obs::Counter* TraceDecodeErrorCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "just_net_client_trace_decode_errors_total");
+  return c;
+}
+
+obs::Counter* TraceDegradeCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "just_net_client_trace_degrades_total");
+  return c;
+}
+
+/// Per-request-type client latency (`just_net_client_rpc_us{type=...}`),
+/// indexed by the raw type byte. All series registered on first use so
+/// /metrics shows them together.
+obs::Histogram* ClientRpcUs(MsgType t) {
+  static const std::array<obs::Histogram*, 16> table = [] {
+    std::array<obs::Histogram*, 16> a{};
+    for (uint8_t i = static_cast<uint8_t>(MsgType::kPingReq);
+         i <= static_cast<uint8_t>(MsgType::kWaitIdleReq); ++i) {
+      a[i] = obs::Registry::Global().GetHistogram(obs::LabeledName(
+          "just_net_client_rpc_us",
+          {{"type", MsgTypeName(static_cast<MsgType>(i))}}));
+    }
+    return a;
+  }();
+  uint8_t i = static_cast<uint8_t>(t);
+  return i < table.size() ? table[i] : nullptr;
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -61,32 +103,75 @@ Status RegionClient::RawRecvPayload(std::string* payload) {
   return Status::OK();
 }
 
-Status RegionClient::Call(const std::string& frame, uint64_t request_id,
-                          MsgType* type, std::string* payload,
-                          std::string_view* body) {
-  RpcCounter()->Increment();
-  JUST_RETURN_NOT_OK(RawSend(frame));
-  // Responses arrive in request order on this synchronous client, but a
-  // shed response can only ever match our own id (we pipeline nothing), so
-  // an id mismatch means a stale or misrouted frame: kill the connection.
-  JUST_RETURN_NOT_OK(RawRecvPayload(payload));
-  FrameHeader header;
-  Status st = ParsePayload(*payload, &header, body);
-  if (!st.ok()) return Fail(st);
-  if (header.request_id != request_id) {
-    return Fail(Status::Internal("response id mismatch"));
+void RegionClient::GraftResponseTrace(const FrameHeader& header) {
+  obs::TraceSpan* parent = obs::CurrentSpan();
+  if (parent == nullptr || !header.has_ext) return;
+  Status st;
+  obs::TraceSpan* remote = obs::DecodeSpanTree(header.ext, parent, &st);
+  if (remote == nullptr) {
+    TraceDecodeErrorCounter()->Increment();
+    return;
   }
-  *type = header.type;
-  return Status::OK();
+  remote->AddAttr("server",
+                  options_.host + ":" + std::to_string(options_.port));
 }
 
-Status RegionClient::StatusCall(const std::string& frame,
-                                uint64_t request_id) {
-  MsgType type;
+Status RegionClient::CallRpc(MsgType req_type, const FrameBuilder& build,
+                             FrameHeader* header, std::string* payload,
+                             std::string_view* body) {
+  // Trace context rides along only when the calling thread is actually
+  // tracing and the peer has not rejected the extension — with tracing
+  // inactive the frame is byte-identical to the pre-extension layout.
+  bool traced = !peer_trace_unsupported_ && obs::CurrentSpan() != nullptr;
+  const uint64_t start_us = NowUs();
+  for (;;) {
+    uint64_t id = NextRequestId();
+    std::string ext;
+    if (traced) ext = EncodeTraceContext(TraceContext{/*sampled=*/true});
+    std::string frame;
+    build(id, ext, &frame);
+    RpcCounter()->Increment();
+    JUST_RETURN_NOT_OK(RawSend(frame));
+    // Responses arrive in request order on this synchronous client, but a
+    // shed response can only ever match our own id (we pipeline nothing),
+    // so an id mismatch means a stale or misrouted frame: kill the
+    // connection.
+    JUST_RETURN_NOT_OK(RawRecvPayload(payload));
+    Status st = ParsePayload(*payload, header, body);
+    if (!st.ok()) return Fail(st);
+    if (header->request_id != id) {
+      return Fail(Status::Internal("response id mismatch"));
+    }
+    if (traced && header->type == MsgType::kStatusResp) {
+      // A pre-extension server saw the flagged type byte as unknown and
+      // answered kInvalidArgument on a surviving connection. Degrade for
+      // good and retry this one RPC without the extension; `traced` is now
+      // false, so the loop cannot spin.
+      StatusResponse sr;
+      if (DecodeStatusResponse(*body, &sr).ok() &&
+          sr.status.IsInvalidArgument() &&
+          sr.status.message().find("unknown message type") !=
+              std::string::npos) {
+        peer_trace_unsupported_ = true;
+        TraceDegradeCounter()->Increment();
+        traced = false;
+        continue;
+      }
+    }
+    if (header->has_ext) GraftResponseTrace(*header);
+    if (obs::Histogram* h = ClientRpcUs(req_type)) {
+      h->Record(NowUs() - start_us);
+    }
+    return Status::OK();
+  }
+}
+
+Status RegionClient::StatusCall(MsgType req_type, const FrameBuilder& build) {
+  FrameHeader header;
   std::string payload;
   std::string_view body;
-  JUST_RETURN_NOT_OK(Call(frame, request_id, &type, &payload, &body));
-  if (type != MsgType::kStatusResp) {
+  JUST_RETURN_NOT_OK(CallRpc(req_type, build, &header, &payload, &body));
+  if (header.type != MsgType::kStatusResp) {
     return Fail(Status::Internal("unexpected response type"));
   }
   StatusResponse resp;
@@ -96,65 +181,68 @@ Status RegionClient::StatusCall(const std::string& frame,
 }
 
 Status RegionClient::Ping() {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  EncodePingRequest(id, &frame);
-  return StatusCall(frame, id);
+  return StatusCall(MsgType::kPingReq,
+                    [](uint64_t id, std::string_view ext, std::string* f) {
+                      EncodePingRequest(id, f, ext);
+                    });
 }
 
 Status RegionClient::Put(std::string_view key, std::string_view value) {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  EncodePutRequest({std::string(key), std::string(value)}, id, &frame);
-  return StatusCall(frame, id);
+  return StatusCall(
+      MsgType::kPutReq,
+      [&](uint64_t id, std::string_view ext, std::string* f) {
+        EncodePutRequest({std::string(key), std::string(value)}, id, f, ext);
+      });
 }
 
 Status RegionClient::Delete(std::string_view key) {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  EncodeDeleteRequest({std::string(key)}, id, &frame);
-  return StatusCall(frame, id);
+  return StatusCall(MsgType::kDeleteReq,
+                    [&](uint64_t id, std::string_view ext, std::string* f) {
+                      EncodeDeleteRequest({std::string(key)}, id, f, ext);
+                    });
 }
 
 Status RegionClient::WriteBatch(const std::vector<kv::WriteOp>& ops) {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  WriteBatchRequest req;
-  req.ops = ops;
-  EncodeWriteBatchRequest(req, id, &frame);
-  return StatusCall(frame, id);
+  return StatusCall(MsgType::kWriteBatchReq,
+                    [&](uint64_t id, std::string_view ext, std::string* f) {
+                      WriteBatchRequest req;
+                      req.ops = ops;
+                      EncodeWriteBatchRequest(req, id, f, ext);
+                    });
 }
 
 Status RegionClient::Flush() {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  EncodeEmptyRequest(MsgType::kFlushReq, id, &frame);
-  return StatusCall(frame, id);
+  return StatusCall(MsgType::kFlushReq,
+                    [](uint64_t id, std::string_view ext, std::string* f) {
+                      EncodeEmptyRequest(MsgType::kFlushReq, id, f, ext);
+                    });
 }
 
 Status RegionClient::CompactAll() {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  EncodeEmptyRequest(MsgType::kCompactReq, id, &frame);
-  return StatusCall(frame, id);
+  return StatusCall(MsgType::kCompactReq,
+                    [](uint64_t id, std::string_view ext, std::string* f) {
+                      EncodeEmptyRequest(MsgType::kCompactReq, id, f, ext);
+                    });
 }
 
 Status RegionClient::WaitForBackgroundIdle() {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  EncodeEmptyRequest(MsgType::kWaitIdleReq, id, &frame);
-  return StatusCall(frame, id);
+  return StatusCall(MsgType::kWaitIdleReq,
+                    [](uint64_t id, std::string_view ext, std::string* f) {
+                      EncodeEmptyRequest(MsgType::kWaitIdleReq, id, f, ext);
+                    });
 }
 
 Status RegionClient::Get(std::string_view key, std::string* value) {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  EncodeGetRequest({std::string(key)}, id, &frame);
-  MsgType type;
+  FrameHeader header;
   std::string payload;
   std::string_view body;
-  JUST_RETURN_NOT_OK(Call(frame, id, &type, &payload, &body));
-  if (type == MsgType::kStatusResp) {
+  JUST_RETURN_NOT_OK(CallRpc(
+      MsgType::kGetReq,
+      [&](uint64_t id, std::string_view ext, std::string* f) {
+        EncodeGetRequest({std::string(key)}, id, f, ext);
+      },
+      &header, &payload, &body));
+  if (header.type == MsgType::kStatusResp) {
     // Shed or rejected before execution: the body is a bare status.
     StatusResponse resp;
     Status st = DecodeStatusResponse(body, &resp);
@@ -163,7 +251,7 @@ Status RegionClient::Get(std::string_view key, std::string* value) {
                ? Status::Internal("status-only response to a Get")
                : resp.status;
   }
-  if (type != MsgType::kGetResp) {
+  if (header.type != MsgType::kGetResp) {
     return Fail(Status::Internal("unexpected response type"));
   }
   GetResponse resp;
@@ -174,14 +262,16 @@ Status RegionClient::Get(std::string_view key, std::string* value) {
 }
 
 Status RegionClient::ScanPage(const ScanRequest& req, ScanResponse* resp) {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  EncodeScanRequest(req, id, &frame);
-  MsgType type;
+  FrameHeader header;
   std::string payload;
   std::string_view body;
-  JUST_RETURN_NOT_OK(Call(frame, id, &type, &payload, &body));
-  if (type == MsgType::kStatusResp) {
+  JUST_RETURN_NOT_OK(CallRpc(
+      MsgType::kScanReq,
+      [&](uint64_t id, std::string_view ext, std::string* f) {
+        EncodeScanRequest(req, id, f, ext);
+      },
+      &header, &payload, &body));
+  if (header.type == MsgType::kStatusResp) {
     StatusResponse sr;
     Status st = DecodeStatusResponse(body, &sr);
     if (!st.ok()) return Fail(st);
@@ -189,7 +279,7 @@ Status RegionClient::ScanPage(const ScanRequest& req, ScanResponse* resp) {
                ? Status::Internal("status-only response to a Scan")
                : sr.status;
   }
-  if (type != MsgType::kScanResp) {
+  if (header.type != MsgType::kScanResp) {
     return Fail(Status::Internal("unexpected response type"));
   }
   Status st = DecodeScanResponse(body, resp);
@@ -198,14 +288,16 @@ Status RegionClient::ScanPage(const ScanRequest& req, ScanResponse* resp) {
 }
 
 Status RegionClient::GetStats(StatsResponse* resp) {
-  uint64_t id = NextRequestId();
-  std::string frame;
-  EncodeEmptyRequest(MsgType::kStatsReq, id, &frame);
-  MsgType type;
+  FrameHeader header;
   std::string payload;
   std::string_view body;
-  JUST_RETURN_NOT_OK(Call(frame, id, &type, &payload, &body));
-  if (type == MsgType::kStatusResp) {
+  JUST_RETURN_NOT_OK(CallRpc(
+      MsgType::kStatsReq,
+      [](uint64_t id, std::string_view ext, std::string* f) {
+        EncodeEmptyRequest(MsgType::kStatsReq, id, f, ext);
+      },
+      &header, &payload, &body));
+  if (header.type == MsgType::kStatusResp) {
     StatusResponse sr;
     Status st = DecodeStatusResponse(body, &sr);
     if (!st.ok()) return Fail(st);
@@ -213,7 +305,7 @@ Status RegionClient::GetStats(StatsResponse* resp) {
                ? Status::Internal("status-only response to a Stats")
                : sr.status;
   }
-  if (type != MsgType::kStatsResp) {
+  if (header.type != MsgType::kStatsResp) {
     return Fail(Status::Internal("unexpected response type"));
   }
   Status st = DecodeStatsResponse(body, resp);

@@ -32,6 +32,17 @@ struct RegionClientOptions {
 /// funnels these through its existing WithRetry path. Reconnection is
 /// lazy: a failed call marks the connection dead and the next call redials.
 ///
+/// Trace propagation: when the calling thread has an active obs span
+/// (obs::CurrentSpan()), each RPC carries a trace context in the frame's
+/// extension field; the server answers with its serialized span tree,
+/// which is grafted under the caller's span with a `server=host:port`
+/// attribute — this is how EXPLAIN ANALYZE shows remote per-server work.
+/// A pre-extension server rejects the flagged frame with kInvalidArgument
+/// ("unknown message type"); the client then marks the peer, retries the
+/// RPC once without the extension, and stays untraced for the connection's
+/// lifetime (old-server compatibility). With no active span nothing is
+/// added to the frame at all.
+///
 /// Not thread-safe: use one client per thread (connections are cheap; the
 /// server runs a thread per connection).
 class RegionClient {
@@ -78,19 +89,38 @@ class RegionClient {
   /// Dials if not connected (RPCs do this implicitly).
   Status EnsureConnected();
 
+  /// True once the peer rejected an extension-flagged frame: subsequent
+  /// RPCs stop sending trace context (the compat degrade is sticky).
+  bool peer_trace_unsupported() const { return peer_trace_unsupported_; }
+
  private:
-  /// Sends `frame` and reads responses until one carries `request_id`;
-  /// returns its parsed header type + body via out-params. Any transport
-  /// failure disconnects and returns kUnavailable.
-  Status Call(const std::string& frame, uint64_t request_id, MsgType* type,
-              std::string* payload, std::string_view* body);
+  /// Appends one complete request frame for `request_id` to `frame`; `ext`
+  /// is the extension blob to embed (empty = pre-extension layout).
+  using FrameBuilder = std::function<void(
+      uint64_t request_id, std::string_view ext, std::string* frame)>;
+
+  /// One RPC round: builds the frame (with a trace-context extension when
+  /// a span is active and the peer supports it), sends it, matches the
+  /// response id, grafts any returned span tree, and records per-type
+  /// client latency. Retries exactly once without the extension when the
+  /// peer proves to be pre-extension. Any transport failure disconnects
+  /// and returns kUnavailable.
+  Status CallRpc(MsgType req_type, const FrameBuilder& build,
+                 FrameHeader* header, std::string* payload,
+                 std::string_view* body);
   /// Shared epilogue for RPCs whose response is a bare StatusResponse.
-  Status StatusCall(const std::string& frame, uint64_t request_id);
+  Status StatusCall(MsgType req_type, const FrameBuilder& build);
+  /// Decodes a response's extension as a span tree under the caller's
+  /// current span, tagged `server=host:port`. Decode failures count in
+  /// just_net_client_trace_decode_errors_total and are otherwise ignored —
+  /// a bad trace must not fail a good response.
+  void GraftResponseTrace(const FrameHeader& header);
   Status Fail(Status st);
 
   RegionClientOptions options_;
   Socket sock_;
   uint64_t last_request_id_ = 0;
+  bool peer_trace_unsupported_ = false;
 };
 
 }  // namespace just::net

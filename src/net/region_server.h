@@ -12,6 +12,7 @@
 #include "net/socket.h"
 #include "net/wire_protocol.h"
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 
 namespace just::net {
 
@@ -33,6 +34,22 @@ struct RegionServerOptions {
   /// materializes more than this many rows regardless of what the client
   /// asked for (backpressure for scans).
   uint32_t scan_limit_clamp = 4096;
+
+  /// RPCs whose handler wall time meets this threshold are recorded in a
+  /// server-side slow-query log (span tree included) served by the admin
+  /// plane's /tracez. Negative disables the log entirely — the default, and
+  /// the zero-overhead path: with it disabled an untraced request never
+  /// allocates a trace. `just_region_server --slow-query-us` sets it.
+  int64_t slow_rpc_threshold_us = -1;
+};
+
+/// One admitted request as the reader hands it to the worker.
+struct PendingRequest {
+  MsgType type = MsgType::kPingReq;
+  uint64_t request_id = 0;
+  std::string body;
+  bool traced = false;      ///< request carried a sampled trace context
+  uint64_t enqueue_ns = 0;  ///< steady-clock ns at admission (queue wait)
 };
 
 /// Out-of-process region server: owns one LsmStore and serves the binary
@@ -68,6 +85,9 @@ class RegionServer {
 
   int port() const { return listener_.port(); }
   kv::LsmStore* store() const { return store_.get(); }
+  /// Slow-RPC log (nullptr unless slow_rpc_threshold_us >= 0); the admin
+  /// plane's /tracez reads it.
+  obs::SlowQueryLog* slow_log() const { return slow_log_.get(); }
 
   uint64_t requests_total() const { return requests_total_.load(); }
   uint64_t shed_total() const { return shed_total_.load(); }
@@ -87,8 +107,11 @@ class RegionServer {
   void ReapFinishedLocked();
 
   /// Executes one admitted request and appends the response frame to `out`.
-  void Execute(MsgType type, uint64_t request_id, std::string_view body,
-               std::string* out);
+  /// When the request carried a sampled trace context (req.traced) the
+  /// handler runs under a server-side span whose serialized tree rides back
+  /// in the response's extension field; the slow-RPC log also forces a span
+  /// (but not the response extension) so /tracez has trees to show.
+  void Execute(const PendingRequest& req, std::string* out);
   void HandleScan(const ScanRequest& req, ScanResponse* resp);
   StatsResponse BuildStats();
 
@@ -121,6 +144,12 @@ class RegionServer {
   obs::Gauge* active_conns_gauge_;
   obs::Gauge* inflight_gauge_;
   obs::Histogram* request_us_;
+  /// Per-message-type latency (`just_net_server_rpc_us{type=...}`), indexed
+  /// by the raw request type byte. Registered eagerly in the constructor so
+  /// /metrics shows every series from the first scrape.
+  obs::Histogram* rpc_us_by_type_[16] = {};
+
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
 };
 
 }  // namespace just::net

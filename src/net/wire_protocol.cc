@@ -42,10 +42,15 @@ Status StatusFromCode(StatusCode code, std::string msg) {
   return Status::Internal("unreachable status code");
 }
 
-/// Starts a payload: type byte + request id. Body bytes append after.
-void BeginPayload(MsgType type, uint64_t request_id, std::string* payload) {
-  payload->push_back(static_cast<char>(type));
+/// Starts a payload: type byte + request id + (optional) extension field.
+/// Body bytes append after.
+void BeginPayload(MsgType type, uint64_t request_id, std::string* payload,
+                  std::string_view ext) {
+  uint8_t type_byte = static_cast<uint8_t>(type);
+  if (!ext.empty()) type_byte |= kExtensionFlag;
+  payload->push_back(static_cast<char>(type_byte));
   PutFixed64(payload, request_id);
+  if (!ext.empty()) PutLengthPrefixed(payload, ext);
 }
 
 /// Wraps a finished payload into a frame appended to `dst`.
@@ -79,6 +84,58 @@ bool IsKnownType(uint8_t t) {
          (m >= MsgType::kStatusResp && m <= MsgType::kStatsResp);
 }
 
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kPingReq:
+      return "ping";
+    case MsgType::kGetReq:
+      return "get";
+    case MsgType::kPutReq:
+      return "put";
+    case MsgType::kDeleteReq:
+      return "delete";
+    case MsgType::kWriteBatchReq:
+      return "write_batch";
+    case MsgType::kScanReq:
+      return "scan";
+    case MsgType::kFlushReq:
+      return "flush";
+    case MsgType::kCompactReq:
+      return "compact";
+    case MsgType::kStatsReq:
+      return "stats";
+    case MsgType::kWaitIdleReq:
+      return "wait_idle";
+    case MsgType::kStatusResp:
+      return "status_resp";
+    case MsgType::kGetResp:
+      return "get_resp";
+    case MsgType::kScanResp:
+      return "scan_resp";
+    case MsgType::kStatsResp:
+      return "stats_resp";
+  }
+  return "unknown";
+}
+
+std::string EncodeTraceContext(const TraceContext& ctx) {
+  std::string ext;
+  PutVarint32(&ext, ctx.sampled ? 1u : 0u);
+  return ext;
+}
+
+Status DecodeTraceContext(std::string_view ext, TraceContext* ctx) {
+  const char* p = ext.data();
+  const char* limit = p + ext.size();
+  uint32_t flags = 0;
+  if (!GetVarint32(&p, limit, &flags)) {
+    return Malformed("trace context flags");
+  }
+  ctx->sampled = (flags & 1u) != 0;
+  // Trailing bytes are future fields from a newer peer: ignore them.
+  return Status::OK();
+}
+
 void EncodeStatus(const Status& st, std::string* dst) {
   PutVarint32(dst, static_cast<uint32_t>(st.code()));
   PutLengthPrefixed(dst, st.message());
@@ -98,45 +155,47 @@ Status DecodeStatus(const char** p, const char* limit, Status* st) {
 
 // --- Requests ----------------------------------------------------------
 
-void EncodePingRequest(uint64_t request_id, std::string* dst) {
-  EncodeEmptyRequest(MsgType::kPingReq, request_id, dst);
+void EncodePingRequest(uint64_t request_id, std::string* dst,
+                       std::string_view ext) {
+  EncodeEmptyRequest(MsgType::kPingReq, request_id, dst, ext);
 }
 
-void EncodeEmptyRequest(MsgType type, uint64_t request_id, std::string* dst) {
+void EncodeEmptyRequest(MsgType type, uint64_t request_id, std::string* dst,
+                        std::string_view ext) {
   std::string payload;
-  BeginPayload(type, request_id, &payload);
+  BeginPayload(type, request_id, &payload, ext);
   FinishFrame(payload, dst);
 }
 
 void EncodeGetRequest(const GetRequest& req, uint64_t request_id,
-                      std::string* dst) {
+                      std::string* dst, std::string_view ext) {
   std::string payload;
-  BeginPayload(MsgType::kGetReq, request_id, &payload);
+  BeginPayload(MsgType::kGetReq, request_id, &payload, ext);
   PutLengthPrefixed(&payload, req.key);
   FinishFrame(payload, dst);
 }
 
 void EncodePutRequest(const PutRequest& req, uint64_t request_id,
-                      std::string* dst) {
+                      std::string* dst, std::string_view ext) {
   std::string payload;
-  BeginPayload(MsgType::kPutReq, request_id, &payload);
+  BeginPayload(MsgType::kPutReq, request_id, &payload, ext);
   PutLengthPrefixed(&payload, req.key);
   PutLengthPrefixed(&payload, req.value);
   FinishFrame(payload, dst);
 }
 
 void EncodeDeleteRequest(const DeleteRequest& req, uint64_t request_id,
-                         std::string* dst) {
+                         std::string* dst, std::string_view ext) {
   std::string payload;
-  BeginPayload(MsgType::kDeleteReq, request_id, &payload);
+  BeginPayload(MsgType::kDeleteReq, request_id, &payload, ext);
   PutLengthPrefixed(&payload, req.key);
   FinishFrame(payload, dst);
 }
 
 void EncodeWriteBatchRequest(const WriteBatchRequest& req, uint64_t request_id,
-                             std::string* dst) {
+                             std::string* dst, std::string_view ext) {
   std::string payload;
-  BeginPayload(MsgType::kWriteBatchReq, request_id, &payload);
+  BeginPayload(MsgType::kWriteBatchReq, request_id, &payload, ext);
   PutVarint32(&payload, static_cast<uint32_t>(req.ops.size()));
   for (const auto& op : req.ops) {
     payload.push_back(op.is_delete ? 1 : 0);
@@ -147,9 +206,9 @@ void EncodeWriteBatchRequest(const WriteBatchRequest& req, uint64_t request_id,
 }
 
 void EncodeScanRequest(const ScanRequest& req, uint64_t request_id,
-                       std::string* dst) {
+                       std::string* dst, std::string_view ext) {
   std::string payload;
-  BeginPayload(MsgType::kScanReq, request_id, &payload);
+  BeginPayload(MsgType::kScanReq, request_id, &payload, ext);
   PutLengthPrefixed(&payload, req.start_key);
   PutLengthPrefixed(&payload, req.end_key);
   PutVarint32(&payload, req.limit_rows);
@@ -221,26 +280,26 @@ Status DecodeEmptyBody(std::string_view body) {
 // --- Responses ---------------------------------------------------------
 
 void EncodeStatusResponse(const StatusResponse& resp, uint64_t request_id,
-                          std::string* dst) {
+                          std::string* dst, std::string_view ext) {
   std::string payload;
-  BeginPayload(MsgType::kStatusResp, request_id, &payload);
+  BeginPayload(MsgType::kStatusResp, request_id, &payload, ext);
   EncodeStatus(resp.status, &payload);
   FinishFrame(payload, dst);
 }
 
 void EncodeGetResponse(const GetResponse& resp, uint64_t request_id,
-                       std::string* dst) {
+                       std::string* dst, std::string_view ext) {
   std::string payload;
-  BeginPayload(MsgType::kGetResp, request_id, &payload);
+  BeginPayload(MsgType::kGetResp, request_id, &payload, ext);
   EncodeStatus(resp.status, &payload);
   PutLengthPrefixed(&payload, resp.value);
   FinishFrame(payload, dst);
 }
 
 void EncodeScanResponse(const ScanResponse& resp, uint64_t request_id,
-                        std::string* dst) {
+                        std::string* dst, std::string_view ext) {
   std::string payload;
-  BeginPayload(MsgType::kScanResp, request_id, &payload);
+  BeginPayload(MsgType::kScanResp, request_id, &payload, ext);
   EncodeStatus(resp.status, &payload);
   PutVarint32(&payload, static_cast<uint32_t>(resp.rows.size()));
   for (const auto& row : resp.rows) {
@@ -253,9 +312,9 @@ void EncodeScanResponse(const ScanResponse& resp, uint64_t request_id,
 }
 
 void EncodeStatsResponse(const StatsResponse& resp, uint64_t request_id,
-                         std::string* dst) {
+                         std::string* dst, std::string_view ext) {
   std::string payload;
-  BeginPayload(MsgType::kStatsResp, request_id, &payload);
+  BeginPayload(MsgType::kStatsResp, request_id, &payload, ext);
   EncodeStatus(resp.status, &payload);
   PutFixed64(&payload, resp.disk_bytes);
   PutFixed64(&payload, resp.entries);
@@ -365,14 +424,30 @@ Status ParsePayload(std::string_view payload, FrameHeader* header,
   if (payload.size() < kPayloadHeaderBytes) {
     return Status::InvalidArgument("payload too short for header");
   }
-  uint8_t type = static_cast<uint8_t>(payload[0]);
+  uint8_t raw = static_cast<uint8_t>(payload[0]);
+  uint8_t type = raw & static_cast<uint8_t>(~kExtensionFlag);
   if (!IsKnownType(type)) {
+    // Deliberately the same message whether the flag bit or the low bits
+    // are unrecognized: pre-extension servers answer flagged frames with
+    // exactly this text, and RegionClient matches on it to degrade.
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(type));
   }
   header->type = static_cast<MsgType>(type);
   header->request_id = GetFixed64(payload.data() + 1);
-  *body = payload.substr(kPayloadHeaderBytes);
+  header->ext = {};
+  header->has_ext = false;
+  const char* p = payload.data() + kPayloadHeaderBytes;
+  const char* limit = payload.data() + payload.size();
+  if (raw & kExtensionFlag) {
+    std::string_view ext;
+    if (!GetLengthPrefixed(&p, limit, &ext)) {
+      return Malformed("extension field");
+    }
+    header->ext = ext;
+    header->has_ext = true;
+  }
+  *body = std::string_view(p, static_cast<size_t>(limit - p));
   return Status::OK();
 }
 

@@ -20,9 +20,20 @@ namespace just::net {
 ///   [crc32:       fixed32 LE]   CRC-32 (ISO-HDLC, kv::Crc32) of payload
 ///   [payload]
 /// Payload:
-///   [msg_type:    u8]
+///   [msg_type:    u8]           low 7 bits = type; bit 7 = extension flag
 ///   [request_id:  fixed64 LE]   echoed verbatim in the response
+///   [extension]                 only when bit 7 of msg_type is set:
+///                               varint length + opaque extension bytes
 ///   [body]                      per-message encoding, see Encode*/Decode*
+///
+/// The extension field is the version-tolerance seam for optional metadata
+/// (today: trace context on requests, serialized span trees on responses).
+/// A peer that predates it never sets the flag, so its frames parse
+/// unchanged; a peer that does not understand it sees an unknown msg_type
+/// (flag bit set) and answers kInvalidArgument on a surviving connection,
+/// which new clients detect to degrade to un-extended frames (see
+/// RegionClient). Unknown bytes *inside* a well-formed extension are
+/// ignored, so the extension itself can grow fields later.
 ///
 /// Safety contract (enforced by the fuzz tests): decoding arbitrary bytes
 /// never crashes, never reads past the given buffer, and returns
@@ -42,6 +53,8 @@ constexpr size_t kMaxFrameBytes = 32u << 20;
 constexpr size_t kFrameHeaderBytes = 8;
 /// Payload bytes before the body: type + request id.
 constexpr size_t kPayloadHeaderBytes = 9;
+/// Set on the msg_type byte when an extension field follows the request id.
+constexpr uint8_t kExtensionFlag = 0x80;
 
 enum class MsgType : uint8_t {
   // Requests.
@@ -64,13 +77,40 @@ enum class MsgType : uint8_t {
 
 /// True for the types a client may send.
 bool IsRequestType(MsgType t);
-/// True for any known type (request or response).
+/// True for any known type (request or response). The extension flag must
+/// already be stripped: a flagged byte is *not* a known type here, which is
+/// exactly how pre-extension servers reject flagged frames.
 bool IsKnownType(uint8_t t);
+
+/// Lowercase identifier for a message type ("get", "scan", ...), used as
+/// the {type=...} label value of the per-RPC latency histograms and as the
+/// server-side trace span name ("rpc.<name>").
+const char* MsgTypeName(MsgType t);
 
 struct FrameHeader {
   MsgType type = MsgType::kPingReq;
   uint64_t request_id = 0;
+  /// Extension bytes (views into the parsed payload); empty unless the
+  /// frame carried the extension flag. `has_ext` disambiguates an absent
+  /// extension from a present-but-empty one.
+  std::string_view ext;
+  bool has_ext = false;
 };
+
+/// Trace context carried in a *request's* extension field: varint flags
+/// (bit 0 = sampled), trailing bytes reserved and ignored. A response's
+/// extension field instead carries a serialized span tree
+/// (obs/trace_codec.h).
+struct TraceContext {
+  bool sampled = false;
+};
+
+/// Returns the extension blob for a trace context.
+std::string EncodeTraceContext(const TraceContext& ctx);
+/// Parses a request extension as a trace context. Trailing bytes are
+/// tolerated (forward compatibility); a malformed flags varint is
+/// kInvalidArgument.
+Status DecodeTraceContext(std::string_view ext, TraceContext* ctx);
 
 // --- Message structs ---------------------------------------------------
 
@@ -139,28 +179,33 @@ struct StatsResponse {
 
 // --- Encoding ----------------------------------------------------------
 // Encode* append one complete frame (header + CRC + payload) to `dst`.
+// A non-empty `ext` sets the extension flag and embeds the blob after the
+// request id; the default keeps the pre-extension frame layout byte-for-
+// byte, so old peers interoperate.
 
-void EncodePingRequest(uint64_t request_id, std::string* dst);
+void EncodePingRequest(uint64_t request_id, std::string* dst,
+                       std::string_view ext = {});
 void EncodeGetRequest(const GetRequest& req, uint64_t request_id,
-                      std::string* dst);
+                      std::string* dst, std::string_view ext = {});
 void EncodePutRequest(const PutRequest& req, uint64_t request_id,
-                      std::string* dst);
+                      std::string* dst, std::string_view ext = {});
 void EncodeDeleteRequest(const DeleteRequest& req, uint64_t request_id,
-                         std::string* dst);
+                         std::string* dst, std::string_view ext = {});
 void EncodeWriteBatchRequest(const WriteBatchRequest& req, uint64_t request_id,
-                             std::string* dst);
+                             std::string* dst, std::string_view ext = {});
 void EncodeScanRequest(const ScanRequest& req, uint64_t request_id,
-                       std::string* dst);
-void EncodeEmptyRequest(MsgType type, uint64_t request_id, std::string* dst);
+                       std::string* dst, std::string_view ext = {});
+void EncodeEmptyRequest(MsgType type, uint64_t request_id, std::string* dst,
+                        std::string_view ext = {});
 
 void EncodeStatusResponse(const StatusResponse& resp, uint64_t request_id,
-                          std::string* dst);
+                          std::string* dst, std::string_view ext = {});
 void EncodeGetResponse(const GetResponse& resp, uint64_t request_id,
-                       std::string* dst);
+                       std::string* dst, std::string_view ext = {});
 void EncodeScanResponse(const ScanResponse& resp, uint64_t request_id,
-                        std::string* dst);
+                        std::string* dst, std::string_view ext = {});
 void EncodeStatsResponse(const StatsResponse& resp, uint64_t request_id,
-                         std::string* dst);
+                         std::string* dst, std::string_view ext = {});
 
 // --- Decoding ----------------------------------------------------------
 
@@ -170,8 +215,10 @@ void EncodeStatsResponse(const StatsResponse& resp, uint64_t request_id,
 Status DecodeFrame(std::string_view frame, std::string_view* payload,
                    size_t max_frame_bytes = kMaxFrameBytes);
 
-/// Parses the payload header; `body` receives the remaining bytes.
-/// Unknown message types return kInvalidArgument.
+/// Parses the payload header (including the optional extension field);
+/// `body` receives the remaining bytes. Unknown message types and a
+/// flagged-but-malformed extension return kInvalidArgument — the framing
+/// was intact, so the connection survives.
 Status ParsePayload(std::string_view payload, FrameHeader* header,
                     std::string_view* body);
 

@@ -1,0 +1,216 @@
+#include "obs/http_admin.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace just::obs {
+
+namespace {
+
+/// Largest request we bother reading. Admin requests are one GET line plus
+/// a few headers; anything bigger is a confused client.
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+/// Per-connection socket timeout. Bounds how long one slow scraper can
+/// hold the (serial) accept loop.
+constexpr int kSocketTimeoutMs = 2000;
+
+const char* ReasonPhrase(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string BuildResponse(int code, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " +
+                    ReasonPhrase(code) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string TracezJson(const SlowQueryLog* log) {
+  std::string out = "[";
+  if (log != nullptr) {
+    bool first = true;
+    for (const SlowQueryEntry& e : log->Entries()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"user\":";
+      AppendJsonString(&out, e.user);
+      out += ",\"sql\":";
+      AppendJsonString(&out, e.sql);
+      out += ",\"wall_us\":" + std::to_string(e.wall_us);
+      out += ",\"rows\":" + std::to_string(e.rows);
+      out += ",\"rows_scanned\":" + std::to_string(e.rows_scanned);
+      out += ",\"key_ranges\":" + std::to_string(e.key_ranges);
+      out += ",\"trace\":";
+      // trace_json is TraceSpan::ToJson() output (already JSON) or empty.
+      out += e.trace_json.empty() ? "null" : e.trace_json;
+      out += "}";
+    }
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace
+
+HttpAdminServer::HttpAdminServer(Options options)
+    : options_(std::move(options)) {}
+
+HttpAdminServer::~HttpAdminServer() { Stop(); }
+
+Status HttpAdminServer::Start() {
+  auto listener = net::Listener::Listen(options_.host, options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::make_unique<net::Listener>(std::move(listener.value()));
+  port_ = listener_->port();
+  thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void HttpAdminServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  listener_->Close();  // wakes the blocked Accept
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+}
+
+int HttpAdminServer::Route(const std::string& method, const std::string& path,
+                           std::string* body,
+                           std::string* content_type) const {
+  if (method != "GET") {
+    *content_type = "text/plain";
+    *body = "method not allowed\n";
+    return 405;
+  }
+  if (path == "/healthz") {
+    *content_type = "text/plain";
+    *body = "ok\n";
+    return 200;
+  }
+  if (path == "/metrics") {
+    *content_type = "text/plain; version=0.0.4";
+    *body = Registry::Global().TextExposition();
+    return 200;
+  }
+  if (path == "/statsz") {
+    *content_type = "application/json";
+    *body = Registry::Global().JsonDump() + "\n";
+    return 200;
+  }
+  if (path == "/tracez") {
+    *content_type = "application/json";
+    *body = TracezJson(options_.slow_log);
+    return 200;
+  }
+  *content_type = "text/plain";
+  *body = "not found\n";
+  return 404;
+}
+
+void HttpAdminServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = listener_->Accept();
+    if (!accepted.ok()) return;  // listener closed: shutting down
+    net::Socket sock = std::move(accepted.value());
+    (void)sock.SetRecvTimeout(kSocketTimeoutMs);
+    (void)sock.SetSendTimeout(kSocketTimeoutMs);
+    // Read until the end of the header block (admin requests have no
+    // body). Byte-at-a-time is fine at scrape rates.
+    std::string request;
+    bool complete = false;
+    while (request.size() < kMaxRequestBytes) {
+      char c;
+      if (!sock.ReadFully(&c, 1).ok()) break;
+      request.push_back(c);
+      if (request.size() >= 4 &&
+          request.compare(request.size() - 4, 4, "\r\n\r\n") == 0) {
+        complete = true;
+        break;
+      }
+      // Tolerate bare-LF clients (curl never sends them, test harnesses
+      // might).
+      if (request.size() >= 2 &&
+          request.compare(request.size() - 2, 2, "\n\n") == 0) {
+        complete = true;
+        break;
+      }
+    }
+    std::string response;
+    if (!complete) {
+      response = BuildResponse(400, "text/plain", "bad request\n");
+    } else {
+      // Request line: METHOD SP PATH SP VERSION.
+      size_t line_end = request.find_first_of("\r\n");
+      std::string line = request.substr(0, line_end);
+      size_t sp1 = line.find(' ');
+      size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        response = BuildResponse(400, "text/plain", "bad request\n");
+      } else {
+        std::string method = line.substr(0, sp1);
+        std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        // Ignore any query string: /metrics?x=y routes as /metrics.
+        size_t q = path.find('?');
+        if (q != std::string::npos) path.resize(q);
+        std::string body, content_type;
+        int code = Route(method, path, &body, &content_type);
+        response = BuildResponse(code, content_type, body);
+      }
+    }
+    (void)sock.WriteFully(response.data(), response.size());
+  }
+}
+
+}  // namespace just::obs

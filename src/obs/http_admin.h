@@ -1,0 +1,76 @@
+#ifndef JUST_OBS_HTTP_ADMIN_H_
+#define JUST_OBS_HTTP_ADMIN_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/slow_query_log.h"
+
+namespace just::net {
+class Listener;
+}  // namespace just::net
+
+namespace just::obs {
+
+/// Minimal embedded HTTP/1.0 admin plane (docs/ARCHITECTURE.md
+/// "Observability"): serves the process's metrics registry and slow-query
+/// ring over plain GET so a running `just_region_server` (or an in-process
+/// engine) can be scraped with curl/Prometheus without the binary wire
+/// protocol. Endpoints:
+///
+///   GET /healthz   "ok\n" (text/plain)
+///   GET /metrics   Registry::Global().TextExposition()  (Prometheus text)
+///   GET /statsz    Registry::Global().JsonDump()        (application/json)
+///   GET /tracez    recent slow-query span trees as JSON (from the
+///                  configured SlowQueryLog; [] when none is attached)
+///
+/// Deliberately simple: one accept thread handles requests serially with
+/// short socket timeouts, HTTP/1.0 `Connection: close` semantics, GET
+/// only, 8 KiB request cap. Admin scrapes are rare and tiny; a stuck or
+/// slow scraper can delay the next scrape but cannot wedge the data plane,
+/// which runs on its own listener and threads.
+class HttpAdminServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 picks an ephemeral port (see port())
+    /// Source for /tracez; may be nullptr (endpoint serves an empty list).
+    /// Must outlive the server.
+    const SlowQueryLog* slow_log = nullptr;
+  };
+
+  explicit HttpAdminServer(Options options);
+  ~HttpAdminServer();
+
+  HttpAdminServer(const HttpAdminServer&) = delete;
+  HttpAdminServer& operator=(const HttpAdminServer&) = delete;
+
+  /// Binds and starts the accept thread. kUnavailable if the bind fails.
+  Status Start();
+  /// Stops accepting and joins the thread. Idempotent.
+  void Stop();
+
+  /// Bound port; valid after a successful Start().
+  int port() const { return port_; }
+
+  /// Routes one already-parsed request (method + path) to a response body;
+  /// exposed for unit tests so routing is testable without sockets. Fills
+  /// `content_type` and returns the HTTP status code (200/404/405).
+  int Route(const std::string& method, const std::string& path,
+            std::string* body, std::string* content_type) const;
+
+ private:
+  void AcceptLoop();
+
+  Options options_;
+  int port_ = 0;
+  std::unique_ptr<net::Listener> listener_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace just::obs
+
+#endif  // JUST_OBS_HTTP_ADMIN_H_

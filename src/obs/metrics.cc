@@ -33,7 +33,64 @@ void AppendJsonKey(std::string* out, const std::string& key) {
   out->append("\":");
 }
 
+/// Splits "name{a=\"b\"}" into base "name" and inner label body
+/// "a=\"b\"" (no braces). Plain names pass through with empty labels.
+struct NameParts {
+  std::string base;
+  std::string labels;
+};
+
+NameParts SplitLabeledName(const std::string& name) {
+  size_t pos = name.find('{');
+  if (pos == std::string::npos || name.empty() || name.back() != '}') {
+    return {name, std::string()};
+  }
+  return {name.substr(0, pos), name.substr(pos + 1, name.size() - pos - 2)};
+}
+
+std::string JoinLabels(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "," + b;
+}
+
+std::string Series(const std::string& base, const char* suffix,
+                   const std::string& labels) {
+  std::string out = base + suffix;
+  if (!labels.empty()) out += "{" + labels + "}";
+  return out;
+}
+
 }  // namespace
+
+std::string LabeledName(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
 
 void Counter::Add(uint64_t delta) {
   shards_[ThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
@@ -246,39 +303,79 @@ RegistrySnapshot Registry::GetSnapshot() const {
 
 std::string Registry::TextExposition() const {
   RegistrySnapshot snap = GetSnapshot();
-  std::string out;
+  // Labeled series of one base name ("rpc_us{type=\"get\"}",
+  // "rpc_us{type=\"scan\"}") must share a single `# TYPE` line with all
+  // their samples adjacent, so render into per-family line buffers first
+  // and emit families in name order at the end.
+  struct Family {
+    const char* type = nullptr;
+    std::vector<std::string> lines;
+  };
+  std::map<std::string, Family> families;
+  auto family = [&families](const std::string& base,
+                            const char* type) -> Family& {
+    Family& f = families[base];
+    if (f.type == nullptr) f.type = type;
+    return f;
+  };
   for (const auto& [name, value] : snap.counters) {
-    out += "# TYPE " + name + " counter\n";
-    out += name + " " + std::to_string(value) + "\n";
+    NameParts parts = SplitLabeledName(name);
+    family(parts.base, "counter")
+        .lines.push_back(Series(parts.base, "", parts.labels) + " " +
+                         std::to_string(value) + "\n");
   }
   for (const auto& [name, value] : snap.gauges) {
-    out += "# TYPE " + name + " gauge\n";
-    out += name + " " + std::to_string(value) + "\n";
+    NameParts parts = SplitLabeledName(name);
+    family(parts.base, "gauge")
+        .lines.push_back(Series(parts.base, "", parts.labels) + " " +
+                         std::to_string(value) + "\n");
   }
-  // Histograms need the live objects for their buckets; re-walk under lock.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, histogram] : histograms_) {
-    out += "# TYPE " + name + " histogram\n";
-    auto cumulative = histogram->CumulativeBuckets();
-    uint64_t total = cumulative.empty() ? 0 : cumulative.back();
-    for (size_t i = 0; i < cumulative.size(); ++i) {
-      if (i + 1 < cumulative.size() &&
-          cumulative[i] == (i == 0 ? 0u : cumulative[i - 1])) {
-        continue;  // skip empty buckets to keep the page readable
+  {
+    // Histograms need the live objects for their buckets; re-walk under
+    // lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, histogram] : histograms_) {
+      NameParts parts = SplitLabeledName(name);
+      Family& f = family(parts.base, "histogram");
+      auto cumulative = histogram->CumulativeBuckets();
+      uint64_t total = cumulative.empty() ? 0 : cumulative.back();
+      // All finite buckets here; the +Inf bucket is emitted once below.
+      for (size_t i = 0; i + 1 < cumulative.size(); ++i) {
+        if (cumulative[i] == (i == 0 ? 0u : cumulative[i - 1])) {
+          continue;  // skip empty buckets to keep the page readable
+        }
+        std::string le = std::to_string(Histogram::BucketUpperBound(i));
+        f.lines.push_back(
+            Series(parts.base, "_bucket",
+                   JoinLabels(parts.labels, "le=\"" + le + "\"")) +
+            " " + std::to_string(cumulative[i]) + "\n");
       }
-      std::string le = i >= Histogram::kBuckets - 1
-                           ? "+Inf"
-                           : std::to_string(Histogram::BucketUpperBound(i));
-      out += name + "_bucket{le=\"" + le + "\"} " +
-             std::to_string(cumulative[i]) + "\n";
+      f.lines.push_back(Series(parts.base, "_bucket",
+                               JoinLabels(parts.labels, "le=\"+Inf\"")) +
+                        " " + std::to_string(total) + "\n");
+      f.lines.push_back(Series(parts.base, "_sum", parts.labels) + " " +
+                        std::to_string(histogram->Sum()) + "\n");
+      f.lines.push_back(Series(parts.base, "_count", parts.labels) + " " +
+                        std::to_string(total) + "\n");
+      auto hsnap = histogram->Snapshot();
+      f.lines.push_back(
+          Series(parts.base, "",
+                 JoinLabels(parts.labels, "quantile=\"0.5\"")) +
+          " " + FormatDouble(hsnap.p50) + "\n");
+      f.lines.push_back(
+          Series(parts.base, "",
+                 JoinLabels(parts.labels, "quantile=\"0.95\"")) +
+          " " + FormatDouble(hsnap.p95) + "\n");
+      f.lines.push_back(
+          Series(parts.base, "",
+                 JoinLabels(parts.labels, "quantile=\"0.99\"")) +
+          " " + FormatDouble(hsnap.p99) + "\n");
     }
-    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
-    out += name + "_sum " + std::to_string(histogram->Sum()) + "\n";
-    out += name + "_count " + std::to_string(total) + "\n";
-    auto hsnap = histogram->Snapshot();
-    out += name + "{quantile=\"0.5\"} " + FormatDouble(hsnap.p50) + "\n";
-    out += name + "{quantile=\"0.95\"} " + FormatDouble(hsnap.p95) + "\n";
-    out += name + "{quantile=\"0.99\"} " + FormatDouble(hsnap.p99) + "\n";
+  }
+  std::string out;
+  for (const auto& [base, f] : families) {
+    out += "# TYPE " + base + " " + f.type + "\n";
+    for (const std::string& line : f.lines) out += line;
   }
   return out;
 }

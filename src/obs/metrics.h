@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace just::obs {
@@ -95,6 +96,17 @@ class Histogram {
   std::atomic<uint64_t> min_{UINT64_MAX};
   std::atomic<uint64_t> max_{0};
 };
+
+/// Builds a registry metric name carrying Prometheus labels:
+/// `LabeledName("rpc_us", {{"type", "get"}})` -> `rpc_us{type="get"}`.
+/// Label values are escaped per the exposition format (backslash, double
+/// quote, newline). The registry treats the result as an ordinary metric
+/// name; TextExposition() splits it back apart so all series of one base
+/// name share a single `# TYPE` family and histogram suffixes/extra labels
+/// merge correctly (`rpc_us_bucket{type="get",le="2"}`).
+std::string LabeledName(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels);
 
 /// Point-in-time view of the whole registry, used by benches (embedded into
 /// BENCH_*.json records) and by tests comparing EXPLAIN ANALYZE output

@@ -17,6 +17,10 @@ struct SlowQueryEntry {
   uint64_t rows = 0;
   uint64_t rows_scanned = 0;
   uint64_t key_ranges = 0;
+  /// Span tree of the statement as TraceSpan::ToJson() output; empty when
+  /// the statement ran untraced. Kept last so aggregate initializers that
+  /// predate it stay valid. Served verbatim by the admin plane's /tracez.
+  std::string trace_json;
 };
 
 /// Threshold-based slow-query log: the engine records every statement whose

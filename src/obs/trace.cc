@@ -72,6 +72,11 @@ void TraceSpan::End() {
   }
 }
 
+void TraceSpan::SetWallNs(uint64_t ns) {
+  wall_ns_.store(ns, std::memory_order_relaxed);
+  ended_.store(true, std::memory_order_release);
+}
+
 uint64_t TraceSpan::wall_ns() const {
   if (ended_.load(std::memory_order_acquire)) {
     return wall_ns_.load(std::memory_order_relaxed);

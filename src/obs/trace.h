@@ -52,6 +52,10 @@ class TraceSpan {
   const std::string& name() const { return name_; }
   /// Wall time in nanoseconds; measured up to now if the span is still open.
   uint64_t wall_ns() const;
+  /// Forces the wall time (and marks the span ended). Only for spans rebuilt
+  /// from a serialized tree (obs/trace_codec.h), whose clock ran in another
+  /// process.
+  void SetWallNs(uint64_t ns);
   SpanCounters& counters() { return counters_; }
   const SpanCounters& counters() const { return counters_; }
 

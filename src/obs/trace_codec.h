@@ -1,0 +1,51 @@
+#ifndef JUST_OBS_TRACE_CODEC_H_
+#define JUST_OBS_TRACE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace just::obs {
+
+/// Compact binary encoding of a TraceSpan tree, carried in the wire
+/// protocol's response extension field so a region server can ship its
+/// per-RPC span tree back to the caller (docs/ARCHITECTURE.md
+/// "Cross-process tracing").
+///
+/// Layout (all varints little-endian base-128, strings length-prefixed):
+///   [version: varint32]          currently 1
+///   [span]
+/// span:
+///   [name: lp-string]
+///   [wall_ns: varint64]
+///   [n_counters: varint32] then n_counters x [field_id: varint32]
+///                                            [value: varint64]
+///   [n_attrs: varint32]    then n_attrs x [key: lp-string][value: lp-string]
+///   [n_children: varint32] then n_children x span
+///
+/// Only non-zero counters are written. Field ids are stable across
+/// versions (new counters get new ids); a decoder skips ids it does not
+/// know, so old readers tolerate new writers. Decoding enforces hard
+/// limits (span count, depth) so a malicious or buggy peer cannot balloon
+/// memory: violations return kInvalidArgument and never crash (covered by
+/// the wire-protocol fuzz tests).
+
+/// Decode-side hard limits.
+constexpr uint32_t kTraceCodecMaxSpans = 4096;
+constexpr uint32_t kTraceCodecMaxDepth = 64;
+
+/// Serializes `span` and its subtree.
+std::string EncodeSpanTree(const TraceSpan& span);
+
+/// Decodes a serialized tree as a new child grafted under `parent` and
+/// returns the grafted root. On any structural error nothing is grafted
+/// and kInvalidArgument is returned via `st`; returns nullptr in that
+/// case.
+TraceSpan* DecodeSpanTree(std::string_view data, TraceSpan* parent,
+                          Status* st);
+
+}  // namespace just::obs
+
+#endif  // JUST_OBS_TRACE_CODEC_H_

@@ -160,6 +160,7 @@ Result<QueryResult> JustQL::Execute(const std::string& user,
     entry.rows = result.ok() ? result->frame.num_rows() : 0;
     entry.rows_scanned = stats.rows_scanned;
     entry.key_ranges = stats.key_ranges;
+    if (result.ok()) entry.trace_json = result->trace_json;
     engine_->slow_query_log()->MaybeRecord(std::move(entry));
   }
   return result;
@@ -202,6 +203,7 @@ Result<QueryResult> JustQL::ExecuteParsed(const std::string& user,
       trace.root()->End();
       result.message =
           "=== EXPLAIN ANALYZE ===\n" + trace.ToString() + LsmStorageSummary();
+      result.trace_json = trace.ToJson();
       return result;
     }
     case Statement::Kind::kCreateTable: {

@@ -14,6 +14,10 @@ namespace just::sql {
 struct QueryResult {
   exec::DataFrame frame;  ///< rows for SELECT / SHOW / DESC
   std::string message;    ///< acknowledgement for DDL / DML
+  /// Span tree (TraceSpan::ToJson()) when the statement ran under a trace
+  /// (EXPLAIN ANALYZE); empty otherwise. Flows into the slow-query log so
+  /// /tracez can show the full tree, remote subtrees included.
+  std::string trace_json;
 };
 
 /// The complete SQL engine facade (Section VI): parse -> analyze ->

@@ -1,0 +1,121 @@
+// Tests for the HTTP admin plane (src/obs/http_admin): routing semantics
+// via the sockets-free Route() seam, and one real socket round-trip per
+// endpoint — raw HTTP/1.0 GETs parsed byte-for-byte, since the contract is
+// "scrapable with curl", not "works with our own client".
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <string>
+
+#include "net/socket.h"
+#include "obs/http_admin.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+
+namespace just::obs {
+namespace {
+
+TEST(HttpAdminRouteTest, HealthzMetricsStatsz) {
+  HttpAdminServer admin({});
+  std::string body, ctype;
+
+  EXPECT_EQ(admin.Route("GET", "/healthz", &body, &ctype), 200);
+  EXPECT_EQ(body, "ok\n");
+  EXPECT_EQ(ctype, "text/plain");
+
+  Registry::Global().GetCounter("test_admin_route_total")->Add(9);
+  EXPECT_EQ(admin.Route("GET", "/metrics", &body, &ctype), 200);
+  EXPECT_NE(body.find("test_admin_route_total 9"), std::string::npos);
+  EXPECT_NE(ctype.find("text/plain"), std::string::npos);
+
+  EXPECT_EQ(admin.Route("GET", "/statsz", &body, &ctype), 200);
+  EXPECT_EQ(ctype, "application/json");
+  EXPECT_NE(body.find("\"counters\""), std::string::npos);
+
+  EXPECT_EQ(admin.Route("GET", "/nope", &body, &ctype), 404);
+  EXPECT_EQ(admin.Route("POST", "/healthz", &body, &ctype), 405);
+  EXPECT_EQ(admin.Route("HEAD", "/metrics", &body, &ctype), 405);
+}
+
+TEST(HttpAdminRouteTest, TracezEmptyWithoutLogAndShowsEntriesWithOne) {
+  {
+    HttpAdminServer admin({});
+    std::string body, ctype;
+    EXPECT_EQ(admin.Route("GET", "/tracez", &body, &ctype), 200);
+    EXPECT_EQ(ctype, "application/json");
+    EXPECT_EQ(body, "[]\n");
+  }
+  SlowQueryLog log(/*threshold_us=*/0, /*capacity=*/8,
+                   /*log_to_stderr=*/false);
+  SlowQueryEntry entry{"alice", "rpc:scan", /*wall_us=*/1234, /*rows=*/5,
+                       /*rows_scanned=*/50, /*key_ranges=*/2};
+  entry.trace_json = "{\"name\":\"rpc.scan\"}";
+  log.MaybeRecord(entry);
+  HttpAdminServer::Options options;
+  options.slow_log = &log;
+  HttpAdminServer admin(options);
+  std::string body, ctype;
+  EXPECT_EQ(admin.Route("GET", "/tracez", &body, &ctype), 200);
+  EXPECT_NE(body.find("\"sql\":\"rpc:scan\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"wall_us\":1234"), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"rpc.scan\""), std::string::npos);
+}
+
+/// One raw HTTP/1.0 GET against a live server; returns the full response.
+std::string RawGet(int port, const std::string& request) {
+  auto sock = net::Connect("127.0.0.1", port);
+  if (!sock.ok()) return "";
+  (void)sock->SetRecvTimeout(5000);
+  if (!sock->WriteFully(request.data(), request.size()).ok()) return "";
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(sock->fd(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  return response;
+}
+
+TEST(HttpAdminServerTest, ServesRealSockets) {
+  HttpAdminServer admin({});
+  ASSERT_TRUE(admin.Start().ok());
+  ASSERT_GT(admin.port(), 0);
+
+  Registry::Global().GetCounter("test_admin_sock_total")->Add(4);
+  std::string resp =
+      RawGet(admin.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+  EXPECT_NE(resp.find("test_admin_sock_total"), std::string::npos);
+
+  resp = RawGet(admin.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("ok\n"), std::string::npos);
+
+  // Query strings are routing no-ops, not 404s.
+  resp = RawGet(admin.port(), "GET /healthz?verbose=1 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos) << resp;
+
+  resp = RawGet(admin.port(), "GET /missing HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 404"), std::string::npos) << resp;
+
+  resp = RawGet(admin.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 405"), std::string::npos) << resp;
+
+  // Garbage that is not an HTTP request line gets a 400, not a hang.
+  resp = RawGet(admin.port(), "\x01\x02garbage\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 400"), std::string::npos) << resp;
+
+  // The server keeps serving after bad requests.
+  resp = RawGet(admin.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos) << resp;
+
+  admin.Stop();
+  admin.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace just::obs

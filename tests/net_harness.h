@@ -49,6 +49,8 @@ class ServerProcess {
     int max_inflight = -1;   ///< -1 = server default
     int max_pipeline = -1;   ///< -1 = server default
     size_t memtable_bytes = 0;  ///< 0 = server default
+    bool admin = false;          ///< serve the HTTP admin plane (port 0)
+    int64_t slow_query_us = -1;  ///< --slow-query-us; -1 = disabled
   };
 
   explicit ServerProcess(Options options) : options_(std::move(options)) {}
@@ -84,6 +86,14 @@ class ServerProcess {
       args.push_back("--memtable-bytes");
       args.push_back(std::to_string(options_.memtable_bytes));
     }
+    if (options_.admin) {
+      args.push_back("--admin-port");
+      args.push_back("0");
+    }
+    if (options_.slow_query_us >= 0) {
+      args.push_back("--slow-query-us");
+      args.push_back(std::to_string(options_.slow_query_us));
+    }
 
     pid_ = ::fork();
     if (pid_ < 0) return false;
@@ -105,6 +115,10 @@ class ServerProcess {
       int port = 0;
       if (in && (in >> port) && port > 0) {
         port_ = port;
+        // Second line (present only with --admin-port): the admin plane's
+        // bound port. Old spawners that read just the first int still work.
+        int admin = 0;
+        if (in >> admin) admin_port_ = admin;
         return true;
       }
       int wstatus = 0;
@@ -150,6 +164,8 @@ class ServerProcess {
 
   bool running() const { return pid_ > 0; }
   int port() const { return port_; }
+  /// HTTP admin plane port; 0 unless Options::admin was set.
+  int admin_port() const { return admin_port_; }
   std::string addr() const { return "127.0.0.1:" + std::to_string(port_); }
   const Options& options() const { return options_; }
 
@@ -157,6 +173,7 @@ class ServerProcess {
   Options options_;
   pid_t pid_ = -1;
   int port_ = 0;
+  int admin_port_ = 0;
 };
 
 /// TCP fault-injection proxy: client connects to port(), proxy forwards to

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "obs/trace_codec.h"
 
 namespace just::obs {
 namespace {
@@ -175,6 +177,208 @@ TEST(RegistryTest, ConcurrentGetAndSnapshot) {
     total += registry.CounterValue("c" + std::to_string(i));
   }
   EXPECT_EQ(total, 4u * 2000u);
+}
+
+// --- Labeled metrics & exposition edge cases ---
+
+TEST(ExpositionTest, LabeledNameEscapesValues) {
+  EXPECT_EQ(LabeledName("rpc_us", {{"type", "get"}}), "rpc_us{type=\"get\"}");
+  EXPECT_EQ(LabeledName("m", {{"a", "1"}, {"b", "2"}}),
+            "m{a=\"1\",b=\"2\"}");
+  // Backslash, quote, and newline in label values per the exposition spec.
+  EXPECT_EQ(LabeledName("m", {{"k", "a\\b"}}), "m{k=\"a\\\\b\"}");
+  EXPECT_EQ(LabeledName("m", {{"k", "a\"b"}}), "m{k=\"a\\\"b\"}");
+  EXPECT_EQ(LabeledName("m", {{"k", "a\nb"}}), "m{k=\"a\\nb\"}");
+  EXPECT_EQ(LabeledName("m", {}), "m");
+}
+
+TEST(ExpositionTest, LabeledSeriesShareOneTypeFamily) {
+  Registry registry;
+  registry.GetCounter(LabeledName("test_rpc_total", {{"type", "get"}}))
+      ->Add(3);
+  registry.GetCounter(LabeledName("test_rpc_total", {{"type", "scan"}}))
+      ->Add(5);
+  registry.GetCounter("test_rpc_total")->Add(1);  // unlabeled sibling
+  std::string text = registry.TextExposition();
+  // Exactly one TYPE line for the family, covering all three series.
+  size_t first = text.find("# TYPE test_rpc_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE test_rpc_total counter", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("test_rpc_total{type=\"get\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("test_rpc_total{type=\"scan\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("test_rpc_total 1"), std::string::npos);
+}
+
+TEST(ExpositionTest, LabeledHistogramMergesLabelsWithSuffixes) {
+  Registry registry;
+  Histogram* h =
+      registry.GetHistogram(LabeledName("test_lat_us", {{"type", "put"}}));
+  h->Record(3);
+  h->Record(100);
+  std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("# TYPE test_lat_us histogram"), std::string::npos);
+  // The le= bucket label merges with the series label inside one brace set.
+  EXPECT_NE(text.find("test_lat_us_bucket{type=\"put\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_lat_us_sum{type=\"put\"} 103"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_lat_us_count{type=\"put\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_lat_us{type=\"put\",quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST(ExpositionTest, EmptyHistogramExposesZeroSumAndCount) {
+  Registry registry;
+  registry.GetHistogram("test_empty_us");
+  std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("# TYPE test_empty_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_empty_us_sum 0"), std::string::npos);
+  EXPECT_NE(text.find("test_empty_us_count 0"), std::string::npos);
+  EXPECT_NE(text.find("test_empty_us_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+}
+
+TEST(ExpositionTest, SumAndCountMatchRecordedValues) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("test_sum_us");
+  uint64_t want_sum = 0;
+  for (uint64_t v = 1; v <= 200; ++v) {
+    h->Record(v);
+    want_sum += v;
+  }
+  std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("test_sum_us_sum " + std::to_string(want_sum)),
+            std::string::npos);
+  EXPECT_NE(text.find("test_sum_us_count 200"), std::string::npos);
+  // +Inf bucket must equal _count (cumulative buckets end at totality).
+  EXPECT_NE(text.find("test_sum_us_bucket{le=\"+Inf\"} 200"),
+            std::string::npos);
+}
+
+TEST(ExpositionTest, ConcurrentUpdatesDuringExposition) {
+  // Snapshot/exposition while writers hammer the same metrics: must be
+  // data-race free (the tsan job enforces this) and every exposition must
+  // be well-formed enough to contain the family headers.
+  Registry registry;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    // Register in the main thread so every exposition below sees the
+    // families; the workers race only on updates (and GetCounter lookups).
+    registry.GetCounter(
+        LabeledName("test_conc_total", {{"w", std::to_string(t)}}));
+    registry.GetHistogram("test_conc_us");
+    writers.emplace_back([&registry, &stop, t] {
+      Counter* c = registry.GetCounter(
+          LabeledName("test_conc_total", {{"w", std::to_string(t)}}));
+      Histogram* h = registry.GetHistogram("test_conc_us");
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Increment();
+        h->Record(17);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::string text = registry.TextExposition();
+    EXPECT_NE(text.find("# TYPE test_conc_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE test_conc_us histogram"),
+              std::string::npos);
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+// --- Trace codec ---
+
+TEST(TraceCodecTest, RoundTripsTreeWithCountersAndAttrs) {
+  Trace trace("rpc.scan");
+  {
+    SpanScope scope(trace.root());
+    trace.root()->AddAttr("queue_us", "12");
+    TraceBytesRead(4096);
+    TraceRowsScanned(50);
+    TraceKeyRanges(2);
+    {
+      ScopedSpan child("sst_read");
+      child.span()->AddAttr("level", "1");
+      TraceCacheHit();
+      TraceCacheMiss();
+    }
+  }
+  trace.root()->End();
+
+  std::string blob = EncodeSpanTree(*trace.root());
+  Trace host("caller");
+  Status st;
+  TraceSpan* grafted = DecodeSpanTree(blob, host.root(), &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_NE(grafted, nullptr);
+  EXPECT_EQ(grafted->name(), "rpc.scan");
+  EXPECT_EQ(grafted->TotalBytesRead(), 4096u);
+  EXPECT_EQ(grafted->TotalRowsScanned(), 50u);
+  EXPECT_EQ(grafted->TotalKeyRanges(), 2u);
+  EXPECT_EQ(grafted->TotalCacheHits(), 1u);
+  ASSERT_EQ(grafted->children().size(), 1u);
+  EXPECT_EQ(grafted->children()[0]->name(), "sst_read");
+  // Attrs and wall time survive, so the rendered tree shows remote timing.
+  std::string text = host.ToString();
+  EXPECT_NE(text.find("rpc.scan"), std::string::npos);
+  EXPECT_NE(text.find("queue_us=12"), std::string::npos);
+  EXPECT_NE(text.find("sst_read level=1"), std::string::npos);
+}
+
+TEST(TraceCodecTest, MalformedBlobGraftsNothing) {
+  Trace trace("rpc.get");
+  trace.root()->End();
+  std::string blob = EncodeSpanTree(*trace.root());
+  // Every strict prefix must fail cleanly and leave the host untouched —
+  // partial grafts would render half a remote tree without any marker.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    Trace host("caller");
+    Status st;
+    TraceSpan* grafted =
+        DecodeSpanTree(std::string_view(blob.data(), len), host.root(), &st);
+    EXPECT_EQ(grafted, nullptr) << "len=" << len;
+    EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+    EXPECT_TRUE(host.root()->children().empty()) << "len=" << len;
+  }
+  // Trailing garbage after a valid tree is also rejected outright.
+  Trace host("caller");
+  Status st;
+  EXPECT_EQ(DecodeSpanTree(blob + "x", host.root(), &st), nullptr);
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(TraceCodecTest, DepthLimitRejectsPathologicalNesting) {
+  Trace trace("deep");
+  TraceSpan* cur = trace.root();
+  for (uint32_t i = 0; i < kTraceCodecMaxDepth + 8; ++i) {
+    cur = cur->StartChild("d" + std::to_string(i));
+  }
+  trace.root()->End();
+  std::string blob = EncodeSpanTree(*trace.root());
+  Trace host("caller");
+  Status st;
+  EXPECT_EQ(DecodeSpanTree(blob, host.root(), &st), nullptr);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_TRUE(host.root()->children().empty());
+}
+
+TEST(TraceCodecTest, SpanCountLimitRejectsHugeTrees) {
+  Trace trace("wide");
+  for (uint32_t i = 0; i < kTraceCodecMaxSpans; ++i) {
+    trace.root()->StartChild("c");
+  }
+  trace.root()->End();
+  std::string blob = EncodeSpanTree(*trace.root());
+  Trace host("caller");
+  Status st;
+  // root + kTraceCodecMaxSpans children exceeds the span budget.
+  EXPECT_EQ(DecodeSpanTree(blob, host.root(), &st), nullptr);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
 }
 
 // --- Trace spans ---

@@ -432,5 +432,173 @@ TEST(WireProtocolFuzzTest, MutatedBodyBehindValidCrcIsInvalidArgument) {
   }
 }
 
+TEST(WireProtocolTest, ExtensionRoundTrip) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 100; ++iter) {
+    uint64_t id = rng.Next();
+    // Non-empty by construction: an empty ext means "no extension".
+    std::string ext = "x" + RandomBytes(&rng, 63);
+    {
+      GetRequest req{RandomBytes(&rng, 48)};
+      std::string frame;
+      EncodeGetRequest(req, id, &frame, ext);
+      FrameHeader h;
+      std::string_view body;
+      MustParse(frame, &h, &body);
+      EXPECT_EQ(h.type, MsgType::kGetReq);
+      EXPECT_EQ(h.request_id, id);
+      EXPECT_TRUE(h.has_ext);
+      EXPECT_EQ(h.ext, ext);
+      GetRequest out;
+      ASSERT_TRUE(DecodeGetRequest(body, &out).ok());
+      EXPECT_EQ(out.key, req.key);
+    }
+    {
+      ScanResponse resp;
+      resp.status = Status::OK();
+      resp.rows.push_back(WireRow{RandomBytes(&rng, 24), RandomBytes(&rng, 48)});
+      std::string frame;
+      EncodeScanResponse(resp, id, &frame, ext);
+      FrameHeader h;
+      std::string_view body;
+      MustParse(frame, &h, &body);
+      EXPECT_TRUE(h.has_ext);
+      EXPECT_EQ(h.ext, ext);
+      ScanResponse out;
+      ASSERT_TRUE(DecodeScanResponse(body, &out).ok());
+      ASSERT_EQ(out.rows.size(), 1u);
+      EXPECT_EQ(out.rows[0].key, resp.rows[0].key);
+    }
+  }
+  // A present-but-empty extension is distinguishable from no extension.
+  std::string frame;
+  EncodePingRequest(5, &frame, std::string_view("", 0));
+  FrameHeader h;
+  std::string_view body;
+  MustParse(frame, &h, &body);
+  EXPECT_FALSE(h.has_ext);  // empty ext means "don't set the flag"
+}
+
+TEST(WireProtocolTest, UnextendedFramesKeepLegacyLayout) {
+  // The default (no ext) must produce the pre-extension byte layout: no
+  // flag bit, body immediately after the request id. This is what lets new
+  // clients talk to old servers without negotiation.
+  std::string frame;
+  EncodePutRequest({"k", "v"}, 9, &frame);
+  ASSERT_GT(frame.size(), kFrameHeaderBytes);
+  uint8_t type_byte = static_cast<uint8_t>(frame[kFrameHeaderBytes]);
+  EXPECT_EQ(type_byte & kExtensionFlag, 0);
+  EXPECT_EQ(type_byte, static_cast<uint8_t>(MsgType::kPutReq));
+
+  std::string flagged;
+  EncodePutRequest({"k", "v"}, 9, &flagged, "tc");
+  uint8_t flagged_byte = static_cast<uint8_t>(flagged[kFrameHeaderBytes]);
+  EXPECT_EQ(flagged_byte & kExtensionFlag, kExtensionFlag);
+}
+
+TEST(WireProtocolTest, TraceContextRoundTrip) {
+  for (bool sampled : {false, true}) {
+    std::string ext = EncodeTraceContext(TraceContext{sampled});
+    TraceContext out;
+    ASSERT_TRUE(DecodeTraceContext(ext, &out).ok());
+    EXPECT_EQ(out.sampled, sampled);
+    // Trailing bytes are reserved for future fields and must be ignored.
+    TraceContext out2;
+    ASSERT_TRUE(DecodeTraceContext(ext + "future-field-bytes", &out2).ok());
+    EXPECT_EQ(out2.sampled, sampled);
+  }
+  TraceContext ctx;
+  EXPECT_TRUE(DecodeTraceContext("", &ctx).IsInvalidArgument());
+}
+
+TEST(WireProtocolTest, UnknownTypeMessageNamesTheType) {
+  // RegionClient's degrade-to-untraced path matches this substring in the
+  // kInvalidArgument an old server sends back for a flagged type byte; the
+  // text is load-bearing.
+  std::string payload;
+  payload.push_back(static_cast<char>(0x7F));  // unknown, no flag
+  payload.append(8, '\0');
+  FrameHeader h;
+  std::string_view body;
+  Status st = ParsePayload(payload, &h, &body);
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("unknown message type"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(WireProtocolFuzzTest, ExtensionFieldFuzz) {
+  // Flagged frames whose extension field is truncated, oversized, or
+  // garbage: ParsePayload must return kInvalidArgument (connection
+  // survives) or hand back an ext whose TraceContext decode fails cleanly —
+  // never crash, never over-read (asan enforces the latter).
+  Rng rng(4242);
+  for (int round = 0; round < 2000; ++round) {
+    std::string payload;
+    // Known request type with the extension flag set.
+    uint8_t type = static_cast<uint8_t>(1 + rng.Uniform(10));
+    payload.push_back(static_cast<char>(type | kExtensionFlag));
+    for (int i = 0; i < 8; ++i) {
+      payload.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    switch (rng.Uniform(4)) {
+      case 0:
+        // No extension bytes at all: length prefix is missing.
+        break;
+      case 1: {
+        // Length prefix promising more bytes than the payload holds.
+        PutVarint32(&payload, 50 + static_cast<uint32_t>(rng.Uniform(1000)));
+        payload += RandomBytes(&rng, 20);
+        break;
+      }
+      case 2: {
+        // Pathological varint (5 continuation bytes).
+        payload.append(5, static_cast<char>(0xFF));
+        break;
+      }
+      default: {
+        // Well-formed length prefix around garbage ext bytes + random body.
+        std::string ext = RandomBytes(&rng, 40);
+        PutVarint32(&payload, static_cast<uint32_t>(ext.size()));
+        payload += ext;
+        payload += RandomBytes(&rng, 60);
+        break;
+      }
+    }
+    FrameHeader h;
+    std::string_view body;
+    Status st = ParsePayload(payload, &h, &body);
+    if (!st.ok()) {
+      EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+      continue;
+    }
+    ASSERT_TRUE(h.has_ext);
+    TraceContext ctx;
+    Status tc = DecodeTraceContext(h.ext, &ctx);
+    if (!tc.ok()) {
+      EXPECT_TRUE(tc.IsInvalidArgument()) << tc.ToString();
+    }
+  }
+}
+
+TEST(WireProtocolFuzzTest, FlaggedGarbageBehindValidCrc) {
+  // Same shape as MutatedBodyBehindValidCrc but with the full type-byte
+  // range, so extension-flagged bytes are exercised through the whole
+  // DecodeFrame -> ParsePayload -> body-decoder pipeline.
+  Rng rng(271828);
+  for (int round = 0; round < 1000; ++round) {
+    std::string payload;
+    payload.push_back(static_cast<char>(rng.Uniform(256)));
+    for (int i = 0; i < 8; ++i) {
+      payload.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    payload += RandomBytes(&rng, 120);
+    std::string frame;
+    PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+    PutFixed32(&frame, kv::Crc32(payload));
+    frame += payload;
+    FuzzDecode(frame, /*expect_failure=*/false);
+  }
+}
+
 }  // namespace
 }  // namespace just::net
