@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/bytes.h"
 #include "core/plugins.h"
+#include "obs/metrics.h"
 
 namespace just::core {
 
@@ -28,6 +30,19 @@ Result<std::unique_ptr<JustEngine>> JustEngine::Open(
   engine->slow_query_log_ = std::make_unique<obs::SlowQueryLog>(
       options.slow_query_threshold_us, /*capacity=*/128,
       options.slow_query_log_to_stderr);
+  // Crash recovery: a `building` secondary index means a prior process died
+  // mid-build (the in-memory catch-up journal died with it, so the entries
+  // already on disk cannot be trusted). Drop it and purge its key space —
+  // CREATE INDEX can simply be rerun.
+  for (const meta::TableMeta& table : engine->catalog_->AllTables()) {
+    for (const meta::SecondaryIndexDef& def : table.secondary_indexes) {
+      if (def.state != meta::IndexState::kBuilding) continue;
+      JUST_RETURN_NOT_OK(
+          engine->catalog_->DropIndex(table.user, table.name, def.name));
+      JUST_RETURN_NOT_OK(
+          engine->PurgeIndexKeySpace(table.table_id, def.slot));
+    }
+  }
   return engine;
 }
 
@@ -107,31 +122,161 @@ Status JustEngine::DropTable(const std::string& user,
     std::lock_guard<std::mutex> lock(mu_);
     table_cache_.erase(ViewKey(user, name));
   }
-  // Delete the table's key spaces. Ranges: per shard x index slot prefix.
-  curve::IndexOptions index_options = options_.index;
-  StTable table(table_meta, cluster_.get(), index_options);
-  std::vector<std::string> doomed;
-  size_t total_slots = table_meta.indexes.size() +
-                       table_meta.attr_indexes.size();
+  // Delete the table's key spaces: SFC and attribute slots, plus every
+  // secondary-index slot ever assigned (slots are monotonic, so sweeping up
+  // to next_index_slot also clears orphans a crashed DROP INDEX left).
+  size_t total_slots =
+      std::max<size_t>(table_meta.indexes.size() + table_meta.attr_indexes.size(),
+                       table_meta.next_index_slot);
   for (size_t slot = 0; slot < total_slots; ++slot) {
-    for (int shard = 0; shard < index_options.num_shards; ++shard) {
-      std::string start(1, static_cast<char>(shard));
-      start += table.IndexPrefix(slot);
-      std::string end(1, static_cast<char>(shard));
-      std::string end_prefix = table.IndexPrefix(slot);
-      end_prefix.back() = static_cast<char>(end_prefix.back() + 1);
-      end += end_prefix;
-      JUST_RETURN_NOT_OK(cluster_->Scan(
-          start, end, [&](std::string_view key, std::string_view) {
-            doomed.emplace_back(key);
-            return true;
-          }));
-    }
+    JUST_RETURN_NOT_OK(PurgeIndexKeySpace(table_meta.table_id,
+                                          static_cast<uint32_t>(slot)));
+  }
+  return Status::OK();
+}
+
+Status JustEngine::PurgeIndexKeySpace(uint64_t table_id, uint32_t slot) {
+  std::string prefix;
+  PutFixed32BE(&prefix, static_cast<uint32_t>(table_id));
+  prefix.push_back(static_cast<char>(slot));
+  std::string end_prefix = prefix;
+  end_prefix.back() = static_cast<char>(end_prefix.back() + 1);
+  std::vector<std::string> doomed;
+  for (int shard = 0; shard < options_.index.num_shards; ++shard) {
+    std::string start(1, static_cast<char>(shard));
+    start += prefix;
+    std::string end(1, static_cast<char>(shard));
+    end += end_prefix;
+    JUST_RETURN_NOT_OK(cluster_->Scan(
+        start, end, [&](std::string_view key, std::string_view) {
+          doomed.emplace_back(key);
+          return true;
+        }));
   }
   for (const std::string& key : doomed) {
     JUST_RETURN_NOT_OK(cluster_->Delete(key));
   }
   return Status::OK();
+}
+
+void JustEngine::InvalidateTableAndDrainWriters(const std::string& user,
+                                                const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    table_cache_.erase(ViewKey(user, table));
+  }
+  // Momentary exclusive hold: any writer that bound the table before the
+  // cache flush finishes its write first; writers arriving after re-bind
+  // and see the new catalog state. Writers are only ever blocked for the
+  // duration of in-flight WriteBatch calls.
+  std::unique_lock<std::shared_mutex> barrier(write_barrier_);
+}
+
+Status JustEngine::CreateIndex(const std::string& user,
+                               const std::string& table,
+                               const std::string& index_name,
+                               const std::string& column) {
+  JUST_ASSIGN_OR_RETURN(auto table_meta, catalog_->GetTable(user, table));
+  if (table_meta.ColumnIndex(column) < 0) {
+    return Status::InvalidArgument("no such column to index: " + column);
+  }
+  if (table_meta.FindSecondaryIndex(index_name) != nullptr) {
+    return Status::InvalidArgument("index already exists: " + index_name);
+  }
+  meta::SecondaryIndexDef def;
+  def.name = index_name;
+  def.column = column;
+  // Secondary slots live above the SFC + attribute slots and are monotonic
+  // (never reused after a drop), so stale entries of a dropped index can
+  // never alias a live one.
+  def.slot = std::max<uint32_t>(
+      static_cast<uint32_t>(table_meta.indexes.size() +
+                            table_meta.attr_indexes.size()),
+      table_meta.next_index_slot);
+  def.state = meta::IndexState::kBuilding;
+  JUST_RETURN_NOT_OK(catalog_->AddIndex(user, table, def));
+  auto journal = std::make_shared<IndexBuildJournal>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_builds_[ViewKey(user, table)][index_name] = journal;
+    table_cache_.erase(ViewKey(user, table));
+  }
+  // Drain writers still holding the pre-index binding (they would neither
+  // dual-write nor journal); after this, every write dual-maintains the
+  // building index, so the backfill below can never miss a row it raced.
+  { std::unique_lock<std::shared_mutex> barrier(write_barrier_); }
+  Status build = BuildIndex(user, table, def, journal);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_builds_.find(ViewKey(user, table));
+    if (it != active_builds_.end()) {
+      it->second.erase(index_name);
+      if (it->second.empty()) active_builds_.erase(it);
+    }
+    table_cache_.erase(ViewKey(user, table));
+  }
+  if (!build.ok()) {
+    // Roll the registration back; best-effort cleanup of partial entries.
+    catalog_->DropIndex(user, table, index_name);
+    PurgeIndexKeySpace(table_meta.table_id, def.slot);
+    return build;
+  }
+  return Status::OK();
+}
+
+Status JustEngine::BuildIndex(const std::string& user, const std::string& table,
+                              const meta::SecondaryIndexDef& def,
+                              const std::shared_ptr<IndexBuildJournal>& journal) {
+  static obs::Counter* build_rows =
+      obs::Registry::Global().GetCounter("just_idx_build_rows_total");
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  // Backfill from a scan of the base rows (slot 0). Concurrent writers are
+  // untouched: they dual-write the index directly and mirror those ops into
+  // the journal, whose FIFO replay below wins over any backfill put raced.
+  JUST_ASSIGN_OR_RETURN(auto frame, bound->FullScan());
+  size_t chunk_rows = std::max<size_t>(1, options_.index_build_batch_rows);
+  std::vector<kv::WriteOp> chunk;
+  chunk.reserve(chunk_rows);
+  for (const exec::Row& row : frame.rows()) {
+    JUST_ASSIGN_OR_RETURN(auto op,
+                          bound->MakeSecondaryEntryOp(def, row, false));
+    chunk.push_back(std::move(op));
+    if (chunk.size() >= chunk_rows) {
+      size_t n = chunk.size();
+      JUST_RETURN_NOT_OK(cluster_->WriteBatch(std::move(chunk)));
+      build_rows->Add(n);
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) {
+    size_t n = chunk.size();
+    JUST_RETURN_NOT_OK(cluster_->WriteBatch(std::move(chunk)));
+    build_rows->Add(n);
+  }
+  // Catch-up: replay writer ops journaled during the backfill until the
+  // journal closes empty — the atomic commit point (late writers then write
+  // directly, with no backfill put left in flight to race with).
+  for (;;) {
+    std::vector<kv::WriteOp> ops = journal->Drain(chunk_rows);
+    if (ops.empty()) {
+      if (journal->CloseIfDrained()) break;
+      continue;
+    }
+    size_t n = ops.size();
+    JUST_RETURN_NOT_OK(cluster_->WriteBatch(std::move(ops)));
+    build_rows->Add(n);
+  }
+  return catalog_->SetIndexState(user, table, def.name,
+                                 meta::IndexState::kReady);
+}
+
+Status JustEngine::DropIndex(const std::string& user, const std::string& table,
+                             const std::string& index_name) {
+  JUST_ASSIGN_OR_RETURN(auto table_meta, catalog_->GetTable(user, table));
+  meta::SecondaryIndexDef dropped;
+  JUST_RETURN_NOT_OK(catalog_->DropIndex(user, table, index_name, &dropped));
+  InvalidateTableAndDrainWriters(user, table);
+  return PurgeIndexKeySpace(table_meta.table_id, dropped.slot);
 }
 
 std::vector<std::string> JustEngine::ShowTables(const std::string& user) const {
@@ -160,12 +305,24 @@ Result<std::shared_ptr<StTable>> JustEngine::GetTable(
   auto table = std::make_shared<StTable>(std::move(table_meta),
                                          cluster_.get(), options_.index);
   std::lock_guard<std::mutex> lock(mu_);
+  // Bindings created while an online build is in flight mirror their index
+  // ops into the build's catch-up journal.
+  auto builds = active_builds_.find(key);
+  if (builds != active_builds_.end()) {
+    for (const auto& [index_name, journal] : builds->second) {
+      table->AttachBuildJournal(index_name, journal);
+    }
+  }
   table_cache_[key] = table;
   return table;
 }
 
 Status JustEngine::Insert(const std::string& user, const std::string& table,
                           const exec::Row& row) {
+  // Writers bind + write under a shared hold of the write barrier so index
+  // DDL can drain them (see InvalidateTableAndDrainWriters); writers never
+  // block each other.
+  std::shared_lock<std::shared_mutex> barrier(write_barrier_);
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
   return bound->Insert(row);
 }
@@ -173,10 +330,26 @@ Status JustEngine::Insert(const std::string& user, const std::string& table,
 Status JustEngine::InsertBatch(const std::string& user,
                                const std::string& table,
                                const std::vector<exec::Row>& rows) {
+  std::shared_lock<std::shared_mutex> barrier(write_barrier_);
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
   // One table-level batch: all index keys of the chunk ride the cluster's
   // per-server group commits instead of one WAL round-trip per key.
   return bound->InsertBatch(rows);
+}
+
+Status JustEngine::Remove(const std::string& user, const std::string& table,
+                          const exec::Row& row) {
+  std::shared_lock<std::shared_mutex> barrier(write_barrier_);
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->Remove(row);
+}
+
+Status JustEngine::Replace(const std::string& user, const std::string& table,
+                           const exec::Row& old_row,
+                           const exec::Row& new_row) {
+  std::shared_lock<std::shared_mutex> barrier(write_barrier_);
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  return bound->Replace(old_row, new_row);
 }
 
 Result<exec::DataFrame> JustEngine::SpatialRangeQuery(const std::string& user,
@@ -219,22 +392,25 @@ Result<exec::DataFrame> JustEngine::AttributeQuery(const std::string& user,
 
 Result<exec::BatchVector> JustEngine::SpatialRangeQueryBatch(
     const std::string& user, const std::string& table, const geo::Mbr& box,
-    QueryStats* stats) {
+    QueryStats* stats, const ScanBudget* budget) {
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->SpatialRangeQueryBatch(box, stats);
+  return bound->SpatialRangeQueryBatch(box, stats, budget);
 }
 
 Result<exec::BatchVector> JustEngine::StRangeQueryBatch(
     const std::string& user, const std::string& table, const geo::Mbr& box,
-    TimestampMs t_min, TimestampMs t_max, QueryStats* stats) {
+    TimestampMs t_min, TimestampMs t_max, QueryStats* stats,
+    const ScanBudget* budget) {
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->StRangeQueryBatch(box, t_min, t_max, stats);
+  return bound->StRangeQueryBatch(box, t_min, t_max, stats, budget);
 }
 
 Result<exec::BatchVector> JustEngine::FullScanBatch(const std::string& user,
-                                                    const std::string& table) {
+                                                    const std::string& table,
+                                                    QueryStats* stats,
+                                                    const ScanBudget* budget) {
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->FullScanBatch();
+  return bound->FullScanBatch(stats, budget);
 }
 
 Result<exec::BatchVector> JustEngine::AttributeQueryBatch(
@@ -242,6 +418,34 @@ Result<exec::BatchVector> JustEngine::AttributeQueryBatch(
     const std::string& column, const exec::Value& value, QueryStats* stats) {
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
   return bound->AttributeQueryBatch(column, value, stats);
+}
+
+Result<exec::BatchVector> JustEngine::SecondaryIndexQueryBatch(
+    const std::string& user, const std::string& table,
+    const std::string& column, const AttrBound& lower, const AttrBound& upper,
+    const geo::Mbr* box, bool temporal, TimestampMs t_min, TimestampMs t_max,
+    QueryStats* stats, const ScanBudget* budget) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  const meta::SecondaryIndexDef* def =
+      bound->meta().ReadySecondaryIndexOn(column);
+  if (def == nullptr) {
+    return Status::NotFound("no ready secondary index on column: " + column);
+  }
+  return bound->SecondaryIndexQueryBatch(*def, lower, upper, box, temporal,
+                                         t_min, t_max, stats, budget);
+}
+
+Result<size_t> JustEngine::SecondaryIndexProbe(
+    const std::string& user, const std::string& table,
+    const std::string& column, const AttrBound& lower, const AttrBound& upper,
+    size_t limit) {
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  const meta::SecondaryIndexDef* def =
+      bound->meta().ReadySecondaryIndexOn(column);
+  if (def == nullptr) {
+    return Status::NotFound("no ready secondary index on column: " + column);
+  }
+  return bound->SecondaryIndexProbe(*def, lower, upper, limit);
 }
 
 Result<std::unique_ptr<ResultSet>> JustEngine::MakeResultSet(

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,13 @@ struct EngineOptions {
   /// log (and counted as just_sql_slow_queries_total). Negative disables.
   int64_t slow_query_threshold_us = 500000;
   bool slow_query_log_to_stderr = true;
+  /// Online index build: base-table rows backfilled per WriteBatch chunk.
+  size_t index_build_batch_rows = 1024;
+  /// Access-path selection: a secondary index drives an intersection query
+  /// only when its cardinality probe counts at most this many entries;
+  /// above it the curve index drives and the attribute predicate becomes a
+  /// residual filter.
+  size_t index_intersection_threshold = 4096;
 };
 
 /// The JUST engine: one shared instance serves every user (the paper's
@@ -59,6 +67,19 @@ class JustEngine {
   /// DROP TABLE: removes catalog entry and deletes the key spaces.
   Status DropTable(const std::string& user, const std::string& name);
 
+  /// CREATE INDEX <index_name> ON <table> (<column>): registers the index
+  /// as `building`, backfills it online (concurrent writers are never
+  /// blocked — they dual-write from registration on; a brief write barrier
+  /// only drains in-flight ops), replays the catch-up journal, and
+  /// atomically flips the catalog entry to `ready`. Synchronous: returns
+  /// once the index is queryable, or rolls the registration back on error.
+  Status CreateIndex(const std::string& user, const std::string& table,
+                     const std::string& index_name, const std::string& column);
+
+  /// DROP INDEX: removes the catalog entry and purges the index key space.
+  Status DropIndex(const std::string& user, const std::string& table,
+                   const std::string& index_name);
+
   /// SHOW TABLES (meta-table only; fast).
   std::vector<std::string> ShowTables(const std::string& user) const;
 
@@ -72,6 +93,13 @@ class JustEngine {
                 const exec::Row& row);
   Status InsertBatch(const std::string& user, const std::string& table,
                      const std::vector<exec::Row>& rows);
+  /// Deletes a row (base entry plus every index entry, tombstoned in the
+  /// same group-commit batch — no resurrection window).
+  Status Remove(const std::string& user, const std::string& table,
+                const exec::Row& row);
+  /// Atomically replaces `old_row` with `new_row` in one batch.
+  Status Replace(const std::string& user, const std::string& table,
+                 const exec::Row& old_row, const exec::Row& new_row);
 
   // --- Query operations (Section V-C) ---
 
@@ -101,23 +129,38 @@ class JustEngine {
 
   // --- Columnar query variants (see StTable's *Batch methods) ---
 
-  Result<exec::BatchVector> SpatialRangeQueryBatch(const std::string& user,
-                                                   const std::string& table,
-                                                   const geo::Mbr& box,
-                                                   QueryStats* stats = nullptr);
-  Result<exec::BatchVector> StRangeQueryBatch(const std::string& user,
-                                              const std::string& table,
-                                              const geo::Mbr& box,
-                                              TimestampMs t_min,
-                                              TimestampMs t_max,
-                                              QueryStats* stats = nullptr);
+  Result<exec::BatchVector> SpatialRangeQueryBatch(
+      const std::string& user, const std::string& table, const geo::Mbr& box,
+      QueryStats* stats = nullptr, const ScanBudget* budget = nullptr);
+  Result<exec::BatchVector> StRangeQueryBatch(
+      const std::string& user, const std::string& table, const geo::Mbr& box,
+      TimestampMs t_min, TimestampMs t_max, QueryStats* stats = nullptr,
+      const ScanBudget* budget = nullptr);
   Result<exec::BatchVector> FullScanBatch(const std::string& user,
-                                          const std::string& table);
+                                          const std::string& table,
+                                          QueryStats* stats = nullptr,
+                                          const ScanBudget* budget = nullptr);
   Result<exec::BatchVector> AttributeQueryBatch(const std::string& user,
                                                 const std::string& table,
                                                 const std::string& column,
                                                 const exec::Value& value,
                                                 QueryStats* stats = nullptr);
+  /// Point/range lookup via a `ready` secondary index on `column`
+  /// (optionally intersected with a spatial box and/or time window as a
+  /// covering-value refinement). Fails if no ready index covers the column.
+  Result<exec::BatchVector> SecondaryIndexQueryBatch(
+      const std::string& user, const std::string& table,
+      const std::string& column, const AttrBound& lower,
+      const AttrBound& upper, const geo::Mbr* box, bool temporal,
+      TimestampMs t_min, TimestampMs t_max, QueryStats* stats = nullptr,
+      const ScanBudget* budget = nullptr);
+  /// Counts index entries in [lower, upper], stopping at `limit` — the
+  /// optimizer's cardinality probe for intersection-path selection.
+  Result<size_t> SecondaryIndexProbe(const std::string& user,
+                                     const std::string& table,
+                                     const std::string& column,
+                                     const AttrBound& lower,
+                                     const AttrBound& upper, size_t limit);
 
   /// Wraps a query result for cursor-style delivery.
   Result<std::unique_ptr<ResultSet>> MakeResultSet(exec::DataFrame frame);
@@ -163,6 +206,22 @@ class JustEngine {
 
   static void ApplyDefaultIndexes(meta::TableMeta* table);
 
+  /// Backfills `def` by streaming the base table (slot 0) in WriteBatch
+  /// chunks, then replays the catch-up journal until CloseIfDrained()
+  /// succeeds. Never blocks writers.
+  Status BuildIndex(const std::string& user, const std::string& table,
+                    const meta::SecondaryIndexDef& def,
+                    const std::shared_ptr<IndexBuildJournal>& journal);
+
+  /// Deletes every key in one index slot of a table's key space.
+  Status PurgeIndexKeySpace(uint64_t table_id, uint32_t slot);
+
+  /// Drops the cached StTable binding and momentarily takes the write
+  /// barrier exclusively so no in-flight writer still holds a stale binding
+  /// (one without the new index defs) when the caller proceeds.
+  void InvalidateTableAndDrainWriters(const std::string& user,
+                                      const std::string& table);
+
   EngineOptions options_;
   std::unique_ptr<meta::Catalog> catalog_;
   std::unique_ptr<cluster::RegionCluster> cluster_;
@@ -171,6 +230,16 @@ class JustEngine {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<StTable>> table_cache_;
   std::map<std::string, exec::DataFrame> views_;
+
+  /// Writers hold this shared around (bind table, write); index DDL takes
+  /// it exclusive for a moment after invalidating the table cache, so a
+  /// writer can never insert through a binding that predates the DDL after
+  /// the backfill scan has started.
+  mutable std::shared_mutex write_barrier_;
+  /// In-progress online builds: ViewKey(user, table) -> index name ->
+  /// catch-up journal. GetTable attaches these to fresh bindings.
+  std::map<std::string, std::map<std::string, std::shared_ptr<IndexBuildJournal>>>
+      active_builds_;
 };
 
 }  // namespace just::core

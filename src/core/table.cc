@@ -54,6 +54,89 @@ std::string EncodeAttrKeyPart(const exec::Value& value) {
   PutLengthPrefixed(&out, encoded);
   return out;
 }
+
+/// Appends `s` with every 0x00 escaped as 0x00 0xFF, then a 0x00 0x01
+/// terminator: lexicographic order over the escaped bytes matches the order
+/// of the raw strings, and the terminator keeps values prefix-free so the
+/// fid suffix never bleeds into the comparison.
+void AppendEscapedTerminated(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '\0') {
+      out->push_back('\0');
+      out->push_back('\xFF');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('\0');
+  out->push_back('\x01');
+}
+
+constexpr uint64_t kSignFlip = 1ull << 63;
+
+/// Secondary-index cell: a type-class tag byte followed by a representation
+/// whose byte order matches value order, so range predicates on the indexed
+/// column translate to key ranges. Int and double share one ordered domain
+/// (double bits); int64s beyond 2^53 may collide with a neighbor, which the
+/// exact recheck on the decoded row resolves — the key order only has to be
+/// *no more selective than* value order, never wrong about it.
+std::string EncodeOrderedAttrKeyPart(const exec::Value& value) {
+  std::string out;
+  switch (value.type()) {
+    case exec::DataType::kNull:
+      out.push_back('\x00');
+      return out;
+    case exec::DataType::kBool:
+      out.push_back('\x01');
+      out.push_back(value.bool_value() ? '\x01' : '\x00');
+      return out;
+    case exec::DataType::kInt:
+      out.push_back('\x02');
+      PutFixed64BE(&out, OrderedDoubleBits(
+                             static_cast<double>(value.int_value())));
+      return out;
+    case exec::DataType::kDouble:
+      out.push_back('\x02');
+      PutFixed64BE(&out, OrderedDoubleBits(value.double_value()));
+      return out;
+    case exec::DataType::kTimestamp:
+      out.push_back('\x04');
+      PutFixed64BE(&out,
+                   static_cast<uint64_t>(value.timestamp_value()) ^ kSignFlip);
+      return out;
+    case exec::DataType::kString:
+      out.push_back('\x05');
+      AppendEscapedTerminated(&out, value.string_value());
+      return out;
+    default: {
+      // Geometry/trajectory: equality-usable only (serialized bytes carry
+      // no meaningful order), but entries stay well-formed and prefix-free.
+      out.push_back('\x06');
+      std::string raw;
+      value.SerializeTo(&raw);
+      AppendEscapedTerminated(&out, raw);
+      return out;
+    }
+  }
+}
+
+obs::Counter* IdxLookupsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_idx_lookups_total");
+  return c;
+}
+
+obs::Counter* IdxEntriesWrittenCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_idx_entries_written_total");
+  return c;
+}
+
+obs::Counter* IdxIntersectionsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("just_idx_intersections_total");
+  return c;
+}
 }  // namespace
 
 StTable::StTable(meta::TableMeta meta, cluster::RegionCluster* cluster,
@@ -145,13 +228,66 @@ Status StTable::AppendWriteOps(const exec::Row& row, bool delete_instead,
     key += EncodeAttrKeyPart(row[col]);
     key += ref.fid;
     ops->push_back(kv::WriteOp{std::move(key), value, delete_instead});
+    IdxEntriesWrittenCounter()->Add(1);
+  }
+  // CREATE INDEX secondary indexes: same shard as the base row (index
+  // lookups stay shard-local), order-preserving value encoding, covering
+  // row value. Ops for a `building` index are mirrored into the build's
+  // catch-up journal *before* the storage write (see IndexBuildJournal).
+  for (const meta::SecondaryIndexDef& def : meta_.secondary_indexes) {
+    int col = meta_.ColumnIndex(def.column);
+    if (col < 0) continue;
+    std::string key(1, static_cast<char>(shard));
+    key += IndexPrefix(def.slot);
+    key += EncodeOrderedAttrKeyPart(row[col]);
+    key += ref.fid;
+    ops->push_back(kv::WriteOp{std::move(key), value, delete_instead});
+    IdxEntriesWrittenCounter()->Add(1);
   }
   return Status::OK();
+}
+
+void StTable::MirrorOpsToBuildJournals(
+    const std::vector<kv::WriteOp>& ops) const {
+  if (build_journals_.empty()) return;
+  for (const meta::SecondaryIndexDef& def : meta_.secondary_indexes) {
+    if (def.state != meta::IndexState::kBuilding) continue;
+    auto it = build_journals_.find(def.name);
+    if (it == build_journals_.end()) continue;
+    std::string prefix = IndexPrefix(def.slot);
+    for (const kv::WriteOp& op : ops) {
+      if (op.key.size() > prefix.size() &&
+          op.key.compare(1, prefix.size(), prefix) == 0) {
+        it->second->Append(op);
+      }
+    }
+  }
+}
+
+Result<kv::WriteOp> StTable::MakeSecondaryEntryOp(
+    const meta::SecondaryIndexDef& def, const exec::Row& row,
+    bool delete_instead) const {
+  JUST_ASSIGN_OR_RETURN(auto ref, MakeRecordRef(row));
+  int col = meta_.ColumnIndex(def.column);
+  if (col < 0) {
+    return Status::InvalidArgument("index column not in table: " + def.column);
+  }
+  std::string value;
+  if (!delete_instead) {
+    JUST_ASSIGN_OR_RETURN(value, EncodeRow(meta_, row));
+  }
+  int shard = strategies_.empty() ? 0 : strategies_[0]->ShardOf(ref.fid);
+  std::string key(1, static_cast<char>(shard));
+  key += IndexPrefix(def.slot);
+  key += EncodeOrderedAttrKeyPart(row[col]);
+  key += ref.fid;
+  return kv::WriteOp{std::move(key), std::move(value), delete_instead};
 }
 
 Status StTable::WriteKeys(const exec::Row& row, bool delete_instead) {
   std::vector<kv::WriteOp> ops;
   JUST_RETURN_NOT_OK(AppendWriteOps(row, delete_instead, &ops));
+  MirrorOpsToBuildJournals(ops);
   return cluster_->WriteBatch(std::move(ops));
 }
 
@@ -160,6 +296,92 @@ bool StTable::HasAttributeIndex(const std::string& column) const {
     if (indexed == column) return true;
   }
   return false;
+}
+
+Result<exec::BatchVector> StTable::ScanRangesToBatches(
+    const std::vector<curve::KeyRange>& ranges,
+    const std::function<void(exec::ColumnBatch*)>& refine, QueryStats* stats,
+    const ScanBudget* budget, bool dedupe_keys, int fid_offset,
+    const std::unordered_set<std::string>* skip_fids,
+    bool record_counters) const {
+  auto schema = meta_.MakeSchema();
+  BatchRowDecoder decoder(meta_);
+  exec::BatchVector batches;
+  exec::ColumnBatch current(schema);
+  std::unordered_set<std::string> seen_keys;
+  size_t scanned = 0;
+  size_t matched = 0;
+  // Budgeted scans flush (and re-check the budget) on smaller batches so a
+  // tiny LIMIT stops within ~one streaming scan batch instead of 4096 rows.
+  const size_t batch_cap =
+      budget != nullptr
+          ? std::min<size_t>(exec::kBatchRows,
+                             std::max<size_t>(budget->limit, 512))
+          : exec::kBatchRows;
+  Status inner;  // first error raised inside a scan callback
+
+  auto flush = [&]() -> Status {
+    if (current.num_rows() == 0) return Status::OK();
+    if (refine) refine(&current);
+    if (budget != nullptr && budget->residual) {
+      JUST_RETURN_NOT_OK(budget->residual(&current));
+    }
+    matched += current.num_active();
+    batches.push_back(std::move(current));
+    current = exec::ColumnBatch(schema);
+    return Status::OK();
+  };
+
+  // Returns false to stop the scan (budget met or error; `inner` tells).
+  auto consume = [&](std::string_view key, std::string_view value) -> bool {
+    ++scanned;
+    if (skip_fids != nullptr &&
+        key.size() > static_cast<size_t>(fid_offset) &&
+        skip_fids->count(std::string(key.substr(fid_offset))) != 0) {
+      return true;  // already delivered by an earlier expansion area
+    }
+    if (dedupe_keys && !seen_keys.insert(std::string(key)).second) {
+      return true;  // overlapping ranges
+    }
+    if (current.num_rows() >= batch_cap) {
+      inner = flush();
+      if (!inner.ok()) return false;
+      if (budget != nullptr && matched >= budget->limit) return false;
+    }
+    inner = decoder.DecodeInto(value, &current);
+    return inner.ok();
+  };
+
+  size_t ranges_run = 0;
+  if (budget != nullptr) {
+    for (const curve::KeyRange& range : ranges) {
+      if (matched >= budget->limit) break;
+      ++ranges_run;
+      JUST_RETURN_NOT_OK(cluster_->Scan(
+          range.start, range.end,
+          [&](std::string_view k, std::string_view v) {
+            return consume(k, v);
+          }));
+      JUST_RETURN_NOT_OK(inner);
+    }
+  } else {
+    ranges_run = ranges.size();
+    JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
+    for (const auto& range_result : results) {
+      for (const auto& kv : range_result.rows) {
+        if (!consume(kv.key, kv.value)) break;
+      }
+      JUST_RETURN_NOT_OK(inner);
+    }
+  }
+  JUST_RETURN_NOT_OK(flush());
+  if (stats != nullptr) {
+    stats->key_ranges += ranges_run;
+    stats->rows_scanned += scanned;
+    stats->rows_matched += matched;
+  }
+  if (record_counters) RecordQueryCounters(ranges_run, scanned, matched);
+  return batches;
 }
 
 Result<exec::BatchVector> StTable::AttributeQueryBatch(
@@ -172,11 +394,9 @@ Result<exec::BatchVector> StTable::AttributeQueryBatch(
   if (attr_pos == meta_.attr_indexes.size()) {
     return Status::InvalidArgument("no attribute index on column " + column);
   }
-  int num_shards =
-      strategies_.empty() ? 1 : strategies_[0]->options().num_shards;
   std::vector<curve::KeyRange> ranges;
   std::string value_part = EncodeAttrKeyPart(value);
-  for (int shard = 0; shard < num_shards; ++shard) {
+  for (int shard = 0; shard < num_shards(); ++shard) {
     curve::KeyRange range;
     range.start.push_back(static_cast<char>(shard));
     range.start += IndexPrefix(AttrSlot(attr_pos));
@@ -184,16 +404,10 @@ Result<exec::BatchVector> StTable::AttributeQueryBatch(
     range.end = PrefixSuccessor(range.start);
     ranges.push_back(std::move(range));
   }
-  JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
-  auto schema = meta_.MakeSchema();
-  BatchRowDecoder decoder(meta_);
-  exec::BatchVector batches;
-  exec::ColumnBatch current(schema);
-  size_t scanned = 0;
   int col = meta_.ColumnIndex(column);
   // Exact recheck of the indexed column (the key encoding is injective, but
   // stay defensive), as a column loop over each full batch.
-  auto refine = [&](exec::ColumnBatch* batch) {
+  auto refine = [col, &value](exec::ColumnBatch* batch) {
     if (col < 0 || batch->num_rows() == 0) return;
     const exec::ColumnVector& c = batch->column(static_cast<size_t>(col));
     std::vector<uint32_t> sel;
@@ -203,29 +417,111 @@ Result<exec::BatchVector> StTable::AttributeQueryBatch(
     }
     batch->SetSelection(std::move(sel));
   };
-  for (const auto& range_result : results) {
-    for (const auto& kv : range_result.rows) {
-      ++scanned;
-      if (current.num_rows() >= exec::kBatchRows) {
-        refine(&current);
-        batches.push_back(std::move(current));
-        current = exec::ColumnBatch(schema);
-      }
-      JUST_RETURN_NOT_OK(decoder.DecodeInto(kv.value, &current));
+  return ScanRangesToBatches(ranges, refine, stats, /*budget=*/nullptr,
+                             /*dedupe_keys=*/false, /*fid_offset=*/0,
+                             /*skip_fids=*/nullptr,
+                             /*record_counters=*/true);
+}
+
+std::vector<curve::KeyRange> StTable::SecondaryIndexRanges(
+    const meta::SecondaryIndexDef& def, const AttrBound& lower,
+    const AttrBound& upper) const {
+  std::string prefix = IndexPrefix(def.slot);
+  std::vector<curve::KeyRange> ranges;
+  for (int shard = 0; shard < num_shards(); ++shard) {
+    std::string base(1, static_cast<char>(shard));
+    base += prefix;
+    curve::KeyRange range;
+    if (lower.present) {
+      std::string start = base + EncodeOrderedAttrKeyPart(lower.value);
+      // Exclusive lower: skip every entry whose value-part equals the bound.
+      range.start = lower.inclusive ? start : PrefixSuccessor(start);
+    } else {
+      range.start = base;
+    }
+    if (upper.present) {
+      std::string end = base + EncodeOrderedAttrKeyPart(upper.value);
+      range.end = upper.inclusive ? PrefixSuccessor(end) : end;
+    } else {
+      range.end = PrefixSuccessor(base);
+    }
+    if (!range.end.empty() && range.start < range.end) {
+      ranges.push_back(std::move(range));
     }
   }
-  if (current.num_rows() > 0) {
-    refine(&current);
-    batches.push_back(std::move(current));
+  return ranges;
+}
+
+Result<exec::BatchVector> StTable::SecondaryIndexQueryBatch(
+    const meta::SecondaryIndexDef& def, const AttrBound& lower,
+    const AttrBound& upper, const geo::Mbr* box, bool temporal,
+    TimestampMs t_min, TimestampMs t_max, QueryStats* stats,
+    const ScanBudget* budget) const {
+  int col = meta_.ColumnIndex(def.column);
+  if (col < 0) {
+    return Status::InvalidArgument("index column not in table: " + def.column);
   }
-  size_t matched = exec::BatchesActiveRows(batches);
-  if (stats != nullptr) {
-    stats->key_ranges += ranges.size();
-    stats->rows_scanned += scanned;
-    stats->rows_matched += matched;
+  auto ranges = SecondaryIndexRanges(def, lower, upper);
+  IdxLookupsCounter()->Add(1);
+  if (box != nullptr || temporal) IdxIntersectionsCounter()->Add(1);
+  // Exact recheck of the attribute bounds on the decoded (covering) rows —
+  // the numeric key encoding may admit boundary neighbors — composed with
+  // spatio-temporal refinement when this is the intersection path.
+  auto refine = [this, col, &lower, &upper, box, temporal, t_min,
+                 t_max](exec::ColumnBatch* batch) {
+    if (box != nullptr || temporal) {
+      RefineBatch(batch, box != nullptr ? *box : geo::Mbr::World(), temporal,
+                  t_min, t_max);
+    }
+    if (batch->num_rows() == 0) return;
+    const exec::ColumnVector& c = batch->column(static_cast<size_t>(col));
+    std::vector<uint32_t> sel;
+    sel.reserve(batch->num_active());
+    auto in_bounds = [&](uint32_t row) {
+      exec::Value v = c.ValueAt(row);
+      if (lower.present) {
+        int cmp = v.Compare(lower.value);
+        if (cmp < 0 || (cmp == 0 && !lower.inclusive)) return false;
+      }
+      if (upper.present) {
+        int cmp = v.Compare(upper.value);
+        if (cmp > 0 || (cmp == 0 && !upper.inclusive)) return false;
+      }
+      return true;
+    };
+    if (batch->has_selection()) {
+      for (uint32_t row : batch->selection()) {
+        if (in_bounds(row)) sel.push_back(row);
+      }
+    } else {
+      for (uint32_t row = 0; row < batch->num_rows(); ++row) {
+        if (in_bounds(row)) sel.push_back(row);
+      }
+    }
+    batch->SetSelection(std::move(sel));
+  };
+  return ScanRangesToBatches(ranges, refine, stats, budget,
+                             /*dedupe_keys=*/false, /*fid_offset=*/0,
+                             /*skip_fids=*/nullptr,
+                             /*record_counters=*/true);
+}
+
+Result<size_t> StTable::SecondaryIndexProbe(const meta::SecondaryIndexDef& def,
+                                            const AttrBound& lower,
+                                            const AttrBound& upper,
+                                            size_t limit) const {
+  auto ranges = SecondaryIndexRanges(def, lower, upper);
+  IdxLookupsCounter()->Add(1);
+  size_t count = 0;
+  for (const curve::KeyRange& range : ranges) {
+    if (count >= limit) break;
+    JUST_RETURN_NOT_OK(cluster_->Scan(
+        range.start, range.end,
+        [&](std::string_view, std::string_view) {
+          return ++count < limit;
+        }));
   }
-  RecordQueryCounters(ranges.size(), scanned, matched);
-  return batches;
+  return count;
 }
 
 Result<exec::DataFrame> StTable::AttributeQuery(const std::string& column,
@@ -255,15 +551,35 @@ Status StTable::InsertBatch(const std::vector<exec::Row>& rows) {
   for (const exec::Row& row : rows) {
     JUST_RETURN_NOT_OK(AppendWriteOps(row, /*delete_instead=*/false, &ops));
     if (ops.size() >= kMaxOpsPerBatch) {
+      MirrorOpsToBuildJournals(ops);
       JUST_RETURN_NOT_OK(cluster_->WriteBatch(std::move(ops)));
       ops.clear();
     }
   }
+  MirrorOpsToBuildJournals(ops);
   return cluster_->WriteBatch(std::move(ops));
 }
 
 Status StTable::Remove(const exec::Row& row) {
   return WriteKeys(row, /*delete_instead=*/true);
+}
+
+Status StTable::Replace(const exec::Row& old_row, const exec::Row& new_row) {
+  std::vector<kv::WriteOp> ops;
+  JUST_RETURN_NOT_OK(AppendWriteOps(new_row, /*delete_instead=*/false, &ops));
+  // Tombstone only the old entries the new row does not overwrite, so the
+  // batch is correct regardless of per-key application order within it.
+  std::unordered_set<std::string> new_keys;
+  new_keys.reserve(ops.size());
+  for (const kv::WriteOp& op : ops) new_keys.insert(op.key);
+  std::vector<kv::WriteOp> old_ops;
+  JUST_RETURN_NOT_OK(
+      AppendWriteOps(old_row, /*delete_instead=*/true, &old_ops));
+  for (kv::WriteOp& op : old_ops) {
+    if (new_keys.count(op.key) == 0) ops.push_back(std::move(op));
+  }
+  MirrorOpsToBuildJournals(ops);
+  return cluster_->WriteBatch(std::move(ops));
 }
 
 Result<const curve::IndexStrategy*> StTable::PickIndex(bool temporal) const {
@@ -339,43 +655,14 @@ void StTable::RefineBatch(exec::ColumnBatch* batch, const geo::Mbr& box,
 Result<exec::BatchVector> StTable::RunRangesBatch(
     const std::vector<curve::KeyRange>& ranges, const geo::Mbr& box,
     bool temporal, TimestampMs t_min, TimestampMs t_max, QueryStats* stats,
-    int fid_offset, const std::unordered_set<std::string>* skip_fids) const {
-  JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
-  auto schema = meta_.MakeSchema();
-  BatchRowDecoder decoder(meta_);
-  exec::BatchVector batches;
-  exec::ColumnBatch current(schema);
-  std::unordered_set<std::string> seen_keys;
-  size_t scanned = 0;
-  for (const auto& range_result : results) {
-    for (const auto& kv : range_result.rows) {
-      ++scanned;
-      if (skip_fids != nullptr &&
-          kv.key.size() > static_cast<size_t>(fid_offset) &&
-          skip_fids->count(kv.key.substr(fid_offset)) != 0) {
-        continue;  // already delivered by an earlier expansion area
-      }
-      if (!seen_keys.insert(kv.key).second) continue;  // overlapping ranges
-      if (current.num_rows() >= exec::kBatchRows) {
-        RefineBatch(&current, box, temporal, t_min, t_max);
-        batches.push_back(std::move(current));
-        current = exec::ColumnBatch(schema);
-      }
-      JUST_RETURN_NOT_OK(decoder.DecodeInto(kv.value, &current));
-    }
-  }
-  if (current.num_rows() > 0) {
-    RefineBatch(&current, box, temporal, t_min, t_max);
-    batches.push_back(std::move(current));
-  }
-  size_t matched = exec::BatchesActiveRows(batches);
-  if (stats != nullptr) {
-    stats->key_ranges += ranges.size();
-    stats->rows_scanned += scanned;
-    stats->rows_matched += matched;
-  }
-  RecordQueryCounters(ranges.size(), scanned, matched);
-  return batches;
+    int fid_offset, const std::unordered_set<std::string>* skip_fids,
+    const ScanBudget* budget) const {
+  auto refine = [this, &box, temporal, t_min, t_max](exec::ColumnBatch* b) {
+    RefineBatch(b, box, temporal, t_min, t_max);
+  };
+  return ScanRangesToBatches(ranges, refine, stats, budget,
+                             /*dedupe_keys=*/true, fid_offset, skip_fids,
+                             /*record_counters=*/true);
 }
 
 Result<exec::DataFrame> StTable::RunRanges(
@@ -394,13 +681,14 @@ Result<exec::DataFrame> StTable::SpatialRangeQuery(const geo::Mbr& box,
 }
 
 Result<exec::BatchVector> StTable::SpatialRangeQueryBatch(
-    const geo::Mbr& box, QueryStats* stats) const {
-  return SpatialRangeQueryInternalBatch(box, stats, nullptr);
+    const geo::Mbr& box, QueryStats* stats, const ScanBudget* budget) const {
+  return SpatialRangeQueryInternalBatch(box, stats, nullptr, budget);
 }
 
 Result<exec::BatchVector> StTable::SpatialRangeQueryInternalBatch(
     const geo::Mbr& box, QueryStats* stats,
-    const std::unordered_set<std::string>* skip_fids) const {
+    const std::unordered_set<std::string>* skip_fids,
+    const ScanBudget* budget) const {
   JUST_ASSIGN_OR_RETURN(const curve::IndexStrategy* strategy,
                         PickIndex(/*temporal=*/false));
   size_t slot = 0;
@@ -412,7 +700,7 @@ Result<exec::BatchVector> StTable::SpatialRangeQueryInternalBatch(
   // Table/index prefix (5 bytes) is spliced in after the shard byte.
   int fid_offset = strategy->FidOffset() + 5;
   return RunRangesBatch(ranges, box, /*temporal=*/false, 0, 0, stats,
-                        fid_offset, skip_fids);
+                        fid_offset, skip_fids, budget);
 }
 
 Result<exec::DataFrame> StTable::SpatialRangeQueryInternal(
@@ -423,10 +711,9 @@ Result<exec::DataFrame> StTable::SpatialRangeQueryInternal(
   return exec::BatchesToDataFrame(meta_.MakeSchema(), batches);
 }
 
-Result<exec::BatchVector> StTable::StRangeQueryBatch(const geo::Mbr& box,
-                                                     TimestampMs t_min,
-                                                     TimestampMs t_max,
-                                                     QueryStats* stats) const {
+Result<exec::BatchVector> StTable::StRangeQueryBatch(
+    const geo::Mbr& box, TimestampMs t_min, TimestampMs t_max,
+    QueryStats* stats, const ScanBudget* budget) const {
   JUST_ASSIGN_OR_RETURN(const curve::IndexStrategy* strategy,
                         PickIndex(/*temporal=*/true));
   size_t slot = 0;
@@ -435,7 +722,7 @@ Result<exec::BatchVector> StTable::StRangeQueryBatch(const geo::Mbr& box,
   }
   auto ranges = WrapRanges(slot, strategy->QueryRanges(box, t_min, t_max));
   return RunRangesBatch(ranges, box, /*temporal=*/true, t_min, t_max, stats,
-                        strategy->FidOffset() + 5, nullptr);
+                        strategy->FidOffset() + 5, nullptr, budget);
 }
 
 Result<exec::DataFrame> StTable::StRangeQuery(const geo::Mbr& box,
@@ -555,7 +842,8 @@ Result<exec::DataFrame> StTable::KnnQuery(const geo::Point& q, int k,
   return exec::DataFrame(meta_.MakeSchema(), std::move(rows));
 }
 
-Result<exec::BatchVector> StTable::FullScanBatch() const {
+Result<exec::BatchVector> StTable::FullScanBatch(
+    QueryStats* stats, const ScanBudget* budget) const {
   if (strategies_.empty()) {
     return Status::InvalidArgument("table " + meta_.name + " has no indexes");
   }
@@ -572,22 +860,13 @@ Result<exec::BatchVector> StTable::FullScanBatch() const {
     range.end += end_prefix;
     ranges.push_back(std::move(range));
   }
-  JUST_ASSIGN_OR_RETURN(auto results, cluster_->ParallelScan(ranges));
-  auto schema = meta_.MakeSchema();
-  BatchRowDecoder decoder(meta_);
-  exec::BatchVector batches;
-  exec::ColumnBatch current(schema);
-  for (const auto& range_result : results) {
-    for (const auto& kv : range_result.rows) {
-      if (current.num_rows() >= exec::kBatchRows) {
-        batches.push_back(std::move(current));
-        current = exec::ColumnBatch(schema);
-      }
-      JUST_RETURN_NOT_OK(decoder.DecodeInto(kv.value, &current));
-    }
-  }
-  if (current.num_rows() > 0) batches.push_back(std::move(current));
-  return batches;
+  // Plain full scans stay counter-silent (they have no pruning story to
+  // account); budgeted ones record how little they scanned — that *is* the
+  // LIMIT-pushdown regression signal.
+  return ScanRangesToBatches(ranges, /*refine=*/nullptr, stats, budget,
+                             /*dedupe_keys=*/false, /*fid_offset=*/0,
+                             /*skip_fids=*/nullptr,
+                             /*record_counters=*/budget != nullptr);
 }
 
 Result<exec::DataFrame> StTable::FullScan() const {

@@ -1,7 +1,11 @@
 #ifndef JUST_CORE_TABLE_H_
 #define JUST_CORE_TABLE_H_
 
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -20,6 +24,64 @@ struct QueryStats {
   size_t key_ranges = 0;     ///< SCANs issued
   size_t rows_scanned = 0;   ///< KV pairs read before refinement
   size_t rows_matched = 0;   ///< rows surviving exact refinement
+};
+
+/// One bound of an attribute range predicate on a secondary index.
+struct AttrBound {
+  bool present = false;   ///< false: this side is unbounded
+  bool inclusive = true;  ///< >= / <= vs > / <
+  exec::Value value;
+};
+
+/// A row budget threaded down from LIMIT: the scan stops issuing reads once
+/// `limit` rows survive spatio-temporal refinement plus `residual` (the
+/// compiled SQL residual predicate, applied per batch by shrinking its
+/// selection). Budgeted scans run ranges sequentially with streaming
+/// early-stop instead of materializing every range in parallel.
+struct ScanBudget {
+  size_t limit = 0;
+  std::function<Status(exec::ColumnBatch*)> residual;  ///< may be empty
+};
+
+/// The in-memory catch-up journal of one online index build. While an index
+/// is `building`, every writer appends its index-entry op here *before*
+/// issuing the storage write; the builder replays the journal after the
+/// backfill scan so writer ops always land after (and therefore win over)
+/// any backfill put they raced with. FIFO replay converges: a stale replay
+/// of an old op is always followed by the replay of the newer op for the
+/// same key. Closed (atomically, once drained) at the `ready` flip.
+class IndexBuildJournal {
+ public:
+  void Append(const kv::WriteOp& op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (accepting_) ops_.push_back(op);
+  }
+
+  /// Removes and returns up to `max` ops (empty when drained right now).
+  std::vector<kv::WriteOp> Drain(size_t max) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<kv::WriteOp> out;
+    while (!ops_.empty() && out.size() < max) {
+      out.push_back(std::move(ops_.front()));
+      ops_.pop_front();
+    }
+    return out;
+  }
+
+  /// Atomically stops accepting appends iff the journal is drained. After a
+  /// successful close, late writers skip the journal — their direct writes
+  /// can no longer race with a backfill put, so this is the commit point.
+  bool CloseIfDrained() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ops_.empty()) return false;
+    accepting_ = false;
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  bool accepting_ = true;
+  std::deque<kv::WriteOp> ops_;
 };
 
 /// A bound data table: metadata plus its key spaces in the cluster. Each
@@ -41,8 +103,17 @@ class StTable {
   /// instead of one per key). The bulk-load path (Section VII).
   Status InsertBatch(const std::vector<exec::Row>& rows);
 
-  /// Removes a previously inserted row (all index entries).
+  /// Removes a previously inserted row (all index entries). The secondary-
+  /// index tombstones ride the same group-commit batch as the base-row
+  /// tombstones, so there is no window where an index lookup can resurrect
+  /// the deleted row.
   Status Remove(const exec::Row& row);
+
+  /// Updates a row in place: tombstones for every index entry of `old_row`
+  /// that the new row does not overwrite, plus the puts for `new_row`, all
+  /// in one group-commit batch. This is how an attribute change retires the
+  /// stale secondary-index entry under the old value atomically.
+  Status Replace(const exec::Row& old_row, const exec::Row& new_row);
 
   /// Spatial range query (Section V-C): records within `box`.
   Result<exec::DataFrame> SpatialRangeQuery(const geo::Mbr& box,
@@ -61,16 +132,54 @@ class StTable {
   // DataFrame methods above are thin wrappers over these.
 
   Result<exec::BatchVector> SpatialRangeQueryBatch(
-      const geo::Mbr& box, QueryStats* stats = nullptr) const;
-  Result<exec::BatchVector> StRangeQueryBatch(const geo::Mbr& box,
-                                              TimestampMs t_min,
-                                              TimestampMs t_max,
-                                              QueryStats* stats = nullptr) const;
-  Result<exec::BatchVector> FullScanBatch() const;
+      const geo::Mbr& box, QueryStats* stats = nullptr,
+      const ScanBudget* budget = nullptr) const;
+  Result<exec::BatchVector> StRangeQueryBatch(
+      const geo::Mbr& box, TimestampMs t_min, TimestampMs t_max,
+      QueryStats* stats = nullptr, const ScanBudget* budget = nullptr) const;
+  Result<exec::BatchVector> FullScanBatch(
+      QueryStats* stats = nullptr, const ScanBudget* budget = nullptr) const;
   Result<exec::BatchVector> AttributeQueryBatch(const std::string& column,
                                                 const exec::Value& value,
                                                 QueryStats* stats = nullptr)
       const;
+
+  /// Point/range lookup through a CREATE INDEX secondary index. Entries are
+  /// covering (the value is the encoded row), so no base-table fetch is
+  /// needed. When `box`/`temporal` are given this is the curve-intersection
+  /// hybrid path: index entries drive, exact spatio-temporal refinement
+  /// filters — equivalent to intersecting the curve and secondary indexes
+  /// but without a second key lookup per row.
+  Result<exec::BatchVector> SecondaryIndexQueryBatch(
+      const meta::SecondaryIndexDef& def, const AttrBound& lower,
+      const AttrBound& upper, const geo::Mbr* box, bool temporal,
+      TimestampMs t_min, TimestampMs t_max, QueryStats* stats = nullptr,
+      const ScanBudget* budget = nullptr) const;
+
+  /// Counts index entries in [lower, upper], stopping at `limit` — the
+  /// cardinality probe behind access-path selection.
+  Result<size_t> SecondaryIndexProbe(const meta::SecondaryIndexDef& def,
+                                     const AttrBound& lower,
+                                     const AttrBound& upper,
+                                     size_t limit) const;
+
+  /// The one index-entry op (put or tombstone) of `row` in secondary index
+  /// `def`; used by the online builder's backfill.
+  Result<kv::WriteOp> MakeSecondaryEntryOp(const meta::SecondaryIndexDef& def,
+                                           const exec::Row& row,
+                                           bool delete_instead) const;
+
+  /// Registers the catch-up journal of an in-progress online build: writer
+  /// ops on `index_name` are mirrored into it (before the storage write).
+  void AttachBuildJournal(const std::string& index_name,
+                          std::shared_ptr<IndexBuildJournal> journal) {
+    build_journals_[index_name] = std::move(journal);
+  }
+
+  /// Shard fan-out of this table's key spaces.
+  int num_shards() const {
+    return strategies_.empty() ? 1 : strategies_[0]->options().num_shards;
+  }
 
   /// k-NN query per Algorithm 1 (iterative area expansion with Lemma 1
   /// pruning), built on spatial range queries.
@@ -105,6 +214,11 @@ class StTable {
   /// single-row and batch write paths.
   Status AppendWriteOps(const exec::Row& row, bool delete_instead,
                         std::vector<kv::WriteOp>* ops) const;
+  /// Mirrors the ops that land in a `building` secondary index's key space
+  /// into that build's catch-up journal. Must be called immediately before
+  /// the cluster WriteBatch carrying `ops` (append-then-write ordering is
+  /// what makes journal replay converge).
+  void MirrorOpsToBuildJournals(const std::vector<kv::WriteOp>& ops) const;
   Result<curve::RecordRef> MakeRecordRef(const exec::Row& row) const;
 
   /// Rewrites a strategy key (shard :: rest) as
@@ -122,7 +236,19 @@ class StTable {
       const std::vector<curve::KeyRange>& ranges, const geo::Mbr& box,
       bool temporal, TimestampMs t_min, TimestampMs t_max, QueryStats* stats,
       int fid_offset,
-      const std::unordered_set<std::string>* skip_fids) const;
+      const std::unordered_set<std::string>* skip_fids,
+      const ScanBudget* budget = nullptr) const;
+
+  /// The shared scan core: runs `ranges` (ParallelScan normally; sequential
+  /// streaming RegionCluster::Scan with early-stop when `budget` is set),
+  /// decodes KV pairs into batches, applies `refine` (selection shrink) and
+  /// then the budget's residual per batch, and accounts stats/counters.
+  Result<exec::BatchVector> ScanRangesToBatches(
+      const std::vector<curve::KeyRange>& ranges,
+      const std::function<void(exec::ColumnBatch*)>& refine,
+      QueryStats* stats, const ScanBudget* budget, bool dedupe_keys,
+      int fid_offset, const std::unordered_set<std::string>* skip_fids,
+      bool record_counters) const;
 
   /// Row-oriented wrapper over RunRangesBatch.
   Result<exec::DataFrame> RunRanges(const std::vector<curve::KeyRange>& ranges,
@@ -140,7 +266,8 @@ class StTable {
   /// Internal spatial range query with a skip set (see RunRangesBatch).
   Result<exec::BatchVector> SpatialRangeQueryInternalBatch(
       const geo::Mbr& box, QueryStats* stats,
-      const std::unordered_set<std::string>* skip_fids) const;
+      const std::unordered_set<std::string>* skip_fids,
+      const ScanBudget* budget = nullptr) const;
   Result<exec::DataFrame> SpatialRangeQueryInternal(
       const geo::Mbr& box, QueryStats* stats,
       const std::unordered_set<std::string>* skip_fids) const;
@@ -151,12 +278,20 @@ class StTable {
     return strategies_.size() + attr_pos;
   }
 
+  /// Per-shard key ranges covering secondary index `def` restricted to
+  /// [lower, upper] in the order-preserving attribute encoding.
+  std::vector<curve::KeyRange> SecondaryIndexRanges(
+      const meta::SecondaryIndexDef& def, const AttrBound& lower,
+      const AttrBound& upper) const;
+
   meta::TableMeta meta_;
   cluster::RegionCluster* cluster_;
   std::vector<std::unique_ptr<curve::IndexStrategy>> strategies_;
   int fid_col_ = -1;
   int geom_col_ = -1;
   int time_col_ = -1;
+  /// Catch-up journals of in-progress online builds, by index name.
+  std::map<std::string, std::shared_ptr<IndexBuildJournal>> build_journals_;
 };
 
 }  // namespace just::core

@@ -22,6 +22,24 @@ std::shared_ptr<exec::Schema> TableMeta::MakeSchema() const {
   return schema;
 }
 
+const SecondaryIndexDef* TableMeta::FindSecondaryIndex(
+    const std::string& index_name) const {
+  for (const SecondaryIndexDef& def : secondary_indexes) {
+    if (def.name == index_name) return &def;
+  }
+  return nullptr;
+}
+
+const SecondaryIndexDef* TableMeta::ReadySecondaryIndexOn(
+    const std::string& column_name) const {
+  for (const SecondaryIndexDef& def : secondary_indexes) {
+    if (def.column == column_name && def.state == IndexState::kReady) {
+      return &def;
+    }
+  }
+  return nullptr;
+}
+
 namespace {
 
 JsonValue TableToJson(const TableMeta& table) {
@@ -60,6 +78,21 @@ JsonValue TableToJson(const TableMeta& table) {
     attrs.push_back(JsonValue::String(col));
   }
   obj["attrs"] = JsonValue::Array(std::move(attrs));
+  std::vector<JsonValue> sec;
+  for (const SecondaryIndexDef& def : table.secondary_indexes) {
+    std::map<std::string, JsonValue> s;
+    s["name"] = JsonValue::String(def.name);
+    s["column"] = JsonValue::String(def.column);
+    s["slot"] = JsonValue::Number(static_cast<double>(def.slot));
+    s["state"] = JsonValue::String(def.state == IndexState::kReady
+                                       ? "ready"
+                                       : "building");
+    sec.push_back(JsonValue::Object(std::move(s)));
+  }
+  obj["sec_indexes"] = JsonValue::Array(std::move(sec));
+  obj["next_slot"] =
+      JsonValue::Number(static_cast<double>(table.next_index_slot));
+  obj["gen"] = JsonValue::Number(static_cast<double>(table.generation));
   return JsonValue::Object(std::move(obj));
 }
 
@@ -96,6 +129,19 @@ Result<TableMeta> TableFromJson(const JsonValue& json) {
   for (const JsonValue& a : json.Get("attrs").array_items()) {
     if (a.is_string()) table.attr_indexes.push_back(a.string_value());
   }
+  // Absent in catalogs written before secondary indexes existed.
+  for (const JsonValue& s : json.Get("sec_indexes").array_items()) {
+    SecondaryIndexDef def;
+    def.name = s.GetString("name");
+    def.column = s.GetString("column");
+    def.slot = static_cast<uint32_t>(s.Get("slot").number_value());
+    def.state = s.GetString("state") == "ready" ? IndexState::kReady
+                                                : IndexState::kBuilding;
+    table.secondary_indexes.push_back(std::move(def));
+  }
+  table.next_index_slot =
+      static_cast<uint32_t>(json.Get("next_slot").number_value());
+  table.generation = static_cast<uint64_t>(json.Get("gen").number_value());
   return table;
 }
 
@@ -130,6 +176,7 @@ Status Catalog::Load() {
     JUST_ASSIGN_OR_RETURN(auto json, ParseJson(line));
     JUST_ASSIGN_OR_RETURN(auto table, TableFromJson(json));
     next_table_id_ = std::max(next_table_id_, table.table_id + 1);
+    next_generation_ = std::max(next_generation_, table.generation + 1);
     tables_[Key(table.user, table.name)] = std::move(table);
   }
   return Status::OK();
@@ -162,13 +209,93 @@ Status Catalog::CreateTable(TableMeta* table) {
     return Status::AlreadyExists("table already exists: " + table->name);
   }
   table->table_id = next_table_id_++;
+  table->generation = next_generation_++;
   tables_[key] = *table;
   Status st = PersistLocked();
   if (!st.ok()) {
     tables_.erase(key);  // roll back the in-memory change
     --next_table_id_;
+    --next_generation_;
   }
   return st;
+}
+
+Status Catalog::AddIndex(const std::string& user, const std::string& name,
+                         const SecondaryIndexDef& def) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(Key(user, name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  TableMeta saved = it->second;
+  for (const SecondaryIndexDef& existing : it->second.secondary_indexes) {
+    if (existing.name == def.name) {
+      return Status::AlreadyExists("index already exists: " + def.name);
+    }
+  }
+  it->second.secondary_indexes.push_back(def);
+  it->second.next_index_slot =
+      std::max(it->second.next_index_slot, def.slot + 1);
+  it->second.generation = next_generation_++;
+  Status st = PersistLocked();
+  if (!st.ok()) {
+    it->second = std::move(saved);
+    --next_generation_;
+  }
+  return st;
+}
+
+Status Catalog::DropIndex(const std::string& user, const std::string& name,
+                          const std::string& index_name,
+                          SecondaryIndexDef* dropped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(Key(user, name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  auto& defs = it->second.secondary_indexes;
+  auto def_it = defs.begin();
+  while (def_it != defs.end() && def_it->name != index_name) ++def_it;
+  if (def_it == defs.end()) {
+    return Status::NotFound("no such index: " + index_name);
+  }
+  TableMeta saved = it->second;
+  SecondaryIndexDef removed = *def_it;
+  defs.erase(def_it);
+  it->second.generation = next_generation_++;
+  Status st = PersistLocked();
+  if (!st.ok()) {
+    it->second = std::move(saved);
+    --next_generation_;
+    return st;
+  }
+  if (dropped != nullptr) *dropped = std::move(removed);
+  return st;
+}
+
+Status Catalog::SetIndexState(const std::string& user, const std::string& name,
+                              const std::string& index_name,
+                              IndexState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(Key(user, name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  for (SecondaryIndexDef& def : it->second.secondary_indexes) {
+    if (def.name != index_name) continue;
+    IndexState saved_state = def.state;
+    uint64_t saved_gen = it->second.generation;
+    def.state = state;
+    it->second.generation = next_generation_++;
+    Status st = PersistLocked();
+    if (!st.ok()) {
+      def.state = saved_state;
+      it->second.generation = saved_gen;
+      --next_generation_;
+    }
+    return st;
+  }
+  return Status::NotFound("no such index: " + index_name);
 }
 
 Status Catalog::DropTable(const std::string& user, const std::string& name) {
@@ -198,6 +325,13 @@ bool Catalog::TableExists(const std::string& user,
                           const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return tables_.count(Key(user, name)) != 0;
+}
+
+std::vector<TableMeta> Catalog::AllTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableMeta> out;
+  for (const auto& [key, table] : tables_) out.push_back(table);
+  return out;
 }
 
 std::vector<TableMeta> Catalog::ListTables(const std::string& user) const {

@@ -33,6 +33,22 @@ struct IndexConfig {
   int64_t period_len_ms = kMillisPerDay;
 };
 
+/// Lifecycle of a secondary attribute index. `kBuilding` indexes are being
+/// backfilled online: writers already maintain them, but queries must not
+/// use them until the atomic catalog flip to `kReady`.
+enum class IndexState { kBuilding, kReady };
+
+/// One CREATE INDEX secondary index: entries live in their own key-prefix
+/// slot of the table's key space, keyed by an order-preserving encoding of
+/// the indexed column value followed by the row fid, with the full encoded
+/// row as a covering value.
+struct SecondaryIndexDef {
+  std::string name;    ///< index name, unique within the table
+  std::string column;  ///< indexed column name
+  uint32_t slot = 0;   ///< key-prefix slot (assigned at creation, stable)
+  IndexState state = IndexState::kBuilding;
+};
+
 /// Everything the meta table records about a data table: kind, fields,
 /// index configuration, and the special-column bindings.
 struct TableMeta {
@@ -48,10 +64,26 @@ struct TableMeta {
   /// Columns carrying a secondary attribute index (Figure 1's "Attribute
   /// Indexing"): equality predicates on them avoid full scans.
   std::vector<std::string> attr_indexes;
+  /// CREATE INDEX secondary indexes (point/range capable, online build).
+  std::vector<SecondaryIndexDef> secondary_indexes;
+  /// Next free secondary-index slot: monotonic over the table's lifetime so
+  /// a dropped index's slot (and any orphaned entries a crashed drop left
+  /// behind) is never reused.
+  uint32_t next_index_slot = 0;
   uint64_t table_id = 0;  ///< storage key prefix, assigned by the catalog
+  /// Catalog generation: globally monotonic, reassigned on CREATE TABLE and
+  /// bumped on every index DDL touching this table. Compiled-plan caches key
+  /// on it so any DDL invalidates cached programs for the table.
+  uint64_t generation = 0;
 
   int ColumnIndex(const std::string& column_name) const;
   std::shared_ptr<exec::Schema> MakeSchema() const;
+  /// The secondary index named `index_name`, or nullptr.
+  const SecondaryIndexDef* FindSecondaryIndex(
+      const std::string& index_name) const;
+  /// A `kReady` secondary index over `column_name`, or nullptr.
+  const SecondaryIndexDef* ReadySecondaryIndexOn(
+      const std::string& column_name) const;
 };
 
 /// The meta store (the role MySQL plays in the paper): durable, transactional
@@ -66,6 +98,22 @@ class Catalog {
 
   Status DropTable(const std::string& user, const std::string& name);
 
+  /// Registers a secondary index on (user, name) and persists. Fails on a
+  /// duplicate index name. Bumps the table's generation.
+  Status AddIndex(const std::string& user, const std::string& name,
+                  const SecondaryIndexDef& def);
+
+  /// Removes the secondary index and persists; `dropped` (optional)
+  /// receives the removed definition. Bumps the table's generation.
+  Status DropIndex(const std::string& user, const std::string& name,
+                   const std::string& index_name,
+                   SecondaryIndexDef* dropped = nullptr);
+
+  /// Flips the index's lifecycle state (the atomic `building` -> `ready`
+  /// commit point of an online build). Bumps the table's generation.
+  Status SetIndexState(const std::string& user, const std::string& name,
+                       const std::string& index_name, IndexState state);
+
   Result<TableMeta> GetTable(const std::string& user,
                              const std::string& name) const;
 
@@ -73,6 +121,10 @@ class Catalog {
 
   /// Tables owned by `user`, sorted by name (SHOW TABLES).
   std::vector<TableMeta> ListTables(const std::string& user) const;
+
+  /// Every table in the catalog (the engine's startup sweep over leftover
+  /// `building` indexes).
+  std::vector<TableMeta> AllTables() const;
 
  private:
   explicit Catalog(std::string path) : path_(std::move(path)) {}
@@ -85,6 +137,7 @@ class Catalog {
   mutable std::mutex mu_;
   std::map<std::string, TableMeta> tables_;
   uint64_t next_table_id_ = 1;
+  uint64_t next_generation_ = 1;
 };
 
 }  // namespace just::meta

@@ -1,0 +1,290 @@
+#include "sql/access_path.h"
+
+#include <cctype>
+
+#include "common/time_util.h"
+
+namespace just::sql {
+
+namespace {
+
+bool IsGeometryLiteral(const Expr& e) {
+  return e.kind == Expr::Kind::kLiteral &&
+         e.literal.type() == exec::DataType::kGeometry;
+}
+
+bool IsTimeLiteral(const Expr& e, TimestampMs* out) {
+  if (e.kind != Expr::Kind::kLiteral) return false;
+  if (e.literal.type() == exec::DataType::kTimestamp) {
+    *out = e.literal.timestamp_value();
+    return true;
+  }
+  if (e.literal.type() == exec::DataType::kInt) {
+    *out = e.literal.int_value();
+    return true;
+  }
+  if (e.literal.type() == exec::DataType::kString) {
+    auto parsed = ParseTimestamp(e.literal.string_value());
+    if (!parsed.ok()) return false;
+    *out = parsed.value();
+    return true;
+  }
+  return false;
+}
+
+bool ColumnEquals(const Expr& e, const std::string& name) {
+  if (e.kind != Expr::Kind::kColumn) return false;
+  if (e.column.size() != name.size()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(e.column[i])) !=
+        std::tolower(static_cast<unsigned char>(name[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Coerces a bound literal into the indexed column's value domain so the
+/// order-preserving key encoding compares like with like (a string date
+/// against a timestamp column would otherwise land in the wrong key range).
+bool CoerceBoundValue(exec::DataType column_type, exec::Value* value) {
+  if (column_type != exec::DataType::kTimestamp) return true;
+  if (value->type() == exec::DataType::kTimestamp) return true;
+  if (value->type() == exec::DataType::kInt) {
+    *value = exec::Value::Timestamp(value->int_value());
+    return true;
+  }
+  if (value->type() == exec::DataType::kString) {
+    auto parsed = ParseTimestamp(value->string_value());
+    if (!parsed.ok()) return false;
+    *value = exec::Value::Timestamp(parsed.value());
+    return true;
+  }
+  return false;
+}
+
+/// The `ready` secondary index whose column `e` references, or nullptr.
+const meta::SecondaryIndexDef* ReadyIndexFor(const meta::TableMeta& table_meta,
+                                             const Expr& e) {
+  for (const meta::SecondaryIndexDef& def : table_meta.secondary_indexes) {
+    if (def.state == meta::IndexState::kReady && ColumnEquals(e, def.column)) {
+      return &def;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr->kind == Expr::Kind::kBinary && expr->op == BinaryOp::kAnd) {
+    SplitConjuncts(expr->args[0].get(), out);
+    SplitConjuncts(expr->args[1].get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+Result<AccessPath> ChooseAccessPath(
+    core::JustEngine* engine, const std::string& user,
+    const meta::TableMeta& table_meta,
+    const std::vector<const Expr*>& conjuncts) {
+  AccessPath path;
+  bool have_knn = false;
+  std::vector<const Expr*> index_conjuncts;  ///< consumed by the bounds
+  const Expr* attr_conjunct = nullptr;
+  exec::DataType index_column_type = exec::DataType::kNull;
+
+  for (const Expr* conjunct : conjuncts) {
+    if (conjunct->kind != Expr::Kind::kBinary) {
+      path.residual.push_back(conjunct);
+      continue;
+    }
+    if (conjunct->op == BinaryOp::kWithin && !path.have_box &&
+        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
+        IsGeometryLiteral(*conjunct->args[1])) {
+      path.box = conjunct->args[1]->literal.geometry_value().Bounds();
+      path.have_box = true;
+      continue;
+    }
+    if (conjunct->op == BinaryOp::kBetween && !path.have_time &&
+        ColumnEquals(*conjunct->args[0], table_meta.time_column)) {
+      TimestampMs lo, hi;
+      if (IsTimeLiteral(*conjunct->args[1], &lo) &&
+          IsTimeLiteral(*conjunct->args[2], &hi)) {
+        path.t_min = lo;
+        path.t_max = hi;
+        path.have_time = true;
+        continue;
+      }
+    }
+    if (conjunct->op == BinaryOp::kIn && !have_knn &&
+        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
+        conjunct->args[1]->kind == Expr::Kind::kCall &&
+        conjunct->args[1]->call_name == "st_knn" &&
+        conjunct->args[1]->args.size() == 2) {
+      const Expr& point_arg = *conjunct->args[1]->args[0];
+      const Expr& k_arg = *conjunct->args[1]->args[1];
+      if (IsGeometryLiteral(point_arg) && k_arg.kind == Expr::Kind::kLiteral) {
+        auto k = k_arg.literal.AsInt();
+        if (k.ok()) {
+          path.knn_query = point_arg.literal.geometry_value().Bounds().Center();
+          path.knn_k = static_cast<int>(k.value());
+          have_knn = true;
+          continue;
+        }
+      }
+    }
+    // Secondary-index bounds: column-vs-literal comparisons and BETWEEN on
+    // a column carrying a `ready` CREATE INDEX index. One driving column;
+    // at most one bound per side — everything else stays residual (the
+    // range recheck inside the index scan keeps any split exact).
+    if (conjunct->args[0]->kind == Expr::Kind::kColumn) {
+      const meta::SecondaryIndexDef* def =
+          ReadyIndexFor(table_meta, *conjunct->args[0]);
+      if (def != nullptr &&
+          (path.index_column.empty() || path.index_column == def->column)) {
+        int col = table_meta.ColumnIndex(def->column);
+        exec::DataType col_type =
+            col >= 0 ? table_meta.columns[static_cast<size_t>(col)].type
+                     : exec::DataType::kNull;
+        bool consumed = false;
+        if (conjunct->op == BinaryOp::kBetween &&
+            conjunct->args[1]->kind == Expr::Kind::kLiteral &&
+            conjunct->args[2]->kind == Expr::Kind::kLiteral &&
+            !path.lower.present && !path.upper.present) {
+          exec::Value lo = conjunct->args[1]->literal;
+          exec::Value hi = conjunct->args[2]->literal;
+          if (CoerceBoundValue(col_type, &lo) &&
+              CoerceBoundValue(col_type, &hi)) {
+            path.lower = {true, true, std::move(lo)};
+            path.upper = {true, true, std::move(hi)};
+            consumed = true;
+          }
+        } else if (conjunct->args.size() == 2 &&
+                   conjunct->args[1]->kind == Expr::Kind::kLiteral) {
+          exec::Value v = conjunct->args[1]->literal;
+          if (CoerceBoundValue(col_type, &v)) {
+            switch (conjunct->op) {
+              case BinaryOp::kEq:
+                if (!path.lower.present && !path.upper.present) {
+                  path.lower = {true, true, v};
+                  path.upper = {true, true, std::move(v)};
+                  consumed = true;
+                }
+                break;
+              case BinaryOp::kGt:
+              case BinaryOp::kGe:
+                if (!path.lower.present) {
+                  path.lower = {true, conjunct->op == BinaryOp::kGe,
+                                std::move(v)};
+                  consumed = true;
+                }
+                break;
+              case BinaryOp::kLt:
+              case BinaryOp::kLe:
+                if (!path.upper.present) {
+                  path.upper = {true, conjunct->op == BinaryOp::kLe,
+                                std::move(v)};
+                  consumed = true;
+                }
+                break;
+              default:
+                break;
+            }
+          }
+        }
+        if (consumed) {
+          path.index_column = def->column;
+          index_column_type = col_type;
+          index_conjuncts.push_back(conjunct);
+          continue;
+        }
+      }
+    }
+    // Legacy attr-index equality (USERDATA 'just.attr.indexes').
+    if (conjunct->op == BinaryOp::kEq && !path.have_attr &&
+        conjunct->args[0]->kind == Expr::Kind::kColumn &&
+        conjunct->args[1]->kind == Expr::Kind::kLiteral) {
+      bool indexed = false;
+      for (const std::string& indexed_col : table_meta.attr_indexes) {
+        if (ColumnEquals(*conjunct->args[0], indexed_col)) {
+          indexed = true;
+          path.attr_column = indexed_col;
+        }
+      }
+      if (indexed) {
+        path.attr_value = conjunct->args[1]->literal;
+        path.have_attr = true;
+        attr_conjunct = conjunct;
+        continue;
+      }
+    }
+    path.residual.push_back(conjunct);
+  }
+  (void)index_column_type;
+
+  auto demote_index_bounds = [&] {
+    for (const Expr* c : index_conjuncts) path.residual.push_back(c);
+    path.index_column.clear();
+    path.lower = core::AttrBound{};
+    path.upper = core::AttrBound{};
+  };
+
+  if (have_knn) {
+    path.kind = AccessPath::Kind::kKnn;
+    path.label = "knn";
+    demote_index_bounds();
+    return path;
+  }
+
+  if (!path.index_column.empty()) {
+    bool use_index = false;
+    if (!path.have_box && !path.have_time) {
+      path.kind = AccessPath::Kind::kSecondaryIndex;
+      path.label = "secondary_index";
+      use_index = true;
+    } else {
+      // Intersection decision by bounded cardinality probe: the index
+      // drives only when it narrows the candidate set below the threshold;
+      // otherwise the curve index drives and the bounds demote to
+      // residual refinement.
+      size_t threshold = engine->options().index_intersection_threshold;
+      auto probe = engine->SecondaryIndexProbe(
+          user, table_meta.name, path.index_column, path.lower, path.upper,
+          threshold + 1);
+      if (probe.ok() && probe.value() <= threshold) {
+        path.kind = AccessPath::Kind::kIndexIntersection;
+        path.label = "index_intersection";
+        use_index = true;
+      }
+    }
+    if (use_index) {
+      // The covering index scan does not recheck the legacy attr conjunct;
+      // run it residually.
+      if (path.have_attr && attr_conjunct != nullptr) {
+        path.residual.push_back(attr_conjunct);
+        path.have_attr = false;
+      }
+      return path;
+    }
+    demote_index_bounds();
+  }
+
+  if (path.have_box && path.have_time) {
+    path.kind = AccessPath::Kind::kStRange;
+    path.label = "st_range";
+  } else if (path.have_box) {
+    path.kind = AccessPath::Kind::kSpatialRange;
+    path.label = "spatial_range";
+  } else if (path.have_time) {
+    path.kind = AccessPath::Kind::kTemporalRange;
+    path.label = "temporal_range";
+  } else if (path.have_attr) {
+    path.kind = AccessPath::Kind::kAttrIndex;
+    path.label = "attr_index";
+  }
+  return path;
+}
+
+}  // namespace just::sql

@@ -101,6 +101,20 @@ struct CreateViewStmt {
   std::unique_ptr<SelectStmt> select;
 };
 
+/// CREATE INDEX <name> ON <table> (<column>): online, non-blocking build of
+/// a secondary attribute index.
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  std::string column;
+};
+
+/// DROP INDEX <name> ON <table>.
+struct DropIndexStmt {
+  std::string name;
+  std::string table;
+};
+
 struct DropStmt {
   bool is_view = false;
   std::string name;
@@ -146,7 +160,9 @@ struct Statement {
     kSelect,
     kCreateTable,
     kCreateView,
+    kCreateIndex,
     kDrop,
+    kDropIndex,
     kShow,
     kDesc,
     kLoad,
@@ -159,7 +175,9 @@ struct Statement {
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateViewStmt> create_view;
+  std::unique_ptr<CreateIndexStmt> create_index;
   std::unique_ptr<DropStmt> drop;
+  std::unique_ptr<DropIndexStmt> drop_index;
   std::unique_ptr<ShowStmt> show;
   std::unique_ptr<DescStmt> desc;
   std::unique_ptr<LoadStmt> load;

@@ -8,6 +8,7 @@
 #include "exec/operators.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sql/access_path.h"
 #include "sql/expr_eval.h"
 #include "sql/functions.h"
 
@@ -38,50 +39,10 @@ std::string PlanNodeLabel(const PlanNode& plan) {
 }
 
 
-// Flattens an AND tree into conjuncts (borrowed pointers).
-void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
-  if (expr->kind == Expr::Kind::kBinary && expr->op == BinaryOp::kAnd) {
-    SplitConjuncts(expr->args[0].get(), out);
-    SplitConjuncts(expr->args[1].get(), out);
-    return;
-  }
-  out->push_back(expr);
-}
-
-bool IsGeometryLiteral(const Expr& e) {
-  return e.kind == Expr::Kind::kLiteral &&
-         e.literal.type() == exec::DataType::kGeometry;
-}
-
-bool IsTimeLiteral(const Expr& e, TimestampMs* out) {
-  if (e.kind != Expr::Kind::kLiteral) return false;
-  if (e.literal.type() == exec::DataType::kTimestamp) {
-    *out = e.literal.timestamp_value();
-    return true;
-  }
-  if (e.literal.type() == exec::DataType::kInt) {
-    *out = e.literal.int_value();
-    return true;
-  }
-  if (e.literal.type() == exec::DataType::kString) {
-    auto parsed = ParseTimestamp(e.literal.string_value());
-    if (!parsed.ok()) return false;
-    *out = parsed.value();
-    return true;
-  }
-  return false;
-}
-
-bool ColumnEquals(const Expr& e, const std::string& name) {
-  if (e.kind != Expr::Kind::kColumn) return false;
-  if (e.column.size() != name.size()) return false;
-  for (size_t i = 0; i < name.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(e.column[i])) !=
-        std::tolower(static_cast<unsigned char>(name[i]))) {
-      return false;
-    }
-  }
-  return true;
+/// The plan-cache tag scoping compiled programs to one catalog entry.
+std::string TableCacheTag(const meta::TableMeta& table_meta) {
+  return std::to_string(table_meta.table_id) + ":" +
+         std::to_string(table_meta.generation);
 }
 
 }  // namespace
@@ -123,132 +84,81 @@ Result<exec::DataFrame> Executor::ExecuteScanImpl(const PlanNode& scan,
   // Pull index-answerable predicates out of the conjunction.
   std::vector<const Expr*> conjuncts;
   if (predicate != nullptr) SplitConjuncts(predicate, &conjuncts);
-
-  bool have_box = false;
-  geo::Mbr box;
-  bool have_time = false;
-  TimestampMs t_min = 0, t_max = 0;
-  bool have_knn = false;
-  geo::Point knn_query{};
-  int knn_k = 0;
-  bool have_attr = false;
-  std::string attr_column;
-  exec::Value attr_value;
-  std::vector<const Expr*> residual;
-
-  for (const Expr* conjunct : conjuncts) {
-    if (conjunct->kind == Expr::Kind::kBinary &&
-        conjunct->op == BinaryOp::kWithin && !have_box &&
-        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
-        IsGeometryLiteral(*conjunct->args[1])) {
-      box = conjunct->args[1]->literal.geometry_value().Bounds();
-      have_box = true;
-      continue;
-    }
-    if (conjunct->kind == Expr::Kind::kBinary &&
-        conjunct->op == BinaryOp::kBetween && !have_time &&
-        ColumnEquals(*conjunct->args[0], table_meta.time_column)) {
-      TimestampMs lo, hi;
-      if (IsTimeLiteral(*conjunct->args[1], &lo) &&
-          IsTimeLiteral(*conjunct->args[2], &hi)) {
-        t_min = lo;
-        t_max = hi;
-        have_time = true;
-        continue;
-      }
-    }
-    if (conjunct->kind == Expr::Kind::kBinary &&
-        conjunct->op == BinaryOp::kIn && !have_knn &&
-        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
-        conjunct->args[1]->kind == Expr::Kind::kCall &&
-        conjunct->args[1]->call_name == "st_knn" &&
-        conjunct->args[1]->args.size() == 2) {
-      const Expr& point_arg = *conjunct->args[1]->args[0];
-      const Expr& k_arg = *conjunct->args[1]->args[1];
-      if (IsGeometryLiteral(point_arg) &&
-          k_arg.kind == Expr::Kind::kLiteral) {
-        auto k = k_arg.literal.AsInt();
-        if (k.ok()) {
-          knn_query = point_arg.literal.geometry_value().Bounds().Center();
-          knn_k = static_cast<int>(k.value());
-          have_knn = true;
-          continue;
-        }
-      }
-    }
-    if (conjunct->kind == Expr::Kind::kBinary &&
-        conjunct->op == BinaryOp::kEq && !have_attr &&
-        conjunct->args[0]->kind == Expr::Kind::kColumn &&
-        conjunct->args[1]->kind == Expr::Kind::kLiteral) {
-      // Equality on an attribute-indexed column (Figure 1's Attribute
-      // Indexing) answers through the secondary index instead of a scan.
-      bool indexed = false;
-      for (const std::string& indexed_col : table_meta.attr_indexes) {
-        if (ColumnEquals(*conjunct->args[0], indexed_col)) {
-          indexed = true;
-          attr_column = indexed_col;
-        }
-      }
-      if (indexed) {
-        attr_value = conjunct->args[1]->literal;
-        have_attr = true;
-        continue;
-      }
-    }
-    residual.push_back(conjunct);
-  }
+  JUST_ASSIGN_OR_RETURN(auto path,
+                        ChooseAccessPath(engine_, user_, table_meta,
+                                         conjuncts));
 
   core::QueryStats scan_stats;
-  const char* access = "full_scan";
   exec::DataFrame frame;
-  if (have_knn) {
-    access = "knn";
-    JUST_ASSIGN_OR_RETURN(
-        frame, engine_->KnnQuery(user_, scan.name, knn_query, knn_k,
-                                 &scan_stats));
-  } else if (have_box && have_time) {
-    access = "st_range";
-    JUST_ASSIGN_OR_RETURN(
-        frame, engine_->StRangeQuery(user_, scan.name, box, t_min, t_max,
-                                     &scan_stats));
-  } else if (have_box) {
-    access = "spatial_range";
-    JUST_ASSIGN_OR_RETURN(
-        frame, engine_->SpatialRangeQuery(user_, scan.name, box,
-                                          &scan_stats));
-  } else if (have_time) {
-    // Temporal-only: whole-earth spatio-temporal query.
-    access = "temporal_range";
-    JUST_ASSIGN_OR_RETURN(
-        frame, engine_->StRangeQuery(user_, scan.name, geo::Mbr::World(),
-                                     t_min, t_max, &scan_stats));
-  } else if (have_attr) {
-    access = "attr_index";
-    JUST_ASSIGN_OR_RETURN(
-        frame, engine_->AttributeQuery(user_, scan.name, attr_column,
-                                       attr_value, &scan_stats));
-  } else {
-    JUST_ASSIGN_OR_RETURN(frame, engine_->FullScan(user_, scan.name));
+  switch (path.kind) {
+    case AccessPath::Kind::kKnn: {
+      JUST_ASSIGN_OR_RETURN(
+          frame, engine_->KnnQuery(user_, scan.name, path.knn_query,
+                                   path.knn_k, &scan_stats));
+      break;
+    }
+    case AccessPath::Kind::kStRange: {
+      JUST_ASSIGN_OR_RETURN(
+          frame, engine_->StRangeQuery(user_, scan.name, path.box, path.t_min,
+                                       path.t_max, &scan_stats));
+      break;
+    }
+    case AccessPath::Kind::kSpatialRange: {
+      JUST_ASSIGN_OR_RETURN(
+          frame, engine_->SpatialRangeQuery(user_, scan.name, path.box,
+                                            &scan_stats));
+      break;
+    }
+    case AccessPath::Kind::kTemporalRange: {
+      // Temporal-only: whole-earth spatio-temporal query.
+      JUST_ASSIGN_OR_RETURN(
+          frame, engine_->StRangeQuery(user_, scan.name, geo::Mbr::World(),
+                                       path.t_min, path.t_max, &scan_stats));
+      break;
+    }
+    case AccessPath::Kind::kSecondaryIndex:
+    case AccessPath::Kind::kIndexIntersection: {
+      JUST_ASSIGN_OR_RETURN(
+          auto batches,
+          engine_->SecondaryIndexQueryBatch(
+              user_, scan.name, path.index_column, path.lower, path.upper,
+              path.have_box ? &path.box : nullptr, path.have_time, path.t_min,
+              path.t_max, &scan_stats));
+      frame = exec::BatchesToDataFrame(table_meta.MakeSchema(),
+                                       std::move(batches));
+      break;
+    }
+    case AccessPath::Kind::kAttrIndex: {
+      JUST_ASSIGN_OR_RETURN(
+          frame, engine_->AttributeQuery(user_, scan.name, path.attr_column,
+                                         path.attr_value, &scan_stats));
+      break;
+    }
+    case AccessPath::Kind::kFullScan: {
+      JUST_ASSIGN_OR_RETURN(frame, engine_->FullScan(user_, scan.name));
+      break;
+    }
   }
-  if (span != nullptr) span->AddAttr("access", access);
+  if (span != nullptr) span->AddAttr("access", path.label);
   if (stats != nullptr) {
     stats->key_ranges += scan_stats.key_ranges;
     stats->rows_scanned += scan_stats.rows_scanned;
     stats->rows_matched += scan_stats.rows_matched;
   }
   // A spatial/temporal/knn path may leave an attr conjunct unhandled.
-  if (have_attr && (have_box || have_time || have_knn)) {
-    int attr_col = frame.schema().IndexOf(attr_column);
+  if (path.have_attr && path.kind != AccessPath::Kind::kAttrIndex) {
+    int attr_col = frame.schema().IndexOf(path.attr_column);
     if (attr_col >= 0) {
-      const exec::Value& needle = attr_value;
+      const exec::Value& needle = path.attr_value;
       frame = exec::Filter(frame, [&, attr_col](const exec::Row& row) {
         return row[attr_col].Equals(needle);
       });
     }
   }
 
-  if (!residual.empty()) {
+  if (!path.residual.empty()) {
     const auto& schema = frame.schema();
+    const auto& residual = path.residual;
     frame = exec::Filter(frame, [&](const exec::Row& row) {
       for (const Expr* conjunct : residual) {
         auto v = EvaluateExpr(*conjunct, schema, row);
@@ -407,6 +317,10 @@ Result<exec::DataFrame> Executor::ExecuteInner(const PlanNode& plan,
         return exec::Sort(input, keys);
       }
       case PlanNode::Kind::kLimit: {
+        // LIMIT over a scan chain stops the scan after ~limit matching rows
+        // instead of materializing the whole table first.
+        JUST_ASSIGN_OR_RETURN(auto pushed, TryLimitPushdown(plan, stats));
+        if (pushed.has_value()) return std::move(*pushed);
         JUST_ASSIGN_OR_RETURN(auto input,
                               ExecuteInner(*plan.children[0], stats));
         return exec::Limit(input, static_cast<size_t>(plan.limit));
@@ -427,6 +341,60 @@ Result<exec::DataFrame> Executor::ExecuteInner(const PlanNode& plan,
                                            std::memory_order_relaxed);
   }
   return result;
+}
+
+Result<std::optional<exec::DataFrame>> Executor::TryLimitPushdown(
+    const PlanNode& limit_node, core::QueryStats* stats) {
+  if (options_.force_interpreted || limit_node.limit <= 0) return std::optional<exec::DataFrame>{};
+  const size_t limit = static_cast<size_t>(limit_node.limit);
+
+  // Qualifying chain: Limit -> Project* (row-preserving) -> [Filter] -> table
+  // scan. Anything else (views, sorts, joins, analysis functions that
+  // reshape cardinality) keeps the materialize-then-truncate path.
+  std::vector<const PlanNode*> projects;
+  const PlanNode* node = limit_node.children[0].get();
+  while (node->kind == PlanNode::Kind::kProject) {
+    if (node->items.size() == 1 &&
+        node->items[0].expr->kind == Expr::Kind::kCall) {
+      const std::string& fn = node->items[0].expr->call_name;
+      if (FindTableFunction(fn) != nullptr ||
+          FindPartitionFunction(fn) != nullptr) {
+        return std::optional<exec::DataFrame>{};  // 1-N / N-M: a row budget below it is wrong
+      }
+    }
+    projects.push_back(node);
+    node = node->children[0].get();
+  }
+  const Expr* predicate = nullptr;
+  if (node->kind == PlanNode::Kind::kFilter) {
+    predicate = node->predicate.get();
+    node = node->children[0].get();
+  }
+  if (node->kind != PlanNode::Kind::kScanTable) return std::optional<exec::DataFrame>{};
+
+  JUST_ASSIGN_OR_RETURN(auto scanned,
+                        ExecuteScanBatch(*node, predicate, stats, limit));
+  exec::DataFrame frame =
+      exec::BatchesToDataFrame(scanned.schema, std::move(scanned.batches));
+  // Replay the (row-preserving) projects innermost-first over the few
+  // surviving rows.
+  for (size_t pi = projects.size(); pi-- > 0;) {
+    const PlanNode& proj = *projects[pi];
+    exec::DataFrame out(proj.schema);
+    for (const exec::Row& row : frame.rows()) {
+      exec::Row projected;
+      projected.reserve(proj.items.size());
+      for (const auto& item : proj.items) {
+        JUST_ASSIGN_OR_RETURN(
+            auto value, EvaluateExpr(*item.expr, frame.schema(), row));
+        projected.push_back(std::move(value));
+      }
+      out.AddRow(std::move(projected));
+    }
+    frame = std::move(out);
+  }
+  // The budgeted scan may overshoot within its last batch; truncate exactly.
+  return std::optional<exec::DataFrame>(exec::Limit(frame, limit));
 }
 
 // --- Columnar pipeline ------------------------------------------------------
@@ -517,11 +485,12 @@ Result<Executor::BatchResult> Executor::ExecuteBatch(const PlanNode& plan,
 }
 
 Status Executor::RunPredicate(const std::vector<const Expr*>& conjuncts,
-                              BatchResult* input, obs::TraceSpan* span) {
+                              BatchResult* input, obs::TraceSpan* span,
+                              const std::string& cache_tag) {
   if (conjuncts.empty()) return Status::OK();
   JUST_ASSIGN_OR_RETURN(auto program,
                         PredicateProgramCache::Global().GetOrCompile(
-                            conjuncts, *input->schema));
+                            conjuncts, *input->schema, cache_tag));
   PredicateStats pstats;
   for (exec::ColumnBatch& batch : input->batches) {
     JUST_RETURN_NOT_OK(program->Run(&batch, &pstats));
@@ -565,9 +534,11 @@ Result<Executor::BatchResult> Executor::ProjectColumns(
 }
 
 Result<Executor::BatchResult> Executor::ExecuteScanBatch(
-    const PlanNode& scan, const Expr* predicate, core::QueryStats* stats) {
+    const PlanNode& scan, const Expr* predicate, core::QueryStats* stats,
+    size_t limit) {
   obs::ScopedSpan span("Scan " + scan.name);
-  auto result = ExecuteScanBatchImpl(scan, predicate, stats, span.span());
+  auto result = ExecuteScanBatchImpl(scan, predicate, stats, span.span(),
+                                     limit);
   if (span.span() != nullptr && result.ok()) {
     span.span()->counters().rows_out.store(
         exec::BatchesActiveRows(result->batches), std::memory_order_relaxed);
@@ -577,7 +548,7 @@ Result<Executor::BatchResult> Executor::ExecuteScanBatch(
 
 Result<Executor::BatchResult> Executor::ExecuteScanBatchImpl(
     const PlanNode& scan, const Expr* predicate, core::QueryStats* stats,
-    obs::TraceSpan* span) {
+    obs::TraceSpan* span, size_t limit) {
   if (scan.kind == PlanNode::Kind::kScanView) {
     JUST_ASSIGN_OR_RETURN(auto frame, engine_->GetView(user_, scan.name));
     BatchResult result{frame.schema_ptr(), {}};
@@ -597,121 +568,101 @@ Result<Executor::BatchResult> Executor::ExecuteScanBatchImpl(
 
   JUST_ASSIGN_OR_RETURN(auto table_meta,
                         engine_->DescribeTable(user_, scan.name));
-  // Pull index-answerable predicates out of the conjunction (same extraction
-  // as the row-at-a-time path).
+  // Pull index-answerable predicates out of the conjunction (same selection
+  // as the row-at-a-time path: both call ChooseAccessPath).
   std::vector<const Expr*> conjuncts;
   if (predicate != nullptr) SplitConjuncts(predicate, &conjuncts);
-
-  bool have_box = false;
-  geo::Mbr box;
-  bool have_time = false;
-  TimestampMs t_min = 0, t_max = 0;
-  bool have_knn = false;
-  geo::Point knn_query{};
-  int knn_k = 0;
-  bool have_attr = false;
-  std::string attr_column;
-  exec::Value attr_value;
-  std::vector<const Expr*> residual;
-
-  for (const Expr* conjunct : conjuncts) {
-    if (conjunct->kind == Expr::Kind::kBinary &&
-        conjunct->op == BinaryOp::kWithin && !have_box &&
-        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
-        IsGeometryLiteral(*conjunct->args[1])) {
-      box = conjunct->args[1]->literal.geometry_value().Bounds();
-      have_box = true;
-      continue;
-    }
-    if (conjunct->kind == Expr::Kind::kBinary &&
-        conjunct->op == BinaryOp::kBetween && !have_time &&
-        ColumnEquals(*conjunct->args[0], table_meta.time_column)) {
-      TimestampMs lo, hi;
-      if (IsTimeLiteral(*conjunct->args[1], &lo) &&
-          IsTimeLiteral(*conjunct->args[2], &hi)) {
-        t_min = lo;
-        t_max = hi;
-        have_time = true;
-        continue;
-      }
-    }
-    if (conjunct->kind == Expr::Kind::kBinary &&
-        conjunct->op == BinaryOp::kIn && !have_knn &&
-        ColumnEquals(*conjunct->args[0], table_meta.geom_column) &&
-        conjunct->args[1]->kind == Expr::Kind::kCall &&
-        conjunct->args[1]->call_name == "st_knn" &&
-        conjunct->args[1]->args.size() == 2) {
-      const Expr& point_arg = *conjunct->args[1]->args[0];
-      const Expr& k_arg = *conjunct->args[1]->args[1];
-      if (IsGeometryLiteral(point_arg) &&
-          k_arg.kind == Expr::Kind::kLiteral) {
-        auto k = k_arg.literal.AsInt();
-        if (k.ok()) {
-          knn_query = point_arg.literal.geometry_value().Bounds().Center();
-          knn_k = static_cast<int>(k.value());
-          have_knn = true;
-          continue;
-        }
-      }
-    }
-    if (conjunct->kind == Expr::Kind::kBinary &&
-        conjunct->op == BinaryOp::kEq && !have_attr &&
-        conjunct->args[0]->kind == Expr::Kind::kColumn &&
-        conjunct->args[1]->kind == Expr::Kind::kLiteral) {
-      bool indexed = false;
-      for (const std::string& indexed_col : table_meta.attr_indexes) {
-        if (ColumnEquals(*conjunct->args[0], indexed_col)) {
-          indexed = true;
-          attr_column = indexed_col;
-        }
-      }
-      if (indexed) {
-        attr_value = conjunct->args[1]->literal;
-        have_attr = true;
-        continue;
-      }
-    }
-    residual.push_back(conjunct);
-  }
+  JUST_ASSIGN_OR_RETURN(auto path,
+                        ChooseAccessPath(engine_, user_, table_meta,
+                                         conjuncts));
+  const std::string cache_tag = TableCacheTag(table_meta);
 
   core::QueryStats scan_stats;
-  const char* access = "full_scan";
   BatchResult result{table_meta.MakeSchema(), {}};
-  if (have_knn) {
-    access = "knn";
-    // k-NN keeps its row-oriented heap expansion; batches start afterwards.
-    JUST_ASSIGN_OR_RETURN(
-        auto frame, engine_->KnnQuery(user_, scan.name, knn_query, knn_k,
-                                      &scan_stats));
-    result.batches = exec::BatchesFromDataFrame(std::move(frame));
-  } else if (have_box && have_time) {
-    access = "st_range";
-    JUST_ASSIGN_OR_RETURN(
-        result.batches, engine_->StRangeQueryBatch(user_, scan.name, box,
-                                                   t_min, t_max, &scan_stats));
-  } else if (have_box) {
-    access = "spatial_range";
-    JUST_ASSIGN_OR_RETURN(
-        result.batches,
-        engine_->SpatialRangeQueryBatch(user_, scan.name, box, &scan_stats));
-  } else if (have_time) {
-    // Temporal-only: whole-earth spatio-temporal query.
-    access = "temporal_range";
-    JUST_ASSIGN_OR_RETURN(
-        result.batches,
-        engine_->StRangeQueryBatch(user_, scan.name, geo::Mbr::World(), t_min,
-                                   t_max, &scan_stats));
-  } else if (have_attr) {
-    access = "attr_index";
-    JUST_ASSIGN_OR_RETURN(
-        result.batches,
-        engine_->AttributeQueryBatch(user_, scan.name, attr_column, attr_value,
-                                     &scan_stats));
-  } else {
-    JUST_ASSIGN_OR_RETURN(result.batches,
-                          engine_->FullScanBatch(user_, scan.name));
+
+  // LIMIT pushdown: budget the scan when every row surviving it is a final
+  // row. The residual predicate compiles into the budget's per-batch filter;
+  // paths that re-filter after the scan (attr recheck) or cannot stream
+  // (knn, attr index) run unbudgeted.
+  const bool budget_capable =
+      path.kind != AccessPath::Kind::kKnn &&
+      path.kind != AccessPath::Kind::kAttrIndex &&
+      !(path.have_attr && path.kind != AccessPath::Kind::kAttrIndex);
+  core::ScanBudget budget;
+  const core::ScanBudget* budget_ptr = nullptr;
+  std::shared_ptr<const PredicateProgram> budget_program;
+  auto budget_pstats = std::make_shared<PredicateStats>();
+  if (limit > 0 && budget_capable) {
+    budget.limit = limit;
+    if (!path.residual.empty()) {
+      JUST_ASSIGN_OR_RETURN(budget_program,
+                            PredicateProgramCache::Global().GetOrCompile(
+                                path.residual, *result.schema, cache_tag));
+      budget.residual = [program = budget_program,
+                         pstats = budget_pstats](exec::ColumnBatch* batch) {
+        return program->Run(batch, pstats.get());
+      };
+    }
+    budget_ptr = &budget;
   }
-  if (span != nullptr) span->AddAttr("access", access);
+
+  switch (path.kind) {
+    case AccessPath::Kind::kKnn: {
+      // k-NN keeps its row-oriented heap expansion; batches start afterwards.
+      JUST_ASSIGN_OR_RETURN(
+          auto frame, engine_->KnnQuery(user_, scan.name, path.knn_query,
+                                        path.knn_k, &scan_stats));
+      result.batches = exec::BatchesFromDataFrame(std::move(frame));
+      break;
+    }
+    case AccessPath::Kind::kStRange: {
+      JUST_ASSIGN_OR_RETURN(
+          result.batches,
+          engine_->StRangeQueryBatch(user_, scan.name, path.box, path.t_min,
+                                     path.t_max, &scan_stats, budget_ptr));
+      break;
+    }
+    case AccessPath::Kind::kSpatialRange: {
+      JUST_ASSIGN_OR_RETURN(
+          result.batches,
+          engine_->SpatialRangeQueryBatch(user_, scan.name, path.box,
+                                          &scan_stats, budget_ptr));
+      break;
+    }
+    case AccessPath::Kind::kTemporalRange: {
+      // Temporal-only: whole-earth spatio-temporal query.
+      JUST_ASSIGN_OR_RETURN(
+          result.batches,
+          engine_->StRangeQueryBatch(user_, scan.name, geo::Mbr::World(),
+                                     path.t_min, path.t_max, &scan_stats,
+                                     budget_ptr));
+      break;
+    }
+    case AccessPath::Kind::kSecondaryIndex:
+    case AccessPath::Kind::kIndexIntersection: {
+      JUST_ASSIGN_OR_RETURN(
+          result.batches,
+          engine_->SecondaryIndexQueryBatch(
+              user_, scan.name, path.index_column, path.lower, path.upper,
+              path.have_box ? &path.box : nullptr, path.have_time, path.t_min,
+              path.t_max, &scan_stats, budget_ptr));
+      break;
+    }
+    case AccessPath::Kind::kAttrIndex: {
+      JUST_ASSIGN_OR_RETURN(
+          result.batches,
+          engine_->AttributeQueryBatch(user_, scan.name, path.attr_column,
+                                       path.attr_value, &scan_stats));
+      break;
+    }
+    case AccessPath::Kind::kFullScan: {
+      JUST_ASSIGN_OR_RETURN(
+          result.batches,
+          engine_->FullScanBatch(user_, scan.name, &scan_stats, budget_ptr));
+      break;
+    }
+  }
+  if (span != nullptr) span->AddAttr("access", path.label);
   if (stats != nullptr) {
     stats->key_ranges += scan_stats.key_ranges;
     stats->rows_scanned += scan_stats.rows_scanned;
@@ -719,8 +670,8 @@ Result<Executor::BatchResult> Executor::ExecuteScanBatchImpl(
   }
   // A spatial/temporal/knn path may leave an attr conjunct unhandled:
   // vectorized equality recheck over the surviving selection.
-  if (have_attr && (have_box || have_time || have_knn)) {
-    int attr_col = result.schema->IndexOf(attr_column);
+  if (path.have_attr && path.kind != AccessPath::Kind::kAttrIndex) {
+    int attr_col = result.schema->IndexOf(path.attr_column);
     if (attr_col >= 0) {
       const auto t0 = Clock::now();
       std::vector<uint32_t> scratch;
@@ -732,7 +683,9 @@ Result<Executor::BatchResult> Executor::ExecuteScanBatchImpl(
         std::vector<uint32_t> sel;
         sel.reserve(n);
         for (size_t i = 0; i < n; ++i) {
-          if (c.ValueAt(rows[i]).Equals(attr_value)) sel.push_back(rows[i]);
+          if (c.ValueAt(rows[i]).Equals(path.attr_value)) {
+            sel.push_back(rows[i]);
+          }
         }
         batch.SetSelection(std::move(sel));
       }
@@ -743,7 +696,18 @@ Result<Executor::BatchResult> Executor::ExecuteScanBatchImpl(
     }
   }
 
-  JUST_RETURN_NOT_OK(RunPredicate(residual, &result, span));
+  if (budget_ptr != nullptr && budget_program != nullptr) {
+    // The residual already ran inside the budgeted scan; attribute it.
+    if (span != nullptr) {
+      span->counters().eval_specialized_ns.fetch_add(
+          budget_pstats->specialized_ns, std::memory_order_relaxed);
+      span->counters().eval_interpreted_ns.fetch_add(
+          budget_pstats->interpreted_ns, std::memory_order_relaxed);
+      span->AddAttr("eval_mode", budget_program->ModeLabel());
+    }
+  } else {
+    JUST_RETURN_NOT_OK(RunPredicate(path.residual, &result, span, cache_tag));
+  }
   RecordBatchStage(span, result.batches.size(),
                    exec::BatchesActiveRows(result.batches));
   if (!scan.required_columns.empty()) {

@@ -2,6 +2,7 @@
 #define JUST_SQL_EXECUTOR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,21 +73,37 @@ class Executor {
   /// ExecuteBatch when capable, otherwise row-execute and convert.
   Result<BatchResult> ExecuteBatchOrConvert(const PlanNode& plan,
                                             core::QueryStats* stats);
+  /// `limit` > 0 pushes a row budget into the scan (LIMIT pushdown): the
+  /// scan stops fetching once that many rows survive the access path plus
+  /// residual refinement, instead of materializing the whole table. The
+  /// result may overshoot within the last batch; the caller truncates.
   Result<BatchResult> ExecuteScanBatch(const PlanNode& scan,
                                        const Expr* predicate,
-                                       core::QueryStats* stats);
+                                       core::QueryStats* stats,
+                                       size_t limit = 0);
   Result<BatchResult> ExecuteScanBatchImpl(const PlanNode& scan,
                                            const Expr* predicate,
                                            core::QueryStats* stats,
-                                           obs::TraceSpan* span);
+                                           obs::TraceSpan* span, size_t limit);
   Result<BatchResult> ExecuteProjectBatch(const PlanNode& node,
                                           core::QueryStats* stats);
   Result<BatchResult> ExecuteAggregateBatch(const PlanNode& node,
                                             core::QueryStats* stats);
   /// Compiles `conjuncts` through the plan cache and filters every batch,
   /// attributing batch counts and per-mode evaluation time to `span`.
+  /// `cache_tag` scopes the cached program to a catalog entry (see
+  /// PredicateProgramCache::GetOrCompile); "" for non-table inputs.
   Status RunPredicate(const std::vector<const Expr*>& conjuncts,
-                      BatchResult* input, obs::TraceSpan* span);
+                      BatchResult* input, obs::TraceSpan* span,
+                      const std::string& cache_tag = "");
+  /// LIMIT pushdown: when the child chain is
+  /// Limit -> Project* (row-preserving) -> [Filter] -> table scan, runs the
+  /// scan with a row budget so LIMIT 10 over a huge table stops after ~10
+  /// matching rows instead of materializing everything. Returns nullopt
+  /// when the chain does not qualify (views, analysis functions,
+  /// force_interpreted).
+  Result<std::optional<exec::DataFrame>> TryLimitPushdown(
+      const PlanNode& limit_node, core::QueryStats* stats);
   /// Keeps the named columns (scan projection pushdown), column-wise.
   Result<BatchResult> ProjectColumns(
       BatchResult input, const std::vector<std::string>& columns);

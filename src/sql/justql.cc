@@ -132,7 +132,7 @@ Result<std::string> JustQL::ExplainSelect(const std::string& user,
   Analyzer analyzer(engine_, user);
   JUST_ASSIGN_OR_RETURN(auto plan, analyzer.Analyze(*stmt.select));
   std::string out = "=== Analyzed Logical Plan ===\n" + plan->ToString();
-  JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan)));
+  JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan), engine_, user));
   out += "=== Optimized Logical Plan ===\n" + plan->ToString();
   return out;
 }
@@ -184,7 +184,7 @@ Result<QueryResult> JustQL::ExecuteParsed(const std::string& user,
       const ExplainStmt& explain = *stmt.explain;
       Analyzer analyzer(engine_, user);
       JUST_ASSIGN_OR_RETURN(auto plan, analyzer.Analyze(*explain.select));
-      JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan)));
+      JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan), engine_, user));
       if (!explain.analyze) {
         result.message =
             "=== Optimized Logical Plan ===\n" + plan->ToString();
@@ -274,6 +274,23 @@ Result<QueryResult> JustQL::ExecuteParsed(const std::string& user,
       JUST_RETURN_NOT_OK(
           engine_->CreateView(user, stmt.create_view->name, std::move(frame)));
       result.message = "view created: " + stmt.create_view->name;
+      return result;
+    }
+    case Statement::Kind::kCreateIndex: {
+      const CreateIndexStmt& ci = *stmt.create_index;
+      // Synchronous from the caller's view, but never blocks writers: the
+      // index registers as `building`, backfills online, and flips to
+      // `ready` atomically (see JustEngine::CreateIndex).
+      JUST_RETURN_NOT_OK(
+          engine_->CreateIndex(user, ci.table, ci.name, ci.column));
+      result.message = "index created: " + ci.name + " on " + ci.table +
+                       "(" + ci.column + ")";
+      return result;
+    }
+    case Statement::Kind::kDropIndex: {
+      JUST_RETURN_NOT_OK(engine_->DropIndex(user, stmt.drop_index->table,
+                                            stmt.drop_index->name));
+      result.message = "index dropped: " + stmt.drop_index->name;
       return result;
     }
     case Statement::Kind::kDrop: {

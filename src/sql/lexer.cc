@@ -14,7 +14,7 @@ const std::set<std::string>& Keywords() {
       "INTO",   "VALUES", "GROUP", "ORDER",  "BY",      "LIMIT",  "ASC",
       "DESCENDING",       "WITHIN", "BETWEEN", "IN",    "USERDATA",
       "PRIMARY", "KEY",   "JOIN",  "ON",     "TRUE",    "FALSE",  "NULL",
-      "EXPLAIN", "ANALYZE",
+      "EXPLAIN", "ANALYZE", "INDEX",
   };
   return *kKeywords;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "sql/access_path.h"
 #include "sql/expr_eval.h"
 
 namespace just::sql {
@@ -230,6 +231,37 @@ std::unique_ptr<PlanNode> RemoveIdentityProjects(
   return std::move(node->children[0]);
 }
 
+// Annotates each table scan with the access path ChooseAccessPath would
+// pick. After PushFilters, a scan's predicate (if any) sits directly above
+// it, so a Filter-over-scan pair is annotated as a unit; the scan child is
+// then skipped below (its hint is already the filtered one).
+void AnnotateAccessHints(PlanNode* node, core::JustEngine* engine,
+                         const std::string& user) {
+  if (node == nullptr) return;
+  const Expr* predicate = nullptr;
+  PlanNode* scan = nullptr;
+  if (node->kind == PlanNode::Kind::kFilter && !node->children.empty() &&
+      node->children[0]->kind == PlanNode::Kind::kScanTable) {
+    predicate = node->predicate.get();
+    scan = node->children[0].get();
+  } else if (node->kind == PlanNode::Kind::kScanTable) {
+    if (!node->access_hint.empty()) return;  // annotated by its Filter parent
+    scan = node;
+  }
+  if (scan != nullptr) {
+    auto table_meta = engine->DescribeTable(user, scan->name);
+    if (table_meta.ok()) {
+      std::vector<const Expr*> conjuncts;
+      if (predicate != nullptr) SplitConjuncts(predicate, &conjuncts);
+      auto path = ChooseAccessPath(engine, user, *table_meta, conjuncts);
+      if (path.ok()) scan->access_hint = path->label;
+    }
+  }
+  for (auto& child : node->children) {
+    AnnotateAccessHints(child.get(), engine, user);
+  }
+}
+
 }  // namespace
 
 Result<std::unique_ptr<PlanNode>> Optimize(std::unique_ptr<PlanNode> plan) {
@@ -237,6 +269,14 @@ Result<std::unique_ptr<PlanNode>> Optimize(std::unique_ptr<PlanNode> plan) {
   plan = RemoveIdentityProjects(std::move(plan));
   plan = PushFilters(std::move(plan));
   PushRequiredColumns(plan.get(), {});
+  return plan;
+}
+
+Result<std::unique_ptr<PlanNode>> Optimize(std::unique_ptr<PlanNode> plan,
+                                           core::JustEngine* engine,
+                                           const std::string& user) {
+  JUST_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan)));
+  if (engine != nullptr) AnnotateAccessHints(plan.get(), engine, user);
   return plan;
 }
 

@@ -3,8 +3,14 @@
 
 #include <memory>
 
+#include <string>
+
 #include "common/status.h"
 #include "sql/plan.h"
+
+namespace just::core {
+class JustEngine;
+}  // namespace just::core
 
 namespace just::sql {
 
@@ -16,6 +22,15 @@ namespace just::sql {
 ///   3. Push down projections: prune unneeded fields and record the
 ///      required columns on each scan.
 Result<std::unique_ptr<PlanNode>> Optimize(std::unique_ptr<PlanNode> plan);
+
+/// Optimize, then annotate every table scan with the physical access path
+/// the executor would choose for it ("access: secondary_index" in EXPLAIN's
+/// rendering). Consults the engine because the curve-vs-secondary-index
+/// intersection decision is a live cardinality probe; EXPLAIN's paths use
+/// this overload, plain execution does not need the annotation.
+Result<std::unique_ptr<PlanNode>> Optimize(std::unique_ptr<PlanNode> plan,
+                                           core::JustEngine* engine,
+                                           const std::string& user);
 
 }  // namespace just::sql
 

@@ -194,6 +194,18 @@ class Parser {
 
   Result<Statement> ParseCreate() {
     Advance();  // CREATE
+    if (AcceptKeyword("INDEX")) {
+      Statement stmt;
+      stmt.kind = Statement::Kind::kCreateIndex;
+      stmt.create_index = std::make_unique<CreateIndexStmt>();
+      JUST_ASSIGN_OR_RETURN(stmt.create_index->name, ExpectIdentifier());
+      JUST_RETURN_NOT_OK(ExpectKeyword("ON"));
+      JUST_ASSIGN_OR_RETURN(stmt.create_index->table, ExpectIdentifier());
+      JUST_RETURN_NOT_OK(ExpectOperator("("));
+      JUST_ASSIGN_OR_RETURN(stmt.create_index->column, ExpectName());
+      JUST_RETURN_NOT_OK(ExpectOperator(")"));
+      return stmt;
+    }
     if (AcceptKeyword("VIEW")) {
       Statement stmt;
       stmt.kind = Statement::Kind::kCreateView;
@@ -274,6 +286,15 @@ class Parser {
 
   Result<Statement> ParseDrop() {
     Advance();  // DROP
+    if (AcceptKeyword("INDEX")) {
+      Statement stmt;
+      stmt.kind = Statement::Kind::kDropIndex;
+      stmt.drop_index = std::make_unique<DropIndexStmt>();
+      JUST_ASSIGN_OR_RETURN(stmt.drop_index->name, ExpectIdentifier());
+      JUST_RETURN_NOT_OK(ExpectKeyword("ON"));
+      JUST_ASSIGN_OR_RETURN(stmt.drop_index->table, ExpectIdentifier());
+      return stmt;
+    }
     Statement stmt;
     stmt.kind = Statement::Kind::kDrop;
     stmt.drop = std::make_unique<DropStmt>();

@@ -23,6 +23,7 @@ std::string PlanNode::ToString(int indent) const {
           out += required_columns[i];
         }
       }
+      if (!access_hint.empty()) out += " | access: " + access_hint;
       out += "]\n";
       break;
     }

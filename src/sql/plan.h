@@ -36,6 +36,10 @@ struct PlanNode {
   /// Columns the executor must materialize; empty = all. Populated by the
   /// projection-pushdown rule (Section VI rule 3).
   std::vector<std::string> required_columns;
+  /// The physical access path the executor would choose for this scan
+  /// ("st_range", "secondary_index", ...). Filled only by the engine-aware
+  /// Optimize overload (EXPLAIN); empty otherwise.
+  std::string access_hint;
 
   // kFilter:
   std::unique_ptr<Expr> predicate;

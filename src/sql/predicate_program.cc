@@ -535,7 +535,8 @@ PredicateProgramCache::PredicateProgramCache(size_t capacity)
 
 Result<std::shared_ptr<const PredicateProgram>>
 PredicateProgramCache::GetOrCompile(const std::vector<const Expr*>& conjuncts,
-                                    const exec::Schema& schema) {
+                                    const exec::Schema& schema,
+                                    const std::string& cache_tag) {
   static obs::Counter* hits =
       obs::Registry::Global().GetCounter("just_sql_plan_cache_hits_total");
   static obs::Counter* misses =
@@ -543,7 +544,9 @@ PredicateProgramCache::GetOrCompile(const std::vector<const Expr*>& conjuncts,
   static obs::Counter* evictions = obs::Registry::Global().GetCounter(
       "just_sql_plan_cache_evictions_total");
 
-  std::string key = schema.ToString();
+  std::string key = cache_tag;
+  key += '\x1e';
+  key += schema.ToString();
   for (const Expr* conjunct : conjuncts) {
     key += '\x1f';
     key += conjunct->ToString();

@@ -116,8 +116,8 @@ class PredicateProgram {
 };
 
 /// Process-wide cache of compiled predicate programs, keyed by
-/// (schema shape, normalized predicate text). Entry-capped LRU with
-/// hit/miss/eviction counters in the metrics registry
+/// (catalog tag, schema shape, normalized predicate text). Entry-capped LRU
+/// with hit/miss/eviction counters in the metrics registry
 /// (just_sql_plan_cache_{hits,misses,evictions}_total).
 class PredicateProgramCache {
  public:
@@ -125,10 +125,15 @@ class PredicateProgramCache {
 
   explicit PredicateProgramCache(size_t capacity = 128);
 
-  /// Returns the cached program for (schema, conjuncts), compiling and
-  /// inserting on miss.
+  /// Returns the cached program for (cache_tag, schema, conjuncts),
+  /// compiling and inserting on miss. `cache_tag` folds the source table's
+  /// identity and catalog generation into the key ("table_id:generation"),
+  /// so dropping and recreating a same-shaped table — or any index DDL —
+  /// can never serve a program compiled against the old catalog entry.
+  /// Scans without a catalog-backed source (views, derived inputs) pass "".
   Result<std::shared_ptr<const PredicateProgram>> GetOrCompile(
-      const std::vector<const Expr*>& conjuncts, const exec::Schema& schema);
+      const std::vector<const Expr*>& conjuncts, const exec::Schema& schema,
+      const std::string& cache_tag = "");
 
   size_t size() const;
   uint64_t hits() const { return hits_.load(); }
