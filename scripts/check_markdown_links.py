@@ -4,9 +4,12 @@
 Scans *.md at the repository root and everything under docs/, extracts
 inline links/images ([text](target), ![alt](target)) and reference-style
 definitions ([label]: target), and verifies that relative targets exist on
-disk. External schemes (http, https, mailto) and pure in-page anchors are
-skipped; fenced code blocks and inline code spans are stripped first so
-example snippets cannot produce false positives.
+disk. Anchor fragments — both in-page (#section) and cross-file
+(file.md#section) — are checked against the GitHub-style slugs of the
+target file's headings, so a renamed heading breaks CI instead of readers.
+External schemes (http, https, mailto) are skipped; fenced code blocks and
+inline code spans are stripped first so example snippets cannot produce
+false positives.
 
 Stdlib only — no packages to install. Exit status 0 when every link
 resolves, 1 otherwise (one line per broken link, file:line).
@@ -23,6 +26,34 @@ REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
 FENCED_BLOCK = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
 INLINE_CODE = re.compile(r"`[^`\n]*`")
 EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:
+ATX_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+
+
+def github_slug(heading):
+    """The anchor GitHub generates for a heading (code spans contribute
+    their text, punctuation other than hyphen/underscore is dropped,
+    spaces become hyphens)."""
+    text = heading.replace("`", "").lower()
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s", "-", text.strip())
+
+
+def heading_anchors(text):
+    """All anchors a rendered markdown document exposes, with GitHub's
+    -1/-2 deduplication for repeated headings. Headings inside fenced
+    code blocks do not render and are excluded."""
+    def blank(match):
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    stripped = FENCED_BLOCK.sub(blank, text)
+    anchors = set()
+    counts = {}
+    for match in ATX_HEADING.finditer(stripped):
+        slug = github_slug(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
 
 
 def markdown_files():
@@ -31,6 +62,12 @@ def markdown_files():
     if docs.is_dir():
         files += sorted(docs.rglob("*.md"))
     return files
+
+
+def anchors_of(md_path, _cache={}):
+    if md_path not in _cache:
+        _cache[md_path] = heading_anchors(md_path.read_text(encoding="utf-8"))
+    return _cache[md_path]
 
 
 def check_file(md_file):
@@ -53,9 +90,12 @@ def check_file(md_file):
     for line, target in targets:
         if EXTERNAL.match(target):
             continue  # external URL: existence is not checkable offline
-        path_part = target.split("#", 1)[0]
+        path_part, _, fragment = target.partition("#")
         if not path_part:
-            continue  # pure in-page anchor
+            # Pure in-page anchor: must match a heading in this file.
+            if fragment and fragment not in anchors_of(md_file):
+                broken.append((line, target, "no heading with this anchor"))
+            continue
         resolved = (md_file.parent / path_part).resolve()
         try:
             resolved.relative_to(REPO_ROOT)
@@ -64,6 +104,12 @@ def check_file(md_file):
             continue
         if not resolved.exists():
             broken.append((line, target, "target does not exist"))
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                broken.append(
+                    (line, target,
+                     f"no heading in {resolved.name} with this anchor"))
     return broken
 
 

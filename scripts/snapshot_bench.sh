@@ -8,8 +8,8 @@
 #   scripts/snapshot_bench.sh [build_dir] [bench_target ...]
 #
 # Defaults: build_dir = <repo>/build, targets = bench_storage
-# bench_sql_optimizer bench_secondary_index. Extra google-benchmark flags
-# can be passed through BENCH_FLAGS
+# bench_sql_optimizer bench_secondary_index bench_stream. Extra
+# google-benchmark flags can be passed through BENCH_FLAGS
 # (e.g. BENCH_FLAGS="--benchmark_filter=Refine").
 set -euo pipefail
 
@@ -18,7 +18,8 @@ BUILD="${1:-$ROOT/build}"
 if [ "$#" -gt 0 ]; then shift; fi
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
-  BENCHES=(bench_storage bench_sql_optimizer bench_secondary_index)
+  BENCHES=(bench_storage bench_sql_optimizer bench_secondary_index
+    bench_stream)
 fi
 
 for bench in "${BENCHES[@]}"; do

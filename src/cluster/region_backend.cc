@@ -73,6 +73,11 @@ class SocketBackend : public RegionBackend {
     std::lock_guard<std::mutex> lock(mu_);
     return client_.WriteBatch(ops);
   }
+  Status IngestBatch(const std::string& tenant,
+                     const std::vector<kv::WriteOp>& ops) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return client_.Ingest(tenant, ops);
+  }
   Status Scan(std::string_view start, std::string_view end,
               const std::function<bool(std::string_view, std::string_view)>&
                   fn) override {

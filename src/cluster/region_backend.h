@@ -42,6 +42,16 @@ class RegionBackend {
   virtual Status Delete(std::string_view key) = 0;
   virtual Status Get(std::string_view key, std::string* value) = 0;
   virtual Status WriteBatch(const std::vector<kv::WriteOp>& ops) = 0;
+  /// Tenant-tagged streaming write batch. Out-of-process backends forward
+  /// the tenant so the region server can apply its own per-tenant write
+  /// admission (kResourceExhausted on shed — non-transient, no retry);
+  /// in-process backends have no server-side quota layer and default to a
+  /// plain WriteBatch.
+  virtual Status IngestBatch(const std::string& tenant,
+                             const std::vector<kv::WriteOp>& ops) {
+    (void)tenant;
+    return WriteBatch(ops);
+  }
   virtual Status Scan(
       std::string_view start, std::string_view end,
       const std::function<bool(std::string_view, std::string_view)>& fn) = 0;

@@ -94,7 +94,10 @@ Status RegionCluster::Get(std::string_view key, std::string* value) const {
   return WithRetry([&] { return server->Get(key, value); });
 }
 
-Status RegionCluster::WriteBatch(std::vector<kv::WriteOp> ops) {
+Status RegionCluster::DispatchBatch(
+    std::vector<kv::WriteOp> ops,
+    const std::function<Status(RegionBackend*, const std::vector<kv::WriteOp>&)>&
+        apply) {
   if (ops.empty()) return Status::OK();
   std::vector<std::vector<kv::WriteOp>> per_server(servers_.size());
   for (auto& op : ops) {
@@ -108,7 +111,7 @@ Status RegionCluster::WriteBatch(std::vector<kv::WriteOp> ops) {
       if (per_server[s].empty()) continue;
       RegionBackend* server = servers_[s].get();
       JUST_RETURN_NOT_OK(
-          WithRetry([&] { return server->WriteBatch(per_server[s]); }));
+          WithRetry([&] { return apply(server, per_server[s]); }));
     }
     return Status::OK();
   }
@@ -118,7 +121,7 @@ Status RegionCluster::WriteBatch(std::vector<kv::WriteOp> ops) {
   DefaultPool().ParallelFor(per_server.size(), [&](size_t s) {
     if (per_server[s].empty()) return;
     RegionBackend* server = servers_[s].get();
-    Status st = WithRetry([&] { return server->WriteBatch(per_server[s]); });
+    Status st = WithRetry([&] { return apply(server, per_server[s]); });
     if (!st.ok()) {
       failed.store(true, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(error_mu);
@@ -130,6 +133,26 @@ Status RegionCluster::WriteBatch(std::vector<kv::WriteOp> ops) {
                             : first_error;
   }
   return Status::OK();
+}
+
+Status RegionCluster::WriteBatch(std::vector<kv::WriteOp> ops) {
+  return DispatchBatch(std::move(ops),
+                       [](RegionBackend* server,
+                          const std::vector<kv::WriteOp>& slice) {
+                         return server->WriteBatch(slice);
+                       });
+}
+
+Status RegionCluster::IngestBatch(const std::string& tenant,
+                                  std::vector<kv::WriteOp> ops) {
+  // Per-tenant quota sheds come back as kResourceExhausted, which is not
+  // transient — WithRetry passes it straight through, so a throttled tenant
+  // sees the shed immediately instead of burning the retry budget.
+  return DispatchBatch(std::move(ops),
+                       [&tenant](RegionBackend* server,
+                                 const std::vector<kv::WriteOp>& slice) {
+                         return server->IngestBatch(tenant, slice);
+                       });
 }
 
 Result<std::vector<RegionCluster::RangeResult>> RegionCluster::ParallelScan(

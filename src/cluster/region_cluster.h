@@ -67,6 +67,12 @@ class RegionCluster {
   /// as HBase multi-row mutations.
   Status WriteBatch(std::vector<kv::WriteOp> ops);
 
+  /// WriteBatch with a tenant tag: ops reach each owning server as a
+  /// kIngestReq so out-of-process servers can apply per-tenant write
+  /// admission before the WAL append. In-process backends degrade to a
+  /// plain WriteBatch. The streaming ingest path (INSERT STREAM).
+  Status IngestBatch(const std::string& tenant, std::vector<kv::WriteOp> ops);
+
   /// One row returned by a scan.
   struct Row {
     std::string key;
@@ -106,6 +112,14 @@ class RegionCluster {
 
   /// Shard routing: first key byte modulo server count.
   int ServerFor(std::string_view key) const;
+
+  /// Shared body of WriteBatch / IngestBatch: routes ops per server and
+  /// commits each server's slice through `apply` (parallel across servers
+  /// for large batches, WithRetry around each slice).
+  Status DispatchBatch(
+      std::vector<kv::WriteOp> ops,
+      const std::function<Status(RegionBackend*,
+                                 const std::vector<kv::WriteOp>&)>& apply);
 
   /// Runs `op` with bounded exponential-backoff retry on transient errors
   /// (options_.max_retries / retry_backoff_ms). `op` must be idempotent and

@@ -30,6 +30,13 @@ Result<std::unique_ptr<JustEngine>> JustEngine::Open(
   engine->slow_query_log_ = std::make_unique<obs::SlowQueryLog>(
       options.slow_query_threshold_us, /*capacity=*/128,
       options.slow_query_log_to_stderr);
+  // Streaming subsystem: the standing-query hub and the per-tenant quota
+  // buckets, re-armed from the quotas the catalog persisted.
+  engine->stream_hub_ = std::make_unique<stream::StreamHub>();
+  engine->quota_ = std::make_unique<stream::QuotaManager>();
+  for (const auto& [tenant, quota] : engine->catalog_->AllTenantQuotas()) {
+    engine->quota_->SetQuota(tenant, quota);
+  }
   // Crash recovery: a `building` secondary index means a prior process died
   // mid-build (the in-memory catch-up journal died with it, so the entries
   // already on disk cannot be trusted). Drop it and purge its key space —
@@ -118,6 +125,9 @@ Status JustEngine::DropTable(const std::string& user,
                              const std::string& name) {
   JUST_ASSIGN_OR_RETURN(auto table_meta, catalog_->GetTable(user, name));
   JUST_RETURN_NOT_OK(catalog_->DropTable(user, name));
+  // Standing queries against a dropped table would never fire again; drop
+  // them with it.
+  stream_hub_->DropQueriesForTable(user, name);
   {
     std::lock_guard<std::mutex> lock(mu_);
     table_cache_.erase(ViewKey(user, name));
@@ -322,19 +332,40 @@ Status JustEngine::Insert(const std::string& user, const std::string& table,
   // Writers bind + write under a shared hold of the write barrier so index
   // DDL can drain them (see InvalidateTableAndDrainWriters); writers never
   // block each other.
+  JUST_RETURN_NOT_OK(quota_->AdmitWrite(user, 1));
   std::shared_lock<std::shared_mutex> barrier(write_barrier_);
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->Insert(row);
+  JUST_RETURN_NOT_OK(bound->Insert(row));
+  stream_hub_->OnInsert(user, table, {row});
+  return Status::OK();
 }
 
 Status JustEngine::InsertBatch(const std::string& user,
                                const std::string& table,
                                const std::vector<exec::Row>& rows) {
+  JUST_RETURN_NOT_OK(quota_->AdmitWrite(user, rows.size()));
   std::shared_lock<std::shared_mutex> barrier(write_barrier_);
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
   // One table-level batch: all index keys of the chunk ride the cluster's
   // per-server group commits instead of one WAL round-trip per key.
-  return bound->InsertBatch(rows);
+  JUST_RETURN_NOT_OK(bound->InsertBatch(rows));
+  stream_hub_->OnInsert(user, table, rows);
+  return Status::OK();
+}
+
+Status JustEngine::InsertStream(const std::string& user,
+                                const std::string& table,
+                                const std::vector<exec::Row>& rows) {
+  // Quota shed (kResourceExhausted) happens before any cluster I/O so a
+  // throttled tenant costs nothing but the bucket check.
+  JUST_RETURN_NOT_OK(quota_->AdmitWrite(user, rows.size()));
+  std::shared_lock<std::shared_mutex> barrier(write_barrier_);
+  JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
+  JUST_RETURN_NOT_OK(bound->InsertBatchStream(rows));
+  // Committed rows feed the standing queries: incremental evaluation against
+  // the insert stream, no polling scans (rows_scanned stays 0).
+  stream_hub_->OnInsert(user, table, rows);
+  return Status::OK();
 }
 
 Status JustEngine::Remove(const std::string& user, const std::string& table,
@@ -352,31 +383,58 @@ Status JustEngine::Replace(const std::string& user, const std::string& table,
   return bound->Replace(old_row, new_row);
 }
 
+Status JustEngine::AdmitScan(const std::string& user) const {
+  return quota_->AdmitScan(user);
+}
+
+void JustEngine::ChargeScan(const std::string& user,
+                            const QueryStats* stats) const {
+  if (stats != nullptr && stats->bytes_scanned > 0) {
+    quota_->ChargeScanBytes(user, stats->bytes_scanned);
+  }
+}
+
 Result<exec::DataFrame> JustEngine::SpatialRangeQuery(const std::string& user,
                                                       const std::string& table,
                                                       const geo::Mbr& box,
                                                       QueryStats* stats) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->SpatialRangeQuery(box, stats);
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  auto result = bound->SpatialRangeQuery(box, stats);
+  ChargeScan(user, stats);
+  return result;
 }
 
 Result<exec::DataFrame> JustEngine::StRangeQuery(
     const std::string& user, const std::string& table, const geo::Mbr& box,
     TimestampMs t_min, TimestampMs t_max, QueryStats* stats) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->StRangeQuery(box, t_min, t_max, stats);
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  auto result = bound->StRangeQuery(box, t_min, t_max, stats);
+  ChargeScan(user, stats);
+  return result;
 }
 
 Result<exec::DataFrame> JustEngine::KnnQuery(const std::string& user,
                                              const std::string& table,
                                              const geo::Point& q, int k,
                                              QueryStats* stats) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->KnnQuery(q, k, stats);
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  auto result = bound->KnnQuery(q, k, stats);
+  ChargeScan(user, stats);
+  return result;
 }
 
 Result<exec::DataFrame> JustEngine::FullScan(const std::string& user,
                                              const std::string& table) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
   return bound->FullScan();
 }
@@ -386,38 +444,63 @@ Result<exec::DataFrame> JustEngine::AttributeQuery(const std::string& user,
                                                    const std::string& column,
                                                    const exec::Value& value,
                                                    QueryStats* stats) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->AttributeQuery(column, value, stats);
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  auto result = bound->AttributeQuery(column, value, stats);
+  ChargeScan(user, stats);
+  return result;
 }
 
 Result<exec::BatchVector> JustEngine::SpatialRangeQueryBatch(
     const std::string& user, const std::string& table, const geo::Mbr& box,
     QueryStats* stats, const ScanBudget* budget) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->SpatialRangeQueryBatch(box, stats, budget);
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  auto result = bound->SpatialRangeQueryBatch(box, stats, budget);
+  ChargeScan(user, stats);
+  return result;
 }
 
 Result<exec::BatchVector> JustEngine::StRangeQueryBatch(
     const std::string& user, const std::string& table, const geo::Mbr& box,
     TimestampMs t_min, TimestampMs t_max, QueryStats* stats,
     const ScanBudget* budget) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->StRangeQueryBatch(box, t_min, t_max, stats, budget);
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  auto result = bound->StRangeQueryBatch(box, t_min, t_max, stats, budget);
+  ChargeScan(user, stats);
+  return result;
 }
 
 Result<exec::BatchVector> JustEngine::FullScanBatch(const std::string& user,
                                                     const std::string& table,
                                                     QueryStats* stats,
                                                     const ScanBudget* budget) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->FullScanBatch(stats, budget);
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  auto result = bound->FullScanBatch(stats, budget);
+  ChargeScan(user, stats);
+  return result;
 }
 
 Result<exec::BatchVector> JustEngine::AttributeQueryBatch(
     const std::string& user, const std::string& table,
     const std::string& column, const exec::Value& value, QueryStats* stats) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
-  return bound->AttributeQueryBatch(column, value, stats);
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  auto result = bound->AttributeQueryBatch(column, value, stats);
+  ChargeScan(user, stats);
+  return result;
 }
 
 Result<exec::BatchVector> JustEngine::SecondaryIndexQueryBatch(
@@ -425,14 +508,29 @@ Result<exec::BatchVector> JustEngine::SecondaryIndexQueryBatch(
     const std::string& column, const AttrBound& lower, const AttrBound& upper,
     const geo::Mbr* box, bool temporal, TimestampMs t_min, TimestampMs t_max,
     QueryStats* stats, const ScanBudget* budget) {
+  JUST_RETURN_NOT_OK(AdmitScan(user));
   JUST_ASSIGN_OR_RETURN(auto bound, GetTable(user, table));
   const meta::SecondaryIndexDef* def =
       bound->meta().ReadySecondaryIndexOn(column);
   if (def == nullptr) {
     return Status::NotFound("no ready secondary index on column: " + column);
   }
-  return bound->SecondaryIndexQueryBatch(*def, lower, upper, box, temporal,
-                                         t_min, t_max, stats, budget);
+  QueryStats local;
+  if (stats == nullptr) stats = &local;
+  auto result = bound->SecondaryIndexQueryBatch(*def, lower, upper, box,
+                                                temporal, t_min, t_max, stats,
+                                                budget);
+  ChargeScan(user, stats);
+  return result;
+}
+
+Status JustEngine::SetTenantQuota(const std::string& tenant,
+                                  const meta::TenantQuotaConfig& quota) {
+  // Persist first: if the catalog write fails the in-memory buckets keep
+  // the old limits, so restart never resurrects a quota the caller saw fail.
+  JUST_RETURN_NOT_OK(catalog_->SetTenantQuota(tenant, quota));
+  quota_->SetQuota(tenant, quota);
+  return Status::OK();
 }
 
 Result<size_t> JustEngine::SecondaryIndexProbe(

@@ -15,6 +15,8 @@
 #include "exec/dataframe.h"
 #include "meta/catalog.h"
 #include "obs/slow_query_log.h"
+#include "stream/continuous_query.h"
+#include "stream/quota.h"
 
 namespace just::core {
 
@@ -93,6 +95,15 @@ class JustEngine {
                 const exec::Row& row);
   Status InsertBatch(const std::string& user, const std::string& table,
                      const std::vector<exec::Row>& rows);
+  /// INSERT STREAM: the streaming-ingest path. Rides the same group-commit
+  /// write path as InsertBatch but dispatches tenant-tagged kIngestReq
+  /// batches (remote region servers can apply their own write admission),
+  /// and feeds every committed row to the registered continuous queries.
+  /// Per-tenant write quotas (SetTenantQuota) are enforced up front:
+  /// over-quota batches shed with kResourceExhausted before touching the
+  /// cluster.
+  Status InsertStream(const std::string& user, const std::string& table,
+                      const std::vector<exec::Row>& rows);
   /// Deletes a row (base entry plus every index entry, tombstoned in the
   /// same group-commit batch — no resurrection window).
   Status Remove(const std::string& user, const std::string& table,
@@ -196,6 +207,19 @@ class JustEngine {
   Result<std::shared_ptr<StTable>> GetTable(const std::string& user,
                                             const std::string& name);
 
+  // --- Multi-tenant quotas + continuous queries (streaming subsystem) ---
+
+  /// Sets (or replaces) a tenant's rate limits, persisting them in the
+  /// catalog so they survive restarts. Zero fields mean unlimited.
+  Status SetTenantQuota(const std::string& tenant,
+                        const meta::TenantQuotaConfig& quota);
+
+  /// Standing-query hub: CREATE CONTINUOUS QUERY registrations live here;
+  /// InsertStream feeds committed rows through it.
+  stream::StreamHub* stream_hub() { return stream_hub_.get(); }
+  /// Per-tenant admission control (write rows/sec, scan bytes/sec).
+  stream::QuotaManager* quota_manager() { return quota_.get(); }
+
   meta::Catalog* catalog() { return catalog_.get(); }
   cluster::RegionCluster* cluster() { return cluster_.get(); }
   obs::SlowQueryLog* slow_query_log() { return slow_query_log_.get(); }
@@ -222,10 +246,19 @@ class JustEngine {
   void InvalidateTableAndDrainWriters(const std::string& user,
                                       const std::string& table);
 
+  /// Charges `stats.bytes_scanned` (or the scan-shed decision) to the
+  /// tenant's scan-byte budget around a query body. Post-paid: the admission
+  /// check only refuses tenants already in debt, the actual bytes are
+  /// debited afterwards (a scan's size is unknowable up front).
+  Status AdmitScan(const std::string& user) const;
+  void ChargeScan(const std::string& user, const QueryStats* stats) const;
+
   EngineOptions options_;
   std::unique_ptr<meta::Catalog> catalog_;
   std::unique_ptr<cluster::RegionCluster> cluster_;
   std::unique_ptr<obs::SlowQueryLog> slow_query_log_;
+  std::unique_ptr<stream::QuotaManager> quota_;
+  std::unique_ptr<stream::StreamHub> stream_hub_;
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<StTable>> table_cache_;

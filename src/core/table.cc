@@ -311,6 +311,7 @@ Result<exec::BatchVector> StTable::ScanRangesToBatches(
   std::unordered_set<std::string> seen_keys;
   size_t scanned = 0;
   size_t matched = 0;
+  size_t bytes = 0;
   // Budgeted scans flush (and re-check the budget) on smaller batches so a
   // tiny LIMIT stops within ~one streaming scan batch instead of 4096 rows.
   const size_t batch_cap =
@@ -335,6 +336,7 @@ Result<exec::BatchVector> StTable::ScanRangesToBatches(
   // Returns false to stop the scan (budget met or error; `inner` tells).
   auto consume = [&](std::string_view key, std::string_view value) -> bool {
     ++scanned;
+    bytes += key.size() + value.size();
     if (skip_fids != nullptr &&
         key.size() > static_cast<size_t>(fid_offset) &&
         skip_fids->count(std::string(key.substr(fid_offset))) != 0) {
@@ -379,6 +381,7 @@ Result<exec::BatchVector> StTable::ScanRangesToBatches(
     stats->key_ranges += ranges_run;
     stats->rows_scanned += scanned;
     stats->rows_matched += matched;
+    stats->bytes_scanned += bytes;
   }
   if (record_counters) RecordQueryCounters(ranges_run, scanned, matched);
   return batches;
@@ -540,6 +543,15 @@ Status StTable::Insert(const exec::Row& row) {
 }
 
 Status StTable::InsertBatch(const std::vector<exec::Row>& rows) {
+  return InsertBatchImpl(rows, /*stream=*/false);
+}
+
+Status StTable::InsertBatchStream(const std::vector<exec::Row>& rows) {
+  return InsertBatchImpl(rows, /*stream=*/true);
+}
+
+Status StTable::InsertBatchImpl(const std::vector<exec::Row>& rows,
+                                bool stream) {
   if (strategies_.empty()) {
     return Status::InvalidArgument("table " + meta_.name + " has no indexes");
   }
@@ -548,16 +560,21 @@ Status StTable::InsertBatch(const std::vector<exec::Row>& rows) {
   // unbounded buffer.
   constexpr size_t kMaxOpsPerBatch = 4096;
   std::vector<kv::WriteOp> ops;
+  auto commit = [&](std::vector<kv::WriteOp> chunk) -> Status {
+    MirrorOpsToBuildJournals(chunk);
+    if (stream) {
+      return cluster_->IngestBatch(meta_.user, std::move(chunk));
+    }
+    return cluster_->WriteBatch(std::move(chunk));
+  };
   for (const exec::Row& row : rows) {
     JUST_RETURN_NOT_OK(AppendWriteOps(row, /*delete_instead=*/false, &ops));
     if (ops.size() >= kMaxOpsPerBatch) {
-      MirrorOpsToBuildJournals(ops);
-      JUST_RETURN_NOT_OK(cluster_->WriteBatch(std::move(ops)));
+      JUST_RETURN_NOT_OK(commit(std::move(ops)));
       ops.clear();
     }
   }
-  MirrorOpsToBuildJournals(ops);
-  return cluster_->WriteBatch(std::move(ops));
+  return commit(std::move(ops));
 }
 
 Status StTable::Remove(const exec::Row& row) {

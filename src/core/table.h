@@ -24,6 +24,7 @@ struct QueryStats {
   size_t key_ranges = 0;     ///< SCANs issued
   size_t rows_scanned = 0;   ///< KV pairs read before refinement
   size_t rows_matched = 0;   ///< rows surviving exact refinement
+  size_t bytes_scanned = 0;  ///< key+value bytes read (scan-quota charging)
 };
 
 /// One bound of an attribute range predicate on a secondary index.
@@ -102,6 +103,12 @@ class StTable {
   /// is routed and group-committed per server (~1 WAL fsync per server
   /// instead of one per key). The bulk-load path (Section VII).
   Status InsertBatch(const std::vector<exec::Row>& rows);
+
+  /// The streaming variant of InsertBatch: same key fan-out and group
+  /// commit, but ops travel as tenant-tagged ingest batches
+  /// (RegionCluster::IngestBatch), so out-of-process region servers can
+  /// apply their own per-tenant write admission before the WAL append.
+  Status InsertBatchStream(const std::vector<exec::Row>& rows);
 
   /// Removes a previously inserted row (all index entries). The secondary-
   /// index tombstones ride the same group-commit batch as the base-row
@@ -209,6 +216,9 @@ class StTable {
 
  private:
   Status WriteKeys(const exec::Row& row, bool delete_instead);
+  /// Shared body of InsertBatch / InsertBatchStream; `stream` routes chunks
+  /// through the tenant-tagged ingest path instead of plain WriteBatch.
+  Status InsertBatchImpl(const std::vector<exec::Row>& rows, bool stream);
   /// Appends every index entry of `row` (one per strategy + one per
   /// attribute index) to `ops` as puts or tombstones; shared by the
   /// single-row and batch write paths.

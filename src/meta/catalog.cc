@@ -145,6 +145,36 @@ Result<TableMeta> TableFromJson(const JsonValue& json) {
   return table;
 }
 
+// Quota lines share the catalog's JSONL file with table lines and are told
+// apart by their non-empty "tenant" member (table lines have "user"/"name"
+// instead), so catalogs written before quotas existed load unchanged.
+JsonValue QuotaToJson(const std::string& tenant, const TenantQuotaConfig& q) {
+  std::map<std::string, JsonValue> obj;
+  obj["tenant"] = JsonValue::String(tenant);
+  obj["write_rps"] =
+      JsonValue::Number(static_cast<double>(q.write_rows_per_sec));
+  obj["write_burst"] =
+      JsonValue::Number(static_cast<double>(q.write_burst_rows));
+  obj["scan_bps"] =
+      JsonValue::Number(static_cast<double>(q.scan_bytes_per_sec));
+  obj["scan_burst"] =
+      JsonValue::Number(static_cast<double>(q.scan_burst_bytes));
+  return JsonValue::Object(std::move(obj));
+}
+
+TenantQuotaConfig QuotaFromJson(const JsonValue& json) {
+  TenantQuotaConfig q;
+  q.write_rows_per_sec =
+      static_cast<uint64_t>(json.Get("write_rps").number_value());
+  q.write_burst_rows =
+      static_cast<uint64_t>(json.Get("write_burst").number_value());
+  q.scan_bytes_per_sec =
+      static_cast<uint64_t>(json.Get("scan_bps").number_value());
+  q.scan_burst_bytes =
+      static_cast<uint64_t>(json.Get("scan_burst").number_value());
+  return q;
+}
+
 }  // namespace
 
 std::string Catalog::Key(const std::string& user, const std::string& name) {
@@ -174,6 +204,11 @@ Status Catalog::Load() {
     pos = eol + 1;
     if (line.empty()) continue;
     JUST_ASSIGN_OR_RETURN(auto json, ParseJson(line));
+    std::string tenant = json.GetString("tenant");
+    if (!tenant.empty()) {
+      tenant_quotas_[tenant] = QuotaFromJson(json);
+      continue;
+    }
     JUST_ASSIGN_OR_RETURN(auto table, TableFromJson(json));
     next_table_id_ = std::max(next_table_id_, table.table_id + 1);
     next_generation_ = std::max(next_generation_, table.generation + 1);
@@ -188,6 +223,13 @@ Status Catalog::PersistLocked() const {
   if (f == nullptr) return Status::IOError("cannot write catalog " + tmp);
   for (const auto& [key, table] : tables_) {
     std::string line = TableToJson(table).ToString() + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      std::fclose(f);
+      return Status::IOError("catalog write failed");
+    }
+  }
+  for (const auto& [tenant, quota] : tenant_quotas_) {
+    std::string line = QuotaToJson(tenant, quota).ToString() + "\n";
     if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
       std::fclose(f);
       return Status::IOError("catalog write failed");
@@ -325,6 +367,41 @@ bool Catalog::TableExists(const std::string& user,
                           const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return tables_.count(Key(user, name)) != 0;
+}
+
+Status Catalog::SetTenantQuota(const std::string& tenant,
+                               const TenantQuotaConfig& quota) {
+  if (tenant.empty()) {
+    return Status::InvalidArgument("tenant name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_quotas_.find(tenant);
+  bool existed = it != tenant_quotas_.end();
+  TenantQuotaConfig saved = existed ? it->second : TenantQuotaConfig{};
+  tenant_quotas_[tenant] = quota;
+  Status st = PersistLocked();
+  if (!st.ok()) {
+    if (existed) {
+      tenant_quotas_[tenant] = saved;
+    } else {
+      tenant_quotas_.erase(tenant);
+    }
+  }
+  return st;
+}
+
+bool Catalog::GetTenantQuota(const std::string& tenant,
+                             TenantQuotaConfig* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_quotas_.find(tenant);
+  if (it == tenant_quotas_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+std::map<std::string, TenantQuotaConfig> Catalog::AllTenantQuotas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenant_quotas_;
 }
 
 std::vector<TableMeta> Catalog::AllTables() const {

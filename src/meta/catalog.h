@@ -86,6 +86,17 @@ struct TableMeta {
       const std::string& column_name) const;
 };
 
+/// Per-tenant (namespace/user) resource quota. Zero means unlimited for
+/// that dimension; burst values of zero default to one second's worth of
+/// the rate. Enforced by stream::QuotaManager; stored here so limits
+/// survive restarts alongside the rest of the metadata.
+struct TenantQuotaConfig {
+  uint64_t write_rows_per_sec = 0;
+  uint64_t write_burst_rows = 0;
+  uint64_t scan_bytes_per_sec = 0;
+  uint64_t scan_burst_bytes = 0;
+};
+
 /// The meta store (the role MySQL plays in the paper): durable, transactional
 /// table metadata with namespace isolation. Persistence is a journaled JSON
 /// file rewritten atomically on every DDL commit.
@@ -126,6 +137,18 @@ class Catalog {
   /// `building` indexes).
   std::vector<TableMeta> AllTables() const;
 
+  /// Sets (or replaces) `tenant`'s quota and persists. An all-zero config
+  /// still persists — it pins the tenant to "explicitly unlimited".
+  Status SetTenantQuota(const std::string& tenant,
+                        const TenantQuotaConfig& quota);
+
+  /// True (and fills `out`) when `tenant` has a stored quota.
+  bool GetTenantQuota(const std::string& tenant, TenantQuotaConfig* out) const;
+
+  /// Every stored tenant quota (the engine's startup load into the
+  /// QuotaManager), keyed by tenant.
+  std::map<std::string, TenantQuotaConfig> AllTenantQuotas() const;
+
  private:
   explicit Catalog(std::string path) : path_(std::move(path)) {}
 
@@ -136,6 +159,7 @@ class Catalog {
   std::string path_;
   mutable std::mutex mu_;
   std::map<std::string, TableMeta> tables_;
+  std::map<std::string, TenantQuotaConfig> tenant_quotas_;
   uint64_t next_table_id_ = 1;
   uint64_t next_generation_ = 1;
 };

@@ -211,6 +211,17 @@ Status RegionClient::WriteBatch(const std::vector<kv::WriteOp>& ops) {
                     });
 }
 
+Status RegionClient::Ingest(const std::string& tenant,
+                            const std::vector<kv::WriteOp>& ops) {
+  return StatusCall(MsgType::kIngestReq,
+                    [&](uint64_t id, std::string_view ext, std::string* f) {
+                      IngestRequest req;
+                      req.tenant = tenant;
+                      req.ops = ops;
+                      EncodeIngestRequest(req, id, f, ext);
+                    });
+}
+
 Status RegionClient::Flush() {
   return StatusCall(MsgType::kFlushReq,
                     [](uint64_t id, std::string_view ext, std::string* f) {

@@ -56,6 +56,10 @@ class RegionClient {
   /// NotFound when the key is absent (mirrors LsmStore::Get).
   Status Get(std::string_view key, std::string* value);
   Status WriteBatch(const std::vector<kv::WriteOp>& ops);
+  /// Tenant-tagged streaming write batch (kIngestReq). The server may shed
+  /// it with kResourceExhausted when the tenant is over its write quota —
+  /// not transient, so callers must not retry-loop it.
+  Status Ingest(const std::string& tenant, const std::vector<kv::WriteOp>& ops);
 
   /// One page of a scan; resume by re-sending with
   /// `req.start_key = resp->next_cursor` while `resp->has_more`.

@@ -49,7 +49,7 @@ RegionServer::RegionServer(const RegionServerOptions& options)
   inflight_gauge_ = reg.GetGauge("just_net_server_inflight_requests");
   request_us_ = reg.GetHistogram("just_net_server_request_us");
   for (uint8_t t = static_cast<uint8_t>(MsgType::kPingReq);
-       t <= static_cast<uint8_t>(MsgType::kWaitIdleReq); ++t) {
+       t <= static_cast<uint8_t>(MsgType::kIngestReq); ++t) {
     rpc_us_by_type_[t] = reg.GetHistogram(obs::LabeledName(
         "just_net_server_rpc_us",
         {{"type", MsgTypeName(static_cast<MsgType>(t))}}));
@@ -58,6 +58,13 @@ RegionServer::RegionServer(const RegionServerOptions& options)
     slow_log_ = std::make_unique<obs::SlowQueryLog>(
         options.slow_rpc_threshold_us, /*capacity=*/128,
         /*log_to_stderr=*/false);
+  }
+  if (options.tenant_write_rps > 0) {
+    quota_ = std::make_unique<stream::QuotaManager>();
+    meta::TenantQuotaConfig q;
+    q.write_rows_per_sec = options.tenant_write_rps;
+    q.write_burst_rows = options.tenant_write_burst;
+    quota_->SetDefaultQuota(q);
   }
 }
 
@@ -380,6 +387,22 @@ void RegionServer::Execute(const PendingRequest& req, std::string* out) {
       WriteBatchRequest batch_req;
       status = DecodeWriteBatchRequest(body, &batch_req);
       if (status.ok()) status = store_->WriteBatch(batch_req.ops);
+      break;
+    }
+    case MsgType::kIngestReq: {
+      IngestRequest ingest_req;
+      status = DecodeIngestRequest(body, &ingest_req);
+      if (status.ok() && quota_ != nullptr) {
+        status = quota_->AdmitWrite(ingest_req.tenant, ingest_req.ops.size());
+        if (status.IsResourceExhausted()) {
+          // A quota shed is admission control just like the pipeline caps:
+          // surface it through the same counters (and thus /statsz and the
+          // wire StatsResponse), distinguished by its status code.
+          shed_total_.fetch_add(1);
+          shed_counter_->Increment();
+        }
+      }
+      if (status.ok()) status = store_->WriteBatch(ingest_req.ops);
       break;
     }
     case MsgType::kScanReq: {

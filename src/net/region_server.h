@@ -13,6 +13,7 @@
 #include "net/wire_protocol.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
+#include "stream/quota.h"
 
 namespace just::net {
 
@@ -34,6 +35,16 @@ struct RegionServerOptions {
   /// materializes more than this many rows regardless of what the client
   /// asked for (backpressure for scans).
   uint32_t scan_limit_clamp = 4096;
+
+  /// Blanket per-tenant write admission for kIngestReq batches: each tenant
+  /// seen on the ingest path gets its own token bucket of this many rows/sec
+  /// (burst defaults to one second's worth when tenant_write_burst is 0).
+  /// 0 disables server-side write quotas entirely. Over-quota ingests answer
+  /// kResourceExhausted — deliberately non-transient so client retry loops
+  /// do not hammer a throttled tenant — and count into shed_total.
+  /// `just_region_server --tenant-write-rps` sets it.
+  uint64_t tenant_write_rps = 0;
+  uint64_t tenant_write_burst = 0;
 
   /// RPCs whose handler wall time meets this threshold are recorded in a
   /// server-side slow-query log (span tree included) served by the admin
@@ -88,6 +99,8 @@ class RegionServer {
   /// Slow-RPC log (nullptr unless slow_rpc_threshold_us >= 0); the admin
   /// plane's /tracez reads it.
   obs::SlowQueryLog* slow_log() const { return slow_log_.get(); }
+  /// Per-tenant ingest admission (nullptr unless tenant_write_rps > 0).
+  stream::QuotaManager* quota() const { return quota_.get(); }
 
   uint64_t requests_total() const { return requests_total_.load(); }
   uint64_t shed_total() const { return shed_total_.load(); }
@@ -150,6 +163,7 @@ class RegionServer {
   obs::Histogram* rpc_us_by_type_[16] = {};
 
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  std::unique_ptr<stream::QuotaManager> quota_;
 };
 
 }  // namespace just::net

@@ -12,6 +12,10 @@
 // /metrics, /healthz, /statsz, and /tracez (src/obs/http_admin.h) and the
 // port file gains a second line with the admin port. --slow-query-us T
 // records RPCs slower than T microseconds (span tree included) for /tracez.
+// --tenant-write-rps R gives every tenant seen on the streaming ingest path
+// (kIngestReq) a token bucket of R rows/sec (--tenant-write-burst caps the
+// burst; default one second's worth) — over-quota batches answer
+// kResourceExhausted and count into shed_total.
 // SIGTERM/SIGINT stop the server cleanly; acknowledged writes survive
 // SIGKILL via the store's WAL (run with --sync-wal 1 for that guarantee).
 
@@ -38,7 +42,8 @@ void Usage(const char* argv0) {
       "usage: %s --dir DIR [--host H] [--port P] [--port-file FILE]\n"
       "          [--max-inflight N] [--max-pipeline N] [--sync-wal 0|1]\n"
       "          [--memtable-bytes N] [--compaction-trigger N]\n"
-      "          [--admin-port P] [--slow-query-us T]\n",
+      "          [--admin-port P] [--slow-query-us T]\n"
+      "          [--tenant-write-rps N] [--tenant-write-burst N]\n",
       argv0);
 }
 
@@ -94,6 +99,10 @@ int main(int argc, char** argv) {
       admin_port = std::atoi(next());
     } else if (arg == "--slow-query-us") {
       options.slow_rpc_threshold_us = std::atoll(next());
+    } else if (arg == "--tenant-write-rps") {
+      options.tenant_write_rps = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--tenant-write-burst") {
+      options.tenant_write_burst = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;

@@ -75,7 +75,7 @@ Status ExpectEnd(const char* p, const char* limit) {
 }  // namespace
 
 bool IsRequestType(MsgType t) {
-  return t >= MsgType::kPingReq && t <= MsgType::kWaitIdleReq;
+  return t >= MsgType::kPingReq && t <= MsgType::kIngestReq;
 }
 
 bool IsKnownType(uint8_t t) {
@@ -106,6 +106,8 @@ const char* MsgTypeName(MsgType t) {
       return "stats";
     case MsgType::kWaitIdleReq:
       return "wait_idle";
+    case MsgType::kIngestReq:
+      return "ingest";
     case MsgType::kStatusResp:
       return "status_resp";
     case MsgType::kGetResp:
@@ -205,6 +207,20 @@ void EncodeWriteBatchRequest(const WriteBatchRequest& req, uint64_t request_id,
   FinishFrame(payload, dst);
 }
 
+void EncodeIngestRequest(const IngestRequest& req, uint64_t request_id,
+                         std::string* dst, std::string_view ext) {
+  std::string payload;
+  BeginPayload(MsgType::kIngestReq, request_id, &payload, ext);
+  PutLengthPrefixed(&payload, req.tenant);
+  PutVarint32(&payload, static_cast<uint32_t>(req.ops.size()));
+  for (const auto& op : req.ops) {
+    payload.push_back(op.is_delete ? 1 : 0);
+    PutLengthPrefixed(&payload, op.key);
+    if (!op.is_delete) PutLengthPrefixed(&payload, op.value);
+  }
+  FinishFrame(payload, dst);
+}
+
 void EncodeScanRequest(const ScanRequest& req, uint64_t request_id,
                        std::string* dst, std::string_view ext) {
   std::string payload;
@@ -256,6 +272,30 @@ Status DecodeWriteBatchRequest(std::string_view body, WriteBatchRequest* req) {
     if (!GetString(&p, limit, &op.key)) return Malformed("batch op key");
     if (!op.is_delete && !GetString(&p, limit, &op.value)) {
       return Malformed("batch op value");
+    }
+    req->ops.push_back(std::move(op));
+  }
+  return ExpectEnd(p, limit);
+}
+
+Status DecodeIngestRequest(std::string_view body, IngestRequest* req) {
+  const char* p = body.data();
+  const char* limit = p + body.size();
+  if (!GetString(&p, limit, &req->tenant)) return Malformed("ingest tenant");
+  uint32_t count = 0;
+  if (!GetVarint32(&p, limit, &count)) return Malformed("ingest count");
+  if (count > body.size() / 2 + 1) return Malformed("ingest count too large");
+  req->ops.clear();
+  req->ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (p >= limit) return Malformed("ingest op truncated");
+    uint8_t tag = static_cast<uint8_t>(*p++);
+    if (tag > 1) return Malformed("ingest op tag");
+    kv::WriteOp op;
+    op.is_delete = tag == 1;
+    if (!GetString(&p, limit, &op.key)) return Malformed("ingest op key");
+    if (!op.is_delete && !GetString(&p, limit, &op.value)) {
+      return Malformed("ingest op value");
     }
     req->ops.push_back(std::move(op));
   }

@@ -68,6 +68,7 @@ enum class MsgType : uint8_t {
   kCompactReq = 8,
   kStatsReq = 9,
   kWaitIdleReq = 10,
+  kIngestReq = 11,  ///< tenant-tagged streaming write batch
   // Responses.
   kStatusResp = 32,  ///< status only: ping/put/delete/batch/flush/compact/idle
   kGetResp = 33,
@@ -128,6 +129,15 @@ struct DeleteRequest {
 };
 
 struct WriteBatchRequest {
+  std::vector<kv::WriteOp> ops;
+};
+
+/// A WriteBatch tagged with the tenant (namespace/user) that produced it —
+/// the streaming ingest path. The tag lets the server apply per-tenant
+/// write admission (token bucket) before the WAL append; a shed returns
+/// kResourceExhausted, which clients must not blindly retry.
+struct IngestRequest {
+  std::string tenant;
   std::vector<kv::WriteOp> ops;
 };
 
@@ -193,6 +203,8 @@ void EncodeDeleteRequest(const DeleteRequest& req, uint64_t request_id,
                          std::string* dst, std::string_view ext = {});
 void EncodeWriteBatchRequest(const WriteBatchRequest& req, uint64_t request_id,
                              std::string* dst, std::string_view ext = {});
+void EncodeIngestRequest(const IngestRequest& req, uint64_t request_id,
+                         std::string* dst, std::string_view ext = {});
 void EncodeScanRequest(const ScanRequest& req, uint64_t request_id,
                        std::string* dst, std::string_view ext = {});
 void EncodeEmptyRequest(MsgType type, uint64_t request_id, std::string* dst,
@@ -226,6 +238,7 @@ Status DecodeGetRequest(std::string_view body, GetRequest* req);
 Status DecodePutRequest(std::string_view body, PutRequest* req);
 Status DecodeDeleteRequest(std::string_view body, DeleteRequest* req);
 Status DecodeWriteBatchRequest(std::string_view body, WriteBatchRequest* req);
+Status DecodeIngestRequest(std::string_view body, IngestRequest* req);
 Status DecodeScanRequest(std::string_view body, ScanRequest* req);
 Status DecodeEmptyBody(std::string_view body);
 

@@ -1,6 +1,7 @@
 #ifndef JUST_SQL_AST_H_
 #define JUST_SQL_AST_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -115,6 +116,25 @@ struct DropIndexStmt {
   std::string table;
 };
 
+/// CREATE CONTINUOUS QUERY <name> ON <table> [WHERE <pred>]
+/// [GROUP BY <col>] [WINDOW <n> <unit>]: a standing query evaluated
+/// incrementally against streamed inserts. Without WINDOW it is an alert
+/// query (each matching row becomes a notification); with WINDOW it is a
+/// sliding-window aggregate (matching rows counted per group over the
+/// trailing window).
+struct CreateContinuousQueryStmt {
+  std::string name;
+  std::string table;
+  std::unique_ptr<Expr> where;  ///< null = match every row
+  std::string group_by;         ///< optional; requires WINDOW
+  int64_t window_ms = 0;        ///< 0 = alert query
+};
+
+/// DROP CONTINUOUS QUERY <name>.
+struct DropContinuousQueryStmt {
+  std::string name;
+};
+
 struct DropStmt {
   bool is_view = false;
   std::string name;
@@ -122,6 +142,7 @@ struct DropStmt {
 
 struct ShowStmt {
   bool views = false;  ///< SHOW TABLES vs SHOW VIEWS
+  bool continuous_queries = false;  ///< SHOW CONTINUOUS QUERIES
 };
 
 struct DescStmt {
@@ -145,6 +166,9 @@ struct StoreViewStmt {
 struct InsertStmt {
   std::string table;
   std::vector<std::vector<std::unique_ptr<Expr>>> rows;  ///< VALUES lists
+  /// INSERT STREAM INTO: the streaming-ingest path — tenant-tagged write
+  /// admission plus continuous-query evaluation on the inserted rows.
+  bool stream = false;
 };
 
 /// EXPLAIN [ANALYZE] SELECT ...: logical plans only, or (with ANALYZE) the
@@ -161,8 +185,10 @@ struct Statement {
     kCreateTable,
     kCreateView,
     kCreateIndex,
+    kCreateContinuousQuery,
     kDrop,
     kDropIndex,
+    kDropContinuousQuery,
     kShow,
     kDesc,
     kLoad,
@@ -176,8 +202,10 @@ struct Statement {
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateViewStmt> create_view;
   std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<CreateContinuousQueryStmt> create_continuous_query;
   std::unique_ptr<DropStmt> drop;
   std::unique_ptr<DropIndexStmt> drop_index;
+  std::unique_ptr<DropContinuousQueryStmt> drop_continuous_query;
   std::unique_ptr<ShowStmt> show;
   std::unique_ptr<DescStmt> desc;
   std::unique_ptr<LoadStmt> load;

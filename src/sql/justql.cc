@@ -293,6 +293,42 @@ Result<QueryResult> JustQL::ExecuteParsed(const std::string& user,
       result.message = "index dropped: " + stmt.drop_index->name;
       return result;
     }
+    case Statement::Kind::kCreateContinuousQuery: {
+      const CreateContinuousQueryStmt& cq = *stmt.create_continuous_query;
+      JUST_ASSIGN_OR_RETURN(auto table_meta,
+                            engine_->DescribeTable(user, cq.table));
+      stream::ContinuousQuerySpec spec;
+      spec.name = cq.name;
+      spec.user = user;
+      spec.table = cq.table;
+      if (cq.where != nullptr) spec.predicate_sql = cq.where->ToString();
+      spec.group_by = cq.group_by;
+      spec.window_ms = cq.window_ms;
+      // Same cache tag as the executor's scans: the CQ shares the compiled
+      // predicate program with ad-hoc queries of this catalog generation.
+      const std::string cache_tag = std::to_string(table_meta.table_id) +
+                                    ":" +
+                                    std::to_string(table_meta.generation);
+      int fid_col = table_meta.fid_column.empty()
+                        ? -1
+                        : table_meta.ColumnIndex(table_meta.fid_column);
+      int time_col = table_meta.time_column.empty()
+                         ? -1
+                         : table_meta.ColumnIndex(table_meta.time_column);
+      JUST_RETURN_NOT_OK(engine_->stream_hub()->Register(
+          std::move(spec), table_meta.MakeSchema(), cq.where.get(),
+          cache_tag, fid_col, time_col));
+      result.message = "continuous query created: " + cq.name + " on " +
+                       cq.table;
+      return result;
+    }
+    case Statement::Kind::kDropContinuousQuery: {
+      JUST_RETURN_NOT_OK(engine_->stream_hub()->Unregister(
+          user, stmt.drop_continuous_query->name));
+      result.message =
+          "continuous query dropped: " + stmt.drop_continuous_query->name;
+      return result;
+    }
     case Statement::Kind::kDrop: {
       if (stmt.drop->is_view) {
         JUST_RETURN_NOT_OK(engine_->DropView(user, stmt.drop->name));
@@ -304,7 +340,31 @@ Result<QueryResult> JustQL::ExecuteParsed(const std::string& user,
       return result;
     }
     case Statement::Kind::kShow: {
-      if (stmt.show->views) {
+      if (stmt.show->continuous_queries) {
+        auto schema = std::make_shared<exec::Schema>();
+        schema->AddField({"name", exec::DataType::kString});
+        schema->AddField({"table", exec::DataType::kString});
+        schema->AddField({"kind", exec::DataType::kString});
+        schema->AddField({"predicate", exec::DataType::kString});
+        schema->AddField({"group_by", exec::DataType::kString});
+        schema->AddField({"window_ms", exec::DataType::kInt});
+        schema->AddField({"matches", exec::DataType::kInt});
+        schema->AddField({"notifications", exec::DataType::kInt});
+        schema->AddField({"dropped", exec::DataType::kInt});
+        exec::DataFrame frame(schema);
+        for (const auto& info : engine_->stream_hub()->List(user)) {
+          frame.AddRow(
+              {exec::Value::String(info.name), exec::Value::String(info.table),
+               exec::Value::String(info.kind),
+               exec::Value::String(info.predicate_sql),
+               exec::Value::String(info.group_by),
+               exec::Value::Int(info.window_ms),
+               exec::Value::Int(static_cast<int64_t>(info.matches)),
+               exec::Value::Int(static_cast<int64_t>(info.notifications)),
+               exec::Value::Int(static_cast<int64_t>(info.dropped))});
+        }
+        result.frame = std::move(frame);
+      } else if (stmt.show->views) {
         result.frame = MessageFrame("view", engine_->ShowViews(user));
       } else {
         result.frame = MessageFrame("table", engine_->ShowTables(user));
@@ -405,9 +465,17 @@ Result<QueryResult> JustQL::ExecuteParsed(const std::string& user,
         }
         rows.push_back(std::move(row));
       }
-      JUST_RETURN_NOT_OK(engine_->InsertBatch(user, stmt.insert->table, rows));
-      result.message =
-          "inserted " + std::to_string(rows.size()) + " rows";
+      if (stmt.insert->stream) {
+        JUST_RETURN_NOT_OK(
+            engine_->InsertStream(user, stmt.insert->table, rows));
+        result.message =
+            "streamed " + std::to_string(rows.size()) + " rows";
+      } else {
+        JUST_RETURN_NOT_OK(
+            engine_->InsertBatch(user, stmt.insert->table, rows));
+        result.message =
+            "inserted " + std::to_string(rows.size()) + " rows";
+      }
       return result;
     }
   }

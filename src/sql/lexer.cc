@@ -14,7 +14,8 @@ const std::set<std::string>& Keywords() {
       "INTO",   "VALUES", "GROUP", "ORDER",  "BY",      "LIMIT",  "ASC",
       "DESCENDING",       "WITHIN", "BETWEEN", "IN",    "USERDATA",
       "PRIMARY", "KEY",   "JOIN",  "ON",     "TRUE",    "FALSE",  "NULL",
-      "EXPLAIN", "ANALYZE", "INDEX",
+      "EXPLAIN", "ANALYZE", "INDEX", "CONTINUOUS", "QUERY", "QUERIES",
+      "STREAM", "WINDOW",
   };
   return *kKeywords;
 }

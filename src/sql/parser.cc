@@ -194,6 +194,31 @@ class Parser {
 
   Result<Statement> ParseCreate() {
     Advance();  // CREATE
+    if (AcceptKeyword("CONTINUOUS")) {
+      JUST_RETURN_NOT_OK(ExpectKeyword("QUERY"));
+      Statement stmt;
+      stmt.kind = Statement::Kind::kCreateContinuousQuery;
+      stmt.create_continuous_query =
+          std::make_unique<CreateContinuousQueryStmt>();
+      CreateContinuousQueryStmt& cq = *stmt.create_continuous_query;
+      JUST_ASSIGN_OR_RETURN(cq.name, ExpectIdentifier());
+      JUST_RETURN_NOT_OK(ExpectKeyword("ON"));
+      JUST_ASSIGN_OR_RETURN(cq.table, ExpectIdentifier());
+      if (AcceptKeyword("WHERE")) {
+        JUST_ASSIGN_OR_RETURN(cq.where, ParseExpr());
+      }
+      if (AcceptKeyword("GROUP")) {
+        JUST_RETURN_NOT_OK(ExpectKeyword("BY"));
+        JUST_ASSIGN_OR_RETURN(cq.group_by, ExpectIdentifier());
+      }
+      if (AcceptKeyword("WINDOW")) {
+        JUST_ASSIGN_OR_RETURN(cq.window_ms, ParseDuration());
+      }
+      if (!cq.group_by.empty() && cq.window_ms == 0) {
+        return Err("GROUP BY on a continuous query requires WINDOW");
+      }
+      return stmt;
+    }
     if (AcceptKeyword("INDEX")) {
       Statement stmt;
       stmt.kind = Statement::Kind::kCreateIndex;
@@ -284,8 +309,50 @@ class Parser {
     return Status::OK();
   }
 
+  /// `<n> <unit>` where unit is one of millisecond(s)/ms, second(s)/s,
+  /// minute(s)/min, hour(s)/h, day(s)/d. Returns milliseconds.
+  Result<int64_t> ParseDuration() {
+    if (Cur().type != TokenType::kNumber) {
+      return Err("expected duration count, got '" + Cur().value + "'");
+    }
+    int64_t count = std::strtoll(Cur().value.c_str(), nullptr, 10);
+    Advance();
+    JUST_ASSIGN_OR_RETURN(std::string unit, ExpectName());
+    std::string lower;
+    for (char c : unit) lower += static_cast<char>(std::tolower(c));
+    if (!lower.empty() && lower.back() == 's' && lower != "ms" &&
+        lower != "s") {
+      lower.pop_back();  // plural
+    }
+    int64_t scale;
+    if (lower == "ms" || lower == "millisecond") {
+      scale = 1;
+    } else if (lower == "s" || lower == "second" || lower == "sec") {
+      scale = 1000;
+    } else if (lower == "min" || lower == "minute") {
+      scale = 60 * 1000;
+    } else if (lower == "h" || lower == "hour") {
+      scale = 60 * 60 * 1000;
+    } else if (lower == "d" || lower == "day") {
+      scale = 24 * 60 * 60 * 1000;
+    } else {
+      return Err("unknown duration unit: " + unit);
+    }
+    if (count <= 0) return Err("duration must be positive");
+    return count * scale;
+  }
+
   Result<Statement> ParseDrop() {
     Advance();  // DROP
+    if (AcceptKeyword("CONTINUOUS")) {
+      JUST_RETURN_NOT_OK(ExpectKeyword("QUERY"));
+      Statement stmt;
+      stmt.kind = Statement::Kind::kDropContinuousQuery;
+      stmt.drop_continuous_query = std::make_unique<DropContinuousQueryStmt>();
+      JUST_ASSIGN_OR_RETURN(stmt.drop_continuous_query->name,
+                            ExpectIdentifier());
+      return stmt;
+    }
     if (AcceptKeyword("INDEX")) {
       Statement stmt;
       stmt.kind = Statement::Kind::kDropIndex;
@@ -314,6 +381,9 @@ class Parser {
     stmt.show = std::make_unique<ShowStmt>();
     if (AcceptKeyword("VIEWS")) {
       stmt.show->views = true;
+    } else if (AcceptKeyword("CONTINUOUS")) {
+      JUST_RETURN_NOT_OK(ExpectKeyword("QUERIES"));
+      stmt.show->continuous_queries = true;
     } else {
       JUST_RETURN_NOT_OK(ExpectKeyword("TABLES"));
     }
@@ -397,10 +467,11 @@ class Parser {
 
   Result<Statement> ParseInsert() {
     Advance();  // INSERT
-    JUST_RETURN_NOT_OK(ExpectKeyword("INTO"));
     Statement stmt;
     stmt.kind = Statement::Kind::kInsert;
     stmt.insert = std::make_unique<InsertStmt>();
+    stmt.insert->stream = AcceptKeyword("STREAM");
+    JUST_RETURN_NOT_OK(ExpectKeyword("INTO"));
     JUST_ASSIGN_OR_RETURN(stmt.insert->table, ExpectIdentifier());
     JUST_RETURN_NOT_OK(ExpectKeyword("VALUES"));
     for (;;) {

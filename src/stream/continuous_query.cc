@@ -1,0 +1,310 @@
+#include "stream/continuous_query.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/trace.h"
+
+namespace just::stream {
+
+namespace {
+
+obs::Counter* QueryCounter(const char* name, const std::string& query) {
+  return obs::Registry::Global().GetCounter(
+      obs::LabeledName(name, {{"query", query}}));
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int64_t StreamHub::Query::bucket_width_ms() const {
+  int64_t w = spec.window_ms / kWindowBuckets;
+  return w > 0 ? w : 1;
+}
+
+void StreamHub::Query::RetireOldBucketsLocked() {
+  // The trailing window is [watermark - window_ms, watermark]; a bucket is
+  // dead once its *end* falls before the window start.
+  int64_t width = bucket_width_ms();
+  int64_t window_start = watermark_ms - spec.window_ms;
+  auto it = window_buckets.begin();
+  while (it != window_buckets.end() && it->first + width <= window_start) {
+    it = window_buckets.erase(it);
+  }
+}
+
+StreamHub::~StreamHub() = default;
+
+Status StreamHub::Register(ContinuousQuerySpec spec,
+                           std::shared_ptr<exec::Schema> schema,
+                           const sql::Expr* predicate,
+                           const std::string& cache_tag, int fid_col,
+                           int time_col) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("continuous query needs a name");
+  }
+  auto q = std::make_shared<Query>();
+  if (predicate != nullptr) {
+    JUST_ASSIGN_OR_RETURN(
+        q->program, sql::PredicateProgramCache::Global().GetOrCompile(
+                        {predicate}, *schema, cache_tag));
+  }
+  if (spec.window_ms > 0 && !spec.group_by.empty()) {
+    q->group_col = schema->IndexOf(spec.group_by);
+    if (q->group_col < 0) {
+      return Status::InvalidArgument("unknown GROUP BY column '" +
+                                     spec.group_by + "' in continuous query");
+    }
+  }
+  if (spec.window_ms > 0 && time_col < 0) {
+    return Status::InvalidArgument(
+        "windowed continuous query requires a table with a time column");
+  }
+  q->fid_col = fid_col;
+  q->time_col = time_col;
+  q->schema = std::move(schema);
+  q->matches_counter = QueryCounter("just_cq_matches_total", spec.name);
+  q->notifications_counter =
+      QueryCounter("just_cq_notifications_total", spec.name);
+  q->dropped_counter = QueryCounter("just_cq_dropped_total", spec.name);
+  q->spec = std::move(spec);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Key(q->spec.user, q->spec.name);
+  if (queries_.count(key) != 0) {
+    return Status::AlreadyExists("continuous query '" + q->spec.name +
+                                 "' already exists");
+  }
+  queries_.emplace(std::move(key), std::move(q));
+  num_queries_.store(queries_.size(), std::memory_order_relaxed);
+  obs::Registry::Global()
+      .GetGauge("just_cq_registered")
+      ->Set(static_cast<int64_t>(queries_.size()));
+  return Status::OK();
+}
+
+Status StreamHub::Unregister(const std::string& user, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(Key(user, name));
+  if (it == queries_.end()) {
+    return Status::NotFound("continuous query '" + name + "' not found");
+  }
+  queries_.erase(it);
+  num_queries_.store(queries_.size(), std::memory_order_relaxed);
+  obs::Registry::Global()
+      .GetGauge("just_cq_registered")
+      ->Set(static_cast<int64_t>(queries_.size()));
+  return Status::OK();
+}
+
+size_t StreamHub::DropQueriesForTable(const std::string& user,
+                                      const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = queries_.begin(); it != queries_.end();) {
+    if (it->second->spec.user == user && it->second->spec.table == table) {
+      it = queries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    num_queries_.store(queries_.size(), std::memory_order_relaxed);
+    obs::Registry::Global()
+        .GetGauge("just_cq_registered")
+        ->Set(static_cast<int64_t>(queries_.size()));
+  }
+  return dropped;
+}
+
+std::vector<StreamHub::QueryInfo> StreamHub::List(
+    const std::string& user) const {
+  std::vector<QueryInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, q] : queries_) {
+    if (q->spec.user != user) continue;
+    QueryInfo info;
+    info.name = q->spec.name;
+    info.table = q->spec.table;
+    info.kind = q->spec.window_ms > 0 ? "window" : "alert";
+    info.predicate_sql = q->spec.predicate_sql;
+    info.group_by = q->spec.group_by;
+    info.window_ms = q->spec.window_ms;
+    {
+      std::lock_guard<std::mutex> qlock(q->mu);
+      info.matches = q->matches;
+      info.notifications = q->notifications;
+      info.dropped = q->dropped;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<std::vector<Notification>> StreamHub::TakeNotifications(
+    const std::string& user, const std::string& name, size_t max) {
+  std::shared_ptr<Query> q;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(Key(user, name));
+    if (it == queries_.end()) {
+      return Status::NotFound("continuous query '" + name + "' not found");
+    }
+    q = it->second;
+  }
+  std::vector<Notification> out;
+  std::lock_guard<std::mutex> qlock(q->mu);
+  while (!q->pending.empty() && out.size() < max) {
+    out.push_back(std::move(q->pending.front()));
+    q->pending.pop_front();
+  }
+  return out;
+}
+
+Result<std::vector<StreamHub::WindowGroup>> StreamHub::WindowSnapshot(
+    const std::string& user, const std::string& name) const {
+  std::shared_ptr<Query> q;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(Key(user, name));
+    if (it == queries_.end()) {
+      return Status::NotFound("continuous query '" + name + "' not found");
+    }
+    q = it->second;
+  }
+  if (q->spec.window_ms <= 0) {
+    return Status::InvalidArgument("continuous query '" + name +
+                                   "' is an alert query, not a window");
+  }
+  std::map<std::string, uint64_t> totals;
+  {
+    std::lock_guard<std::mutex> qlock(q->mu);
+    int64_t window_start = q->watermark_ms - q->spec.window_ms;
+    int64_t width = q->bucket_width_ms();
+    for (const auto& [bucket_start, groups] : q->window_buckets) {
+      if (bucket_start + width <= window_start) continue;
+      for (const auto& [group, count] : groups) totals[group] += count;
+    }
+  }
+  std::vector<WindowGroup> out;
+  out.reserve(totals.size());
+  for (auto& [group, count] : totals) out.push_back({group, count});
+  return out;
+}
+
+void StreamHub::EvaluateQuery(Query* q, exec::ColumnBatch* batch) {
+  // Each query filters its own fresh selection over the shared batch:
+  // PredicateProgram::Run starts from the current selection, so reset first.
+  batch->ClearSelection();
+  if (q->program != nullptr) {
+    sql::PredicateStats pstats;
+    if (!q->program->Run(batch, &pstats).ok()) return;
+  }
+  size_t active = batch->num_active();
+  if (active == 0) return;
+  const uint32_t* sel = batch->selection_data();
+
+  std::lock_guard<std::mutex> qlock(q->mu);
+  q->matches += active;
+  q->matches_counter->Add(active);
+  for (size_t i = 0; i < active; ++i) {
+    size_t row = sel != nullptr ? sel[i] : i;
+    int64_t event_ms = 0;
+    if (q->time_col >= 0) {
+      const exec::ColumnVector& tc = batch->column(q->time_col);
+      if (!tc.IsNull(row)) {
+        exec::Value tv = tc.ValueAt(row);
+        if (auto r = tv.AsInt(); r.ok()) event_ms = r.value();
+      }
+    }
+    if (q->spec.window_ms > 0) {
+      // Window aggregate: fold into the event-time bucket and advance the
+      // watermark. Late rows (inside the window) still count; rows older
+      // than the whole window fall into already-retired buckets and are
+      // dropped by the snapshot's window check.
+      std::string group;
+      if (q->group_col >= 0) {
+        group = batch->column(q->group_col).ValueAt(row).ToString();
+      }
+      int64_t width = q->bucket_width_ms();
+      int64_t bucket = event_ms - (((event_ms % width) + width) % width);
+      q->window_buckets[bucket][group]++;
+      if (event_ms > q->watermark_ms) {
+        q->watermark_ms = event_ms;
+        q->RetireOldBucketsLocked();
+      }
+    } else {
+      Notification n;
+      n.query = q->spec.name;
+      n.user = q->spec.user;
+      n.table = q->spec.table;
+      n.seq = q->next_seq++;
+      n.timestamp_ms = event_ms;
+      if (q->fid_col >= 0) {
+        const exec::ColumnVector& fc = batch->column(q->fid_col);
+        if (!fc.IsNull(row)) n.fid = fc.ValueAt(row).ToString();
+      }
+      n.row = batch->MaterializeRow(row);
+      if (q->spec.on_notify) q->spec.on_notify(n);
+      q->notifications++;
+      q->notifications_counter->Add(1);
+      if (q->pending.size() >= kMaxPendingNotifications) {
+        q->pending.pop_front();
+        q->dropped++;
+        q->dropped_counter->Add(1);
+      }
+      q->pending.push_back(std::move(n));
+    }
+  }
+}
+
+void StreamHub::OnInsert(const std::string& user, const std::string& table,
+                         const std::vector<exec::Row>& rows) {
+  if (num_queries_.load(std::memory_order_relaxed) == 0 || rows.empty()) {
+    return;
+  }
+  std::vector<std::shared_ptr<Query>> matching;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, q] : queries_) {
+      if (q->spec.user == user && q->spec.table == table) {
+        matching.push_back(q);
+      }
+    }
+  }
+  if (matching.empty()) return;
+
+  uint64_t start_us = NowUs();
+  obs::ScopedSpan span("cq.eval");
+  if (span.span() != nullptr) {
+    span.span()->AddAttr("table", user + "." + table);
+  }
+
+  // Pack the inserted rows once; every query evaluates against this batch
+  // with its own selection pass. No storage scan happens anywhere on this
+  // path — that is the point.
+  exec::ColumnBatch batch(matching[0]->schema);
+  for (const exec::Row& row : rows) batch.AppendRow(row);
+
+  for (auto& q : matching) EvaluateQuery(q.get(), &batch);
+
+  obs::Registry::Global()
+      .GetCounter("just_cq_eval_rows_total")
+      ->Add(rows.size() * matching.size());
+  obs::Registry::Global()
+      .GetHistogram("just_cq_eval_us")
+      ->Record(NowUs() - start_us);
+  if (span.span() != nullptr) {
+    span.span()->counters().rows_out.fetch_add(rows.size(),
+                                               std::memory_order_relaxed);
+  }
+}
+
+}  // namespace just::stream

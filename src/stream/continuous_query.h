@@ -1,0 +1,185 @@
+#ifndef JUST_STREAM_CONTINUOUS_QUERY_H_
+#define JUST_STREAM_CONTINUOUS_QUERY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/column_batch.h"
+#include "obs/metrics.h"
+#include "sql/ast.h"
+#include "sql/predicate_program.h"
+
+namespace just::stream {
+
+/// One event emitted by an alert-style continuous query: a streamed row
+/// matched the standing predicate. Produced on the ingest path — no scan is
+/// involved, which is what the `rows_scanned == 0` acceptance test pins.
+struct Notification {
+  std::string query;       ///< continuous-query name
+  std::string user;        ///< owning namespace
+  std::string table;
+  uint64_t seq = 0;        ///< per-query sequence number (1-based)
+  int64_t timestamp_ms = 0;  ///< row event time (0 when the table has none)
+  std::string fid;         ///< matching row's feature id ("" when none)
+  exec::Row row;           ///< the full matching row
+};
+
+/// Registration request for one standing query. `window_ms == 0` declares a
+/// geofence-style *alert* query (every matching row becomes a Notification);
+/// `window_ms > 0` declares a sliding-window *aggregate* (matching rows are
+/// counted per `group_by` value over the trailing window — the live
+/// per-district heatmap of the paper's urban scenario).
+struct ContinuousQuerySpec {
+  std::string name;
+  std::string user;
+  std::string table;
+  std::string predicate_sql;  ///< normalized WHERE text, "" = match all
+  std::string group_by;       ///< window queries: grouping column ("" = all)
+  int64_t window_ms = 0;
+  /// Optional synchronous callback invoked on the ingest thread for every
+  /// notification (alert queries only) — the bench's latency probe. Must be
+  /// cheap and must not call back into the engine.
+  std::function<void(const Notification&)> on_notify;
+};
+
+/// The registry of standing queries plus the incremental evaluator that the
+/// engine calls once per committed insert batch. Matching reuses the
+/// compiled predicate programs of `src/sql/predicate_program` (shared LRU
+/// cache, keyed by the table's catalog generation): streamed rows are packed
+/// into one ColumnBatch and each query's program shrinks a fresh selection
+/// over it — the ad-hoc scan's refinement kernel, pointed at the ingest
+/// stream instead of storage.
+///
+/// Alert results queue in a bounded per-query ring (drop-oldest beyond
+/// kMaxPendingNotifications, with a drop counter) consumed by
+/// TakeNotifications; window aggregates fold into event-time buckets read by
+/// WindowSnapshot. Per-query registry metrics:
+///   just_cq_matches_total{query=...}        rows that matched
+///   just_cq_notifications_total{query=...}  notifications enqueued
+///   just_cq_dropped_total{query=...}        notifications dropped (ring full)
+/// plus the globals just_cq_registered (gauge), just_cq_eval_rows_total,
+/// and the just_cq_eval_us histogram.
+class StreamHub {
+ public:
+  /// Alert notifications retained per query before drop-oldest kicks in.
+  static constexpr size_t kMaxPendingNotifications = 1024;
+
+  StreamHub() = default;
+  StreamHub(const StreamHub&) = delete;
+  StreamHub& operator=(const StreamHub&) = delete;
+  ~StreamHub();
+
+  /// Registers a standing query. `schema` is the table's column layout;
+  /// `predicate` (nullable = match-all) is compiled immediately through the
+  /// global predicate-program cache under `cache_tag`
+  /// ("table_id:generation"), so a CQ shares its compiled program with
+  /// ad-hoc scans of the same predicate. `fid_col`/`time_col`/-1 bind the
+  /// table's special columns; window queries resolve `group_by` against the
+  /// schema here. Fails on duplicate name or unresolvable columns.
+  Status Register(ContinuousQuerySpec spec,
+                  std::shared_ptr<exec::Schema> schema,
+                  const sql::Expr* predicate, const std::string& cache_tag,
+                  int fid_col, int time_col);
+
+  /// Drops one query; NotFound when absent.
+  Status Unregister(const std::string& user, const std::string& name);
+
+  /// Drops every query standing on (user, table) — DROP TABLE cleanup.
+  /// Returns how many were dropped.
+  size_t DropQueriesForTable(const std::string& user, const std::string& table);
+
+  /// Summary row for SHOW CONTINUOUS QUERIES.
+  struct QueryInfo {
+    std::string name;
+    std::string table;
+    std::string kind;  ///< "alert" or "window"
+    std::string predicate_sql;
+    std::string group_by;
+    int64_t window_ms = 0;
+    uint64_t matches = 0;
+    uint64_t notifications = 0;
+    uint64_t dropped = 0;
+  };
+  std::vector<QueryInfo> List(const std::string& user) const;
+
+  /// Removes and returns up to `max` pending notifications (FIFO).
+  /// NotFound for an unknown query.
+  Result<std::vector<Notification>> TakeNotifications(const std::string& user,
+                                                      const std::string& name,
+                                                      size_t max = 128);
+
+  /// One group's live aggregate over the trailing window.
+  struct WindowGroup {
+    std::string group;  ///< group_by value ("" when ungrouped)
+    uint64_t count = 0;
+  };
+  /// Counts per group over the query's trailing window, as of the largest
+  /// event time seen (the stream watermark). Sorted by group.
+  Result<std::vector<WindowGroup>> WindowSnapshot(const std::string& user,
+                                                  const std::string& name) const;
+
+  /// The engine's post-commit hook: evaluates every standing query on
+  /// (user, table) against `rows`. Cheap no-op (one relaxed atomic load)
+  /// while nothing is registered, so tables without CQs pay nothing.
+  void OnInsert(const std::string& user, const std::string& table,
+                const std::vector<exec::Row>& rows);
+
+  size_t NumQueries() const {
+    return num_queries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Query {
+    ContinuousQuerySpec spec;
+    std::shared_ptr<exec::Schema> schema;
+    std::shared_ptr<const sql::PredicateProgram> program;  ///< null = match all
+    int fid_col = -1;
+    int time_col = -1;
+    int group_col = -1;  ///< resolved group_by column (window queries)
+
+    std::mutex mu;  ///< guards everything below
+    uint64_t next_seq = 1;
+    uint64_t matches = 0;
+    uint64_t notifications = 0;
+    uint64_t dropped = 0;
+    std::deque<Notification> pending;
+    /// Sliding window as event-time buckets: bucket start -> group -> count.
+    /// Bucket width = window_ms / kWindowBuckets (>= 1ms); buckets older
+    /// than watermark - window_ms retire as the watermark advances, so the
+    /// snapshot is the trailing-window count with bucket-width granularity.
+    std::map<int64_t, std::map<std::string, uint64_t>> window_buckets;
+    int64_t watermark_ms = INT64_MIN;
+
+    obs::Counter* matches_counter = nullptr;
+    obs::Counter* notifications_counter = nullptr;
+    obs::Counter* dropped_counter = nullptr;
+
+    int64_t bucket_width_ms() const;
+    void RetireOldBucketsLocked();
+  };
+
+  static constexpr int64_t kWindowBuckets = 10;
+
+  static std::string Key(const std::string& user, const std::string& name) {
+    return user + "." + name;
+  }
+
+  /// Evaluates one query against a packed batch of the inserted rows.
+  void EvaluateQuery(Query* q, exec::ColumnBatch* batch);
+
+  mutable std::mutex mu_;  ///< guards queries_ map shape
+  std::map<std::string, std::shared_ptr<Query>> queries_;
+  std::atomic<size_t> num_queries_{0};
+};
+
+}  // namespace just::stream
+
+#endif  // JUST_STREAM_CONTINUOUS_QUERY_H_

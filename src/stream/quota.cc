@@ -1,0 +1,176 @@
+#include "stream/quota.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace just::stream {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::Counter* TenantCounter(const char* name, const std::string& tenant) {
+  return obs::Registry::Global().GetCounter(
+      obs::LabeledName(name, {{"tenant", tenant}}));
+}
+
+}  // namespace
+
+QuotaManager::QuotaManager(ClockFn clock) : clock_(std::move(clock)) {
+  if (!clock_) clock_ = SteadyNowNs;
+}
+
+void QuotaManager::SetQuota(const std::string& tenant,
+                            const meta::TenantQuotaConfig& q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState* st = EnsureTenantLocked(tenant);
+  st->config = q;
+  st->has_config = true;
+  // Re-prime so the new burst ceiling takes effect immediately: a tightened
+  // quota should not leave a bucket holding more tokens than its new burst.
+  st->write.primed = false;
+  st->scan.primed = false;
+}
+
+void QuotaManager::SetDefaultQuota(const meta::TenantQuotaConfig& q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_quota_ = q;
+  has_default_ = true;
+}
+
+bool QuotaManager::GetQuota(const std::string& tenant,
+                            meta::TenantQuotaConfig* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second->has_config) {
+    if (out != nullptr) *out = it->second->config;
+    return true;
+  }
+  if (has_default_) {
+    if (out != nullptr) *out = default_quota_;
+    return true;
+  }
+  return false;
+}
+
+void QuotaManager::Refill(Bucket* bucket, double rate, double burst,
+                          uint64_t now) {
+  if (!bucket->primed) {
+    bucket->tokens = burst;
+    bucket->last_ns = now;
+    bucket->primed = true;
+    return;
+  }
+  if (now <= bucket->last_ns) return;
+  double dt = static_cast<double>(now - bucket->last_ns) / 1e9;
+  bucket->last_ns = now;
+  bucket->tokens = std::min(burst, bucket->tokens + dt * rate);
+}
+
+QuotaManager::TenantState* QuotaManager::EnsureTenantLocked(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second.get();
+  auto st = std::make_unique<TenantState>();
+  if (has_default_) {
+    st->config = default_quota_;
+    st->has_config = true;
+  }
+  st->write_rows_counter = TenantCounter("just_tenant_write_rows_total", tenant);
+  st->write_shed_counter = TenantCounter("just_tenant_write_shed_total", tenant);
+  st->scan_bytes_counter = TenantCounter("just_tenant_scan_bytes_total", tenant);
+  st->scan_shed_counter = TenantCounter("just_tenant_scan_shed_total", tenant);
+  TenantState* raw = st.get();
+  tenants_.emplace(tenant, std::move(st));
+  return raw;
+}
+
+Status QuotaManager::AdmitWrite(const std::string& tenant, size_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState* st = EnsureTenantLocked(tenant);
+  uint64_t rate = st->has_config ? st->config.write_rows_per_sec : 0;
+  if (rate > 0) {
+    uint64_t burst = st->config.write_burst_rows > 0
+                         ? st->config.write_burst_rows
+                         : rate;
+    Refill(&st->write, static_cast<double>(rate), static_cast<double>(burst),
+           clock_());
+    if (st->write.tokens < static_cast<double>(rows)) {
+      st->write_sheds++;
+      st->write_shed_counter->Add(1);
+      return Status::ResourceExhausted("tenant '" + tenant +
+                                       "' write rate limit exceeded");
+    }
+    st->write.tokens -= static_cast<double>(rows);
+  }
+  st->write_rows_admitted += rows;
+  st->write_rows_counter->Add(rows);
+  return Status::OK();
+}
+
+Status QuotaManager::AdmitScan(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState* st = EnsureTenantLocked(tenant);
+  uint64_t rate = st->has_config ? st->config.scan_bytes_per_sec : 0;
+  if (rate > 0) {
+    uint64_t burst = st->config.scan_burst_bytes > 0
+                         ? st->config.scan_burst_bytes
+                         : rate;
+    Refill(&st->scan, static_cast<double>(rate), static_cast<double>(burst),
+           clock_());
+    // Post-paid: admit whenever the bucket is not in debt. A single scan may
+    // overdraw; the debt then throttles the *next* scan, not this one.
+    if (st->scan.tokens <= 0) {
+      st->scan_sheds++;
+      st->scan_shed_counter->Add(1);
+      return Status::ResourceExhausted("tenant '" + tenant +
+                                       "' scan byte budget exhausted");
+    }
+  }
+  return Status::OK();
+}
+
+void QuotaManager::ChargeScanBytes(const std::string& tenant, size_t bytes) {
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState* st = EnsureTenantLocked(tenant);
+  uint64_t rate = st->has_config ? st->config.scan_bytes_per_sec : 0;
+  if (rate > 0) {
+    uint64_t burst = st->config.scan_burst_bytes > 0
+                         ? st->config.scan_burst_bytes
+                         : rate;
+    Refill(&st->scan, static_cast<double>(rate), static_cast<double>(burst),
+           clock_());
+    st->scan.tokens -= static_cast<double>(bytes);
+  }
+  st->scan_bytes_charged += bytes;
+  st->scan_bytes_counter->Add(bytes);
+}
+
+QuotaManager::TenantCounters QuotaManager::GetCounters(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantCounters out;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return out;
+  out.write_rows_admitted = it->second->write_rows_admitted;
+  out.write_sheds = it->second->write_sheds;
+  out.scan_bytes_charged = it->second->scan_bytes_charged;
+  out.scan_sheds = it->second->scan_sheds;
+  return out;
+}
+
+std::vector<std::string> QuotaManager::Tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, st] : tenants_) out.push_back(name);
+  return out;
+}
+
+}  // namespace just::stream

@@ -1,0 +1,122 @@
+#ifndef JUST_STREAM_QUOTA_H_
+#define JUST_STREAM_QUOTA_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "meta/catalog.h"
+#include "obs/metrics.h"
+
+namespace just::stream {
+
+/// Per-tenant admission control: one token bucket for write rows and one for
+/// scan bytes per tenant (namespace/user). The multi-tenant guarantee is
+/// *isolation by construction*: buckets never share tokens, so a tenant at
+/// or under its configured rate always finds tokens regardless of how hard
+/// any other tenant floods — the fair-scheduling property the stream tests
+/// pin (an over-limit tenant is shed, an at-limit tenant is never starved).
+///
+/// Semantics:
+///  - Writes are pre-paid: AdmitWrite() admits only when the bucket holds at
+///    least `rows` tokens; otherwise it sheds with kResourceExhausted (not a
+///    transient status, so cluster retry loops do not hammer a throttled
+///    tenant).
+///  - Scans are post-paid: AdmitScan() only checks the bucket is not
+///    exhausted, and ChargeScanBytes() debits what the scan actually read
+///    (possibly driving the bucket negative — one query may overshoot, and
+///    the debt pays itself off at the refill rate before the next scan is
+///    admitted). Pre-paying scans is impossible: the byte count is unknown
+///    until the scan ran.
+///  - A tenant with no quota configured (and no default) is unlimited; only
+///    its usage counters are maintained.
+///
+/// Every decision lands in tenant-labeled registry metrics:
+///   just_tenant_write_rows_total{tenant=...}   admitted write rows
+///   just_tenant_write_shed_total{tenant=...}   shed write requests
+///   just_tenant_scan_bytes_total{tenant=...}   scan bytes charged
+///   just_tenant_scan_shed_total{tenant=...}    scans rejected on exhaustion
+/// so /metrics and /statsz expose per-tenant pressure without new plumbing.
+///
+/// Thread-safe. The clock is injectable for deterministic tests.
+class QuotaManager {
+ public:
+  /// Monotonic nanoseconds. The default uses std::chrono::steady_clock.
+  using ClockFn = std::function<uint64_t()>;
+
+  explicit QuotaManager(ClockFn clock = {});
+
+  /// Sets (or replaces) a tenant's quota. Zero-valued rates are unlimited.
+  void SetQuota(const std::string& tenant, const meta::TenantQuotaConfig& q);
+
+  /// Applies to tenants without an explicit quota (the region server's
+  /// blanket `--tenant-write-rps`). Explicit SetQuota wins.
+  void SetDefaultQuota(const meta::TenantQuotaConfig& q);
+
+  /// True (and fills `out`) when the tenant has an effective quota.
+  bool GetQuota(const std::string& tenant, meta::TenantQuotaConfig* out) const;
+
+  /// Admits or sheds a write of `rows` rows. OK always counts the rows.
+  Status AdmitWrite(const std::string& tenant, size_t rows);
+
+  /// Admits a scan unless the tenant's scan-byte bucket is exhausted.
+  Status AdmitScan(const std::string& tenant);
+
+  /// Debits bytes a finished scan actually read (post-paid; may overdraw).
+  void ChargeScanBytes(const std::string& tenant, size_t bytes);
+
+  /// Point-in-time per-tenant usage, for tests and /statsz assertions.
+  struct TenantCounters {
+    uint64_t write_rows_admitted = 0;
+    uint64_t write_sheds = 0;
+    uint64_t scan_bytes_charged = 0;
+    uint64_t scan_sheds = 0;
+  };
+  TenantCounters GetCounters(const std::string& tenant) const;
+
+  /// Tenants seen so far (configured or merely active), sorted.
+  std::vector<std::string> Tenants() const;
+
+ private:
+  /// One token bucket. `tokens` refills at `rate`/sec up to `burst`.
+  struct Bucket {
+    double tokens = 0;
+    uint64_t last_ns = 0;
+    bool primed = false;  ///< first touch fills the bucket to burst
+  };
+
+  struct TenantState {
+    meta::TenantQuotaConfig config;
+    bool has_config = false;
+    Bucket write;
+    Bucket scan;
+    // Local mirrors of the labeled registry counters (cheap test access).
+    uint64_t write_rows_admitted = 0;
+    uint64_t write_sheds = 0;
+    uint64_t scan_bytes_charged = 0;
+    uint64_t scan_sheds = 0;
+    obs::Counter* write_rows_counter = nullptr;
+    obs::Counter* write_shed_counter = nullptr;
+    obs::Counter* scan_bytes_counter = nullptr;
+    obs::Counter* scan_shed_counter = nullptr;
+  };
+
+  TenantState* EnsureTenantLocked(const std::string& tenant);
+  /// Refills `bucket` to `now` and returns it ready for a take.
+  static void Refill(Bucket* bucket, double rate, double burst, uint64_t now);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+  meta::TenantQuotaConfig default_quota_;
+  bool has_default_ = false;
+  ClockFn clock_;
+};
+
+}  // namespace just::stream
+
+#endif  // JUST_STREAM_QUOTA_H_

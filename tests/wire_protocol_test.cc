@@ -117,6 +117,33 @@ TEST(WireProtocolTest, RoundTripRequests) {
       }
     }
     {
+      IngestRequest req;
+      req.tenant = RandomBytes(&rng, 32);
+      size_t n = rng.Uniform(20);
+      for (size_t i = 0; i < n; ++i) {
+        kv::WriteOp op;
+        op.is_delete = rng.Uniform(4) == 0;
+        op.key = RandomBytes(&rng, 48);
+        if (!op.is_delete) op.value = RandomBytes(&rng, 128);
+        req.ops.push_back(std::move(op));
+      }
+      std::string frame;
+      EncodeIngestRequest(req, id, &frame);
+      FrameHeader h;
+      std::string_view body;
+      MustParse(frame, &h, &body);
+      EXPECT_EQ(h.type, MsgType::kIngestReq);
+      IngestRequest out;
+      ASSERT_TRUE(DecodeIngestRequest(body, &out).ok());
+      EXPECT_EQ(out.tenant, req.tenant);
+      ASSERT_EQ(out.ops.size(), req.ops.size());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out.ops[i].is_delete, req.ops[i].is_delete);
+        EXPECT_EQ(out.ops[i].key, req.ops[i].key);
+        EXPECT_EQ(out.ops[i].value, req.ops[i].value);
+      }
+    }
+    {
       ScanRequest req;
       req.start_key = RandomBytes(&rng, 64);
       req.end_key = RandomBytes(&rng, 64);
@@ -271,6 +298,11 @@ void FuzzDecode(std::string_view frame, bool expect_failure) {
       decode = DecodeWriteBatchRequest(body, &r);
       break;
     }
+    case MsgType::kIngestReq: {
+      IngestRequest r;
+      decode = DecodeIngestRequest(body, &r);
+      break;
+    }
     case MsgType::kScanReq: {
       ScanRequest r;
       decode = DecodeScanRequest(body, &r);
@@ -330,6 +362,15 @@ std::vector<std::string> SampleFrames(Rng* rng) {
                                  i % 3 == 0});
   }
   EncodeWriteBatchRequest(wb, id, &f);
+  frames.push_back(f);
+  f.clear();
+  IngestRequest ing;
+  ing.tenant = RandomBytes(rng, 16);
+  for (int i = 0; i < 8; ++i) {
+    ing.ops.push_back(kv::WriteOp{RandomBytes(rng, 24), RandomBytes(rng, 64),
+                                  i % 3 == 0});
+  }
+  EncodeIngestRequest(ing, id, &f);
   frames.push_back(f);
   f.clear();
   ScanRequest sr;
